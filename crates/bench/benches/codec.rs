@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the wire codec on the hot protocol messages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sbft_core::{ClientRequest, SbftMsg};
+use sbft_crypto::KeyPair;
+use sbft_sim::SimMessage;
+use sbft_types::{ClientId, SeqNum, ViewNum};
+use sbft_wire::Wire;
+
+fn bench_codec(c: &mut Criterion) {
+    let keys = KeyPair::derive(1, b"client", 0);
+    let requests: Vec<ClientRequest> = (0..64)
+        .map(|i| ClientRequest::signed(ClientId::new(0), i + 1, vec![0xab; 32], &keys))
+        .collect();
+    let pre_prepare = SbftMsg::PrePrepare {
+        seq: SeqNum::new(9),
+        view: ViewNum::new(1),
+        requests,
+    };
+    let bytes = pre_prepare.to_wire_bytes();
+
+    c.bench_function("encode_preprepare_64_requests", |b| {
+        b.iter(|| black_box(pre_prepare.to_wire_bytes()))
+    });
+    c.bench_function("decode_preprepare_64_requests", |b| {
+        b.iter(|| black_box(SbftMsg::from_wire_bytes(&bytes).unwrap()))
+    });
+    c.bench_function("wire_size_preprepare", |b| {
+        b.iter(|| black_box(pre_prepare.wire_size()))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

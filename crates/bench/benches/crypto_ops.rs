@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the threshold-cryptography substrate at
+//! the paper's scale (σ threshold 201 of n = 209, §V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sbft_crypto::{generate_threshold_keys, sha256, SignatureShare};
+
+fn bench_crypto(c: &mut Criterion) {
+    let digest = sha256(b"decision block");
+    // Paper scale: n = 209, σ threshold = 201.
+    let (public, shares) = generate_threshold_keys(209, 201, 42);
+    let sig_shares: Vec<SignatureShare> = shares
+        .iter()
+        .map(|s| s.sign(b"sigma", &digest))
+        .collect();
+    let combined = public.combine(b"sigma", &digest, &sig_shares).unwrap();
+    let multisig = public.combine_multisig(b"sigma", &digest, &sig_shares).unwrap();
+
+    c.bench_function("sign_share", |b| {
+        b.iter(|| black_box(shares[0].sign(b"sigma", &digest)))
+    });
+    c.bench_function("verify_share", |b| {
+        b.iter(|| black_box(public.verify_share(b"sigma", &digest, &sig_shares[0])))
+    });
+    c.bench_function("batch_verify_201_shares", |b| {
+        b.iter(|| black_box(public.batch_verify_shares(b"sigma", &digest, &sig_shares[..201], 7)))
+    });
+    c.bench_function("combine_threshold_201_of_209", |b| {
+        b.iter(|| black_box(public.combine(b"sigma", &digest, &sig_shares).unwrap()))
+    });
+    c.bench_function("combine_multisig_209", |b| {
+        b.iter(|| {
+            black_box(
+                public
+                    .combine_multisig(b"sigma", &digest, &sig_shares)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("verify_combined", |b| {
+        b.iter(|| black_box(public.verify(b"sigma", &digest, &combined)))
+    });
+    c.bench_function("verify_multisig", |b| {
+        b.iter(|| black_box(public.verify_multisig(b"sigma", &digest, &multisig)))
+    });
+    c.bench_function("sha256_1k", |b| {
+        let data = vec![0xabu8; 1024];
+        b.iter(|| black_box(sha256(&data)))
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the Merkle structures backing the
+//! authenticated key-value store and the execution proofs (§IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sbft_crypto::MerkleTree;
+use sbft_statedb::AuthKv;
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..1024u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    let tree = MerkleTree::from_leaves(leaves.clone());
+    let proof = tree.proof(512).unwrap();
+    let root = tree.root();
+
+    c.bench_function("merkle_build_1024", |b| {
+        b.iter(|| black_box(MerkleTree::from_leaves(leaves.clone())))
+    });
+    c.bench_function("merkle_prove", |b| {
+        b.iter(|| black_box(tree.proof(512).unwrap()))
+    });
+    c.bench_function("merkle_verify", |b| {
+        b.iter(|| black_box(proof.verify(&root, &leaves[512])))
+    });
+
+    let mut kv = AuthKv::new();
+    for i in 0..10_000u32 {
+        kv.insert(i.to_le_bytes().to_vec(), vec![7u8; 16]);
+    }
+    c.bench_function("authkv_insert_10k_store", |b| {
+        b.iter(|| {
+            let mut kv = kv.clone();
+            black_box(kv.insert(b"new-key".to_vec(), b"v".to_vec()))
+        })
+    });
+    c.bench_function("authkv_prove_10k_store", |b| {
+        b.iter(|| black_box(kv.prove(&500u32.to_le_bytes()).unwrap()))
+    });
+    let trie_root = kv.root();
+    let trie_proof = kv.prove(&500u32.to_le_bytes()).unwrap();
+    c.bench_function("authkv_verify", |b| {
+        b.iter(|| black_box(trie_proof.verify(&trie_root, &500u32.to_le_bytes(), Some(&[7u8; 16]))))
+    });
+}
+
+criterion_group!(benches, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the EVM-subset interpreter: the per-transaction
+//! costs behind the smart-contract benchmark (§IX).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sbft_evm::{
+    execute, token_code, token_mint_calldata, token_transfer_calldata, ExecEnv, MapStorage,
+    Storage,
+};
+use sbft_types::U256;
+
+fn bench_vm(c: &mut Criterion) {
+    let code = token_code();
+    let alice = U256::from(0xa11ceu64);
+    let bob = U256::from(0xb0bu64);
+    let mut storage = MapStorage::new();
+    // Pre-fund alice.
+    execute(
+        &code,
+        &token_mint_calldata(&alice, &U256::from(u64::MAX)),
+        &ExecEnv::default(),
+        &mut storage,
+        1_000_000,
+    )
+    .unwrap();
+    let env = ExecEnv {
+        caller: alice,
+        ..ExecEnv::default()
+    };
+    let transfer = token_transfer_calldata(&bob, &U256::from(1u64));
+
+    c.bench_function("evm_token_transfer", |b| {
+        b.iter(|| {
+            let mut s = storage.clone();
+            black_box(execute(&code, &transfer, &env, &mut s, 1_000_000).unwrap())
+        })
+    });
+
+    c.bench_function("evm_sload", |b| {
+        b.iter(|| black_box(storage.sload(&alice)))
+    });
+
+    let loop_code = sbft_evm::assemble(
+        r"
+        PUSH2 0x03e8
+        loop: JUMPDEST
+        DUP1 ISZERO @done JUMPI
+        PUSH1 0x01 SWAP1 SUB
+        @loop JUMP
+        done: JUMPDEST STOP
+        ",
+    )
+    .unwrap();
+    c.bench_function("evm_1000_iteration_loop", |b| {
+        b.iter(|| {
+            let mut s = MapStorage::new();
+            black_box(execute(&loop_code, &[], &ExecEnv::default(), &mut s, 10_000_000).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerates the **smart-contract benchmark** (§IX text): SBFT vs the
+//! scale-optimized PBFT executing the Ethereum-like trace on the
+//! continent-scale and world-scale WANs.
+//!
+//! Paper reference points — continent: SBFT 378 tps @ 254 ms median vs
+//! PBFT 204 tps @ 538 ms; world: SBFT 172 tps @ 622 ms vs PBFT 98 tps
+//! @ 934 ms.
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin contracts_wan
+//! [-- --scale small|paper] [--world-only]`
+
+use sbft_bench::{
+    eth_workload, run_experiment, write_csv, ExperimentSpec, Scale, Table, TopologyKind, Variant,
+};
+use sbft_sim::SimDuration;
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = scale.f();
+    // Enough supply that closed-loop clients do not drain the trace
+    // before the measurement window ends.
+    let (transactions, contracts, clients) = match scale {
+        Scale::Paper => (500_000, 5_000, 16),
+        Scale::Medium => (150_000, 1_500, 8),
+        _ => (60_000, 600, 8),
+    };
+    println!("== Smart-contract benchmark: {transactions} txs, f={f} ==\n");
+    let mut table = Table::new(vec![
+        "topology", "system", "n", "tps", "median_ms", "p99_ms",
+    ]);
+    for topology in [TopologyKind::Continent, TopologyKind::World] {
+        for variant in [Variant::SbftRedundant, Variant::Pbft] {
+            let spec = ExperimentSpec {
+                variant,
+                f,
+                clients,
+                failures: 0,
+                stragglers: 0,
+                topology,
+                machines_per_region: 2,
+                service: eth_workload(transactions, contracts, clients),
+                warmup: SimDuration::from_secs(4),
+                measure: match scale {
+                    Scale::Paper => SimDuration::from_secs(30),
+                    _ => SimDuration::from_secs(16),
+                },
+                seed: 0xe7e7,
+            };
+            let result = run_experiment(&spec);
+            let (median, p99) = result
+                .latency
+                .map(|s| (s.median, s.p99))
+                .unwrap_or((f64::NAN, f64::NAN));
+            table.row(vec![
+                format!("{topology:?}"),
+                variant.name().to_owned(),
+                result.n.to_string(),
+                format!("{:.0}", result.throughput_ops),
+                format!("{median:.0}"),
+                format!("{p99:.0}"),
+            ]);
+            println!(
+                "{topology:?} / {}: {:.0} tps, median {:.0} ms",
+                variant.name(),
+                result.throughput_ops,
+                median
+            );
+        }
+    }
+    println!("\n{}", table.render());
+    println!("paper: continent SBFT 378tps@254ms vs PBFT 204tps@538ms");
+    println!("       world     SBFT 172tps@622ms vs PBFT  98tps@934ms");
+    match write_csv(&table, "contracts_wan") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

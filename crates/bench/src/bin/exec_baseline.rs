@@ -1,0 +1,54 @@
+//! Regenerates the **single-machine execution baseline** (§IX: "just
+//! executing these smart contracts on a single computer (and committing
+//! the results to disk) without running any replication provides a 840
+//! transaction per second base line").
+//!
+//! Executes the Ethereum-like trace directly on one `EvmService` (no
+//! consensus) and reports throughput under the simulated CPU+disk cost
+//! model.
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin exec_baseline
+//! [-- --scale small|paper]`
+
+use sbft_bench::Scale;
+use sbft_evm::{generate_eth_trace, EthTraceConfig, EvmService};
+use sbft_statedb::Service;
+use sbft_types::SeqNum;
+
+fn main() {
+    let scale = Scale::from_args();
+    let transactions = match scale {
+        Scale::Paper => 500_000,
+        Scale::Medium => 100_000,
+        _ => 20_000,
+    };
+    println!("== single-machine execution baseline: {transactions} txs ==");
+    let trace = generate_eth_trace(&EthTraceConfig {
+        transactions,
+        contracts: (transactions / 100).max(10),
+        accounts: (transactions / 50).max(100),
+        gas_limit: 1_000_000,
+        seed: 0xe7e7,
+    });
+    let mut service = EvmService::new();
+    let mut seq = 1u64;
+    let mut simulated_ns: u64 = 0;
+    let wall = std::time::Instant::now();
+    // Blocks of ~50 transactions, matching the client batch size (§IX).
+    for chunk in trace.chunks(50) {
+        let exec = service.execute_block(SeqNum::new(seq), chunk);
+        simulated_ns += exec.cpu_cost_ns;
+        seq += 1;
+    }
+    let simulated_s = simulated_ns as f64 / 1e9;
+    let tps = transactions as f64 / simulated_s;
+    println!("simulated execution time : {simulated_s:.1} s");
+    println!("throughput               : {tps:.0} tps (paper baseline: 840 tps)");
+    println!("total gas                : {}", service.total_gas);
+    println!(
+        "avg gas/tx               : {:.0}",
+        service.total_gas as f64 / transactions as f64
+    );
+    println!("state keys               : {}", service.state().len());
+    println!("(wall clock: {:.1?})", wall.elapsed());
+}

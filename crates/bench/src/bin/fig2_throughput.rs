@@ -1,0 +1,72 @@
+//! Regenerates **Figure 2** (throughput vs number of clients): a 2×3 grid
+//! of panels — rows `{batch=64, no batch}` × columns `{no failures, f/8
+//! failures, f failures}` — with all five protocol variants.
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin fig2_throughput
+//! [-- --scale small|medium|paper]`
+//!
+//! Paper scale (`--scale paper`) uses f=64 and clients up to 256 as in
+//! §IX; the default small scale preserves the figure's *shape* in minutes.
+
+use sbft_bench::{run_experiment, write_csv, ExperimentSpec, Scale, Table, Variant};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = scale.f();
+    println!("== Figure 2: throughput vs clients (f={f}) ==\n");
+    let mut csv = Table::new(vec![
+        "batch",
+        "failures",
+        "clients",
+        "variant",
+        "n",
+        "throughput_ops_s",
+        "throughput_reqs_s",
+        "latency_median_ms",
+        "latency_p99_ms",
+        "fast_path_frac",
+    ]);
+    for &ops in &[64usize, 1] {
+        for &failures in &scale.failure_counts() {
+            println!(
+                "--- panel: batch={} failures={failures} ---",
+                if ops == 64 { "64" } else { "none" }
+            );
+            let mut table = Table::new(
+                std::iter::once("clients".to_owned())
+                    .chain(Variant::ALL.iter().map(|v| v.name().to_owned()))
+                    .collect::<Vec<_>>(),
+            );
+            for &clients in &scale.client_counts() {
+                let mut row = vec![clients.to_string()];
+                for variant in Variant::ALL {
+                    let spec = ExperimentSpec::kv(variant, scale, clients, ops, failures);
+                    let result = run_experiment(&spec);
+                    row.push(format!("{:.0}", result.throughput_ops));
+                    let (median, p99) = result
+                        .latency
+                        .map(|s| (s.median, s.p99))
+                        .unwrap_or((f64::NAN, f64::NAN));
+                    csv.row(vec![
+                        ops.to_string(),
+                        failures.to_string(),
+                        clients.to_string(),
+                        variant.name().to_owned(),
+                        result.n.to_string(),
+                        format!("{:.1}", result.throughput_ops),
+                        format!("{:.2}", result.throughput_requests),
+                        format!("{median:.1}"),
+                        format!("{p99:.1}"),
+                        format!("{:.2}", result.fast_path_fraction),
+                    ]);
+                }
+                table.row(row);
+            }
+            println!("{}", table.render());
+        }
+    }
+    match write_csv(&csv, "fig2_throughput") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

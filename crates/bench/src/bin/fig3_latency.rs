@@ -1,0 +1,65 @@
+//! Regenerates **Figure 3** (latency vs throughput): the same 2×3 panel
+//! grid as Figure 2, reporting client-observed median latency against
+//! achieved throughput for every variant and client count.
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin fig3_latency
+//! [-- --scale small|medium|paper]`
+
+use sbft_bench::{run_experiment, write_csv, ExperimentSpec, Scale, Table, Variant};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = scale.f();
+    println!("== Figure 3: latency vs throughput (f={f}) ==\n");
+    let mut csv = Table::new(vec![
+        "batch",
+        "failures",
+        "clients",
+        "variant",
+        "throughput_ops_s",
+        "latency_median_ms",
+        "latency_p99_ms",
+    ]);
+    for &ops in &[64usize, 1] {
+        for &failures in &scale.failure_counts() {
+            println!(
+                "--- panel: batch={} failures={failures} ---",
+                if ops == 64 { "64" } else { "none" }
+            );
+            let mut table = Table::new(vec![
+                "variant", "clients", "throughput", "median_ms", "p99_ms",
+            ]);
+            for variant in Variant::ALL {
+                for &clients in &scale.client_counts() {
+                    let spec = ExperimentSpec::kv(variant, scale, clients, ops, failures);
+                    let result = run_experiment(&spec);
+                    let (median, p99) = result
+                        .latency
+                        .map(|s| (s.median, s.p99))
+                        .unwrap_or((f64::NAN, f64::NAN));
+                    table.row(vec![
+                        variant.name().to_owned(),
+                        clients.to_string(),
+                        format!("{:.0}", result.throughput_ops),
+                        format!("{median:.0}"),
+                        format!("{p99:.0}"),
+                    ]);
+                    csv.row(vec![
+                        ops.to_string(),
+                        failures.to_string(),
+                        clients.to_string(),
+                        variant.name().to_owned(),
+                        format!("{:.1}", result.throughput_ops),
+                        format!("{median:.1}"),
+                        format!("{p99:.1}"),
+                    ]);
+                }
+            }
+            println!("{}", table.render());
+        }
+    }
+    match write_csv(&csv, "fig3_latency") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates the **linearity** check (§II property 3): messages and
+//! bytes per committed request as the cluster grows, for SBFT vs PBFT.
+//! SBFT's per-request message count stays ~linear in n; PBFT's grows ~n².
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin linearity`
+
+use sbft_bench::{run_experiment, write_csv, ExperimentSpec, Scale, Table, TopologyKind, Variant};
+use sbft_sim::SimDuration;
+
+fn main() {
+    println!("== linearity: messages per committed request vs n ==\n");
+    let mut table = Table::new(vec![
+        "f", "n_sbft", "sbft msgs/req", "sbft bytes/req", "n_pbft", "pbft msgs/req",
+        "pbft bytes/req",
+    ]);
+    for f in [1usize, 2, 4, 8] {
+        let mut row: Vec<String> = vec![f.to_string()];
+        for variant in [Variant::SbftC0, Variant::Pbft] {
+            let mut spec = ExperimentSpec::kv(variant, Scale::Small, 8, 1, 0);
+            spec.f = f;
+            spec.topology = TopologyKind::Lan;
+            spec.warmup = SimDuration::from_secs(1);
+            spec.measure = SimDuration::from_secs(5);
+            let result = run_experiment(&spec);
+            row.push(result.n.to_string());
+            row.push(format!("{:.0}", result.msgs_per_request));
+            row.push(format!("{:.0}", result.bytes_per_request));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("SBFT per-request messages grow ~O(n); PBFT ~O(n^2).");
+    match write_csv(&table, "linearity") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates the **view-change stress test** (§V-G footnote 3: "we ran
+//! experiments ... doing tens of thousands of view changes, and have
+//! tests for Primaries sending partial, equivocating and/or stale
+//! information").
+//!
+//! Kills every successive primary on a schedule, mixes in Byzantine
+//! behaviours, and verifies that safety holds and progress resumes after
+//! every change.
+//!
+//! Usage: `cargo run --release -p sbft-bench --bin view_change_stress
+//! [-- --rounds N]`
+
+use sbft_core::{Behavior, Cluster, ClusterConfig, VariantFlags, Workload};
+use sbft_sim::{SimDuration, SimTime};
+
+fn rounds_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--rounds" {
+            if let Ok(n) = pair[1].parse() {
+                return n;
+            }
+        }
+    }
+    20
+}
+
+fn main() {
+    let rounds = rounds_from_args();
+    println!("== view-change stress: {rounds} runs with churn ==\n");
+    let mut total_view_changes = 0u64;
+    let mut total_completed = 0u64;
+    for round in 0..rounds {
+        let mut config = ClusterConfig::small(2, 0, VariantFlags::SBFT); // n=7
+        config.seed = 9_000 + round as u64;
+        config.clients = 3;
+        config.workload = Workload::KvPut {
+            requests: 20,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        // Byzantine flavour rotates per round.
+        match round % 3 {
+            0 => cluster.set_behavior(0, Behavior::EquivocatingPrimary),
+            1 => cluster.set_behavior(1, Behavior::StaleViewChange),
+            _ => {}
+        }
+        // Crash the first two primaries in succession (f=2 budget).
+        cluster
+            .sim
+            .schedule_crash(0, SimTime::ZERO + SimDuration::from_millis(15));
+        cluster
+            .sim
+            .schedule_crash(1, SimTime::ZERO + SimDuration::from_secs(3));
+        cluster.run_for(SimDuration::from_secs(120));
+        cluster.assert_agreement();
+        let vcs = cluster.sim.metrics().counter("view_changes_completed");
+        let completed = cluster.total_completed();
+        total_view_changes += vcs;
+        total_completed += completed;
+        assert!(completed > 0, "round {round}: no progress");
+        println!(
+            "round {round:>3}: view changes completed = {vcs:>3}, requests = {completed:>3}/60, safety OK"
+        );
+    }
+    println!("\ntotal view changes: {total_view_changes}");
+    println!("total requests    : {total_completed}");
+    println!("every run preserved agreement under primary churn.");
+}

@@ -1,0 +1,15 @@
+//! Experiment driver for the SBFT reproduction.
+//!
+//! Runs the five protocol variants of §IX on identical simulated
+//! substrates and extracts the measurements the paper reports. Each
+//! table/figure has a binary under `src/bin/` (see `DESIGN.md` §4 for the
+//! index); this library holds the shared machinery.
+
+pub mod driver;
+pub mod table;
+
+pub use driver::{
+    eth_workload, run_experiment, ExperimentResult, ExperimentSpec, Scale, ServiceKind,
+    TopologyKind, Variant,
+};
+pub use table::{write_csv, Table};

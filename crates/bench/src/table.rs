@@ -1,0 +1,136 @@
+//! Plain-text table rendering and CSV output for the figure binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table as CSV under `bench_results/`.
+///
+/// # Errors
+///
+/// Returns any filesystem error.
+pub fn write_csv(table: &Table, name: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("bench_results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let text = t.render();
+        assert!(text.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        // All lines same width structure.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The SBFT client (§V-A).
+//!
+//! Sends one request at a time (closed loop, as in §IX's measurements:
+//! "each client sequentially sends 1000 requests"). In single-ack mode the
+//! client accepts a *single* execute-ack — one message, one signature, one
+//! Merkle proof (ingredient 3). On timeout it falls back to broadcasting
+//! the request and waiting for `f+1` matching PBFT-style replies.
+
+use std::collections::HashMap;
+
+use sbft_types::{ClientId, Digest, ReplicaId, SeqNum};
+
+use sbft_crypto::{sha256, CryptoCostModel, KeyPair, Signature};
+use sbft_sim::{Context, Node, NodeId, SimDuration, SimTime};
+use sbft_statedb::{verify_execution, ExecutionProof, RawOp};
+
+use crate::config::ProtocolConfig;
+use crate::keys::{PublicKeys, DOMAIN_PI};
+use crate::messages::{ClientRequest, SbftMsg};
+
+const RETRY_TOKEN: u64 = 1;
+
+/// Lazily produces the `i`-th request's operation bytes; `None` ends the
+/// client's workload. Lazy generation keeps large benchmark workloads out
+/// of memory.
+pub type RequestSource = Box<dyn FnMut(u64) -> Option<RawOp>>;
+
+struct Outstanding {
+    timestamp: u64,
+    op: RawOp,
+    sent_at: SimTime,
+    reply_digests: HashMap<ReplicaId, Digest>,
+}
+
+/// A closed-loop SBFT client node.
+pub struct ClientNode {
+    config: ProtocolConfig,
+    id: ClientId,
+    keys: KeyPair,
+    public: std::rc::Rc<PublicKeys>,
+    cost: CryptoCostModel,
+    source: RequestSource,
+    next: u64,
+    timestamp: u64,
+    outstanding: Option<Outstanding>,
+    primary_guess: usize,
+    retry_timeout: SimDuration,
+    /// Completed request count.
+    pub completed: u64,
+    /// Latencies of completed requests, in milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Result bytes of the most recently completed request.
+    pub last_result: Vec<u8>,
+}
+
+impl ClientNode {
+    /// Creates a client that will issue requests from `source`
+    /// sequentially until it returns `None`.
+    pub fn new(
+        config: ProtocolConfig,
+        id: ClientId,
+        public: std::rc::Rc<PublicKeys>,
+        source: RequestSource,
+        retry_timeout: SimDuration,
+        cost: CryptoCostModel,
+    ) -> Self {
+        let keys = public.client_keys(id);
+        ClientNode {
+            config,
+            id,
+            keys,
+            public,
+            cost,
+            source,
+            next: 0,
+            timestamp: 0,
+            outstanding: None,
+            primary_guess: 0,
+            retry_timeout,
+            completed: 0,
+            latencies_ms: Vec::new(),
+            last_result: Vec::new(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        let Some(op) = (self.source)(self.next) else {
+            return;
+        };
+        self.next += 1;
+        self.timestamp += 1;
+        ctx.charge_cpu_ns(self.cost.sign_request());
+        let request = ClientRequest::signed(self.id, self.timestamp, op.clone(), &self.keys);
+        self.outstanding = Some(Outstanding {
+            timestamp: self.timestamp,
+            op,
+            sent_at: ctx.now(),
+            reply_digests: HashMap::new(),
+        });
+        ctx.send(self.primary_guess, SbftMsg::Request(request));
+        ctx.set_timer(self.retry_timeout, RETRY_TOKEN);
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, SbftMsg>, result: Vec<u8>) {
+        let outstanding = self.outstanding.take().expect("completing an active request");
+        let latency = (ctx.now() - outstanding.sent_at).as_millis_f64();
+        self.latencies_ms.push(latency);
+        self.completed += 1;
+        self.last_result = result;
+        ctx.record("latency_ms", latency);
+        ctx.incr("client_completed", 1);
+        self.send_next(ctx);
+    }
+
+    fn handle_execute_ack(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        index: u64,
+        timestamp: u64,
+        result: Vec<u8>,
+        digest: Digest,
+        pi: Signature,
+        proof: ExecutionProof,
+    ) {
+        let Some(outstanding) = &self.outstanding else {
+            return;
+        };
+        if outstanding.timestamp != timestamp {
+            return;
+        }
+        // One signature verification + one Merkle check (§V-A).
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.hash(64 * (proof.result_path.len() + 1)));
+        if !verify_execution(
+            &digest,
+            &outstanding.op,
+            &result,
+            seq,
+            index as usize,
+            &proof,
+        ) {
+            return;
+        }
+        self.complete(ctx, result);
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        replica: ReplicaId,
+        timestamp: u64,
+        result: Vec<u8>,
+    ) {
+        let needed = self.config.pi_threshold(); // f + 1
+        let Some(outstanding) = &mut self.outstanding else {
+            return;
+        };
+        if outstanding.timestamp != timestamp {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.verify_request());
+        let digest = sha256(&result);
+        outstanding.reply_digests.insert(replica, digest);
+        let matching = outstanding
+            .reply_digests
+            .values()
+            .filter(|d| **d == digest)
+            .count();
+        if matching >= needed {
+            self.complete(ctx, result);
+        }
+    }
+}
+
+impl Node<SbftMsg> for ClientNode {
+    sbft_sim::impl_node_any!();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
+        match msg {
+            SbftMsg::ExecuteAck {
+                seq,
+                index,
+                client,
+                timestamp,
+                result,
+                digest,
+                pi,
+                proof,
+            } if client == self.id => {
+                self.handle_execute_ack(ctx, seq, index, timestamp, result, digest, pi, proof)
+            }
+            SbftMsg::Reply {
+                replica,
+                client,
+                timestamp,
+                result,
+                ..
+            } if client == self.id => self.handle_reply(ctx, replica, timestamp, result),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, SbftMsg>) {
+        if token != RETRY_TOKEN {
+            return;
+        }
+        let Some(outstanding) = &self.outstanding else {
+            return;
+        };
+        // Timeout: broadcast to all replicas and ask for the f+1 path
+        // (§V-A: "the client resends the request to all replicas").
+        ctx.incr("client_retries", 1);
+        ctx.charge_cpu_ns(self.cost.sign_request());
+        let request = ClientRequest::signed(
+            self.id,
+            outstanding.timestamp,
+            outstanding.op.clone(),
+            &self.keys,
+        );
+        self.primary_guess = (self.primary_guess + 1) % self.n();
+        for r in 0..self.n() {
+            ctx.send(r, SbftMsg::Request(request.clone()));
+        }
+        ctx.set_timer(self.retry_timeout, RETRY_TOKEN);
+    }
+}

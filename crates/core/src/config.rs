@@ -1,0 +1,263 @@
+//! Protocol configuration: cluster parameters, quorum sizes, roles and
+//! collector selection (§V).
+
+use sbft_types::{Digest, ReplicaId, SeqNum, ViewNum};
+
+use sbft_crypto::sha256;
+use sbft_sim::SimDuration;
+
+/// Which protocol variant a cluster runs — the ablation axis of §IX.
+///
+/// Each variant adds one ingredient on top of the previous:
+/// Linear-PBFT (collector-based τ path) → + fast path (σ path) →
+/// + execution collectors with single-message client acks. Redundant
+/// servers (ingredient 4) are controlled independently by `c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantFlags {
+    /// Enable the σ fast path (ingredient 2).
+    pub fast_path: bool,
+    /// Single-message client acknowledgement via execution collectors
+    /// (ingredient 3); when false, every replica replies to clients and a
+    /// client waits for `f+1` matching replies.
+    pub single_client_ack: bool,
+}
+
+impl VariantFlags {
+    /// Linear-PBFT: collectors and threshold signatures only.
+    pub const LINEAR_PBFT: VariantFlags = VariantFlags {
+        fast_path: false,
+        single_client_ack: false,
+    };
+    /// Linear-PBFT plus the fast path.
+    pub const FAST_PATH: VariantFlags = VariantFlags {
+        fast_path: true,
+        single_client_ack: false,
+    };
+    /// Full SBFT: fast path and single-message client acks.
+    pub const SBFT: VariantFlags = VariantFlags {
+        fast_path: true,
+        single_client_ack: true,
+    };
+}
+
+/// Cluster-wide protocol configuration. `n = 3f + 2c + 1` (§II).
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Byzantine fault threshold `f`.
+    pub f: usize,
+    /// Redundant-server parameter `c` (ingredient 4; §I suggests
+    /// `c ≤ f/8` as a good heuristic).
+    pub c: usize,
+    /// Variant flags for the ablation.
+    pub flags: VariantFlags,
+    /// Log window `win` (§V-B; paper uses 256).
+    pub window: u64,
+    /// Maximum decision blocks in flight from the primary.
+    pub max_in_flight: usize,
+    /// Maximum client requests per decision block.
+    pub max_block_requests: usize,
+    /// Primary batch timer: propose a non-full block after this delay.
+    pub batch_delay: SimDuration,
+    /// Collector fast-path timeout: after τ is available, wait this long
+    /// for σ before falling back to linear PBFT (§V-E "Trigger").
+    pub fast_path_timeout: SimDuration,
+    /// Stagger between redundant collectors (§V: "we stagger the
+    /// collectors, so in most executions just one collector is active").
+    pub collector_stagger: SimDuration,
+    /// Base view-change timeout (doubles per consecutive view change).
+    pub view_timeout: SimDuration,
+    /// Checkpoint period (paper: `win/2`).
+    pub checkpoint_period: u64,
+    /// Entries per state-transfer chunk.
+    pub state_chunk_entries: usize,
+    /// Execution-pipeline parallelism: block execution runs on the
+    /// machine's spare cores (the paper's replicas have 32 VCPUs and a
+    /// separate execution stage, §VIII/§IX), so only `1/parallelism` of
+    /// its CPU cost lands on the message-processing core.
+    pub execution_parallelism: u64,
+}
+
+impl ProtocolConfig {
+    /// Creates a configuration for given `f`, `c` and variant flags with
+    /// WAN-appropriate defaults.
+    pub fn new(f: usize, c: usize, flags: VariantFlags) -> Self {
+        ProtocolConfig {
+            f,
+            c,
+            flags,
+            window: 256,
+            max_in_flight: 16,
+            max_block_requests: 64,
+            batch_delay: SimDuration::from_millis(5),
+            fast_path_timeout: SimDuration::from_millis(150),
+            collector_stagger: SimDuration::from_millis(60),
+            view_timeout: SimDuration::from_secs(2),
+            checkpoint_period: 128,
+            state_chunk_entries: 4096,
+            execution_parallelism: 16,
+        }
+    }
+
+    /// Total replicas `n = 3f + 2c + 1`.
+    pub fn n(&self) -> usize {
+        3 * self.f + 2 * self.c + 1
+    }
+
+    /// The σ fast-commit threshold, `3f + c + 1`.
+    pub fn sigma_threshold(&self) -> usize {
+        3 * self.f + self.c + 1
+    }
+
+    /// The τ slow-path threshold, `2f + c + 1`.
+    pub fn tau_threshold(&self) -> usize {
+        2 * self.f + self.c + 1
+    }
+
+    /// The π execution threshold, `f + 1`.
+    pub fn pi_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// View-change quorum, `2f + 2c + 1` (§V-G).
+    pub fn view_change_quorum(&self) -> usize {
+        2 * self.f + 2 * self.c + 1
+    }
+
+    /// The round-robin primary of a view (§V-B).
+    pub fn primary(&self, view: ViewNum) -> ReplicaId {
+        view.primary(self.n())
+    }
+
+    /// The `c+1` commit collectors for `(seq, view)`: a pseudo-random
+    /// group of non-primary replicas, with the primary appended as the
+    /// last, fallback collector (§V-E).
+    pub fn c_collectors(&self, seq: SeqNum, view: ViewNum) -> Vec<ReplicaId> {
+        let mut collectors = self.pick_collectors(b"c-coll", seq, view, self.c + 1);
+        collectors.push(self.primary(view));
+        collectors
+    }
+
+    /// The `c+1` execution collectors for `(seq, view)` (§V-B).
+    pub fn e_collectors(&self, seq: SeqNum, view: ViewNum) -> Vec<ReplicaId> {
+        self.pick_collectors(b"e-coll", seq, view, self.c + 1)
+    }
+
+    fn pick_collectors(
+        &self,
+        domain: &[u8],
+        seq: SeqNum,
+        view: ViewNum,
+        count: usize,
+    ) -> Vec<ReplicaId> {
+        let n = self.n();
+        let primary = self.primary(view).as_usize();
+        // Deterministic pseudo-random permutation seeded by (domain, seq,
+        // view): hash-ranked selection over non-primary replicas.
+        let mut ranked: Vec<(Digest, usize)> = (0..n)
+            .filter(|&r| r != primary)
+            .map(|r| {
+                let mut material = Vec::with_capacity(domain.len() + 24);
+                material.extend_from_slice(domain);
+                material.extend_from_slice(&seq.get().to_le_bytes());
+                material.extend_from_slice(&view.get().to_le_bytes());
+                material.extend_from_slice(&(r as u64).to_le_bytes());
+                (sha256(&material), r)
+            })
+            .collect();
+        ranked.sort();
+        ranked
+            .into_iter()
+            .take(count.min(n.saturating_sub(1)))
+            .map(|(_, r)| ReplicaId::new(r as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(f: usize, c: usize) -> ProtocolConfig {
+        ProtocolConfig::new(f, c, VariantFlags::SBFT)
+    }
+
+    #[test]
+    fn paper_cluster_sizes() {
+        // §IX: f=64, c=0 → n=193; c=8 → n=209.
+        assert_eq!(cfg(64, 0).n(), 193);
+        assert_eq!(cfg(64, 8).n(), 209);
+        // Figure 1: n=4, f=1, c=0.
+        assert_eq!(cfg(1, 0).n(), 4);
+    }
+
+    #[test]
+    fn thresholds_match_section_v() {
+        let config = cfg(2, 1); // n = 9
+        assert_eq!(config.n(), 9);
+        assert_eq!(config.sigma_threshold(), 8);
+        assert_eq!(config.tau_threshold(), 6);
+        assert_eq!(config.pi_threshold(), 3);
+        assert_eq!(config.view_change_quorum(), 7);
+    }
+
+    #[test]
+    fn primary_rotates() {
+        let config = cfg(1, 0);
+        assert_eq!(config.primary(ViewNum::new(0)), ReplicaId::new(0));
+        assert_eq!(config.primary(ViewNum::new(5)), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn collectors_exclude_primary_and_are_deterministic() {
+        let config = cfg(2, 2); // n = 13, c+1 = 3 collectors
+        let view = ViewNum::new(0);
+        for s in 1..50u64 {
+            let seq = SeqNum::new(s);
+            let cs = config.c_collectors(seq, view);
+            assert_eq!(cs.len(), 4); // c+1 pseudo-random + primary fallback
+            assert_eq!(*cs.last().unwrap(), config.primary(view));
+            // The pseudo-random part excludes the primary.
+            assert!(cs[..3].iter().all(|r| *r != config.primary(view)));
+            // Distinct members.
+            let mut sorted: Vec<_> = cs[..3].to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+            assert_eq!(cs, config.c_collectors(seq, view));
+            let es = config.e_collectors(seq, view);
+            assert_eq!(es.len(), 3);
+            assert!(es.iter().all(|r| *r != config.primary(view)));
+        }
+    }
+
+    #[test]
+    fn collector_selection_spreads_load() {
+        // Over many sequences, most replicas serve as collector sometimes
+        // ("by choosing a different C-collector group for each decision
+        // block, we balance the load over all replicas", §V).
+        let config = cfg(2, 1); // n = 9
+        let view = ViewNum::new(0);
+        let mut seen = vec![0usize; config.n()];
+        for s in 1..=200u64 {
+            for r in config.c_collectors(SeqNum::new(s), view) {
+                seen[r.as_usize()] += 1;
+            }
+        }
+        let non_primary_seen = seen
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != config.primary(view).as_usize())
+            .filter(|(_, &count)| count > 0)
+            .count();
+        assert_eq!(non_primary_seen, config.n() - 1, "counts: {seen:?}");
+    }
+
+    #[test]
+    fn collectors_change_with_view_and_seq() {
+        let config = cfg(2, 2);
+        let a = config.c_collectors(SeqNum::new(1), ViewNum::new(0));
+        let b = config.c_collectors(SeqNum::new(2), ViewNum::new(0));
+        let c = config.c_collectors(SeqNum::new(1), ViewNum::new(1));
+        assert!(a != b || a != c, "selection should vary");
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster key material: the three threshold schemes σ/τ/π (§V) plus
+//! simulated PKI keys for clients and replicas.
+
+use std::rc::Rc;
+
+use sbft_types::ClientId;
+
+use sbft_crypto::{
+    generate_threshold_keys, KeyPair, SecretKeyShare, ThresholdPublicKey,
+};
+
+use crate::config::ProtocolConfig;
+
+/// Domain-separation tags for the three schemes.
+pub const DOMAIN_SIGMA: &[u8] = b"sbft-sigma";
+/// Domain tag for τ signatures (both levels of the slow path).
+pub const DOMAIN_TAU: &[u8] = b"sbft-tau";
+/// Domain tag for π (execution/checkpoint) signatures.
+pub const DOMAIN_PI: &[u8] = b"sbft-pi";
+
+/// Public key material every replica and client holds.
+#[derive(Debug, Clone)]
+pub struct PublicKeys {
+    /// σ scheme: threshold `3f + c + 1`.
+    pub sigma: ThresholdPublicKey,
+    /// τ scheme: threshold `2f + c + 1`.
+    pub tau: ThresholdPublicKey,
+    /// π scheme: threshold `f + 1`.
+    pub pi: ThresholdPublicKey,
+    /// Master seed for deriving client PKI keys (simulated PKI — see
+    /// `sbft_crypto::KeyPair`).
+    pki_seed: u64,
+}
+
+impl PublicKeys {
+    /// Derives the PKI key pair of a client (replicas use this to verify
+    /// request signatures; the simulation's stand-in for a real PKI).
+    pub fn client_keys(&self, client: ClientId) -> KeyPair {
+        KeyPair::derive(self.pki_seed, b"client", client.get())
+    }
+}
+
+/// One replica's secret key shares.
+#[derive(Debug, Clone)]
+pub struct ReplicaKeys {
+    /// Share of the σ scheme.
+    pub sigma: SecretKeyShare,
+    /// Share of the τ scheme.
+    pub tau: SecretKeyShare,
+    /// Share of the π scheme.
+    pub pi: SecretKeyShare,
+}
+
+/// Full cluster key material as dealt at setup.
+#[derive(Debug, Clone)]
+pub struct KeyMaterial {
+    /// Shared public material.
+    pub public: Rc<PublicKeys>,
+    /// Per-replica secret shares, indexed by replica.
+    pub replicas: Vec<ReplicaKeys>,
+}
+
+impl KeyMaterial {
+    /// Deals keys for a cluster (trusted dealer, as in the paper's setup
+    /// assumption of a PKI plus threshold keys, §III).
+    pub fn generate(config: &ProtocolConfig, seed: u64) -> KeyMaterial {
+        let n = config.n();
+        let (sigma_pub, sigma_shares) =
+            generate_threshold_keys(n, config.sigma_threshold(), seed ^ 0x5167);
+        let (tau_pub, tau_shares) =
+            generate_threshold_keys(n, config.tau_threshold(), seed ^ 0x7a75);
+        let (pi_pub, pi_shares) = generate_threshold_keys(n, config.pi_threshold(), seed ^ 0x9190);
+        let replicas = sigma_shares
+            .into_iter()
+            .zip(tau_shares)
+            .zip(pi_shares)
+            .map(|((sigma, tau), pi)| ReplicaKeys { sigma, tau, pi })
+            .collect();
+        KeyMaterial {
+            public: Rc::new(PublicKeys {
+                sigma: sigma_pub,
+                tau: tau_pub,
+                pi: pi_pub,
+                pki_seed: seed,
+            }),
+            replicas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariantFlags;
+    use sbft_crypto::sha256;
+
+    #[test]
+    fn thresholds_wired_correctly() {
+        let config = ProtocolConfig::new(2, 1, VariantFlags::SBFT); // n=9
+        let keys = KeyMaterial::generate(&config, 42);
+        assert_eq!(keys.replicas.len(), 9);
+        assert_eq!(keys.public.sigma.threshold(), 8);
+        assert_eq!(keys.public.tau.threshold(), 6);
+        assert_eq!(keys.public.pi.threshold(), 3);
+    }
+
+    #[test]
+    fn shares_sign_and_combine_per_scheme() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT); // n=4
+        let keys = KeyMaterial::generate(&config, 7);
+        let d = sha256(b"block");
+        let shares: Vec<_> = keys
+            .replicas
+            .iter()
+            .map(|r| r.sigma.sign(DOMAIN_SIGMA, &d))
+            .collect();
+        let sig = keys.public.sigma.combine(DOMAIN_SIGMA, &d, &shares).unwrap();
+        assert!(keys.public.sigma.verify(DOMAIN_SIGMA, &d, &sig));
+        // σ shares do not verify under τ (schemes are independent).
+        assert!(!keys.public.tau.verify_share(DOMAIN_TAU, &d, &shares[0]));
+    }
+
+    #[test]
+    fn client_keys_verify_their_own_signatures() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 7);
+        let alice = keys.public.client_keys(ClientId::new(1));
+        let sig = alice.sign(b"request");
+        assert!(alice.verify(b"request", &sig));
+        let bob = keys.public.client_keys(ClientId::new(2));
+        assert!(!bob.verify(b"request", &sig));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let a = KeyMaterial::generate(&config, 7);
+        let b = KeyMaterial::generate(&config, 7);
+        assert_eq!(a.public.sigma.public_key(), b.public.sigma.public_key());
+        let c = KeyMaterial::generate(&config, 8);
+        assert_ne!(a.public.sigma.public_key(), c.public.sigma.public_key());
+    }
+}

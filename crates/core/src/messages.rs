@@ -1,0 +1,1036 @@
+//! SBFT protocol messages (§V), with wire encodings for exact size
+//! accounting and labels for per-type metrics.
+
+use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum};
+
+use sbft_crypto::{sha256_concat, KeyPair, Signature, SignatureShare};
+use sbft_sim::SimMessage;
+use sbft_statedb::{ExecutionProof, RawOp, StateChunk};
+use sbft_wire::{ClientSignature, DecodeError, Decoder, Encoder, Wire};
+
+/// A signed client request (`⟨"request", o, t, k⟩`, §V-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// Issuing client.
+    pub client: ClientId,
+    /// The client's strictly monotone timestamp.
+    pub timestamp: u64,
+    /// The service operation (opaque to the replication engine).
+    pub op: RawOp,
+    /// RSA-2048-modeled signature over `(client, timestamp, op)`.
+    pub signature: ClientSignature,
+}
+
+impl ClientRequest {
+    fn signed_payload(client: ClientId, timestamp: u64, op: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(op.len() + 16);
+        payload.extend_from_slice(&client.get().to_le_bytes());
+        payload.extend_from_slice(&timestamp.to_le_bytes());
+        payload.extend_from_slice(op);
+        payload
+    }
+
+    /// Creates and signs a request.
+    pub fn signed(client: ClientId, timestamp: u64, op: RawOp, keys: &KeyPair) -> Self {
+        let signature = ClientSignature(keys.sign(&Self::signed_payload(client, timestamp, &op)));
+        ClientRequest {
+            client,
+            timestamp,
+            op,
+            signature,
+        }
+    }
+
+    /// Verifies the request signature against the client's key.
+    pub fn verify(&self, keys: &KeyPair) -> bool {
+        keys.verify(
+            &Self::signed_payload(self.client, self.timestamp, &self.op),
+            &self.signature.0,
+        )
+    }
+}
+
+impl Wire for ClientRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.client.encode(enc);
+        enc.put_u64(self.timestamp);
+        enc.put_bytes(&self.op);
+        self.signature.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ClientRequest {
+            client: ClientId::decode(dec)?,
+            timestamp: dec.get_u64()?,
+            op: dec.get_bytes()?.to_vec(),
+            signature: ClientSignature::decode(dec)?,
+        })
+    }
+}
+
+/// The decision-block hash `h = H(s||v||r)` (§V-C), over the full signed
+/// client requests.
+pub fn block_digest(seq: SeqNum, view: ViewNum, requests: &[ClientRequest]) -> Digest {
+    let mut enc = Encoder::new();
+    encode_requests(&mut enc, requests);
+    sha256_concat(&[
+        b"sbft-h|",
+        &seq.get().to_le_bytes(),
+        &view.get().to_le_bytes(),
+        enc.into_bytes().as_slice(),
+    ])
+}
+
+/// The digest signed by the second-level τ shares of the linear-PBFT
+/// commit phase. The paper signs `τ(τ(h))`; we bind the second signature
+/// to `(seq, view, h)` directly, which carries the same evidence: honest
+/// replicas produce this share only after verifying a valid `τ(h)`.
+pub fn commit2_digest(seq: SeqNum, view: ViewNum, h: &Digest) -> Digest {
+    sha256_concat(&[
+        b"sbft-commit2|",
+        &seq.get().to_le_bytes(),
+        &view.get().to_le_bytes(),
+        h.as_bytes(),
+    ])
+}
+
+/// A commit certificate: proof that a block committed (either path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitCert {
+    /// σ(h) from the fast path.
+    Fast(Signature),
+    /// The second-level τ signature from the linear-PBFT path.
+    Slow(Signature),
+}
+
+impl Wire for CommitCert {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            CommitCert::Fast(s) => {
+                enc.put_u8(0);
+                s.encode(enc);
+            }
+            CommitCert::Slow(s) => {
+                enc.put_u8(1);
+                s.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(CommitCert::Fast(Signature::decode(dec)?)),
+            1 => Ok(CommitCert::Slow(Signature::decode(dec)?)),
+            _ => Err(DecodeError::InvalidValue { what: "cert tag" }),
+        }
+    }
+}
+
+/// Slow-path (τ) evidence for one log slot in a view change (`lm_j`, §V-G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlowEvidence {
+    /// "no commit".
+    None,
+    /// A full prepare certificate `(τ(h), v)` with the block it covers.
+    Prepared {
+        /// The view of the prepare.
+        view: ViewNum,
+        /// τ(h).
+        tau: Signature,
+        /// The block whose hash is `h = H(j||view||requests)`.
+        requests: Vec<ClientRequest>,
+    },
+    /// A full slow commit proof `τ(τ(h))`.
+    CommittedSlow {
+        /// The view of the commit.
+        view: ViewNum,
+        /// The second-level τ signature.
+        tau2: Signature,
+        /// The committed block.
+        requests: Vec<ClientRequest>,
+    },
+}
+
+/// Fast-path (σ) evidence for one log slot in a view change (`fm_j`, §V-G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastEvidence {
+    /// "no pre-prepare".
+    None,
+    /// The replica's own σ share on the highest pre-prepare it accepted.
+    PrePrepared {
+        /// View of the accepted pre-prepare.
+        view: ViewNum,
+        /// σ_i(h).
+        share: SignatureShare,
+        /// The pre-prepared block.
+        requests: Vec<ClientRequest>,
+    },
+    /// A full fast commit proof σ(h).
+    CommittedFast {
+        /// View of the commit.
+        view: ViewNum,
+        /// σ(h).
+        sigma: Signature,
+        /// The committed block.
+        requests: Vec<ClientRequest>,
+    },
+}
+
+impl Wire for SlowEvidence {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SlowEvidence::None => enc.put_u8(0),
+            SlowEvidence::Prepared {
+                view,
+                tau,
+                requests,
+            } => {
+                enc.put_u8(1);
+                view.encode(enc);
+                tau.encode(enc);
+                encode_requests(enc, requests);
+            }
+            SlowEvidence::CommittedSlow {
+                view,
+                tau2,
+                requests,
+            } => {
+                enc.put_u8(2);
+                view.encode(enc);
+                tau2.encode(enc);
+                encode_requests(enc, requests);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(SlowEvidence::None),
+            1 => Ok(SlowEvidence::Prepared {
+                view: ViewNum::decode(dec)?,
+                tau: Signature::decode(dec)?,
+                requests: decode_requests(dec)?,
+            }),
+            2 => Ok(SlowEvidence::CommittedSlow {
+                view: ViewNum::decode(dec)?,
+                tau2: Signature::decode(dec)?,
+                requests: decode_requests(dec)?,
+            }),
+            _ => Err(DecodeError::InvalidValue {
+                what: "slow evidence tag",
+            }),
+        }
+    }
+}
+
+impl Wire for FastEvidence {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            FastEvidence::None => enc.put_u8(0),
+            FastEvidence::PrePrepared {
+                view,
+                share,
+                requests,
+            } => {
+                enc.put_u8(1);
+                view.encode(enc);
+                share.encode(enc);
+                encode_requests(enc, requests);
+            }
+            FastEvidence::CommittedFast {
+                view,
+                sigma,
+                requests,
+            } => {
+                enc.put_u8(2);
+                view.encode(enc);
+                sigma.encode(enc);
+                encode_requests(enc, requests);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(FastEvidence::None),
+            1 => Ok(FastEvidence::PrePrepared {
+                view: ViewNum::decode(dec)?,
+                share: SignatureShare::decode(dec)?,
+                requests: decode_requests(dec)?,
+            }),
+            2 => Ok(FastEvidence::CommittedFast {
+                view: ViewNum::decode(dec)?,
+                sigma: Signature::decode(dec)?,
+                requests: decode_requests(dec)?,
+            }),
+            _ => Err(DecodeError::InvalidValue {
+                what: "fast evidence tag",
+            }),
+        }
+    }
+}
+
+fn encode_requests(enc: &mut Encoder, requests: &[ClientRequest]) {
+    enc.put_varint(requests.len() as u64);
+    for r in requests {
+        r.encode(enc);
+    }
+}
+
+fn decode_requests(dec: &mut Decoder<'_>) -> Result<Vec<ClientRequest>, DecodeError> {
+    let count = dec.get_varint()? as usize;
+    if count > dec.remaining() {
+        return Err(DecodeError::UnexpectedEof {
+            needed: count,
+            remaining: dec.remaining(),
+        });
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        requests.push(ClientRequest::decode(dec)?);
+    }
+    Ok(requests)
+}
+
+/// One slot's evidence pair `x_j = (lm_j, fm_j)` in a view change (§V-G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcEntry {
+    /// The log slot.
+    pub seq: SeqNum,
+    /// Slow-path evidence.
+    pub slow: SlowEvidence,
+    /// Fast-path evidence.
+    pub fast: FastEvidence,
+}
+
+impl Wire for VcEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.seq.encode(enc);
+        self.slow.encode(enc);
+        self.fast.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(VcEntry {
+            seq: SeqNum::decode(dec)?,
+            slow: SlowEvidence::decode(dec)?,
+            fast: FastEvidence::decode(dec)?,
+        })
+    }
+}
+
+/// A view-change message (§V-G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChangeMsg {
+    /// Sender.
+    pub from: ReplicaId,
+    /// The view being proposed (`v + 1` or higher).
+    pub new_view: ViewNum,
+    /// Sender's last stable sequence `ls`.
+    pub last_stable: SeqNum,
+    /// `π(d_ls)` checkpoint proof with the signed digest (absent at
+    /// `ls = 0`).
+    pub checkpoint: Option<(Digest, Signature)>,
+    /// Evidence for slots above `ls`.
+    pub entries: Vec<VcEntry>,
+}
+
+impl Wire for ViewChangeMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        self.from.encode(enc);
+        self.new_view.encode(enc);
+        self.last_stable.encode(enc);
+        self.checkpoint.encode(enc);
+        enc.put_varint(self.entries.len() as u64);
+        for e in &self.entries {
+            e.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let from = ReplicaId::decode(dec)?;
+        let new_view = ViewNum::decode(dec)?;
+        let last_stable = SeqNum::decode(dec)?;
+        let checkpoint = Option::<(Digest, Signature)>::decode(dec)?;
+        let count = dec.get_varint()? as usize;
+        if count > dec.remaining() {
+            return Err(DecodeError::UnexpectedEof {
+                needed: count,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(VcEntry::decode(dec)?);
+        }
+        Ok(ViewChangeMsg {
+            from,
+            new_view,
+            last_stable,
+            checkpoint,
+            entries,
+        })
+    }
+}
+
+/// The new-view message: the primary's view-change quorum, from which every
+/// replica repeats the same deterministic computation (§VII).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewViewMsg {
+    /// The view being installed.
+    pub view: ViewNum,
+    /// `2f + 2c + 1` view-change messages.
+    pub view_changes: Vec<ViewChangeMsg>,
+}
+
+impl Wire for NewViewMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        self.view.encode(enc);
+        enc.put_varint(self.view_changes.len() as u64);
+        for vc in &self.view_changes {
+            vc.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let view = ViewNum::decode(dec)?;
+        let count = dec.get_varint()? as usize;
+        if count > dec.remaining() {
+            return Err(DecodeError::UnexpectedEof {
+                needed: count,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut view_changes = Vec::with_capacity(count);
+        for _ in 0..count {
+            view_changes.push(ViewChangeMsg::decode(dec)?);
+        }
+        Ok(NewViewMsg { view, view_changes })
+    }
+}
+
+/// All SBFT protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SbftMsg {
+    /// Client → primary (or broadcast on retry).
+    Request(ClientRequest),
+    /// Primary → replicas: a decision block proposal (§V-C).
+    PrePrepare {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// The block `r = (r_1, ..., r_b)`.
+        requests: Vec<ClientRequest>,
+    },
+    /// Replica → C-collectors: σ and τ shares on `h` (§V-C/§V-E; the σ
+    /// share is omitted when the fast path is disabled).
+    SignShare {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// σ_i(h), for the fast path.
+        sigma: Option<SignatureShare>,
+        /// τ_i(h), for the linear-PBFT path.
+        tau: SignatureShare,
+    },
+    /// C-collector → replicas: the fast commit proof σ(h).
+    FullCommitProof {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// σ(h) (threshold- or multisig-combined; receivers accept both).
+        sigma: Signature,
+    },
+    /// C-collector → replicas: τ(h), the linear-PBFT prepare certificate.
+    Prepare {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// τ(h).
+        tau: Signature,
+    },
+    /// Replica → C-collectors: second-level τ share (linear-PBFT commit).
+    CommitShare {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// τ_i over [`commit2_digest`].
+        share: SignatureShare,
+    },
+    /// C-collector → replicas: the slow commit proof.
+    FullCommitProofSlow {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View.
+        view: ViewNum,
+        /// The second-level τ signature.
+        tau2: Signature,
+    },
+    /// Replica → E-collectors: π share on the post-execution state digest
+    /// (§V-D).
+    SignState {
+        /// Executed sequence number.
+        seq: SeqNum,
+        /// The state digest `d = digest(D_s)` being signed.
+        digest: Digest,
+        /// π_i(d).
+        share: SignatureShare,
+    },
+    /// E-collector → replicas: the execution certificate π(d).
+    FullExecuteProof {
+        /// Sequence number.
+        seq: SeqNum,
+        /// The certified state digest.
+        digest: Digest,
+        /// π(d).
+        pi: Signature,
+    },
+    /// E-collector → client: single-message acknowledgement (§V-D).
+    ExecuteAck {
+        /// Block sequence number.
+        seq: SeqNum,
+        /// Position of the operation in the block (`l`).
+        index: u64,
+        /// The acknowledged client.
+        client: ClientId,
+        /// Echo of the request timestamp.
+        timestamp: u64,
+        /// Operation output `val`.
+        result: Vec<u8>,
+        /// The state digest `d`.
+        digest: Digest,
+        /// π(d).
+        pi: Signature,
+        /// Merkle proof that the operation executed with this output.
+        proof: ExecutionProof,
+    },
+    /// Replica → client: direct reply (PBFT-style `f+1` path, used by the
+    /// non-single-ack variants and the client fallback).
+    Reply {
+        /// Block sequence number.
+        seq: SeqNum,
+        /// The replying replica.
+        replica: ReplicaId,
+        /// The client.
+        client: ClientId,
+        /// Echo of the request timestamp.
+        timestamp: u64,
+        /// Operation output.
+        result: Vec<u8>,
+        /// Modeled replica signature on the reply.
+        signature: ClientSignature,
+    },
+    /// View change (§V-G).
+    ViewChange(ViewChangeMsg),
+    /// New view (§V-G).
+    NewView(NewViewMsg),
+    /// Lagging replica → peer: request state transfer (§VIII).
+    StateRequest {
+        /// Requester's last executed sequence.
+        last_executed: SeqNum,
+    },
+    /// Peer → lagging replica: one chunk of a checkpoint snapshot, with
+    /// the π certificate binding `(seq, state_root, results_root)`.
+    StateChunkMsg {
+        /// The chunk.
+        chunk: StateChunk,
+        /// State root at the checkpoint.
+        state_root: Digest,
+        /// Results root of the checkpoint block.
+        results_root: Digest,
+        /// π over the combined state digest.
+        pi: Signature,
+    },
+    /// Peer → lagging replica: a committed block above the checkpoint.
+    BlockFill {
+        /// Sequence number.
+        seq: SeqNum,
+        /// View the block committed in (part of `h`).
+        view: ViewNum,
+        /// The block.
+        requests: Vec<ClientRequest>,
+        /// Its commit certificate.
+        cert: CommitCert,
+    },
+}
+
+impl Wire for SbftMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SbftMsg::Request(r) => {
+                enc.put_u8(0);
+                r.encode(enc);
+            }
+            SbftMsg::PrePrepare {
+                seq,
+                view,
+                requests,
+            } => {
+                enc.put_u8(1);
+                seq.encode(enc);
+                view.encode(enc);
+                encode_requests(enc, requests);
+            }
+            SbftMsg::SignShare {
+                seq,
+                view,
+                sigma,
+                tau,
+            } => {
+                enc.put_u8(2);
+                seq.encode(enc);
+                view.encode(enc);
+                sigma.encode(enc);
+                tau.encode(enc);
+            }
+            SbftMsg::FullCommitProof { seq, view, sigma } => {
+                enc.put_u8(3);
+                seq.encode(enc);
+                view.encode(enc);
+                sigma.encode(enc);
+            }
+            SbftMsg::Prepare { seq, view, tau } => {
+                enc.put_u8(4);
+                seq.encode(enc);
+                view.encode(enc);
+                tau.encode(enc);
+            }
+            SbftMsg::CommitShare { seq, view, share } => {
+                enc.put_u8(5);
+                seq.encode(enc);
+                view.encode(enc);
+                share.encode(enc);
+            }
+            SbftMsg::FullCommitProofSlow { seq, view, tau2 } => {
+                enc.put_u8(6);
+                seq.encode(enc);
+                view.encode(enc);
+                tau2.encode(enc);
+            }
+            SbftMsg::SignState { seq, digest, share } => {
+                enc.put_u8(7);
+                seq.encode(enc);
+                digest.encode(enc);
+                share.encode(enc);
+            }
+            SbftMsg::FullExecuteProof { seq, digest, pi } => {
+                enc.put_u8(8);
+                seq.encode(enc);
+                digest.encode(enc);
+                pi.encode(enc);
+            }
+            SbftMsg::ExecuteAck {
+                seq,
+                index,
+                client,
+                timestamp,
+                result,
+                digest,
+                pi,
+                proof,
+            } => {
+                enc.put_u8(9);
+                seq.encode(enc);
+                enc.put_varint(*index);
+                client.encode(enc);
+                enc.put_u64(*timestamp);
+                enc.put_bytes(result);
+                digest.encode(enc);
+                pi.encode(enc);
+                proof.state_root.encode(enc);
+                proof.result_path.encode(enc);
+            }
+            SbftMsg::Reply {
+                seq,
+                replica,
+                client,
+                timestamp,
+                result,
+                signature,
+            } => {
+                enc.put_u8(10);
+                seq.encode(enc);
+                replica.encode(enc);
+                client.encode(enc);
+                enc.put_u64(*timestamp);
+                enc.put_bytes(result);
+                signature.encode(enc);
+            }
+            SbftMsg::ViewChange(vc) => {
+                enc.put_u8(11);
+                vc.encode(enc);
+            }
+            SbftMsg::NewView(nv) => {
+                enc.put_u8(12);
+                nv.encode(enc);
+            }
+            SbftMsg::StateRequest { last_executed } => {
+                enc.put_u8(13);
+                last_executed.encode(enc);
+            }
+            SbftMsg::StateChunkMsg {
+                chunk,
+                state_root,
+                results_root,
+                pi,
+            } => {
+                enc.put_u8(14);
+                chunk.seq.encode(enc);
+                enc.put_u32(chunk.index);
+                enc.put_u32(chunk.total);
+                enc.put_varint(chunk.entries.len() as u64);
+                for (k, v) in &chunk.entries {
+                    enc.put_bytes(k);
+                    enc.put_bytes(v);
+                }
+                state_root.encode(enc);
+                results_root.encode(enc);
+                pi.encode(enc);
+            }
+            SbftMsg::BlockFill {
+                seq,
+                view,
+                requests,
+                cert,
+            } => {
+                enc.put_u8(15);
+                seq.encode(enc);
+                view.encode(enc);
+                encode_requests(enc, requests);
+                cert.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(SbftMsg::Request(ClientRequest::decode(dec)?)),
+            1 => Ok(SbftMsg::PrePrepare {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                requests: decode_requests(dec)?,
+            }),
+            2 => Ok(SbftMsg::SignShare {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                sigma: Option::<SignatureShare>::decode(dec)?,
+                tau: SignatureShare::decode(dec)?,
+            }),
+            3 => Ok(SbftMsg::FullCommitProof {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                sigma: Signature::decode(dec)?,
+            }),
+            4 => Ok(SbftMsg::Prepare {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                tau: Signature::decode(dec)?,
+            }),
+            5 => Ok(SbftMsg::CommitShare {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                share: SignatureShare::decode(dec)?,
+            }),
+            6 => Ok(SbftMsg::FullCommitProofSlow {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                tau2: Signature::decode(dec)?,
+            }),
+            7 => Ok(SbftMsg::SignState {
+                seq: SeqNum::decode(dec)?,
+                digest: Digest::decode(dec)?,
+                share: SignatureShare::decode(dec)?,
+            }),
+            8 => Ok(SbftMsg::FullExecuteProof {
+                seq: SeqNum::decode(dec)?,
+                digest: Digest::decode(dec)?,
+                pi: Signature::decode(dec)?,
+            }),
+            9 => Ok(SbftMsg::ExecuteAck {
+                seq: SeqNum::decode(dec)?,
+                index: dec.get_varint()?,
+                client: ClientId::decode(dec)?,
+                timestamp: dec.get_u64()?,
+                result: dec.get_bytes()?.to_vec(),
+                digest: Digest::decode(dec)?,
+                pi: Signature::decode(dec)?,
+                proof: ExecutionProof {
+                    state_root: Digest::decode(dec)?,
+                    result_path: sbft_crypto::MerkleProof::decode(dec)?,
+                },
+            }),
+            10 => Ok(SbftMsg::Reply {
+                seq: SeqNum::decode(dec)?,
+                replica: ReplicaId::decode(dec)?,
+                client: ClientId::decode(dec)?,
+                timestamp: dec.get_u64()?,
+                result: dec.get_bytes()?.to_vec(),
+                signature: ClientSignature::decode(dec)?,
+            }),
+            11 => Ok(SbftMsg::ViewChange(ViewChangeMsg::decode(dec)?)),
+            12 => Ok(SbftMsg::NewView(NewViewMsg::decode(dec)?)),
+            13 => Ok(SbftMsg::StateRequest {
+                last_executed: SeqNum::decode(dec)?,
+            }),
+            14 => {
+                let seq = SeqNum::decode(dec)?;
+                let index = dec.get_u32()?;
+                let total = dec.get_u32()?;
+                let count = dec.get_varint()? as usize;
+                if count > dec.remaining() {
+                    return Err(DecodeError::UnexpectedEof {
+                        needed: count,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = dec.get_bytes()?.to_vec();
+                    let v = dec.get_bytes()?.to_vec();
+                    entries.push((k, v));
+                }
+                Ok(SbftMsg::StateChunkMsg {
+                    chunk: StateChunk {
+                        seq,
+                        index,
+                        total,
+                        entries,
+                    },
+                    state_root: Digest::decode(dec)?,
+                    results_root: Digest::decode(dec)?,
+                    pi: Signature::decode(dec)?,
+                })
+            }
+            15 => Ok(SbftMsg::BlockFill {
+                seq: SeqNum::decode(dec)?,
+                view: ViewNum::decode(dec)?,
+                requests: decode_requests(dec)?,
+                cert: CommitCert::decode(dec)?,
+            }),
+            _ => Err(DecodeError::InvalidValue { what: "SbftMsg tag" }),
+        }
+    }
+}
+
+impl SimMessage for SbftMsg {
+    fn wire_size(&self) -> usize {
+        self.wire_len()
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            SbftMsg::Request(_) => "request",
+            SbftMsg::PrePrepare { .. } => "pre-prepare",
+            SbftMsg::SignShare { .. } => "sign-share",
+            SbftMsg::FullCommitProof { .. } => "full-commit-proof",
+            SbftMsg::Prepare { .. } => "prepare",
+            SbftMsg::CommitShare { .. } => "commit",
+            SbftMsg::FullCommitProofSlow { .. } => "full-commit-proof-slow",
+            SbftMsg::SignState { .. } => "sign-state",
+            SbftMsg::FullExecuteProof { .. } => "full-execute-proof",
+            SbftMsg::ExecuteAck { .. } => "execute-ack",
+            SbftMsg::Reply { .. } => "reply",
+            SbftMsg::ViewChange(_) => "view-change",
+            SbftMsg::NewView(_) => "new-view",
+            SbftMsg::StateRequest { .. } => "state-request",
+            SbftMsg::StateChunkMsg { .. } => "state-chunk",
+            SbftMsg::BlockFill { .. } => "block-fill",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_crypto::{generate_threshold_keys, sha256, GroupElement, MerkleProof};
+
+    fn sample_request(ts: u64) -> ClientRequest {
+        let keys = KeyPair::derive(1, b"client", 7);
+        ClientRequest::signed(ClientId::new(7), ts, vec![1, 2, 3], &keys)
+    }
+
+    fn sample_share() -> SignatureShare {
+        let (_, sks) = generate_threshold_keys(4, 3, 1);
+        sks[0].sign(b"sigma", &sha256(b"x"))
+    }
+
+    fn sample_sig() -> Signature {
+        Signature::from_element(GroupElement::generator())
+    }
+
+    fn round_trip(msg: &SbftMsg) {
+        let bytes = msg.to_wire_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        assert_eq!(&SbftMsg::from_wire_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn request_signature_verifies() {
+        let keys = KeyPair::derive(1, b"client", 7);
+        let req = ClientRequest::signed(ClientId::new(7), 3, vec![9], &keys);
+        assert!(req.verify(&keys));
+        let mut tampered = req.clone();
+        tampered.op = vec![8];
+        assert!(!tampered.verify(&keys));
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        let req = sample_request(1);
+        let share = sample_share();
+        let sig = sample_sig();
+        let proof = ExecutionProof {
+            state_root: Digest::new([1; 32]),
+            result_path: MerkleProof::default(),
+        };
+        let vc = ViewChangeMsg {
+            from: ReplicaId::new(2),
+            new_view: ViewNum::new(3),
+            last_stable: SeqNum::new(10),
+            checkpoint: Some((Digest::new([5; 32]), sig.clone())),
+            entries: vec![VcEntry {
+                seq: SeqNum::new(11),
+                slow: SlowEvidence::Prepared {
+                    view: ViewNum::new(2),
+                    tau: sig.clone(),
+                    requests: vec![req.clone()],
+                },
+                fast: FastEvidence::PrePrepared {
+                    view: ViewNum::new(2),
+                    share,
+                    requests: vec![req.clone()],
+                },
+            }],
+        };
+        let msgs = vec![
+            SbftMsg::Request(req.clone()),
+            SbftMsg::PrePrepare {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                requests: vec![req.clone(), sample_request(2)],
+            },
+            SbftMsg::SignShare {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                sigma: Some(share),
+                tau: share,
+            },
+            SbftMsg::SignShare {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                sigma: None,
+                tau: share,
+            },
+            SbftMsg::FullCommitProof {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                sigma: sig.clone(),
+            },
+            SbftMsg::Prepare {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                tau: sig.clone(),
+            },
+            SbftMsg::CommitShare {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                share,
+            },
+            SbftMsg::FullCommitProofSlow {
+                seq: SeqNum::new(1),
+                view: ViewNum::new(0),
+                tau2: sig.clone(),
+            },
+            SbftMsg::SignState {
+                seq: SeqNum::new(1),
+                digest: Digest::new([2; 32]),
+                share,
+            },
+            SbftMsg::FullExecuteProof {
+                seq: SeqNum::new(1),
+                digest: Digest::new([2; 32]),
+                pi: sig.clone(),
+            },
+            SbftMsg::ExecuteAck {
+                seq: SeqNum::new(1),
+                index: 4,
+                client: ClientId::new(7),
+                timestamp: 9,
+                result: vec![1],
+                digest: Digest::new([2; 32]),
+                pi: sig.clone(),
+                proof,
+            },
+            SbftMsg::Reply {
+                seq: SeqNum::new(1),
+                replica: ReplicaId::new(3),
+                client: ClientId::new(7),
+                timestamp: 9,
+                result: vec![1],
+                signature: req.signature,
+            },
+            SbftMsg::ViewChange(vc.clone()),
+            SbftMsg::NewView(NewViewMsg {
+                view: ViewNum::new(3),
+                view_changes: vec![vc],
+            }),
+            SbftMsg::StateRequest {
+                last_executed: SeqNum::new(5),
+            },
+            SbftMsg::StateChunkMsg {
+                chunk: StateChunk {
+                    seq: SeqNum::new(5),
+                    index: 0,
+                    total: 2,
+                    entries: vec![(vec![1], vec![2])],
+                },
+                state_root: Digest::new([3; 32]),
+                results_root: Digest::new([4; 32]),
+                pi: sig.clone(),
+            },
+            SbftMsg::BlockFill {
+                seq: SeqNum::new(6),
+                view: ViewNum::new(1),
+                requests: vec![req],
+                cert: CommitCert::Fast(sig),
+            },
+        ];
+        for msg in &msgs {
+            round_trip(msg);
+        }
+        // All labels distinct enough for metrics.
+        let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
+        assert!(labels.len() >= 15);
+    }
+
+    #[test]
+    fn commit_proofs_are_constant_size() {
+        // The linearity claim (§II property 3) requires the collector
+        // messages to be constant size regardless of n; they carry exactly
+        // one combined signature.
+        let m = SbftMsg::FullCommitProof {
+            seq: SeqNum::new(1),
+            view: ViewNum::new(0),
+            sigma: sample_sig(),
+        };
+        assert!(m.wire_size() < 64, "size {}", m.wire_size());
+    }
+
+    #[test]
+    fn commit2_digest_binds_context() {
+        let h = sha256(b"block");
+        let a = commit2_digest(SeqNum::new(1), ViewNum::new(0), &h);
+        assert_ne!(a, commit2_digest(SeqNum::new(2), ViewNum::new(0), &h));
+        assert_ne!(a, commit2_digest(SeqNum::new(1), ViewNum::new(1), &h));
+        assert_ne!(
+            a,
+            commit2_digest(SeqNum::new(1), ViewNum::new(0), &sha256(b"other"))
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_do_not_panic() {
+        for len in 0..64 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let _ = SbftMsg::from_wire_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The efficient view change via pipelining (§V-G.1) — the paper's
+//! optional extension.
+//!
+//! In this mode a block's hash chains over its predecessor —
+//! `h_x = H(r || s || v || h_{x-1})` — so committing sequence `x`
+//! implicitly commits every sequence `≤ x`. A view change then needs just
+//! **two pairs** per replica, "irrespective of the size of the window":
+//!
+//! 1. `(h_j, v)` — the highest view with a prepare certificate `τ(h_j)`;
+//! 2. `(h'_j, v')` — the highest view with `f + c + 1` pre-prepare
+//!    (σ-share) observations.
+//!
+//! The new primary gathers `2f + 2c + 1` such summaries and adopts the
+//! chain head with the highest view, "preferring (v, h) if there is a
+//! tie" — the same slow-path preference the full procedure uses.
+//!
+//! This module implements the chained hash and the selection rule as pure
+//! functions (with the same validation style as [`crate::viewchange`]);
+//! the full per-slot procedure remains the replica default.
+
+use sbft_types::{Digest, ReplicaId, SeqNum, ViewNum};
+
+use sbft_crypto::Sha256;
+
+use crate::config::ProtocolConfig;
+use crate::messages::ClientRequest;
+use sbft_wire::{Encoder, Wire};
+
+/// The chained block hash `h_x = H(r || s || v || h_{x-1})` (§V-G.1).
+pub fn chained_block_digest(
+    seq: SeqNum,
+    view: ViewNum,
+    requests: &[ClientRequest],
+    prev: &Digest,
+) -> Digest {
+    let mut enc = Encoder::new();
+    enc.put_varint(requests.len() as u64);
+    for r in requests {
+        r.encode(&mut enc);
+    }
+    let mut h = Sha256::new();
+    h.update(b"sbft-chain|");
+    h.update(&enc.into_bytes());
+    h.update(&seq.get().to_le_bytes());
+    h.update(&view.get().to_le_bytes());
+    h.update(prev.as_bytes());
+    h.finalize()
+}
+
+/// One replica's pipelined view-change summary: the two pairs of §V-G.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedSummary {
+    /// The reporting replica.
+    pub from: ReplicaId,
+    /// `(slot, chain head hash, view)` of the highest prepare certificate,
+    /// if any.
+    pub prepared: Option<(SeqNum, Digest, ViewNum)>,
+    /// `(slot, chain head hash, view)` of the highest slot with
+    /// `f + c + 1` observed pre-prepares, if any.
+    pub fast: Option<(SeqNum, Digest, ViewNum)>,
+}
+
+/// Outcome of the pipelined selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedChoice {
+    /// The chain head to adopt (`None` when no member reported evidence —
+    /// the new view starts from the stable checkpoint).
+    pub head: Option<(SeqNum, Digest)>,
+    /// The view of the winning evidence.
+    pub view: ViewNum,
+    /// Whether the slow-path (prepare) pair won the tie-break.
+    pub slow_path_won: bool,
+}
+
+/// The §V-G.1 selection: "the primary gathers `2f + 2c + 1` such messages
+/// and chooses the highest view from `(v, h)` and `(v', h')`, preferring
+/// `(v, h)` if there is a tie".
+///
+/// Returns `None` when fewer than `2f + 2c + 1` distinct summaries are
+/// provided.
+pub fn select_chain_head(
+    config: &ProtocolConfig,
+    summaries: &[PipelinedSummary],
+) -> Option<PipelinedChoice> {
+    let mut seen = std::collections::BTreeSet::new();
+    let quorum: Vec<&PipelinedSummary> = summaries
+        .iter()
+        .filter(|s| seen.insert(s.from))
+        .take(config.view_change_quorum())
+        .collect();
+    if quorum.len() < config.view_change_quorum() {
+        return None;
+    }
+    // Highest prepare pair across the quorum.
+    let best_prepared = quorum
+        .iter()
+        .filter_map(|s| s.prepared)
+        .max_by_key(|(_, _, v)| *v);
+    // Highest fast pair: a slot counts only when f+c+1 members report a
+    // pre-prepare for the same head at views ≥ that view (mirroring the
+    // `fast` predicate of the unpipelined procedure, collapsed to heads).
+    let need = config.f + config.c + 1;
+    let mut by_head: std::collections::BTreeMap<Digest, Vec<(SeqNum, ViewNum)>> =
+        std::collections::BTreeMap::new();
+    for s in &quorum {
+        if let Some((seq, head, view)) = s.fast {
+            by_head.entry(head).or_default().push((seq, view));
+        }
+    }
+    let mut best_fast: Option<(SeqNum, Digest, ViewNum)> = None;
+    for (head, votes) in by_head {
+        if votes.len() < need {
+            continue;
+        }
+        let mut views: Vec<ViewNum> = votes.iter().map(|(_, v)| *v).collect();
+        views.sort_unstable_by(|a, b| b.cmp(a));
+        let supported_view = views[need - 1];
+        let seq = votes.iter().map(|(s, _)| *s).max().expect("non-empty");
+        if best_fast.map(|(_, _, v)| supported_view > v).unwrap_or(true) {
+            best_fast = Some((seq, head, supported_view));
+        }
+    }
+    // Tie-break: prefer the slow-path pair.
+    let choice = match (best_prepared, best_fast) {
+        (Some((ps, ph, pv)), Some((_, _, fv))) if pv >= fv => PipelinedChoice {
+            head: Some((ps, ph)),
+            view: pv,
+            slow_path_won: true,
+        },
+        (Some((ps, ph, pv)), None) => PipelinedChoice {
+            head: Some((ps, ph)),
+            view: pv,
+            slow_path_won: true,
+        },
+        (_, Some((fs, fh, fv))) => PipelinedChoice {
+            head: Some((fs, fh)),
+            view: fv,
+            slow_path_won: false,
+        },
+        (None, None) => PipelinedChoice {
+            head: None,
+            view: ViewNum::ZERO,
+            slow_path_won: false,
+        },
+    };
+    Some(choice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariantFlags;
+    use sbft_crypto::sha256;
+    use sbft_types::ClientId;
+
+    fn config() -> ProtocolConfig {
+        // f=2, c=1 → quorum 7, f+c+1 = 4.
+        ProtocolConfig::new(2, 1, VariantFlags::SBFT)
+    }
+
+    fn summary(
+        from: u32,
+        prepared: Option<(u64, Digest, u64)>,
+        fast: Option<(u64, Digest, u64)>,
+    ) -> PipelinedSummary {
+        PipelinedSummary {
+            from: ReplicaId::new(from),
+            prepared: prepared.map(|(s, h, v)| (SeqNum::new(s), h, ViewNum::new(v))),
+            fast: fast.map(|(s, h, v)| (SeqNum::new(s), h, ViewNum::new(v))),
+        }
+    }
+
+    fn head(tag: u8) -> Digest {
+        sha256(&[tag])
+    }
+
+    #[test]
+    fn chain_hash_commits_to_history() {
+        let keys = sbft_crypto::KeyPair::derive(1, b"client", 0);
+        let reqs = vec![ClientRequest::signed(ClientId::new(0), 1, vec![1], &keys)];
+        let h1 = chained_block_digest(SeqNum::new(1), ViewNum::ZERO, &reqs, &Digest::ZERO);
+        let h2 = chained_block_digest(SeqNum::new(2), ViewNum::ZERO, &reqs, &h1);
+        // Changing history changes every later hash.
+        let h1_alt = chained_block_digest(SeqNum::new(1), ViewNum::new(1), &reqs, &Digest::ZERO);
+        let h2_alt = chained_block_digest(SeqNum::new(2), ViewNum::ZERO, &reqs, &h1_alt);
+        assert_ne!(h2, h2_alt);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn needs_quorum() {
+        let cfg = config();
+        let summaries: Vec<PipelinedSummary> = (0..6).map(|i| summary(i, None, None)).collect();
+        assert!(select_chain_head(&cfg, &summaries).is_none());
+        let summaries: Vec<PipelinedSummary> = (0..7).map(|i| summary(i, None, None)).collect();
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, None);
+    }
+
+    #[test]
+    fn duplicate_senders_do_not_count() {
+        let cfg = config();
+        let mut summaries: Vec<PipelinedSummary> =
+            (0..6).map(|i| summary(i, None, None)).collect();
+        summaries.push(summary(5, None, None)); // duplicate
+        assert!(select_chain_head(&cfg, &summaries).is_none());
+    }
+
+    #[test]
+    fn highest_prepare_wins() {
+        let cfg = config();
+        let mut summaries: Vec<PipelinedSummary> =
+            (0..5).map(|i| summary(i, None, None)).collect();
+        summaries.push(summary(5, Some((10, head(1), 2)), None));
+        summaries.push(summary(6, Some((12, head(2), 5)), None));
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, Some((SeqNum::new(12), head(2))));
+        assert_eq!(choice.view, ViewNum::new(5));
+        assert!(choice.slow_path_won);
+    }
+
+    #[test]
+    fn fast_needs_f_plus_c_plus_1_support() {
+        let cfg = config();
+        // Only 3 members (< 4) report the fast head: not adopted.
+        let mut summaries: Vec<PipelinedSummary> =
+            (0..4).map(|i| summary(i, None, None)).collect();
+        for i in 4..7 {
+            summaries.push(summary(i, None, Some((9, head(7), 3))));
+        }
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, None);
+        // A fourth supporter flips it.
+        summaries[0] = summary(0, None, Some((9, head(7), 3)));
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, Some((SeqNum::new(9), head(7))));
+        assert!(!choice.slow_path_won);
+    }
+
+    #[test]
+    fn tie_prefers_slow_path() {
+        let cfg = config();
+        let mut summaries: Vec<PipelinedSummary> = Vec::new();
+        // Four fast supporters at view 3.
+        for i in 0..4 {
+            summaries.push(summary(i, None, Some((9, head(7), 3))));
+        }
+        // One prepare pair also at view 3 — §V-G.1: prefer (v, h).
+        summaries.push(summary(4, Some((8, head(1), 3)), None));
+        summaries.push(summary(5, None, None));
+        summaries.push(summary(6, None, None));
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, Some((SeqNum::new(8), head(1))));
+        assert!(choice.slow_path_won);
+    }
+
+    #[test]
+    fn newer_fast_beats_older_prepare() {
+        let cfg = config();
+        let mut summaries: Vec<PipelinedSummary> = Vec::new();
+        for i in 0..4 {
+            summaries.push(summary(i, None, Some((9, head(7), 6))));
+        }
+        summaries.push(summary(4, Some((8, head(1), 3)), None));
+        summaries.push(summary(5, None, None));
+        summaries.push(summary(6, None, None));
+        let choice = select_chain_head(&cfg, &summaries).unwrap();
+        assert_eq!(choice.head, Some((SeqNum::new(9), head(7))));
+        assert_eq!(choice.view, ViewNum::new(6));
+        assert!(!choice.slow_path_won);
+    }
+
+    #[test]
+    fn summary_is_constant_size() {
+        // The whole point of §V-G.1: two pairs per replica, independent of
+        // the window size. (Sanity-check the struct stays tiny.)
+        assert!(std::mem::size_of::<PipelinedSummary>() <= 128);
+    }
+}

@@ -1,0 +1,1684 @@
+//! The SBFT replica (§V).
+//!
+//! One state machine per replica, driven by the simulator. A replica can
+//! simultaneously act as primary, C-collector and E-collector depending on
+//! `(seq, view)` (§V-B); collector duties rotate per decision block to
+//! spread load.
+//!
+//! Commit paths:
+//!
+//! - **fast** (§V-C): pre-prepare → sign-share (σ) → full-commit-proof;
+//! - **linear-PBFT** (§V-E): sign-share (τ) → prepare → commit →
+//!   full-commit-proof-slow, entered when the fast path times out or is
+//!   disabled.
+//!
+//! Execution (§V-D): consecutive committed blocks execute against the
+//! [`Service`]; π shares flow to E-collectors which certify the state and
+//! (in single-ack mode) acknowledge each client with one message.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum};
+
+use sbft_crypto::{CryptoCostModel, Signature, SignatureShare};
+use sbft_sim::{Context, Node, NodeId, TimerId};
+use sbft_statedb::{
+    combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, StateChunk,
+};
+use sbft_wire::{ClientSignature, Wire};
+
+use crate::config::ProtocolConfig;
+use crate::keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
+use crate::messages::{
+    block_digest, commit2_digest, ClientRequest, CommitCert, FastEvidence, NewViewMsg, SbftMsg,
+    SlowEvidence, VcEntry, ViewChangeMsg,
+};
+use crate::viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};
+
+/// Timer token kinds (token = kind | payload << 8).
+mod timer {
+    pub const BATCH: u64 = 1;
+    pub const FAST_TIMEOUT: u64 = 2;
+    pub const STAGGER_FAST: u64 = 3;
+    pub const STAGGER_PREPARE: u64 = 4;
+    pub const STAGGER_SLOW: u64 = 5;
+    pub const STAGGER_EXEC: u64 = 6;
+    pub const WATCHDOG: u64 = 7;
+    pub const VC_RETRY: u64 = 8;
+
+    pub fn token(kind: u64, payload: u64) -> u64 {
+        kind | (payload << 8)
+    }
+    pub fn split(token: u64) -> (u64, u64) {
+        (token & 0xff, token >> 8)
+    }
+}
+
+/// Fault-injection behaviours for tests and the view-change stress
+/// experiment (E8). Honest replicas use [`Behavior::Honest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follow the protocol.
+    #[default]
+    Honest,
+    /// As primary, send conflicting pre-prepares to two halves of the
+    /// cluster (equivocation; must be detected without safety loss).
+    EquivocatingPrimary,
+    /// As primary, never propose (liveness failure; forces view change).
+    MutePrimary,
+    /// Send view-change messages with no evidence (stale information).
+    StaleViewChange,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// View of the currently accepted pre-prepare.
+    view: Option<ViewNum>,
+    requests: Option<Vec<ClientRequest>>,
+    h: Option<Digest>,
+    sign_share_sent: bool,
+    commit_share_sent: bool,
+    // --- C-collector state ---
+    sigma_shares: BTreeMap<u16, SignatureShare>,
+    tau_shares: BTreeMap<u16, SignatureShare>,
+    commit2_shares: BTreeMap<u16, SignatureShare>,
+    fast_timer: Option<TimerId>,
+    fast_proof_sent: bool,
+    prepare_sent: bool,
+    slow_proof_sent: bool,
+    // --- replica commit state ---
+    /// Highest prepare certificate accepted (view-change evidence `lm`).
+    prepared: Option<(Signature, ViewNum)>,
+    /// This replica's σ share on its accepted pre-prepare (evidence `fm`).
+    my_sigma_share: Option<SignatureShare>,
+    commit_cert: Option<CommitCert>,
+    commit_view: Option<ViewNum>,
+    committed: bool,
+    // --- execution state ---
+    exec_digest: Option<Digest>,
+    state_root: Option<Digest>,
+    results_root: Option<Digest>,
+    // --- E-collector state ---
+    pi_shares: BTreeMap<Digest, BTreeMap<u16, SignatureShare>>,
+    exec_proof: Option<Signature>,
+    exec_proof_sent: bool,
+    acks_sent: bool,
+    exec_timer_set: bool,
+}
+
+/// The SBFT replica node.
+pub struct ReplicaNode {
+    config: ProtocolConfig,
+    id: ReplicaId,
+    public: std::rc::Rc<PublicKeys>,
+    my_keys: ReplicaKeys,
+    service: Box<dyn Service>,
+    cost: CryptoCostModel,
+    behavior: Behavior,
+
+    view: ViewNum,
+    in_view_change: bool,
+    slots: BTreeMap<u64, Slot>,
+    last_executed: SeqNum,
+    last_stable: SeqNum,
+    /// `(d_ls, π(d_ls))` — checkpoint proof for `last_stable`.
+    stable_cert: Option<(Digest, Signature)>,
+    /// `(state_root, results_root)` at the stable checkpoint, for state
+    /// transfer certificates.
+    stable_roots: Option<(Digest, Digest)>,
+    ledger: Ledger,
+
+    // Primary state.
+    pending: VecDeque<ClientRequest>,
+    next_proposal: SeqNum,
+    batch_timer_set: bool,
+    /// Highest proposed timestamp per client (primary-side dedup).
+    proposed_table: HashMap<u32, u64>,
+
+    // Execution bookkeeping.
+    /// Highest executed timestamp per client.
+    client_table: HashMap<u32, u64>,
+    /// `(client, timestamp) → (seq, index)` for executed requests.
+    executed_requests: HashMap<(u32, u64), (SeqNum, u32)>,
+    /// Requests this replica knows are outstanding (liveness watchdog).
+    forwarded: HashMap<(u32, u64), ()>,
+
+    // View change state.
+    vc_messages: BTreeMap<u64, BTreeMap<u32, ViewChangeMsg>>,
+    vc_attempts: u32,
+    watchdog_mark: (SeqNum, ViewNum),
+    watchdog_set: bool,
+    pending_new_view: Option<NewViewPlan>,
+
+    /// Consecutive fast-path fallbacks observed (the §VIII adaptive
+    /// switch: after a few, skip the fast wait and go straight to the
+    /// linear path, probing the fast path again periodically).
+    consecutive_fallbacks: u32,
+
+    // State transfer.
+    assembler: ChunkAssembler,
+    chunk_cert: Option<(Digest, Digest, Signature)>,
+    state_request_outstanding: bool,
+}
+
+impl ReplicaNode {
+    /// Creates a replica with the given keys and service backend.
+    pub fn new(
+        config: ProtocolConfig,
+        id: ReplicaId,
+        keys: &KeyMaterial,
+        service: Box<dyn Service>,
+        cost: CryptoCostModel,
+    ) -> Self {
+        ReplicaNode {
+            my_keys: keys.replicas[id.as_usize()].clone(),
+            public: keys.public.clone(),
+            config,
+            id,
+            service,
+            cost,
+            behavior: Behavior::Honest,
+            view: ViewNum::ZERO,
+            in_view_change: false,
+            slots: BTreeMap::new(),
+            last_executed: SeqNum::ZERO,
+            last_stable: SeqNum::ZERO,
+            stable_cert: None,
+            stable_roots: None,
+            ledger: Ledger::new(),
+            pending: VecDeque::new(),
+            next_proposal: SeqNum::new(1),
+            batch_timer_set: false,
+            proposed_table: HashMap::new(),
+            client_table: HashMap::new(),
+            executed_requests: HashMap::new(),
+            forwarded: HashMap::new(),
+            vc_messages: BTreeMap::new(),
+            vc_attempts: 0,
+            watchdog_mark: (SeqNum::ZERO, ViewNum::ZERO),
+            watchdog_set: false,
+            pending_new_view: None,
+            consecutive_fallbacks: 0,
+            assembler: ChunkAssembler::new(),
+            chunk_cert: None,
+            state_request_outstanding: false,
+        }
+    }
+
+    /// Sets a fault-injection behaviour (defaults to honest).
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Current view.
+    pub fn view(&self) -> ViewNum {
+        self.view
+    }
+
+    /// Whether a view change is in progress.
+    pub fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
+    /// Last executed sequence number.
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    /// Last stable (checkpointed) sequence number.
+    pub fn last_stable(&self) -> SeqNum {
+        self.last_stable
+    }
+
+    /// The service's current state digest (for cross-replica agreement
+    /// checks in tests).
+    pub fn state_digest(&self) -> Digest {
+        self.service.state_digest()
+    }
+
+    /// Read-only access to the service.
+    pub fn service(&self) -> &dyn Service {
+        self.service.as_ref()
+    }
+
+    /// The committed block at `seq`, if retained.
+    pub fn committed_block(&self, seq: SeqNum) -> Option<&Vec<ClientRequest>> {
+        self.slots
+            .get(&seq.get())
+            .filter(|s| s.committed)
+            .and_then(|s| s.requests.as_ref())
+    }
+
+    // ---------- role helpers ----------
+
+    fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    fn is_primary(&self) -> bool {
+        self.config.primary(self.view) == self.id
+    }
+
+    fn client_node(&self, client: ClientId) -> NodeId {
+        self.n() + client.as_usize()
+    }
+
+    fn broadcast(&self, ctx: &mut Context<'_, SbftMsg>, msg: &SbftMsg) {
+        for r in 0..self.n() {
+            ctx.send(r, msg.clone());
+        }
+    }
+
+    fn send_to(&self, ctx: &mut Context<'_, SbftMsg>, to: ReplicaId, msg: SbftMsg) {
+        ctx.send(to.as_usize(), msg);
+    }
+
+    fn slot(&mut self, seq: SeqNum) -> &mut Slot {
+        self.slots.entry(seq.get()).or_default()
+    }
+
+    fn my_c_collector_index(&self, seq: SeqNum, view: ViewNum) -> Option<usize> {
+        self.config
+            .c_collectors(seq, view)
+            .iter()
+            .position(|r| *r == self.id)
+    }
+
+    fn my_e_collector_index(&self, seq: SeqNum) -> Option<usize> {
+        self.config
+            .e_collectors(seq, ViewNum::ZERO)
+            .iter()
+            .position(|r| *r == self.id)
+    }
+
+    // ---------- watchdog / liveness ----------
+
+    fn has_outstanding_work(&self) -> bool {
+        if !self.forwarded.is_empty() || !self.pending.is_empty() {
+            return true;
+        }
+        self.slots
+            .values()
+            .any(|s| s.requests.is_some() && !s.committed)
+    }
+
+    fn arm_watchdog(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if self.watchdog_set {
+            return;
+        }
+        self.watchdog_set = true;
+        self.watchdog_mark = (self.last_executed, self.view);
+        let backoff = self
+            .config
+            .view_timeout
+            .saturating_mul(1u64 << self.vc_attempts.min(6));
+        ctx.set_timer(backoff, timer::token(timer::WATCHDOG, 0));
+    }
+
+    fn on_watchdog(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        self.watchdog_set = false;
+        let progressed =
+            self.last_executed > self.watchdog_mark.0 || self.view > self.watchdog_mark.1;
+        if progressed || !self.has_outstanding_work() {
+            self.vc_attempts = 0;
+            if self.has_outstanding_work() {
+                self.arm_watchdog(ctx);
+            }
+            return;
+        }
+        // No progress with work outstanding: the primary is faulty or the
+        // network is slow — move to the next view (§V-G trigger).
+        self.start_view_change(ctx, self.view.next());
+    }
+
+    // ---------- client requests & batching (primary) ----------
+
+    fn handle_request(&mut self, ctx: &mut Context<'_, SbftMsg>, request: ClientRequest) {
+        ctx.charge_cpu_ns(self.cost.verify_request());
+        if !request.verify(&self.public.client_keys(request.client)) {
+            return;
+        }
+        let key = (request.client.get(), request.timestamp);
+        // Already executed: answer directly (client retry path, §V-A).
+        if let Some(&(seq, index)) = self.executed_requests.get(&key) {
+            if let Some(result) = self.service.result_of(seq, index as usize) {
+                let result = result.to_vec();
+                let reply = self.make_reply(seq, &request, result);
+                ctx.send(self.client_node(request.client), reply);
+                return;
+            }
+        }
+        if let Some(&executed_ts) = self.client_table.get(&request.client.get()) {
+            if request.timestamp <= executed_ts {
+                return;
+            }
+        }
+        if self.is_primary() && !self.in_view_change {
+            let proposed = self
+                .proposed_table
+                .get(&request.client.get())
+                .copied()
+                .unwrap_or(0);
+            if request.timestamp > proposed {
+                self.proposed_table
+                    .insert(request.client.get(), request.timestamp);
+                self.pending.push_back(request);
+                self.maybe_propose(ctx);
+            }
+        } else {
+            // Forward to the primary and watch for progress.
+            self.forwarded.insert(key, ());
+            let primary = self.config.primary(self.view);
+            self.send_to(ctx, primary, SbftMsg::Request(request));
+        }
+        self.arm_watchdog(ctx);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| s.requests.is_some() && !s.committed)
+            .count()
+    }
+
+    fn adaptive_batch_target(&self) -> usize {
+        // §V-C / §VIII: batch ≈ pending / (half the allowed concurrency).
+        let half_window = (self.config.max_in_flight / 2).max(1);
+        (self.pending.len() / half_window).clamp(1, self.config.max_block_requests)
+    }
+
+    fn maybe_propose(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if !self.is_primary() || self.in_view_change {
+            return;
+        }
+        while !self.pending.is_empty()
+            && self.in_flight() < self.config.max_in_flight
+            && self.next_proposal.get() <= self.last_stable.get() + self.config.window
+        {
+            let target = self.adaptive_batch_target();
+            if self.pending.len() < target && self.in_flight() > 0 {
+                // Wait for the batch to fill (or the batch timer).
+                if !self.batch_timer_set {
+                    self.batch_timer_set = true;
+                    ctx.set_timer(self.config.batch_delay, timer::token(timer::BATCH, 0));
+                }
+                return;
+            }
+            let take = self
+                .pending
+                .len()
+                .min(self.config.max_block_requests);
+            let requests: Vec<ClientRequest> = self.pending.drain(..take).collect();
+            let seq = self.next_proposal;
+            self.next_proposal = self.next_proposal.next();
+            self.propose_block(ctx, seq, requests);
+        }
+    }
+
+    fn propose_block(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        requests: Vec<ClientRequest>,
+    ) {
+        ctx.charge_cpu_ns(self.cost.hash(64 * requests.len()));
+        if self.behavior == Behavior::EquivocatingPrimary && requests.len() >= 2 {
+            // Conflicting but individually valid proposals to two halves.
+            let mid = requests.len() / 2;
+            let block_a = requests[..mid].to_vec();
+            let block_b = requests[mid..].to_vec();
+            for r in 0..self.n() {
+                let block = if r % 2 == 0 {
+                    block_a.clone()
+                } else {
+                    block_b.clone()
+                };
+                ctx.send(
+                    r,
+                    SbftMsg::PrePrepare {
+                        seq,
+                        view: self.view,
+                        requests: block,
+                    },
+                );
+            }
+            return;
+        }
+        let msg = SbftMsg::PrePrepare {
+            seq,
+            view: self.view,
+            requests,
+        };
+        self.broadcast(ctx, &msg);
+    }
+
+    // ---------- pre-prepare & sign-share (§V-C) ----------
+
+    fn handle_pre_prepare(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        seq: SeqNum,
+        view: ViewNum,
+        requests: Vec<ClientRequest>,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        if from != self.config.primary(view).as_usize() {
+            return;
+        }
+        if seq.get() <= self.last_stable.get()
+            || seq.get() > self.last_stable.get() + self.config.window
+        {
+            return;
+        }
+        let h = block_digest(seq, view, &requests);
+        {
+            let slot = self.slot(seq);
+            if slot.committed {
+                return;
+            }
+            if let (Some(existing_view), Some(existing_h)) = (slot.view, slot.h) {
+                if existing_view == view {
+                    if existing_h == h {
+                        return; // duplicate
+                    }
+                    // Equivocation: publicly verifiable proof the primary
+                    // is faulty — trigger a view change (§V-G).
+                    self.start_view_change(ctx, view.next());
+                    return;
+                }
+            }
+        }
+        // Validate client request signatures.
+        ctx.charge_cpu_ns(self.cost.verify_request() * requests.len() as u64);
+        for r in &requests {
+            if !r.verify(&self.public.client_keys(r.client)) {
+                return;
+            }
+        }
+        ctx.charge_cpu_ns(self.cost.hash(requests.iter().map(|r| r.op.len() + 64).sum()));
+
+        // Sign σ (fast path) and τ (linear path) shares.
+        let fast = self.config.flags.fast_path;
+        let sigma = if fast {
+            ctx.charge_cpu_ns(self.cost.sign_share());
+            Some(self.my_keys.sigma.sign(DOMAIN_SIGMA, &h))
+        } else {
+            None
+        };
+        ctx.charge_cpu_ns(self.cost.sign_share());
+        let tau = self.my_keys.tau.sign(DOMAIN_TAU, &h);
+
+        {
+            let slot = self.slot(seq);
+            slot.view = Some(view);
+            slot.requests = Some(requests);
+            slot.h = Some(h);
+            slot.sign_share_sent = true;
+            slot.my_sigma_share = sigma;
+        }
+        let msg = SbftMsg::SignShare {
+            seq,
+            view,
+            sigma,
+            tau,
+        };
+        for collector in self.config.c_collectors(seq, view) {
+            self.send_to(ctx, collector, msg.clone());
+        }
+        // A commit proof may have arrived before the pre-prepare.
+        self.try_commit_with_stored_cert(ctx, seq);
+        self.arm_watchdog(ctx);
+    }
+
+    /// The §VIII adaptive switch: keep waiting for the fast path only
+    /// while it has been succeeding recently; after repeated fallbacks go
+    /// straight to the linear path, probing the fast path again every 32
+    /// sequence numbers to detect recovery.
+    fn fast_path_active(&self, seq: SeqNum) -> bool {
+        self.config.flags.fast_path
+            && (self.consecutive_fallbacks < 4 || seq.get() % 32 == 0)
+    }
+
+    fn handle_sign_share(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        seq: SeqNum,
+        view: ViewNum,
+        sigma: Option<SignatureShare>,
+        tau: SignatureShare,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        let Some(my_index) = self.my_c_collector_index(seq, view) else {
+            return;
+        };
+        let share_index = (from + 1) as u16;
+        if tau.index() != share_index || sigma.map(|s| s.index() != share_index).unwrap_or(false) {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.hash(70));
+        let fast_enabled = self.fast_path_active(seq);
+        let sigma_threshold = self.config.sigma_threshold();
+        let tau_threshold = self.config.tau_threshold();
+        let stagger = self.config.collector_stagger;
+        let fast_timeout = self.config.fast_path_timeout;
+
+        let slot = self.slot(seq);
+        if let Some(sigma) = sigma {
+            slot.sigma_shares.insert(sigma.index(), sigma);
+        }
+        slot.tau_shares.insert(tau.index(), tau);
+
+        // Fast trigger: enough σ shares → (staggered) combine + broadcast.
+        if fast_enabled
+            && slot.sigma_shares.len() >= sigma_threshold
+            && !slot.fast_proof_sent
+            && slot.commit_cert.is_none()
+        {
+            slot.fast_proof_sent = true;
+            if let Some(t) = slot.fast_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            if my_index == 0 {
+                self.emit_fast_proof(ctx, seq, view);
+            } else {
+                ctx.set_timer(
+                    stagger.saturating_mul(my_index as u64),
+                    timer::token(timer::STAGGER_FAST, seq.get()),
+                );
+            }
+            return;
+        }
+
+        // Slow trigger (§V-E): τ threshold reached but not σ — wait the
+        // fast-path timeout, then fall back to linear PBFT.
+        if slot.tau_shares.len() >= tau_threshold
+            && !slot.prepare_sent
+            && !slot.fast_proof_sent
+            && slot.commit_cert.is_none()
+        {
+            if !fast_enabled {
+                slot.prepare_sent = true;
+                if my_index == 0 {
+                    self.emit_prepare(ctx, seq, view);
+                } else {
+                    ctx.set_timer(
+                        stagger.saturating_mul(my_index as u64),
+                        timer::token(timer::STAGGER_PREPARE, seq.get()),
+                    );
+                }
+            } else if slot.fast_timer.is_none() {
+                let t = ctx.set_timer(
+                    fast_timeout + stagger.saturating_mul(my_index as u64),
+                    timer::token(timer::FAST_TIMEOUT, seq.get()),
+                );
+                slot.fast_timer = Some(t);
+            }
+        }
+    }
+
+    fn emit_fast_proof(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum, view: ViewNum) {
+        let n = self.n();
+        let Some(h) = self.slots.get(&seq.get()).and_then(|s| s.h) else {
+            return;
+        };
+        let slot = self.slots.get(&seq.get()).expect("slot exists");
+        if slot.commit_cert.is_some() {
+            return; // someone else's proof arrived meanwhile
+        }
+        let shares: Vec<SignatureShare> = slot.sigma_shares.values().copied().collect();
+        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        // §VIII: use the n-of-n group signature when every replica signed;
+        // fall back to threshold interpolation otherwise.
+        let sigma = if shares.len() == n {
+            ctx.charge_cpu_ns(self.cost.combine_multisig(n));
+            self.public.sigma.combine_multisig(DOMAIN_SIGMA, &h, &shares)
+        } else {
+            ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.sigma_threshold()));
+            self.public.sigma.combine(DOMAIN_SIGMA, &h, &shares)
+        };
+        let Ok(sigma) = sigma else {
+            return; // not enough valid shares after filtering
+        };
+        ctx.incr("fast_commits", 1);
+        self.broadcast(ctx, &SbftMsg::FullCommitProof { seq, view, sigma });
+    }
+
+    fn emit_prepare(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum, view: ViewNum) {
+        let Some(h) = self.slots.get(&seq.get()).and_then(|s| s.h) else {
+            return;
+        };
+        let slot = self.slots.get(&seq.get()).expect("slot exists");
+        if slot.commit_cert.is_some() || slot.prepared.is_some() {
+            return;
+        }
+        let shares: Vec<SignatureShare> = slot.tau_shares.values().copied().collect();
+        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.tau_threshold()));
+        let Ok(tau) = self.public.tau.combine(DOMAIN_TAU, &h, &shares) else {
+            return;
+        };
+        ctx.incr("slow_path_entries", 1);
+        self.broadcast(ctx, &SbftMsg::Prepare { seq, view, tau });
+    }
+
+    // ---------- linear-PBFT fallback (§V-E) ----------
+
+    fn handle_prepare(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        view: ViewNum,
+        tau: Signature,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        let Some(h) = self.slots.get(&seq.get()).and_then(|s| s.h) else {
+            return;
+        };
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        if !self.public.tau.verify_either(DOMAIN_TAU, &h, &tau) {
+            return;
+        }
+        let commit_share_sent = {
+            let slot = self.slot(seq);
+            if slot
+                .prepared
+                .map(|(_, pv)| view > pv)
+                .unwrap_or(true)
+            {
+                slot.prepared = Some((tau, view));
+            }
+            let sent = slot.commit_share_sent;
+            slot.commit_share_sent = true;
+            sent
+        };
+        if commit_share_sent {
+            return;
+        }
+        // Send the second-level τ share to the collectors.
+        ctx.charge_cpu_ns(self.cost.sign_share());
+        let d2 = commit2_digest(seq, view, &h);
+        let share = self.my_keys.tau.sign(DOMAIN_TAU, &d2);
+        let msg = SbftMsg::CommitShare { seq, view, share };
+        for collector in self.config.c_collectors(seq, view) {
+            self.send_to(ctx, collector, msg.clone());
+        }
+    }
+
+    fn handle_commit_share(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        seq: SeqNum,
+        view: ViewNum,
+        share: SignatureShare,
+    ) {
+        if view != self.view || self.in_view_change {
+            return;
+        }
+        let Some(my_index) = self.my_c_collector_index(seq, view) else {
+            return;
+        };
+        if share.index() != (from + 1) as u16 {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.hash(70));
+        let tau_threshold = self.config.tau_threshold();
+        let stagger = self.config.collector_stagger;
+        let slot = self.slot(seq);
+        slot.commit2_shares.insert(share.index(), share);
+        if slot.commit2_shares.len() >= tau_threshold
+            && !slot.slow_proof_sent
+            && slot.commit_cert.is_none()
+        {
+            slot.slow_proof_sent = true;
+            if my_index == 0 {
+                self.emit_slow_proof(ctx, seq, view);
+            } else {
+                ctx.set_timer(
+                    stagger.saturating_mul(my_index as u64),
+                    timer::token(timer::STAGGER_SLOW, seq.get()),
+                );
+            }
+        }
+    }
+
+    fn emit_slow_proof(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum, view: ViewNum) {
+        let Some(h) = self.slots.get(&seq.get()).and_then(|s| s.h) else {
+            return;
+        };
+        let slot = self.slots.get(&seq.get()).expect("slot exists");
+        if slot.commit_cert.is_some() {
+            return;
+        }
+        let d2 = commit2_digest(seq, view, &h);
+        let shares: Vec<SignatureShare> = slot.commit2_shares.values().copied().collect();
+        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.tau_threshold()));
+        let Ok(tau2) = self.public.tau.combine(DOMAIN_TAU, &d2, &shares) else {
+            return;
+        };
+        ctx.incr("slow_commits", 1);
+        self.broadcast(ctx, &SbftMsg::FullCommitProofSlow { seq, view, tau2 });
+    }
+
+    // ---------- commit (§V-C "Commit trigger") ----------
+
+    fn handle_full_commit_proof(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        view: ViewNum,
+        cert: CommitCert,
+    ) {
+        if seq.get() <= self.last_stable.get() {
+            return;
+        }
+        let Some(h) = self
+            .slots
+            .get(&seq.get())
+            .filter(|s| s.view == Some(view))
+            .and_then(|s| s.h)
+        else {
+            // Pre-prepare not here yet: remember the certificate.
+            let slot = self.slot(seq);
+            if slot.commit_cert.is_none() {
+                slot.commit_cert = Some(cert);
+                slot.commit_view = Some(view);
+            }
+            return;
+        };
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        let valid = match &cert {
+            CommitCert::Fast(sigma) => self.public.sigma.verify_either(DOMAIN_SIGMA, &h, sigma),
+            CommitCert::Slow(tau2) => {
+                let d2 = commit2_digest(seq, view, &h);
+                self.public.tau.verify_either(DOMAIN_TAU, &d2, tau2)
+            }
+        };
+        if !valid {
+            return;
+        }
+        self.commit(ctx, seq, view, cert);
+    }
+
+    fn try_commit_with_stored_cert(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum) {
+        let Some(slot) = self.slots.get(&seq.get()) else {
+            return;
+        };
+        if slot.committed || slot.requests.is_none() {
+            return;
+        }
+        let (Some(cert), Some(view)) = (slot.commit_cert.clone(), slot.commit_view) else {
+            return;
+        };
+        if slot.view != Some(view) {
+            return;
+        }
+        self.handle_full_commit_proof(ctx, seq, view, cert);
+    }
+
+    fn commit(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        view: ViewNum,
+        cert: CommitCert,
+    ) {
+        let slot = self.slot(seq);
+        if slot.committed {
+            return;
+        }
+        let Some(requests) = slot.requests.clone() else {
+            slot.commit_cert = Some(cert);
+            slot.commit_view = Some(view);
+            return;
+        };
+        slot.committed = true;
+        let fast_commit = matches!(cert, CommitCert::Fast(_));
+        slot.commit_cert = Some(cert);
+        slot.commit_view = Some(view);
+        if let Some(t) = slot.fast_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if fast_commit {
+            self.consecutive_fallbacks = 0;
+        }
+        ctx.incr("committed_blocks", 1);
+        ctx.incr("committed_requests", requests.len() as u64);
+        self.ledger.commit(Block {
+            seq,
+            view: view.get(),
+            ops: requests.iter().map(|r| r.to_wire_bytes()).collect(),
+        });
+        self.try_execute(ctx);
+        if self.is_primary() {
+            self.maybe_propose(ctx);
+        }
+    }
+
+    // ---------- execution & acknowledgement (§V-D) ----------
+
+    fn try_execute(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        loop {
+            let next = self.last_executed.next();
+            let Some(slot) = self.slots.get(&next.get()) else {
+                return;
+            };
+            if !slot.committed {
+                return;
+            }
+            let requests = slot.requests.clone().expect("committed slot has requests");
+            let ops: Vec<Vec<u8>> = requests.iter().map(|r| r.op.clone()).collect();
+            let exec = self.service.execute_block(next, &ops);
+            ctx.charge_cpu_ns(exec.cpu_cost_ns / self.config.execution_parallelism.max(1));
+            ctx.incr("executed_blocks", 1);
+            self.last_executed = next;
+            for (l, request) in requests.iter().enumerate() {
+                let key = (request.client.get(), request.timestamp);
+                self.executed_requests.insert(key, (next, l as u32));
+                self.forwarded.remove(&key);
+                let entry = self.client_table.entry(request.client.get()).or_insert(0);
+                *entry = (*entry).max(request.timestamp);
+            }
+            {
+                let slot = self.slot(next);
+                slot.exec_digest = Some(exec.state_digest);
+                slot.state_root = Some(exec.state_root);
+                slot.results_root = Some(exec.results_root);
+            }
+            // Sign the state with the π share and send to E-collectors.
+            ctx.charge_cpu_ns(self.cost.sign_share());
+            let share = self.my_keys.pi.sign(DOMAIN_PI, &exec.state_digest);
+            let msg = SbftMsg::SignState {
+                seq: next,
+                digest: exec.state_digest,
+                share,
+            };
+            for collector in self.config.e_collectors(next, ViewNum::ZERO) {
+                self.send_to(ctx, collector, msg.clone());
+            }
+            // Direct replies (f+1 acknowledgement variants).
+            if !self.config.flags.single_client_ack {
+                for (l, request) in requests.iter().enumerate() {
+                    let result = exec.results[l].clone();
+                    let reply = self.make_reply(next, request, result);
+                    ctx.send(self.client_node(request.client), reply);
+                }
+            }
+            // If this replica is an E-collector and the proof was already
+            // combined (we executed late), acks may now be sendable.
+            self.maybe_send_acks(ctx, next);
+            self.vc_attempts = 0;
+        }
+    }
+
+    fn make_reply(&self, seq: SeqNum, request: &ClientRequest, result: Vec<u8>) -> SbftMsg {
+        SbftMsg::Reply {
+            seq,
+            replica: self.id,
+            client: request.client,
+            timestamp: request.timestamp,
+            result,
+            // Size-modeled replica signature over the reply.
+            signature: ClientSignature(sbft_crypto::PkiSignature::from_bytes(
+                *sbft_crypto::sha256(&seq.get().to_le_bytes()).as_bytes(),
+            )),
+        }
+    }
+
+    fn handle_sign_state(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        seq: SeqNum,
+        digest: Digest,
+        share: SignatureShare,
+    ) {
+        if self.my_e_collector_index(seq).is_none() {
+            return;
+        }
+        if share.index() != (from + 1) as u16 {
+            return;
+        }
+        if seq.get() <= self.last_stable.get() {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.hash(70));
+        let pi_threshold = self.config.pi_threshold();
+        let stagger = self.config.collector_stagger;
+        let my_index = self.my_e_collector_index(seq).expect("checked above");
+        let slot = self.slot(seq);
+        let shares = slot.pi_shares.entry(digest).or_default();
+        shares.insert(share.index(), share);
+        if shares.len() >= pi_threshold && !slot.exec_proof_sent && !slot.exec_timer_set {
+            slot.exec_timer_set = true;
+            if my_index == 0 {
+                self.emit_exec_proof(ctx, seq, digest);
+            } else {
+                ctx.set_timer(
+                    stagger.saturating_mul(my_index as u64),
+                    timer::token(timer::STAGGER_EXEC, seq.get()),
+                );
+            }
+        }
+    }
+
+    fn emit_exec_proof(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum, digest: Digest) {
+        let pi_threshold = self.config.pi_threshold();
+        let slot = self.slot(seq);
+        if slot.exec_proof_sent || slot.exec_proof.is_some() {
+            return;
+        }
+        let Some(shares_map) = slot.pi_shares.get(&digest) else {
+            return;
+        };
+        let shares: Vec<SignatureShare> = shares_map.values().copied().collect();
+        slot.exec_proof_sent = true;
+        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        ctx.charge_cpu_ns(self.cost.combine_threshold(pi_threshold));
+        let Ok(pi) = self.public.pi.combine(DOMAIN_PI, &digest, &shares) else {
+            return;
+        };
+        self.broadcast(ctx, &SbftMsg::FullExecuteProof { seq, digest, pi });
+        self.slot(seq).exec_proof = Some(pi);
+        self.maybe_send_acks(ctx, seq);
+    }
+
+    /// E-collector → clients: one acknowledgement per request (§V-D).
+    fn maybe_send_acks(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum) {
+        if !self.config.flags.single_client_ack {
+            return;
+        }
+        if self.my_e_collector_index(seq).is_none() {
+            return;
+        }
+        let Some(slot) = self.slots.get(&seq.get()) else {
+            return;
+        };
+        if slot.acks_sent || slot.exec_proof.is_none() || slot.exec_digest.is_none() {
+            return;
+        }
+        if self.last_executed < seq {
+            return; // we have not executed yet; no proofs available
+        }
+        let pi = slot.exec_proof.expect("checked above");
+        let digest = slot.exec_digest.expect("checked above");
+        let requests = slot.requests.clone().expect("executed slot has requests");
+        self.slot(seq).acks_sent = true;
+        for (l, request) in requests.iter().enumerate() {
+            let (Some(result), Some(proof)) = (
+                self.service.result_of(seq, l).map(<[u8]>::to_vec),
+                self.service.proof_of(seq, l),
+            ) else {
+                continue;
+            };
+            ctx.charge_cpu_ns(self.cost.hash(result.len() + 64));
+            let ack = SbftMsg::ExecuteAck {
+                seq,
+                index: l as u64,
+                client: request.client,
+                timestamp: request.timestamp,
+                result,
+                digest,
+                pi,
+                proof,
+            };
+            ctx.send(self.client_node(request.client), ack);
+        }
+    }
+
+    fn handle_full_execute_proof(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        seq: SeqNum,
+        digest: Digest,
+        pi: Signature,
+    ) {
+        if seq.get() <= self.last_stable.get() {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
+            return;
+        }
+        // Far ahead of us: we are lagging badly — fetch state (§VIII).
+        if seq.get() > self.last_executed.get() + self.config.window {
+            self.request_state_transfer(ctx, from);
+        }
+        {
+            let slot = self.slot(seq);
+            if slot.exec_proof.is_none() {
+                slot.exec_proof = Some(pi);
+            }
+        }
+        self.maybe_send_acks(ctx, seq);
+        self.maybe_checkpoint(ctx, seq, digest, pi);
+    }
+
+    // ---------- checkpointing & garbage collection (§V-F) ----------
+
+    fn maybe_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        digest: Digest,
+        pi: Signature,
+    ) {
+        if seq.get() < self.last_stable.get() + self.config.checkpoint_period {
+            return;
+        }
+        if self.last_executed < seq {
+            return;
+        }
+        let slot = self.slots.get(&seq.get());
+        let Some(slot) = slot else { return };
+        if slot.exec_digest != Some(digest) {
+            // Our execution diverged from the certified digest — resync.
+            self.request_state_transfer(ctx, self.id.as_usize());
+            return;
+        }
+        let (Some(state_root), Some(results_root)) = (slot.state_root, slot.results_root) else {
+            return;
+        };
+        ctx.incr("checkpoints", 1);
+        self.ledger.install_checkpoint(Checkpoint {
+            seq,
+            state_digest: digest,
+            state: self.service.snapshot(),
+        });
+        self.last_stable = seq;
+        self.stable_cert = Some((digest, pi));
+        self.stable_roots = Some((state_root, results_root));
+        // Garbage-collect protocol state and old execution artifacts,
+        // keeping half a window of artifacts for late client retries.
+        let keep_from = seq.get().saturating_sub(self.config.window / 2);
+        self.service.garbage_collect(SeqNum::new(keep_from));
+        self.slots = self.slots.split_off(&(seq.get() + 1));
+        let stable = self.last_stable;
+        self.executed_requests.retain(|_, (s, _)| *s > stable || s.get() + 64 > stable.get());
+        if self.is_primary() && self.next_proposal <= seq {
+            self.next_proposal = seq.next();
+        }
+    }
+
+    // ---------- view change (§V-G) ----------
+
+    fn start_view_change(&mut self, ctx: &mut Context<'_, SbftMsg>, target: ViewNum) {
+        if target <= self.view && self.in_view_change {
+            return;
+        }
+        ctx.incr("view_changes_started", 1);
+        self.in_view_change = true;
+        self.view = target;
+        self.vc_attempts = self.vc_attempts.saturating_add(1);
+        self.pending.clear();
+        self.proposed_table.clear();
+        let vc = self.build_view_change(target);
+        self.broadcast(ctx, &SbftMsg::ViewChange(vc));
+        // Retry with exponential backoff if this view does not form.
+        let backoff = self
+            .config
+            .view_timeout
+            .saturating_mul(1u64 << self.vc_attempts.min(6));
+        ctx.set_timer(backoff, timer::token(timer::VC_RETRY, target.get()));
+    }
+
+    fn build_view_change(&self, target: ViewNum) -> ViewChangeMsg {
+        if self.behavior == Behavior::StaleViewChange {
+            return ViewChangeMsg {
+                from: self.id,
+                new_view: target,
+                last_stable: SeqNum::ZERO,
+                checkpoint: None,
+                entries: Vec::new(),
+            };
+        }
+        let mut entries = Vec::new();
+        for (seq, slot) in &self.slots {
+            if *seq <= self.last_stable.get() {
+                continue;
+            }
+            let slow = match (&slot.commit_cert, slot.prepared) {
+                (Some(CommitCert::Slow(tau2)), _) => SlowEvidence::CommittedSlow {
+                    view: slot.commit_view.expect("cert has view"),
+                    tau2: *tau2,
+                    requests: slot.requests.clone().unwrap_or_default(),
+                },
+                (_, Some((tau, view))) if slot.requests.is_some() => SlowEvidence::Prepared {
+                    view,
+                    tau,
+                    requests: slot.requests.clone().expect("checked"),
+                },
+                _ => SlowEvidence::None,
+            };
+            let fast = match (&slot.commit_cert, slot.my_sigma_share) {
+                (Some(CommitCert::Fast(sigma)), _) => FastEvidence::CommittedFast {
+                    view: slot.commit_view.expect("cert has view"),
+                    sigma: *sigma,
+                    requests: slot.requests.clone().unwrap_or_default(),
+                },
+                (_, Some(share)) if slot.requests.is_some() => FastEvidence::PrePrepared {
+                    view: slot.view.expect("share implies pre-prepare"),
+                    share,
+                    requests: slot.requests.clone().expect("checked"),
+                },
+                _ => FastEvidence::None,
+            };
+            if matches!(
+                (&slow, &fast),
+                (SlowEvidence::None, FastEvidence::None)
+            ) {
+                continue;
+            }
+            entries.push(VcEntry {
+                seq: SeqNum::new(*seq),
+                slow,
+                fast,
+            });
+        }
+        ViewChangeMsg {
+            from: self.id,
+            new_view: target,
+            last_stable: self.last_stable,
+            checkpoint: self.stable_cert.clone(),
+            entries,
+        }
+    }
+
+    fn handle_view_change(&mut self, ctx: &mut Context<'_, SbftMsg>, vc: ViewChangeMsg) {
+        if vc.new_view <= self.view && !(self.in_view_change && vc.new_view == self.view) {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.verify_signature() * (1 + vc.entries.len() as u64));
+        if !validate_view_change(&self.public, &vc) {
+            return;
+        }
+        let entry = self.vc_messages.entry(vc.new_view.get()).or_default();
+        entry.insert(vc.from.get(), vc.clone());
+
+        // Join rule: f+1 distinct replicas moving to a higher view.
+        let target = vc.new_view;
+        let count = self.vc_messages[&target.get()].len();
+        if target > self.view && !self.in_view_change && count >= self.config.f + 1 {
+            self.start_view_change(ctx, target);
+        }
+        // New primary: assemble the quorum and install the view.
+        self.try_form_new_view(ctx, target);
+    }
+
+    fn try_form_new_view(&mut self, ctx: &mut Context<'_, SbftMsg>, target: ViewNum) {
+        if self.config.primary(target) != self.id {
+            return;
+        }
+        if target < self.view || (target == self.view && !self.in_view_change) {
+            return;
+        }
+        let Some(msgs) = self.vc_messages.get(&target.get()) else {
+            return;
+        };
+        if msgs.len() < self.config.view_change_quorum() {
+            return;
+        }
+        let vcs: Vec<ViewChangeMsg> = msgs.values().cloned().collect();
+        let Some(plan) = compute_plan(&self.config, target, &vcs) else {
+            return;
+        };
+        let nv = NewViewMsg {
+            view: target,
+            view_changes: vcs,
+        };
+        self.broadcast(ctx, &SbftMsg::NewView(nv));
+        self.apply_plan(ctx, plan);
+    }
+
+    fn handle_new_view(&mut self, ctx: &mut Context<'_, SbftMsg>, from: NodeId, nv: NewViewMsg) {
+        if nv.view < self.view || (nv.view == self.view && !self.in_view_change) {
+            return;
+        }
+        if from != self.config.primary(nv.view).as_usize() {
+            return;
+        }
+        // Validate the quorum: distinct senders, all evidence checks.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut valid = Vec::new();
+        let evidence: u64 = nv
+            .view_changes
+            .iter()
+            .map(|vc| 1 + vc.entries.len() as u64)
+            .sum();
+        ctx.charge_cpu_ns(self.cost.verify_signature() * evidence);
+        for vc in &nv.view_changes {
+            if vc.new_view != nv.view || !seen.insert(vc.from) {
+                continue;
+            }
+            if validate_view_change(&self.public, vc) {
+                valid.push(vc.clone());
+            }
+        }
+        let Some(plan) = compute_plan(&self.config, nv.view, &valid) else {
+            return;
+        };
+        self.apply_plan(ctx, plan);
+    }
+
+    fn apply_plan(&mut self, ctx: &mut Context<'_, SbftMsg>, plan: NewViewPlan) {
+        if plan.stable > self.last_executed {
+            // We are behind the quorum's stable state: fetch it first.
+            self.pending_new_view = Some(plan);
+            let peer = (self.id.as_usize() + 1) % self.n();
+            self.request_state_transfer(ctx, peer);
+            return;
+        }
+        ctx.incr("view_changes_completed", 1);
+        self.view = plan.view;
+        self.in_view_change = false;
+        self.vc_attempts = 0;
+        self.vc_messages = self.vc_messages.split_off(&(plan.view.get()));
+        let is_primary = self.is_primary();
+        let mut max_seq = self.last_stable;
+        for (seq, decision) in plan.decisions {
+            max_seq = max_seq.max(seq);
+            if self
+                .slots
+                .get(&seq.get())
+                .map(|s| s.committed)
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            match decision {
+                SlotDecision::Commit {
+                    requests,
+                    view,
+                    cert,
+                } => {
+                    let h = block_digest(seq, view, &requests);
+                    let slot = self.slot(seq);
+                    slot.view = Some(view);
+                    slot.requests = Some(requests);
+                    slot.h = Some(h);
+                    self.commit(ctx, seq, view, cert);
+                }
+                SlotDecision::Propose { requests } => {
+                    // Adopt as the new view's pre-prepare and sign-share.
+                    let view = plan.view;
+                    let h = block_digest(seq, view, &requests);
+                    let fast = self.config.flags.fast_path;
+                    let sigma = if fast {
+                        ctx.charge_cpu_ns(self.cost.sign_share());
+                        Some(self.my_keys.sigma.sign(DOMAIN_SIGMA, &h))
+                    } else {
+                        None
+                    };
+                    ctx.charge_cpu_ns(self.cost.sign_share());
+                    let tau = self.my_keys.tau.sign(DOMAIN_TAU, &h);
+                    {
+                        let slot = self.slots.entry(seq.get()).or_default();
+                        // Reset per-view collector state from older views.
+                        *slot = Slot {
+                            view: Some(view),
+                            requests: Some(requests),
+                            h: Some(h),
+                            sign_share_sent: true,
+                            my_sigma_share: sigma,
+                            prepared: slot.prepared,
+                            exec_digest: slot.exec_digest,
+                            state_root: slot.state_root,
+                            results_root: slot.results_root,
+                            ..Slot::default()
+                        };
+                    }
+                    let msg = SbftMsg::SignShare {
+                        seq,
+                        view,
+                        sigma,
+                        tau,
+                    };
+                    for collector in self.config.c_collectors(seq, view) {
+                        self.send_to(ctx, collector, msg.clone());
+                    }
+                }
+            }
+        }
+        if is_primary {
+            self.next_proposal = SeqNum::new(
+                self.next_proposal
+                    .get()
+                    .max(max_seq.get() + 1)
+                    .max(self.last_stable.get() + 1),
+            );
+            self.maybe_propose(ctx);
+        }
+        self.arm_watchdog(ctx);
+    }
+
+    // ---------- state transfer (§VIII) ----------
+
+    fn request_state_transfer(&mut self, ctx: &mut Context<'_, SbftMsg>, peer_hint: NodeId) {
+        if self.state_request_outstanding {
+            return;
+        }
+        self.state_request_outstanding = true;
+        ctx.incr("state_transfers_requested", 1);
+        let peer = if peer_hint < self.n() && peer_hint != self.id.as_usize() {
+            peer_hint
+        } else {
+            (self.id.as_usize() + 1) % self.n()
+        };
+        ctx.send(
+            peer,
+            SbftMsg::StateRequest {
+                last_executed: self.last_executed,
+            },
+        );
+    }
+
+    fn handle_state_request(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        last_executed: SeqNum,
+    ) {
+        if from >= self.n() {
+            return;
+        }
+        let Some(checkpoint) = self.ledger.checkpoint() else {
+            self.send_block_fills(ctx, from, last_executed);
+            return;
+        };
+        if checkpoint.seq > last_executed {
+            let Some((state_root, results_root)) = self.stable_roots else {
+                return;
+            };
+            let Some((_, pi)) = self.stable_cert else {
+                return;
+            };
+            for chunk in self.ledger.export_chunks(self.config.state_chunk_entries) {
+                ctx.send(
+                    from,
+                    SbftMsg::StateChunkMsg {
+                        chunk,
+                        state_root,
+                        results_root,
+                        pi,
+                    },
+                );
+            }
+        }
+        self.send_block_fills(ctx, from, last_executed.max(self.last_stable));
+    }
+
+    fn send_block_fills(&self, ctx: &mut Context<'_, SbftMsg>, to: NodeId, after: SeqNum) {
+        for (seq, slot) in &self.slots {
+            if *seq <= after.get() || !slot.committed {
+                continue;
+            }
+            let (Some(requests), Some(cert), Some(view)) =
+                (&slot.requests, &slot.commit_cert, slot.commit_view)
+            else {
+                continue;
+            };
+            ctx.send(
+                to,
+                SbftMsg::BlockFill {
+                    seq: SeqNum::new(*seq),
+                    view,
+                    requests: requests.clone(),
+                    cert: cert.clone(),
+                },
+            );
+        }
+    }
+
+    fn handle_state_chunk(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        chunk: StateChunk,
+        state_root: Digest,
+        results_root: Digest,
+        pi: Signature,
+    ) {
+        if chunk.seq <= self.last_executed {
+            return;
+        }
+        let digest = combine_state_digest(chunk.seq, &state_root, &results_root);
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
+            return;
+        }
+        self.assembler.add(chunk);
+        self.chunk_cert = Some((state_root, results_root, pi));
+        let Some((seq, state)) = self.assembler.try_assemble() else {
+            return;
+        };
+        if state.root() != state_root {
+            return; // corrupt transfer; wait for a fresh one
+        }
+        ctx.incr("state_transfers_completed", 1);
+        ctx.charge_cpu_ns(self.cost.hash(64 * state.len()));
+        self.service.install(state.clone(), seq, digest);
+        self.last_executed = seq;
+        self.last_stable = seq;
+        self.stable_cert = Some((digest, pi));
+        self.stable_roots = Some((state_root, results_root));
+        self.ledger.install_checkpoint(Checkpoint {
+            seq,
+            state_digest: digest,
+            state,
+        });
+        self.slots = self.slots.split_off(&(seq.get() + 1));
+        self.state_request_outstanding = false;
+        if let Some(plan) = self.pending_new_view.take() {
+            if plan.stable <= self.last_executed {
+                self.apply_plan(ctx, plan);
+            } else {
+                self.pending_new_view = Some(plan);
+            }
+        }
+        self.try_execute(ctx);
+    }
+
+    fn handle_block_fill(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        seq: SeqNum,
+        view: ViewNum,
+        requests: Vec<ClientRequest>,
+        cert: CommitCert,
+    ) {
+        if seq.get() <= self.last_executed.get() {
+            return;
+        }
+        let h = block_digest(seq, view, &requests);
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        let valid = match &cert {
+            CommitCert::Fast(sigma) => self.public.sigma.verify_either(DOMAIN_SIGMA, &h, sigma),
+            CommitCert::Slow(tau2) => {
+                let d2 = commit2_digest(seq, view, &h);
+                self.public.tau.verify_either(DOMAIN_TAU, &d2, tau2)
+            }
+        };
+        if !valid {
+            return;
+        }
+        {
+            let slot = self.slot(seq);
+            if slot.committed {
+                return;
+            }
+            slot.view = Some(view);
+            slot.requests = Some(requests);
+            slot.h = Some(h);
+        }
+        self.commit(ctx, seq, view, cert);
+        self.state_request_outstanding = false;
+    }
+}
+
+impl Node<SbftMsg> for ReplicaNode {
+    sbft_sim::impl_node_any!();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if self.behavior == Behavior::MutePrimary && self.is_primary() {
+            return;
+        }
+        let _ = ctx;
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
+        if self.behavior == Behavior::MutePrimary && self.is_primary() {
+            // A mute primary still participates as a backup, but never
+            // proposes; simplest faithful model: drop client requests.
+            if matches!(msg, SbftMsg::Request(_)) {
+                return;
+            }
+        }
+        match msg {
+            SbftMsg::Request(r) => self.handle_request(ctx, r),
+            SbftMsg::PrePrepare {
+                seq,
+                view,
+                requests,
+            } => self.handle_pre_prepare(ctx, from, seq, view, requests),
+            SbftMsg::SignShare {
+                seq,
+                view,
+                sigma,
+                tau,
+            } => self.handle_sign_share(ctx, from, seq, view, sigma, tau),
+            SbftMsg::FullCommitProof { seq, view, sigma } => {
+                self.handle_full_commit_proof(ctx, seq, view, CommitCert::Fast(sigma))
+            }
+            SbftMsg::Prepare { seq, view, tau } => self.handle_prepare(ctx, seq, view, tau),
+            SbftMsg::CommitShare { seq, view, share } => {
+                self.handle_commit_share(ctx, from, seq, view, share)
+            }
+            SbftMsg::FullCommitProofSlow { seq, view, tau2 } => {
+                self.handle_full_commit_proof(ctx, seq, view, CommitCert::Slow(tau2))
+            }
+            SbftMsg::SignState { seq, digest, share } => {
+                self.handle_sign_state(ctx, from, seq, digest, share)
+            }
+            SbftMsg::FullExecuteProof { seq, digest, pi } => {
+                self.handle_full_execute_proof(ctx, from, seq, digest, pi)
+            }
+            SbftMsg::ExecuteAck { .. } | SbftMsg::Reply { .. } => {
+                // Client-bound messages; replicas ignore them.
+            }
+            SbftMsg::ViewChange(vc) => self.handle_view_change(ctx, vc),
+            SbftMsg::NewView(nv) => self.handle_new_view(ctx, from, nv),
+            SbftMsg::StateRequest { last_executed } => {
+                self.handle_state_request(ctx, from, last_executed)
+            }
+            SbftMsg::StateChunkMsg {
+                chunk,
+                state_root,
+                results_root,
+                pi,
+            } => self.handle_state_chunk(ctx, chunk, state_root, results_root, pi),
+            SbftMsg::BlockFill {
+                seq,
+                view,
+                requests,
+                cert,
+            } => self.handle_block_fill(ctx, seq, view, requests, cert),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, SbftMsg>) {
+        let (kind, payload) = timer::split(token);
+        match kind {
+            timer::BATCH => {
+                self.batch_timer_set = false;
+                if self.is_primary()
+                    && !self.in_view_change
+                    && !self.pending.is_empty()
+                    && self.in_flight() < self.config.max_in_flight
+                {
+                    let take = self.pending.len().min(self.config.max_block_requests);
+                    let requests: Vec<ClientRequest> = self.pending.drain(..take).collect();
+                    let seq = self.next_proposal;
+                    self.next_proposal = self.next_proposal.next();
+                    self.propose_block(ctx, seq, requests);
+                }
+            }
+            timer::FAST_TIMEOUT => {
+                // Fast path did not complete in time: fall back (§V-E).
+                let seq = SeqNum::new(payload);
+                let view = self.view;
+                let tau_threshold = self.config.tau_threshold();
+                let should_prepare = {
+                    let slot = self.slot(seq);
+                    slot.fast_timer = None;
+                    let go = !slot.prepare_sent
+                        && slot.commit_cert.is_none()
+                        && !slot.committed
+                        && slot.tau_shares.len() >= tau_threshold;
+                    if go {
+                        slot.prepare_sent = true;
+                    }
+                    go
+                };
+                if should_prepare && !self.in_view_change {
+                    ctx.incr("fast_path_fallbacks", 1);
+                    self.consecutive_fallbacks = self.consecutive_fallbacks.saturating_add(1);
+                    self.emit_prepare(ctx, seq, view);
+                }
+            }
+            timer::STAGGER_FAST => {
+                let seq = SeqNum::new(payload);
+                let view = self.view;
+                if !self.in_view_change {
+                    self.emit_fast_proof(ctx, seq, view);
+                }
+            }
+            timer::STAGGER_PREPARE => {
+                let seq = SeqNum::new(payload);
+                let view = self.view;
+                if !self.in_view_change {
+                    self.emit_prepare(ctx, seq, view);
+                }
+            }
+            timer::STAGGER_SLOW => {
+                let seq = SeqNum::new(payload);
+                let view = self.view;
+                if !self.in_view_change {
+                    self.emit_slow_proof(ctx, seq, view);
+                }
+            }
+            timer::STAGGER_EXEC => {
+                let seq = SeqNum::new(payload);
+                let digest = self
+                    .slots
+                    .get(&seq.get())
+                    .and_then(|s| {
+                        s.pi_shares
+                            .iter()
+                            .max_by_key(|(_, shares)| shares.len())
+                            .map(|(d, _)| *d)
+                    });
+                if let Some(digest) = digest {
+                    self.emit_exec_proof(ctx, seq, digest);
+                }
+            }
+            timer::WATCHDOG => self.on_watchdog(ctx),
+            timer::VC_RETRY => {
+                let target = ViewNum::new(payload);
+                if self.in_view_change && self.view == target {
+                    // The view did not form in time; escalate.
+                    self.start_view_change(ctx, target.next());
+                }
+            }
+            _ => {}
+        }
+    }
+}

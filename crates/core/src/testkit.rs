@@ -1,0 +1,463 @@
+//! Cluster construction helpers shared by tests, examples and benchmarks.
+//!
+//! Builds a full simulated deployment: `n` replicas and `m` clients placed
+//! on a WAN topology, with key material, services and workloads wired up.
+
+use sbft_types::{ClientId, Digest, ReplicaId, SeqNum};
+
+use sbft_crypto::CryptoCostModel;
+use sbft_sim::{
+    NetworkConfig, NetworkModel, NodeId, Placement, SimDuration, Simulation, Topology,
+};
+use sbft_statedb::{KvOp, KvService, RawOp, Service};
+use sbft_wire::Wire;
+
+use crate::client::ClientNode;
+use crate::config::ProtocolConfig;
+use crate::keys::KeyMaterial;
+use crate::messages::SbftMsg;
+use crate::replica::{Behavior, ReplicaNode};
+
+/// Workload issued by each client.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// The §IX key-value benchmark: each request is `ops_per_request`
+    /// random puts (64 in batching mode, 1 without).
+    KvPut {
+        /// Number of requests per client.
+        requests: usize,
+        /// Operations batched into one request.
+        ops_per_request: usize,
+        /// Key space size.
+        key_space: u64,
+        /// Value size in bytes.
+        value_len: usize,
+    },
+    /// Explicit per-client operation lists (e.g. the Ethereum trace).
+    Explicit(Vec<Vec<RawOp>>),
+}
+
+impl Workload {
+    /// Builds the lazy request source for one client.
+    pub fn source_for(&self, client: usize, seed: u64) -> crate::client::RequestSource {
+        match self {
+            Workload::KvPut {
+                requests,
+                ops_per_request,
+                key_space,
+                value_len,
+            } => {
+                let mut rng =
+                    sbft_crypto::SplitMix64::new(seed ^ (client as u64).wrapping_mul(0x9e37));
+                let (requests, ops_per_request, key_space, value_len) =
+                    (*requests, *ops_per_request, *key_space, *value_len);
+                Box::new(move |i| {
+                    if i >= requests as u64 {
+                        return None;
+                    }
+                    let ops: Vec<KvOp> = (0..ops_per_request)
+                        .map(|_| KvOp::Put {
+                            key: (rng.next_u64() % key_space).to_le_bytes().to_vec(),
+                            value: (0..value_len).map(|_| rng.next_u64() as u8).collect(),
+                        })
+                        .collect();
+                    Some(if ops.len() == 1 {
+                        ops.into_iter().next().expect("one op").to_wire_bytes()
+                    } else {
+                        KvOp::Batch(ops).to_wire_bytes()
+                    })
+                })
+            }
+            Workload::Explicit(per_client) => {
+                let mine = per_client
+                    .get(client % per_client.len().max(1))
+                    .cloned()
+                    .unwrap_or_default();
+                Box::new(move |i| mine.get(i as usize).cloned())
+            }
+        }
+    }
+}
+
+/// Everything needed to build one simulated cluster.
+pub struct ClusterConfig {
+    /// Protocol parameters and variant flags.
+    pub protocol: ProtocolConfig,
+    /// Number of clients.
+    pub clients: usize,
+    /// Client workload.
+    pub workload: Workload,
+    /// Deployment topology.
+    pub topology: Topology,
+    /// VMs packed per physical machine per region (§IX; E7).
+    pub machines_per_region: usize,
+    /// Network parameters.
+    pub network: NetworkConfig,
+    /// Crypto CPU cost model.
+    pub cost: CryptoCostModel,
+    /// Client retry timeout.
+    pub client_retry: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Record a full message trace (Figure 1).
+    pub trace: bool,
+    /// Factory for each replica's service backend.
+    pub service_factory: Box<dyn Fn() -> Box<dyn Service>>,
+}
+
+impl ClusterConfig {
+    /// A small LAN cluster with a key-value service — the default starting
+    /// point for tests.
+    pub fn small(f: usize, c: usize, flags: crate::config::VariantFlags) -> Self {
+        let mut protocol = ProtocolConfig::new(f, c, flags);
+        // Tight timers for fast tests.
+        protocol.fast_path_timeout = SimDuration::from_millis(40);
+        protocol.collector_stagger = SimDuration::from_millis(20);
+        protocol.view_timeout = SimDuration::from_millis(500);
+        protocol.batch_delay = SimDuration::from_millis(2);
+        ClusterConfig {
+            protocol,
+            clients: 2,
+            workload: Workload::KvPut {
+                requests: 10,
+                ops_per_request: 1,
+                key_space: 64,
+                value_len: 16,
+            },
+            topology: Topology::lan(),
+            machines_per_region: 4,
+            network: NetworkConfig::default(),
+            cost: CryptoCostModel::free(),
+            client_retry: SimDuration::from_millis(400),
+            seed: 42,
+            trace: false,
+            service_factory: Box::new(|| Box::new(KvService::new())),
+        }
+    }
+}
+
+/// A built cluster: the simulation plus its shape.
+pub struct Cluster {
+    /// The underlying simulation.
+    pub sim: Simulation<SbftMsg>,
+    /// Number of replicas.
+    pub n: usize,
+    /// Number of clients.
+    pub clients: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration.
+    pub fn build(config: ClusterConfig) -> Cluster {
+        let n = config.protocol.n();
+        let total = n + config.clients;
+        let mut placement = Placement::round_robin(&config.topology, n, config.machines_per_region);
+        placement.extend(&config.topology, config.clients, config.machines_per_region);
+        let network = NetworkModel::new(config.topology, placement, config.network, total);
+        let mut sim = Simulation::new(network, config.seed, config.trace);
+        let keys = KeyMaterial::generate(&config.protocol, config.seed);
+        for r in 0..n {
+            let replica = ReplicaNode::new(
+                config.protocol.clone(),
+                ReplicaId::new(r as u32),
+                &keys,
+                (config.service_factory)(),
+                config.cost.clone(),
+            );
+            sim.add_node(Box::new(replica));
+        }
+        for c in 0..config.clients {
+            let source = config.workload.source_for(c, config.seed);
+            let client = ClientNode::new(
+                config.protocol.clone(),
+                ClientId::new(c as u32),
+                keys.public.clone(),
+                source,
+                config.client_retry,
+                config.cost.clone(),
+            );
+            sim.add_node(Box::new(client));
+        }
+        Cluster {
+            sim,
+            n,
+            clients: config.clients,
+        }
+    }
+
+    /// Node id of a replica.
+    pub fn replica_node(&self, r: usize) -> NodeId {
+        r
+    }
+
+    /// Node id of a client.
+    pub fn client_node(&self, c: usize) -> NodeId {
+        self.n + c
+    }
+
+    /// Starts all nodes and runs for a simulated duration.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.sim.start();
+        self.sim.run_for(duration);
+    }
+
+    /// Inspects a replica.
+    pub fn replica(&self, r: usize) -> &ReplicaNode {
+        self.sim
+            .node_as::<ReplicaNode>(r)
+            .expect("node is a replica")
+    }
+
+    /// Mutable access to a replica (behaviour injection before `run_for`).
+    pub fn replica_mut(&mut self, r: usize) -> &mut ReplicaNode {
+        self.sim
+            .node_as_mut::<ReplicaNode>(r)
+            .expect("node is a replica")
+    }
+
+    /// Inspects a client.
+    pub fn client(&self, c: usize) -> &ClientNode {
+        self.sim
+            .node_as::<ClientNode>(self.n + c)
+            .expect("node is a client")
+    }
+
+    /// Sets a replica's fault behaviour.
+    pub fn set_behavior(&mut self, r: usize, behavior: Behavior) {
+        self.replica_mut(r).set_behavior(behavior);
+    }
+
+    /// Crashes `count` replicas at `at`, skipping replica 0 (the initial
+    /// primary) as the paper's failure benchmarks do.
+    pub fn crash_backups(&mut self, count: usize, at: sbft_sim::SimTime) {
+        for r in 1..=count {
+            assert!(r < self.n, "cannot crash that many backups");
+            self.sim.schedule_crash(r, at);
+        }
+    }
+
+    /// Total completed client requests.
+    pub fn total_completed(&self) -> u64 {
+        self.sim.metrics().counter("client_completed")
+    }
+
+    /// Checks inter-replica safety: every pair of live replicas agrees on
+    /// every sequence number both have committed (Theorem VI.1), and
+    /// replicas that executed equally far have identical state digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the disagreement, if any.
+    pub fn assert_agreement(&self) {
+        let mut blocks: std::collections::BTreeMap<u64, (usize, Digest)> =
+            std::collections::BTreeMap::new();
+        let mut states: std::collections::BTreeMap<u64, (usize, Digest)> =
+            std::collections::BTreeMap::new();
+        for r in 0..self.n {
+            if self.sim.is_crashed(r) {
+                continue;
+            }
+            let replica = self.replica(r);
+            let max_seq = replica.last_executed().get() + 512;
+            for seq in 1..=max_seq {
+                let seq = SeqNum::new(seq);
+                if let Some(requests) = replica.committed_block(seq) {
+                    let digest = crate::messages::block_digest(
+                        seq,
+                        sbft_types::ViewNum::ZERO,
+                        requests,
+                    );
+                    if let Some((other, existing)) = blocks.get(&seq.get()) {
+                        assert_eq!(
+                            *existing, digest,
+                            "SAFETY: replicas {other} and {r} committed different blocks at {seq}"
+                        );
+                    } else {
+                        blocks.insert(seq.get(), (r, digest));
+                    }
+                }
+            }
+            let executed = replica.last_executed().get();
+            if executed > 0 {
+                let digest = replica.state_digest();
+                if let Some((other, existing)) = states.get(&executed) {
+                    assert_eq!(
+                        *existing, digest,
+                        "SAFETY: replicas {other} and {r} diverge in state at seq {executed}"
+                    );
+                } else {
+                    states.insert(executed, (r, digest));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariantFlags;
+    use sbft_sim::SimTime;
+
+    fn run_small(flags: crate::config::VariantFlags, f: usize, c: usize) -> Cluster {
+        let mut cluster = Cluster::build(ClusterConfig::small(f, c, flags));
+        cluster.run_for(SimDuration::from_secs(20));
+        cluster
+    }
+
+    #[test]
+    fn fast_path_commits_n4() {
+        // Figure 1 configuration: n=4, f=1, c=0.
+        let cluster = run_small(VariantFlags::SBFT, 1, 0);
+        assert_eq!(cluster.total_completed(), 20, "all requests complete");
+        cluster.assert_agreement();
+        // The fast path carried the load; no fallback happened.
+        assert!(cluster.sim.metrics().counter("fast_commits") > 0);
+        assert_eq!(cluster.sim.metrics().counter("slow_commits"), 0);
+        // Single-ack mode must not send per-replica replies.
+        assert_eq!(cluster.sim.metrics().label_count("reply"), 0);
+        assert!(cluster.sim.metrics().label_count("execute-ack") > 0);
+    }
+
+    #[test]
+    fn linear_pbft_variant_commits() {
+        let cluster = run_small(VariantFlags::LINEAR_PBFT, 1, 0);
+        assert_eq!(cluster.total_completed(), 20);
+        cluster.assert_agreement();
+        // No fast path: all commits are slow-path.
+        assert_eq!(cluster.sim.metrics().counter("fast_commits"), 0);
+        assert!(cluster.sim.metrics().counter("slow_commits") > 0);
+        // Clients get f+1 replies, not single acks.
+        assert!(cluster.sim.metrics().label_count("reply") > 0);
+        assert_eq!(cluster.sim.metrics().label_count("execute-ack"), 0);
+    }
+
+    #[test]
+    fn fast_path_variant_with_direct_replies() {
+        let cluster = run_small(VariantFlags::FAST_PATH, 1, 0);
+        assert_eq!(cluster.total_completed(), 20);
+        cluster.assert_agreement();
+        assert!(cluster.sim.metrics().counter("fast_commits") > 0);
+        assert!(cluster.sim.metrics().label_count("reply") > 0);
+    }
+
+    #[test]
+    fn crash_of_c_backups_keeps_fast_path() {
+        // With c=1 (n=6), one crashed backup must not leave the fast path.
+        let mut config = ClusterConfig::small(1, 1, VariantFlags::SBFT);
+        config.workload = Workload::KvPut {
+            requests: 10,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.sim.schedule_crash(5, SimTime::ZERO);
+        cluster.run_for(SimDuration::from_secs(20));
+        assert_eq!(cluster.total_completed(), 20);
+        cluster.assert_agreement();
+        assert!(cluster.sim.metrics().counter("fast_commits") > 0);
+    }
+
+    #[test]
+    fn crash_beyond_c_falls_back_to_slow_path() {
+        // c=0: a single crashed backup forces the linear-PBFT path.
+        let mut cluster = Cluster::build(ClusterConfig::small(1, 0, VariantFlags::SBFT));
+        cluster.sim.schedule_crash(3, SimTime::ZERO);
+        cluster.run_for(SimDuration::from_secs(30));
+        assert_eq!(cluster.total_completed(), 20);
+        cluster.assert_agreement();
+        assert!(cluster.sim.metrics().counter("slow_commits") > 0);
+        assert!(cluster.sim.metrics().counter("fast_path_fallbacks") > 0);
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change_and_recovers() {
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.workload = Workload::KvPut {
+            requests: 30,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        // Crash the primary mid-run (the LAN workload takes ~100ms, so
+        // crash early enough to interrupt it).
+        cluster
+            .sim
+            .schedule_crash(0, SimTime::ZERO + SimDuration::from_millis(20));
+        cluster.run_for(SimDuration::from_secs(60));
+        cluster.assert_agreement();
+        assert!(
+            cluster.sim.metrics().counter("view_changes_completed") > 0,
+            "a view change must have completed"
+        );
+        // Liveness: clients finish their workload under the new primary.
+        assert_eq!(cluster.total_completed(), 60);
+        for r in 1..4 {
+            assert!(cluster.replica(r).view() > sbft_types::ViewNum::ZERO);
+        }
+    }
+
+    #[test]
+    fn equivocating_primary_is_safe() {
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.clients = 4;
+        // Force multi-request blocks so the primary has something to
+        // split into conflicting proposals.
+        config.protocol.max_in_flight = 1;
+        let mut cluster = Cluster::build(config);
+        cluster.set_behavior(0, Behavior::EquivocatingPrimary);
+        cluster.run_for(SimDuration::from_secs(60));
+        // Equivocation must never produce conflicting commits.
+        cluster.assert_agreement();
+        // And the cluster must eventually make progress in a new view.
+        assert!(cluster.sim.metrics().counter("view_changes_completed") > 0);
+        assert!(cluster.total_completed() > 0, "liveness after equivocation");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_small(VariantFlags::SBFT, 1, 0);
+        let b = run_small(VariantFlags::SBFT, 1, 0);
+        assert_eq!(a.sim.events_processed(), b.sim.events_processed());
+        assert_eq!(
+            a.sim.metrics().samples("latency_ms"),
+            b.sim.metrics().samples("latency_ms")
+        );
+    }
+
+    #[test]
+    fn checkpoints_garbage_collect() {
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.protocol.checkpoint_period = 8;
+        config.workload = Workload::KvPut {
+            requests: 60,
+            ops_per_request: 1,
+            key_space: 16,
+            value_len: 8,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.run_for(SimDuration::from_secs(60));
+        assert_eq!(cluster.total_completed(), 120);
+        cluster.assert_agreement();
+        assert!(cluster.sim.metrics().counter("checkpoints") > 0);
+        for r in 0..4 {
+            assert!(
+                cluster.replica(r).last_stable().get() > 0,
+                "replica {r} never advanced its stable point"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_cluster_commits() {
+        // f=3, c=1 → n=12: a mid-size cluster exercising rotation.
+        let mut config = ClusterConfig::small(3, 1, VariantFlags::SBFT);
+        config.clients = 4;
+        let mut cluster = Cluster::build(config);
+        cluster.run_for(SimDuration::from_secs(30));
+        assert_eq!(cluster.total_completed(), 40);
+        cluster.assert_agreement();
+    }
+}

@@ -1,0 +1,158 @@
+//! CPU cost model for cryptographic operations.
+//!
+//! The simulator charges simulated CPU time for every cryptographic
+//! operation a node performs. Defaults approximate the paper's hardware
+//! (§IX: 32-VCPU Intel Broadwell 2.3 GHz) running RELIC BLS over BN-P254
+//! (§VIII), including the two latency optimizations the paper describes:
+//! batch verification of shares (§III) and parallelized exponentiations
+//! with background threads (§VIII).
+//!
+//! All durations are in nanoseconds of simulated time.
+
+/// Cost model for crypto operations, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CryptoCostModel {
+    /// SHA-256 throughput cost per byte.
+    pub hash_per_byte_ns: u64,
+    /// Fixed overhead per hash invocation.
+    pub hash_base_ns: u64,
+    /// BLS share signing (hash-to-group + one G1 multiplication).
+    pub bls_sign_ns: u64,
+    /// Verifying a single share or combined signature (two pairings).
+    pub bls_verify_ns: u64,
+    /// Per-share marginal cost inside a batch verification.
+    pub bls_batch_per_share_ns: u64,
+    /// Per-share cost of Lagrange interpolation in the exponent.
+    pub bls_combine_per_share_ns: u64,
+    /// Per-share cost of n-of-n aggregation (one group addition).
+    pub bls_multisig_per_share_ns: u64,
+    /// RSA-2048 signing (clients signing requests, §IX).
+    pub rsa_sign_ns: u64,
+    /// RSA-2048 verification.
+    pub rsa_verify_ns: u64,
+    /// Number of hardware threads usable for independent crypto work
+    /// (the paper parallelizes exponentiations across cores).
+    pub parallelism: u64,
+}
+
+impl Default for CryptoCostModel {
+    fn default() -> Self {
+        CryptoCostModel {
+            hash_per_byte_ns: 3,
+            hash_base_ns: 500,
+            bls_sign_ns: 300_000,
+            bls_verify_ns: 1_400_000,
+            bls_batch_per_share_ns: 120_000,
+            bls_combine_per_share_ns: 250_000,
+            bls_multisig_per_share_ns: 2_000,
+            rsa_sign_ns: 1_500_000,
+            rsa_verify_ns: 50_000,
+            parallelism: 16,
+        }
+    }
+}
+
+impl CryptoCostModel {
+    /// A zero-cost model, for tests that want pure protocol logic.
+    pub fn free() -> Self {
+        CryptoCostModel {
+            hash_per_byte_ns: 0,
+            hash_base_ns: 0,
+            bls_sign_ns: 0,
+            bls_verify_ns: 0,
+            bls_batch_per_share_ns: 0,
+            bls_combine_per_share_ns: 0,
+            bls_multisig_per_share_ns: 0,
+            rsa_sign_ns: 0,
+            rsa_verify_ns: 0,
+            parallelism: 1,
+        }
+    }
+
+    /// Cost of hashing `bytes` bytes.
+    pub fn hash(&self, bytes: usize) -> u64 {
+        self.hash_base_ns + self.hash_per_byte_ns * bytes as u64
+    }
+
+    /// Cost of producing one BLS signature share.
+    pub fn sign_share(&self) -> u64 {
+        self.bls_sign_ns
+    }
+
+    /// Cost of verifying one share or one combined signature.
+    pub fn verify_signature(&self) -> u64 {
+        self.bls_verify_ns
+    }
+
+    /// Cost of batch-verifying `m` shares, exploiting batch verification
+    /// and multicore parallelism (work is embarrassingly parallel).
+    pub fn batch_verify_shares(&self, m: usize) -> u64 {
+        if m == 0 {
+            return 0;
+        }
+        let serial = self.bls_verify_ns;
+        let parallel = self.bls_batch_per_share_ns * m as u64 / self.parallelism.max(1);
+        serial + parallel
+    }
+
+    /// Cost for a collector to combine `k` shares by Lagrange interpolation
+    /// in the exponent (parallelized exponentiations, §VIII).
+    pub fn combine_threshold(&self, k: usize) -> u64 {
+        self.bls_combine_per_share_ns * k as u64 / self.parallelism.max(1)
+    }
+
+    /// Cost for a collector to aggregate an `n`-of-`n` multisig
+    /// (group additions only — the reason the fast mode exists).
+    pub fn combine_multisig(&self, n: usize) -> u64 {
+        self.bls_multisig_per_share_ns * n as u64
+    }
+
+    /// Cost of verifying a client request signature (RSA-2048).
+    pub fn verify_request(&self) -> u64 {
+        self.rsa_verify_ns
+    }
+
+    /// Cost of a client signing its request (RSA-2048).
+    pub fn sign_request(&self) -> u64 {
+        self.rsa_sign_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multisig_is_cheaper_than_threshold_combine() {
+        let m = CryptoCostModel::default();
+        // This inequality is the reason §VIII's auto-switch exists.
+        assert!(m.combine_multisig(201) < m.combine_threshold(201));
+    }
+
+    #[test]
+    fn batch_verify_beats_individual() {
+        let m = CryptoCostModel::default();
+        let individually = 201 * m.verify_signature();
+        assert!(m.batch_verify_shares(201) < individually / 10);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CryptoCostModel::free();
+        assert_eq!(m.hash(1000), 0);
+        assert_eq!(m.batch_verify_shares(100), 0);
+        assert_eq!(m.combine_threshold(100), 0);
+    }
+
+    #[test]
+    fn hash_scales_with_size() {
+        let m = CryptoCostModel::default();
+        assert!(m.hash(10_000) > m.hash(10));
+        assert_eq!(m.hash(0), m.hash_base_ns);
+    }
+
+    #[test]
+    fn batch_of_zero_is_free() {
+        assert_eq!(CryptoCostModel::default().batch_verify_shares(0), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Polynomials over the scalar field, for Shamir secret sharing and
+//! Lagrange interpolation (the "interpolation in the exponent" of §III).
+
+use crate::field::{batch_invert, Scalar};
+
+/// A polynomial with scalar coefficients, lowest degree first.
+///
+/// # Examples
+///
+/// ```
+/// use sbft_crypto::{Polynomial, Scalar};
+///
+/// // p(x) = 5 + 2x
+/// let p = Polynomial::new(vec![Scalar::from_u64(5), Scalar::from_u64(2)]);
+/// assert_eq!(p.evaluate(&Scalar::from_u64(3)), Scalar::from_u64(11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coefficients: Vec<Scalar>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest degree first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty.
+    pub fn new(coefficients: Vec<Scalar>) -> Self {
+        assert!(!coefficients.is_empty(), "polynomial needs a coefficient");
+        Polynomial { coefficients }
+    }
+
+    /// Creates a random polynomial of the given degree with a fixed constant
+    /// term (the shared secret), drawing coefficients from `next_scalar`.
+    pub fn random_with_secret(
+        secret: Scalar,
+        degree: usize,
+        mut next_scalar: impl FnMut() -> Scalar,
+    ) -> Self {
+        let mut coefficients = Vec::with_capacity(degree + 1);
+        coefficients.push(secret);
+        for _ in 0..degree {
+            coefficients.push(next_scalar());
+        }
+        Polynomial { coefficients }
+    }
+
+    /// The degree (`len - 1`; the zero polynomial reports degree 0).
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// The coefficients, lowest degree first.
+    pub fn coefficients(&self) -> &[Scalar] {
+        &self.coefficients
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn evaluate(&self, x: &Scalar) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for c in self.coefficients.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+}
+
+/// Computes the Lagrange coefficients `λ_j` at `x = 0` for the distinct
+/// 1-based evaluation points `indices`, so that for any polynomial `p` of
+/// degree `< indices.len()`: `p(0) = Σ λ_j · p(indices[j])`.
+///
+/// # Panics
+///
+/// Panics if `indices` is empty, contains `0`, or contains duplicates.
+pub fn lagrange_coefficients_at_zero(indices: &[u64]) -> Vec<Scalar> {
+    assert!(!indices.is_empty(), "need at least one evaluation point");
+    let points: Vec<Scalar> = indices
+        .iter()
+        .map(|&i| {
+            assert!(i != 0, "evaluation points are 1-based");
+            Scalar::from_u64(i)
+        })
+        .collect();
+    for (a, &ia) in indices.iter().enumerate() {
+        for &ib in indices.iter().skip(a + 1) {
+            assert!(ia != ib, "duplicate evaluation point {ia}");
+        }
+    }
+    // λ_j = Π_{m≠j} x_m / (x_m - x_j)
+    let mut denominators = Vec::with_capacity(points.len());
+    let mut numerators = Vec::with_capacity(points.len());
+    for (j, xj) in points.iter().enumerate() {
+        let mut num = Scalar::ONE;
+        let mut den = Scalar::ONE;
+        for (m, xm) in points.iter().enumerate() {
+            if m == j {
+                continue;
+            }
+            num = num.mul(xm);
+            den = den.mul(&xm.sub(xj));
+        }
+        numerators.push(num);
+        denominators.push(den);
+    }
+    batch_invert(&mut denominators);
+    numerators
+        .into_iter()
+        .zip(denominators)
+        .map(|(n, d)| n.mul(&d))
+        .collect()
+}
+
+/// Interpolates `p(0)` from `(index, value)` pairs with distinct 1-based
+/// indices.
+///
+/// # Panics
+///
+/// Panics on empty input, zero indices, or duplicates.
+pub fn interpolate_at_zero(points: &[(u64, Scalar)]) -> Scalar {
+    let indices: Vec<u64> = points.iter().map(|(i, _)| *i).collect();
+    let lambdas = lagrange_coefficients_at_zero(&indices);
+    let mut acc = Scalar::ZERO;
+    for ((_, y), l) in points.iter().zip(&lambdas) {
+        acc = acc.add(&y.mul(l));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(v: u64) -> Scalar {
+        Scalar::from_u64(v)
+    }
+
+    #[test]
+    fn evaluate_constant() {
+        let p = Polynomial::new(vec![s(42)]);
+        assert_eq!(p.evaluate(&s(0)), s(42));
+        assert_eq!(p.evaluate(&s(100)), s(42));
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn evaluate_quadratic() {
+        // p(x) = 1 + 2x + 3x^2
+        let p = Polynomial::new(vec![s(1), s(2), s(3)]);
+        assert_eq!(p.evaluate(&s(0)), s(1));
+        assert_eq!(p.evaluate(&s(1)), s(6));
+        assert_eq!(p.evaluate(&s(2)), s(17));
+    }
+
+    #[test]
+    fn interpolation_recovers_secret() {
+        // Degree-2 polynomial: any 3 of 5 points recover p(0).
+        let p = Polynomial::new(vec![s(7), s(13), s(31)]);
+        let shares: Vec<(u64, Scalar)> = (1u64..=5).map(|i| (i, p.evaluate(&s(i)))).collect();
+        for subset in [[0usize, 1, 2], [0, 2, 4], [2, 3, 4], [1, 2, 3]] {
+            let pts: Vec<(u64, Scalar)> = subset.iter().map(|&i| shares[i]).collect();
+            assert_eq!(interpolate_at_zero(&pts), s(7), "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn interpolation_with_fewer_points_fails_to_recover() {
+        let p = Polynomial::new(vec![s(7), s(13), s(31)]);
+        let pts: Vec<(u64, Scalar)> = (1u64..=2).map(|i| (i, p.evaluate(&s(i)))).collect();
+        assert_ne!(interpolate_at_zero(&pts), s(7));
+    }
+
+    #[test]
+    fn lagrange_coefficients_sum_to_one() {
+        // For interpolation of the constant polynomial 1, Σ λ_j = 1.
+        let lambdas = lagrange_coefficients_at_zero(&[1, 2, 5, 9]);
+        let sum = lambdas.iter().fold(Scalar::ZERO, |a, b| a.add(b));
+        assert_eq!(sum, Scalar::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate evaluation point")]
+    fn duplicate_points_panic() {
+        lagrange_coefficients_at_zero(&[1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_point_panics() {
+        lagrange_coefficients_at_zero(&[0, 1]);
+    }
+
+    #[test]
+    fn random_with_secret_pins_constant_term() {
+        let mut ctr = 0u64;
+        let p = Polynomial::random_with_secret(s(99), 3, || {
+            ctr += 1;
+            s(ctr)
+        });
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.evaluate(&Scalar::ZERO), s(99));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_any_k_points_interpolate(
+            secret in any::<u64>(),
+            coeffs in proptest::collection::vec(any::<u64>(), 1..6),
+            mut picks in proptest::collection::vec(1u64..50, 1..6),
+        ) {
+            picks.sort_unstable();
+            picks.dedup();
+            let degree = coeffs.len();
+            prop_assume!(picks.len() > degree);
+            let mut cs = vec![s(secret)];
+            cs.extend(coeffs.iter().map(|&c| s(c)));
+            let p = Polynomial::new(cs);
+            let pts: Vec<(u64, Scalar)> = picks
+                .iter()
+                .take(degree + 1)
+                .map(|&i| (i, p.evaluate(&s(i))))
+                .collect();
+            prop_assert_eq!(interpolate_at_zero(&pts), s(secret));
+        }
+    }
+}

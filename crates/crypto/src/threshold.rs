@@ -1,0 +1,567 @@
+//! Robust threshold signatures (the σ/τ/π schemes of §V).
+//!
+//! For threshold `k` out of `n` signers, any `k` valid signature shares on a
+//! digest combine into one constant-size signature verifiable against a
+//! single public key. The scheme is *robust* (§III): collectors can filter
+//! out invalid shares from malicious participants, because every share is
+//! individually verifiable against the signer's public key share.
+//!
+//! Two combination modes are provided, mirroring §VIII ("Cryptography
+//! implementation"):
+//!
+//! - [`ThresholdPublicKey::combine`] — `k`-of-`n` via Lagrange interpolation
+//!   in the exponent;
+//! - [`ThresholdPublicKey::combine_multisig`] — `n`-of-`n` aggregation
+//!   ("BLS group signature"), cheaper because no interpolation is needed;
+//!   SBFT's fast path uses it while no failure is observed and falls back
+//!   automatically.
+
+use std::error::Error;
+use std::fmt;
+
+use sbft_types::Digest;
+
+use crate::field::Scalar;
+use crate::group::{hash_to_group, pairing_check, GroupElement};
+use crate::poly::{lagrange_coefficients_at_zero, Polynomial};
+use crate::rng::SplitMix64;
+
+/// A share of the threshold secret key, held by one signer.
+#[derive(Clone)]
+pub struct SecretKeyShare {
+    index: u16,
+    secret: Scalar,
+}
+
+impl fmt::Debug for SecretKeyShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "SecretKeyShare(index={})", self.index)
+    }
+}
+
+impl SecretKeyShare {
+    /// The signer's 1-based index.
+    pub fn index(&self) -> u16 {
+        self.index
+    }
+
+    /// Produces a signature share on `digest` under domain separation tag
+    /// `domain` (e.g. `b"sigma"`, `b"tau"`, `b"pi"`).
+    pub fn sign(&self, domain: &[u8], digest: &Digest) -> SignatureShare {
+        let hm = hash_to_group(domain, digest);
+        SignatureShare {
+            index: self.index,
+            value: hm.mul(&self.secret),
+        }
+    }
+}
+
+/// A verifiable signature share produced by one signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureShare {
+    index: u16,
+    value: GroupElement,
+}
+
+impl SignatureShare {
+    /// The 1-based index of the signer that produced this share.
+    pub fn index(&self) -> u16 {
+        self.index
+    }
+
+    /// The share's group element.
+    pub fn value(&self) -> &GroupElement {
+        &self.value
+    }
+
+    /// Builds a share from raw parts (used by the wire codec and by fault
+    /// injection in tests).
+    pub fn from_parts(index: u16, value: GroupElement) -> Self {
+        SignatureShare { index, value }
+    }
+}
+
+/// A combined, constant-size threshold signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    value: GroupElement,
+}
+
+impl Signature {
+    /// The signature's group element.
+    pub fn value(&self) -> &GroupElement {
+        &self.value
+    }
+
+    /// Builds a signature from a raw group element (wire codec / tests).
+    pub fn from_element(value: GroupElement) -> Self {
+        Signature { value }
+    }
+}
+
+/// Error from [`ThresholdPublicKey::combine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineError {
+    /// Fewer than `threshold` *valid* shares were available. Invalid shares
+    /// are filtered (robustness), so this also fires when too many shares
+    /// were bogus.
+    NotEnoughValidShares {
+        /// Number of distinct valid shares seen.
+        valid: usize,
+        /// The scheme's threshold `k`.
+        needed: usize,
+    },
+    /// Multisig combination requires exactly the full signer set.
+    IncompleteMultisig {
+        /// Number of distinct valid shares seen.
+        valid: usize,
+        /// Total number of signers `n`.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for CombineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineError::NotEnoughValidShares { valid, needed } => {
+                write!(f, "only {valid} valid shares, threshold is {needed}")
+            }
+            CombineError::IncompleteMultisig { valid, needed } => {
+                write!(f, "multisig needs all {needed} shares, got {valid}")
+            }
+        }
+    }
+}
+
+impl Error for CombineError {}
+
+/// Public material of a threshold scheme: the group public key, per-signer
+/// public key shares, and the aggregate key for `n`-of-`n` multisig mode.
+#[derive(Debug, Clone)]
+pub struct ThresholdPublicKey {
+    threshold: usize,
+    n: usize,
+    public_key: GroupElement,
+    share_keys: Vec<GroupElement>,
+    aggregate_key: GroupElement,
+}
+
+impl ThresholdPublicKey {
+    /// The threshold `k`: number of shares needed to combine.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Total number of signers `n`.
+    pub fn total(&self) -> usize {
+        self.n
+    }
+
+    /// The group public key the combined signature verifies against.
+    pub fn public_key(&self) -> &GroupElement {
+        &self.public_key
+    }
+
+    /// The public key share of the 1-based signer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is 0 or greater than `n`.
+    pub fn share_key(&self, index: u16) -> &GroupElement {
+        &self.share_keys[index as usize - 1]
+    }
+
+    /// Verifies one signature share against its signer's public key share.
+    pub fn verify_share(&self, domain: &[u8], digest: &Digest, share: &SignatureShare) -> bool {
+        if share.index == 0 || share.index as usize > self.n {
+            return false;
+        }
+        let hm = hash_to_group(domain, digest);
+        // e(σ_i, G) == e(H(m), pk_i)
+        pairing_check(
+            &share.value,
+            &GroupElement::generator(),
+            &hm,
+            self.share_key(share.index),
+        )
+    }
+
+    /// Verifies a batch of shares with one random linear combination, as
+    /// batch BLS verification does (§III: shares "support batch
+    /// verification ... at nearly the same cost of validating only one").
+    ///
+    /// Returns `true` iff every share in the batch is valid. `seed` supplies
+    /// the verifier's randomness.
+    pub fn batch_verify_shares(
+        &self,
+        domain: &[u8],
+        digest: &Digest,
+        shares: &[SignatureShare],
+        seed: u64,
+    ) -> bool {
+        if shares.is_empty() {
+            return true;
+        }
+        if shares
+            .iter()
+            .any(|s| s.index == 0 || s.index as usize > self.n)
+        {
+            return false;
+        }
+        let hm = hash_to_group(domain, digest);
+        let mut rng = SplitMix64::new(seed);
+        let mut lhs = GroupElement::IDENTITY;
+        let mut rhs_key = GroupElement::IDENTITY;
+        for share in shares {
+            let gamma = Scalar::from_u64(rng.next_u64() | 1);
+            lhs = lhs.add(&share.value.mul(&gamma));
+            rhs_key = rhs_key.add(&self.share_key(share.index).mul(&gamma));
+        }
+        pairing_check(&lhs, &GroupElement::generator(), &hm, &rhs_key)
+    }
+
+    /// Combines `k`-of-`n` shares into a signature via Lagrange
+    /// interpolation, filtering invalid or duplicate shares (robustness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombineError::NotEnoughValidShares`] when fewer than `k`
+    /// distinct valid shares remain after filtering.
+    pub fn combine(
+        &self,
+        domain: &[u8],
+        digest: &Digest,
+        shares: &[SignatureShare],
+    ) -> Result<Signature, CombineError> {
+        let mut seen = vec![false; self.n + 1];
+        let mut valid: Vec<&SignatureShare> = Vec::with_capacity(self.threshold);
+        for share in shares {
+            if valid.len() == self.threshold {
+                break;
+            }
+            let idx = share.index as usize;
+            if idx == 0 || idx > self.n || seen[idx] {
+                continue;
+            }
+            if self.verify_share(domain, digest, share) {
+                seen[idx] = true;
+                valid.push(share);
+            }
+        }
+        if valid.len() < self.threshold {
+            return Err(CombineError::NotEnoughValidShares {
+                valid: valid.len(),
+                needed: self.threshold,
+            });
+        }
+        let indices: Vec<u64> = valid.iter().map(|s| s.index as u64).collect();
+        let lambdas = lagrange_coefficients_at_zero(&indices);
+        let mut acc = GroupElement::IDENTITY;
+        for (share, lambda) in valid.iter().zip(&lambdas) {
+            acc = acc.add(&share.value.mul(lambda));
+        }
+        Ok(Signature { value: acc })
+    }
+
+    /// Combines all `n` shares by plain aggregation (no interpolation) —
+    /// the "BLS group signature (n-out-of-n threshold)" fast mode of §VIII.
+    /// The result verifies with [`ThresholdPublicKey::verify_multisig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombineError::IncompleteMultisig`] unless exactly one valid
+    /// share from every signer is present.
+    pub fn combine_multisig(
+        &self,
+        domain: &[u8],
+        digest: &Digest,
+        shares: &[SignatureShare],
+    ) -> Result<Signature, CombineError> {
+        let mut seen = vec![false; self.n + 1];
+        let mut acc = GroupElement::IDENTITY;
+        let mut count = 0usize;
+        for share in shares {
+            let idx = share.index as usize;
+            if idx == 0 || idx > self.n || seen[idx] {
+                continue;
+            }
+            if self.verify_share(domain, digest, share) {
+                seen[idx] = true;
+                acc = acc.add(&share.value);
+                count += 1;
+            }
+        }
+        if count != self.n {
+            return Err(CombineError::IncompleteMultisig {
+                valid: count,
+                needed: self.n,
+            });
+        }
+        Ok(Signature { value: acc })
+    }
+
+    /// Verifies a `k`-of-`n` combined signature against the group key.
+    pub fn verify(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
+        let hm = hash_to_group(domain, digest);
+        pairing_check(
+            &signature.value,
+            &GroupElement::generator(),
+            &hm,
+            &self.public_key,
+        )
+    }
+
+    /// Verifies an `n`-of-`n` multisig aggregate against the aggregate key.
+    pub fn verify_multisig(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
+        let hm = hash_to_group(domain, digest);
+        pairing_check(
+            &signature.value,
+            &GroupElement::generator(),
+            &hm,
+            &self.aggregate_key,
+        )
+    }
+
+    /// Verifies a signature accepting either combination mode, as receivers
+    /// do in SBFT (the collector may have used the group-signature fast
+    /// mode or threshold interpolation).
+    pub fn verify_either(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
+        self.verify(domain, digest, signature) || self.verify_multisig(domain, digest, signature)
+    }
+}
+
+/// Dealer key generation: produces the public material and the `n` secret
+/// key shares for a `k`-of-`n` scheme. All randomness derives from `seed`,
+/// keeping whole-system runs reproducible.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n` or `n > u16::MAX as usize`.
+pub fn generate_threshold_keys(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> (ThresholdPublicKey, Vec<SecretKeyShare>) {
+    assert!(k >= 1 && k <= n, "threshold {k} out of range for n={n}");
+    assert!(n <= u16::MAX as usize, "too many signers");
+    let mut rng = SplitMix64::new(seed);
+    let mut next_scalar = move || loop {
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_be_bytes());
+        }
+        let s = Scalar::from_bytes(&bytes);
+        if !s.is_zero() {
+            return s;
+        }
+    };
+    let secret = next_scalar();
+    let poly = Polynomial::random_with_secret(secret, k - 1, &mut next_scalar);
+    let generator = GroupElement::generator();
+    let mut shares = Vec::with_capacity(n);
+    let mut share_keys = Vec::with_capacity(n);
+    let mut aggregate_key = GroupElement::IDENTITY;
+    for i in 1..=n {
+        let s_i = poly.evaluate(&Scalar::from_u64(i as u64));
+        let pk_i = generator.mul(&s_i);
+        aggregate_key = aggregate_key.add(&pk_i);
+        share_keys.push(pk_i);
+        shares.push(SecretKeyShare {
+            index: i as u16,
+            secret: s_i,
+        });
+    }
+    let public = ThresholdPublicKey {
+        threshold: k,
+        n,
+        public_key: generator.mul(&secret),
+        share_keys,
+        aggregate_key,
+    };
+    (public, shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+    use proptest::prelude::*;
+
+    const DOMAIN: &[u8] = b"sigma";
+
+    fn setup(n: usize, k: usize) -> (ThresholdPublicKey, Vec<SecretKeyShare>, Digest) {
+        let (pk, sks) = generate_threshold_keys(n, k, 42);
+        (pk, sks, sha256(b"decision block"))
+    }
+
+    #[test]
+    fn shares_verify_individually() {
+        let (pk, sks, d) = setup(7, 5);
+        for sk in &sks {
+            let share = sk.sign(DOMAIN, &d);
+            assert!(pk.verify_share(DOMAIN, &d, &share));
+            // Wrong domain fails.
+            assert!(!pk.verify_share(b"tau", &d, &share));
+            // Wrong digest fails.
+            assert!(!pk.verify_share(DOMAIN, &sha256(b"other"), &share));
+        }
+    }
+
+    #[test]
+    fn combine_any_k_subset() {
+        let (pk, sks, d) = setup(7, 5);
+        let shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        for subset in [
+            vec![0usize, 1, 2, 3, 4],
+            vec![2, 3, 4, 5, 6],
+            vec![0, 2, 4, 5, 6],
+        ] {
+            let picked: Vec<SignatureShare> = subset.iter().map(|&i| shares[i]).collect();
+            let sig = pk.combine(DOMAIN, &d, &picked).unwrap();
+            assert!(pk.verify(DOMAIN, &d, &sig));
+            assert!(pk.verify_either(DOMAIN, &d, &sig));
+        }
+    }
+
+    #[test]
+    fn combine_is_subset_independent() {
+        // Different subsets produce the same signature (unique signature
+        // property of BLS threshold signatures).
+        let (pk, sks, d) = setup(7, 5);
+        let shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        let sig_a = pk.combine(DOMAIN, &d, &shares[0..5]).unwrap();
+        let sig_b = pk.combine(DOMAIN, &d, &shares[2..7]).unwrap();
+        assert_eq!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn too_few_shares_fail() {
+        let (pk, sks, d) = setup(7, 5);
+        let shares: Vec<SignatureShare> = sks[..4].iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        assert_eq!(
+            pk.combine(DOMAIN, &d, &shares),
+            Err(CombineError::NotEnoughValidShares {
+                valid: 4,
+                needed: 5
+            })
+        );
+    }
+
+    #[test]
+    fn robustness_filters_invalid_shares() {
+        let (pk, sks, d) = setup(7, 5);
+        let mut shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        // Corrupt two shares: combination must still succeed from the rest.
+        shares[0] = SignatureShare::from_parts(1, GroupElement::generator());
+        shares[3] = SignatureShare::from_parts(4, GroupElement::IDENTITY);
+        let sig = pk.combine(DOMAIN, &d, &shares).unwrap();
+        assert!(pk.verify(DOMAIN, &d, &sig));
+        // But if corruption leaves < k valid, it fails.
+        let mostly_bad: Vec<SignatureShare> = (1..=7)
+            .map(|i| SignatureShare::from_parts(i as u16, GroupElement::generator()))
+            .collect();
+        assert!(pk.combine(DOMAIN, &d, &mostly_bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_shares_do_not_count_twice() {
+        let (pk, sks, d) = setup(7, 5);
+        let one = sks[0].sign(DOMAIN, &d);
+        let dup = vec![one; 10];
+        assert_eq!(
+            pk.combine(DOMAIN, &d, &dup),
+            Err(CombineError::NotEnoughValidShares {
+                valid: 1,
+                needed: 5
+            })
+        );
+    }
+
+    #[test]
+    fn multisig_requires_all_and_verifies() {
+        let (pk, sks, d) = setup(5, 4);
+        let shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        let sig = pk.combine_multisig(DOMAIN, &d, &shares).unwrap();
+        assert!(pk.verify_multisig(DOMAIN, &d, &sig));
+        assert!(pk.verify_either(DOMAIN, &d, &sig));
+        // The multisig aggregate is NOT the threshold signature.
+        assert!(!pk.verify(DOMAIN, &d, &sig));
+        // Missing one share fails.
+        assert_eq!(
+            pk.combine_multisig(DOMAIN, &d, &shares[..4]),
+            Err(CombineError::IncompleteMultisig {
+                valid: 4,
+                needed: 5
+            })
+        );
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_rejects_corrupt() {
+        let (pk, sks, d) = setup(9, 5);
+        let mut shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        assert!(pk.batch_verify_shares(DOMAIN, &d, &shares, 7));
+        assert!(pk.batch_verify_shares(DOMAIN, &d, &[], 7));
+        shares[4] = SignatureShare::from_parts(5, GroupElement::generator());
+        assert!(!pk.batch_verify_shares(DOMAIN, &d, &shares, 7));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let (pk, _, d) = setup(5, 3);
+        let bogus = SignatureShare::from_parts(0, GroupElement::generator());
+        assert!(!pk.verify_share(DOMAIN, &d, &bogus));
+        let bogus = SignatureShare::from_parts(6, GroupElement::generator());
+        assert!(!pk.verify_share(DOMAIN, &d, &bogus));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (pk_a, sks_a) = generate_threshold_keys(4, 3, 1234);
+        let (pk_b, sks_b) = generate_threshold_keys(4, 3, 1234);
+        let d = sha256(b"m");
+        assert_eq!(pk_a.public_key(), pk_b.public_key());
+        assert_eq!(sks_a[0].sign(DOMAIN, &d), sks_b[0].sign(DOMAIN, &d));
+        let (pk_c, _) = generate_threshold_keys(4, 3, 5678);
+        assert_ne!(pk_a.public_key(), pk_c.public_key());
+    }
+
+    #[test]
+    fn sbft_parameter_shapes() {
+        // The paper's three schemes for f=2, c=1: n = 3f+2c+1 = 9,
+        // σ: 3f+c+1 = 8, τ: 2f+c+1 = 6, π: f+1 = 3.
+        let n = 9;
+        let d = sha256(b"block");
+        for (k, domain) in [(8usize, b"sigma".as_ref()), (6, b"tau"), (3, b"pi")] {
+            let (pk, sks) = generate_threshold_keys(n, k, 99);
+            let shares: Vec<SignatureShare> =
+                sks[..k].iter().map(|s| s.sign(domain, &d)).collect();
+            let sig = pk.combine(domain, &d, &shares).unwrap();
+            assert!(pk.verify(domain, &d, &sig));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_random_subsets_combine(
+            seed in any::<u64>(),
+            n in 3usize..12,
+            extra in 0usize..4,
+        ) {
+            let k = (n / 2 + 1).min(n);
+            let (pk, sks) = generate_threshold_keys(n, k, seed);
+            let d = sha256(&seed.to_be_bytes());
+            // Take k + extra shares starting at a rotating offset.
+            let take = (k + extra).min(n);
+            let offset = (seed as usize) % n;
+            let shares: Vec<SignatureShare> = (0..take)
+                .map(|i| sks[(offset + i) % n].sign(DOMAIN, &d))
+                .collect();
+            let sig = pk.combine(DOMAIN, &d, &shares).unwrap();
+            prop_assert!(pk.verify(DOMAIN, &d, &sig));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! A small assembler for EVM-subset bytecode.
+//!
+//! Exists so the standard contracts (`contracts.rs`) and tests can be
+//! written legibly instead of as hex blobs. Syntax:
+//!
+//! - one or more whitespace-separated tokens; `;` starts a line comment;
+//! - `MNEMONIC` — any opcode name (`PUSH1`..`PUSH32` require an immediate);
+//! - `0x..` — the hex immediate following a `PUSHn`;
+//! - `name:` — defines a label at the current position (emit a `JUMPDEST`
+//!   explicitly; the label itself emits nothing);
+//! - `@name` — pushes the label's address (`PUSH2 hi lo`).
+//!
+//! # Examples
+//!
+//! ```
+//! let code = sbft_evm::assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP")?;
+//! assert_eq!(code, vec![0x60, 0x01, 0x60, 0x02, 0x01, 0x00]);
+//! # Ok::<(), sbft_evm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::opcodes::{opcode_from_mnemonic, Opcode};
+
+/// Error from [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A token was not a known mnemonic, immediate, or label.
+    UnknownToken(String),
+    /// A `PUSHn` was not followed by a hex immediate.
+    MissingImmediate(String),
+    /// An immediate did not fit the announced `PUSHn` width.
+    ImmediateTooWide(String),
+    /// `@label` referenced an undefined label.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownToken(t) => write!(f, "unknown token `{t}`"),
+            AsmError::MissingImmediate(t) => write!(f, "`{t}` needs a hex immediate"),
+            AsmError::ImmediateTooWide(t) => write!(f, "immediate `{t}` too wide for its PUSH"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+enum Item {
+    Bytes(Vec<u8>),
+    LabelRef(String),
+}
+
+/// Assembles source text into bytecode.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem found.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    // Strip comments, tokenize.
+    let mut tokens: Vec<String> = Vec::new();
+    for line in source.lines() {
+        let code_part = line.split(';').next().unwrap_or("");
+        tokens.extend(code_part.split_whitespace().map(str::to_owned));
+    }
+
+    // First pass: emit items, measure label positions.
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut position = 0usize;
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        if let Some(label) = token.strip_suffix(':') {
+            if labels.insert(label.to_owned(), position).is_some() {
+                return Err(AsmError::DuplicateLabel(label.to_owned()));
+            }
+            continue;
+        }
+        if let Some(label) = token.strip_prefix('@') {
+            // PUSH2 hi lo
+            items.push(Item::LabelRef(label.to_owned()));
+            position += 3;
+            continue;
+        }
+        let Some(op) = opcode_from_mnemonic(&token) else {
+            return Err(AsmError::UnknownToken(token));
+        };
+        let mut bytes = vec![op.to_byte()];
+        if let Opcode::Push(n) = op {
+            let imm = iter
+                .next()
+                .ok_or_else(|| AsmError::MissingImmediate(token.clone()))?;
+            let hex = imm
+                .strip_prefix("0x")
+                .ok_or_else(|| AsmError::MissingImmediate(token.clone()))?;
+            let mut value = sbft_types::decode_hex(hex)
+                .map_err(|_| AsmError::UnknownToken(imm.clone()))?;
+            if value.len() > n as usize {
+                return Err(AsmError::ImmediateTooWide(imm));
+            }
+            // Left-pad to the announced width.
+            let mut padded = vec![0u8; n as usize - value.len()];
+            padded.append(&mut value);
+            bytes.extend_from_slice(&padded);
+        }
+        position += bytes.len();
+        items.push(Item::Bytes(bytes));
+    }
+
+    // Second pass: resolve label references.
+    let mut code = Vec::with_capacity(position);
+    for item in items {
+        match item {
+            Item::Bytes(b) => code.extend_from_slice(&b),
+            Item::LabelRef(label) => {
+                let target = *labels
+                    .get(&label)
+                    .ok_or(AsmError::UndefinedLabel(label))?;
+                code.push(Opcode::Push(2).to_byte());
+                code.push((target >> 8) as u8);
+                code.push((target & 0xff) as u8);
+            }
+        }
+    }
+    Ok(code)
+}
+
+/// Disassembles bytecode into one mnemonic per line (for debugging and the
+/// `quickstart` example output).
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let op = Opcode::from_byte(code[pc]);
+        out.push_str(&format!("{pc:04x}: {op}"));
+        if let Opcode::Push(n) = op {
+            let end = (pc + 1 + n as usize).min(code.len());
+            out.push_str(" 0x");
+            for b in &code[pc + 1..end] {
+                out.push_str(&format!("{b:02x}"));
+            }
+            pc = end;
+        } else {
+            pc += 1;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program() {
+        let code = assemble("PUSH1 0x2a PUSH1 0x00 SSTORE STOP").unwrap();
+        assert_eq!(code, vec![0x60, 0x2a, 0x60, 0x00, 0x55, 0x00]);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let code = assemble("  PUSH1 0x01 ; the answer\n\n STOP ; done").unwrap();
+        assert_eq!(code, vec![0x60, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let code = assemble("@end JUMP PUSH1 0x00 end: JUMPDEST STOP").unwrap();
+        // PUSH2 0x0006 JUMP PUSH1 0x00 JUMPDEST STOP
+        assert_eq!(code, vec![0x61, 0x00, 0x06, 0x56, 0x60, 0x00, 0x5b, 0x00]);
+    }
+
+    #[test]
+    fn immediate_padding() {
+        let code = assemble("PUSH4 0x01").unwrap();
+        assert_eq!(code, vec![0x63, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            assemble("BOGUS"),
+            Err(AsmError::UnknownToken("BOGUS".to_owned()))
+        );
+        assert_eq!(
+            assemble("PUSH1"),
+            Err(AsmError::MissingImmediate("PUSH1".to_owned()))
+        );
+        assert_eq!(
+            assemble("PUSH1 0x0102"),
+            Err(AsmError::ImmediateTooWide("0x0102".to_owned()))
+        );
+        assert_eq!(
+            assemble("@nowhere JUMP"),
+            Err(AsmError::UndefinedLabel("nowhere".to_owned()))
+        );
+        assert_eq!(
+            assemble("a: a: STOP"),
+            Err(AsmError::DuplicateLabel("a".to_owned()))
+        );
+        assert_eq!(
+            assemble("PUSH1 42"),
+            Err(AsmError::MissingImmediate("PUSH1".to_owned()))
+        );
+    }
+
+    #[test]
+    fn disassembles() {
+        let code = assemble("PUSH2 0x0102 ADD STOP").unwrap();
+        let text = disassemble(&code);
+        assert!(text.contains("PUSH2 0x0102"));
+        assert!(text.contains("ADD"));
+        assert!(text.contains("STOP"));
+    }
+}

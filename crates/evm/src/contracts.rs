@@ -1,0 +1,273 @@
+//! Standard contracts used by the examples, tests and the Ethereum-like
+//! workload generator (§IX "Smart-Contract benchmark").
+//!
+//! All are written in the `asm` dialect and compiled at first use.
+
+use sbft_types::U256;
+
+use crate::asm::assemble;
+
+/// A counter: every call increments storage slot 0.
+pub fn counter_code() -> Vec<u8> {
+    assemble(
+        r"
+        PUSH1 0x00 SLOAD
+        PUSH1 0x01 ADD
+        PUSH1 0x00 SSTORE
+        STOP
+        ",
+    )
+    .expect("counter assembles")
+}
+
+/// An ERC20-style token.
+///
+/// Calldata layout: 1 selector byte, then two 32-byte arguments.
+///
+/// - selector `1` — `mint(to, amount)`: credits `amount` to `to`;
+/// - selector `2` — `transfer(to, amount)`: moves `amount` from the caller
+///   to `to`, reverting on insufficient balance;
+/// - selector `3` — `balance_of(who, _)`: returns the balance.
+///
+/// Balances live in storage keyed by the account word.
+pub fn token_code() -> Vec<u8> {
+    assemble(
+        r"
+        ; dispatch on calldata[0]
+        PUSH1 0x00 CALLDATALOAD PUSH1 0xf8 SHR
+        DUP1 PUSH1 0x01 EQ @mint JUMPI
+        DUP1 PUSH1 0x02 EQ @transfer JUMPI
+        DUP1 PUSH1 0x03 EQ @balance JUMPI
+        STOP
+
+        mint: JUMPDEST
+        POP
+        PUSH1 0x01 CALLDATALOAD           ; [to]
+        DUP1 SLOAD                        ; [to, bal]
+        PUSH1 0x21 CALLDATALOAD ADD       ; [to, bal+amt]
+        SWAP1 SSTORE                      ; storage[to] = bal+amt
+        STOP
+
+        transfer: JUMPDEST
+        POP
+        PUSH1 0x21 CALLDATALOAD           ; [amt]
+        CALLER SLOAD                      ; [amt, balF]
+        DUP2 DUP2 LT                      ; [amt, balF, balF<amt]
+        @broke JUMPI                      ; [amt, balF]
+        DUP2 DUP2 SUB                     ; [amt, balF, balF-amt]
+        CALLER SSTORE                     ; storage[caller] = balF-amt; [amt, balF]
+        POP                               ; [amt]
+        PUSH1 0x01 CALLDATALOAD           ; [amt, to]
+        DUP1 SLOAD                        ; [amt, to, balT]
+        DUP3 ADD                          ; [amt, to, balT+amt]
+        SWAP1 SSTORE                      ; storage[to] = balT+amt; [amt]
+        POP
+        STOP
+
+        broke: JUMPDEST
+        PUSH1 0x00 PUSH1 0x00 REVERT
+
+        balance: JUMPDEST
+        POP
+        PUSH1 0x01 CALLDATALOAD SLOAD
+        PUSH1 0x00 MSTORE
+        PUSH1 0x20 PUSH1 0x00 RETURN
+        ",
+    )
+    .expect("token assembles")
+}
+
+/// A registry: calldata is a 32-byte key then a 32-byte value; each call
+/// stores `value` under `key` and logs the write.
+pub fn registry_code() -> Vec<u8> {
+    assemble(
+        r"
+        PUSH1 0x20 CALLDATALOAD           ; [val]
+        PUSH1 0x00 CALLDATALOAD           ; [val, key]
+        DUP1 PUSH1 0x00 MSTORE            ; memory[0] = key; [val, key]
+        SSTORE                            ; storage[key] = val
+        PUSH1 0x20 PUSH1 0x00 LOG0
+        STOP
+        ",
+    )
+    .expect("registry assembles")
+}
+
+/// Builds the calldata for [`token_code`]'s `mint`.
+pub fn token_mint_calldata(to: &U256, amount: &U256) -> Vec<u8> {
+    selector_call(1, to, amount)
+}
+
+/// Builds the calldata for [`token_code`]'s `transfer`.
+pub fn token_transfer_calldata(to: &U256, amount: &U256) -> Vec<u8> {
+    selector_call(2, to, amount)
+}
+
+/// Builds the calldata for [`token_code`]'s `balance_of`.
+pub fn token_balance_calldata(who: &U256) -> Vec<u8> {
+    selector_call(3, who, &U256::ZERO)
+}
+
+fn selector_call(selector: u8, a: &U256, b: &U256) -> Vec<u8> {
+    let mut data = Vec::with_capacity(65);
+    data.push(selector);
+    data.extend_from_slice(&a.to_be_bytes());
+    data.extend_from_slice(&b.to_be_bytes());
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{execute, ExecEnv, MapStorage, Storage, VmError};
+
+    fn env_with_caller(caller: u64) -> ExecEnv {
+        ExecEnv {
+            caller: U256::from(caller),
+            ..ExecEnv::default()
+        }
+    }
+
+    #[test]
+    fn counter_increments() {
+        let code = counter_code();
+        let mut storage = MapStorage::new();
+        for expected in 1u64..=3 {
+            execute(&code, &[], &ExecEnv::default(), &mut storage, 100_000).unwrap();
+            assert_eq!(storage.sload(&U256::ZERO), U256::from(expected));
+        }
+    }
+
+    #[test]
+    fn token_mint_and_balance() {
+        let code = token_code();
+        let mut storage = MapStorage::new();
+        let alice = U256::from(0xa11ceu64);
+        execute(
+            &code,
+            &token_mint_calldata(&alice, &U256::from(100u64)),
+            &env_with_caller(1),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        let out = execute(
+            &code,
+            &token_balance_calldata(&alice),
+            &env_with_caller(1),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(U256::from_be_slice(&out.output), U256::from(100u64));
+    }
+
+    #[test]
+    fn token_transfer_moves_balance() {
+        let code = token_code();
+        let mut storage = MapStorage::new();
+        let alice = U256::from(0xa11ceu64);
+        let bob = U256::from(0xb0bu64);
+        execute(
+            &code,
+            &token_mint_calldata(&alice, &U256::from(100u64)),
+            &env_with_caller(1),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        // Alice sends 30 to Bob.
+        let env = ExecEnv {
+            caller: alice,
+            ..ExecEnv::default()
+        };
+        execute(
+            &code,
+            &token_transfer_calldata(&bob, &U256::from(30u64)),
+            &env,
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(storage.sload(&alice), U256::from(70u64));
+        assert_eq!(storage.sload(&bob), U256::from(30u64));
+    }
+
+    #[test]
+    fn token_transfer_reverts_when_broke() {
+        let code = token_code();
+        let mut storage = MapStorage::new();
+        let env = env_with_caller(0xdead);
+        let err = execute(
+            &code,
+            &token_transfer_calldata(&U256::from(1u64), &U256::from(5u64)),
+            &env,
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VmError::Reverted(_)));
+    }
+
+    #[test]
+    fn token_self_transfer_conserves_supply() {
+        let code = token_code();
+        let mut storage = MapStorage::new();
+        let alice = U256::from(7u64);
+        execute(
+            &code,
+            &token_mint_calldata(&alice, &U256::from(10u64)),
+            &env_with_caller(1),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        let env = ExecEnv {
+            caller: alice,
+            ..ExecEnv::default()
+        };
+        execute(
+            &code,
+            &token_transfer_calldata(&alice, &U256::from(4u64)),
+            &env,
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(storage.sload(&alice), U256::from(10u64));
+    }
+
+    #[test]
+    fn registry_stores_and_logs() {
+        let code = registry_code();
+        let mut storage = MapStorage::new();
+        let mut calldata = Vec::new();
+        calldata.extend_from_slice(&U256::from(5u64).to_be_bytes());
+        calldata.extend_from_slice(&U256::from(99u64).to_be_bytes());
+        let out = execute(
+            &code,
+            &calldata,
+            &ExecEnv::default(),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(storage.sload(&U256::from(5u64)), U256::from(99u64));
+        assert_eq!(out.logs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_selector_is_noop() {
+        let code = token_code();
+        let mut storage = MapStorage::new();
+        let out = execute(
+            &code,
+            &selector_call(9, &U256::ZERO, &U256::ZERO),
+            &env_with_caller(1),
+            &mut storage,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(out.output.is_empty());
+    }
+}

@@ -1,0 +1,778 @@
+//! The EVM-subset interpreter.
+//!
+//! Faithful to EVM stack semantics: binary operators compute
+//! `op(s[0], s[1])` where `s[0]` is the top of stack; `SSTORE` pops the key
+//! first, then the value; `JUMPI` pops destination then condition. Gas is
+//! metered per instruction with dynamic surcharges for memory expansion,
+//! hashing and log data.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use sbft_types::U256;
+
+use sbft_crypto::sha256;
+
+use crate::opcodes::Opcode;
+
+/// Stack depth limit (as in the EVM).
+pub const STACK_LIMIT: usize = 1024;
+/// Memory cap; growing past it aborts with `OutOfGas` (the simulator's
+/// stand-in for quadratic memory gas making huge memories unaffordable).
+pub const MEMORY_LIMIT: usize = 1 << 20;
+
+/// Why an execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Gas exhausted (or memory limit exceeded).
+    OutOfGas,
+    /// A pop on an empty stack (or insufficient depth for DUP/SWAP).
+    StackUnderflow,
+    /// Pushing beyond [`STACK_LIMIT`].
+    StackOverflow,
+    /// Jump to a non-`JUMPDEST` destination.
+    InvalidJump {
+        /// Attempted destination.
+        dest: u64,
+    },
+    /// `INVALID` opcode or an opcode outside the subset.
+    InvalidOpcode {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// The contract reverted; carries the revert payload.
+    Reverted(Vec<u8>),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfGas => f.write_str("out of gas"),
+            VmError::StackUnderflow => f.write_str("stack underflow"),
+            VmError::StackOverflow => f.write_str("stack overflow"),
+            VmError::InvalidJump { dest } => write!(f, "invalid jump destination {dest}"),
+            VmError::InvalidOpcode { byte } => write!(f, "invalid opcode 0x{byte:02x}"),
+            VmError::Reverted(_) => f.write_str("execution reverted"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// Contract storage as seen by one execution (already scoped to the
+/// contract's address by the caller).
+pub trait Storage {
+    /// Reads a storage slot (zero when never written).
+    fn sload(&self, key: &U256) -> U256;
+    /// Writes a storage slot.
+    fn sstore(&mut self, key: U256, value: U256);
+}
+
+/// In-memory [`Storage`] for tests and standalone execution.
+#[derive(Debug, Default, Clone)]
+pub struct MapStorage {
+    slots: std::collections::BTreeMap<U256, U256>,
+}
+
+impl MapStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        MapStorage::default()
+    }
+}
+
+impl Storage for MapStorage {
+    fn sload(&self, key: &U256) -> U256 {
+        self.slots.get(key).copied().unwrap_or(U256::ZERO)
+    }
+    fn sstore(&mut self, key: U256, value: U256) {
+        if value.is_zero() {
+            self.slots.remove(&key);
+        } else {
+            self.slots.insert(key, value);
+        }
+    }
+}
+
+/// Execution environment of one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct ExecEnv {
+    /// The executing contract's address (as a 256-bit word).
+    pub address: U256,
+    /// The transaction sender.
+    pub caller: U256,
+    /// Value transferred with the call.
+    pub call_value: U256,
+    /// Block number (sequence number of the decision block).
+    pub block_number: u64,
+    /// Block timestamp (simulated seconds).
+    pub timestamp: u64,
+}
+
+/// One emitted log entry (`LOG0`..`LOG4`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Indexed topics.
+    pub topics: Vec<U256>,
+    /// Raw payload.
+    pub data: Vec<u8>,
+}
+
+/// Outcome of a successful execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Bytes returned by `RETURN` (empty for `STOP`).
+    pub output: Vec<u8>,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Log entries emitted.
+    pub logs: Vec<LogEntry>,
+}
+
+/// Executes `code` with the given calldata, environment, storage and gas
+/// limit.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] describing the abort; storage writes made before
+/// the abort are the caller's responsibility to roll back (the transaction
+/// layer executes against a scratch overlay, see `tx.rs`).
+pub fn execute(
+    code: &[u8],
+    calldata: &[u8],
+    env: &ExecEnv,
+    storage: &mut dyn Storage,
+    gas_limit: u64,
+) -> Result<ExecOutcome, VmError> {
+    let valid_jumps = scan_jumpdests(code);
+    let mut stack: Vec<U256> = Vec::with_capacity(32);
+    let mut memory: Vec<u8> = Vec::new();
+    let mut logs: Vec<LogEntry> = Vec::new();
+    let mut pc: usize = 0;
+    let mut gas: u64 = gas_limit;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(VmError::StackUnderflow)?
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= STACK_LIMIT {
+                return Err(VmError::StackOverflow);
+            }
+            stack.push($v);
+        }};
+    }
+    macro_rules! charge {
+        ($amount:expr) => {{
+            let amount: u64 = $amount;
+            if gas < amount {
+                return Err(VmError::OutOfGas);
+            }
+            gas -= amount;
+        }};
+    }
+
+    fn grow(memory: &mut Vec<u8>, end: usize) -> Result<u64, VmError> {
+        if end > MEMORY_LIMIT {
+            return Err(VmError::OutOfGas);
+        }
+        if end > memory.len() {
+            let grown_words = (end - memory.len()).div_ceil(32) as u64;
+            memory.resize(end.div_ceil(32) * 32, 0);
+            Ok(3 * grown_words)
+        } else {
+            Ok(0)
+        }
+    }
+
+    loop {
+        let byte = match code.get(pc) {
+            Some(b) => *b,
+            None => {
+                // Running off the end of code is an implicit STOP.
+                return Ok(ExecOutcome {
+                    output: Vec::new(),
+                    gas_used: gas_limit - gas,
+                    logs,
+                });
+            }
+        };
+        let op = Opcode::from_byte(byte);
+        charge!(op.gas());
+        pc += 1;
+        match op {
+            Opcode::Stop => {
+                return Ok(ExecOutcome {
+                    output: Vec::new(),
+                    gas_used: gas_limit - gas,
+                    logs,
+                });
+            }
+            Opcode::Add => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_add(&b));
+            }
+            Opcode::Mul => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_mul(&b));
+            }
+            Opcode::Sub => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_sub(&b));
+            }
+            Opcode::Div => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.checked_div(&b).unwrap_or(U256::ZERO));
+            }
+            Opcode::SDiv => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.signed_div(&b));
+            }
+            Opcode::Mod => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.checked_rem(&b).unwrap_or(U256::ZERO));
+            }
+            Opcode::SMod => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.signed_rem(&b));
+            }
+            Opcode::AddMod => {
+                let (a, b, n) = (pop!(), pop!(), pop!());
+                if n.is_zero() {
+                    push!(U256::ZERO);
+                } else {
+                    // (a + b) mod n without losing the 257th bit: reduce
+                    // both operands first; their sum fits since n < 2^256.
+                    let ar = a.div_rem(&n).1;
+                    let br = b.div_rem(&n).1;
+                    let (sum, carry) = ar.overflowing_add(&br);
+                    let reduced = if carry || sum >= n {
+                        sum.wrapping_sub(&n)
+                    } else {
+                        sum
+                    };
+                    push!(reduced);
+                }
+            }
+            Opcode::MulMod => {
+                let (a, b, n) = (pop!(), pop!(), pop!());
+                if n.is_zero() {
+                    push!(U256::ZERO);
+                } else {
+                    // Schoolbook: 512-bit product mod n via shift-add.
+                    let mut acc = U256::ZERO;
+                    let mut shifted = a.div_rem(&n).1;
+                    for i in 0..b.bits() as usize {
+                        if b.bit(i) {
+                            let (s, c) = acc.overflowing_add(&shifted);
+                            acc = if c || s >= n { s.wrapping_sub(&n) } else { s };
+                        }
+                        let (d, c) = shifted.overflowing_add(&shifted);
+                        shifted = if c || d >= n { d.wrapping_sub(&n) } else { d };
+                    }
+                    push!(acc);
+                }
+            }
+            Opcode::Exp => {
+                let (a, e) = (pop!(), pop!());
+                // Dynamic gas: 50 per byte of exponent.
+                charge!(50 * e.bits().div_ceil(8) as u64);
+                push!(a.wrapping_pow(&e));
+            }
+            Opcode::SignExtend => {
+                let (k, x) = (pop!(), pop!());
+                if let Some(k) = k.to_u64().filter(|k| *k < 31) {
+                    let bit_index = (8 * (k as usize + 1)) - 1;
+                    if x.bit(bit_index) {
+                        let mask = U256::MAX << (bit_index + 1);
+                        push!(x | mask);
+                    } else {
+                        let mask = (U256::ONE << (bit_index + 1)).wrapping_sub(&U256::ONE);
+                        push!(x & mask);
+                    }
+                } else {
+                    push!(x);
+                }
+            }
+            Opcode::Lt => {
+                let (a, b) = (pop!(), pop!());
+                push!(U256::from(a < b));
+            }
+            Opcode::Gt => {
+                let (a, b) = (pop!(), pop!());
+                push!(U256::from(a > b));
+            }
+            Opcode::Slt => {
+                let (a, b) = (pop!(), pop!());
+                push!(U256::from(a.signed_lt(&b)));
+            }
+            Opcode::Sgt => {
+                let (a, b) = (pop!(), pop!());
+                push!(U256::from(b.signed_lt(&a)));
+            }
+            Opcode::Eq => {
+                let (a, b) = (pop!(), pop!());
+                push!(U256::from(a == b));
+            }
+            Opcode::IsZero => {
+                let a = pop!();
+                push!(U256::from(a.is_zero()));
+            }
+            Opcode::And => {
+                let (a, b) = (pop!(), pop!());
+                push!(a & b);
+            }
+            Opcode::Or => {
+                let (a, b) = (pop!(), pop!());
+                push!(a | b);
+            }
+            Opcode::Xor => {
+                let (a, b) = (pop!(), pop!());
+                push!(a ^ b);
+            }
+            Opcode::Not => {
+                let a = pop!();
+                push!(!a);
+            }
+            Opcode::Byte => {
+                let (i, x) = (pop!(), pop!());
+                let v = i
+                    .to_usize()
+                    .map(|i| x.byte_be(i))
+                    .unwrap_or(0);
+                push!(U256::from(v as u64));
+            }
+            Opcode::Shl => {
+                let (shift, value) = (pop!(), pop!());
+                push!(shift
+                    .to_usize()
+                    .map(|s| value << s)
+                    .unwrap_or(U256::ZERO));
+            }
+            Opcode::Shr => {
+                let (shift, value) = (pop!(), pop!());
+                push!(shift
+                    .to_usize()
+                    .map(|s| value >> s)
+                    .unwrap_or(U256::ZERO));
+            }
+            Opcode::Sar => {
+                let (shift, value) = (pop!(), pop!());
+                let s = shift.to_usize().unwrap_or(usize::MAX);
+                push!(value.arithmetic_shr(s.min(512)));
+            }
+            Opcode::Sha3 => {
+                let (offset, size) = (pop!(), pop!());
+                let (offset, size) = (
+                    offset.to_usize().ok_or(VmError::OutOfGas)?,
+                    size.to_usize().ok_or(VmError::OutOfGas)?,
+                );
+                charge!(grow(&mut memory, offset + size)?);
+                charge!(6 * (size as u64).div_ceil(32));
+                let digest = sha256(&memory[offset..offset + size]);
+                push!(U256::from_be_bytes(*digest.as_bytes()));
+            }
+            Opcode::Address => push!(env.address),
+            Opcode::Caller => push!(env.caller),
+            Opcode::CallValue => push!(env.call_value),
+            Opcode::CallDataLoad => {
+                let offset = pop!();
+                let mut word = [0u8; 32];
+                if let Some(offset) = offset.to_usize() {
+                    for (i, byte) in word.iter_mut().enumerate() {
+                        *byte = calldata.get(offset + i).copied().unwrap_or(0);
+                    }
+                }
+                push!(U256::from_be_bytes(word));
+            }
+            Opcode::CallDataSize => push!(U256::from(calldata.len() as u64)),
+            Opcode::CallDataCopy => {
+                let (dest, src, size) = (pop!(), pop!(), pop!());
+                let (dest, src, size) = (
+                    dest.to_usize().ok_or(VmError::OutOfGas)?,
+                    src.to_usize().unwrap_or(usize::MAX),
+                    size.to_usize().ok_or(VmError::OutOfGas)?,
+                );
+                charge!(grow(&mut memory, dest + size)?);
+                charge!(3 * (size as u64).div_ceil(32));
+                for i in 0..size {
+                    memory[dest + i] = calldata.get(src.saturating_add(i)).copied().unwrap_or(0);
+                }
+            }
+            Opcode::CodeSize => push!(U256::from(code.len() as u64)),
+            Opcode::Number => push!(U256::from(env.block_number)),
+            Opcode::Timestamp => push!(U256::from(env.timestamp)),
+            Opcode::Pop => {
+                pop!();
+            }
+            Opcode::MLoad => {
+                let offset = pop!().to_usize().ok_or(VmError::OutOfGas)?;
+                charge!(grow(&mut memory, offset + 32)?);
+                let mut word = [0u8; 32];
+                word.copy_from_slice(&memory[offset..offset + 32]);
+                push!(U256::from_be_bytes(word));
+            }
+            Opcode::MStore => {
+                let (offset, value) = (pop!(), pop!());
+                let offset = offset.to_usize().ok_or(VmError::OutOfGas)?;
+                charge!(grow(&mut memory, offset + 32)?);
+                memory[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+            }
+            Opcode::MStore8 => {
+                let (offset, value) = (pop!(), pop!());
+                let offset = offset.to_usize().ok_or(VmError::OutOfGas)?;
+                charge!(grow(&mut memory, offset + 1)?);
+                memory[offset] = value.low_u64() as u8;
+            }
+            Opcode::SLoad => {
+                let key = pop!();
+                push!(storage.sload(&key));
+            }
+            Opcode::SStore => {
+                let (key, value) = (pop!(), pop!());
+                storage.sstore(key, value);
+            }
+            Opcode::Jump => {
+                let dest = pop!().to_u64().unwrap_or(u64::MAX);
+                if !valid_jumps.contains(&(dest as usize)) {
+                    return Err(VmError::InvalidJump { dest });
+                }
+                pc = dest as usize;
+            }
+            Opcode::JumpI => {
+                let (dest, cond) = (pop!(), pop!());
+                if !cond.is_zero() {
+                    let dest = dest.to_u64().unwrap_or(u64::MAX);
+                    if !valid_jumps.contains(&(dest as usize)) {
+                        return Err(VmError::InvalidJump { dest });
+                    }
+                    pc = dest as usize;
+                }
+            }
+            Opcode::Pc => push!(U256::from((pc - 1) as u64)),
+            Opcode::MSize => push!(U256::from(memory.len() as u64)),
+            Opcode::Gas => push!(U256::from(gas)),
+            Opcode::JumpDest => {}
+            Opcode::Push(n) => {
+                let n = n as usize;
+                let end = (pc + n).min(code.len());
+                let slice = &code[pc.min(code.len())..end];
+                // Immediate bytes past the end of code read as zero (EVM
+                // rule): the value is `slice` followed by zeros, as an
+                // n-byte big-endian integer.
+                let mut word = [0u8; 32];
+                word[32 - n..32 - n + slice.len()].copy_from_slice(slice);
+                push!(U256::from_be_bytes(word));
+                pc += n;
+            }
+            Opcode::Dup(n) => {
+                let n = n as usize;
+                if stack.len() < n {
+                    return Err(VmError::StackUnderflow);
+                }
+                let v = stack[stack.len() - n];
+                push!(v);
+            }
+            Opcode::Swap(n) => {
+                let n = n as usize;
+                if stack.len() < n + 1 {
+                    return Err(VmError::StackUnderflow);
+                }
+                let top = stack.len() - 1;
+                stack.swap(top, top - n);
+            }
+            Opcode::Log(n) => {
+                let (offset, size) = (pop!(), pop!());
+                let mut topics = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    topics.push(pop!());
+                }
+                let (offset, size) = (
+                    offset.to_usize().ok_or(VmError::OutOfGas)?,
+                    size.to_usize().ok_or(VmError::OutOfGas)?,
+                );
+                charge!(grow(&mut memory, offset + size)?);
+                charge!(8 * size as u64);
+                logs.push(LogEntry {
+                    topics,
+                    data: memory[offset..offset + size].to_vec(),
+                });
+            }
+            Opcode::Return | Opcode::Revert => {
+                let (offset, size) = (pop!(), pop!());
+                let (offset, size) = (
+                    offset.to_usize().ok_or(VmError::OutOfGas)?,
+                    size.to_usize().ok_or(VmError::OutOfGas)?,
+                );
+                charge!(grow(&mut memory, offset + size)?);
+                let payload = memory[offset..offset + size].to_vec();
+                return if op == Opcode::Return {
+                    Ok(ExecOutcome {
+                        output: payload,
+                        gas_used: gas_limit - gas,
+                        logs,
+                    })
+                } else {
+                    Err(VmError::Reverted(payload))
+                };
+            }
+            Opcode::Invalid => return Err(VmError::InvalidOpcode { byte }),
+        }
+    }
+}
+
+/// Positions of valid `JUMPDEST`s (excluding bytes inside PUSH immediates).
+fn scan_jumpdests(code: &[u8]) -> HashSet<usize> {
+    let mut dests = HashSet::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match Opcode::from_byte(code[pc]) {
+            Opcode::JumpDest => {
+                dests.insert(pc);
+                pc += 1;
+            }
+            Opcode::Push(n) => pc += 1 + n as usize,
+            _ => pc += 1,
+        }
+    }
+    dests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(source: &str, calldata: &[u8]) -> Result<ExecOutcome, VmError> {
+        let code = assemble(source).expect("assembles");
+        let mut storage = MapStorage::new();
+        execute(&code, calldata, &ExecEnv::default(), &mut storage, 1_000_000)
+    }
+
+    fn run_with_storage(
+        source: &str,
+        calldata: &[u8],
+        storage: &mut MapStorage,
+    ) -> Result<ExecOutcome, VmError> {
+        let code = assemble(source).expect("assembles");
+        execute(&code, calldata, &ExecEnv::default(), storage, 1_000_000)
+    }
+
+    fn returned_word(outcome: &ExecOutcome) -> U256 {
+        U256::from_be_slice(&outcome.output)
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        // RETURN(0, 32) of 7 + 5.
+        let out = run(
+            "PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(12u64));
+    }
+
+    #[test]
+    fn sub_is_top_minus_second() {
+        // Stack [5, 7]: SUB = 7 - 5 = 2.
+        let out = run(
+            "PUSH1 0x05 PUSH1 0x07 SUB PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(2u64));
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        let out = run(
+            "PUSH1 0x00 PUSH1 0x07 DIV PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::ZERO);
+    }
+
+    #[test]
+    fn addmod_mulmod() {
+        // ADDMOD(10, 9, 7) = 5 — operands pushed in reverse.
+        let out = run(
+            "PUSH1 0x07 PUSH1 0x09 PUSH1 0x0a ADDMOD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(5u64));
+        let out = run(
+            "PUSH1 0x07 PUSH1 0x09 PUSH1 0x0a MULMOD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(90u64 % 7));
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let mut storage = MapStorage::new();
+        // storage[0x2a] = 0x63
+        run_with_storage("PUSH1 0x63 PUSH1 0x2a SSTORE STOP", &[], &mut storage).unwrap();
+        assert_eq!(storage.sload(&U256::from(0x2au64)), U256::from(0x63u64));
+        // Read it back.
+        let out = run_with_storage(
+            "PUSH1 0x2a SLOAD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+            &mut storage,
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(0x63u64));
+    }
+
+    #[test]
+    fn calldata_access() {
+        let mut data = vec![0u8; 32];
+        data[31] = 9;
+        let out = run(
+            "PUSH1 0x00 CALLDATALOAD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &data,
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::from(9u64));
+        // Reads past the end of calldata are zero.
+        let out = run(
+            "PUSH1 0x40 CALLDATALOAD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &data,
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::ZERO);
+    }
+
+    #[test]
+    fn jump_and_loop() {
+        // Sum 1..=5 in a loop; result in slot 0 of memory.
+        // i in stack slot; acc in memory[0].
+        let src = r"
+            PUSH1 0x05            ; i = 5
+        loop:
+            JUMPDEST
+            DUP1 ISZERO @done JUMPI
+            DUP1 PUSH1 0x00 MLOAD ADD PUSH1 0x00 MSTORE  ; acc += i
+            PUSH1 0x01 SWAP1 SUB  ; i = i - 1
+            @loop JUMP
+        done:
+            JUMPDEST
+            PUSH1 0x20 PUSH1 0x00 RETURN
+        ";
+        let out = run(src, &[]).unwrap();
+        assert_eq!(returned_word(&out), U256::from(15u64));
+    }
+
+    #[test]
+    fn invalid_jump_detected() {
+        // Jump into the middle of a PUSH immediate.
+        let err = run("PUSH1 0x01 JUMP", &[]).unwrap_err();
+        assert_eq!(err, VmError::InvalidJump { dest: 1 });
+    }
+
+    #[test]
+    fn revert_carries_payload() {
+        let err = run(
+            "PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 REVERT",
+            &[],
+        )
+        .unwrap_err();
+        match err {
+            VmError::Reverted(payload) => {
+                assert_eq!(U256::from_be_slice(&payload), U256::from(0x2au64));
+            }
+            other => panic!("expected revert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_gas() {
+        let code = assemble("PUSH1 0x63 PUSH1 0x2a SSTORE STOP").unwrap();
+        let mut storage = MapStorage::new();
+        let err = execute(&code, &[], &ExecEnv::default(), &mut storage, 100).unwrap_err();
+        assert_eq!(err, VmError::OutOfGas);
+    }
+
+    #[test]
+    fn stack_underflow_and_invalid_opcode() {
+        assert_eq!(run("ADD", &[]).unwrap_err(), VmError::StackUnderflow);
+        assert_eq!(
+            run("INVALID", &[]).unwrap_err(),
+            VmError::InvalidOpcode { byte: 0xfe }
+        );
+    }
+
+    #[test]
+    fn environment_opcodes() {
+        let code = assemble("CALLER PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN").unwrap();
+        let env = ExecEnv {
+            caller: U256::from(0xabcdu64),
+            ..ExecEnv::default()
+        };
+        let mut storage = MapStorage::new();
+        let out = execute(&code, &[], &env, &mut storage, 100_000).unwrap();
+        assert_eq!(U256::from_be_slice(&out.output), U256::from(0xabcdu64));
+    }
+
+    #[test]
+    fn sha3_hashes_memory() {
+        // SHA3(memory[0..3]) where memory holds "abc" via MSTORE8s.
+        let src = r"
+            PUSH1 0x61 PUSH1 0x00 MSTORE8
+            PUSH1 0x62 PUSH1 0x01 MSTORE8
+            PUSH1 0x63 PUSH1 0x02 MSTORE8
+            PUSH1 0x03 PUSH1 0x00 SHA3
+            PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+        ";
+        let out = run(src, &[]).unwrap();
+        assert_eq!(
+            returned_word(&out),
+            U256::from_be_bytes(*sha256(b"abc").as_bytes())
+        );
+    }
+
+    #[test]
+    fn logs_are_recorded() {
+        let src = r"
+            PUSH1 0xaa PUSH1 0x00 MSTORE
+            PUSH1 0x07          ; topic
+            PUSH1 0x20 PUSH1 0x00 LOG1
+            STOP
+        ";
+        let out = run(src, &[]).unwrap();
+        assert_eq!(out.logs.len(), 1);
+        assert_eq!(out.logs[0].topics, vec![U256::from(7u64)]);
+        assert_eq!(U256::from_be_slice(&out.logs[0].data), U256::from(0xaau64));
+    }
+
+    #[test]
+    fn implicit_stop_at_code_end() {
+        let out = run("PUSH1 0x01", &[]).unwrap();
+        assert!(out.output.is_empty());
+    }
+
+    #[test]
+    fn gas_accounting_monotonic() {
+        let cheap = run("PUSH1 0x01 POP STOP", &[]).unwrap();
+        let pricey = run("PUSH1 0x63 PUSH1 0x2a SSTORE STOP", &[]).unwrap();
+        assert!(pricey.gas_used > cheap.gas_used);
+        assert!(pricey.gas_used >= 5_000);
+    }
+
+    #[test]
+    fn signextend_works() {
+        // Sign-extend 0xff from byte 0 → -1.
+        let out = run(
+            "PUSH1 0xff PUSH1 0x00 SIGNEXTEND PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(returned_word(&out), U256::MAX);
+    }
+}

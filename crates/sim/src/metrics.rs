@@ -1,0 +1,222 @@
+//! Run metrics: counters, samples and optional message traces.
+
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One traced message send (used for Figure-1-style flow diagrams).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Send time.
+    pub at: SimTime,
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Message label.
+    pub label: &'static str,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+}
+
+/// Aggregated metrics for one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Vec<f64>>,
+    messages_sent: u64,
+    bytes_sent: u64,
+    per_label_count: BTreeMap<&'static str, u64>,
+    per_label_bytes: BTreeMap<&'static str, u64>,
+    trace_enabled: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl Metrics {
+    /// Creates empty metrics; `trace_enabled` records every send.
+    pub fn new(trace_enabled: bool) -> Self {
+        Metrics {
+            trace_enabled,
+            ..Metrics::default()
+        }
+    }
+
+    /// Increments a named counter.
+    pub fn incr(&mut self, key: &'static str, by: u64) {
+        *self.counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Records a sample under a key.
+    pub fn record(&mut self, key: &'static str, value: f64) {
+        self.samples.entry(key).or_default().push(value);
+    }
+
+    /// Reads a counter (0 if never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Reads the samples recorded under a key.
+    pub fn samples(&self, key: &str) -> &[f64] {
+        self.samples.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub(crate) fn note_send(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        label: &'static str,
+        bytes: usize,
+    ) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        *self.per_label_count.entry(label).or_insert(0) += 1;
+        *self.per_label_bytes.entry(label).or_insert(0) += bytes as u64;
+        if self.trace_enabled {
+            self.trace.push(TraceEvent {
+                at,
+                from,
+                to,
+                label,
+                bytes,
+            });
+        }
+    }
+
+    /// Total messages sent in the run.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total bytes sent in the run.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Message count for one label.
+    pub fn label_count(&self, label: &str) -> u64 {
+        self.per_label_count.get(label).copied().unwrap_or(0)
+    }
+
+    /// Byte count for one label.
+    pub fn label_bytes(&self, label: &str) -> u64 {
+        self.per_label_bytes.get(label).copied().unwrap_or(0)
+    }
+
+    /// All labels with counts and bytes, sorted by label.
+    pub fn labels(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.per_label_count
+            .iter()
+            .map(|(k, c)| (*k, *c, self.per_label_bytes.get(k).copied().unwrap_or(0)))
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+/// Summary statistics over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes stats from samples; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Some(SampleStats {
+            count,
+            mean,
+            median: pct(0.5),
+            p99: pct(0.99),
+            min: sorted[0],
+            max: sorted[count - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_samples() {
+        let mut m = Metrics::new(false);
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        m.record("lat", 1.0);
+        m.record("lat", 2.0);
+        assert_eq!(m.samples("lat"), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn send_accounting() {
+        let mut m = Metrics::new(true);
+        m.note_send(SimTime::ZERO, 0, 1, "prepare", 100);
+        m.note_send(SimTime::ZERO, 1, 0, "prepare", 50);
+        m.note_send(SimTime::ZERO, 0, 2, "commit", 10);
+        assert_eq!(m.messages_sent(), 3);
+        assert_eq!(m.bytes_sent(), 160);
+        assert_eq!(m.label_count("prepare"), 2);
+        assert_eq!(m.label_bytes("prepare"), 150);
+        assert_eq!(m.trace().len(), 3);
+        assert_eq!(m.labels().count(), 2);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut m = Metrics::new(false);
+        m.note_send(SimTime::ZERO, 0, 1, "x", 1);
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let s = SampleStats::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn p99_on_large_sample() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.p99, 99.0);
+    }
+}

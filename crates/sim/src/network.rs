@@ -1,0 +1,348 @@
+//! The network model: per-link latency + jitter, per-node egress bandwidth,
+//! finite message drops with retransmission, and partitions.
+//!
+//! Faithful to §II's system model: the adversary "can delay any message in
+//! the network by any finite amount (in particular we assume a re-transmit
+//! layer and allow the adversary to drop any given packet a finite number
+//! of times)". Drops therefore manifest as added retransmission delay, and
+//! partitions as delivery deferred to after the partition heals — messages
+//! are never lost forever.
+//!
+//! The **egress queue** is the load-bearing part of the performance model:
+//! every byte a node sends serializes through its NIC, so a replica
+//! broadcasting to ~200 peers pays `200 × size / bandwidth` before the last
+//! message even leaves. This is exactly the cost that makes all-to-all
+//! (quadratic) PBFT slower than collector-based (linear) SBFT at scale.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Placement, Topology};
+
+/// Configuration of the network model.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Per-node egress bandwidth, bits per second (paper: 10 Gb machines,
+    /// shared by the VMs packed on them).
+    pub egress_bandwidth_bps: u64,
+    /// Framing overhead added to every message (TCP/IP + TLS record).
+    pub per_message_overhead_bytes: usize,
+    /// Jitter as a fraction of base latency (exponentially distributed).
+    pub jitter_frac: f64,
+    /// Probability that a given transmission attempt is dropped.
+    pub drop_probability: f64,
+    /// Retransmission timeout added per drop.
+    pub retransmit_timeout: SimDuration,
+    /// Cap on consecutive drops of one message (finite-drop model, §II).
+    pub max_drops: u32,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            egress_bandwidth_bps: 1_000_000_000, // 1 Gb/s effective per VM
+            per_message_overhead_bytes: 66,      // Ethernet+IP+TCP+TLS record
+            jitter_frac: 0.05,
+            drop_probability: 0.0,
+            retransmit_timeout: SimDuration::from_millis(50),
+            max_drops: 8,
+        }
+    }
+}
+
+/// A temporary network partition separating two node groups.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    group_a: Vec<NodeId>,
+    group_b: Vec<NodeId>,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl Partition {
+    /// Creates a partition separating `group_a` from `group_b` during
+    /// `[from, until)`.
+    pub fn new(group_a: Vec<NodeId>, group_b: Vec<NodeId>, from: SimTime, until: SimTime) -> Self {
+        Partition {
+            group_a,
+            group_b,
+            from,
+            until,
+        }
+    }
+
+    fn separates(&self, x: NodeId, y: NodeId, at: SimTime) -> Option<SimTime> {
+        if at < self.from || at >= self.until {
+            return None;
+        }
+        let a_has_x = self.group_a.contains(&x);
+        let b_has_y = self.group_b.contains(&y);
+        let a_has_y = self.group_a.contains(&y);
+        let b_has_x = self.group_b.contains(&x);
+        if (a_has_x && b_has_y) || (a_has_y && b_has_x) {
+            Some(self.until)
+        } else {
+            None
+        }
+    }
+}
+
+/// The network model: computes the delivery time of each message.
+#[derive(Debug)]
+pub struct NetworkModel {
+    topology: Topology,
+    placement: Placement,
+    config: NetworkConfig,
+    egress_free_at: Vec<SimTime>,
+    partitions: Vec<Partition>,
+    /// Per-link extra one-way delay (straggler links), indexed by node.
+    extra_node_delay: Vec<SimDuration>,
+    /// Windows during which a node loses all inbound traffic (an outage
+    /// whose retransmissions expire; used to force state transfer).
+    deaf_windows: Vec<(NodeId, SimTime, SimTime)>,
+}
+
+impl NetworkModel {
+    /// Builds the model for `node_count` nodes placed on a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer nodes than `node_count`.
+    pub fn new(
+        topology: Topology,
+        placement: Placement,
+        config: NetworkConfig,
+        node_count: usize,
+    ) -> Self {
+        assert!(
+            placement.len() >= node_count,
+            "placement covers {} nodes, need {node_count}",
+            placement.len()
+        );
+        NetworkModel {
+            topology,
+            placement,
+            config,
+            egress_free_at: vec![SimTime::ZERO; node_count],
+            partitions: Vec::new(),
+            extra_node_delay: vec![SimDuration::ZERO; node_count],
+            deaf_windows: Vec::new(),
+        }
+    }
+
+    /// Adds a partition window.
+    pub fn add_partition(&mut self, partition: Partition) {
+        self.partitions.push(partition);
+    }
+
+    /// Makes a node lose all inbound messages during `[from, until)`.
+    /// Unlike a [`Partition`], lost messages are *not* replayed at heal —
+    /// this models an outage long enough for peers' retransmission layers
+    /// to give up, forcing the node through state transfer on recovery.
+    pub fn set_node_deaf(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        self.deaf_windows.push((node, from, until));
+    }
+
+    fn is_deaf(&self, node: NodeId, at: SimTime) -> bool {
+        self.deaf_windows
+            .iter()
+            .any(|(n, from, until)| *n == node && at >= *from && at < *until)
+    }
+
+    /// Adds a fixed extra one-way delay to all traffic of one node
+    /// (a "straggler" link, used in the redundant-servers experiments).
+    pub fn set_node_extra_delay(&mut self, node: NodeId, delay: SimDuration) {
+        self.extra_node_delay[node] = delay;
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Base propagation latency between two nodes.
+    pub fn base_latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if self.placement.machine(from) == self.placement.machine(to) {
+            self.topology.same_machine_latency()
+        } else {
+            self.topology
+                .region_latency(self.placement.region(from), self.placement.region(to))
+        }
+    }
+
+    /// Computes the delivery time of a message sent at `now`, advancing the
+    /// sender's egress queue. Returns `None` if the message is lost (the
+    /// receiver is inside a deaf window).
+    pub fn delivery_time(
+        &mut self,
+        rng: &mut SimRng,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        // Egress serialization through the sender's NIC.
+        let total_bytes = (bytes + self.config.per_message_overhead_bytes) as u64;
+        let tx = SimDuration::from_nanos(
+            total_bytes * 8 * 1_000_000_000 / self.config.egress_bandwidth_bps.max(1),
+        );
+        let start = now.max(self.egress_free_at[from]);
+        self.egress_free_at[from] = start + tx;
+
+        // Propagation + jitter + per-node straggler penalties.
+        let base = self.base_latency(from, to);
+        let jitter_ns = if self.config.jitter_frac > 0.0 {
+            rng.exponential(base.as_nanos() as f64 * self.config.jitter_frac) as u64
+        } else {
+            0
+        };
+        let mut arrival = start
+            + tx
+            + base
+            + SimDuration::from_nanos(jitter_ns)
+            + self.extra_node_delay[from]
+            + self.extra_node_delay[to];
+
+        // Finite drops: each drop costs one retransmission timeout.
+        if self.config.drop_probability > 0.0 {
+            let mut drops = 0;
+            while drops < self.config.max_drops && rng.chance(self.config.drop_probability) {
+                arrival = arrival + self.config.retransmit_timeout;
+                drops += 1;
+            }
+        }
+
+        // Partitions defer delivery until heal (TCP retransmit across it).
+        for p in &self.partitions {
+            if let Some(heal) = p.separates(from, to, arrival) {
+                arrival = heal + self.base_latency(from, to);
+            }
+        }
+        if self.is_deaf(to, arrival) {
+            return None;
+        }
+        Some(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(config: NetworkConfig) -> NetworkModel {
+        let t = Topology::continent();
+        let p = Placement::round_robin(&t, 10, 2);
+        NetworkModel::new(t, p, config, 10)
+    }
+
+    fn no_jitter() -> NetworkConfig {
+        NetworkConfig {
+            jitter_frac: 0.0,
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn latency_reflects_regions() {
+        let mut m = model(no_jitter());
+        let mut rng = SimRng::new(1);
+        // Nodes 0 and 5 share region 0 (different machines): ~1ms.
+        let t_same = m.delivery_time(&mut rng, 0, 5, 100, SimTime::ZERO).unwrap();
+        // Nodes 0 and 4 are regions 0 and 4: 35ms.
+        let t_far = m.delivery_time(&mut rng, 0, 4, 100, SimTime::ZERO).unwrap();
+        assert!(t_far > t_same);
+        assert!(t_far.as_millis_f64() > 34.0);
+    }
+
+    #[test]
+    fn egress_queue_serializes_broadcast() {
+        let mut config = no_jitter();
+        config.egress_bandwidth_bps = 8_000_000; // 1 MB/s to magnify the effect
+        let mut m = model(config);
+        let mut rng = SimRng::new(1);
+        // Broadcasting 10 kB to 9 peers: each transmission takes ~10ms of
+        // NIC time, so the last arrival is ≥ 90ms after the first send.
+        let mut times: Vec<SimTime> = Vec::new();
+        for to in 1..10 {
+            times.push(m.delivery_time(&mut rng, 0, to, 10_000, SimTime::ZERO).unwrap());
+        }
+        let first = times.iter().min().unwrap();
+        let last = times.iter().max().unwrap();
+        assert!(
+            (last.as_millis_f64() - first.as_millis_f64()) > 70.0,
+            "egress serialization should spread arrivals: first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn same_machine_is_fast() {
+        let m = model(no_jitter());
+        let mut rng = SimRng::new(1);
+        // With 2 machines per region and 10 nodes over 5 regions, nodes 0
+        // and 5 are region 0 machines 0 and 1; no same-machine pair exists
+        // among replicas, so check the base latency API directly.
+        assert_eq!(
+            m.base_latency(0, 5),
+            Topology::continent().region_latency(0, 0)
+        );
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn drops_add_retransmit_delay() {
+        let mut config = no_jitter();
+        config.drop_probability = 1.0; // always drop, up to max_drops
+        config.max_drops = 3;
+        config.retransmit_timeout = SimDuration::from_millis(100);
+        let mut m = model(config.clone());
+        let mut rng = SimRng::new(1);
+        let t = m.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
+        let mut m2 = model(no_jitter());
+        let t0 = m2.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
+        let penalty = t.as_millis_f64() - t0.as_millis_f64();
+        assert!((299.0..301.0).contains(&penalty), "penalty {penalty}");
+    }
+
+    #[test]
+    fn partition_defers_until_heal() {
+        let mut m = model(no_jitter());
+        m.add_partition(Partition::new(
+            vec![0],
+            vec![1],
+            SimTime::ZERO,
+            SimTime::from_nanos(1_000_000_000),
+        ));
+        let mut rng = SimRng::new(1);
+        let t = m.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
+        assert!(t.as_secs_f64() >= 1.0, "deferred to heal: {t}");
+        // Unrelated pair is unaffected.
+        let t2 = m.delivery_time(&mut rng, 2, 3, 100, SimTime::ZERO).unwrap();
+        assert!(t2.as_secs_f64() < 0.1);
+        // After the heal, traffic flows normally.
+        let t3 = m.delivery_time(&mut rng, 0, 1, 100, SimTime::from_nanos(2_000_000_000)).unwrap();
+        assert!(t3.as_secs_f64() < 2.1);
+    }
+
+    #[test]
+    fn straggler_node_penalty() {
+        let mut m = model(no_jitter());
+        m.set_node_extra_delay(3, SimDuration::from_millis(500));
+        let mut rng = SimRng::new(1);
+        let t = m.delivery_time(&mut rng, 0, 3, 100, SimTime::ZERO).unwrap();
+        assert!(t.as_millis_f64() > 500.0);
+        let t2 = m.delivery_time(&mut rng, 3, 0, 100, SimTime::ZERO).unwrap();
+        assert!(t2.as_millis_f64() > 500.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut m1 = model(NetworkConfig::default());
+        let mut m2 = model(NetworkConfig::default());
+        let mut r1 = SimRng::new(9);
+        let mut r2 = SimRng::new(9);
+        assert_eq!(
+            m1.delivery_time(&mut r1, 0, 1, 100, SimTime::ZERO),
+            m2.delivery_time(&mut r2, 0, 1, 100, SimTime::ZERO)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The actor interface: nodes are pure state machines driven by the
+//! simulator ("sans-IO", `DESIGN.md` §5).
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a node (replica or client) within a simulation.
+pub type NodeId = usize;
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Messages exchanged between nodes. The simulator needs each message's
+/// wire size (to model transmission) and a label (for metrics).
+pub trait SimMessage: Clone + 'static {
+    /// Encoded size in bytes; drives bandwidth and byte accounting.
+    fn wire_size(&self) -> usize;
+    /// Short label for per-message-type metrics (e.g. `"pre-prepare"`).
+    fn label(&self) -> &'static str;
+}
+
+/// Side effects a node requests during a handler invocation.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, at: SimTime, token: u64 },
+    CancelTimer { id: TimerId },
+}
+
+/// Execution context handed to node handlers.
+///
+/// Collects outgoing messages and timer requests; tracks simulated CPU time
+/// the handler charges. Handlers observe time through [`Context::now`].
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) cpu_charged: SimDuration,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time (start of this handler invocation).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node's own id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a message to another node (or to self).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedules a timer to fire after `delay` with an opaque `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        let at = self.now + delay;
+        self.actions.push(Action::SetTimer { id, at, token });
+        id
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Charges simulated CPU time to this node; subsequent events queue
+    /// behind it (the node is busy).
+    pub fn charge_cpu(&mut self, d: SimDuration) {
+        self.cpu_charged += d;
+    }
+
+    /// Charges CPU given in nanoseconds (convenience for cost models).
+    pub fn charge_cpu_ns(&mut self, ns: u64) {
+        self.charge_cpu(SimDuration::from_nanos(ns));
+    }
+
+    /// Deterministic randomness for this node.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Increments a named counter in the run metrics.
+    pub fn incr(&mut self, key: &'static str, by: u64) {
+        self.metrics.incr(key, by);
+    }
+
+    /// Records a sample (e.g. a latency in milliseconds) under a key.
+    pub fn record(&mut self, key: &'static str, value: f64) {
+        self.metrics.record(key, value);
+    }
+}
+
+/// A simulated node: replica, client, or any other actor.
+///
+/// Implementations must be deterministic: all randomness comes from
+/// [`Context::rng`] and all time from [`Context::now`].
+///
+/// The two `as_any` hooks let tests and harnesses downcast nodes back to
+/// their concrete types after a run; implement them with
+/// [`crate::impl_node_any!`].
+pub trait Node<M: SimMessage>: 'static {
+    /// Invoked once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Invoked when a message is delivered.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, M>) {}
+
+    /// Upcast for downcasting in tests (`sbft_sim::impl_node_any!()`).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for downcasting in tests.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}

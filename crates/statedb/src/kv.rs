@@ -1,0 +1,560 @@
+//! The authenticated key-value service used by the micro-benchmarks
+//! (§IX "Key-Value store benchmark").
+
+use std::collections::BTreeMap;
+
+use sbft_types::{Digest, SeqNum};
+
+use sbft_crypto::MerkleTree;
+use sbft_wire::{DecodeError, Decoder, Encoder, Wire};
+
+use crate::service::{
+    combine_state_digest, results_tree, BlockExecution, ExecutionProof, RawOp, Service,
+};
+use crate::trie::AuthKv;
+
+/// One key-value operation, the `o` of the generic service (§IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Writes `value` under `key`; returns the previous value (or empty).
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Reads `key`; returns its value (or empty when absent).
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Deletes `key`; returns the removed value (or empty).
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// The no-op filler used by the view change (§V-G "null").
+    Noop,
+    /// A client-side batch: the paper's batching mode packs 64 operations
+    /// into one request (§IX "Measurements"). Executes each in order;
+    /// the result is the concatenated sub-results' digest-free outputs of
+    /// the *last* operation (benchmark puts return nothing anyway).
+    Batch(Vec<KvOp>),
+}
+
+impl Wire for KvOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvOp::Put { key, value } => {
+                enc.put_u8(0);
+                enc.put_bytes(key);
+                enc.put_bytes(value);
+            }
+            KvOp::Get { key } => {
+                enc.put_u8(1);
+                enc.put_bytes(key);
+            }
+            KvOp::Delete { key } => {
+                enc.put_u8(2);
+                enc.put_bytes(key);
+            }
+            KvOp::Noop => enc.put_u8(3),
+            KvOp::Batch(ops) => {
+                enc.put_u8(4);
+                enc.put_varint(ops.len() as u64);
+                for op in ops {
+                    op.encode(enc);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(KvOp::Put {
+                key: dec.get_bytes()?.to_vec(),
+                value: dec.get_bytes()?.to_vec(),
+            }),
+            1 => Ok(KvOp::Get {
+                key: dec.get_bytes()?.to_vec(),
+            }),
+            2 => Ok(KvOp::Delete {
+                key: dec.get_bytes()?.to_vec(),
+            }),
+            3 => Ok(KvOp::Noop),
+            4 => {
+                let count = dec.get_varint()? as usize;
+                if count > dec.remaining() {
+                    return Err(DecodeError::UnexpectedEof {
+                        needed: count,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ops.push(KvOp::decode(dec)?);
+                }
+                Ok(KvOp::Batch(ops))
+            }
+            _ => Err(DecodeError::InvalidValue { what: "KvOp tag" }),
+        }
+    }
+}
+
+/// Cost model for KV execution and persistence (the paper persists to
+/// RocksDB, §VIII; costs are simulated CPU+IO nanoseconds).
+#[derive(Debug, Clone)]
+pub struct KvCostModel {
+    /// Base cost per operation (lookup, allocation).
+    pub per_op_ns: u64,
+    /// Cost per byte written (memtable + WAL).
+    pub write_per_byte_ns: u64,
+    /// Per-block fsync/commit overhead.
+    pub commit_ns: u64,
+}
+
+impl Default for KvCostModel {
+    fn default() -> Self {
+        KvCostModel {
+            per_op_ns: 2_000,
+            write_per_byte_ns: 30,
+            commit_ns: 100_000,
+        }
+    }
+}
+
+/// A single-replica authenticated `get` (§IV): the value, its trie proof,
+/// and the roots needed to recompute the signed state digest `d_s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthenticatedRead {
+    /// The sequence number of the state the read reflects.
+    pub seq: SeqNum,
+    /// The value, or `None` for a proven-absent key.
+    pub value: Option<Vec<u8>>,
+    /// Merkle crit-bit trie proof of (non-)membership.
+    pub proof: crate::trie::TrieProof,
+    /// State root component of `d_s`.
+    pub state_root: Digest,
+    /// Results root component of `d_s`.
+    pub results_root: Digest,
+}
+
+/// The client-side check for [`KvService::read_with_proof`]: verifies that
+/// `read` proves `key`'s value under the π-certified state digest `d`.
+pub fn verify_authenticated_read(d: &Digest, key: &[u8], read: &AuthenticatedRead) -> bool {
+    if combine_state_digest(read.seq, &read.state_root, &read.results_root) != *d {
+        return false;
+    }
+    read.proof
+        .verify(&read.state_root, key, read.value.as_deref())
+}
+
+/// Execution artifacts retained for one block (until garbage-collected).
+#[derive(Debug, Clone)]
+struct ExecutedBlock {
+    state_root: Digest,
+    results_tree: MerkleTree,
+    results: Vec<Vec<u8>>,
+}
+
+/// The authenticated key-value replicated service.
+///
+/// # Examples
+///
+/// ```
+/// use sbft_statedb::{KvOp, KvService, Service, verify_execution, ExecutionProof};
+/// use sbft_types::SeqNum;
+/// use sbft_wire::Wire;
+///
+/// let mut service = KvService::new();
+/// let op = KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }.to_wire_bytes();
+/// let exec = service.execute_block(SeqNum::new(1), &[op.clone()]);
+/// let proof = service.proof_of(SeqNum::new(1), 0).unwrap();
+/// assert!(verify_execution(&exec.state_digest, &op, b"", SeqNum::new(1), 0, &proof));
+/// ```
+#[derive(Debug, Default)]
+pub struct KvService {
+    state: AuthKv,
+    last_executed: SeqNum,
+    last_digest: Digest,
+    executed: BTreeMap<u64, ExecutedBlock>,
+    cost: KvCostModel,
+}
+
+impl KvService {
+    /// Creates an empty service with default costs.
+    pub fn new() -> Self {
+        KvService::default()
+    }
+
+    /// Creates a service with a custom cost model.
+    pub fn with_cost(cost: KvCostModel) -> Self {
+        KvService {
+            cost,
+            ..KvService::default()
+        }
+    }
+
+    /// Reads a key from the current state (read-only query, §IV).
+    pub fn query(&self, key: &[u8]) -> Option<&[u8]> {
+        self.state.get(key)
+    }
+
+    /// A read-only query answered by *one* replica with data
+    /// authentication (§IV: "proof for a get operation is a Merkle tree
+    /// proof that at the state with sequence number s the required
+    /// variable has the desired value"). The client checks the result
+    /// against the π-certified state digest of the latest executed block
+    /// with [`verify_authenticated_read`].
+    ///
+    /// Returns `None` before any block has executed or when that block's
+    /// artifacts were garbage-collected.
+    pub fn read_with_proof(&self, key: &[u8]) -> Option<AuthenticatedRead> {
+        let seq = self.last_executed;
+        let block = self.executed.get(&seq.get())?;
+        let proof = self.state.prove(key)?;
+        Some(AuthenticatedRead {
+            seq,
+            value: self.state.get(key).map(<[u8]>::to_vec),
+            proof,
+            state_root: self.state.root(),
+            results_root: block.results_tree.root(),
+        })
+    }
+
+    /// Direct access to the underlying authenticated store.
+    pub fn state(&self) -> &AuthKv {
+        &self.state
+    }
+
+    /// Replaces the state wholesale (state transfer, §VIII).
+    pub fn install_snapshot(&mut self, state: AuthKv, seq: SeqNum, digest: Digest) {
+        self.state = state;
+        self.last_executed = seq;
+        self.last_digest = digest;
+        self.executed.clear();
+    }
+
+    fn apply(&mut self, op_bytes: &[u8]) -> (Vec<u8>, u64) {
+        match KvOp::from_wire_bytes(op_bytes) {
+            Ok(op) => self.apply_op(op),
+            // Malformed operations execute as no-ops deterministically: all
+            // replicas see the same bytes, so all agree on the outcome.
+            Err(_) => (Vec::new(), self.cost.per_op_ns),
+        }
+    }
+
+    fn apply_op(&mut self, op: KvOp) -> (Vec<u8>, u64) {
+        let mut cost = self.cost.per_op_ns;
+        let result = match op {
+            KvOp::Put { key, value } => {
+                cost += self.cost.write_per_byte_ns * (key.len() + value.len()) as u64;
+                self.state.insert(key, value).unwrap_or_default()
+            }
+            KvOp::Get { key } => self.state.get(&key).map(<[u8]>::to_vec).unwrap_or_default(),
+            KvOp::Delete { key } => self.state.remove(&key).unwrap_or_default(),
+            KvOp::Noop => Vec::new(),
+            KvOp::Batch(ops) => {
+                let mut last = Vec::new();
+                for op in ops {
+                    let (r, c) = self.apply_op(op);
+                    last = r;
+                    cost += c;
+                }
+                last
+            }
+        };
+        (result, cost)
+    }
+}
+
+impl Service for KvService {
+    fn execute_block(&mut self, seq: SeqNum, ops: &[RawOp]) -> BlockExecution {
+        assert_eq!(
+            seq,
+            self.last_executed.next(),
+            "blocks execute in sequence order"
+        );
+        let mut results = Vec::with_capacity(ops.len());
+        let mut cpu = self.cost.commit_ns;
+        for op in ops {
+            let (result, cost) = self.apply(op);
+            results.push(result);
+            cpu += cost;
+        }
+        let tree = results_tree(ops, &results);
+        let results_root = tree.root();
+        let state_root = self.state.root();
+        let digest = combine_state_digest(seq, &state_root, &results_root);
+        self.executed.insert(
+            seq.get(),
+            ExecutedBlock {
+                state_root,
+                results_tree: tree,
+                results: results.clone(),
+            },
+        );
+        self.last_executed = seq;
+        self.last_digest = digest;
+        BlockExecution {
+            seq,
+            state_digest: digest,
+            state_root,
+            results_root,
+            results,
+            cpu_cost_ns: cpu,
+        }
+    }
+
+    fn state_digest(&self) -> Digest {
+        self.last_digest
+    }
+
+    fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    fn proof_of(&self, seq: SeqNum, l: usize) -> Option<ExecutionProof> {
+        let block = self.executed.get(&seq.get())?;
+        Some(ExecutionProof {
+            state_root: block.state_root,
+            result_path: block.results_tree.proof(l)?,
+        })
+    }
+
+    fn result_of(&self, seq: SeqNum, l: usize) -> Option<&[u8]> {
+        self.executed
+            .get(&seq.get())
+            .and_then(|b| b.results.get(l))
+            .map(Vec::as_slice)
+    }
+
+    fn garbage_collect(&mut self, stable: SeqNum) {
+        self.executed = self.executed.split_off(&(stable.get() + 1));
+    }
+
+    fn snapshot(&self) -> AuthKv {
+        self.state.clone()
+    }
+
+    fn install(&mut self, state: AuthKv, seq: SeqNum, digest: Digest) {
+        self.install_snapshot(state, seq, digest);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::verify_execution;
+
+    fn put(key: &str, value: &str) -> Vec<u8> {
+        KvOp::Put {
+            key: key.as_bytes().to_vec(),
+            value: value.as_bytes().to_vec(),
+        }
+        .to_wire_bytes()
+    }
+
+    fn get(key: &str) -> Vec<u8> {
+        KvOp::Get {
+            key: key.as_bytes().to_vec(),
+        }
+        .to_wire_bytes()
+    }
+
+    #[test]
+    fn op_codec_round_trip() {
+        for op in [
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            KvOp::Get { key: b"k".to_vec() },
+            KvOp::Delete { key: b"k".to_vec() },
+            KvOp::Noop,
+        ] {
+            assert_eq!(KvOp::from_wire_bytes(&op.to_wire_bytes()).unwrap(), op);
+        }
+        assert!(KvOp::from_wire_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn execute_blocks_in_order() {
+        let mut svc = KvService::new();
+        let e1 = svc.execute_block(SeqNum::new(1), &[put("a", "1")]);
+        assert_eq!(e1.results, vec![Vec::<u8>::new()]);
+        let e2 = svc.execute_block(SeqNum::new(2), &[get("a"), put("a", "2")]);
+        assert_eq!(e2.results[0], b"1".to_vec());
+        assert_eq!(e2.results[1], b"1".to_vec()); // previous value
+        assert_eq!(svc.query(b"a"), Some(&b"2"[..]));
+        assert_eq!(svc.last_executed(), SeqNum::new(2));
+        assert_ne!(e1.state_digest, e2.state_digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence order")]
+    fn out_of_order_execution_panics() {
+        let mut svc = KvService::new();
+        svc.execute_block(SeqNum::new(2), &[]);
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        let ops1 = vec![put("x", "1"), put("y", "2")];
+        let ops2 = vec![get("x"), KvOp::Noop.to_wire_bytes()];
+        let mut a = KvService::new();
+        let mut b = KvService::new();
+        for svc in [&mut a, &mut b] {
+            svc.execute_block(SeqNum::new(1), &ops1);
+            svc.execute_block(SeqNum::new(2), &ops2);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.state().root(), b.state().root());
+    }
+
+    #[test]
+    fn client_verifiable_proofs() {
+        let mut svc = KvService::new();
+        svc.execute_block(SeqNum::new(1), &[put("k", "v")]);
+        let ops = vec![get("k"), put("k", "w")];
+        let exec = svc.execute_block(SeqNum::new(2), &ops);
+        for (l, op) in ops.iter().enumerate() {
+            let proof = svc.proof_of(SeqNum::new(2), l).unwrap();
+            let val = svc.result_of(SeqNum::new(2), l).unwrap();
+            assert!(verify_execution(
+                &exec.state_digest,
+                op,
+                val,
+                SeqNum::new(2),
+                l,
+                &proof
+            ));
+        }
+        // Reading the wrong block fails.
+        assert!(svc.proof_of(SeqNum::new(9), 0).is_none());
+    }
+
+    #[test]
+    fn malformed_op_is_deterministic_noop() {
+        let mut a = KvService::new();
+        let mut b = KvService::new();
+        let bad = vec![0xff, 0x01, 0x02];
+        let ea = a.execute_block(SeqNum::new(1), &[bad.clone()]);
+        let eb = b.execute_block(SeqNum::new(1), &[bad]);
+        assert_eq!(ea.state_digest, eb.state_digest);
+        assert_eq!(ea.results[0], Vec::<u8>::new());
+    }
+
+    #[test]
+    fn garbage_collection_drops_old_proofs() {
+        let mut svc = KvService::new();
+        for s in 1..=5u64 {
+            svc.execute_block(SeqNum::new(s), &[put("k", &s.to_string())]);
+        }
+        svc.garbage_collect(SeqNum::new(3));
+        assert!(svc.proof_of(SeqNum::new(3), 0).is_none());
+        assert!(svc.proof_of(SeqNum::new(4), 0).is_some());
+        // State is unaffected.
+        assert_eq!(svc.query(b"k"), Some(&b"5"[..]));
+    }
+
+    #[test]
+    fn snapshot_install() {
+        let mut source = KvService::new();
+        source.execute_block(SeqNum::new(1), &[put("a", "1"), put("b", "2")]);
+        let mut target = KvService::new();
+        target.install_snapshot(
+            source.state().clone(),
+            source.last_executed(),
+            source.state_digest(),
+        );
+        assert_eq!(target.query(b"a"), Some(&b"1"[..]));
+        assert_eq!(target.state_digest(), source.state_digest());
+        // Execution continues from the snapshot.
+        let ea = target.execute_block(SeqNum::new(2), &[put("c", "3")]);
+        let eb = source.execute_block(SeqNum::new(2), &[put("c", "3")]);
+        assert_eq!(ea.state_digest, eb.state_digest);
+    }
+
+    #[test]
+    fn cost_scales_with_writes() {
+        let mut svc = KvService::new();
+        let small = svc.execute_block(SeqNum::new(1), &[put("k", "v")]);
+        let big_value = "x".repeat(10_000);
+        let big = svc.execute_block(SeqNum::new(2), &[put("k", &big_value)]);
+        assert!(big.cpu_cost_ns > small.cpu_cost_ns);
+    }
+}
+
+#[cfg(test)]
+mod query_tests {
+    use super::*;
+    use sbft_wire::Wire;
+
+    fn put(key: &str, value: &str) -> Vec<u8> {
+        KvOp::Put {
+            key: key.as_bytes().to_vec(),
+            value: value.as_bytes().to_vec(),
+        }
+        .to_wire_bytes()
+    }
+
+    #[test]
+    fn authenticated_read_verifies_membership_and_absence() {
+        let mut svc = KvService::new();
+        svc.execute_block(SeqNum::new(1), &[put("alice", "100"), put("bob", "50")]);
+        let d = svc.state_digest();
+
+        let read = svc.read_with_proof(b"alice").unwrap();
+        assert_eq!(read.value.as_deref(), Some(&b"100"[..]));
+        assert!(verify_authenticated_read(&d, b"alice", &read));
+
+        // Absence is provable too.
+        let read = svc.read_with_proof(b"mallory").unwrap();
+        assert_eq!(read.value, None);
+        assert!(verify_authenticated_read(&d, b"mallory", &read));
+    }
+
+    #[test]
+    fn authenticated_read_rejects_tampering() {
+        let mut svc = KvService::new();
+        svc.execute_block(SeqNum::new(1), &[put("alice", "100")]);
+        let d = svc.state_digest();
+        let read = svc.read_with_proof(b"alice").unwrap();
+
+        // Lying about the value fails.
+        let mut lying = read.clone();
+        lying.value = Some(b"1000000".to_vec());
+        assert!(!verify_authenticated_read(&d, b"alice", &lying));
+
+        // A stale digest from another block fails.
+        let mut svc2 = KvService::new();
+        svc2.execute_block(SeqNum::new(1), &[put("alice", "999")]);
+        assert!(!verify_authenticated_read(&svc2.state_digest(), b"alice", &read));
+
+        // Proof for the wrong key fails.
+        assert!(!verify_authenticated_read(&d, b"bob", &read));
+    }
+
+    #[test]
+    fn read_reflects_latest_executed_block() {
+        let mut svc = KvService::new();
+        svc.execute_block(SeqNum::new(1), &[put("k", "v1")]);
+        svc.execute_block(SeqNum::new(2), &[put("k", "v2")]);
+        let d = svc.state_digest();
+        let read = svc.read_with_proof(b"k").unwrap();
+        assert_eq!(read.seq, SeqNum::new(2));
+        assert_eq!(read.value.as_deref(), Some(&b"v2"[..]));
+        assert!(verify_authenticated_read(&d, b"k", &read));
+    }
+
+    #[test]
+    fn no_read_before_first_block() {
+        let svc = KvService::new();
+        assert!(svc.read_with_proof(b"x").is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Authenticated state management for the SBFT reproduction (§IV).
+//!
+//! This crate provides the three storage-side substrates the paper's
+//! system relies on:
+//!
+//! - [`AuthKv`]: a Merkle crit-bit trie — an authenticated key-value map
+//!   with O(1) copy-on-write snapshots and per-key membership/absence
+//!   proofs ([`TrieProof`]).
+//! - [`Service`]: the generic deterministic replicated-service interface
+//!   of §IV (`execute`, `digest`, `proof`, `verify`), with
+//!   [`verify_execution`] as the client-side check used by the
+//!   single-message acknowledgement path, and [`KvService`] as the
+//!   key-value instantiation used by the micro-benchmarks.
+//! - [`Ledger`]: committed decision blocks, stable checkpoints with
+//!   garbage collection (§V-F), and chunked state transfer
+//!   ([`StateChunk`], [`ChunkAssembler`]) for replicas that fall behind
+//!   (§VIII).
+
+mod kv;
+mod ledger;
+mod service;
+mod trie;
+
+pub use kv::{verify_authenticated_read, AuthenticatedRead, KvCostModel, KvOp, KvService};
+pub use ledger::{Block, Checkpoint, ChunkAssembler, Ledger, StateChunk};
+pub use service::{
+    BlockArtifacts,
+    block_hash, combine_state_digest, op_digest, results_tree, verify_execution, BlockExecution,
+    ExecutionProof, RawOp, Service,
+};
+pub use trie::{AuthKv, TrieProof, TrieProofStep};

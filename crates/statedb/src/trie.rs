@@ -1,0 +1,684 @@
+//! An authenticated key-value map: a Merkle crit-bit trie.
+//!
+//! §IV requires "an authenticated key-value store [that] uses a Merkle tree
+//! interface for data authentication", able to prove to a client reading
+//! from a *single* replica that a key has a given value at a given state.
+//!
+//! Keys are addressed by the bits of `SHA-256(key)` (so the trie shape is
+//! balanced regardless of key distribution) in a crit-bit (PATRICIA) trie:
+//! each internal node stores the first bit index at which its two subtrees
+//! differ. Nodes are reference-counted and copy-on-write, so snapshots of
+//! the whole store are O(1) and share structure — this is what makes
+//! per-sequence-number state snapshots (§IV `D_s`) affordable.
+
+use std::rc::Rc;
+
+use sbft_types::Digest;
+
+use sbft_crypto::{sha256, Sha256};
+
+/// Returns bit `i` (0 = most significant) of a 32-byte hash.
+fn bit(hash: &[u8; 32], i: u16) -> bool {
+    (hash[(i / 8) as usize] >> (7 - (i % 8))) & 1 == 1
+}
+
+/// Finds the first bit index at which two hashes differ.
+/// Returns `None` when equal.
+fn first_diff_bit(a: &[u8; 32], b: &[u8; 32]) -> Option<u16> {
+    for i in 0..32 {
+        let x = a[i] ^ b[i];
+        if x != 0 {
+            return Some((i * 8) as u16 + x.leading_zeros() as u16);
+        }
+    }
+    None
+}
+
+fn leaf_digest(key: &[u8], value: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(&(key.len() as u64).to_le_bytes());
+    h.update(key);
+    h.update(value);
+    h.finalize()
+}
+
+fn branch_digest(crit_bit: u16, left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(&crit_bit.to_le_bytes());
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        key_hash: [u8; 32],
+        key: Vec<u8>,
+        value: Vec<u8>,
+        digest: Digest,
+    },
+    Branch {
+        crit_bit: u16,
+        left: Rc<Node>,
+        right: Rc<Node>,
+        digest: Digest,
+    },
+}
+
+impl Node {
+    fn digest(&self) -> Digest {
+        match self {
+            Node::Leaf { digest, .. } | Node::Branch { digest, .. } => *digest,
+        }
+    }
+
+    fn leaf(key_hash: [u8; 32], key: Vec<u8>, value: Vec<u8>) -> Rc<Node> {
+        let digest = leaf_digest(&key, &value);
+        Rc::new(Node::Leaf {
+            key_hash,
+            key,
+            value,
+            digest,
+        })
+    }
+
+    fn branch(crit_bit: u16, left: Rc<Node>, right: Rc<Node>) -> Rc<Node> {
+        let digest = branch_digest(crit_bit, &left.digest(), &right.digest());
+        Rc::new(Node::Branch {
+            crit_bit,
+            left,
+            right,
+            digest,
+        })
+    }
+
+    /// Any leaf's hash under this node (used to steer crit-bit descent).
+    fn sample_hash(&self) -> &[u8; 32] {
+        match self {
+            Node::Leaf { key_hash, .. } => key_hash,
+            Node::Branch { left, .. } => left.sample_hash(),
+        }
+    }
+}
+
+/// One step of a trie proof: the crit-bit index and the sibling digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieProofStep {
+    /// Bit index of the branch node.
+    pub crit_bit: u16,
+    /// Digest of the sibling subtree.
+    pub sibling: Digest,
+    /// `true` if the lookup path went right (sibling is the left child).
+    pub went_right: bool,
+}
+
+/// Proof that a key maps to a value (membership) or is absent.
+///
+/// For absence the proof carries the *witness leaf* the lookup terminates
+/// at; the verifier checks that the witness key differs from the queried
+/// key, which in a crit-bit trie implies absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieProof {
+    /// The leaf key found at the lookup position.
+    pub witness_key: Vec<u8>,
+    /// The value stored at the witness leaf.
+    pub witness_value: Vec<u8>,
+    /// Path from leaf to root.
+    pub steps: Vec<TrieProofStep>,
+}
+
+impl TrieProof {
+    /// Recomputes the root digest implied by this proof.
+    pub fn compute_root(&self) -> Digest {
+        let mut acc = leaf_digest(&self.witness_key, &self.witness_value);
+        for step in &self.steps {
+            acc = if step.went_right {
+                branch_digest(step.crit_bit, &step.sibling, &acc)
+            } else {
+                branch_digest(step.crit_bit, &acc, &step.sibling)
+            };
+        }
+        acc
+    }
+
+    /// Verifies that `key` maps to `Some(value)` / `None` under `root`.
+    pub fn verify(&self, root: &Digest, key: &[u8], expected: Option<&[u8]>) -> bool {
+        if self.compute_root() != *root {
+            return false;
+        }
+        // The path must actually be the lookup path for `key`: each branch
+        // step must branch on the side the key's hash dictates.
+        let key_hash = *sha256(key).as_bytes();
+        for step in &self.steps {
+            if bit(&key_hash, step.crit_bit) != step.went_right {
+                return false;
+            }
+        }
+        match expected {
+            Some(value) => self.witness_key == key && self.witness_value == value,
+            None => self.witness_key != key,
+        }
+    }
+}
+
+/// A Merkle crit-bit trie with O(1) copy-on-write snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use sbft_statedb::AuthKv;
+///
+/// let mut kv = AuthKv::new();
+/// kv.insert(b"alice".to_vec(), b"100".to_vec());
+/// let snapshot = kv.clone(); // O(1), shares structure
+/// kv.insert(b"alice".to_vec(), b"50".to_vec());
+/// assert_eq!(snapshot.get(b"alice"), Some(&b"100"[..]));
+/// assert_eq!(kv.get(b"alice"), Some(&b"50"[..]));
+/// assert_ne!(snapshot.root(), kv.root());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AuthKv {
+    root: Option<Rc<Node>>,
+    len: usize,
+}
+
+impl AuthKv {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        AuthKv::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The Merkle root ([`Digest::ZERO`] when empty).
+    pub fn root(&self) -> Digest {
+        self.root.as_ref().map(|n| n.digest()).unwrap_or(Digest::ZERO)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let key_hash = *sha256(key).as_bytes();
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf {
+                    key: leaf_key,
+                    value,
+                    ..
+                } => {
+                    return if leaf_key.as_slice() == key {
+                        Some(value.as_slice())
+                    } else {
+                        None
+                    };
+                }
+                Node::Branch {
+                    crit_bit,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if bit(&key_hash, *crit_bit) {
+                        right
+                    } else {
+                        left
+                    };
+                }
+            }
+        }
+    }
+
+    /// Inserts or updates a key, returning the previous value if any.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
+        let key_hash = *sha256(&key).as_bytes();
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::leaf(key_hash, key, value));
+                self.len = 1;
+                None
+            }
+            Some(root) => {
+                let (new_root, old) = Self::insert_rec(root, &key_hash, key, value);
+                self.root = Some(new_root);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    fn insert_rec(
+        node: Rc<Node>,
+        key_hash: &[u8; 32],
+        key: Vec<u8>,
+        value: Vec<u8>,
+    ) -> (Rc<Node>, Option<Vec<u8>>) {
+        // Where does the new key's hash first diverge from this subtree?
+        // (The sample leaf shares the subtree's prefix up to its crit bit.)
+        let diff = first_diff_bit(node.sample_hash(), key_hash);
+        match &*node {
+            Node::Leaf {
+                value: old_value,
+                key_hash: lh,
+                ..
+            } => match diff {
+                // Same hash: an update of the same key (hash collisions are
+                // cryptographically negligible; treated as key update).
+                None => {
+                    let old = old_value.clone();
+                    (Node::leaf(*key_hash, key, value), Some(old))
+                }
+                Some(diff) => {
+                    let new_leaf = Node::leaf(*key_hash, key, value);
+                    let combined = if bit(lh, diff) {
+                        Node::branch(diff, new_leaf, node.clone())
+                    } else {
+                        Node::branch(diff, node.clone(), new_leaf)
+                    };
+                    (combined, None)
+                }
+            },
+            Node::Branch {
+                crit_bit,
+                left,
+                right,
+                ..
+            } => {
+                if let Some(diff) = diff.filter(|d| d < crit_bit) {
+                    // The new key splits off above this branch.
+                    let new_leaf = Node::leaf(*key_hash, key, value);
+                    let combined = if bit(node.sample_hash(), diff) {
+                        Node::branch(diff, new_leaf, node.clone())
+                    } else {
+                        Node::branch(diff, node.clone(), new_leaf)
+                    };
+                    (combined, None)
+                } else if bit(key_hash, *crit_bit) {
+                    // diff >= crit_bit (or hash already present): descend.
+                    let (new_right, old) = Self::insert_rec(right.clone(), key_hash, key, value);
+                    (Node::branch(*crit_bit, left.clone(), new_right), old)
+                } else {
+                    let (new_left, old) = Self::insert_rec(left.clone(), key_hash, key, value);
+                    (Node::branch(*crit_bit, new_left, right.clone()), old)
+                }
+            }
+        }
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let key_hash = *sha256(key).as_bytes();
+        let root = self.root.take()?;
+        match Self::remove_rec(root, &key_hash, key) {
+            RemoveOutcome::NotFound(root) => {
+                self.root = Some(root);
+                None
+            }
+            RemoveOutcome::Removed(new_root, value) => {
+                self.root = new_root;
+                self.len -= 1;
+                Some(value)
+            }
+        }
+    }
+
+    fn remove_rec(node: Rc<Node>, key_hash: &[u8; 32], key: &[u8]) -> RemoveOutcome {
+        match &*node {
+            Node::Leaf { key: leaf_key, value, .. } => {
+                if leaf_key.as_slice() == key {
+                    RemoveOutcome::Removed(None, value.clone())
+                } else {
+                    RemoveOutcome::NotFound(node.clone())
+                }
+            }
+            Node::Branch {
+                crit_bit,
+                left,
+                right,
+                ..
+            } => {
+                let go_right = bit(key_hash, *crit_bit);
+                let child = if go_right { right } else { left };
+                match Self::remove_rec(child.clone(), key_hash, key) {
+                    RemoveOutcome::NotFound(_) => RemoveOutcome::NotFound(node.clone()),
+                    RemoveOutcome::Removed(None, value) => {
+                        // Collapse: the sibling replaces the branch.
+                        let sibling = if go_right { left } else { right };
+                        RemoveOutcome::Removed(Some(sibling.clone()), value)
+                    }
+                    RemoveOutcome::Removed(Some(new_child), value) => {
+                        let new_node = if go_right {
+                            Node::branch(*crit_bit, left.clone(), new_child)
+                        } else {
+                            Node::branch(*crit_bit, new_child, right.clone())
+                        };
+                        RemoveOutcome::Removed(Some(new_node), value)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a membership/absence proof for a key.
+    ///
+    /// Returns `None` only when the store is empty (an empty store's root
+    /// is the [`Digest::ZERO`] sentinel, which no proof matches).
+    pub fn prove(&self, key: &[u8]) -> Option<TrieProof> {
+        let key_hash = *sha256(key).as_bytes();
+        let mut node = self.root.as_deref()?;
+        let mut steps_root_to_leaf = Vec::new();
+        loop {
+            match node {
+                Node::Leaf {
+                    key: leaf_key,
+                    value,
+                    ..
+                } => {
+                    let mut steps = steps_root_to_leaf;
+                    // Proofs are stored leaf-to-root.
+                    steps.reverse();
+                    return Some(TrieProof {
+                        witness_key: leaf_key.clone(),
+                        witness_value: value.clone(),
+                        steps,
+                    });
+                }
+                Node::Branch {
+                    crit_bit,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let went_right = bit(&key_hash, *crit_bit);
+                    let (next, sibling) = if went_right {
+                        (right, left.digest())
+                    } else {
+                        (left, right.digest())
+                    };
+                    steps_root_to_leaf.push(TrieProofStep {
+                        crit_bit: *crit_bit,
+                        sibling,
+                        went_right,
+                    });
+                    node = next;
+                }
+            }
+        }
+    }
+
+    /// Iterates all `(key, value)` pairs (order: by key hash).
+    pub fn iter(&self) -> Iter<'_> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(root);
+        }
+        Iter { stack }
+    }
+}
+
+enum RemoveOutcome {
+    NotFound(Rc<Node>),
+    Removed(Option<Rc<Node>>, Vec<u8>),
+}
+
+/// Iterator over the trie's entries.
+pub struct Iter<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            match node {
+                Node::Leaf { key, value, .. } => return Some((key, value)),
+                Node::Branch { left, right, .. } => {
+                    self.stack.push(right);
+                    self.stack.push(left);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn kv(pairs: &[(&str, &str)]) -> AuthKv {
+        let mut store = AuthKv::new();
+        for (k, v) in pairs {
+            store.insert(k.as_bytes().to_vec(), v.as_bytes().to_vec());
+        }
+        store
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut store = AuthKv::new();
+        assert_eq!(store.get(b"a"), None);
+        assert_eq!(store.insert(b"a".to_vec(), b"1".to_vec()), None);
+        assert_eq!(store.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(
+            store.insert(b"a".to_vec(), b"2".to_vec()),
+            Some(b"1".to_vec())
+        );
+        assert_eq!(store.get(b"a"), Some(&b"2"[..]));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn many_keys() {
+        let mut store = AuthKv::new();
+        for i in 0..500u32 {
+            store.insert(i.to_string().into_bytes(), vec![i as u8]);
+        }
+        assert_eq!(store.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(store.get(i.to_string().as_bytes()), Some(&[i as u8][..]));
+        }
+        assert_eq!(store.get(b"501"), None);
+    }
+
+    #[test]
+    fn update_existing_key_under_branch() {
+        // Regression: updating a key that is some subtree's sample leaf
+        // must descend, not split.
+        let mut store = AuthKv::new();
+        for i in 0..20u32 {
+            store.insert(i.to_string().into_bytes(), b"v1".to_vec());
+        }
+        for i in 0..20u32 {
+            assert_eq!(
+                store.insert(i.to_string().into_bytes(), b"v2".to_vec()),
+                Some(b"v1".to_vec()),
+                "update of key {i}"
+            );
+        }
+        assert_eq!(store.len(), 20);
+        for i in 0..20u32 {
+            assert_eq!(store.get(i.to_string().as_bytes()), Some(&b"v2"[..]));
+        }
+    }
+
+    #[test]
+    fn root_changes_with_content() {
+        let a = kv(&[("x", "1"), ("y", "2")]);
+        let b = kv(&[("x", "1"), ("y", "2")]);
+        let c = kv(&[("x", "1"), ("y", "3")]);
+        assert_eq!(a.root(), b.root());
+        assert_ne!(a.root(), c.root());
+        // Insertion order does not matter.
+        let d = kv(&[("y", "2"), ("x", "1")]);
+        assert_eq!(a.root(), d.root());
+        assert_eq!(AuthKv::new().root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn snapshots_are_independent() {
+        let mut store = kv(&[("k", "v1")]);
+        let snap = store.clone();
+        store.insert(b"k".to_vec(), b"v2".to_vec());
+        store.insert(b"k2".to_vec(), b"x".to_vec());
+        assert_eq!(snap.get(b"k"), Some(&b"v1"[..]));
+        assert_eq!(snap.get(b"k2"), None);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn remove_works_and_restores_root() {
+        let base = kv(&[("a", "1"), ("b", "2")]);
+        let mut store = base.clone();
+        store.insert(b"c".to_vec(), b"3".to_vec());
+        assert_eq!(store.remove(b"c"), Some(b"3".to_vec()));
+        assert_eq!(store.root(), base.root());
+        assert_eq!(store.remove(b"missing"), None);
+        assert_eq!(store.len(), 2);
+        // Remove down to empty.
+        assert!(store.remove(b"a").is_some());
+        assert!(store.remove(b"b").is_some());
+        assert!(store.is_empty());
+        assert_eq!(store.root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn membership_proofs() {
+        let store = kv(&[("alice", "100"), ("bob", "50"), ("carol", "7")]);
+        let root = store.root();
+        for (k, v) in [("alice", "100"), ("bob", "50"), ("carol", "7")] {
+            let proof = store.prove(k.as_bytes()).unwrap();
+            assert!(proof.verify(&root, k.as_bytes(), Some(v.as_bytes())), "{k}");
+            // Wrong value fails.
+            assert!(!proof.verify(&root, k.as_bytes(), Some(b"999")));
+            // Wrong root fails.
+            assert!(!proof.verify(&Digest::ZERO, k.as_bytes(), Some(v.as_bytes())));
+        }
+    }
+
+    #[test]
+    fn absence_proofs() {
+        let store = kv(&[("alice", "100"), ("bob", "50")]);
+        let root = store.root();
+        let proof = store.prove(b"mallory").unwrap();
+        assert!(proof.verify(&root, b"mallory", None));
+        // An absence proof cannot claim presence.
+        assert!(!proof.verify(&root, b"mallory", Some(b"1")));
+        // A membership proof cannot claim absence.
+        let proof = store.prove(b"alice").unwrap();
+        assert!(!proof.verify(&root, b"alice", None));
+    }
+
+    #[test]
+    fn proof_for_one_key_rejects_another() {
+        let store = kv(&[("alice", "100"), ("bob", "50"), ("carol", "7")]);
+        let root = store.root();
+        let proof = store.prove(b"alice").unwrap();
+        // Alice's proof must not verify bob's value (path check).
+        assert!(!proof.verify(&root, b"bob", Some(b"50")));
+    }
+
+    #[test]
+    fn iteration_covers_all() {
+        let store = kv(&[("a", "1"), ("b", "2"), ("c", "3")]);
+        let collected: BTreeMap<Vec<u8>, Vec<u8>> = store
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[&b"b"[..].to_vec()], b"2".to_vec());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_btreemap(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..8),
+                 proptest::collection::vec(any::<u8>(), 0..8),
+                 any::<bool>()),
+                1..60
+            )
+        ) {
+            let mut store = AuthKv::new();
+            let mut reference = BTreeMap::new();
+            for (key, value, is_remove) in &ops {
+                if *is_remove {
+                    prop_assert_eq!(store.remove(key), reference.remove(key));
+                } else {
+                    prop_assert_eq!(
+                        store.insert(key.clone(), value.clone()),
+                        reference.insert(key.clone(), value.clone())
+                    );
+                }
+                prop_assert_eq!(store.len(), reference.len());
+            }
+            for (key, value) in &reference {
+                prop_assert_eq!(store.get(key), Some(value.as_slice()));
+            }
+        }
+
+        #[test]
+        fn prop_proofs_verify(
+            entries in proptest::collection::btree_map(
+                proptest::collection::vec(any::<u8>(), 1..6),
+                proptest::collection::vec(any::<u8>(), 0..6),
+                1..30
+            ),
+            probe in proptest::collection::vec(any::<u8>(), 1..6),
+        ) {
+            let mut store = AuthKv::new();
+            for (k, v) in &entries {
+                store.insert(k.clone(), v.clone());
+            }
+            let root = store.root();
+            for (k, v) in &entries {
+                let proof = store.prove(k).unwrap();
+                prop_assert!(proof.verify(&root, k, Some(v)));
+            }
+            let proof = store.prove(&probe).unwrap();
+            prop_assert!(proof.verify(&root, &probe, entries.get(&probe).map(|v| v.as_slice())));
+        }
+
+        #[test]
+        fn prop_root_is_history_independent(
+            mut entries in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..6),
+                 proptest::collection::vec(any::<u8>(), 0..6)),
+                1..30
+            )
+        ) {
+            // Dedup by key, keeping the last write.
+            let mut dedup: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for (k, v) in entries.drain(..) {
+                dedup.insert(k, v);
+            }
+            let mut forward = AuthKv::new();
+            for (k, v) in dedup.iter() {
+                forward.insert(k.clone(), v.clone());
+            }
+            let mut backward = AuthKv::new();
+            for (k, v) in dedup.iter().rev() {
+                backward.insert(k.clone(), v.clone());
+            }
+            prop_assert_eq!(forward.root(), backward.root());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! 32-byte cryptographic digest type.
+
+use std::fmt;
+
+use crate::hex::{decode_hex, encode_hex, FromHexError};
+
+/// A 32-byte digest, the output size of SHA-256.
+///
+/// Used throughout the system for block hashes (`h = H(s||v||r)`, §V-C),
+/// Merkle roots (§IV) and state digests (`d = digest(D)`, §V-D).
+///
+/// # Examples
+///
+/// ```
+/// use sbft_types::Digest;
+/// let d = Digest::new([7u8; 32]);
+/// assert_eq!(d.as_bytes()[0], 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a sentinel for "no data".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Creates a digest from raw bytes.
+    pub const fn new(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns a reference to the raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest and returns the raw bytes.
+    pub const fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Parses a digest from a 64-character hex string (optional `0x` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the string is not exactly 32 bytes of valid hex.
+    pub fn from_hex(s: &str) -> Result<Self, FromHexError> {
+        let bytes = decode_hex(s)?;
+        if bytes.len() != 32 {
+            return Err(FromHexError::OddLength);
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(Digest(out))
+    }
+
+    /// Returns the digest as a lowercase hex string.
+    pub fn to_hex(&self) -> String {
+        encode_hex(&self.0)
+    }
+
+    /// Returns a short 8-hex-character prefix, for logs and traces.
+    pub fn short(&self) -> String {
+        encode_hex(&self.0[..4])
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = Digest::new([0xab; 32]);
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn from_hex_rejects_wrong_length() {
+        assert!(Digest::from_hex("abcd").is_err());
+    }
+
+    #[test]
+    fn debug_is_short() {
+        let d = Digest::new([0x12; 32]);
+        assert_eq!(format!("{d:?}"), "Digest(12121212)");
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert_eq!(Digest::ZERO.as_bytes(), &[0u8; 32]);
+        assert_eq!(Digest::default(), Digest::ZERO);
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal hexadecimal encoding/decoding helpers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a hexadecimal string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FromHexError {
+    /// The input contained a character outside `[0-9a-fA-F]`.
+    InvalidCharacter {
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+    /// The input length was odd, so it cannot encode whole bytes.
+    OddLength,
+}
+
+impl fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromHexError::InvalidCharacter { index } => {
+                write!(f, "invalid hex character at index {index}")
+            }
+            FromHexError::OddLength => write!(f, "hex string has odd length"),
+        }
+    }
+}
+
+impl Error for FromHexError {}
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sbft_types::encode_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn nibble(c: u8, index: usize) -> Result<u8, FromHexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(FromHexError::InvalidCharacter { index }),
+    }
+}
+
+/// Decodes a hexadecimal string (with optional `0x` prefix) into bytes.
+///
+/// # Errors
+///
+/// Returns [`FromHexError::OddLength`] if the (unprefixed) input length is
+/// odd, and [`FromHexError::InvalidCharacter`] on any non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), sbft_types::FromHexError> {
+/// assert_eq!(sbft_types::decode_hex("0xdead")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, FromHexError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(FromHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 2, 0xfe, 0xff];
+        assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn accepts_prefix_and_uppercase() {
+        assert_eq!(decode_hex("0xDEAD").unwrap(), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode_hex("abc"), Err(FromHexError::OddLength));
+    }
+
+    #[test]
+    fn rejects_bad_character() {
+        assert_eq!(
+            decode_hex("zz"),
+            Err(FromHexError::InvalidCharacter { index: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(encode_hex(&[]), "");
+    }
+}

@@ -1,0 +1,219 @@
+//! Identifier newtypes for the replication protocol.
+//!
+//! The paper (§V) gives each of the `n = 3f + 2c + 1` replicas a unique
+//! identifier in `{1, ..., n}`; we index replicas from `0` to `n-1`
+//! internally and map to 1-based signer indices only inside the threshold
+//! cryptography layer.
+
+use std::fmt;
+
+/// Identifier of a replica, in `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use sbft_types::ReplicaId;
+/// let r = ReplicaId::new(3);
+/// assert_eq!(r.as_usize(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(u32);
+
+impl ReplicaId {
+    /// Creates a replica identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        ReplicaId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`, for indexing replica tables.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> Self {
+        ReplicaId(v)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a client.
+///
+/// Clients are disjoint from replicas; the paper assumes many light-weight
+/// clients identified by a public key, which we model with an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        ClientId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as `usize`.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(v: u32) -> Self {
+        ClientId(v)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Sequence number of a decision block (1-based; 0 means "before the log").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// The zero sequence number, denoting the empty prefix of the log.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Creates a sequence number.
+    pub const fn new(v: u64) -> Self {
+        SeqNum(v)
+    }
+
+    /// Returns the raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequence number.
+    #[must_use]
+    pub const fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// Returns the previous sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is [`SeqNum::ZERO`].
+    #[must_use]
+    pub const fn prev(self) -> SeqNum {
+        SeqNum(self.0 - 1)
+    }
+
+    /// Returns `self + delta`.
+    #[must_use]
+    pub const fn offset(self, delta: u64) -> SeqNum {
+        SeqNum(self.0 + delta)
+    }
+}
+
+impl From<u64> for SeqNum {
+    fn from(v: u64) -> Self {
+        SeqNum(v)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// View number; the primary of view `v` is `v mod n` (round-robin, §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ViewNum(u64);
+
+impl ViewNum {
+    /// The initial view.
+    pub const ZERO: ViewNum = ViewNum(0);
+
+    /// Creates a view number.
+    pub const fn new(v: u64) -> Self {
+        ViewNum(v)
+    }
+
+    /// Returns the raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next view number.
+    #[must_use]
+    pub const fn next(self) -> ViewNum {
+        ViewNum(self.0 + 1)
+    }
+
+    /// Returns the round-robin primary for this view in a cluster of `n`
+    /// replicas.
+    pub const fn primary(self, n: usize) -> ReplicaId {
+        ReplicaId((self.0 % n as u64) as u32)
+    }
+}
+
+impl From<u64> for ViewNum {
+    fn from(v: u64) -> Self {
+        ViewNum(v)
+    }
+}
+
+impl fmt::Display for ViewNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_num_ordering_and_step() {
+        assert!(SeqNum::new(1) < SeqNum::new(2));
+        assert_eq!(SeqNum::new(1).next(), SeqNum::new(2));
+        assert_eq!(SeqNum::new(2).prev(), SeqNum::new(1));
+        assert_eq!(SeqNum::new(2).offset(10), SeqNum::new(12));
+    }
+
+    #[test]
+    fn view_primary_round_robin() {
+        let n = 4;
+        assert_eq!(ViewNum::new(0).primary(n), ReplicaId::new(0));
+        assert_eq!(ViewNum::new(1).primary(n), ReplicaId::new(1));
+        assert_eq!(ViewNum::new(4).primary(n), ReplicaId::new(0));
+        assert_eq!(ViewNum::new(7).primary(n), ReplicaId::new(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReplicaId::new(3).to_string(), "r3");
+        assert_eq!(ClientId::new(9).to_string(), "c9");
+        assert_eq!(SeqNum::new(5).to_string(), "s5");
+        assert_eq!(ViewNum::new(2).to_string(), "v2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ReplicaId::from(7u32).get(), 7);
+        assert_eq!(ClientId::from(7u32).get(), 7);
+        assert_eq!(SeqNum::from(7u64).get(), 7);
+        assert_eq!(ViewNum::from(7u64).get(), 7);
+    }
+}

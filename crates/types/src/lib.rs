@@ -1,0 +1,31 @@
+//! Primitive types shared across the SBFT reproduction.
+//!
+//! This crate is dependency-free and holds the vocabulary types used by the
+//! rest of the workspace:
+//!
+//! - [`U256`]: a 256-bit unsigned integer with full arithmetic, used by the
+//!   EVM-subset virtual machine and by the finite-field arithmetic in
+//!   `sbft-crypto`.
+//! - [`Digest`]: a 32-byte cryptographic digest (output of SHA-256).
+//! - Identifier newtypes: [`ReplicaId`], [`ClientId`], [`SeqNum`], [`ViewNum`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sbft_types::{U256, SeqNum};
+//!
+//! let a = U256::from(7u64);
+//! let b = U256::from(6u64);
+//! assert_eq!(a.wrapping_mul(&b), U256::from(42u64));
+//! assert_eq!(SeqNum::new(1).next(), SeqNum::new(2));
+//! ```
+
+mod digest;
+mod hex;
+mod ids;
+mod u256;
+
+pub use digest::Digest;
+pub use hex::{decode_hex, encode_hex, FromHexError};
+pub use ids::{ClientId, ReplicaId, SeqNum, ViewNum};
+pub use u256::U256;

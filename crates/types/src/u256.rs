@@ -1,0 +1,906 @@
+//! A 256-bit unsigned integer.
+//!
+//! Used as the word type of the EVM-subset virtual machine (`sbft-evm`) and
+//! as the limb container for finite-field arithmetic in `sbft-crypto`.
+//! Little-endian limb order: `limbs[0]` is the least significant 64 bits.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not, Shl, Shr};
+use std::str::FromStr;
+
+use crate::hex::{decode_hex, encode_hex, FromHexError};
+
+/// A 256-bit unsigned integer with wrapping, checked and widening arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use sbft_types::U256;
+///
+/// let a = U256::from(10u64);
+/// let b = U256::from(3u64);
+/// let (q, r) = a.div_rem(&b);
+/// assert_eq!(q, U256::from(3u64));
+/// assert_eq!(r, U256::from(1u64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// The value `1`.
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
+    /// The maximum value, `2^256 - 1`.
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
+
+    /// Creates a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256 { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.limbs[0] == 0 && self.limbs[1] == 0 && self.limbs[2] == 0 && self.limbs[3] == 0
+    }
+
+    /// Returns the low 64 bits, discarding the rest.
+    pub const fn low_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Returns the low 128 bits, discarding the rest.
+    pub const fn low_u128(&self) -> u128 {
+        (self.limbs[1] as u128) << 64 | self.limbs[0] as u128
+    }
+
+    /// Returns `Some(value as u64)` if the value fits in 64 bits.
+    pub const fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1] == 0 && self.limbs[2] == 0 && self.limbs[3] == 0 {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `Some(value as usize)` if the value fits in `usize`.
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Returns the number of significant bits (`0` for zero).
+    pub const fn bits(&self) -> u32 {
+        let mut i = 3;
+        loop {
+            if self.limbs[i] != 0 {
+                return (i as u32) * 64 + (64 - self.limbs[i].leading_zeros());
+            }
+            if i == 0 {
+                return 0;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Returns bit `i` (0 = least significant). Bits ≥ 256 read as zero.
+    pub const fn bit(&self, i: usize) -> bool {
+        if i >= 256 {
+            false
+        } else {
+            (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+        }
+    }
+
+    /// Sets bit `i` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn set_bit(&mut self, i: usize) {
+        assert!(i < 256, "bit index {i} out of range");
+        self.limbs[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Returns byte `i` in big-endian order (0 = most significant), as the
+    /// EVM `BYTE` opcode does. Bytes ≥ 32 read as zero.
+    pub const fn byte_be(&self, i: usize) -> u8 {
+        if i >= 32 {
+            0
+        } else {
+            // Big-endian byte i corresponds to little-endian byte 31-i.
+            let le = 31 - i;
+            (self.limbs[le / 8] >> ((le % 8) * 8)) as u8
+        }
+    }
+
+    /// Creates a value from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(chunk);
+            limbs[3 - i] = u64::from_be_bytes(le);
+        }
+        U256 { limbs }
+    }
+
+    /// Returns the value as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.limbs[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Creates a value from up to 32 big-endian bytes, zero-padding on the
+    /// left (as EVM `CALLDATALOAD`-style reads do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "slice longer than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        Self::from_be_bytes(buf)
+    }
+
+    /// Parses from a hex string with optional `0x` prefix and up to 64 hex
+    /// digits (an odd number of digits is allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid characters or if longer than 64 digits.
+    pub fn from_hex(s: &str) -> Result<Self, FromHexError> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.len() > 64 {
+            return Err(FromHexError::InvalidCharacter { index: 64 });
+        }
+        let padded = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_owned()
+        };
+        let bytes = decode_hex(&padded)?;
+        Ok(Self::from_be_slice(&bytes))
+    }
+
+    /// Adds with carry-out.
+    #[must_use]
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256 { limbs: out }, carry)
+    }
+
+    /// Wrapping addition (mod 2^256).
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtracts with borrow-out.
+    #[must_use]
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256 { limbs: out }, borrow)
+    }
+
+    /// Wrapping subtraction (mod 2^256).
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    #[must_use]
+    pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Two's-complement negation (mod 2^256).
+    #[must_use]
+    pub fn wrapping_neg(&self) -> U256 {
+        U256::ZERO.wrapping_sub(self)
+    }
+
+    /// Full 256×256 → 512-bit multiplication, returning `(low, high)`.
+    #[must_use]
+    pub fn widening_mul(&self, rhs: &U256) -> (U256, U256) {
+        let mut w = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u64 = 0;
+            for j in 0..4 {
+                let t = w[i + j] as u128
+                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
+                    + carry as u128;
+                w[i + j] = t as u64;
+                carry = (t >> 64) as u64;
+            }
+            w[i + 4] = carry;
+        }
+        (
+            U256 {
+                limbs: [w[0], w[1], w[2], w[3]],
+            },
+            U256 {
+                limbs: [w[4], w[5], w[6], w[7]],
+            },
+        )
+    }
+
+    /// Wrapping multiplication (mod 2^256).
+    #[must_use]
+    pub fn wrapping_mul(&self, rhs: &U256) -> U256 {
+        self.widening_mul(rhs).0
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    #[must_use]
+    pub fn checked_mul(&self, rhs: &U256) -> Option<U256> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Wrapping exponentiation (mod 2^256), EVM `EXP` semantics.
+    #[must_use]
+    pub fn wrapping_pow(&self, exp: &U256) -> U256 {
+        let mut result = U256::ONE;
+        let mut base = *self;
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i as usize) {
+                result = result.wrapping_mul(&base);
+            }
+            base = base.wrapping_mul(&base);
+        }
+        result
+    }
+
+    /// Division with remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero; use [`U256::checked_div`] for the EVM's
+    /// `x / 0 = 0` convention.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, *self);
+        }
+        if divisor.bits() <= 64 && self.bits() <= 64 {
+            let d = divisor.limbs[0];
+            let n = self.limbs[0];
+            return (U256::from(n / d), U256::from(n % d));
+        }
+        let mut quotient = U256::ZERO;
+        let mut rem = U256::ZERO;
+        let top = self.bits() as usize;
+        for i in (0..top).rev() {
+            rem = rem << 1;
+            if self.bit(i) {
+                rem.limbs[0] |= 1;
+            }
+            if rem >= *divisor {
+                rem = rem.wrapping_sub(divisor);
+                quotient.set_bit(i);
+            }
+        }
+        (quotient, rem)
+    }
+
+    /// Checked division; `None` when dividing by zero.
+    #[must_use]
+    pub fn checked_div(&self, divisor: &U256) -> Option<U256> {
+        if divisor.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(divisor).0)
+        }
+    }
+
+    /// Checked remainder; `None` when dividing by zero.
+    #[must_use]
+    pub fn checked_rem(&self, divisor: &U256) -> Option<U256> {
+        if divisor.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(divisor).1)
+        }
+    }
+
+    /// Returns `true` if the value is negative under two's-complement
+    /// interpretation (bit 255 set), as EVM signed opcodes define it.
+    pub const fn is_negative_signed(&self) -> bool {
+        self.limbs[3] >> 63 == 1
+    }
+
+    /// Signed division with EVM `SDIV` semantics (truncated toward zero).
+    /// Division by zero yields zero; `MIN / -1` wraps to `MIN`.
+    #[must_use]
+    pub fn signed_div(&self, rhs: &U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let (neg_a, a) = self.abs_signed();
+        let (neg_b, b) = rhs.abs_signed();
+        let q = a.div_rem(&b).0;
+        if neg_a != neg_b {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder with EVM `SMOD` semantics (sign follows dividend).
+    /// Division by zero yields zero.
+    #[must_use]
+    pub fn signed_rem(&self, rhs: &U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let (neg_a, a) = self.abs_signed();
+        let (_, b) = rhs.abs_signed();
+        let r = a.div_rem(&b).1;
+        if neg_a {
+            r.wrapping_neg()
+        } else {
+            r
+        }
+    }
+
+    /// Signed less-than under two's-complement interpretation (EVM `SLT`).
+    pub fn signed_lt(&self, rhs: &U256) -> bool {
+        match (self.is_negative_signed(), rhs.is_negative_signed()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self < rhs,
+        }
+    }
+
+    /// Arithmetic shift right (EVM `SAR`): shifts in copies of the sign bit.
+    #[must_use]
+    pub fn arithmetic_shr(&self, shift: usize) -> U256 {
+        if !self.is_negative_signed() {
+            return *self >> shift;
+        }
+        if shift >= 256 {
+            return U256::MAX;
+        }
+        // (x >> s) | (ones in the top s bits)
+        let logical = *self >> shift;
+        let mask = U256::MAX << (256 - shift);
+        logical | mask
+    }
+
+    fn abs_signed(&self) -> (bool, U256) {
+        if self.is_negative_signed() {
+            (true, self.wrapping_neg())
+        } else {
+            (false, *self)
+        }
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from(v as u64)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] & rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] | rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] ^ rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = !self.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl Shl<usize> for U256 {
+    type Output = U256;
+    fn shl(self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl Shr<usize> for U256 {
+    type Output = U256;
+    fn shr(self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..(4 - limb_shift) {
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{self:x})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let ten = U256::from(10u64);
+        let mut digits = Vec::new();
+        let mut v = *self;
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(&ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            v = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("digits are ASCII"))
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = encode_hex(&self.to_be_bytes());
+        let trimmed = hex.trim_start_matches('0');
+        let s = if trimmed.is_empty() { "0" } else { trimmed };
+        if f.alternate() {
+            write!(f, "0x{s}")
+        } else {
+            f.write_str(s)
+        }
+    }
+}
+
+impl fmt::UpperHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        let upper = lower.to_uppercase();
+        if f.alternate() {
+            write!(f, "0x{upper}")
+        } else {
+            f.write_str(&upper)
+        }
+    }
+}
+
+impl fmt::Binary for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let bits = self.bits() as usize;
+        let mut s = String::with_capacity(bits);
+        for i in (0..bits).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Octal for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let eight = U256::from(8u64);
+        let mut digits = Vec::new();
+        let mut v = *self;
+        while !v.is_zero() {
+            let (q, r) = v.div_rem(&eight);
+            digits.push(b'0' + r.low_u64() as u8);
+            v = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("digits are ASCII"))
+    }
+}
+
+/// Error returned when parsing a decimal [`U256`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseU256Error;
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid decimal 256-bit integer")
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseU256Error);
+        }
+        let ten = U256::from(10u64);
+        let mut acc = U256::ZERO;
+        for c in s.bytes() {
+            if !c.is_ascii_digit() {
+                return Err(ParseU256Error);
+            }
+            acc = acc.checked_mul(&ten).ok_or(ParseU256Error)?;
+            acc = acc
+                .checked_add(&U256::from((c - b'0') as u64))
+                .ok_or(ParseU256Error)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u(v: u128) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn basic_add_sub() {
+        assert_eq!(u(5).wrapping_add(&u(7)), u(12));
+        assert_eq!(u(12).wrapping_sub(&u(7)), u(5));
+        assert_eq!(U256::MAX.wrapping_add(&U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(&U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256::from(u64::MAX as u128);
+        let sum = a.wrapping_add(&U256::ONE);
+        assert_eq!(sum.limbs(), [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(U256::MAX.checked_add(&U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(&U256::ONE), None);
+        assert_eq!(U256::MAX.checked_mul(&u(2)), None);
+        assert_eq!(u(4).checked_mul(&u(4)), Some(u(16)));
+        assert_eq!(u(4).checked_div(&U256::ZERO), None);
+        assert_eq!(u(4).checked_rem(&U256::ZERO), None);
+    }
+
+    #[test]
+    fn widening_mul_known_value() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = U256::from(u128::MAX);
+        let (lo, hi) = a.widening_mul(&a);
+        assert_eq!(hi, U256::ZERO);
+        let expected = U256::MAX.wrapping_sub(&(U256::ONE << 129)).wrapping_add(&(U256::from(2u64)));
+        assert_eq!(lo, expected);
+    }
+
+    #[test]
+    fn widening_mul_high_part() {
+        let a = U256::ONE << 200;
+        let b = U256::ONE << 100;
+        let (lo, hi) = a.widening_mul(&b);
+        assert_eq!(lo, U256::ZERO);
+        assert_eq!(hi, U256::ONE << 44); // 300 - 256
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let (q, r) = u(100).div_rem(&u(7));
+        assert_eq!((q, r), (u(14), u(2)));
+        let (q, r) = u(7).div_rem(&u(100));
+        assert_eq!((q, r), (U256::ZERO, u(7)));
+        let (q, r) = U256::MAX.div_rem(&U256::MAX);
+        assert_eq!((q, r), (U256::ONE, U256::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = u(1).div_rem(&U256::ZERO);
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(u(2).wrapping_pow(&u(10)), u(1024));
+        assert_eq!(u(3).wrapping_pow(&U256::ZERO), U256::ONE);
+        assert_eq!(U256::ZERO.wrapping_pow(&u(5)), U256::ZERO);
+        // 2^256 wraps to 0.
+        assert_eq!(u(2).wrapping_pow(&u(256)), U256::ZERO);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(U256::ONE << 0, U256::ONE);
+        assert_eq!((U256::ONE << 255) >> 255, U256::ONE);
+        assert_eq!(U256::ONE << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 256, U256::ZERO);
+        assert_eq!((u(0xff) << 64).limbs(), [0, 0xff, 0, 0]);
+        assert_eq!((u(0xff) << 68).limbs(), [0, 0xff0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_ordering() {
+        let v = U256::from_hex("0x0102030405").unwrap();
+        assert_eq!(v.byte_be(31), 0x05);
+        assert_eq!(v.byte_be(27), 0x01);
+        assert_eq!(v.byte_be(0), 0x00);
+        assert_eq!(v.byte_be(99), 0x00);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex("0xdeadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn hex_parse_and_format() {
+        let v = U256::from_hex("0xff").unwrap();
+        assert_eq!(format!("{v:x}"), "ff");
+        assert_eq!(format!("{v:#x}"), "0xff");
+        assert_eq!(format!("{v:X}"), "FF");
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+        // Odd number of digits is allowed.
+        assert_eq!(U256::from_hex("f").unwrap(), u(15));
+        assert!(U256::from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn decimal_display_and_parse() {
+        let v: U256 = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        assert_eq!(v, U256::ONE << 128);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+        assert_eq!(U256::ZERO.to_string(), "0");
+        assert!("".parse::<U256>().is_err());
+        assert!("12a".parse::<U256>().is_err());
+        // 2^256 overflows.
+        assert!(
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+                .parse::<U256>()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn binary_and_octal() {
+        assert_eq!(format!("{:b}", u(5)), "101");
+        assert_eq!(format!("{:o}", u(9)), "11");
+        assert_eq!(format!("{:b}", U256::ZERO), "0");
+    }
+
+    #[test]
+    fn signed_semantics() {
+        let neg_one = U256::MAX; // -1 in two's complement
+        let neg_two = U256::MAX.wrapping_sub(&U256::ONE);
+        assert!(neg_one.is_negative_signed());
+        assert_eq!(u(10).signed_div(&neg_two), u(5).wrapping_neg());
+        assert_eq!(neg_one.signed_div(&neg_one), U256::ONE);
+        assert_eq!(u(10).signed_rem(&u(3)), u(1));
+        // Sign of SMOD follows the dividend.
+        assert_eq!(u(10).wrapping_neg().signed_rem(&u(3)), u(1).wrapping_neg());
+        assert!(neg_one.signed_lt(&U256::ZERO));
+        assert!(!U256::ZERO.signed_lt(&neg_one));
+        assert!(u(1).signed_lt(&u(2)));
+        assert_eq!(u(4).signed_div(&U256::ZERO), U256::ZERO);
+        assert_eq!(u(4).signed_rem(&U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_shift() {
+        let neg_four = u(4).wrapping_neg();
+        assert_eq!(neg_four.arithmetic_shr(1), u(2).wrapping_neg());
+        assert_eq!(u(4).arithmetic_shr(1), u(2));
+        assert_eq!(neg_four.arithmetic_shr(300), U256::MAX);
+        assert_eq!(u(4).arithmetic_shr(300), U256::ZERO);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 255).bits(), 256);
+        assert!(U256::ONE.bit(0));
+        assert!(!U256::ONE.bit(1));
+        assert!(!U256::ONE.bit(400));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let sum = U256::from(a).wrapping_add(&U256::from(b));
+            prop_assert_eq!(sum, U256::from(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = U256::from(a).wrapping_mul(&U256::from(b));
+            prop_assert_eq!(prod, U256::from(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = U256::from(a).div_rem(&U256::from(b));
+            prop_assert_eq!(q.wrapping_mul(&U256::from(b)).wrapping_add(&r), U256::from(a));
+            prop_assert!(r < U256::from(b));
+        }
+
+        #[test]
+        fn prop_sub_add_round_trip(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            prop_assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
+        }
+
+        #[test]
+        fn prop_shift_round_trip(a in any::<[u64; 4]>(), s in 0usize..256) {
+            let a = U256::from_limbs(a);
+            // Shifting left then right recovers the value masked to the low bits.
+            let masked = if s == 0 { a } else { (a << s) >> s };
+            let expected = if s == 0 { a } else { a & (U256::MAX >> s) };
+            prop_assert_eq!(masked, expected);
+        }
+
+        #[test]
+        fn prop_be_bytes_round_trip(a in any::<[u64; 4]>()) {
+            let a = U256::from_limbs(a);
+            prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn prop_decimal_round_trip(a in any::<[u64; 4]>()) {
+            let a = U256::from_limbs(a);
+            prop_assert_eq!(a.to_string().parse::<U256>().unwrap(), a);
+        }
+
+        #[test]
+        fn prop_widening_mul_commutes(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+            let a = U256::from_limbs(a);
+            let b = U256::from_limbs(b);
+            prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # SBFT: a Scalable and Decentralized Trust Infrastructure — reproduction
+//!
+//! This crate is the facade of a full-system Rust reproduction of
+//! *"SBFT: a Scalable and Decentralized Trust Infrastructure"*
+//! (Golan Gueta et al., DSN 2019). It re-exports the workspace crates:
+//!
+//! - [`types`] — primitive types ([`types::U256`], identifiers, digests).
+//! - [`crypto`] — SHA-256, threshold signatures, Merkle trees.
+//! - [`wire`] — binary codec with exact size accounting.
+//! - [`sim`] — deterministic discrete-event WAN simulator.
+//! - [`statedb`] — authenticated key-value store and ledger.
+//! - [`evm`] — EVM-subset smart-contract engine.
+//! - [`pbft`] — the scale-optimized PBFT baseline.
+//! - [`core`] — the SBFT replication protocol itself.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete 4-replica cluster committing
+//! key-value operations through the fast path.
+
+pub use sbft_core as core;
+pub use sbft_crypto as crypto;
+pub use sbft_evm as evm;
+pub use sbft_pbft as pbft;
+pub use sbft_sim as sim;
+pub use sbft_statedb as statedb;
+pub use sbft_types as types;
+pub use sbft_wire as wire;

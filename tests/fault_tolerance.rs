@@ -1,0 +1,182 @@
+//! Fault-injection integration tests: crashes, stragglers, partitions,
+//! Byzantine primaries, and state transfer for lagging replicas.
+
+use sbft::core::{Behavior, Cluster, ClusterConfig, VariantFlags, Workload};
+use sbft::sim::{Partition, SimDuration, SimTime};
+
+fn workload(requests: usize) -> Workload {
+    Workload::KvPut {
+        requests,
+        ops_per_request: 1,
+        key_space: 64,
+        value_len: 16,
+    }
+}
+
+#[test]
+fn straggler_tolerated_by_redundant_servers() {
+    // Ingredient 4: with c=1, one very slow replica must not knock the
+    // cluster off the fast path.
+    let mut config = ClusterConfig::small(1, 1, VariantFlags::SBFT); // n=6
+    config.clients = 2;
+    config.workload = workload(20);
+    let mut cluster = Cluster::build(config);
+    cluster.sim.set_slow_factor(5, 50.0);
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(cluster.total_completed(), 40);
+    cluster.assert_agreement();
+    let fast = cluster.sim.metrics().counter("fast_commits");
+    let slow = cluster.sim.metrics().counter("slow_commits");
+    assert!(
+        fast > slow * 3,
+        "fast path should dominate with c=1: fast={fast} slow={slow}"
+    );
+}
+
+#[test]
+fn straggler_without_redundancy_forces_slow_path() {
+    // The same straggler with c=0 tips every block onto the slow path.
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT); // n=4
+    config.clients = 2;
+    config.workload = workload(10);
+    let mut cluster = Cluster::build(config);
+    cluster.sim.set_slow_factor(3, 1_000.0);
+    cluster.run_for(SimDuration::from_secs(60));
+    assert_eq!(cluster.total_completed(), 20);
+    cluster.assert_agreement();
+    assert!(cluster.sim.metrics().counter("slow_commits") > 0);
+}
+
+#[test]
+fn partition_heals_and_liveness_returns() {
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+    config.clients = 2;
+    config.workload = workload(20);
+    config.client_retry = SimDuration::from_secs(1);
+    let mut cluster = Cluster::build(config);
+    // Isolate one backup for 2 seconds mid-run.
+    cluster.sim.network_mut().add_partition(Partition::new(
+        vec![3],
+        vec![0, 1, 2],
+        SimTime::ZERO + SimDuration::from_millis(30),
+        SimTime::ZERO + SimDuration::from_secs(2),
+    ));
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(cluster.total_completed(), 40);
+    cluster.assert_agreement();
+}
+
+#[test]
+fn deaf_replica_catches_up_via_state_transfer() {
+    // A replica that loses all traffic long enough for the cluster to
+    // checkpoint past the window must resync with a snapshot (§VIII).
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+    config.clients = 2;
+    config.protocol.window = 32;
+    config.protocol.checkpoint_period = 16;
+    config.workload = workload(120);
+    let mut cluster = Cluster::build(config);
+    cluster.sim.network_mut().set_node_deaf(
+        3,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_secs(5),
+    );
+    cluster.run_for(SimDuration::from_secs(40));
+    assert_eq!(cluster.total_completed(), 240);
+    cluster.assert_agreement();
+    assert!(
+        cluster.sim.metrics().counter("state_transfers_completed") > 0,
+        "the deaf replica must resync via state transfer"
+    );
+    // And it really caught up.
+    let lagger = cluster.replica(3).last_executed();
+    let leader = cluster.replica(0).last_executed();
+    assert!(
+        leader.get() - lagger.get() < 64,
+        "lagger at {lagger}, leader at {leader}"
+    );
+}
+
+#[test]
+fn repeated_primary_crashes_advance_views() {
+    // Crash primaries of views 0 and 1 in turn (f=2, so two crashes are
+    // within budget); the cluster must settle on view ≥ 2 and finish.
+    let mut config = ClusterConfig::small(2, 0, VariantFlags::SBFT); // n=7
+    config.clients = 2;
+    config.workload = workload(30);
+    let mut cluster = Cluster::build(config);
+    // Both crash before the first view change completes, so view 1's
+    // primary is already dead when elected and the view-change retry must
+    // escalate to view 2 — deterministic regardless of workload speed.
+    cluster
+        .sim
+        .schedule_crash(0, SimTime::ZERO + SimDuration::from_millis(20));
+    cluster
+        .sim
+        .schedule_crash(1, SimTime::ZERO + SimDuration::from_millis(100));
+    cluster.run_for(SimDuration::from_secs(90));
+    cluster.assert_agreement();
+    assert_eq!(cluster.total_completed(), 60);
+    for r in 2..7 {
+        assert!(
+            cluster.replica(r).view().get() >= 2,
+            "replica {r} stuck at view {}",
+            cluster.replica(r).view()
+        );
+    }
+}
+
+#[test]
+fn mute_primary_detected() {
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+    config.clients = 2;
+    config.workload = workload(10);
+    let mut cluster = Cluster::build(config);
+    cluster.set_behavior(0, Behavior::MutePrimary);
+    cluster.run_for(SimDuration::from_secs(60));
+    cluster.assert_agreement();
+    assert!(cluster.sim.metrics().counter("view_changes_completed") > 0);
+    assert_eq!(cluster.total_completed(), 20);
+}
+
+#[test]
+fn stale_view_change_info_does_not_block() {
+    // One replica always sends stale (empty) view-change messages — the
+    // footnote-3 test family of §V-G.
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+    config.clients = 2;
+    config.workload = workload(20);
+    let mut cluster = Cluster::build(config);
+    cluster.set_behavior(2, Behavior::StaleViewChange);
+    cluster
+        .sim
+        .schedule_crash(0, SimTime::ZERO + SimDuration::from_millis(20));
+    cluster.run_for(SimDuration::from_secs(90));
+    cluster.assert_agreement();
+    assert_eq!(cluster.total_completed(), 40);
+}
+
+#[test]
+fn randomized_crash_schedules_preserve_safety() {
+    // Sweep several seeds with random crash times of up to f backups;
+    // agreement must hold in every run.
+    for seed in 0..5u64 {
+        let mut config = ClusterConfig::small(2, 1, VariantFlags::SBFT); // n=9
+        config.seed = 1_000 + seed;
+        config.clients = 3;
+        config.workload = workload(15);
+        let mut cluster = Cluster::build(config);
+        let mut rng = sbft::crypto::SplitMix64::new(seed);
+        for k in 0..2 {
+            let victim = 1 + (rng.next_u64() as usize % (cluster.n - 1));
+            let at = SimTime::ZERO + SimDuration::from_millis(10 + 40 * k);
+            cluster.sim.schedule_crash(victim, at);
+        }
+        cluster.run_for(SimDuration::from_secs(60));
+        cluster.assert_agreement();
+        assert!(
+            cluster.total_completed() > 0,
+            "seed {seed}: no progress at all"
+        );
+    }
+}
