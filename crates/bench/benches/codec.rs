@@ -1,15 +1,16 @@
-//! Criterion benchmarks for the wire codec on the hot protocol messages.
+//! Micro-benchmarks for the wire codec on the hot protocol messages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use sbft_bench::micro::Bench;
 use sbft_core::{ClientRequest, SbftMsg};
 use sbft_crypto::KeyPair;
 use sbft_sim::SimMessage;
 use sbft_types::{ClientId, SeqNum, ViewNum};
 use sbft_wire::Wire;
 
-fn bench_codec(c: &mut Criterion) {
+fn main() {
+    let mut c = Bench::from_args();
     let keys = KeyPair::derive(1, b"client", 0);
     let requests: Vec<ClientRequest> = (0..64)
         .map(|i| ClientRequest::signed(ClientId::new(0), i + 1, vec![0xab; 32], &keys))
@@ -31,6 +32,3 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| black_box(pre_prepare.wire_size()))
     });
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion benchmark of one end-to-end consensus round on both stacks:
+//! Benchmark of one end-to-end consensus round on both stacks:
 //! wall-clock cost of simulating a commit (not simulated latency).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use sbft_bench::micro::Bench;
 use sbft_core::{Cluster, ClusterConfig, VariantFlags, Workload};
 use sbft_pbft::{PbftCluster, PbftClusterConfig, PbftWorkload};
 use sbft_sim::SimDuration;
 
-fn bench_round(c: &mut Criterion) {
+fn main() {
+    let mut c = Bench::from_args();
     c.bench_function("sbft_commit_round_n4", |b| {
         b.iter(|| {
             let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
@@ -43,6 +44,3 @@ fn bench_round(c: &mut Criterion) {
         })
     });
 }
-
-criterion_group!(benches, bench_round);
-criterion_main!(benches);

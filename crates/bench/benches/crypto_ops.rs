@@ -1,21 +1,22 @@
-//! Criterion micro-benchmarks for the threshold-cryptography substrate at
-//! the paper's scale (σ threshold 201 of n = 209, §V).
+//! Micro-benchmarks for the threshold-cryptography substrate at the
+//! paper's scale (σ threshold 201 of n = 209, §V).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use sbft_bench::micro::Bench;
 use sbft_crypto::{generate_threshold_keys, sha256, SignatureShare};
 
-fn bench_crypto(c: &mut Criterion) {
+fn main() {
+    let mut c = Bench::from_args();
     let digest = sha256(b"decision block");
     // Paper scale: n = 209, σ threshold = 201.
     let (public, shares) = generate_threshold_keys(209, 201, 42);
-    let sig_shares: Vec<SignatureShare> = shares
-        .iter()
-        .map(|s| s.sign(b"sigma", &digest))
-        .collect();
+    let sig_shares: Vec<SignatureShare> =
+        shares.iter().map(|s| s.sign(b"sigma", &digest)).collect();
     let combined = public.combine(b"sigma", &digest, &sig_shares).unwrap();
-    let multisig = public.combine_multisig(b"sigma", &digest, &sig_shares).unwrap();
+    let multisig = public
+        .combine_multisig(b"sigma", &digest, &sig_shares)
+        .unwrap();
 
     c.bench_function("sign_share", |b| {
         b.iter(|| black_box(shares[0].sign(b"sigma", &digest)))
@@ -49,6 +50,3 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| black_box(sha256(&data)))
     });
 }
-
-criterion_group!(benches, bench_crypto);
-criterion_main!(benches);

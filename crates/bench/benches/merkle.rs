@@ -1,13 +1,14 @@
-//! Criterion benchmarks for the Merkle structures backing the
-//! authenticated key-value store and the execution proofs (§IV).
+//! Micro-benchmarks for the Merkle structures backing the authenticated
+//! key-value store and the execution proofs (§IV).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use sbft_bench::micro::Bench;
 use sbft_crypto::MerkleTree;
 use sbft_statedb::AuthKv;
 
-fn bench_merkle(c: &mut Criterion) {
+fn main() {
+    let mut c = Bench::from_args();
     let leaves: Vec<Vec<u8>> = (0..1024u32).map(|i| i.to_le_bytes().to_vec()).collect();
     let tree = MerkleTree::from_leaves(leaves.clone());
     let proof = tree.proof(512).unwrap();
@@ -42,6 +43,3 @@ fn bench_merkle(c: &mut Criterion) {
         b.iter(|| black_box(trie_proof.verify(&trie_root, &500u32.to_le_bytes(), Some(&[7u8; 16]))))
     });
 }
-
-criterion_group!(benches, bench_merkle);
-criterion_main!(benches);

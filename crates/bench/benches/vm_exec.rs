@@ -1,16 +1,16 @@
-//! Criterion benchmarks for the EVM-subset interpreter: the per-transaction
+//! Micro-benchmarks for the EVM-subset interpreter: the per-transaction
 //! costs behind the smart-contract benchmark (§IX).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use sbft_bench::micro::Bench;
 use sbft_evm::{
-    execute, token_code, token_mint_calldata, token_transfer_calldata, ExecEnv, MapStorage,
-    Storage,
+    execute, token_code, token_mint_calldata, token_transfer_calldata, ExecEnv, MapStorage, Storage,
 };
 use sbft_types::U256;
 
-fn bench_vm(c: &mut Criterion) {
+fn main() {
+    let mut c = Bench::from_args();
     let code = token_code();
     let alice = U256::from(0xa11ceu64);
     let bob = U256::from(0xb0bu64);
@@ -37,9 +37,7 @@ fn bench_vm(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("evm_sload", |b| {
-        b.iter(|| black_box(storage.sload(&alice)))
-    });
+    c.bench_function("evm_sload", |b| b.iter(|| black_box(storage.sload(&alice))));
 
     let loop_code = sbft_evm::assemble(
         r"
@@ -59,6 +57,3 @@ fn bench_vm(c: &mut Criterion) {
         })
     });
 }
-
-criterion_group!(benches, bench_vm);
-criterion_main!(benches);

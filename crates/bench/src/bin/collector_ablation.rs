@@ -56,7 +56,12 @@ fn run_point(f: usize, c: usize, stragglers: usize) -> (f64, f64) {
 fn main() {
     let f = 4usize;
     println!("== collector redundancy ablation (f={f}) ==\n");
-    let mut table = Table::new(vec!["c", "stragglers", "fast-path frac", "throughput ops/s"]);
+    let mut table = Table::new(vec![
+        "c",
+        "stragglers",
+        "fast-path frac",
+        "throughput ops/s",
+    ]);
     for c in [0usize, 1, 2] {
         for stragglers in [0usize, 1, 2] {
             let (fraction, throughput) = run_point(f, c, stragglers);

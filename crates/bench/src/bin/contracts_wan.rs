@@ -26,7 +26,12 @@ fn main() {
     };
     println!("== Smart-contract benchmark: {transactions} txs, f={f} ==\n");
     let mut table = Table::new(vec![
-        "topology", "system", "n", "tps", "median_ms", "p99_ms",
+        "topology",
+        "system",
+        "n",
+        "tps",
+        "median_ms",
+        "p99_ms",
     ]);
     for topology in [TopologyKind::Continent, TopologyKind::World] {
         for variant in [Variant::SbftRedundant, Variant::Pbft] {

@@ -27,7 +27,11 @@ fn main() {
                 if ops == 64 { "64" } else { "none" }
             );
             let mut table = Table::new(vec![
-                "variant", "clients", "throughput", "median_ms", "p99_ms",
+                "variant",
+                "clients",
+                "throughput",
+                "median_ms",
+                "p99_ms",
             ]);
             for variant in Variant::ALL {
                 for &clients in &scale.client_counts() {

@@ -10,7 +10,12 @@ use sbft_sim::SimDuration;
 fn main() {
     println!("== linearity: messages per committed request vs n ==\n");
     let mut table = Table::new(vec![
-        "f", "n_sbft", "sbft msgs/req", "sbft bytes/req", "n_pbft", "pbft msgs/req",
+        "f",
+        "n_sbft",
+        "sbft msgs/req",
+        "sbft bytes/req",
+        "n_pbft",
+        "pbft msgs/req",
         "pbft bytes/req",
     ]);
     for f in [1usize, 2, 4, 8] {

@@ -1,0 +1,154 @@
+//! Measures real-socket commit throughput: a 4-replica SBFT cluster on
+//! loopback TCP, swept over client counts. The §IX analogue of the
+//! simulator's Figure-2 sweep, but in wall-clock time on actual sockets
+//! — what `cargo run --release --bin loopback_throughput` on one machine
+//! can actually sustain.
+//!
+//! Flags: `--quick` (short window), `--clients a,b,c` (sweep points).
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sbft::core::ClientNode;
+use sbft::deploy::{client_runtime, loopback_config, replica_runtime, ClientWorkload};
+use sbft::transport::ClusterSpec;
+
+struct Args {
+    window: Duration,
+    warmup: Duration,
+    clients: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        window: Duration::from_secs(5),
+        warmup: Duration::from_secs(1),
+        clients: vec![1, 2, 4, 8],
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {
+                args.window = Duration::from_secs(1);
+                args.warmup = Duration::from_millis(300);
+                args.clients = vec![1, 4];
+            }
+            "--clients" => {
+                i += 1;
+                args.clients = argv
+                    .get(i)
+                    .expect("--clients needs a,b,c")
+                    .split(',')
+                    .map(|s| s.parse().expect("client count"))
+                    .collect();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn bind(count: usize) -> (Vec<TcpListener>, Vec<String>) {
+    let listeners: Vec<TcpListener> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    (listeners, addrs)
+}
+
+/// One sweep point: boots a fresh cluster, returns (req/s, mean ms).
+fn measure(clients: usize, warmup: Duration, window: Duration) -> (f64, f64) {
+    let (replica_listeners, replica_addrs) = bind(4);
+    let (client_listeners, client_addrs) = bind(clients);
+    let spec = ClusterSpec::parse(&loopback_config(
+        1,
+        0,
+        0x5bf7,
+        &replica_addrs,
+        &client_addrs,
+    ))
+    .expect("config parses");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for (r, listener) in replica_listeners.into_iter().enumerate() {
+        let spec = spec.clone();
+        let done = Arc::clone(&done);
+        threads.push(thread::spawn(move || {
+            let mut runtime = replica_runtime(&spec, r, Some(listener)).expect("replica");
+            while !done.load(Ordering::Acquire) {
+                runtime.poll(Duration::from_millis(10));
+            }
+        }));
+    }
+
+    // Clients publish progress through shared counters; the main thread
+    // reads them at the warmup and window edges.
+    let completed = Arc::new(AtomicU64::new(0));
+    let latency_us_total = Arc::new(AtomicU64::new(0));
+    for (c, listener) in client_listeners.into_iter().enumerate() {
+        let spec = spec.clone();
+        let done = Arc::clone(&done);
+        let completed = Arc::clone(&completed);
+        let latency_us_total = Arc::clone(&latency_us_total);
+        threads.push(thread::spawn(move || {
+            let workload = ClientWorkload {
+                requests: usize::MAX / 2, // open-ended; stopped by `done`
+                ..ClientWorkload::default()
+            };
+            let mut runtime = client_runtime(&spec, c, &workload, Some(listener)).expect("client");
+            let mut reported = 0usize;
+            while !done.load(Ordering::Acquire) {
+                runtime.poll(Duration::from_millis(10));
+                let node = runtime.node_as::<ClientNode>().expect("client");
+                let new = node.latencies_ms.len();
+                if new > reported {
+                    let us: f64 = node.latencies_ms[reported..]
+                        .iter()
+                        .map(|ms| ms * 1_000.0)
+                        .sum();
+                    completed.fetch_add((new - reported) as u64, Ordering::Relaxed);
+                    latency_us_total.fetch_add(us as u64, Ordering::Relaxed);
+                    reported = new;
+                }
+            }
+        }));
+    }
+
+    thread::sleep(warmup);
+    let committed_at_start = completed.load(Ordering::Relaxed);
+    let latency_at_start = latency_us_total.load(Ordering::Relaxed);
+    let started = Instant::now();
+    thread::sleep(window);
+    let elapsed = started.elapsed().as_secs_f64();
+    let committed = completed.load(Ordering::Relaxed) - committed_at_start;
+    let latency_us = latency_us_total.load(Ordering::Relaxed) - latency_at_start;
+    done.store(true, Ordering::Release);
+    for t in threads {
+        t.join().expect("node thread");
+    }
+    let mean_ms = if committed > 0 {
+        latency_us as f64 / committed as f64 / 1_000.0
+    } else {
+        0.0
+    };
+    (committed as f64 / elapsed, mean_ms)
+}
+
+fn main() {
+    let args = parse_args();
+    println!("loopback TCP throughput, n=4 (f=1, c=0), closed-loop clients");
+    println!("{:>8} {:>12} {:>12}", "clients", "req/s", "mean ms");
+    for &clients in &args.clients {
+        let (rps, mean_ms) = measure(clients, args.warmup, args.window);
+        println!("{clients:>8} {rps:>12.1} {mean_ms:>12.2}");
+    }
+}

@@ -248,10 +248,7 @@ pub struct ExperimentResult {
     pub fast_path_fraction: f64,
 }
 
-fn wan_protocol_tuning(
-    protocol: &mut sbft_core::ProtocolConfig,
-    topology: TopologyKind,
-) {
+fn wan_protocol_tuning(protocol: &mut sbft_core::ProtocolConfig, topology: TopologyKind) {
     match topology {
         TopologyKind::World => {
             protocol.fast_path_timeout = SimDuration::from_millis(700);
@@ -357,12 +354,13 @@ fn run_sbft(spec: &ExperimentSpec) -> ExperimentResult {
         throughput_ops: completed as f64 * ops_per_request / seconds,
         throughput_requests: completed as f64 / seconds,
         latency: SampleStats::from_samples(samples),
-        msgs_per_request: delta_per(
-            cluster.sim.metrics().messages_sent() - warm_msgs,
-            completed,
-        ),
+        msgs_per_request: delta_per(cluster.sim.metrics().messages_sent() - warm_msgs, completed),
         bytes_per_request: delta_per(cluster.sim.metrics().bytes_sent() - warm_bytes, completed),
-        fast_path_fraction: if fast + slow > 0.0 { fast / (fast + slow) } else { 0.0 },
+        fast_path_fraction: if fast + slow > 0.0 {
+            fast / (fast + slow)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -449,10 +447,7 @@ fn run_pbft(spec: &ExperimentSpec) -> ExperimentResult {
         throughput_ops: completed as f64 * ops_per_request / seconds,
         throughput_requests: completed as f64 / seconds,
         latency: SampleStats::from_samples(samples),
-        msgs_per_request: delta_per(
-            cluster.sim.metrics().messages_sent() - warm_msgs,
-            completed,
-        ),
+        msgs_per_request: delta_per(cluster.sim.metrics().messages_sent() - warm_msgs, completed),
         bytes_per_request: delta_per(cluster.sim.metrics().bytes_sent() - warm_bytes, completed),
         fast_path_fraction: 0.0,
     }

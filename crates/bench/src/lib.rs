@@ -6,6 +6,7 @@
 //! index); this library holds the shared machinery.
 
 pub mod driver;
+pub mod micro;
 pub mod table;
 
 pub use driver::{

@@ -1,0 +1,149 @@
+//! Minimal micro-benchmark harness (std-only).
+//!
+//! The workspace is intentionally dependency-free, so the former criterion
+//! benchmarks under `benches/` run on this harness instead. The surface
+//! mirrors the criterion subset they used — `Bench::bench_function` plus
+//! `Runner::iter` — so the benchmark bodies read the same.
+//!
+//! Methodology: each `iter` call warms the closure up for ~20 ms, then
+//! doubles the batch size until a measured batch takes ≥ 100 ms, and
+//! reports the mean per-iteration time of the final batch. That is cruder
+//! than criterion's regression sampling but stable enough to catch
+//! order-of-magnitude regressions, which is all the repo's perf gates need.
+//!
+//! Binaries accept an optional substring filter argument (as criterion
+//! did): `cargo bench --bench codec -- decode` runs only matching names.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(20);
+const TARGET: Duration = Duration::from_millis(100);
+const MAX_BATCH: u64 = 1 << 24;
+
+/// Entry point handed to each benchmark function; collects named timings.
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+}
+
+/// Per-benchmark runner; its [`Runner::iter`] measures one closure.
+pub struct Runner {
+    result_ns: f64,
+    iters: u64,
+    quick: bool,
+}
+
+impl Runner {
+    /// Times `f`, storing the mean nanoseconds per iteration.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let (warmup, target) = if self.quick {
+            (Duration::from_millis(2), Duration::from_millis(10))
+        } else {
+            (WARMUP, TARGET)
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= MAX_BATCH {
+                break;
+            }
+        }
+        let mut batch = warm_iters.max(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= MAX_BATCH {
+                self.result_ns = elapsed.as_nanos() as f64 / batch as f64;
+                self.iters = batch;
+                return;
+            }
+            batch = (batch * 2).min(MAX_BATCH);
+        }
+    }
+}
+
+impl Bench {
+    /// Builds a harness from `std::env::args`, honoring a substring filter
+    /// and ignoring cargo-bench bookkeeping flags (`--bench`, `--exact`).
+    pub fn from_args() -> Bench {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Bench { filter, quick }
+    }
+
+    /// Runs one named benchmark unless it is filtered out.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Runner)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut runner = Runner {
+            result_ns: 0.0,
+            iters: 0,
+            quick: self.quick,
+        };
+        f(&mut runner);
+        println!(
+            "{name:<40} {:>14} ns/iter  (batch {})",
+            format_ns(runner.result_ns),
+            runner.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_measures_something() {
+        let mut r = Runner {
+            result_ns: 0.0,
+            iters: 0,
+            quick: true,
+        };
+        r.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        assert!(r.iters > 0);
+        assert!(r.result_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut b = Bench {
+            filter: Some("nope".into()),
+            quick: true,
+        };
+        let mut ran = false;
+        b.bench_function("other", |_| ran = true);
+        assert!(!ran);
+        b.bench_function("nope-match", |r| {
+            ran = true;
+            r.iter(|| 1);
+        });
+        assert!(ran);
+    }
+}

@@ -83,6 +83,18 @@ impl ClientNode {
         }
     }
 
+    /// Starts request timestamps above `base` instead of zero.
+    ///
+    /// Replicas deduplicate by `(client, timestamp)` and silently ignore
+    /// timestamps at or below the client's high-water mark, so a client
+    /// *restarting* under the same id must begin past everything it ever
+    /// sent (the classic PBFT client assumption). Real deployments pass a
+    /// wall-clock-derived base (`sbft::deploy` does); the simulator keeps
+    /// the default of zero for determinism.
+    pub fn set_timestamp_base(&mut self, base: u64) {
+        self.timestamp = self.timestamp.max(base);
+    }
+
     fn n(&self) -> usize {
         self.config.n()
     }
@@ -106,7 +118,10 @@ impl ClientNode {
     }
 
     fn complete(&mut self, ctx: &mut Context<'_, SbftMsg>, result: Vec<u8>) {
-        let outstanding = self.outstanding.take().expect("completing an active request");
+        let outstanding = self
+            .outstanding
+            .take()
+            .expect("completing an active request");
         let latency = (ctx.now() - outstanding.sent_at).as_millis_f64();
         self.latencies_ms.push(latency);
         self.completed += 1;

@@ -5,9 +5,7 @@ use std::rc::Rc;
 
 use sbft_types::ClientId;
 
-use sbft_crypto::{
-    generate_threshold_keys, KeyPair, SecretKeyShare, ThresholdPublicKey,
-};
+use sbft_crypto::{generate_threshold_keys, KeyPair, SecretKeyShare, ThresholdPublicKey};
 
 use crate::config::ProtocolConfig;
 
@@ -114,7 +112,11 @@ mod tests {
             .iter()
             .map(|r| r.sigma.sign(DOMAIN_SIGMA, &d))
             .collect();
-        let sig = keys.public.sigma.combine(DOMAIN_SIGMA, &d, &shares).unwrap();
+        let sig = keys
+            .public
+            .sigma
+            .combine(DOMAIN_SIGMA, &d, &shares)
+            .unwrap();
         assert!(keys.public.sigma.verify(DOMAIN_SIGMA, &d, &sig));
         // σ shares do not verify under τ (schemes are independent).
         assert!(!keys.public.tau.verify_share(DOMAIN_TAU, &d, &shares[0]));

@@ -805,7 +805,9 @@ impl Wire for SbftMsg {
                 requests: decode_requests(dec)?,
                 cert: CommitCert::decode(dec)?,
             }),
-            _ => Err(DecodeError::InvalidValue { what: "SbftMsg tag" }),
+            _ => Err(DecodeError::InvalidValue {
+                what: "SbftMsg tag",
+            }),
         }
     }
 }

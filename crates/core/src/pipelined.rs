@@ -116,7 +116,10 @@ pub fn select_chain_head(
         views.sort_unstable_by(|a, b| b.cmp(a));
         let supported_view = views[need - 1];
         let seq = votes.iter().map(|(s, _)| *s).max().expect("non-empty");
-        if best_fast.map(|(_, _, v)| supported_view > v).unwrap_or(true) {
+        if best_fast
+            .map(|(_, _, v)| supported_view > v)
+            .unwrap_or(true)
+        {
             best_fast = Some((seq, head, supported_view));
         }
     }
@@ -200,8 +203,7 @@ mod tests {
     #[test]
     fn duplicate_senders_do_not_count() {
         let cfg = config();
-        let mut summaries: Vec<PipelinedSummary> =
-            (0..6).map(|i| summary(i, None, None)).collect();
+        let mut summaries: Vec<PipelinedSummary> = (0..6).map(|i| summary(i, None, None)).collect();
         summaries.push(summary(5, None, None)); // duplicate
         assert!(select_chain_head(&cfg, &summaries).is_none());
     }
@@ -209,8 +211,7 @@ mod tests {
     #[test]
     fn highest_prepare_wins() {
         let cfg = config();
-        let mut summaries: Vec<PipelinedSummary> =
-            (0..5).map(|i| summary(i, None, None)).collect();
+        let mut summaries: Vec<PipelinedSummary> = (0..5).map(|i| summary(i, None, None)).collect();
         summaries.push(summary(5, Some((10, head(1), 2)), None));
         summaries.push(summary(6, Some((12, head(2), 5)), None));
         let choice = select_chain_head(&cfg, &summaries).unwrap();
@@ -223,8 +224,7 @@ mod tests {
     fn fast_needs_f_plus_c_plus_1_support() {
         let cfg = config();
         // Only 3 members (< 4) report the fast head: not adopted.
-        let mut summaries: Vec<PipelinedSummary> =
-            (0..4).map(|i| summary(i, None, None)).collect();
+        let mut summaries: Vec<PipelinedSummary> = (0..4).map(|i| summary(i, None, None)).collect();
         for i in 4..7 {
             summaries.push(summary(i, None, Some((9, head(7), 3))));
         }

@@ -404,10 +404,7 @@ impl ReplicaNode {
                 }
                 return;
             }
-            let take = self
-                .pending
-                .len()
-                .min(self.config.max_block_requests);
+            let take = self.pending.len().min(self.config.max_block_requests);
             let requests: Vec<ClientRequest> = self.pending.drain(..take).collect();
             let seq = self.next_proposal;
             self.next_proposal = self.next_proposal.next();
@@ -498,7 +495,10 @@ impl ReplicaNode {
                 return;
             }
         }
-        ctx.charge_cpu_ns(self.cost.hash(requests.iter().map(|r| r.op.len() + 64).sum()));
+        ctx.charge_cpu_ns(
+            self.cost
+                .hash(requests.iter().map(|r| r.op.len() + 64).sum()),
+        );
 
         // Sign σ (fast path) and τ (linear path) shares.
         let fast = self.config.flags.fast_path;
@@ -538,8 +538,7 @@ impl ReplicaNode {
     /// straight to the linear path, probing the fast path again every 32
     /// sequence numbers to detect recovery.
     fn fast_path_active(&self, seq: SeqNum) -> bool {
-        self.config.flags.fast_path
-            && (self.consecutive_fallbacks < 4 || seq.get() % 32 == 0)
+        self.config.flags.fast_path && (self.consecutive_fallbacks < 4 || seq.get() % 32 == 0)
     }
 
     fn handle_sign_share(
@@ -637,7 +636,9 @@ impl ReplicaNode {
         // fall back to threshold interpolation otherwise.
         let sigma = if shares.len() == n {
             ctx.charge_cpu_ns(self.cost.combine_multisig(n));
-            self.public.sigma.combine_multisig(DOMAIN_SIGMA, &h, &shares)
+            self.public
+                .sigma
+                .combine_multisig(DOMAIN_SIGMA, &h, &shares)
         } else {
             ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.sigma_threshold()));
             self.public.sigma.combine(DOMAIN_SIGMA, &h, &shares)
@@ -688,11 +689,7 @@ impl ReplicaNode {
         }
         let commit_share_sent = {
             let slot = self.slot(seq);
-            if slot
-                .prepared
-                .map(|(_, pv)| view > pv)
-                .unwrap_or(true)
-            {
+            if slot.prepared.map(|(_, pv)| view > pv).unwrap_or(true) {
                 slot.prepared = Some((tau, view));
             }
             let sent = slot.commit_share_sent;
@@ -1104,7 +1101,8 @@ impl ReplicaNode {
         self.service.garbage_collect(SeqNum::new(keep_from));
         self.slots = self.slots.split_off(&(seq.get() + 1));
         let stable = self.last_stable;
-        self.executed_requests.retain(|_, (s, _)| *s > stable || s.get() + 64 > stable.get());
+        self.executed_requests
+            .retain(|_, (s, _)| *s > stable || s.get() + 64 > stable.get());
         if self.is_primary() && self.next_proposal <= seq {
             self.next_proposal = seq.next();
         }
@@ -1173,10 +1171,7 @@ impl ReplicaNode {
                 },
                 _ => FastEvidence::None,
             };
-            if matches!(
-                (&slow, &fast),
-                (SlowEvidence::None, FastEvidence::None)
-            ) {
+            if matches!((&slow, &fast), (SlowEvidence::None, FastEvidence::None)) {
                 continue;
             }
             entries.push(VcEntry {
@@ -1657,15 +1652,12 @@ impl Node<SbftMsg> for ReplicaNode {
             }
             timer::STAGGER_EXEC => {
                 let seq = SeqNum::new(payload);
-                let digest = self
-                    .slots
-                    .get(&seq.get())
-                    .and_then(|s| {
-                        s.pi_shares
-                            .iter()
-                            .max_by_key(|(_, shares)| shares.len())
-                            .map(|(d, _)| *d)
-                    });
+                let digest = self.slots.get(&seq.get()).and_then(|s| {
+                    s.pi_shares
+                        .iter()
+                        .max_by_key(|(_, shares)| shares.len())
+                        .map(|(d, _)| *d)
+                });
                 if let Some(digest) = digest {
                     self.emit_exec_proof(ctx, seq, digest);
                 }

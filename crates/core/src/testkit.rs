@@ -6,9 +6,7 @@
 use sbft_types::{ClientId, Digest, ReplicaId, SeqNum};
 
 use sbft_crypto::CryptoCostModel;
-use sbft_sim::{
-    NetworkConfig, NetworkModel, NodeId, Placement, SimDuration, Simulation, Topology,
-};
+use sbft_sim::{NetworkConfig, NetworkModel, NodeId, Placement, SimDuration, Simulation, Topology};
 use sbft_statedb::{KvOp, KvService, RawOp, Service};
 use sbft_wire::Wire;
 
@@ -136,6 +134,45 @@ impl ClusterConfig {
     }
 }
 
+/// Builds one replica node — the construction shared by the simulated
+/// cluster below and the real-socket runtime in `sbft-transport` (both
+/// backends drive the same sans-IO [`ReplicaNode`]).
+pub fn make_replica(
+    protocol: &ProtocolConfig,
+    r: usize,
+    keys: &KeyMaterial,
+    service: Box<dyn sbft_statedb::Service>,
+    cost: CryptoCostModel,
+) -> ReplicaNode {
+    ReplicaNode::new(
+        protocol.clone(),
+        ReplicaId::new(r as u32),
+        keys,
+        service,
+        cost,
+    )
+}
+
+/// Builds one client node (see [`make_replica`]); `source` yields the
+/// client's request stream lazily.
+pub fn make_client(
+    protocol: &ProtocolConfig,
+    c: usize,
+    keys: &KeyMaterial,
+    source: crate::client::RequestSource,
+    retry: SimDuration,
+    cost: CryptoCostModel,
+) -> ClientNode {
+    ClientNode::new(
+        protocol.clone(),
+        ClientId::new(c as u32),
+        keys.public.clone(),
+        source,
+        retry,
+        cost,
+    )
+}
+
 /// A built cluster: the simulation plus its shape.
 pub struct Cluster {
     /// The underlying simulation.
@@ -157,9 +194,9 @@ impl Cluster {
         let mut sim = Simulation::new(network, config.seed, config.trace);
         let keys = KeyMaterial::generate(&config.protocol, config.seed);
         for r in 0..n {
-            let replica = ReplicaNode::new(
-                config.protocol.clone(),
-                ReplicaId::new(r as u32),
+            let replica = make_replica(
+                &config.protocol,
+                r,
                 &keys,
                 (config.service_factory)(),
                 config.cost.clone(),
@@ -168,10 +205,10 @@ impl Cluster {
         }
         for c in 0..config.clients {
             let source = config.workload.source_for(c, config.seed);
-            let client = ClientNode::new(
-                config.protocol.clone(),
-                ClientId::new(c as u32),
-                keys.public.clone(),
+            let client = make_client(
+                &config.protocol,
+                c,
+                &keys,
                 source,
                 config.client_retry,
                 config.cost.clone(),
@@ -262,11 +299,8 @@ impl Cluster {
             for seq in 1..=max_seq {
                 let seq = SeqNum::new(seq);
                 if let Some(requests) = replica.committed_block(seq) {
-                    let digest = crate::messages::block_digest(
-                        seq,
-                        sbft_types::ViewNum::ZERO,
-                        requests,
-                    );
+                    let digest =
+                        crate::messages::block_digest(seq, sbft_types::ViewNum::ZERO, requests);
                     if let Some((other, existing)) = blocks.get(&seq.get()) {
                         assert_eq!(
                             *existing, digest,

@@ -245,7 +245,9 @@ fn decide_slot(config: &ProtocolConfig, seq: SeqNum, quorum: &[&ViewChangeMsg]) 
     for (_, fast) in &entries {
         if let FastEvidence::PrePrepared { view, requests, .. } = fast {
             let key = requests_key(requests);
-            let entry = by_block.entry(key).or_insert_with(|| (Vec::new(), requests));
+            let entry = by_block
+                .entry(key)
+                .or_insert_with(|| (Vec::new(), requests));
             entry.0.push(*view);
         }
     }
@@ -362,11 +364,7 @@ mod tests {
         }
     }
 
-    fn vc(
-        from: usize,
-        new_view: ViewNum,
-        entries: Vec<VcEntry>,
-    ) -> ViewChangeMsg {
+    fn vc(from: usize, new_view: ViewNum, entries: Vec<VcEntry>) -> ViewChangeMsg {
         ViewChangeMsg {
             from: ReplicaId::new(from as u32),
             new_view,
@@ -474,10 +472,7 @@ mod tests {
             fast: FastEvidence::None,
         }];
         let plan = compute_plan(&config, view, &vcs).unwrap();
-        assert_eq!(
-            plan.decisions[0].1,
-            SlotDecision::Propose { requests: req }
-        );
+        assert_eq!(plan.decisions[0].1, SlotDecision::Propose { requests: req });
     }
 
     #[test]
@@ -509,10 +504,7 @@ mod tests {
             fast: fast_share(&keys, 3, seq, ViewNum::new(0), &req),
         }];
         let plan = compute_plan(&config, view, &vcs).unwrap();
-        assert_eq!(
-            plan.decisions[0].1,
-            SlotDecision::Propose { requests: req }
-        );
+        assert_eq!(plan.decisions[0].1, SlotDecision::Propose { requests: req });
     }
 
     #[test]
@@ -546,9 +538,7 @@ mod tests {
         let plan = compute_plan(&config, view, &vcs).unwrap();
         assert_eq!(
             plan.decisions[0].1,
-            SlotDecision::Propose {
-                requests: slow_req
-            }
+            SlotDecision::Propose { requests: slow_req }
         );
     }
 
@@ -581,9 +571,7 @@ mod tests {
         let plan = compute_plan(&config, view, &vcs).unwrap();
         assert_eq!(
             plan.decisions[0].1,
-            SlotDecision::Propose {
-                requests: fast_req
-            }
+            SlotDecision::Propose { requests: fast_req }
         );
     }
 

@@ -313,7 +313,16 @@ impl fmt::Display for Scalar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SplitMix64;
+
+    fn limbs(rng: &mut SplitMix64) -> [u64; 4] {
+        [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ]
+    }
 
     /// Slow reference modular multiplication via double-and-add on U256.
     fn slow_mulmod(a: &U256, b: &U256, m: &U256) -> U256 {
@@ -353,7 +362,11 @@ mod tests {
         // R = 2^256 mod r.
         let m = modulus();
         let r_mod = U256::MAX.div_rem(&m).1.wrapping_add(&U256::ONE);
-        let r_mod = if r_mod >= m { r_mod.wrapping_sub(&m) } else { r_mod };
+        let r_mod = if r_mod >= m {
+            r_mod.wrapping_sub(&m)
+        } else {
+            r_mod
+        };
         assert_eq!(U256::from_limbs(R), r_mod);
 
         // R2 = R * R mod r.
@@ -401,10 +414,7 @@ mod tests {
     #[test]
     fn negation_wraps_to_modulus_minus_value() {
         let a = Scalar::from_u64(5);
-        assert_eq!(
-            a.neg().to_u256(),
-            modulus().wrapping_sub(&U256::from(5u64))
-        );
+        assert_eq!(a.neg().to_u256(), modulus().wrapping_sub(&U256::from(5u64)));
         assert_eq!(a.add(&a.neg()), Scalar::ZERO);
         assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
     }
@@ -450,47 +460,56 @@ mod tests {
         assert_eq!(Scalar::from_bytes(&a.to_bytes()), a);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn prop_mul_matches_reference(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
-            let av = U256::from_limbs(a).div_rem(&modulus()).1;
-            let bv = U256::from_limbs(b).div_rem(&modulus()).1;
+    #[test]
+    fn prop_mul_matches_reference() {
+        let mut rng = SplitMix64::new(0x11);
+        for _ in 0..64 {
+            let av = U256::from_limbs(limbs(&mut rng)).div_rem(&modulus()).1;
+            let bv = U256::from_limbs(limbs(&mut rng)).div_rem(&modulus()).1;
             let product = Scalar::from_u256_reduce(&av).mul(&Scalar::from_u256_reduce(&bv));
-            prop_assert_eq!(product.to_u256(), slow_mulmod(&av, &bv, &modulus()));
+            assert_eq!(product.to_u256(), slow_mulmod(&av, &bv, &modulus()));
         }
+    }
 
-        #[test]
-        fn prop_add_commutes_and_associates(
-            a in any::<[u64; 4]>(), b in any::<[u64; 4]>(), c in any::<[u64; 4]>()
-        ) {
-            let a = Scalar::from_u256_reduce(&U256::from_limbs(a));
-            let b = Scalar::from_u256_reduce(&U256::from_limbs(b));
-            let c = Scalar::from_u256_reduce(&U256::from_limbs(c));
-            prop_assert_eq!(a.add(&b), b.add(&a));
-            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    #[test]
+    fn prop_add_commutes_and_associates() {
+        let mut rng = SplitMix64::new(0x12);
+        for _ in 0..64 {
+            let a = Scalar::from_u256_reduce(&U256::from_limbs(limbs(&mut rng)));
+            let b = Scalar::from_u256_reduce(&U256::from_limbs(limbs(&mut rng)));
+            let c = Scalar::from_u256_reduce(&U256::from_limbs(limbs(&mut rng)));
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
         }
+    }
 
-        #[test]
-        fn prop_distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-            let a = Scalar::from_u64(a);
-            let b = Scalar::from_u64(b);
-            let c = Scalar::from_u64(c);
-            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    #[test]
+    fn prop_distributive() {
+        let mut rng = SplitMix64::new(0x13);
+        for _ in 0..64 {
+            let a = Scalar::from_u64(rng.next_u64());
+            let b = Scalar::from_u64(rng.next_u64());
+            let c = Scalar::from_u64(rng.next_u64());
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
         }
+    }
 
-        #[test]
-        fn prop_sub_is_add_neg(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
-            let a = Scalar::from_u256_reduce(&U256::from_limbs(a));
-            let b = Scalar::from_u256_reduce(&U256::from_limbs(b));
-            prop_assert_eq!(a.sub(&b), a.add(&b.neg()));
+    #[test]
+    fn prop_sub_is_add_neg() {
+        let mut rng = SplitMix64::new(0x14);
+        for _ in 0..64 {
+            let a = Scalar::from_u256_reduce(&U256::from_limbs(limbs(&mut rng)));
+            let b = Scalar::from_u256_reduce(&U256::from_limbs(limbs(&mut rng)));
+            assert_eq!(a.sub(&b), a.add(&b.neg()));
         }
+    }
 
-        #[test]
-        fn prop_invert_round_trip(a in 1u64..) {
-            let a = Scalar::from_u64(a);
-            prop_assert_eq!(a.invert().unwrap().mul(&a), Scalar::ONE);
+    #[test]
+    fn prop_invert_round_trip() {
+        let mut rng = SplitMix64::new(0x15);
+        for _ in 0..64 {
+            let a = Scalar::from_u64(rng.next_u64().max(1));
+            assert_eq!(a.invert().unwrap().mul(&a), Scalar::ONE);
         }
     }
 }

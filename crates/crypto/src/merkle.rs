@@ -186,7 +186,7 @@ impl MerkleTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SplitMix64;
 
     fn leaves(n: usize) -> Vec<Vec<u8>> {
         (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
@@ -273,31 +273,46 @@ mod tests {
         assert!(!bad.verify(&t.root(), &data[2]));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn random_leaves(
+        rng: &mut SplitMix64,
+        min_count: usize,
+        max_count: usize,
+        max_len: usize,
+    ) -> Vec<Vec<u8>> {
+        let count = min_count + (rng.next_u64() as usize) % (max_count - min_count);
+        (0..count)
+            .map(|_| {
+                let len = (rng.next_u64() as usize) % max_len;
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect()
+    }
 
-        #[test]
-        fn prop_inclusion(
-            data in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..64),
-            pick in any::<proptest::sample::Index>(),
-        ) {
+    #[test]
+    fn prop_inclusion() {
+        let mut rng = SplitMix64::new(0x21);
+        for _ in 0..64 {
+            let data = random_leaves(&mut rng, 1, 64, 32);
             let t = MerkleTree::from_leaves(data.clone());
-            let i = pick.index(data.len());
+            let i = (rng.next_u64() as usize) % data.len();
             let p = t.proof(i).unwrap();
-            prop_assert!(p.verify(&t.root(), &data[i]));
+            assert!(p.verify(&t.root(), &data[i]));
         }
+    }
 
-        #[test]
-        fn prop_cross_leaf_rejection(
-            data in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 2..32),
-            pick in any::<proptest::sample::Index>(),
-        ) {
+    #[test]
+    fn prop_cross_leaf_rejection() {
+        let mut rng = SplitMix64::new(0x22);
+        for _ in 0..64 {
+            let data = random_leaves(&mut rng, 2, 32, 16);
             let t = MerkleTree::from_leaves(data.clone());
-            let i = pick.index(data.len());
+            let i = (rng.next_u64() as usize) % data.len();
             let j = (i + 1) % data.len();
-            prop_assume!(data[i] != data[j]);
+            if data[i] == data[j] {
+                continue;
+            }
             let p = t.proof(i).unwrap();
-            prop_assert!(!p.verify(&t.root(), &data[j]));
+            assert!(!p.verify(&t.root(), &data[j]));
         }
     }
 }

@@ -386,7 +386,7 @@ pub fn generate_threshold_keys(
 mod tests {
     use super::*;
     use crate::sha256::sha256;
-    use proptest::prelude::*;
+    use crate::SplitMix64;
 
     const DOMAIN: &[u8] = b"sigma";
 
@@ -535,22 +535,19 @@ mod tests {
         let d = sha256(b"block");
         for (k, domain) in [(8usize, b"sigma".as_ref()), (6, b"tau"), (3, b"pi")] {
             let (pk, sks) = generate_threshold_keys(n, k, 99);
-            let shares: Vec<SignatureShare> =
-                sks[..k].iter().map(|s| s.sign(domain, &d)).collect();
+            let shares: Vec<SignatureShare> = sks[..k].iter().map(|s| s.sign(domain, &d)).collect();
             let sig = pk.combine(domain, &d, &shares).unwrap();
             assert!(pk.verify(domain, &d, &sig));
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn prop_random_subsets_combine(
-            seed in any::<u64>(),
-            n in 3usize..12,
-            extra in 0usize..4,
-        ) {
+    #[test]
+    fn prop_random_subsets_combine() {
+        let mut rng = SplitMix64::new(0x41);
+        for _ in 0..16 {
+            let seed = rng.next_u64();
+            let n = 3 + (rng.next_u64() as usize) % 9;
+            let extra = (rng.next_u64() as usize) % 4;
             let k = (n / 2 + 1).min(n);
             let (pk, sks) = generate_threshold_keys(n, k, seed);
             let d = sha256(&seed.to_be_bytes());
@@ -561,7 +558,7 @@ mod tests {
                 .map(|i| sks[(offset + i) % n].sign(DOMAIN, &d))
                 .collect();
             let sig = pk.combine(DOMAIN, &d, &shares).unwrap();
-            prop_assert!(pk.verify(DOMAIN, &d, &sig));
+            assert!(pk.verify(DOMAIN, &d, &sig));
         }
     }
 }

@@ -100,8 +100,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             let hex = imm
                 .strip_prefix("0x")
                 .ok_or_else(|| AsmError::MissingImmediate(token.clone()))?;
-            let mut value = sbft_types::decode_hex(hex)
-                .map_err(|_| AsmError::UnknownToken(imm.clone()))?;
+            let mut value =
+                sbft_types::decode_hex(hex).map_err(|_| AsmError::UnknownToken(imm.clone()))?;
             if value.len() > n as usize {
                 return Err(AsmError::ImmediateTooWide(imm));
             }
@@ -120,9 +120,7 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
         match item {
             Item::Bytes(b) => code.extend_from_slice(&b),
             Item::LabelRef(label) => {
-                let target = *labels
-                    .get(&label)
-                    .ok_or(AsmError::UndefinedLabel(label))?;
+                let target = *labels.get(&label).ok_or(AsmError::UndefinedLabel(label))?;
                 code.push(Opcode::Push(2).to_byte());
                 code.push((target >> 8) as u8);
                 code.push((target & 0xff) as u8);

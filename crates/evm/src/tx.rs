@@ -377,7 +377,12 @@ impl EvmService {
         self.apply_decoded(seq, tx, true)
     }
 
-    fn apply_decoded(&mut self, seq: SeqNum, tx: Transaction, allow_batch: bool) -> (TxReceipt, u64) {
+    fn apply_decoded(
+        &mut self,
+        seq: SeqNum,
+        tx: Transaction,
+        allow_batch: bool,
+    ) -> (TxReceipt, u64) {
         match tx {
             Transaction::Batch(txs) => {
                 if !allow_batch {
@@ -487,9 +492,7 @@ impl Service for EvmService {
             results.push(receipt.to_bytes());
         }
         let state_root = self.state.root();
-        let (digest, results_root) = self
-            .artifacts
-            .record(seq, state_root, ops, results.clone());
+        let (digest, results_root) = self.artifacts.record(seq, state_root, ops, results.clone());
         self.last_executed = seq;
         self.last_digest = digest;
         BlockExecution {
@@ -562,7 +565,13 @@ mod tests {
         }
     }
 
-    fn call(svc: &mut EvmService, seq: u64, sender: Address, to: Address, data: Vec<u8>) -> TxReceipt {
+    fn call(
+        svc: &mut EvmService,
+        seq: u64,
+        sender: Address,
+        to: Address,
+        data: Vec<u8>,
+    ) -> TxReceipt {
         let tx = Transaction::Call {
             sender,
             to,
@@ -632,7 +641,13 @@ mod tests {
         );
         assert!(r.is_success());
         // Balances via query calls.
-        let r = call(&mut svc, 4, bob, token, token_balance_calldata(&alice.to_word()));
+        let r = call(
+            &mut svc,
+            4,
+            bob,
+            token,
+            token_balance_calldata(&alice.to_word()),
+        );
         match r {
             TxReceipt::Success(out) => assert_eq!(U256::from_be_slice(&out), U256::from(60u64)),
             TxReceipt::Failed(e) => panic!("{e}"),

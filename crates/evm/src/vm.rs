@@ -339,25 +339,16 @@ pub fn execute(
             }
             Opcode::Byte => {
                 let (i, x) = (pop!(), pop!());
-                let v = i
-                    .to_usize()
-                    .map(|i| x.byte_be(i))
-                    .unwrap_or(0);
+                let v = i.to_usize().map(|i| x.byte_be(i)).unwrap_or(0);
                 push!(U256::from(v as u64));
             }
             Opcode::Shl => {
                 let (shift, value) = (pop!(), pop!());
-                push!(shift
-                    .to_usize()
-                    .map(|s| value << s)
-                    .unwrap_or(U256::ZERO));
+                push!(shift.to_usize().map(|s| value << s).unwrap_or(U256::ZERO));
             }
             Opcode::Shr => {
                 let (shift, value) = (pop!(), pop!());
-                push!(shift
-                    .to_usize()
-                    .map(|s| value >> s)
-                    .unwrap_or(U256::ZERO));
+                push!(shift.to_usize().map(|s| value >> s).unwrap_or(U256::ZERO));
             }
             Opcode::Sar => {
                 let (shift, value) = (pop!(), pop!());
@@ -549,7 +540,13 @@ mod tests {
     fn run(source: &str, calldata: &[u8]) -> Result<ExecOutcome, VmError> {
         let code = assemble(source).expect("assembles");
         let mut storage = MapStorage::new();
-        execute(&code, calldata, &ExecEnv::default(), &mut storage, 1_000_000)
+        execute(
+            &code,
+            calldata,
+            &ExecEnv::default(),
+            &mut storage,
+            1_000_000,
+        )
     }
 
     fn run_with_storage(

@@ -85,7 +85,13 @@ pub fn pbft_block_digest(seq: SeqNum, view: ViewNum, requests: &[PbftRequest]) -
 }
 
 /// Payload a replica signs in prepare/commit/checkpoint messages.
-pub fn vote_payload(tag: &[u8], seq: SeqNum, view: ViewNum, h: &Digest, replica: ReplicaId) -> Digest {
+pub fn vote_payload(
+    tag: &[u8],
+    seq: SeqNum,
+    view: ViewNum,
+    h: &Digest,
+    replica: ReplicaId,
+) -> Digest {
     sha256_concat(&[
         tag,
         &seq.get().to_le_bytes(),
@@ -457,7 +463,9 @@ impl Wire for PbftMsg {
                     pre_prepares,
                 })
             }
-            _ => Err(DecodeError::InvalidValue { what: "PbftMsg tag" }),
+            _ => Err(DecodeError::InvalidValue {
+                what: "PbftMsg tag",
+            }),
         }
     }
 }
@@ -592,8 +600,20 @@ mod tests {
     #[test]
     fn vote_payload_distinguishes_phases() {
         let h = Digest::new([1; 32]);
-        let a = vote_payload(b"prep", SeqNum::new(1), ViewNum::new(0), &h, ReplicaId::new(1));
-        let b = vote_payload(b"comm", SeqNum::new(1), ViewNum::new(0), &h, ReplicaId::new(1));
+        let a = vote_payload(
+            b"prep",
+            SeqNum::new(1),
+            ViewNum::new(0),
+            &h,
+            ReplicaId::new(1),
+        );
+        let b = vote_payload(
+            b"comm",
+            SeqNum::new(1),
+            ViewNum::new(0),
+            &h,
+            ReplicaId::new(1),
+        );
         assert_ne!(a, b);
     }
 }

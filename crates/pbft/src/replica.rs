@@ -292,7 +292,8 @@ impl PbftReplica {
             && self.next_proposal.get() <= self.last_stable.get() + self.config.window
         {
             let half_window = (self.config.max_in_flight / 2).max(1);
-            let target = (self.pending.len() / half_window).clamp(1, self.config.max_block_requests);
+            let target =
+                (self.pending.len() / half_window).clamp(1, self.config.max_block_requests);
             if self.pending.len() < target && self.in_flight() > 0 {
                 if !self.batch_timer_set {
                     self.batch_timer_set = true;
@@ -365,7 +366,13 @@ impl PbftReplica {
         self.arm_watchdog(ctx);
     }
 
-    fn send_prepare(&mut self, ctx: &mut Context<'_, PbftMsg>, seq: SeqNum, view: ViewNum, h: Digest) {
+    fn send_prepare(
+        &mut self,
+        ctx: &mut Context<'_, PbftMsg>,
+        seq: SeqNum,
+        view: ViewNum,
+        h: Digest,
+    ) {
         let slot = self.slot(seq);
         if slot.prepare_sent {
             return;
@@ -532,13 +539,8 @@ impl PbftReplica {
             // Quadratic checkpoint protocol: broadcast a signed digest.
             if next.get() % self.config.checkpoint_period == 0 {
                 ctx.charge_cpu_ns(self.cost.sign_request());
-                let payload = vote_payload(
-                    b"ckpt",
-                    next,
-                    ViewNum::ZERO,
-                    &exec.state_digest,
-                    self.id,
-                );
+                let payload =
+                    vote_payload(b"ckpt", next, ViewNum::ZERO, &exec.state_digest, self.id);
                 let msg = PbftMsg::Checkpoint {
                     seq: next,
                     digest: exec.state_digest,
@@ -871,8 +873,8 @@ impl Node<PbftMsg> for PbftReplica {
             }
             TIMER_WATCHDOG => {
                 self.watchdog_set = false;
-                let progressed = self.last_executed > self.watchdog_mark.0
-                    || self.view > self.watchdog_mark.1;
+                let progressed =
+                    self.last_executed > self.watchdog_mark.0 || self.view > self.watchdog_mark.1;
                 if progressed || !self.has_outstanding_work() {
                     self.vc_attempts = 0;
                     if self.has_outstanding_work() {

@@ -4,9 +4,7 @@
 use sbft_types::{ClientId, Digest, ReplicaId, SeqNum};
 
 use sbft_crypto::CryptoCostModel;
-use sbft_sim::{
-    NetworkConfig, NetworkModel, Placement, SimDuration, Simulation, Topology,
-};
+use sbft_sim::{NetworkConfig, NetworkModel, Placement, SimDuration, Simulation, Topology};
 use sbft_statedb::{KvOp, KvService, RawOp, Service};
 use sbft_wire::Wire;
 
@@ -215,8 +213,7 @@ impl PbftCluster {
             for seq in 1..=max_seq {
                 let seq = SeqNum::new(seq);
                 if let Some(requests) = replica.committed_block(seq) {
-                    let digest =
-                        pbft_block_digest(seq, sbft_types::ViewNum::ZERO, requests);
+                    let digest = pbft_block_digest(seq, sbft_types::ViewNum::ZERO, requests);
                     if let Some((other, existing)) = blocks.get(&seq.get()) {
                         assert_eq!(
                             *existing, digest,
@@ -329,7 +326,7 @@ mod tests {
         };
         let small = count_prepares(1); // n = 4
         let large = count_prepares(3); // n = 10
-        // n² scaling: 100/16 ≈ 6x; allow generous slack.
+                                       // n² scaling: 100/16 ≈ 6x; allow generous slack.
         assert!(
             large >= small * 4,
             "prepare counts should scale quadratically: {small} vs {large}"

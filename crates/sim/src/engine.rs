@@ -10,7 +10,6 @@
 //! completes, then flow through the [`NetworkModel`] (egress bandwidth,
 //! latency, jitter, retransmits, partitions).
 
-
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 

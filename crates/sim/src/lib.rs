@@ -65,10 +65,10 @@ mod topology;
 pub use engine::{NodeRuntime, Simulation};
 pub use metrics::{Metrics, SampleStats, TraceEvent};
 pub use network::{NetworkConfig, NetworkModel, Partition};
-pub use node::{Context, Node, NodeId, SimMessage, TimerId};
+pub use node::{Context, Effects, Node, NodeId, SimMessage, TimerId};
 pub use rng::SimRng;
-pub use topology::{Placement, Topology};
 pub use time::{SimDuration, SimTime};
+pub use topology::{Placement, Topology};
 
 #[cfg(test)]
 mod tests {
@@ -161,7 +161,11 @@ mod tests {
         let initiator = sim.node_as::<PingPong>(0).unwrap();
         assert_eq!(initiator.completed, 5);
         // Region 0 → region 1 one-way is 8ms, so RTT ≥ 16ms.
-        assert!(initiator.last_rtt_ms >= 16.0, "rtt {}", initiator.last_rtt_ms);
+        assert!(
+            initiator.last_rtt_ms >= 16.0,
+            "rtt {}",
+            initiator.last_rtt_ms
+        );
         assert_eq!(metrics_pings, 5);
         assert_eq!(metrics_pongs, 5);
         assert_eq!(samples, 5);

@@ -67,7 +67,11 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (*k, *v))
     }
 
-    pub(crate) fn note_send(
+    /// Accounts one message send under `label`. The discrete-event engine
+    /// calls this for every simulated transmission; external backends
+    /// (the TCP runtime) call it with wall-clock-derived times so byte
+    /// accounting stays comparable across backends.
+    pub fn note_send(
         &mut self,
         at: SimTime,
         from: NodeId,

@@ -264,7 +264,10 @@ mod tests {
         // NIC time, so the last arrival is ≥ 90ms after the first send.
         let mut times: Vec<SimTime> = Vec::new();
         for to in 1..10 {
-            times.push(m.delivery_time(&mut rng, 0, to, 10_000, SimTime::ZERO).unwrap());
+            times.push(
+                m.delivery_time(&mut rng, 0, to, 10_000, SimTime::ZERO)
+                    .unwrap(),
+            );
         }
         let first = times.iter().min().unwrap();
         let last = times.iter().max().unwrap();
@@ -298,7 +301,9 @@ mod tests {
         let mut rng = SimRng::new(1);
         let t = m.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
         let mut m2 = model(no_jitter());
-        let t0 = m2.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
+        let t0 = m2
+            .delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO)
+            .unwrap();
         let penalty = t.as_millis_f64() - t0.as_millis_f64();
         assert!((299.0..301.0).contains(&penalty), "penalty {penalty}");
     }
@@ -319,7 +324,9 @@ mod tests {
         let t2 = m.delivery_time(&mut rng, 2, 3, 100, SimTime::ZERO).unwrap();
         assert!(t2.as_secs_f64() < 0.1);
         // After the heal, traffic flows normally.
-        let t3 = m.delivery_time(&mut rng, 0, 1, 100, SimTime::from_nanos(2_000_000_000)).unwrap();
+        let t3 = m
+            .delivery_time(&mut rng, 0, 1, 100, SimTime::from_nanos(2_000_000_000))
+            .unwrap();
         assert!(t3.as_secs_f64() < 2.1);
     }
 

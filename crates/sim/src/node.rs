@@ -12,6 +12,14 @@ pub type NodeId = usize;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+impl TimerId {
+    /// The underlying id, for backends that track timers outside the
+    /// simulator (e.g. the wall-clock runtime in `sbft-transport`).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Messages exchanged between nodes. The simulator needs each message's
 /// wire size (to model transmission) and a label (for metrics).
 pub trait SimMessage: Clone + 'static {
@@ -24,9 +32,41 @@ pub trait SimMessage: Clone + 'static {
 /// Side effects a node requests during a handler invocation.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { id: TimerId, at: SimTime, token: u64 },
-    CancelTimer { id: TimerId },
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        at: SimTime,
+        token: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+}
+
+/// The side effects drained from a [`Context`] after one handler
+/// invocation, in the order the node requested them.
+///
+/// The discrete-event engine consumes actions internally; external
+/// backends (the real-socket runtime in `sbft-transport`) build a context
+/// with [`Context::external`], invoke a handler, then apply these effects
+/// to their own network and timer machinery. Keeping the node-facing
+/// [`Context`] identical on both paths is what lets `ReplicaNode`,
+/// `ClientNode` and the PBFT baseline run unchanged on the simulator and
+/// on real TCP sockets.
+#[derive(Debug)]
+pub struct Effects<M> {
+    /// Messages to transmit, as `(destination, message)` pairs.
+    pub sends: Vec<(NodeId, M)>,
+    /// Timers to arm, as `(id, deadline, token)` — deadlines are in the
+    /// same timebase as the `now` the context was built with.
+    pub timers: Vec<(TimerId, SimTime, u64)>,
+    /// Timers to disarm.
+    pub cancels: Vec<TimerId>,
+    /// CPU time the handler charged (informational outside the simulator).
+    pub cpu: SimDuration,
 }
 
 /// Execution context handed to node handlers.
@@ -44,6 +84,50 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Builds a context for an external (non-simulated) backend.
+    ///
+    /// `now` is whatever timebase the backend maps handlers onto (the TCP
+    /// runtime uses nanoseconds since process start); `next_timer_id`
+    /// must persist across invocations so [`TimerId`]s stay unique.
+    /// After the handler returns, drain the requested side effects with
+    /// [`Context::into_effects`].
+    pub fn external(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        metrics: &'a mut Metrics,
+        next_timer_id: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            metrics,
+            actions: Vec::new(),
+            cpu_charged: SimDuration::ZERO,
+            next_timer_id,
+        }
+    }
+
+    /// Consumes the context, returning the side effects the handler
+    /// requested (for external backends; the engine drains internally).
+    pub fn into_effects(self) -> Effects<M> {
+        let mut effects = Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
+            cpu: self.cpu_charged,
+        };
+        for action in self.actions {
+            match action {
+                Action::Send { to, msg } => effects.sends.push((to, msg)),
+                Action::SetTimer { id, at, token } => effects.timers.push((id, at, token)),
+                Action::CancelTimer { id } => effects.cancels.push(id),
+            }
+        }
+        effects
+    }
+
     /// Current simulated time (start of this handler invocation).
     pub fn now(&self) -> SimTime {
         self.now

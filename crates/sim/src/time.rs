@@ -188,7 +188,10 @@ mod tests {
             SimDuration::from_millis(10).saturating_mul(3),
             SimDuration::from_millis(30)
         );
-        assert_eq!(SimDuration::from_millis(10).mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(-1.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

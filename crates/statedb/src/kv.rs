@@ -534,7 +534,11 @@ mod query_tests {
         // A stale digest from another block fails.
         let mut svc2 = KvService::new();
         svc2.execute_block(SeqNum::new(1), &[put("alice", "999")]);
-        assert!(!verify_authenticated_read(&svc2.state_digest(), b"alice", &read));
+        assert!(!verify_authenticated_read(
+            &svc2.state_digest(),
+            b"alice",
+            &read
+        ));
 
         // Proof for the wrong key fails.
         assert!(!verify_authenticated_read(&d, b"bob", &read));

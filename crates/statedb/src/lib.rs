@@ -24,8 +24,7 @@ mod trie;
 pub use kv::{verify_authenticated_read, AuthenticatedRead, KvCostModel, KvOp, KvService};
 pub use ledger::{Block, Checkpoint, ChunkAssembler, Ledger, StateChunk};
 pub use service::{
-    BlockArtifacts,
-    block_hash, combine_state_digest, op_digest, results_tree, verify_execution, BlockExecution,
-    ExecutionProof, RawOp, Service,
+    block_hash, combine_state_digest, op_digest, results_tree, verify_execution, BlockArtifacts,
+    BlockExecution, ExecutionProof, RawOp, Service,
 };
 pub use trie::{AuthKv, TrieProof, TrieProofStep};

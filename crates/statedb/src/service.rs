@@ -223,7 +223,14 @@ mod tests {
             // Wrong value fails.
             assert!(!verify_execution(&d, &ops[l], b"bogus", seq, l, &proof));
             // Wrong position fails.
-            assert!(!verify_execution(&d, &ops[l], &results[l], seq, l + 1, &proof));
+            assert!(!verify_execution(
+                &d,
+                &ops[l],
+                &results[l],
+                seq,
+                l + 1,
+                &proof
+            ));
             // Wrong sequence fails.
             assert!(!verify_execution(
                 &d,
@@ -251,7 +258,10 @@ mod tests {
         let s = SeqNum::new(9);
         let a = Digest::new([1; 32]);
         let b = Digest::new([2; 32]);
-        assert_ne!(combine_state_digest(s, &a, &b), combine_state_digest(s, &b, &a));
+        assert_ne!(
+            combine_state_digest(s, &a, &b),
+            combine_state_digest(s, &b, &a)
+        );
         assert_ne!(
             combine_state_digest(s, &a, &b),
             combine_state_digest(s.next(), &a, &b)

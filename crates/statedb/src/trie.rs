@@ -203,7 +203,10 @@ impl AuthKv {
 
     /// The Merkle root ([`Digest::ZERO`] when empty).
     pub fn root(&self) -> Digest {
-        self.root.as_ref().map(|n| n.digest()).unwrap_or(Digest::ZERO)
+        self.root
+            .as_ref()
+            .map(|n| n.digest())
+            .unwrap_or(Digest::ZERO)
     }
 
     /// Looks up a key.
@@ -336,7 +339,11 @@ impl AuthKv {
 
     fn remove_rec(node: Rc<Node>, key_hash: &[u8; 32], key: &[u8]) -> RemoveOutcome {
         match &*node {
-            Node::Leaf { key: leaf_key, value, .. } => {
+            Node::Leaf {
+                key: leaf_key,
+                value,
+                ..
+            } => {
                 if leaf_key.as_slice() == key {
                     RemoveOutcome::Removed(None, value.clone())
                 } else {
@@ -458,8 +465,18 @@ impl<'a> Iterator for Iter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sbft_crypto::SplitMix64;
     use std::collections::BTreeMap;
+
+    fn random_key(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+        let len = 1 + (rng.next_u64() as usize) % (max_len - 1);
+        (0..len).map(|_| rng.next_u64() as u8).collect()
+    }
+
+    fn random_value(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+        let len = (rng.next_u64() as usize) % max_len;
+        (0..len).map(|_| rng.next_u64() as u8).collect()
+    }
 
     fn kv(pairs: &[(&str, &str)]) -> AuthKv {
         let mut store = AuthKv::new();
@@ -605,45 +622,43 @@ mod tests {
         assert_eq!(collected[&b"b"[..].to_vec()], b"2".to_vec());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn prop_matches_btreemap(
-            ops in proptest::collection::vec(
-                (proptest::collection::vec(any::<u8>(), 1..8),
-                 proptest::collection::vec(any::<u8>(), 0..8),
-                 any::<bool>()),
-                1..60
-            )
-        ) {
+    #[test]
+    fn prop_matches_btreemap() {
+        let mut rng = SplitMix64::new(0x51);
+        for _ in 0..48 {
+            let op_count = 1 + (rng.next_u64() as usize) % 59;
             let mut store = AuthKv::new();
             let mut reference = BTreeMap::new();
-            for (key, value, is_remove) in &ops {
-                if *is_remove {
-                    prop_assert_eq!(store.remove(key), reference.remove(key));
+            for _ in 0..op_count {
+                let key = random_key(&mut rng, 8);
+                let value = random_value(&mut rng, 8);
+                let is_remove = rng.next_u64() & 1 == 1;
+                if is_remove {
+                    assert_eq!(store.remove(&key), reference.remove(&key));
                 } else {
-                    prop_assert_eq!(
+                    assert_eq!(
                         store.insert(key.clone(), value.clone()),
-                        reference.insert(key.clone(), value.clone())
+                        reference.insert(key, value)
                     );
                 }
-                prop_assert_eq!(store.len(), reference.len());
+                assert_eq!(store.len(), reference.len());
             }
             for (key, value) in &reference {
-                prop_assert_eq!(store.get(key), Some(value.as_slice()));
+                assert_eq!(store.get(key), Some(value.as_slice()));
             }
         }
+    }
 
-        #[test]
-        fn prop_proofs_verify(
-            entries in proptest::collection::btree_map(
-                proptest::collection::vec(any::<u8>(), 1..6),
-                proptest::collection::vec(any::<u8>(), 0..6),
-                1..30
-            ),
-            probe in proptest::collection::vec(any::<u8>(), 1..6),
-        ) {
+    #[test]
+    fn prop_proofs_verify() {
+        let mut rng = SplitMix64::new(0x52);
+        for _ in 0..48 {
+            let entry_count = 1 + (rng.next_u64() as usize) % 29;
+            let mut entries: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            while entries.len() < entry_count {
+                entries.insert(random_key(&mut rng, 6), random_value(&mut rng, 6));
+            }
+            let probe = random_key(&mut rng, 6);
             let mut store = AuthKv::new();
             for (k, v) in &entries {
                 store.insert(k.clone(), v.clone());
@@ -651,24 +666,22 @@ mod tests {
             let root = store.root();
             for (k, v) in &entries {
                 let proof = store.prove(k).unwrap();
-                prop_assert!(proof.verify(&root, k, Some(v)));
+                assert!(proof.verify(&root, k, Some(v)));
             }
             let proof = store.prove(&probe).unwrap();
-            prop_assert!(proof.verify(&root, &probe, entries.get(&probe).map(|v| v.as_slice())));
+            assert!(proof.verify(&root, &probe, entries.get(&probe).map(|v| v.as_slice())));
         }
+    }
 
-        #[test]
-        fn prop_root_is_history_independent(
-            mut entries in proptest::collection::vec(
-                (proptest::collection::vec(any::<u8>(), 1..6),
-                 proptest::collection::vec(any::<u8>(), 0..6)),
-                1..30
-            )
-        ) {
+    #[test]
+    fn prop_root_is_history_independent() {
+        let mut rng = SplitMix64::new(0x53);
+        for _ in 0..48 {
+            let entry_count = 1 + (rng.next_u64() as usize) % 29;
             // Dedup by key, keeping the last write.
             let mut dedup: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-            for (k, v) in entries.drain(..) {
-                dedup.insert(k, v);
+            for _ in 0..entry_count {
+                dedup.insert(random_key(&mut rng, 6), random_value(&mut rng, 6));
             }
             let mut forward = AuthKv::new();
             for (k, v) in dedup.iter() {
@@ -678,7 +691,7 @@ mod tests {
             for (k, v) in dedup.iter().rev() {
                 backward.insert(k.clone(), v.clone());
             }
-            prop_assert_eq!(forward.root(), backward.root());
+            assert_eq!(forward.root(), backward.root());
         }
     }
 }

@@ -1,0 +1,326 @@
+//! Plain-text cluster configuration for real deployments.
+//!
+//! One file describes the whole cluster; every node loads the same file
+//! and finds itself in it. The format is deliberately TOML-free — line
+//! oriented, `#` comments:
+//!
+//! ```text
+//! # 4-replica SBFT cluster, one client
+//! f 1
+//! c 0
+//! seed 42
+//! variant sbft
+//! replica 0 127.0.0.1:9400
+//! replica 1 127.0.0.1:9401
+//! replica 2 127.0.0.1:9402
+//! replica 3 127.0.0.1:9403
+//! client 0 127.0.0.1:9500
+//! ```
+//!
+//! Node ids follow the simulator's numbering: replicas are `0..n`,
+//! clients are `n..n+m`. Key material is derived deterministically from
+//! `seed` by every process (this is a reproduction: a real deployment
+//! would run distributed key generation instead).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use sbft_sim::NodeId;
+
+/// Protocol variant named in the config (mapped onto
+/// `sbft_core::VariantFlags` by the node binary; kept as a plain enum
+/// here so the transport crate does not depend on the protocol crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariantName {
+    /// Full SBFT (fast path + execute-acks).
+    #[default]
+    Sbft,
+    /// Linear PBFT only.
+    LinearPbft,
+    /// Linear PBFT + fast path, direct replies.
+    FastPath,
+}
+
+/// A parsed cluster description.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Fault threshold.
+    pub f: usize,
+    /// Redundant-collector parameter.
+    pub c: usize,
+    /// Master seed for deterministic key material.
+    pub seed: u64,
+    /// Protocol variant.
+    pub variant: VariantName,
+    /// Replica listen addresses, indexed by replica id (`0..n`).
+    pub replicas: Vec<String>,
+    /// Client listen addresses, indexed by client id.
+    pub clients: Vec<String>,
+}
+
+/// Error from parsing a cluster config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "config: {}", self.message)
+        } else {
+            write!(f, "config line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl ClusterSpec {
+    /// Parses the plain-text format above.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending line for unknown
+    /// directives, malformed values, duplicate/missing ids, or a replica
+    /// count that contradicts `n = 3f + 2c + 1`.
+    pub fn parse(text: &str) -> Result<ClusterSpec, ConfigError> {
+        let mut f = None;
+        let mut c = None;
+        let mut seed = 0u64;
+        let mut variant = VariantName::default();
+        let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
+        let mut clients: BTreeMap<usize, String> = BTreeMap::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().expect("non-empty line");
+            let args: Vec<&str> = parts.collect();
+            match directive {
+                "f" | "c" | "seed" => {
+                    let [value] = args[..] else {
+                        return Err(err(lineno, format!("`{directive}` takes one value")));
+                    };
+                    let parsed: u64 = value
+                        .parse()
+                        .map_err(|_| err(lineno, format!("`{value}` is not a number")))?;
+                    match directive {
+                        "f" => f = Some(parsed as usize),
+                        "c" => c = Some(parsed as usize),
+                        _ => seed = parsed,
+                    }
+                }
+                "variant" => {
+                    let [value] = args[..] else {
+                        return Err(err(lineno, "`variant` takes one value"));
+                    };
+                    variant = match value {
+                        "sbft" => VariantName::Sbft,
+                        "linear-pbft" => VariantName::LinearPbft,
+                        "fast-path" => VariantName::FastPath,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "unknown variant `{other}` (sbft | linear-pbft | fast-path)"
+                                ),
+                            ))
+                        }
+                    };
+                }
+                "replica" | "client" => {
+                    let [id, addr] = args[..] else {
+                        return Err(err(lineno, format!("`{directive}` takes <id> <host:port>")));
+                    };
+                    let id: usize = id
+                        .parse()
+                        .map_err(|_| err(lineno, format!("`{id}` is not an id")))?;
+                    if !addr.contains(':') {
+                        return Err(err(lineno, format!("`{addr}` is not host:port")));
+                    }
+                    let table = if directive == "replica" {
+                        &mut replicas
+                    } else {
+                        &mut clients
+                    };
+                    if table.insert(id, addr.to_string()).is_some() {
+                        return Err(err(lineno, format!("duplicate {directive} id {id}")));
+                    }
+                }
+                other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+            }
+        }
+
+        let f = f.ok_or_else(|| err(0, "missing `f`"))?;
+        let c = c.unwrap_or(0);
+        let n = 3 * f + 2 * c + 1;
+        if replicas.len() != n {
+            return Err(err(
+                0,
+                format!(
+                    "expected n = 3f+2c+1 = {n} replicas, found {}",
+                    replicas.len()
+                ),
+            ));
+        }
+        let contiguous = |table: &BTreeMap<usize, String>, what: &str| {
+            for (expect, id) in table.keys().enumerate() {
+                if *id != expect {
+                    return Err(err(
+                        0,
+                        format!("{what} ids must be 0..{}, missing {expect}", table.len()),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        contiguous(&replicas, "replica")?;
+        contiguous(&clients, "client")?;
+
+        Ok(ClusterSpec {
+            f,
+            c,
+            seed,
+            variant,
+            replicas: replicas.into_values().collect(),
+            clients: clients.into_values().collect(),
+        })
+    }
+
+    /// Loads and parses a config file.
+    ///
+    /// # Errors
+    ///
+    /// I/O problems surface as a line-0 [`ConfigError`].
+    pub fn load(path: impl AsRef<Path>) -> Result<ClusterSpec, ConfigError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| err(0, format!("reading {}: {e}", path.as_ref().display())))?;
+        ClusterSpec::parse(&text)
+    }
+
+    /// Cluster size `n = 3f + 2c + 1`.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Node id of a replica (identity, by the shared numbering).
+    pub fn replica_node(&self, r: usize) -> NodeId {
+        r
+    }
+
+    /// Node id of a client.
+    pub fn client_node(&self, c: usize) -> NodeId {
+        self.n() + c
+    }
+
+    /// Listen address of a node id.
+    pub fn addr_of(&self, node: NodeId) -> Option<&str> {
+        if node < self.n() {
+            self.replicas.get(node).map(String::as_str)
+        } else {
+            self.clients.get(node - self.n()).map(String::as_str)
+        }
+    }
+
+    /// `(node_id, addr)` pairs `me` actually talks to — the transport's
+    /// peer table. Replicas dial everyone; clients dial only replicas
+    /// (no protocol message ever flows client-to-client, and clients
+    /// come and go, so those connections would just churn forever).
+    pub fn peers_for(&self, me: NodeId) -> Vec<(NodeId, String)> {
+        let total = if me < self.n() {
+            self.n() + self.clients.len()
+        } else {
+            self.n()
+        };
+        (0..total)
+            .filter(|node| *node != me)
+            .filter_map(|node| Some((node, self.addr_of(node)?.to_string())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "
+        # demo cluster
+        f 1
+        c 0
+        seed 7
+        variant sbft
+        replica 0 127.0.0.1:9400   # primary
+        replica 1 127.0.0.1:9401
+        replica 2 127.0.0.1:9402
+        replica 3 127.0.0.1:9403
+        client 0 127.0.0.1:9500
+    ";
+
+    #[test]
+    fn parses_a_full_cluster() {
+        let spec = ClusterSpec::parse(GOOD).unwrap();
+        assert_eq!(spec.n(), 4);
+        assert_eq!(spec.f, 1);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.variant, VariantName::Sbft);
+        assert_eq!(spec.clients.len(), 1);
+        assert_eq!(spec.client_node(0), 4);
+        assert_eq!(spec.addr_of(4), Some("127.0.0.1:9500"));
+        let peers = spec.peers_for(0);
+        assert_eq!(peers.len(), 4);
+        assert!(peers.iter().all(|(id, _)| *id != 0));
+        // Clients dial replicas only — never other clients.
+        let client_peers = spec.peers_for(spec.client_node(0));
+        assert_eq!(client_peers.len(), 4);
+        assert!(client_peers.iter().all(|(id, _)| *id < spec.n()));
+    }
+
+    #[test]
+    fn replica_count_must_match_f_and_c() {
+        let bad = "f 2\nreplica 0 a:1\nreplica 1 a:2\n";
+        let e = ClusterSpec::parse(bad).unwrap_err();
+        assert!(e.message.contains("3f+2c+1"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_directives_and_duplicates() {
+        assert!(ClusterSpec::parse("bogus 1\n")
+            .unwrap_err()
+            .message
+            .contains("unknown"));
+        let dup = "f 1\nreplica 0 a:1\nreplica 0 a:2\nreplica 2 a:3\nreplica 3 a:4\n";
+        assert!(ClusterSpec::parse(dup)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_gaps_in_ids() {
+        let gap = "f 1\nreplica 0 a:1\nreplica 1 a:2\nreplica 2 a:3\nreplica 4 a:4\n";
+        let e = ClusterSpec::parse(gap).unwrap_err();
+        assert!(e.message.contains("must be 0.."), "{e}");
+    }
+
+    #[test]
+    fn missing_f_is_an_error() {
+        let e = ClusterSpec::parse("seed 1\n").unwrap_err();
+        assert!(e.message.contains("missing `f`"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Drives a sans-IO [`sbft_sim::Node`] over real sockets.
+//!
+//! The discrete-event engine and this runtime expose the *same*
+//! [`Context`] to node handlers; the difference is where time and
+//! messages come from. Here `ctx.now()` is nanoseconds of wall clock
+//! since the runtime started, timers are a [`BinaryHeap`] of wall-clock
+//! deadlines, and sends are encoded with [`sbft_wire::Wire`] and handed
+//! to the [`TcpTransport`]. `ReplicaNode`, `ClientNode` and the PBFT
+//! baseline therefore run unchanged on both backends — the acceptance
+//! bar for this subsystem.
+//!
+//! Single-threaded by design: the node is `!Send` (it holds `Rc` key
+//! material), so the runtime loops on the caller's thread, alternating
+//! between due timers and inbound frames. Per-process parallelism comes
+//! from running one process (or thread) per node, as a real deployment
+//! would.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use sbft_sim::{Context, Metrics, Node, NodeId, SimMessage, SimRng, SimTime};
+use sbft_wire::Wire;
+
+use crate::tcp::TcpTransport;
+
+/// Wall-clock runtime for one node.
+pub struct NodeRuntime<M: SimMessage + Wire> {
+    node: Box<dyn Node<M>>,
+    transport: TcpTransport,
+    rng: SimRng,
+    metrics: Metrics,
+    next_timer_id: u64,
+    /// Min-heap of `(deadline_ns, timer_id, token)`.
+    timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    /// Self-sends and other locally-deliverable messages, processed
+    /// before touching the socket channel.
+    loopback: VecDeque<(NodeId, M)>,
+    start: Instant,
+    started: bool,
+    events: u64,
+    decode_errors: u64,
+}
+
+impl<M: SimMessage + Wire> NodeRuntime<M> {
+    /// Wraps a node and its transport. `seed` feeds the deterministic RNG
+    /// handlers see via `ctx.rng()` (determinism of the *node logic*; the
+    /// network is of course not deterministic here).
+    pub fn new(node: Box<dyn Node<M>>, transport: TcpTransport, seed: u64) -> Self {
+        NodeRuntime {
+            node,
+            transport,
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(false),
+            next_timer_id: 0,
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            loopback: VecDeque::new(),
+            start: Instant::now(),
+            started: false,
+            events: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// Nanoseconds since the runtime was created, as the node's timebase.
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &TcpTransport {
+        &self.transport
+    }
+
+    /// Per-label metrics, mirroring the simulator's accounting.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Handler invocations so far (messages + timers + start).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Frames that failed to decode as `M` (malformed or hostile peers).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Downcasts the node for inspection, as `Simulation::node_as` does.
+    pub fn node_as<T: 'static>(&self) -> Option<&T> {
+        self.node.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the node.
+    pub fn node_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.node.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Invokes `on_start` once; later calls are no-ops.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.dispatch(|node, ctx| node.on_start(ctx));
+    }
+
+    fn dispatch<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
+    {
+        let now = self.now();
+        let node_id = self.transport.node_id();
+        let mut ctx = Context::external(
+            now,
+            node_id,
+            &mut self.rng,
+            &mut self.metrics,
+            &mut self.next_timer_id,
+        );
+        f(self.node.as_mut(), &mut ctx);
+        let effects = ctx.into_effects();
+        self.events += 1;
+        for (to, msg) in effects.sends {
+            self.metrics
+                .note_send(now, node_id, to, msg.label(), msg.wire_size());
+            if to == node_id {
+                // Skip the socket round-trip; order is still FIFO.
+                self.loopback.push_back((to, msg));
+            } else {
+                self.transport.send_msg(to, &msg);
+            }
+        }
+        for (id, at, token) in effects.timers {
+            self.timers.push(Reverse((at.as_nanos(), id.raw(), token)));
+        }
+        for id in effects.cancels {
+            self.cancelled.insert(id.raw());
+        }
+    }
+
+    /// Fires every timer due at `now`; returns the next pending deadline.
+    fn fire_due_timers(&mut self) -> Option<u64> {
+        loop {
+            let now_ns = self.now().as_nanos();
+            match self.timers.peek() {
+                Some(&Reverse((at, id, token))) if at <= now_ns => {
+                    self.timers.pop();
+                    if self.cancelled.remove(&id) {
+                        continue;
+                    }
+                    self.dispatch(|node, ctx| node.on_timer(token, ctx));
+                }
+                Some(&Reverse((at, _, _))) => return Some(at),
+                None => return None,
+            }
+        }
+    }
+
+    /// Processes events (timers, loopback, inbound frames) for up to
+    /// `budget` of wall time, then returns. Call in a loop and inspect
+    /// the node between calls — the real-socket analogue of
+    /// `Simulation::run_for`. Returns events processed during the call.
+    pub fn poll(&mut self, budget: Duration) -> u64 {
+        self.start();
+        let before = self.events;
+        let deadline = Instant::now() + budget;
+        loop {
+            while let Some((from, msg)) = self.loopback.pop_front() {
+                self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
+            }
+            let next_timer = self.fire_due_timers();
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let mut wait = deadline - now;
+            if let Some(at_ns) = next_timer {
+                let until_timer = Duration::from_nanos(at_ns.saturating_sub(self.now().as_nanos()));
+                wait = wait.min(until_timer);
+            }
+            // Zero-duration waits still poll the channel once.
+            match self
+                .transport
+                .recv_timeout(wait.max(Duration::from_micros(100)))
+            {
+                Some((from, payload)) => match M::from_wire_bytes(&payload) {
+                    Ok(msg) => self.dispatch(|node, ctx| node.on_message(from, msg, ctx)),
+                    Err(_) => self.decode_errors += 1,
+                },
+                None => {}
+            }
+        }
+        self.events - before
+    }
+
+    /// Polls until `stop` returns true or `timeout` elapses; returns
+    /// whether the predicate was met. The predicate runs between polls,
+    /// every `tick`.
+    pub fn run_until(
+        &mut self,
+        timeout: Duration,
+        tick: Duration,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if stop(self) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.poll(tick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TransportConfig;
+    use sbft_sim::SimDuration;
+    use std::net::TcpListener;
+
+    #[derive(Clone)]
+    struct Ping(u64);
+
+    impl SimMessage for Ping {
+        fn wire_size(&self) -> usize {
+            8 + crate::frame::FRAME_HEADER_BYTES
+        }
+        fn label(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    impl Wire for Ping {
+        fn encode(&self, enc: &mut sbft_wire::Encoder) {
+            enc.put_u64(self.0);
+        }
+        fn decode(dec: &mut sbft_wire::Decoder<'_>) -> Result<Self, sbft_wire::DecodeError> {
+            Ok(Ping(dec.get_u64()?))
+        }
+    }
+
+    /// Echoes pings back, counting rounds; node 0 initiates.
+    struct Echo {
+        peer: NodeId,
+        initiator: bool,
+        rounds: u64,
+        completed: u64,
+        timer_fired: bool,
+    }
+
+    impl Node<Ping> for Echo {
+        sbft_sim::impl_node_any!();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::from_millis(5), 99);
+            if self.initiator {
+                ctx.send(self.peer, Ping(0));
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            if self.initiator {
+                self.completed = msg.0 + 1;
+                if self.completed < self.rounds {
+                    ctx.send(from, Ping(msg.0 + 1));
+                }
+            } else {
+                ctx.send(from, msg);
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, Ping>) {
+            if token == 99 {
+                self.timer_fired = true;
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_over_real_sockets_with_timers() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = l0.local_addr().unwrap().to_string();
+        let a1 = l1.local_addr().unwrap().to_string();
+
+        let responder = std::thread::spawn(move || {
+            let transport =
+                TcpTransport::with_listener(TransportConfig::new(1, vec![(0, a0)]), l1).unwrap();
+            let mut rt = NodeRuntime::new(
+                Box::new(Echo {
+                    peer: 0,
+                    initiator: false,
+                    rounds: 0,
+                    completed: 0,
+                    timer_fired: false,
+                }),
+                transport,
+                1,
+            );
+            // Serve until the initiator is done (bounded).
+            rt.poll(Duration::from_secs(3));
+            rt.metrics().label_count("ping")
+        });
+
+        let transport =
+            TcpTransport::with_listener(TransportConfig::new(0, vec![(1, a1)]), l0).unwrap();
+        let mut rt = NodeRuntime::new(
+            Box::new(Echo {
+                peer: 1,
+                initiator: true,
+                rounds: 5,
+                completed: 0,
+                timer_fired: false,
+            }),
+            transport,
+            0,
+        );
+        let done = rt.run_until(Duration::from_secs(5), Duration::from_millis(20), |rt| {
+            rt.node_as::<Echo>().unwrap().completed >= 5
+                && rt.node_as::<Echo>().unwrap().timer_fired
+        });
+        assert!(done, "five ping-pong rounds and a timer within deadline");
+        assert_eq!(rt.metrics().label_count("ping"), 5);
+        assert!(rt.events_processed() >= 7, "start + 5 pongs + timer");
+        let responder_pings = responder.join().unwrap();
+        assert!(responder_pings >= 5);
+    }
+
+    /// A node that sends to itself: must loop back without a socket.
+    struct SelfTalker {
+        heard: u64,
+    }
+
+    impl Node<Ping> for SelfTalker {
+        sbft_sim::impl_node_any!();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            let me = ctx.id();
+            ctx.send(me, Ping(7));
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Ping, _ctx: &mut Context<'_, Ping>) {
+            self.heard = msg.0;
+        }
+    }
+
+    #[test]
+    fn self_sends_bypass_the_network() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let transport = TcpTransport::with_listener(TransportConfig::new(4, vec![]), l).unwrap();
+        let mut rt = NodeRuntime::new(Box::new(SelfTalker { heard: 0 }), transport, 0);
+        rt.poll(Duration::from_millis(50));
+        assert_eq!(rt.node_as::<SelfTalker>().unwrap().heard, 7);
+        assert_eq!(rt.transport().control().stats().frames_sent, 0);
+    }
+}

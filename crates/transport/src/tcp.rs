@@ -1,0 +1,615 @@
+//! A std-only TCP transport: `std::net` sockets, threads and channels.
+//!
+//! Connection model: every ordered pair of nodes gets its own connection —
+//! node `a` dials node `b` and uses that socket **only to send**; `b`
+//! attributes the traffic from the [`Handshake`] frame and only reads.
+//! This keeps every socket single-writer/single-reader, so no framing
+//! locks are needed and a severed direction heals independently.
+//!
+//! Each peer has a bounded outbound queue drained by a dedicated writer
+//! thread that owns the connect/reconnect loop (exponential backoff,
+//! capped). While a peer is down, sends overflow the queue and are
+//! dropped with a counter bump — BFT protocols tolerate message loss and
+//! the client retry logic regenerates any traffic that mattered.
+//!
+//! There is no authentication on connections: protocol messages carry
+//! their own signatures, which is what SBFT actually relies on. The
+//! handshake only attributes traffic to a node id.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use sbft_sim::NodeId;
+use sbft_wire::Wire;
+
+use crate::frame::{self, Handshake, DEFAULT_MAX_FRAME};
+
+/// Configuration for one node's transport endpoint.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// This node's id (replicas first, then clients — the simulator's
+    /// numbering, so `sbft_sim::Node` implementations address peers
+    /// identically on both backends).
+    pub node_id: NodeId,
+    /// Peer addresses, excluding this node (entries for `node_id` are
+    /// ignored). `host:port` strings, resolved on every connect attempt.
+    pub peers: Vec<(NodeId, String)>,
+    /// Per-frame payload cap (a corrupt length prefix must not OOM us).
+    pub max_frame: usize,
+    /// First reconnect delay; doubles per failure.
+    pub reconnect_base: Duration,
+    /// Reconnect delay cap.
+    pub reconnect_max: Duration,
+    /// Per-connect-attempt timeout.
+    pub connect_timeout: Duration,
+    /// Bounded per-peer outbound queue; overflow drops (and counts).
+    pub outbound_queue: usize,
+    /// Bounded inbound queue shared by all peers. Reader threads *block*
+    /// on a full queue, which backpressures into the kernel's TCP buffers
+    /// and from there to the sender — bounded memory without message
+    /// loss, even against a peer that streams frames faster than the
+    /// node drains them.
+    pub inbound_queue: usize,
+}
+
+impl TransportConfig {
+    /// Defaults tuned for LAN/loopback clusters.
+    pub fn new(node_id: NodeId, peers: Vec<(NodeId, String)>) -> Self {
+        TransportConfig {
+            node_id,
+            peers,
+            max_frame: DEFAULT_MAX_FRAME,
+            reconnect_base: Duration::from_millis(20),
+            reconnect_max: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            outbound_queue: 4096,
+            inbound_queue: 16384,
+        }
+    }
+}
+
+/// Snapshot of transport-level counters (socket bytes, frame header
+/// included — the runtime's `Metrics` tracks per-label payload bytes, this
+/// tracks what actually hit the wire).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Bytes written to sockets (payload + headers + handshakes).
+    pub bytes_sent: u64,
+    /// Frames read from sockets.
+    pub frames_received: u64,
+    /// Bytes read from sockets (payload + headers).
+    pub bytes_received: u64,
+    /// Successful outbound connections (first connect included, so a
+    /// steady cluster of `p` peers shows exactly `p`; anything above that
+    /// is a reconnect).
+    pub connects: u64,
+    /// Messages dropped: peer queue full, unknown destination, or a
+    /// connection that died with the message in flight.
+    pub dropped: u64,
+    /// Inbound connections rejected for a bad handshake.
+    pub handshake_rejects: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+    connects: AtomicU64,
+    dropped: AtomicU64,
+    handshake_rejects: AtomicU64,
+}
+
+/// Registry of live sockets so [`TransportControl::sever`] and shutdown
+/// can close them out from under their owning threads.
+#[derive(Default)]
+struct StreamRegistry {
+    next_id: u64,
+    streams: HashMap<u64, (NodeId, TcpStream)>,
+}
+
+impl StreamRegistry {
+    fn register(&mut self, peer: NodeId, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.insert(id, (peer, clone));
+        Some(id)
+    }
+
+    fn deregister(&mut self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.streams.remove(&id);
+        }
+    }
+
+    fn sever(&mut self, peer: NodeId) -> usize {
+        let mut severed = 0;
+        for (p, stream) in self.streams.values() {
+            if *p == peer {
+                let _ = stream.shutdown(Shutdown::Both);
+                severed += 1;
+            }
+        }
+        severed
+    }
+
+    fn close_all(&mut self) {
+        for (_, stream) in self.streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.streams.clear();
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    counters: Counters,
+    registry: Mutex<StreamRegistry>,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Cloneable, `Send + Sync` handle for observing and disturbing a
+/// transport from another thread (tests kill connections with it; the
+/// node binary prints its stats).
+#[derive(Clone)]
+pub struct TransportControl {
+    shared: Arc<Shared>,
+}
+
+impl TransportControl {
+    /// Forcibly closes every live socket to/from `peer`, as if the
+    /// network dropped the connections. The writer thread reconnects
+    /// with backoff; liveness must resume. Returns how many sockets were
+    /// severed.
+    pub fn sever(&self, peer: NodeId) -> usize {
+        self.shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .sever(peer)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TransportStats {
+        let c = &self.shared.counters;
+        TransportStats {
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            frames_received: c.frames_received.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            connects: c.connects.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            handshake_rejects: c.handshake_rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops all transport threads and closes all sockets.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .close_all();
+    }
+}
+
+/// One node's TCP endpoint: a listener, per-peer writer threads, and a
+/// single inbound channel of `(from, payload)` frames.
+pub struct TcpTransport {
+    node_id: NodeId,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    inbound: Receiver<(NodeId, Vec<u8>)>,
+    inbound_tx: SyncSender<(NodeId, Vec<u8>)>,
+    outbound: HashMap<NodeId, SyncSender<Vec<u8>>>,
+}
+
+impl TcpTransport {
+    /// Binds `listen` and starts the accept loop and per-peer writers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen address cannot be bound.
+    pub fn bind(config: TransportConfig, listen: &str) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(listen)?;
+        TcpTransport::with_listener(config, listener)
+    }
+
+    /// Starts the transport on an already-bound listener (tests bind port
+    /// 0 first so the OS picks free ports, then hand the listeners over).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot be inspected or made non-blocking.
+    pub fn with_listener(
+        config: TransportConfig,
+        listener: TcpListener,
+    ) -> io::Result<TcpTransport> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            registry: Mutex::new(StreamRegistry::default()),
+        });
+        let (inbound_tx, inbound) = mpsc::sync_channel(config.inbound_queue);
+
+        {
+            let shared = Arc::clone(&shared);
+            let inbound_tx = inbound_tx.clone();
+            let max_frame = config.max_frame;
+            thread::Builder::new()
+                .name(format!("sbft-accept-{}", config.node_id))
+                .spawn(move || accept_loop(listener, shared, inbound_tx, max_frame))
+                .expect("spawn accept thread");
+        }
+
+        let mut outbound = HashMap::new();
+        for (peer, addr) in &config.peers {
+            if *peer == config.node_id || outbound.contains_key(peer) {
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel(config.outbound_queue);
+            let shared = Arc::clone(&shared);
+            let writer = WriterConfig {
+                node_id: config.node_id,
+                peer: *peer,
+                addr: addr.clone(),
+                reconnect_base: config.reconnect_base,
+                reconnect_max: config.reconnect_max,
+                connect_timeout: config.connect_timeout,
+            };
+            thread::Builder::new()
+                .name(format!("sbft-writer-{}-to-{}", config.node_id, peer))
+                .spawn(move || writer_loop(writer, rx, shared))
+                .expect("spawn writer thread");
+            outbound.insert(*peer, tx);
+        }
+
+        Ok(TcpTransport {
+            node_id: config.node_id,
+            local_addr,
+            shared,
+            inbound,
+            inbound_tx,
+            outbound,
+        })
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A `Send + Sync` control handle (stats, sever, shutdown).
+    pub fn control(&self) -> TransportControl {
+        TransportControl {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Enqueues a payload for `to`. Self-sends loop straight back into
+    /// the inbound channel. Never blocks: if the peer's queue is full or
+    /// the peer is unknown, the message is dropped and counted — the
+    /// protocol layer's retries own reliability.
+    pub fn send(&self, to: NodeId, payload: Vec<u8>) {
+        if to == self.node_id {
+            // try_send, not send: the caller is also the queue's drainer,
+            // so blocking on a full inbound queue would deadlock.
+            if self.inbound_tx.try_send((self.node_id, payload)).is_err() {
+                self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let Some(queue) = self.outbound.get(&to) else {
+            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match queue.try_send(payload) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Encodes a [`Wire`] message and enqueues it; returns the exact
+    /// framed size in bytes (for byte accounting).
+    pub fn send_msg<M: Wire>(&self, to: NodeId, msg: &M) -> usize {
+        let payload = msg.to_wire_bytes();
+        let framed = frame::framed_len(&payload);
+        self.send(to, payload);
+        framed
+    }
+
+    /// Receives the next inbound frame, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(NodeId, Vec<u8>)> {
+        match self.inbound.recv_timeout(timeout) {
+            Ok(item) => Some(item),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(NodeId, Vec<u8>)> {
+        self.inbound.try_recv().ok()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.control().shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    inbound_tx: SyncSender<(NodeId, Vec<u8>)>,
+    max_frame: usize,
+) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let inbound_tx = inbound_tx.clone();
+                thread::Builder::new()
+                    .name("sbft-reader".to_string())
+                    .spawn(move || reader_loop(stream, shared, inbound_tx, max_frame))
+                    .expect("spawn reader thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    inbound_tx: SyncSender<(NodeId, Vec<u8>)>,
+    max_frame: usize,
+) {
+    let _ = stream.set_nodelay(true);
+    // The handshake must arrive promptly; afterwards reads block freely.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let peer = match frame::read_msg::<Handshake>(&mut stream, max_frame) {
+        Ok(hs) => hs.node_id as NodeId,
+        Err(_) => {
+            shared
+                .counters
+                .handshake_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+    let token = shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .register(peer, &stream);
+    loop {
+        match frame::read_frame(&mut stream, max_frame) {
+            Ok(Some(payload)) => {
+                shared
+                    .counters
+                    .frames_received
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .bytes_received
+                    .fetch_add(frame::framed_len(&payload) as u64, Ordering::Relaxed);
+                if inbound_tx.send((peer, payload)).is_err() {
+                    break; // transport dropped; nobody is listening
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .deregister(token);
+}
+
+struct WriterConfig {
+    node_id: NodeId,
+    peer: NodeId,
+    addr: String,
+    reconnect_base: Duration,
+    reconnect_max: Duration,
+    connect_timeout: Duration,
+}
+
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing"))?;
+    TcpStream::connect_timeout(&resolved, timeout)
+}
+
+fn writer_loop(config: WriterConfig, queue: Receiver<Vec<u8>>, shared: Arc<Shared>) {
+    let mut backoff = config.reconnect_base;
+    'reconnect: while !shared.is_shutdown() {
+        // Establish (or re-establish) the connection, with capped backoff.
+        let mut stream = loop {
+            if shared.is_shutdown() {
+                return;
+            }
+            match connect(&config.addr, config.connect_timeout) {
+                Ok(stream) => break stream,
+                Err(_) => {
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(config.reconnect_max);
+                }
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let handshake = Handshake {
+            node_id: config.node_id as u64,
+        };
+        let written = match frame::write_msg(&mut stream, &handshake).and_then(|n| {
+            stream.flush()?;
+            Ok(n)
+        }) {
+            Ok(n) => n,
+            Err(_) => {
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(config.reconnect_max);
+                continue 'reconnect;
+            }
+        };
+        shared.counters.connects.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .bytes_sent
+            .fetch_add(written as u64, Ordering::Relaxed);
+        backoff = config.reconnect_base;
+        let token = shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .register(config.peer, &stream);
+
+        // Drain the queue until the connection dies or we shut down.
+        loop {
+            match queue.recv_timeout(Duration::from_millis(100)) {
+                Ok(payload) => match frame::write_frame(&mut stream, &payload) {
+                    Ok(n) => {
+                        shared.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .bytes_sent
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // The in-flight message is lost with the socket;
+                        // count it and reconnect.
+                        shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .registry
+                            .lock()
+                            .expect("registry lock")
+                            .deregister(token);
+                        continue 'reconnect;
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.is_shutdown() {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = l0.local_addr().unwrap().to_string();
+        let a1 = l1.local_addr().unwrap().to_string();
+        let t0 = TcpTransport::with_listener(TransportConfig::new(0, vec![(1, a1)]), l0).unwrap();
+        let t1 = TcpTransport::with_listener(TransportConfig::new(1, vec![(0, a0)]), l1).unwrap();
+        (t0, t1)
+    }
+
+    fn recv_until(t: &TcpTransport, deadline: Duration) -> Option<(NodeId, Vec<u8>)> {
+        t.recv_timeout(deadline)
+    }
+
+    #[test]
+    fn two_nodes_exchange_frames() {
+        let (t0, t1) = pair();
+        t0.send(1, b"ping".to_vec());
+        let (from, payload) = recv_until(&t1, Duration::from_secs(5)).expect("ping arrives");
+        assert_eq!(from, 0);
+        assert_eq!(payload, b"ping");
+        t1.send(0, b"pong".to_vec());
+        let (from, payload) = recv_until(&t0, Duration::from_secs(5)).expect("pong arrives");
+        assert_eq!(from, 1);
+        assert_eq!(payload, b"pong");
+        let stats = t0.control().stats();
+        assert_eq!(stats.frames_sent, 1);
+        // Exact accounting: handshake (4+14) + ping (4+4).
+        assert_eq!(stats.bytes_sent, 18 + 8);
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let t = TcpTransport::with_listener(TransportConfig::new(7, vec![]), l).unwrap();
+        t.send(7, b"me".to_vec());
+        let (from, payload) = t.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(from, 7);
+        assert_eq!(payload, b"me");
+    }
+
+    #[test]
+    fn unknown_peer_counts_a_drop() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let t = TcpTransport::with_listener(TransportConfig::new(0, vec![]), l).unwrap();
+        t.send(3, b"x".to_vec());
+        assert_eq!(t.control().stats().dropped, 1);
+    }
+
+    #[test]
+    fn severed_connection_reconnects_and_delivers() {
+        let (t0, t1) = pair();
+        t0.send(1, b"before".to_vec());
+        assert!(recv_until(&t1, Duration::from_secs(5)).is_some());
+
+        // Kill every socket between them, from node 1's side too.
+        let severed = t0.control().sever(1) + t1.control().sever(0);
+        assert!(severed > 0, "something must have been severed");
+
+        // Liveness must resume: retry sends until one lands.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline {
+            t0.send(1, b"after".to_vec());
+            if let Some((_, payload)) = t1.recv_timeout(Duration::from_millis(200)) {
+                if payload == b"after" {
+                    delivered = true;
+                    break;
+                }
+            }
+        }
+        assert!(delivered, "no delivery after sever");
+        assert!(
+            t0.control().stats().connects >= 2,
+            "writer must have reconnected"
+        );
+    }
+}

@@ -677,10 +677,37 @@ impl FromStr for U256 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn u(v: u128) -> U256 {
         U256::from(v)
+    }
+
+    /// SplitMix64, inlined because this crate is dependency-free (the
+    /// canonical copy lives in `sbft-crypto`). Drives the randomized
+    /// property checks below deterministically.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn next_u128(&mut self) -> u128 {
+            (self.next_u64() as u128) << 64 | self.next_u64() as u128
+        }
+
+        fn limbs(&mut self) -> [u64; 4] {
+            [
+                self.next_u64(),
+                self.next_u64(),
+                self.next_u64(),
+                self.next_u64(),
+            ]
+        }
     }
 
     #[test]
@@ -714,7 +741,9 @@ mod tests {
         let a = U256::from(u128::MAX);
         let (lo, hi) = a.widening_mul(&a);
         assert_eq!(hi, U256::ZERO);
-        let expected = U256::MAX.wrapping_sub(&(U256::ONE << 129)).wrapping_add(&(U256::from(2u64)));
+        let expected = U256::MAX
+            .wrapping_sub(&(U256::ONE << 129))
+            .wrapping_add(&(U256::from(2u64)));
         assert_eq!(lo, expected);
     }
 
@@ -848,59 +877,89 @@ mod tests {
         assert!(!U256::ONE.bit(400));
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn prop_add_matches_u128() {
+        let mut rng = Rng(0x01);
+        for _ in 0..256 {
+            let (a, b) = (rng.next_u64(), rng.next_u64());
             let sum = U256::from(a).wrapping_add(&U256::from(b));
-            prop_assert_eq!(sum, U256::from(a as u128 + b as u128));
+            assert_eq!(sum, U256::from(a as u128 + b as u128));
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn prop_mul_matches_u128() {
+        let mut rng = Rng(0x02);
+        for _ in 0..256 {
+            let (a, b) = (rng.next_u64(), rng.next_u64());
             let prod = U256::from(a).wrapping_mul(&U256::from(b));
-            prop_assert_eq!(prod, U256::from(a as u128 * b as u128));
+            assert_eq!(prod, U256::from(a as u128 * b as u128));
         }
+    }
 
-        #[test]
-        fn prop_div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+    #[test]
+    fn prop_div_rem_reconstructs() {
+        let mut rng = Rng(0x03);
+        for _ in 0..256 {
+            let a = rng.next_u128();
+            let b = rng.next_u128().max(1);
             let (q, r) = U256::from(a).div_rem(&U256::from(b));
-            prop_assert_eq!(q.wrapping_mul(&U256::from(b)).wrapping_add(&r), U256::from(a));
-            prop_assert!(r < U256::from(b));
+            assert_eq!(
+                q.wrapping_mul(&U256::from(b)).wrapping_add(&r),
+                U256::from(a)
+            );
+            assert!(r < U256::from(b));
         }
+    }
 
-        #[test]
-        fn prop_sub_add_round_trip(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
-            let a = U256::from_limbs(a);
-            let b = U256::from_limbs(b);
-            prop_assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
+    #[test]
+    fn prop_sub_add_round_trip() {
+        let mut rng = Rng(0x04);
+        for _ in 0..256 {
+            let a = U256::from_limbs(rng.limbs());
+            let b = U256::from_limbs(rng.limbs());
+            assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
         }
+    }
 
-        #[test]
-        fn prop_shift_round_trip(a in any::<[u64; 4]>(), s in 0usize..256) {
-            let a = U256::from_limbs(a);
+    #[test]
+    fn prop_shift_round_trip() {
+        let mut rng = Rng(0x05);
+        for _ in 0..256 {
+            let a = U256::from_limbs(rng.limbs());
+            let s = (rng.next_u64() % 256) as usize;
             // Shifting left then right recovers the value masked to the low bits.
             let masked = if s == 0 { a } else { (a << s) >> s };
             let expected = if s == 0 { a } else { a & (U256::MAX >> s) };
-            prop_assert_eq!(masked, expected);
+            assert_eq!(masked, expected, "shift {s}");
         }
+    }
 
-        #[test]
-        fn prop_be_bytes_round_trip(a in any::<[u64; 4]>()) {
-            let a = U256::from_limbs(a);
-            prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    #[test]
+    fn prop_be_bytes_round_trip() {
+        let mut rng = Rng(0x06);
+        for _ in 0..256 {
+            let a = U256::from_limbs(rng.limbs());
+            assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
         }
+    }
 
-        #[test]
-        fn prop_decimal_round_trip(a in any::<[u64; 4]>()) {
-            let a = U256::from_limbs(a);
-            prop_assert_eq!(a.to_string().parse::<U256>().unwrap(), a);
+    #[test]
+    fn prop_decimal_round_trip() {
+        let mut rng = Rng(0x07);
+        for _ in 0..128 {
+            let a = U256::from_limbs(rng.limbs());
+            assert_eq!(a.to_string().parse::<U256>().unwrap(), a);
         }
+    }
 
-        #[test]
-        fn prop_widening_mul_commutes(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
-            let a = U256::from_limbs(a);
-            let b = U256::from_limbs(b);
-            prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+    #[test]
+    fn prop_widening_mul_commutes() {
+        let mut rng = Rng(0x08);
+        for _ in 0..256 {
+            let a = U256::from_limbs(rng.limbs());
+            let b = U256::from_limbs(rng.limbs());
+            assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
         }
     }
 }

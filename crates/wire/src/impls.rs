@@ -1,6 +1,6 @@
 //! [`Wire`] implementations for primitives, containers and crypto types.
 
-use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, U256, ViewNum};
+use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum, U256};
 
 use sbft_crypto::{
     GroupElement, MerkleProof, PkiSignature, ProofStep, Signature, SignatureShare,
@@ -124,15 +124,7 @@ macro_rules! impl_wire_vec {
     )*};
 }
 
-impl_wire_vec!(
-    u16,
-    u32,
-    u64,
-    Vec<u8>,
-    Digest,
-    SignatureShare,
-    ProofStep,
-);
+impl_wire_vec!(u16, u32, u64, Vec<u8>, Digest, SignatureShare, ProofStep,);
 
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, enc: &mut Encoder) {
@@ -329,8 +321,7 @@ impl Wire for ClientSignature {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use sbft_crypto::{generate_threshold_keys, sha256, KeyPair, MerkleTree, Scalar};
+    use sbft_crypto::{generate_threshold_keys, sha256, KeyPair, MerkleTree, Scalar, SplitMix64};
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
         let bytes = value.to_wire_bytes();
@@ -442,24 +433,35 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-            round_trip(&data);
-        }
+    fn random_bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+        let len = (rng.next_u64() as usize) % max_len;
+        (0..len).map(|_| rng.next_u64() as u8).collect()
+    }
 
-        #[test]
-        fn prop_nested_round_trip(
-            items in proptest::collection::vec(
-                proptest::collection::vec(any::<u8>(), 0..32), 0..16
-            )
-        ) {
+    #[test]
+    fn prop_bytes_round_trip() {
+        let mut rng = SplitMix64::new(0x61);
+        for _ in 0..256 {
+            round_trip(&random_bytes(&mut rng, 512));
+        }
+    }
+
+    #[test]
+    fn prop_nested_round_trip() {
+        let mut rng = SplitMix64::new(0x62);
+        for _ in 0..256 {
+            let count = (rng.next_u64() as usize) % 16;
+            let items: Vec<Vec<u8>> = (0..count).map(|_| random_bytes(&mut rng, 32)).collect();
             round_trip(&items);
         }
+    }
 
-        #[test]
-        fn prop_random_input_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    #[test]
+    fn prop_random_input_never_panics() {
+        let mut rng = SplitMix64::new(0x63);
+        for _ in 0..256 {
             // Decoding arbitrary bytes may fail but must not panic.
+            let data = random_bytes(&mut rng, 64);
             let _ = Vec::<Digest>::from_wire_bytes(&data);
             let _ = SignatureShare::from_wire_bytes(&data);
             let _ = MerkleProof::from_wire_bytes(&data);

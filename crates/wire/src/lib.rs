@@ -59,7 +59,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected eof: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected eof: needed {needed} bytes, {remaining} remaining"
+                )
             }
             DecodeError::InvalidValue { what } => write!(f, "invalid value for {what}"),
             DecodeError::TrailingBytes { count } => {

@@ -36,7 +36,10 @@ fn main() {
     println!("safety check               : all replicas agree\n");
 
     println!("message flow of the first request (Figure 1):");
-    println!("{:>10}  {:<5} {:<5} {:<22} {:>6}", "time", "from", "to", "type", "bytes");
+    println!(
+        "{:>10}  {:<5} {:<5} {:<22} {:>6}",
+        "time", "from", "to", "type", "bytes"
+    );
     for event in cluster.sim.metrics().trace().iter().take(24) {
         let name = |id: usize| {
             if id < cluster.n {

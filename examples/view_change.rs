@@ -21,7 +21,10 @@ fn run(label: &str, configure: impl FnOnce(&mut Cluster)) {
     cluster.run_for(SimDuration::from_secs(90));
     cluster.assert_agreement();
     println!("== {label} ==");
-    println!("  completed requests     : {} / 50", cluster.total_completed());
+    println!(
+        "  completed requests     : {} / 50",
+        cluster.total_completed()
+    );
     println!(
         "  view changes started   : {}",
         cluster.sim.metrics().counter("view_changes_started")

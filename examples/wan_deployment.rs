@@ -47,13 +47,19 @@ fn main() {
     let stats = SampleStats::from_samples(cluster.sim.metrics().samples("latency_ms"));
     cluster.assert_agreement();
 
-    println!("completed requests        : {completed} / {}", clients * requests);
+    println!(
+        "completed requests        : {completed} / {}",
+        clients * requests
+    );
     println!(
         "throughput (requests/sec) : {:.1}",
         completed as f64 / sim_seconds.min(120.0)
     );
     if let Some(stats) = stats {
-        println!("latency median / p99 (ms) : {:.0} / {:.0}", stats.median, stats.p99);
+        println!(
+            "latency median / p99 (ms) : {:.0} / {:.0}",
+            stats.median, stats.p99
+        );
     }
     println!(
         "fast / slow path commits  : {} / {}",

@@ -1,0 +1,193 @@
+//! `sbft-node` — runs one node of a real SBFT cluster over TCP.
+//!
+//! Usage:
+//!
+//! ```text
+//! sbft-node --config cluster.conf --replica <id>
+//! sbft-node --config cluster.conf --client <id> [--requests N] [--ops N] [--value-len N]
+//! ```
+//!
+//! Every process reads the same plain-text config (see
+//! `sbft_transport::ClusterSpec` for the format) and finds its own listen
+//! address in it. Replicas run until killed, printing commit progress
+//! every few seconds; clients run a closed-loop key-value workload and
+//! exit when it completes, printing throughput and latency.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use sbft::core::{ClientNode, ReplicaNode};
+use sbft::deploy::{client_runtime, replica_runtime, ClientWorkload};
+use sbft::sim::SampleStats;
+use sbft::transport::ClusterSpec;
+
+struct Args {
+    config: String,
+    role: Role,
+    workload: ClientWorkload,
+}
+
+enum Role {
+    Replica(usize),
+    Client(usize),
+}
+
+const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
+                     [--requests N] [--ops N] [--value-len N]";
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = None;
+    let mut role = None;
+    let mut workload = ClientWorkload::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--replica" => {
+                role = Some(Role::Replica(
+                    value("--replica")?.parse().map_err(|_| "bad replica id")?,
+                ))
+            }
+            "--client" => {
+                role = Some(Role::Client(
+                    value("--client")?.parse().map_err(|_| "bad client id")?,
+                ))
+            }
+            "--requests" => {
+                workload.requests = value("--requests")?.parse().map_err(|_| "bad --requests")?
+            }
+            "--ops" => {
+                workload.ops_per_request = value("--ops")?.parse().map_err(|_| "bad --ops")?
+            }
+            "--value-len" => {
+                workload.value_len = value("--value-len")?
+                    .parse()
+                    .map_err(|_| "bad --value-len")?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        config: config.ok_or(USAGE)?,
+        role: role.ok_or(USAGE)?,
+        workload,
+    })
+}
+
+fn run_replica(spec: &ClusterSpec, r: usize) -> Result<(), String> {
+    let mut runtime = replica_runtime(spec, r, None).map_err(|e| e.to_string())?;
+    eprintln!(
+        "replica {r}/{} listening on {} (view timers armed)",
+        spec.n(),
+        runtime.transport().local_addr()
+    );
+    let mut last_report = Instant::now();
+    loop {
+        runtime.poll(Duration::from_millis(500));
+        if last_report.elapsed() >= Duration::from_secs(5) {
+            last_report = Instant::now();
+            let node = runtime.node_as::<ReplicaNode>().expect("replica node");
+            let stats = runtime.transport().control().stats();
+            eprintln!(
+                "replica {r}: view {} executed {} stable {} | tx {} frames / {} B, rx {} frames, \
+                 {} reconnect-ish connects, {} dropped",
+                node.view(),
+                node.last_executed(),
+                node.last_stable(),
+                stats.frames_sent,
+                stats.bytes_sent,
+                stats.frames_received,
+                stats.connects,
+                stats.dropped,
+            );
+        }
+    }
+}
+
+fn run_client(spec: &ClusterSpec, c: usize, workload: &ClientWorkload) -> Result<(), String> {
+    let target = workload.requests as u64;
+    let mut runtime = client_runtime(spec, c, workload, None).map_err(|e| e.to_string())?;
+    eprintln!(
+        "client {c} listening on {}; issuing {target} requests ({} ops each)",
+        runtime.transport().local_addr(),
+        workload.ops_per_request
+    );
+    let started = Instant::now();
+    let mut last_report = Instant::now();
+    loop {
+        runtime.poll(Duration::from_millis(200));
+        let completed = runtime
+            .node_as::<ClientNode>()
+            .expect("client node")
+            .completed;
+        if completed >= target {
+            break;
+        }
+        if last_report.elapsed() >= Duration::from_secs(2) {
+            last_report = Instant::now();
+            eprintln!("client {c}: {completed}/{target} committed");
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let node = runtime.node_as::<ClientNode>().expect("client node");
+    println!(
+        "client {c}: {} requests in {elapsed:.2}s = {:.1} req/s",
+        node.completed,
+        node.completed as f64 / elapsed
+    );
+    if let Some(stats) = SampleStats::from_samples(&node.latencies_ms) {
+        println!(
+            "latency ms: mean {:.2} median {:.2} p99 {:.2} max {:.2}",
+            stats.mean, stats.median, stats.p99, stats.max
+        );
+    }
+    let t = runtime.transport().control().stats();
+    println!(
+        "transport: {} frames / {} B sent, {} frames / {} B received",
+        t.frames_sent, t.bytes_sent, t.frames_received, t.bytes_received
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ClusterSpec::load(&args.config) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.role {
+        Role::Replica(r) if r < spec.n() => run_replica(&spec, r),
+        Role::Client(c) if c < spec.clients.len() => run_client(&spec, c, &args.workload),
+        Role::Replica(r) => Err(format!("replica {r} out of range (n = {})", spec.n())),
+        Role::Client(c) => Err(format!(
+            "client {c} out of range ({} clients in config)",
+            spec.clients.len()
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

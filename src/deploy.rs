@@ -1,0 +1,182 @@
+//! Glue for real deployments: builds SBFT replicas and clients from a
+//! [`ClusterSpec`] and wires them onto the TCP transport.
+//!
+//! Every process derives the same key material from the config's seed
+//! (`KeyMaterial::generate` is deterministic — a real deployment would
+//! run distributed key generation instead; see `crates/crypto`). Node
+//! construction itself is shared with the simulator via
+//! [`sbft_core::make_replica`] / [`sbft_core::make_client`], so the exact
+//! same `ReplicaNode`/`ClientNode` state machines run on both backends.
+
+use std::io;
+use std::net::TcpListener;
+
+use sbft_core::{
+    make_client, make_replica, KeyMaterial, ProtocolConfig, SbftMsg, VariantFlags, Workload,
+};
+use sbft_crypto::CryptoCostModel;
+use sbft_sim::SimDuration;
+use sbft_statedb::KvService;
+use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportConfig, VariantName};
+
+/// Maps a cluster spec onto protocol parameters, with timers tuned for
+/// LAN/loopback (the only place a config file can currently deploy to;
+/// WAN tuning would raise these as `bench::driver::wan_protocol_tuning`
+/// does for the simulator).
+pub fn protocol_for(spec: &ClusterSpec) -> ProtocolConfig {
+    let flags = match spec.variant {
+        VariantName::Sbft => VariantFlags::SBFT,
+        VariantName::LinearPbft => VariantFlags::LINEAR_PBFT,
+        VariantName::FastPath => VariantFlags::FAST_PATH,
+    };
+    let mut protocol = ProtocolConfig::new(spec.f, spec.c, flags);
+    protocol.fast_path_timeout = SimDuration::from_millis(40);
+    protocol.collector_stagger = SimDuration::from_millis(20);
+    protocol.view_timeout = SimDuration::from_millis(500);
+    protocol.batch_delay = SimDuration::from_millis(2);
+    protocol
+}
+
+/// A closed-loop key-value workload for a real client (the §IX
+/// micro-benchmark shape).
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    /// Requests to issue before stopping.
+    pub requests: usize,
+    /// Random puts batched into each request.
+    pub ops_per_request: usize,
+    /// Key space size.
+    pub key_space: u64,
+    /// Value size in bytes.
+    pub value_len: usize,
+}
+
+impl Default for ClientWorkload {
+    fn default() -> Self {
+        ClientWorkload {
+            requests: 100,
+            ops_per_request: 1,
+            key_space: 1024,
+            value_len: 16,
+        }
+    }
+}
+
+fn transport_for(
+    spec: &ClusterSpec,
+    node: usize,
+    listener: Option<TcpListener>,
+) -> io::Result<TcpTransport> {
+    let config = TransportConfig::new(node, spec.peers_for(node));
+    match listener {
+        Some(listener) => TcpTransport::with_listener(config, listener),
+        None => {
+            let addr = spec.addr_of(node).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("node {node} not in config"),
+                )
+            })?;
+            TcpTransport::bind(config, addr)
+        }
+    }
+}
+
+/// Builds the runtime for replica `r` with a key-value service backend.
+/// Pass a pre-bound `listener` to override the config's address (tests
+/// bind port 0 and hand the listeners over).
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn replica_runtime(
+    spec: &ClusterSpec,
+    r: usize,
+    listener: Option<TcpListener>,
+) -> io::Result<NodeRuntime<SbftMsg>> {
+    let protocol = protocol_for(spec);
+    let keys = KeyMaterial::generate(&protocol, spec.seed);
+    let replica = make_replica(
+        &protocol,
+        r,
+        &keys,
+        Box::new(KvService::new()),
+        CryptoCostModel::free(),
+    );
+    let transport = transport_for(spec, spec.replica_node(r), listener)?;
+    Ok(NodeRuntime::new(
+        Box::new(replica),
+        transport,
+        spec.seed ^ (r as u64).wrapping_mul(0x9e3779b97f4a7c15),
+    ))
+}
+
+/// Builds the runtime for client `c` issuing `workload`.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn client_runtime(
+    spec: &ClusterSpec,
+    c: usize,
+    workload: &ClientWorkload,
+    listener: Option<TcpListener>,
+) -> io::Result<NodeRuntime<SbftMsg>> {
+    let protocol = protocol_for(spec);
+    let keys = KeyMaterial::generate(&protocol, spec.seed);
+    let source = Workload::KvPut {
+        requests: workload.requests,
+        ops_per_request: workload.ops_per_request,
+        key_space: workload.key_space,
+        value_len: workload.value_len,
+    }
+    .source_for(c, spec.seed);
+    let mut client = make_client(
+        &protocol,
+        c,
+        &keys,
+        source,
+        SimDuration::from_millis(400),
+        CryptoCostModel::free(),
+    );
+    // A restarted client process must not reuse timestamps its id already
+    // committed under (replicas dedupe on them and old cached results get
+    // garbage-collected), so anchor the sequence to wall-clock. Microsecond
+    // resolution: the base must outpace the request counter across a
+    // restart, and a closed-loop client can exceed 1 request/ms (loopback
+    // commits in ~0.6 ms) but not 1 request/µs.
+    client.set_timestamp_base(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    );
+    let node = spec.client_node(c);
+    let transport = transport_for(spec, node, listener)?;
+    Ok(NodeRuntime::new(
+        Box::new(client),
+        transport,
+        spec.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15),
+    ))
+}
+
+/// Renders a loopback [`ClusterSpec`] config for `n` replicas and
+/// `clients` clients on the given pre-bound listeners — the text a user
+/// would write by hand, generated for tests and examples.
+pub fn loopback_config(
+    f: usize,
+    c: usize,
+    seed: u64,
+    replica_addrs: &[String],
+    client_addrs: &[String],
+) -> String {
+    use std::fmt::Write as _;
+    let mut text = format!("f {f}\nc {c}\nseed {seed}\nvariant sbft\n");
+    for (r, addr) in replica_addrs.iter().enumerate() {
+        writeln!(text, "replica {r} {addr}").expect("write to string");
+    }
+    for (i, addr) in client_addrs.iter().enumerate() {
+        writeln!(text, "client {i} {addr}").expect("write to string");
+    }
+    text
+}

@@ -12,11 +12,18 @@
 //! - [`evm`] — EVM-subset smart-contract engine.
 //! - [`pbft`] — the scale-optimized PBFT baseline.
 //! - [`core`] — the SBFT replication protocol itself.
+//! - [`transport`] — real TCP transport and wall-clock node runtime.
+//! - [`deploy`] — glue building deployable nodes from a cluster config.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for a complete 4-replica cluster committing
-//! key-value operations through the fast path.
+//! key-value operations through the fast path (simulated), and
+//! `examples/tcp_cluster.rs` for the same protocol over real TCP sockets.
+//! The `sbft-node` binary runs one replica or client of a real cluster —
+//! see the README section "Running a real cluster".
+
+pub mod deploy;
 
 pub use sbft_core as core;
 pub use sbft_crypto as crypto;
@@ -24,5 +31,6 @@ pub use sbft_evm as evm;
 pub use sbft_pbft as pbft;
 pub use sbft_sim as sim;
 pub use sbft_statedb as statedb;
+pub use sbft_transport as transport;
 pub use sbft_types as types;
 pub use sbft_wire as wire;

@@ -1,111 +1,129 @@
 //! Pure protocol invariants: the quorum-intersection arithmetic behind
 //! the safety proof (§VI) and the collector-selection properties (§V-B),
 //! checked over many parameter combinations.
-
-use proptest::prelude::*;
+//!
+//! These were property-based tests; they are now exhaustive sweeps over
+//! the same parameter grids (plus a SplitMix64-seeded sample of the
+//! unbounded dimensions), which keeps the workspace dependency-free.
 
 use sbft::core::{ProtocolConfig, VariantFlags};
+use sbft::crypto::SplitMix64;
 use sbft::types::{SeqNum, ViewNum};
 
 fn config(f: usize, c: usize) -> ProtocolConfig {
     ProtocolConfig::new(f, c, VariantFlags::SBFT)
 }
 
-proptest! {
-    /// Lemma VI.2's counting argument: a slow commit means `2f+c+1`
-    /// replicas sent commit shares, of which ≥ `f+c+1` are honest; any
-    /// view-change quorum of `2f+2c+1` must intersect that honest set.
-    #[test]
-    fn slow_commit_quorum_intersects_view_change_quorum(f in 1usize..80, c_frac in 0usize..9) {
-        let c = (f * c_frac) / 8; // c ≤ f, the paper's regime
+/// Sweeps `f` in `[1, 80)` and `c = f * c_frac / 8` for `c_frac` in `[0, 9)`
+/// — c ≤ f, the paper's regime.
+fn for_each_regime(mut check: impl FnMut(usize, usize)) {
+    for f in 1usize..80 {
+        for c_frac in 0usize..9 {
+            check(f, (f * c_frac) / 8);
+        }
+    }
+}
+
+/// Lemma VI.2's counting argument: a slow commit means `2f+c+1` replicas
+/// sent commit shares, of which ≥ `f+c+1` are honest; any view-change
+/// quorum of `2f+2c+1` must intersect that honest set.
+#[test]
+fn slow_commit_quorum_intersects_view_change_quorum() {
+    for_each_regime(|f, c| {
         let cfg = config(f, c);
         let n = cfg.n();
         let honest_committers = cfg.tau_threshold() - f; // ≥ f+c+1
-        prop_assert!(honest_committers >= f + c + 1);
+        assert!(honest_committers >= f + c + 1);
         // Worst case: the view-change quorum avoids as many honest
         // committers as possible.
         let outside = n - honest_committers;
-        prop_assert!(
+        assert!(
             cfg.view_change_quorum() > outside,
             "a VC quorum could miss every honest slow-committer: n={n}"
         );
-    }
+    });
+}
 
-    /// Lemma VI.3's counting: a fast commit means `3f+c+1` signed, of
-    /// which ≥ `2f+c+1` are honest; a view-change quorum must contain at
-    /// least `f+c+1` of them — exactly the `fast` predicate's bar.
-    #[test]
-    fn fast_commit_survivors_meet_fast_predicate_bar(f in 1usize..80, c_frac in 0usize..9) {
-        let c = (f * c_frac) / 8;
+/// Lemma VI.3's counting: a fast commit means `3f+c+1` signed, of which
+/// ≥ `2f+c+1` are honest; a view-change quorum must contain at least
+/// `f+c+1` of them — exactly the `fast` predicate's bar.
+#[test]
+fn fast_commit_survivors_meet_fast_predicate_bar() {
+    for_each_regime(|f, c| {
         let cfg = config(f, c);
         let n = cfg.n();
         let honest_fast = cfg.sigma_threshold() - f; // ≥ 2f+c+1
-        prop_assert!(honest_fast >= 2 * f + c + 1);
+        assert!(honest_fast >= 2 * f + c + 1);
         // Intersection of the VC quorum with the honest fast set, in the
         // adversary's best case:
         let min_intersection = cfg.view_change_quorum() + honest_fast - n;
-        prop_assert!(
+        assert!(
             min_intersection >= f + c + 1,
             "VC quorum ∩ honest fast signers = {min_intersection} < f+c+1"
         );
-    }
+    });
+}
 
-    /// Two commit quorums for the same slot must share an honest replica
-    /// (otherwise two different blocks could commit — Theorem VI.1).
-    #[test]
-    fn commit_quorums_share_an_honest_replica(f in 1usize..80, c_frac in 0usize..9) {
-        let c = (f * c_frac) / 8;
+/// Two commit quorums for the same slot must share an honest replica
+/// (otherwise two different blocks could commit — Theorem VI.1).
+#[test]
+fn commit_quorums_share_an_honest_replica() {
+    for_each_regime(|f, c| {
         let cfg = config(f, c);
         let n = cfg.n();
         for a in [cfg.sigma_threshold(), cfg.tau_threshold()] {
             for b in [cfg.sigma_threshold(), cfg.tau_threshold()] {
                 let overlap = a + b;
-                prop_assert!(
+                assert!(
                     overlap > n + f,
                     "quorums {a}+{b} may overlap only in faulty replicas (n={n})"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Collector selection: always `c+1` distinct non-primary replicas
-    /// (plus the primary as fall-back C-collector), for any (seq, view).
-    #[test]
-    fn collector_selection_well_formed(
-        f in 1usize..20,
-        c in 0usize..4,
-        seq in 1u64..10_000,
-        view in 0u64..100,
-    ) {
+/// Collector selection: always `c+1` distinct non-primary replicas (plus
+/// the primary as fall-back C-collector), for any (seq, view).
+#[test]
+fn collector_selection_well_formed() {
+    let mut rng = SplitMix64::new(0x5bf7);
+    for _ in 0..512 {
+        let f = 1 + (rng.next_u64() as usize) % 19;
+        let c = (rng.next_u64() as usize) % 4;
+        let seq = SeqNum::new(1 + rng.next_u64() % 9_999);
+        let view = ViewNum::new(rng.next_u64() % 100);
         let cfg = config(f, c);
-        let seq = SeqNum::new(seq);
-        let view = ViewNum::new(view);
         let primary = cfg.primary(view);
         let cs = cfg.c_collectors(seq, view);
-        prop_assert_eq!(cs.len(), c + 2); // c+1 pseudo-random + primary
-        prop_assert_eq!(*cs.last().unwrap(), primary);
+        assert_eq!(cs.len(), c + 2); // c+1 pseudo-random + primary
+        assert_eq!(*cs.last().unwrap(), primary);
         let mut heads: Vec<_> = cs[..c + 1].to_vec();
-        prop_assert!(heads.iter().all(|r| *r != primary));
+        assert!(heads.iter().all(|r| *r != primary));
         heads.sort();
         heads.dedup();
-        prop_assert_eq!(heads.len(), c + 1);
+        assert_eq!(heads.len(), c + 1);
         let es = cfg.e_collectors(seq, view);
-        prop_assert_eq!(es.len(), c + 1);
-        prop_assert!(es.iter().all(|r| r.as_usize() < cfg.n()));
+        assert_eq!(es.len(), c + 1);
+        assert!(es.iter().all(|r| r.as_usize() < cfg.n()));
     }
+}
 
-    /// The n = 3f + 2c + 1 bookkeeping of §II, for the paper's regimes.
-    #[test]
-    fn cluster_arithmetic(f in 1usize..100, c_frac in 0usize..9) {
-        let c = (f * c_frac) / 8;
-        let cfg = config(f, c);
-        prop_assert_eq!(cfg.n(), 3 * f + 2 * c + 1);
-        // Liveness headroom: the slow path needs only n - f replicas.
-        prop_assert!(cfg.tau_threshold() <= cfg.n() - f);
-        // The fast path needs all but c.
-        prop_assert_eq!(cfg.sigma_threshold(), cfg.n() - c);
-        // The view change also waits for at most n - f (§VII:
-        // "our protocol can always wait for at most n − f messages").
-        prop_assert!(cfg.view_change_quorum() <= cfg.n() - f);
+/// The n = 3f + 2c + 1 bookkeeping of §II, for the paper's regimes.
+#[test]
+fn cluster_arithmetic() {
+    for f in 1usize..100 {
+        for c_frac in 0usize..9 {
+            let c = (f * c_frac) / 8;
+            let cfg = config(f, c);
+            assert_eq!(cfg.n(), 3 * f + 2 * c + 1);
+            // Liveness headroom: the slow path needs only n - f replicas.
+            assert!(cfg.tau_threshold() <= cfg.n() - f);
+            // The fast path needs all but c.
+            assert_eq!(cfg.sigma_threshold(), cfg.n() - c);
+            // The view change also waits for at most n - f (§VII:
+            // "our protocol can always wait for at most n − f messages").
+            assert!(cfg.view_change_quorum() <= cfg.n() - f);
+        }
     }
 }
