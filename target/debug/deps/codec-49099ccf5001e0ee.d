@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-49099ccf5001e0ee.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/codec-49099ccf5001e0ee: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-658641870b604340.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/libcodec-658641870b604340.rmeta: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

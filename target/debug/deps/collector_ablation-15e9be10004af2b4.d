@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_ablation-15e9be10004af2b4.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/debug/deps/libcollector_ablation-15e9be10004af2b4.rmeta: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

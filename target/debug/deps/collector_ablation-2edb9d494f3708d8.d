@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_ablation-2edb9d494f3708d8.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/debug/deps/collector_ablation-2edb9d494f3708d8: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_ablation-374e01458287d0a5.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/debug/deps/libcollector_ablation-374e01458287d0a5.rmeta: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

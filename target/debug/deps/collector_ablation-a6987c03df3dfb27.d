@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_ablation-a6987c03df3dfb27.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/debug/deps/collector_ablation-a6987c03df3dfb27: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

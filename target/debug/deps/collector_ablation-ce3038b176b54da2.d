@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_ablation-ce3038b176b54da2.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/debug/deps/collector_ablation-ce3038b176b54da2: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

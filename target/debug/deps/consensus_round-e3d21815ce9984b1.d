@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consensus_round-e3d21815ce9984b1.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/debug/deps/consensus_round-e3d21815ce9984b1: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consensus_round-e6c10921724716b1.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/debug/deps/libconsensus_round-e6c10921724716b1.rmeta: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contracts_wan-26ed929978034117.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/debug/deps/libcontracts_wan-26ed929978034117.rmeta: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contracts_wan-3e8c68a00025b75e.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/debug/deps/contracts_wan-3e8c68a00025b75e: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contracts_wan-525c8e74180db65f.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/debug/deps/libcontracts_wan-525c8e74180db65f.rmeta: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

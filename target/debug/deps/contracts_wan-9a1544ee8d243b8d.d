@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contracts_wan-9a1544ee8d243b8d.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/debug/deps/contracts_wan-9a1544ee8d243b8d: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

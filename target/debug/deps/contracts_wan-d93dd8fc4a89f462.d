@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contracts_wan-d93dd8fc4a89f462.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/debug/deps/contracts_wan-d93dd8fc4a89f462: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

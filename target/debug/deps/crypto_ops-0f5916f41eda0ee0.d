@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto_ops-0f5916f41eda0ee0.d: crates/bench/benches/crypto_ops.rs
+
+/root/repo/target/debug/deps/crypto_ops-0f5916f41eda0ee0: crates/bench/benches/crypto_ops.rs
+
+crates/bench/benches/crypto_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto_ops-5861f1af0b241a2b.d: crates/bench/benches/crypto_ops.rs
+
+/root/repo/target/debug/deps/libcrypto_ops-5861f1af0b241a2b.rmeta: crates/bench/benches/crypto_ops.rs
+
+crates/bench/benches/crypto_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a2726e67fed241e3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a2726e67fed241e3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a7ec79b34ef9181a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-a7ec79b34ef9181a.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_baseline-0b925d95de959c29.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/debug/deps/libexec_baseline-0b925d95de959c29.rmeta: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

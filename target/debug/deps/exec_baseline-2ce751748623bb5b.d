@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_baseline-2ce751748623bb5b.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/debug/deps/exec_baseline-2ce751748623bb5b: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_baseline-322c7798c2551d1f.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/debug/deps/exec_baseline-322c7798c2551d1f: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_baseline-3eda9b95053df30f.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/debug/deps/libexec_baseline-3eda9b95053df30f.rmeta: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_baseline-8c9d358ecebd3412.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/debug/deps/exec_baseline-8c9d358ecebd3412: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

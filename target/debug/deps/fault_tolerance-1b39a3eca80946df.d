@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-1b39a3eca80946df.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-1b39a3eca80946df: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

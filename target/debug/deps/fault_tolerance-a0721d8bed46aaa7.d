@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-a0721d8bed46aaa7.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-a0721d8bed46aaa7.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_flow-4b84bfcff60b7547.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/debug/deps/fig1_flow-4b84bfcff60b7547: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

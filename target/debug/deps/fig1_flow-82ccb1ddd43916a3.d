@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_flow-82ccb1ddd43916a3.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/debug/deps/libfig1_flow-82ccb1ddd43916a3.rmeta: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

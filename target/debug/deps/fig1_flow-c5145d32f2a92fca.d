@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_flow-c5145d32f2a92fca.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/debug/deps/fig1_flow-c5145d32f2a92fca: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

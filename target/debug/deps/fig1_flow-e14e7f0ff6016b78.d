@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_flow-e14e7f0ff6016b78.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/debug/deps/fig1_flow-e14e7f0ff6016b78: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_throughput-174df40cbe150d3c.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/debug/deps/fig2_throughput-174df40cbe150d3c: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_throughput-38fbf6a7dbef7c94.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/debug/deps/libfig2_throughput-38fbf6a7dbef7c94.rmeta: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_throughput-6a7002b9c3357d19.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/debug/deps/libfig2_throughput-6a7002b9c3357d19.rmeta: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_throughput-9d8d0852822da2a9.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/debug/deps/fig2_throughput-9d8d0852822da2a9: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_throughput-e2f6dcafa57aed85.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/debug/deps/fig2_throughput-e2f6dcafa57aed85: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_latency-8722e8ca482c3ca5.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/debug/deps/libfig3_latency-8722e8ca482c3ca5.rmeta: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

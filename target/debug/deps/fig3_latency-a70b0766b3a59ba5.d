@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_latency-a70b0766b3a59ba5.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/debug/deps/fig3_latency-a70b0766b3a59ba5: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

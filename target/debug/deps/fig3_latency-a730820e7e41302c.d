@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_latency-a730820e7e41302c.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/debug/deps/fig3_latency-a730820e7e41302c: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

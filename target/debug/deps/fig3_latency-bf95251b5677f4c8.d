@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_latency-bf95251b5677f4c8.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/debug/deps/fig3_latency-bf95251b5677f4c8: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

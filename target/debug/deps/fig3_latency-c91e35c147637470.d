@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_latency-c91e35c147637470.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/debug/deps/libfig3_latency-c91e35c147637470.rmeta: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearity-317ad44677ddd820.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/debug/deps/linearity-317ad44677ddd820: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

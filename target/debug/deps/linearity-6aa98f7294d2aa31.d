@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearity-6aa98f7294d2aa31.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/debug/deps/linearity-6aa98f7294d2aa31: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

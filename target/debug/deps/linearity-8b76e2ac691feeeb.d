@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearity-8b76e2ac691feeeb.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/debug/deps/linearity-8b76e2ac691feeeb: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

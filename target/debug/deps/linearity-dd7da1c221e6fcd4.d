@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearity-dd7da1c221e6fcd4.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/debug/deps/liblinearity-dd7da1c221e6fcd4.rmeta: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

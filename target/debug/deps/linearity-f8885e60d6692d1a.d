@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearity-f8885e60d6692d1a.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/debug/deps/liblinearity-f8885e60d6692d1a.rmeta: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback_throughput-384759183add7ad7.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/debug/deps/loopback_throughput-384759183add7ad7: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

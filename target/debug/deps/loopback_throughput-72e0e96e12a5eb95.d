@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback_throughput-72e0e96e12a5eb95.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/debug/deps/loopback_throughput-72e0e96e12a5eb95: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback_throughput-9a9915c2a62bf59e.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/debug/deps/libloopback_throughput-9a9915c2a62bf59e.rmeta: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback_throughput-db2b23eff1ce7efa.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/debug/deps/libloopback_throughput-db2b23eff1ce7efa.rmeta: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merkle-301d6b66b73bee82.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/debug/deps/libmerkle-301d6b66b73bee82.rmeta: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

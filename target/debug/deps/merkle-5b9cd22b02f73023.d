@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merkle-5b9cd22b02f73023.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/debug/deps/merkle-5b9cd22b02f73023: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_sensitivity-32c88f8065280444.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/debug/deps/packing_sensitivity-32c88f8065280444: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_sensitivity-659f1938b56f159e.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/debug/deps/libpacking_sensitivity-659f1938b56f159e.rmeta: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_sensitivity-a0ce6fca80bbec49.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/debug/deps/libpacking_sensitivity-a0ce6fca80bbec49.rmeta: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_sensitivity-bdeb6c0f9fe0e925.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/debug/deps/packing_sensitivity-bdeb6c0f9fe0e925: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packing_sensitivity-ed1054f69c6a6c75.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/debug/deps/packing_sensitivity-ed1054f69c6a6c75: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

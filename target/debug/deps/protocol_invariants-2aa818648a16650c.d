@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-2aa818648a16650c.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/protocol_invariants-2aa818648a16650c: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

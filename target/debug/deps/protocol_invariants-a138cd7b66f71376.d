@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-a138cd7b66f71376.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/libprotocol_invariants-a138cd7b66f71376.rmeta: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

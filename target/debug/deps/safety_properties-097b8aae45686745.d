@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_properties-097b8aae45686745.d: tests/safety_properties.rs
+
+/root/repo/target/debug/deps/libsafety_properties-097b8aae45686745.rmeta: tests/safety_properties.rs
+
+tests/safety_properties.rs:

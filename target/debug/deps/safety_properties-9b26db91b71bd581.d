@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_properties-9b26db91b71bd581.d: tests/safety_properties.rs
+
+/root/repo/target/debug/deps/safety_properties-9b26db91b71bd581: tests/safety_properties.rs
+
+tests/safety_properties.rs:

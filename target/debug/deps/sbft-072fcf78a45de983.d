@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbft-072fcf78a45de983.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/sbft-072fcf78a45de983: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbft-6042980a4544d8d5.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/libsbft-6042980a4544d8d5.rlib: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/libsbft-6042980a4544d8d5.rmeta: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbft-dd7b52d05adedbf2.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/libsbft-dd7b52d05adedbf2.rmeta: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

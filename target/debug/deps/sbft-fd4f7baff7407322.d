@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbft-fd4f7baff7407322.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/libsbft-fd4f7baff7407322.rmeta: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

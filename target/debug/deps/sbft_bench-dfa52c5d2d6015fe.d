@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_bench-dfa52c5d2d6015fe.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsbft_bench-dfa52c5d2d6015fe.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsbft_bench-dfa52c5d2d6015fe.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/table.rs:

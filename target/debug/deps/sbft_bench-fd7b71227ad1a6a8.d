@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbft_bench-fd7b71227ad1a6a8.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/sbft_bench-fd7b71227ad1a6a8: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sbft_crypto-5b2c941c0ce37a8a.d: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/debug/deps/libsbft_crypto-5b2c941c0ce37a8a.rlib: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/debug/deps/libsbft_crypto-5b2c941c0ce37a8a.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cost.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/poly.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/threshold.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbft_evm-01c1c2a06cd5d493.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/debug/deps/sbft_evm-01c1c2a06cd5d493: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/contracts.rs:
+crates/evm/src/opcodes.rs:
+crates/evm/src/tx.rs:
+crates/evm/src/vm.rs:
+crates/evm/src/workload.rs:

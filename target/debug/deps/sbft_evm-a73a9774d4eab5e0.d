@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbft_evm-a73a9774d4eab5e0.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/debug/deps/libsbft_evm-a73a9774d4eab5e0.rlib: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/debug/deps/libsbft_evm-a73a9774d4eab5e0.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/contracts.rs:
+crates/evm/src/opcodes.rs:
+crates/evm/src/tx.rs:
+crates/evm/src/vm.rs:
+crates/evm/src/workload.rs:

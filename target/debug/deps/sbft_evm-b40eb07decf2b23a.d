@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbft_evm-b40eb07decf2b23a.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/debug/deps/libsbft_evm-b40eb07decf2b23a.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/contracts.rs:
+crates/evm/src/opcodes.rs:
+crates/evm/src/tx.rs:
+crates/evm/src/vm.rs:
+crates/evm/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-6ac9ac39766c1801.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/sbft_node-6ac9ac39766c1801: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-732419e901c1ff74.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/libsbft_node-732419e901c1ff74.rmeta: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

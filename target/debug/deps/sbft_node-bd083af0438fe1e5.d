@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-bd083af0438fe1e5.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/sbft_node-bd083af0438fe1e5: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-bebfaa9484ac28cc.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/libsbft_node-bebfaa9484ac28cc.rmeta: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbft_pbft-be2c1f5b517cd611.d: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+/root/repo/target/debug/deps/libsbft_pbft-be2c1f5b517cd611.rmeta: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/keys.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/testkit.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sbft_sim-83c3dbb6a5408d4f.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libsbft_sim-83c3dbb6a5408d4f.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libsbft_sim-83c3dbb6a5408d4f.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:

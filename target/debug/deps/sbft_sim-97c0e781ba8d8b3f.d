@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbft_sim-97c0e781ba8d8b3f.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libsbft_sim-97c0e781ba8d8b3f.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:

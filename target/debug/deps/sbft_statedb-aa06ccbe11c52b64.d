@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbft_statedb-aa06ccbe11c52b64.d: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/debug/deps/libsbft_statedb-aa06ccbe11c52b64.rlib: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/debug/deps/libsbft_statedb-aa06ccbe11c52b64.rmeta: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+crates/statedb/src/lib.rs:
+crates/statedb/src/kv.rs:
+crates/statedb/src/ledger.rs:
+crates/statedb/src/service.rs:
+crates/statedb/src/trie.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_statedb-aba8662075544280.d: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/debug/deps/sbft_statedb-aba8662075544280: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+crates/statedb/src/lib.rs:
+crates/statedb/src/kv.rs:
+crates/statedb/src/ledger.rs:
+crates/statedb/src/service.rs:
+crates/statedb/src/trie.rs:

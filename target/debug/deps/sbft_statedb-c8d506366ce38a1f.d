@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_statedb-c8d506366ce38a1f.d: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/debug/deps/libsbft_statedb-c8d506366ce38a1f.rmeta: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+crates/statedb/src/lib.rs:
+crates/statedb/src/kv.rs:
+crates/statedb/src/ledger.rs:
+crates/statedb/src/service.rs:
+crates/statedb/src/trie.rs:

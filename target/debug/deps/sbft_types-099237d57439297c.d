@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_types-099237d57439297c.d: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/libsbft_types-099237d57439297c.rmeta: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/digest.rs:
+crates/types/src/hex.rs:
+crates/types/src/ids.rs:
+crates/types/src/u256.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_types-a616dd8bae7d1ec8.d: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/sbft_types-a616dd8bae7d1ec8: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/digest.rs:
+crates/types/src/hex.rs:
+crates/types/src/ids.rs:
+crates/types/src/u256.rs:

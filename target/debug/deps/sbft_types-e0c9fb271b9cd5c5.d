@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbft_types-e0c9fb271b9cd5c5.d: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/libsbft_types-e0c9fb271b9cd5c5.rlib: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/libsbft_types-e0c9fb271b9cd5c5.rmeta: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/digest.rs:
+crates/types/src/hex.rs:
+crates/types/src/ids.rs:
+crates/types/src/u256.rs:

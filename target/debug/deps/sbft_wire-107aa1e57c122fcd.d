@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbft_wire-107aa1e57c122fcd.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/debug/deps/libsbft_wire-107aa1e57c122fcd.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbft_wire-247d01c8fed10c66.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/debug/deps/libsbft_wire-247d01c8fed10c66.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbft_wire-4259a01e72d64aa1.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/debug/deps/libsbft_wire-4259a01e72d64aa1.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/debug/deps/libsbft_wire-4259a01e72d64aa1.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbft_wire-fe97cd2658a7b508.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/debug/deps/sbft_wire-fe97cd2658a7b508: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_cluster-7247de1cbf2bdf81.d: tests/tcp_cluster.rs
+
+/root/repo/target/debug/deps/tcp_cluster-7247de1cbf2bdf81: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_cluster-80077837a2e17665.d: tests/tcp_cluster.rs
+
+/root/repo/target/debug/deps/libtcp_cluster-80077837a2e17665.rmeta: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_change_stress-26ab98bc5e1acc9e.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/debug/deps/view_change_stress-26ab98bc5e1acc9e: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

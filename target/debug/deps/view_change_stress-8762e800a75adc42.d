@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_change_stress-8762e800a75adc42.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/debug/deps/view_change_stress-8762e800a75adc42: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

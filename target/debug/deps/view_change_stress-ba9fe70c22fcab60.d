@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_change_stress-ba9fe70c22fcab60.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/debug/deps/libview_change_stress-ba9fe70c22fcab60.rmeta: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

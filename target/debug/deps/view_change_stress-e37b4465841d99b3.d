@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_change_stress-e37b4465841d99b3.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/debug/deps/view_change_stress-e37b4465841d99b3: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

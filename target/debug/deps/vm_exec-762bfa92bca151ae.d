@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_exec-762bfa92bca151ae.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/debug/deps/vm_exec-762bfa92bca151ae: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:

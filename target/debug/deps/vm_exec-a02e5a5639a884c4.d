@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_exec-a02e5a5639a884c4.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/debug/deps/libvm_exec-a02e5a5639a884c4.rmeta: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-998b200cd8a72e71.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-998b200cd8a72e71.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

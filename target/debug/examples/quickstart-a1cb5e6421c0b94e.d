@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a1cb5e6421c0b94e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a1cb5e6421c0b94e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_contracts-8f7e778a5dcc856f.d: examples/smart_contracts.rs
+
+/root/repo/target/debug/examples/smart_contracts-8f7e778a5dcc856f: examples/smart_contracts.rs
+
+examples/smart_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_contracts-937888b536c4e50b.d: examples/smart_contracts.rs
+
+/root/repo/target/debug/examples/libsmart_contracts-937888b536c4e50b.rmeta: examples/smart_contracts.rs
+
+examples/smart_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-9434b233635ab07b.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/libtcp_cluster-9434b233635ab07b.rmeta: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-d1c1953137e999b5.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/tcp_cluster-d1c1953137e999b5: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

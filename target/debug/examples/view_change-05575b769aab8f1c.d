@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_change-05575b769aab8f1c.d: examples/view_change.rs
+
+/root/repo/target/debug/examples/view_change-05575b769aab8f1c: examples/view_change.rs
+
+examples/view_change.rs:

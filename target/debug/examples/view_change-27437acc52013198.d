@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_change-27437acc52013198.d: examples/view_change.rs
+
+/root/repo/target/debug/examples/libview_change-27437acc52013198.rmeta: examples/view_change.rs
+
+examples/view_change.rs:

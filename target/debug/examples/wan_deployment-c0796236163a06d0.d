@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_deployment-c0796236163a06d0.d: examples/wan_deployment.rs
+
+/root/repo/target/debug/examples/libwan_deployment-c0796236163a06d0.rmeta: examples/wan_deployment.rs
+
+examples/wan_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_deployment-fe127f28596b5401.d: examples/wan_deployment.rs
+
+/root/repo/target/debug/examples/wan_deployment-fe127f28596b5401: examples/wan_deployment.rs
+
+examples/wan_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-981599eca0b9b94a.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-981599eca0b9b94a: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-c7743a5c4fdeb234.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-c7743a5c4fdeb234: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

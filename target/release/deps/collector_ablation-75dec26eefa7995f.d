@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collector_ablation-75dec26eefa7995f.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/release/deps/collector_ablation-75dec26eefa7995f: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

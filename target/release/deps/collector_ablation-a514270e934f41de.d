@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collector_ablation-a514270e934f41de.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/release/deps/collector_ablation-a514270e934f41de: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collector_ablation-eb52956e55f45d45.d: crates/bench/src/bin/collector_ablation.rs
+
+/root/repo/target/release/deps/collector_ablation-eb52956e55f45d45: crates/bench/src/bin/collector_ablation.rs
+
+crates/bench/src/bin/collector_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consensus_round-1be87c6345b9af11.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/release/deps/consensus_round-1be87c6345b9af11: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consensus_round-d50a9198301c1189.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/release/deps/consensus_round-d50a9198301c1189: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

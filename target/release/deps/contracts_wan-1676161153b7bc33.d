@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/contracts_wan-1676161153b7bc33.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/release/deps/contracts_wan-1676161153b7bc33: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/contracts_wan-80b7b5083c0509a6.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/release/deps/contracts_wan-80b7b5083c0509a6: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

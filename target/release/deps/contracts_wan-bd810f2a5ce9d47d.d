@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/contracts_wan-bd810f2a5ce9d47d.d: crates/bench/src/bin/contracts_wan.rs
+
+/root/repo/target/release/deps/contracts_wan-bd810f2a5ce9d47d: crates/bench/src/bin/contracts_wan.rs
+
+crates/bench/src/bin/contracts_wan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto_ops-525d450acfeb8ee3.d: crates/bench/benches/crypto_ops.rs
+
+/root/repo/target/release/deps/crypto_ops-525d450acfeb8ee3: crates/bench/benches/crypto_ops.rs
+
+crates/bench/benches/crypto_ops.rs:

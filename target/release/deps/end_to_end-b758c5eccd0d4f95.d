@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-b758c5eccd0d4f95.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-b758c5eccd0d4f95: tests/end_to_end.rs
+
+tests/end_to_end.rs:

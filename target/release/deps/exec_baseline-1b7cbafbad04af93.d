@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec_baseline-1b7cbafbad04af93.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/release/deps/exec_baseline-1b7cbafbad04af93: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

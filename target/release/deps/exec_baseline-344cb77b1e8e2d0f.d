@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec_baseline-344cb77b1e8e2d0f.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/release/deps/exec_baseline-344cb77b1e8e2d0f: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

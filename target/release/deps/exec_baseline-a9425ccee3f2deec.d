@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec_baseline-a9425ccee3f2deec.d: crates/bench/src/bin/exec_baseline.rs
+
+/root/repo/target/release/deps/exec_baseline-a9425ccee3f2deec: crates/bench/src/bin/exec_baseline.rs
+
+crates/bench/src/bin/exec_baseline.rs:

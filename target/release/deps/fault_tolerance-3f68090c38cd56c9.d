@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-3f68090c38cd56c9.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-3f68090c38cd56c9: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

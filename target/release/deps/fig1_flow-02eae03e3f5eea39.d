@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_flow-02eae03e3f5eea39.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/release/deps/fig1_flow-02eae03e3f5eea39: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_flow-760b1d2b914948bd.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/release/deps/fig1_flow-760b1d2b914948bd: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_flow-9895951897b01156.d: crates/bench/src/bin/fig1_flow.rs
+
+/root/repo/target/release/deps/fig1_flow-9895951897b01156: crates/bench/src/bin/fig1_flow.rs
+
+crates/bench/src/bin/fig1_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_throughput-5103a976a858de8e.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/release/deps/fig2_throughput-5103a976a858de8e: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

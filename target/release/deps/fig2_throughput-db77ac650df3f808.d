@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_throughput-db77ac650df3f808.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/release/deps/fig2_throughput-db77ac650df3f808: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

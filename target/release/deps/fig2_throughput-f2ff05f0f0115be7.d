@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_throughput-f2ff05f0f0115be7.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/release/deps/fig2_throughput-f2ff05f0f0115be7: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

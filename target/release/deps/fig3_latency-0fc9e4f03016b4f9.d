@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_latency-0fc9e4f03016b4f9.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/release/deps/fig3_latency-0fc9e4f03016b4f9: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

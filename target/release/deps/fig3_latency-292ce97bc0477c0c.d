@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_latency-292ce97bc0477c0c.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/release/deps/fig3_latency-292ce97bc0477c0c: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_latency-b6a48fb91cff1980.d: crates/bench/src/bin/fig3_latency.rs
+
+/root/repo/target/release/deps/fig3_latency-b6a48fb91cff1980: crates/bench/src/bin/fig3_latency.rs
+
+crates/bench/src/bin/fig3_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linearity-8c5296146f91864a.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/release/deps/linearity-8c5296146f91864a: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

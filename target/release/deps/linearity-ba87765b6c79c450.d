@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linearity-ba87765b6c79c450.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/release/deps/linearity-ba87765b6c79c450: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linearity-e529fb21f99ca528.d: crates/bench/src/bin/linearity.rs
+
+/root/repo/target/release/deps/linearity-e529fb21f99ca528: crates/bench/src/bin/linearity.rs
+
+crates/bench/src/bin/linearity.rs:

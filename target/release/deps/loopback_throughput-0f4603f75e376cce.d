@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loopback_throughput-0f4603f75e376cce.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/release/deps/loopback_throughput-0f4603f75e376cce: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

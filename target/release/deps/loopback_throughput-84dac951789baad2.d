@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loopback_throughput-84dac951789baad2.d: crates/bench/src/bin/loopback_throughput.rs
+
+/root/repo/target/release/deps/loopback_throughput-84dac951789baad2: crates/bench/src/bin/loopback_throughput.rs
+
+crates/bench/src/bin/loopback_throughput.rs:

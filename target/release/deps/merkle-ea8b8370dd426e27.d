@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/merkle-ea8b8370dd426e27.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/release/deps/merkle-ea8b8370dd426e27: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/merkle-f7e24139c545e143.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/release/deps/merkle-f7e24139c545e143: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

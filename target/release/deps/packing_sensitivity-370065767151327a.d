@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/packing_sensitivity-370065767151327a.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/release/deps/packing_sensitivity-370065767151327a: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/packing_sensitivity-ae1e78f366f6108d.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/release/deps/packing_sensitivity-ae1e78f366f6108d: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/packing_sensitivity-c66a6dc293ff7e6d.d: crates/bench/src/bin/packing_sensitivity.rs
+
+/root/repo/target/release/deps/packing_sensitivity-c66a6dc293ff7e6d: crates/bench/src/bin/packing_sensitivity.rs
+
+crates/bench/src/bin/packing_sensitivity.rs:

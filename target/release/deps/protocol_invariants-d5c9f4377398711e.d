@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_invariants-d5c9f4377398711e.d: tests/protocol_invariants.rs
+
+/root/repo/target/release/deps/protocol_invariants-d5c9f4377398711e: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/safety_properties-066c6d108ddc545a.d: tests/safety_properties.rs
+
+/root/repo/target/release/deps/safety_properties-066c6d108ddc545a: tests/safety_properties.rs
+
+tests/safety_properties.rs:

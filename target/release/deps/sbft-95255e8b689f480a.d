@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbft-95255e8b689f480a.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/release/deps/libsbft-95255e8b689f480a.rlib: src/lib.rs src/deploy.rs
+
+/root/repo/target/release/deps/libsbft-95255e8b689f480a.rmeta: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sbft-bdbc195f00c455c7.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/release/deps/sbft-bdbc195f00c455c7: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbft_bench-6f1070dd46abb327.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/sbft_bench-6f1070dd46abb327: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/table.rs:

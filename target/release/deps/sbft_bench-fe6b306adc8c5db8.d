@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbft_bench-fe6b306adc8c5db8.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libsbft_bench-fe6b306adc8c5db8.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libsbft_bench-fe6b306adc8c5db8.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbft_core-0074e1e4541787f3.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+
+/root/repo/target/release/deps/sbft_core-0074e1e4541787f3: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/keys.rs:
+crates/core/src/messages.rs:
+crates/core/src/pipelined.rs:
+crates/core/src/replica.rs:
+crates/core/src/testkit.rs:
+crates/core/src/viewchange.rs:

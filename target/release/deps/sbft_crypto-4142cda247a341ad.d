@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sbft_crypto-4142cda247a341ad.d: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/release/deps/libsbft_crypto-4142cda247a341ad.rlib: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/release/deps/libsbft_crypto-4142cda247a341ad.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cost.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/poly.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/threshold.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sbft_crypto-66faad2a663ccd4a.d: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/release/deps/sbft_crypto-66faad2a663ccd4a: crates/crypto/src/lib.rs crates/crypto/src/cost.rs crates/crypto/src/field.rs crates/crypto/src/group.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/poly.rs crates/crypto/src/rng.rs crates/crypto/src/sha256.rs crates/crypto/src/threshold.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cost.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/poly.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/threshold.rs:

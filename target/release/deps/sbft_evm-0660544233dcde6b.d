@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbft_evm-0660544233dcde6b.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/release/deps/sbft_evm-0660544233dcde6b: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/contracts.rs:
+crates/evm/src/opcodes.rs:
+crates/evm/src/tx.rs:
+crates/evm/src/vm.rs:
+crates/evm/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbft_evm-f7f6a530499b4698.d: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/release/deps/libsbft_evm-f7f6a530499b4698.rlib: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+/root/repo/target/release/deps/libsbft_evm-f7f6a530499b4698.rmeta: crates/evm/src/lib.rs crates/evm/src/asm.rs crates/evm/src/contracts.rs crates/evm/src/opcodes.rs crates/evm/src/tx.rs crates/evm/src/vm.rs crates/evm/src/workload.rs
+
+crates/evm/src/lib.rs:
+crates/evm/src/asm.rs:
+crates/evm/src/contracts.rs:
+crates/evm/src/opcodes.rs:
+crates/evm/src/tx.rs:
+crates/evm/src/vm.rs:
+crates/evm/src/workload.rs:

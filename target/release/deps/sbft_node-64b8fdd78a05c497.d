@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sbft_node-64b8fdd78a05c497.d: src/bin/sbft-node.rs
+
+/root/repo/target/release/deps/sbft_node-64b8fdd78a05c497: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sbft_node-7375100cdae7be3e.d: src/bin/sbft-node.rs
+
+/root/repo/target/release/deps/sbft_node-7375100cdae7be3e: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

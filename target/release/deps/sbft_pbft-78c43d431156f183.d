@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sbft_pbft-78c43d431156f183.d: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+/root/repo/target/release/deps/libsbft_pbft-78c43d431156f183.rlib: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+/root/repo/target/release/deps/libsbft_pbft-78c43d431156f183.rmeta: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/keys.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/testkit.rs:

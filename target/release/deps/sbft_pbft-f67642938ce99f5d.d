@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbft_pbft-f67642938ce99f5d.d: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+/root/repo/target/release/deps/sbft_pbft-f67642938ce99f5d: crates/pbft/src/lib.rs crates/pbft/src/client.rs crates/pbft/src/keys.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/testkit.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/keys.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/testkit.rs:

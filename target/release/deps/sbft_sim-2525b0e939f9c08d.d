@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sbft_sim-2525b0e939f9c08d.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/release/deps/sbft_sim-2525b0e939f9c08d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:

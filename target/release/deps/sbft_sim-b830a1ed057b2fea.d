@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sbft_sim-b830a1ed057b2fea.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/release/deps/libsbft_sim-b830a1ed057b2fea.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/release/deps/libsbft_sim-b830a1ed057b2fea.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs crates/sim/src/rng.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:

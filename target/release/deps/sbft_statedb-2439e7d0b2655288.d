@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbft_statedb-2439e7d0b2655288.d: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/release/deps/sbft_statedb-2439e7d0b2655288: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+crates/statedb/src/lib.rs:
+crates/statedb/src/kv.rs:
+crates/statedb/src/ledger.rs:
+crates/statedb/src/service.rs:
+crates/statedb/src/trie.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbft_statedb-8d7e54f3709005d5.d: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/release/deps/libsbft_statedb-8d7e54f3709005d5.rlib: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+/root/repo/target/release/deps/libsbft_statedb-8d7e54f3709005d5.rmeta: crates/statedb/src/lib.rs crates/statedb/src/kv.rs crates/statedb/src/ledger.rs crates/statedb/src/service.rs crates/statedb/src/trie.rs
+
+crates/statedb/src/lib.rs:
+crates/statedb/src/kv.rs:
+crates/statedb/src/ledger.rs:
+crates/statedb/src/service.rs:
+crates/statedb/src/trie.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbft_transport-6c36f34fb8a258df.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/sbft_transport-6c36f34fb8a258df: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/config.rs:
+crates/transport/src/frame.rs:
+crates/transport/src/runtime.rs:
+crates/transport/src/tcp.rs:

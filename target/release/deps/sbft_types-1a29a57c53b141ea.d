@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbft_types-1a29a57c53b141ea.d: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/release/deps/sbft_types-1a29a57c53b141ea: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/digest.rs:
+crates/types/src/hex.rs:
+crates/types/src/ids.rs:
+crates/types/src/u256.rs:

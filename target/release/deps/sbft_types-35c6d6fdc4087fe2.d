@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbft_types-35c6d6fdc4087fe2.d: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/release/deps/libsbft_types-35c6d6fdc4087fe2.rlib: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+/root/repo/target/release/deps/libsbft_types-35c6d6fdc4087fe2.rmeta: crates/types/src/lib.rs crates/types/src/digest.rs crates/types/src/hex.rs crates/types/src/ids.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/digest.rs:
+crates/types/src/hex.rs:
+crates/types/src/ids.rs:
+crates/types/src/u256.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbft_wire-6e0288c6e0b93927.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/release/deps/sbft_wire-6e0288c6e0b93927: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbft_wire-8e187b94569d4702.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/release/deps/libsbft_wire-8e187b94569d4702.rlib: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+/root/repo/target/release/deps/libsbft_wire-8e187b94569d4702.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/impls.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tcp_cluster-32e27b6e57ed15b1.d: tests/tcp_cluster.rs
+
+/root/repo/target/release/deps/tcp_cluster-32e27b6e57ed15b1: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

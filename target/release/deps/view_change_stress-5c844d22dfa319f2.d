@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/view_change_stress-5c844d22dfa319f2.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/release/deps/view_change_stress-5c844d22dfa319f2: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/view_change_stress-70de314b29abf2e5.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/release/deps/view_change_stress-70de314b29abf2e5: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/view_change_stress-70eaeb00cddd624c.d: crates/bench/src/bin/view_change_stress.rs
+
+/root/repo/target/release/deps/view_change_stress-70eaeb00cddd624c: crates/bench/src/bin/view_change_stress.rs
+
+crates/bench/src/bin/view_change_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_exec-f2f38befb19a9957.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/release/deps/vm_exec-f2f38befb19a9957: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:

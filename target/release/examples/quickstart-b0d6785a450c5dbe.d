@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b0d6785a450c5dbe.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b0d6785a450c5dbe: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_contracts-f170b5f470072137.d: examples/smart_contracts.rs
+
+/root/repo/target/release/examples/smart_contracts-f170b5f470072137: examples/smart_contracts.rs
+
+examples/smart_contracts.rs:

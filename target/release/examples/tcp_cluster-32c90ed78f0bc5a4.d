@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tcp_cluster-32c90ed78f0bc5a4.d: examples/tcp_cluster.rs
+
+/root/repo/target/release/examples/tcp_cluster-32c90ed78f0bc5a4: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

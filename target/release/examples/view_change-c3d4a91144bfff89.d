@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/view_change-c3d4a91144bfff89.d: examples/view_change.rs
+
+/root/repo/target/release/examples/view_change-c3d4a91144bfff89: examples/view_change.rs
+
+examples/view_change.rs:

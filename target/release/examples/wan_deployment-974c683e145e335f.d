@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wan_deployment-974c683e145e335f.d: examples/wan_deployment.rs
+
+/root/repo/target/release/examples/wan_deployment-974c683e145e335f: examples/wan_deployment.rs
+
+examples/wan_deployment.rs:
