@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use sbft::core::ClientNode;
+use sbft::core::{ClientNode, ReplicaNode};
 use sbft::deploy::{client_runtime, loopback_config, replica_runtime, ClientWorkload};
 use sbft::transport::ClusterSpec;
 
@@ -20,6 +20,8 @@ struct Args {
     window: Duration,
     warmup: Duration,
     clients: Vec<usize>,
+    verbose: bool,
+    smoke_floor: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +30,8 @@ fn parse_args() -> Args {
         window: Duration::from_secs(5),
         warmup: Duration::from_secs(1),
         clients: vec![1, 2, 4, 8],
+        verbose: false,
+        smoke_floor: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -37,6 +41,25 @@ fn parse_args() -> Args {
                 args.warmup = Duration::from_millis(300);
                 args.clients = vec![1, 4];
             }
+            "--smoke" => {
+                // CI regression gate: one short point, conservative floor
+                // (shared runners are slow and single-core; the floor
+                // only has to catch order-of-magnitude wire regressions).
+                args.window = Duration::from_secs(2);
+                args.warmup = Duration::from_millis(500);
+                args.clients = vec![4];
+                args.smoke_floor = Some(2_000.0);
+            }
+            "--floor" => {
+                i += 1;
+                args.smoke_floor = Some(
+                    argv.get(i)
+                        .expect("--floor needs req/s")
+                        .parse()
+                        .expect("floor req/s"),
+                );
+            }
+            "--verbose" => args.verbose = true,
             "--clients" => {
                 i += 1;
                 args.clients = argv
@@ -65,7 +88,7 @@ fn bind(count: usize) -> (Vec<TcpListener>, Vec<String>) {
 }
 
 /// One sweep point: boots a fresh cluster, returns (req/s, mean ms).
-fn measure(clients: usize, warmup: Duration, window: Duration) -> (f64, f64) {
+fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) -> (f64, f64) {
     let (replica_listeners, replica_addrs) = bind(4);
     let (client_listeners, client_addrs) = bind(clients);
     let spec = ClusterSpec::parse(&loopback_config(
@@ -79,15 +102,36 @@ fn measure(clients: usize, warmup: Duration, window: Duration) -> (f64, f64) {
 
     let done = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
+    let mut replica_threads = Vec::new();
     for (r, listener) in replica_listeners.into_iter().enumerate() {
         let spec = spec.clone();
         let done = Arc::clone(&done);
-        threads.push(thread::spawn(move || {
-            let mut runtime = replica_runtime(&spec, r, Some(listener)).expect("replica");
-            while !done.load(Ordering::Acquire) {
-                runtime.poll(Duration::from_millis(10));
-            }
-        }));
+        replica_threads.push(
+            thread::Builder::new()
+                .name(format!("replica-{r}"))
+                .spawn(move || {
+                    let mut runtime = replica_runtime(&spec, r, Some(listener)).expect("replica");
+                    while !done.load(Ordering::Acquire) {
+                        runtime.poll(Duration::from_millis(10));
+                    }
+                    let stats = runtime.transport().control().stats();
+                    if std::env::var("SBFT_LABELS").is_ok() {
+                        let mut labels: Vec<_> = runtime.metrics().labels().collect();
+                        labels.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));
+                        eprintln!("  replica {r} sends by label: {labels:?}");
+                    }
+                    let node = runtime.node_as::<ReplicaNode>().expect("replica node");
+                    (
+                        r,
+                        node.view(),
+                        node.last_executed().get(),
+                        runtime.metrics().counter("fast_commits"),
+                        runtime.metrics().counter("slow_commits"),
+                        stats,
+                    )
+                })
+                .expect("spawn replica"),
+        );
     }
 
     // Clients publish progress through shared counters; the main thread
@@ -99,28 +143,34 @@ fn measure(clients: usize, warmup: Duration, window: Duration) -> (f64, f64) {
         let done = Arc::clone(&done);
         let completed = Arc::clone(&completed);
         let latency_us_total = Arc::clone(&latency_us_total);
-        threads.push(thread::spawn(move || {
-            let workload = ClientWorkload {
-                requests: usize::MAX / 2, // open-ended; stopped by `done`
-                ..ClientWorkload::default()
-            };
-            let mut runtime = client_runtime(&spec, c, &workload, Some(listener)).expect("client");
-            let mut reported = 0usize;
-            while !done.load(Ordering::Acquire) {
-                runtime.poll(Duration::from_millis(10));
-                let node = runtime.node_as::<ClientNode>().expect("client");
-                let new = node.latencies_ms.len();
-                if new > reported {
-                    let us: f64 = node.latencies_ms[reported..]
-                        .iter()
-                        .map(|ms| ms * 1_000.0)
-                        .sum();
-                    completed.fetch_add((new - reported) as u64, Ordering::Relaxed);
-                    latency_us_total.fetch_add(us as u64, Ordering::Relaxed);
-                    reported = new;
-                }
-            }
-        }));
+        threads.push(
+            thread::Builder::new()
+                .name(format!("client-{c}"))
+                .spawn(move || {
+                    let workload = ClientWorkload {
+                        requests: usize::MAX / 2, // open-ended; stopped by `done`
+                        ..ClientWorkload::default()
+                    };
+                    let mut runtime =
+                        client_runtime(&spec, c, &workload, Some(listener)).expect("client");
+                    let mut reported = 0usize;
+                    while !done.load(Ordering::Acquire) {
+                        runtime.poll(Duration::from_millis(10));
+                        let node = runtime.node_as::<ClientNode>().expect("client");
+                        let new = node.latencies_ms.len();
+                        if new > reported {
+                            let us: f64 = node.latencies_ms[reported..]
+                                .iter()
+                                .map(|ms| ms * 1_000.0)
+                                .sum();
+                            completed.fetch_add((new - reported) as u64, Ordering::Relaxed);
+                            latency_us_total.fetch_add(us as u64, Ordering::Relaxed);
+                            reported = new;
+                        }
+                    }
+                })
+                .expect("spawn client"),
+        );
     }
 
     thread::sleep(warmup);
@@ -135,6 +185,22 @@ fn measure(clients: usize, warmup: Duration, window: Duration) -> (f64, f64) {
     for t in threads {
         t.join().expect("node thread");
     }
+    for t in replica_threads {
+        let (r, view, executed, fast, slow, stats) = t.join().expect("replica thread");
+        if verbose {
+            eprintln!(
+                "  replica {r}: view {view} executed {executed} fast {fast} slow {slow} | \
+                 tx {} frames/{} B rx {} frames/{} B, {} connects, {} dropped, {} hs-rejects",
+                stats.frames_sent,
+                stats.bytes_sent,
+                stats.frames_received,
+                stats.bytes_received,
+                stats.connects,
+                stats.dropped,
+                stats.handshake_rejects,
+            );
+        }
+    }
     let mean_ms = if committed > 0 {
         latency_us as f64 / committed as f64 / 1_000.0
     } else {
@@ -147,8 +213,18 @@ fn main() {
     let args = parse_args();
     println!("loopback TCP throughput, n=4 (f=1, c=0), closed-loop clients");
     println!("{:>8} {:>12} {:>12}", "clients", "req/s", "mean ms");
+    let mut best = 0.0f64;
     for &clients in &args.clients {
-        let (rps, mean_ms) = measure(clients, args.warmup, args.window);
+        let (rps, mean_ms) = measure(clients, args.warmup, args.window, args.verbose);
         println!("{clients:>8} {rps:>12.1} {mean_ms:>12.2}");
+        best = best.max(rps);
+    }
+    if let Some(floor) = args.smoke_floor {
+        assert!(
+            best >= floor,
+            "wire-path regression: best sweep point {best:.1} req/s is under the floor of \
+             {floor:.1} req/s"
+        );
+        println!("smoke floor ok: {best:.1} req/s >= {floor:.1} req/s");
     }
 }

@@ -43,6 +43,13 @@ pub struct ClientNode {
     next: u64,
     timestamp: u64,
     outstanding: Option<Outstanding>,
+    /// The retry timer armed for the outstanding request. Exactly one is
+    /// live at a time: completion cancels it, a fire re-arms it. (It
+    /// used to be left running — every completed request leaked a timer
+    /// that fired ~retry_timeout later against whatever request was
+    /// *then* outstanding, broadcasting spurious retries that snowballed
+    /// under load into a request storm on the real transport.)
+    retry_timer: Option<sbft_sim::TimerId>,
     primary_guess: usize,
     retry_timeout: SimDuration,
     /// Completed request count.
@@ -75,6 +82,7 @@ impl ClientNode {
             next: 0,
             timestamp: 0,
             outstanding: None,
+            retry_timer: None,
             primary_guess: 0,
             retry_timeout,
             completed: 0,
@@ -114,7 +122,7 @@ impl ClientNode {
             reply_digests: HashMap::new(),
         });
         ctx.send(self.primary_guess, SbftMsg::Request(request));
-        ctx.set_timer(self.retry_timeout, RETRY_TOKEN);
+        self.retry_timer = Some(ctx.set_timer(self.retry_timeout, RETRY_TOKEN));
     }
 
     fn complete(&mut self, ctx: &mut Context<'_, SbftMsg>, result: Vec<u8>) {
@@ -122,6 +130,11 @@ impl ClientNode {
             .outstanding
             .take()
             .expect("completing an active request");
+        // The reply beat the retry deadline: disarm the timer so it
+        // cannot fire against the *next* outstanding request.
+        if let Some(id) = self.retry_timer.take() {
+            ctx.cancel_timer(id);
+        }
         let latency = (ctx.now() - outstanding.sent_at).as_millis_f64();
         self.latencies_ms.push(latency);
         self.completed += 1;
@@ -231,6 +244,8 @@ impl Node<SbftMsg> for ClientNode {
         if token != RETRY_TOKEN {
             return;
         }
+        // This timer was consumed by firing; nothing left to cancel.
+        self.retry_timer = None;
         let Some(outstanding) = &self.outstanding else {
             return;
         };
@@ -248,6 +263,6 @@ impl Node<SbftMsg> for ClientNode {
         for r in 0..self.n() {
             ctx.send(r, SbftMsg::Request(request.clone()));
         }
-        ctx.set_timer(self.retry_timeout, RETRY_TOKEN);
+        self.retry_timer = Some(ctx.set_timer(self.retry_timeout, RETRY_TOKEN));
     }
 }

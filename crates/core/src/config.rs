@@ -56,6 +56,17 @@ pub struct ProtocolConfig {
     pub max_in_flight: usize,
     /// Maximum client requests per decision block.
     pub max_block_requests: usize,
+    /// Group-commit pooling cap. When recent blocks were non-trivial,
+    /// the primary holds proposals back until roughly twice the last
+    /// block's worth of requests is pending — but never more than this
+    /// many — or the batch timer fires, whichever comes first. 1 — the
+    /// default — disables pooling entirely (propose the moment anything
+    /// is pending), which is right when round-trips dominate;
+    /// low-latency deployments raise it (with a short `batch_delay`) so
+    /// consensus overhead amortizes over whole batches instead of
+    /// paying a round per request. A solitary request on a fully idle,
+    /// recently-quiet pipeline always proposes instantly.
+    pub min_batch: usize,
     /// Primary batch timer: propose a non-full block after this delay.
     pub batch_delay: SimDuration,
     /// Collector fast-path timeout: after τ is available, wait this long
@@ -88,6 +99,7 @@ impl ProtocolConfig {
             window: 256,
             max_in_flight: 16,
             max_block_requests: 64,
+            min_batch: 1,
             batch_delay: SimDuration::from_millis(5),
             fast_path_timeout: SimDuration::from_millis(150),
             collector_stagger: SimDuration::from_millis(60),

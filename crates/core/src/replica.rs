@@ -132,6 +132,11 @@ pub struct ReplicaNode {
     pending: VecDeque<ClientRequest>,
     next_proposal: SeqNum,
     batch_timer_set: bool,
+    /// Size of the most recent block this primary proposed: the
+    /// group-commit hysteresis signal. Small last block ⇒ light load ⇒
+    /// propose instantly; a full recent block keeps pooling on so a
+    /// cohort's stragglers ride one round instead of fragmenting.
+    last_block_len: usize,
     /// Highest proposed timestamp per client (primary-side dedup).
     proposed_table: HashMap<u32, u64>,
 
@@ -189,6 +194,7 @@ impl ReplicaNode {
             pending: VecDeque::new(),
             next_proposal: SeqNum::new(1),
             batch_timer_set: false,
+            last_block_len: 0,
             proposed_table: HashMap::new(),
             client_table: HashMap::new(),
             executed_requests: HashMap::new(),
@@ -366,10 +372,27 @@ impl ReplicaNode {
                 self.maybe_propose(ctx);
             }
         } else {
-            // Forward to the primary and watch for progress.
-            self.forwarded.insert(key, ());
             let primary = self.config.primary(self.view);
-            self.send_to(ctx, primary, SbftMsg::Request(request));
+            if primary == self.id {
+                // We are this view's primary but cannot propose (view
+                // change in progress). Forwarding would loop the request
+                // straight back to ourselves forever — park it instead;
+                // the new-view flow re-runs `maybe_propose`.
+                let proposed = self
+                    .proposed_table
+                    .get(&request.client.get())
+                    .copied()
+                    .unwrap_or(0);
+                if request.timestamp > proposed {
+                    self.proposed_table
+                        .insert(request.client.get(), request.timestamp);
+                    self.pending.push_back(request);
+                }
+            } else {
+                // Forward to the primary and watch for progress.
+                self.forwarded.insert(key, ());
+                self.send_to(ctx, primary, SbftMsg::Request(request));
+            }
         }
         self.arm_watchdog(ctx);
     }
@@ -395,8 +418,28 @@ impl ReplicaNode {
             && self.in_flight() < self.config.max_in_flight
             && self.next_proposal.get() <= self.last_stable.get() + self.config.window
         {
-            let target = self.adaptive_batch_target();
-            if self.pending.len() < target && self.in_flight() > 0 {
+            // Group commit: let requests pool until the batch floor is
+            // met so each round carries a full batch; the batch timer
+            // bounds how long a partial batch waits. A solitary request
+            // on a fully idle pipeline proposes instantly — pooling only
+            // pays once there is a cohort to pool.
+            // The floor tracks the observed cohort: pool until roughly
+            // the last block's worth of requests (with headroom to grow)
+            // has arrived, never beyond `min_batch`.
+            let floor = if self.in_flight() == 0 && self.last_block_len <= 2 {
+                1
+            } else {
+                // `.max(1)` twice: a zero cap (min_batch = 0) must mean
+                // "no pooling", not a clamp(1, 0) panic.
+                let cap = self
+                    .config
+                    .min_batch
+                    .min(self.config.max_block_requests)
+                    .max(1);
+                (self.last_block_len * 2).clamp(1, cap)
+            };
+            let target = self.adaptive_batch_target().max(floor);
+            if self.pending.len() < target {
                 // Wait for the batch to fill (or the batch timer).
                 if !self.batch_timer_set {
                     self.batch_timer_set = true;
@@ -418,6 +461,7 @@ impl ReplicaNode {
         seq: SeqNum,
         requests: Vec<ClientRequest>,
     ) {
+        self.last_block_len = requests.len();
         ctx.charge_cpu_ns(self.cost.hash(64 * requests.len()));
         if self.behavior == Behavior::EquivocatingPrimary && requests.len() >= 2 {
             // Conflicting but individually valid proposals to two halves.
@@ -1672,5 +1716,65 @@ impl Node<SbftMsg> for ReplicaNode {
             }
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariantFlags;
+    use sbft_crypto::CryptoCostModel;
+    use sbft_sim::{Metrics, SimRng, SimTime};
+    use sbft_statedb::KvService;
+
+    /// Regression: a replica that is the primary of its *own* (view-change
+    /// in progress) view used to forward incoming requests "to the
+    /// primary" — itself — creating an infinite self-send cycle that
+    /// pinned the wall-clock runtime at 100% CPU. The request must be
+    /// parked in `pending`, never sent back to ourselves.
+    #[test]
+    fn request_during_view_change_to_self_primary_is_parked_not_looped() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        // View 1 (primary = replica 1) with the view change still in
+        // progress: exactly the state a severed replica reaches after a
+        // timeout, before it can assemble a new-view quorum.
+        node.view = ViewNum::new(1);
+        node.in_view_change = true;
+
+        let client = ClientId::new(0);
+        let request = ClientRequest::signed(
+            client,
+            1,
+            b"put k v".to_vec(),
+            &keys.public.client_keys(client),
+        );
+
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let me: NodeId = 1;
+        let mut ctx = Context::external(
+            SimTime::ZERO,
+            me,
+            &mut rng,
+            &mut metrics,
+            &mut next_timer_id,
+        );
+        node.on_message(config.n(), SbftMsg::Request(request), &mut ctx);
+        let effects = ctx.into_effects();
+
+        assert!(
+            effects.sends.iter().all(|(to, _)| *to != me),
+            "request must not be forwarded back to ourselves"
+        );
+        assert_eq!(node.pending.len(), 1, "request parks for the new view");
     }
 }

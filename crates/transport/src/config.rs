@@ -10,12 +10,20 @@
 //! c 0
 //! seed 42
 //! variant sbft
+//! profile lan          # lan (default) | wan — transport + protocol tuning
 //! replica 0 127.0.0.1:9400
 //! replica 1 127.0.0.1:9401
 //! replica 2 127.0.0.1:9402
 //! replica 3 127.0.0.1:9403
 //! client 0 127.0.0.1:9500
 //! ```
+//!
+//! `profile` selects a named tuning bundle for the whole cluster:
+//! `lan` (the default) keeps aggressive reconnects and tight protocol
+//! timers for loopback/datacenter deployments; `wan` raises reconnect
+//! backoff, connect timeouts, queue depths, and coalescing budgets on
+//! the transport, and stretches the protocol's fast-path/view timers to
+//! continental round-trip scale.
 //!
 //! Node ids follow the simulator's numbering: replicas are `0..n`,
 //! clients are `n..n+m`. Key material is derived deterministically from
@@ -27,6 +35,8 @@ use std::fmt;
 use std::path::Path;
 
 use sbft_sim::NodeId;
+
+use crate::tcp::TransportConfig;
 
 /// Protocol variant named in the config (mapped onto
 /// `sbft_core::VariantFlags` by the node binary; kept as a plain enum
@@ -42,6 +52,19 @@ pub enum VariantName {
     FastPath,
 }
 
+/// Named deployment tuning for a whole cluster — one word in the config
+/// selects coherent transport and protocol timer bundles, instead of
+/// every operator hand-tuning a dozen knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportProfile {
+    /// Loopback/datacenter: aggressive reconnects, tight timers.
+    #[default]
+    Lan,
+    /// Continental round-trips: patient reconnects, deep queues, large
+    /// coalescing budgets, stretched protocol timeouts.
+    Wan,
+}
+
 /// A parsed cluster description.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -53,6 +76,8 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Protocol variant.
     pub variant: VariantName,
+    /// Deployment tuning profile (`profile lan` / `profile wan`).
+    pub profile: TransportProfile,
     /// Replica listen addresses, indexed by replica id (`0..n`).
     pub replicas: Vec<String>,
     /// Client listen addresses, indexed by client id.
@@ -100,6 +125,7 @@ impl ClusterSpec {
         let mut c = None;
         let mut seed = 0u64;
         let mut variant = VariantName::default();
+        let mut profile = TransportProfile::default();
         let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
         let mut clients: BTreeMap<usize, String> = BTreeMap::new();
 
@@ -140,6 +166,21 @@ impl ClusterSpec {
                                 format!(
                                     "unknown variant `{other}` (sbft | linear-pbft | fast-path)"
                                 ),
+                            ))
+                        }
+                    };
+                }
+                "profile" => {
+                    let [value] = args[..] else {
+                        return Err(err(lineno, "`profile` takes one value"));
+                    };
+                    profile = match value {
+                        "lan" => TransportProfile::Lan,
+                        "wan" => TransportProfile::Wan,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown profile `{other}` (lan | wan)"),
                             ))
                         }
                     };
@@ -198,6 +239,7 @@ impl ClusterSpec {
             c,
             seed,
             variant,
+            profile,
             replicas: replicas.into_values().collect(),
             clients: clients.into_values().collect(),
         })
@@ -235,6 +277,17 @@ impl ClusterSpec {
             self.replicas.get(node).map(String::as_str)
         } else {
             self.clients.get(node - self.n()).map(String::as_str)
+        }
+    }
+
+    /// The profile-tuned [`TransportConfig`] for `me`: peer table from
+    /// [`Self::peers_for`], knobs (reconnect cadence, queue depths,
+    /// coalescing budgets) from [`Self::profile`].
+    pub fn transport_config(&self, me: NodeId) -> TransportConfig {
+        let peers = self.peers_for(me);
+        match self.profile {
+            TransportProfile::Lan => TransportConfig::new(me, peers),
+            TransportProfile::Wan => TransportConfig::wan(me, peers),
         }
     }
 
@@ -289,6 +342,27 @@ mod tests {
         let client_peers = spec.peers_for(spec.client_node(0));
         assert_eq!(client_peers.len(), 4);
         assert!(client_peers.iter().all(|(id, _)| *id < spec.n()));
+    }
+
+    #[test]
+    fn profile_directive_selects_transport_tuning() {
+        assert_eq!(
+            ClusterSpec::parse(GOOD).unwrap().profile,
+            TransportProfile::Lan,
+            "lan is the default"
+        );
+        let wan_text = format!("profile wan\n{GOOD}");
+        let spec = ClusterSpec::parse(&wan_text).unwrap();
+        assert_eq!(spec.profile, TransportProfile::Wan);
+        let lan = ClusterSpec::parse(GOOD).unwrap().transport_config(0);
+        let wan = spec.transport_config(0);
+        assert_eq!(lan.peers, wan.peers, "profile changes tuning, not peers");
+        assert!(wan.reconnect_base > lan.reconnect_base);
+        assert!(wan.connect_timeout > lan.connect_timeout);
+        assert!(wan.outbound_queue > lan.outbound_queue);
+        assert!(wan.coalesce_budget > lan.coalesce_budget);
+        let e = ClusterSpec::parse("profile metro\nf 0\nreplica 0 a:1\n").unwrap_err();
+        assert!(e.message.contains("unknown profile"), "{e}");
     }
 
     #[test]

@@ -68,6 +68,23 @@ pub fn framed_len(payload: &[u8]) -> usize {
     FRAME_HEADER_BYTES + payload.len()
 }
 
+/// Appends one frame (header + payload) to `buf` without touching a
+/// socket; returns the exact framed byte count appended. This is the
+/// building block of coalesced writes: encode many frames into one
+/// buffer, then hit the socket once.
+///
+/// # Errors
+///
+/// Rejects payloads over `u32::MAX` bytes as
+/// [`io::ErrorKind::InvalidInput`] (nothing is appended in that case).
+pub fn encode_frame_into(buf: &mut Vec<u8>, payload: &[u8]) -> io::Result<usize> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(framed_len(payload))
+}
+
 /// Writes one frame; returns the exact byte count put on the wire.
 ///
 /// # Errors
@@ -80,6 +97,29 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     Ok(framed_len(payload))
+}
+
+/// Encodes every payload into `scratch` and writes the lot with a single
+/// `write_all` — many frames, one syscall. Frame order is preserved, and
+/// the returned byte count is exactly `Σ framed_len(payload)`, so byte
+/// accounting is identical to calling [`write_frame`] per payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects any payload over `u32::MAX` bytes as
+/// [`io::ErrorKind::InvalidInput`] *before* writing anything.
+pub fn write_frames<W, P>(w: &mut W, payloads: &[P], scratch: &mut Vec<u8>) -> io::Result<usize>
+where
+    W: Write,
+    P: AsRef<[u8]>,
+{
+    scratch.clear();
+    let mut total = 0;
+    for payload in payloads {
+        total += encode_frame_into(scratch, payload.as_ref())?;
+    }
+    w.write_all(scratch)?;
+    Ok(total)
 }
 
 /// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the peer
@@ -117,6 +157,127 @@ pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<Option<Vec<
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Buffered frame decoder: owns a read-ahead buffer so one `read`
+/// syscall can surface many small frames, instead of the two unbuffered
+/// reads per frame [`read_frame`] pays. Semantics match [`read_frame`]
+/// exactly — clean close between frames is `Ok(None)`, a close
+/// mid-frame is [`io::ErrorKind::UnexpectedEof`], and a length prefix
+/// over `max_frame` is [`io::ErrorKind::InvalidData`] — and the byte
+/// accounting is unchanged: every returned payload consumed precisely
+/// `framed_len(payload)` bytes from the stream.
+///
+/// Frames larger than the buffer fall back to a direct `read_exact`
+/// into their own allocation, so `max_frame` may exceed the buffer.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner` with a read-ahead buffer of `buffer` bytes (floored
+    /// at one header) and a per-frame payload cap of `max_frame`.
+    pub fn new(inner: R, buffer: usize, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: vec![0u8; buffer.max(FRAME_HEADER_BYTES)],
+            start: 0,
+            end: 0,
+            max_frame,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Grows the buffered window to at least `need` bytes. `Ok(false)`
+    /// only on end-of-stream with *zero* bytes buffered while
+    /// `clean_eof_ok` — anywhere else, running dry mid-datum is an
+    /// [`io::ErrorKind::UnexpectedEof`].
+    fn ensure(&mut self, need: usize, clean_eof_ok: bool) -> io::Result<bool> {
+        while self.buffered() < need {
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            }
+            let n = self.inner.read(&mut self.buf[self.end..])?;
+            if n == 0 {
+                if clean_eof_ok && self.buffered() == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            self.end += n;
+        }
+        Ok(true)
+    }
+
+    /// Reads the next frame; `Ok(None)` on a clean close between frames.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_frame`]: I/O errors propagate, oversized frames are
+    /// [`io::ErrorKind::InvalidData`], truncation is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn read_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if !self.ensure(FRAME_HEADER_BYTES, true)? {
+            return Ok(None);
+        }
+        let header: [u8; FRAME_HEADER_BYTES] = self.buf
+            [self.start..self.start + FRAME_HEADER_BYTES]
+            .try_into()
+            .expect("header slice is FRAME_HEADER_BYTES long");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > self.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds cap of {}", self.max_frame),
+            ));
+        }
+        self.start += FRAME_HEADER_BYTES;
+        if len <= self.buf.len() {
+            self.ensure(len, false)?;
+            let payload = self.buf[self.start..self.start + len].to_vec();
+            self.start += len;
+            return Ok(Some(payload));
+        }
+        // Oversized frame: drain what is buffered, then read the rest
+        // straight into the payload's own allocation.
+        let mut payload = vec![0u8; len];
+        let have = self.buffered();
+        payload[..have].copy_from_slice(&self.buf[self.start..self.end]);
+        self.start = 0;
+        self.end = 0;
+        self.inner.read_exact(&mut payload[have..])?;
+        Ok(Some(payload))
+    }
+
+    /// Reads and decodes a [`Wire`] value from the next frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_msg`]: a clean close before the frame is
+    /// [`io::ErrorKind::UnexpectedEof`], decode failures are
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_msg<M: Wire>(&mut self) -> io::Result<M> {
+        let payload = self.read_frame()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before frame",
+            )
+        })?;
+        M::from_wire_bytes(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
 }
 
 /// Writes a [`Wire`] value as one frame; returns bytes put on the wire.
@@ -199,6 +360,157 @@ mod tests {
         buf.truncate(buf.len() - 5);
         let err = read_frame(&mut Cursor::new(&buf), 64).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A reader that hands back the underlying bytes in capricious chunk
+    /// sizes — frames land split across reads, headers straddle refills.
+    struct SplitReader {
+        data: Vec<u8>,
+        pos: usize,
+        rng: u64,
+    }
+
+    impl Read for SplitReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            let cap = out.len().min(self.data.len() - self.pos);
+            let n = (splitmix(&mut self.rng) as usize % cap).max(1).min(cap);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn batched_frames_round_trip_through_split_reads() {
+        // Random frame-size sequences: empty frames, tiny frames, frames
+        // larger than the reader's buffer (exercising the direct-read
+        // fallback), in random order, written as coalesced batches.
+        for seed in 0..8u64 {
+            let mut rng = 0x5bf7_0000 ^ seed;
+            let mut payloads: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..64 {
+                let len = match splitmix(&mut rng) % 4 {
+                    0 => 0,
+                    1 => (splitmix(&mut rng) % 16) as usize,
+                    2 => (splitmix(&mut rng) % 500) as usize,
+                    // Bigger than the 256-byte reader buffer below.
+                    _ => 256 + (splitmix(&mut rng) % 2048) as usize,
+                };
+                payloads.push((0..len).map(|_| splitmix(&mut rng) as u8).collect());
+            }
+
+            // Write in coalesced batches of random sizes.
+            let mut wire = Vec::new();
+            let mut scratch = Vec::new();
+            let mut written = 0;
+            let mut i = 0;
+            while i < payloads.len() {
+                let batch = 1 + (splitmix(&mut rng) % 7) as usize;
+                let end = (i + batch).min(payloads.len());
+                written += write_frames(&mut wire, &payloads[i..end], &mut scratch).unwrap();
+                i = end;
+            }
+            let expected: usize = payloads.iter().map(|p| framed_len(p)).sum();
+            assert_eq!(written, expected, "batched accounting is exact");
+            assert_eq!(wire.len(), expected, "accounting matches the wire");
+
+            // Read back through a buffer smaller than the biggest frame,
+            // fed by reads split at random boundaries.
+            let mut reader = FrameReader::new(
+                SplitReader {
+                    data: wire,
+                    pos: 0,
+                    rng: seed ^ 0xdead_beef,
+                },
+                256,
+                DEFAULT_MAX_FRAME,
+            );
+            for (idx, expected) in payloads.iter().enumerate() {
+                let got = reader
+                    .read_frame()
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("seed {seed}: stream ended before frame {idx}"));
+                assert_eq!(&got, expected, "seed {seed}: frame {idx} round-trips");
+            }
+            assert!(
+                reader.read_frame().unwrap().is_none(),
+                "clean end of stream"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_reader_matches_read_frame_error_semantics() {
+        // Clean close between frames: None.
+        let empty = SplitReader {
+            data: Vec::new(),
+            pos: 0,
+            rng: 1,
+        };
+        let mut r = FrameReader::new(empty, 64, 64);
+        assert!(r.read_frame().unwrap().is_none());
+
+        // Close mid-header: UnexpectedEof.
+        let partial = SplitReader {
+            data: vec![3, 0],
+            pos: 0,
+            rng: 1,
+        };
+        let mut r = FrameReader::new(partial, 64, 64);
+        assert_eq!(
+            r.read_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+
+        // Close mid-payload: UnexpectedEof, both for buffered frames and
+        // for the oversized direct-read path.
+        for frame_len in [32usize, 500] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &vec![7u8; frame_len]).unwrap();
+            wire.truncate(wire.len() - 5);
+            let mut r = FrameReader::new(
+                SplitReader {
+                    data: wire,
+                    pos: 0,
+                    rng: 2,
+                },
+                64,
+                1024,
+            );
+            assert_eq!(
+                r.read_frame().unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof,
+                "truncated {frame_len}-byte frame"
+            );
+        }
+
+        // Oversized length prefix: InvalidData, before any allocation.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let mut r = FrameReader::new(
+            SplitReader {
+                data: wire,
+                pos: 0,
+                rng: 3,
+            },
+            64,
+            64,
+        );
+        assert_eq!(
+            r.read_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

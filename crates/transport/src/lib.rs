@@ -46,10 +46,10 @@ pub mod frame;
 pub mod runtime;
 pub mod tcp;
 
-pub use config::{ClusterSpec, ConfigError, VariantName};
+pub use config::{ClusterSpec, ConfigError, TransportProfile, VariantName};
 pub use frame::{
-    framed_len, read_frame, read_msg, write_frame, write_msg, Handshake, DEFAULT_MAX_FRAME,
-    FRAME_HEADER_BYTES,
+    encode_frame_into, framed_len, read_frame, read_msg, write_frame, write_frames, write_msg,
+    FrameReader, Handshake, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES,
 };
 pub use runtime::NodeRuntime;
 pub use tcp::{TcpTransport, TransportConfig, TransportControl, TransportStats};

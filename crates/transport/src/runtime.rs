@@ -33,6 +33,12 @@ pub struct NodeRuntime<M: SimMessage + Wire> {
     next_timer_id: u64,
     /// Min-heap of `(deadline_ns, timer_id, token)`.
     timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Ids currently sitting in `timers` — the only ids a cancel can
+    /// meaningfully apply to. Cancels for ids not in here (typically a
+    /// timer that already fired: reply arrives, then the handler cancels
+    /// the retransmit timer) are dropped on the floor instead of being
+    /// remembered forever.
+    live: HashSet<u64>,
     cancelled: HashSet<u64>,
     /// Self-sends and other locally-deliverable messages, processed
     /// before touching the socket channel.
@@ -55,6 +61,7 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             metrics: Metrics::new(false),
             next_timer_id: 0,
             timers: BinaryHeap::new(),
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             loopback: VecDeque::new(),
             start: Instant::now(),
@@ -87,6 +94,19 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
     /// Frames that failed to decode as `M` (malformed or hostile peers).
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    /// Timers currently pending in the heap (diagnostics).
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Cancellation markers waiting for their timer to surface. Bounded
+    /// by [`Self::pending_timers`] — cancels for already-fired ids are
+    /// discarded at the door (regression-tested; this set used to grow
+    /// without bound in long-running nodes).
+    pub fn pending_cancels(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Downcasts the node for inspection, as `Simulation::node_as` does.
@@ -135,23 +155,47 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             }
         }
         for (id, at, token) in effects.timers {
+            self.live.insert(id.raw());
             self.timers.push(Reverse((at.as_nanos(), id.raw(), token)));
         }
         for id in effects.cancels {
-            self.cancelled.insert(id.raw());
+            // Only remember cancels that can still suppress a pending
+            // timer; a cancel racing a timer that already fired must not
+            // grow the set unboundedly in a long-running node.
+            if self.live.contains(&id.raw()) {
+                self.cancelled.insert(id.raw());
+            }
         }
     }
 
     /// Fires every timer due at `now`; returns the next pending deadline.
+    ///
+    /// `now` is snapshotted **once**: a handler that re-arms a short
+    /// timer cannot retrigger within the same pass, even when handling
+    /// takes longer than the delay. (Re-reading the clock per iteration
+    /// livelocked here — an unlucky node could spin firing
+    /// perpetually-due timers and never return to `poll`'s deadline
+    /// check or the inbound queue.)
     fn fire_due_timers(&mut self) -> Option<u64> {
+        let now_ns = self.now().as_nanos();
+        let mut fired = 0u64;
         loop {
-            let now_ns = self.now().as_nanos();
             match self.timers.peek() {
                 Some(&Reverse((at, id, token))) if at <= now_ns => {
                     self.timers.pop();
+                    self.live.remove(&id);
                     if self.cancelled.remove(&id) {
                         continue;
                     }
+                    fired += 1;
+                    // Fail-stop guard, as for the loopback drain: a node
+                    // that arms an already-due timer from its own timer
+                    // handler would spin here forever.
+                    assert!(
+                        fired <= 1_000_000,
+                        "timer storm: token={token} heap={}",
+                        self.timers.len(),
+                    );
                     self.dispatch(|node, ctx| node.on_timer(token, ctx));
                 }
                 Some(&Reverse((at, _, _))) => return Some(at),
@@ -160,16 +204,45 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
         }
     }
 
+    fn handle_frame(&mut self, from: NodeId, payload: Vec<u8>) {
+        match M::from_wire_bytes(&payload) {
+            Ok(msg) => self.dispatch(|node, ctx| node.on_message(from, msg, ctx)),
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+
+    /// Cap on frames drained per blocking wakeup, so a firehose of
+    /// inbound traffic cannot starve due timers (and loopback sends) for
+    /// more than one bounded batch.
+    const DRAIN_BATCH: u64 = 1024;
+
     /// Processes events (timers, loopback, inbound frames) for up to
     /// `budget` of wall time, then returns. Call in a loop and inspect
     /// the node between calls — the real-socket analogue of
     /// `Simulation::run_for`. Returns events processed during the call.
+    ///
+    /// Inbound frames are drained in batches: one blocking wait per
+    /// *batch* of ready frames (up to [`Self::DRAIN_BATCH`]), not per
+    /// frame, so under load the channel-wakeup cost amortizes across
+    /// everything that has already arrived.
     pub fn poll(&mut self, budget: Duration) -> u64 {
         self.start();
         let before = self.events;
         let deadline = Instant::now() + budget;
         loop {
+            let mut lb = 0u64;
             while let Some((from, msg)) = self.loopback.pop_front() {
+                lb += 1;
+                // Fail-stop guard: a self-send cycle in the node would
+                // otherwise pin this thread silently at 100% CPU (a
+                // request-forwarding cycle did exactly that once). Real
+                // bursts are bounded by batch sizes — orders of
+                // magnitude below this.
+                assert!(
+                    lb <= 1_000_000,
+                    "loopback storm: node self-send cycle? label={}",
+                    msg.label(),
+                );
                 self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
             }
             let next_timer = self.fire_due_timers();
@@ -187,10 +260,21 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
                 .transport
                 .recv_timeout(wait.max(Duration::from_micros(100)))
             {
-                Some((from, payload)) => match M::from_wire_bytes(&payload) {
-                    Ok(msg) => self.dispatch(|node, ctx| node.on_message(from, msg, ctx)),
-                    Err(_) => self.decode_errors += 1,
-                },
+                Some((from, payload)) => {
+                    self.handle_frame(from, payload);
+                    // Batch-drain whatever else is already queued before
+                    // going back around to timers.
+                    let mut drained = 1;
+                    while drained < Self::DRAIN_BATCH {
+                        match self.transport.try_recv() {
+                            Some((from, payload)) => {
+                                self.handle_frame(from, payload);
+                                drained += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
                 None => {}
             }
         }
@@ -350,6 +434,113 @@ mod tests {
         fn on_message(&mut self, _from: NodeId, msg: Ping, _ctx: &mut Context<'_, Ping>) {
             self.heard = msg.0;
         }
+    }
+
+    /// The common client pattern, distilled: a timer fires, and only
+    /// *then* does the node cancel it (a reply arriving after the
+    /// deadline). Every such cancel used to live in the `cancelled` set
+    /// forever.
+    struct LateCanceller {
+        last: Option<sbft_sim::TimerId>,
+        rounds: u64,
+        target: u64,
+    }
+
+    impl Node<Ping> for LateCanceller {
+        sbft_sim::impl_node_any!();
+
+        fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {}
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            self.last = Some(ctx.set_timer(SimDuration::from_micros(200), 1));
+        }
+
+        fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, Ping>) {
+            // This timer has already fired — cancelling it is a no-op
+            // the runtime must not remember.
+            if let Some(id) = self.last.take() {
+                ctx.cancel_timer(id);
+            }
+            self.rounds += 1;
+            if self.rounds < self.target {
+                self.last = Some(ctx.set_timer(SimDuration::from_micros(200), 1));
+            }
+        }
+    }
+
+    #[test]
+    fn cancels_of_fired_timers_do_not_accumulate() {
+        const ROUNDS: u64 = 100;
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let transport = TcpTransport::with_listener(TransportConfig::new(3, vec![]), l).unwrap();
+        let mut rt = NodeRuntime::new(
+            Box::new(LateCanceller {
+                last: None,
+                rounds: 0,
+                target: ROUNDS,
+            }),
+            transport,
+            0,
+        );
+        let done = rt.run_until(Duration::from_secs(10), Duration::from_millis(5), |rt| {
+            rt.node_as::<LateCanceller>().unwrap().rounds >= ROUNDS
+        });
+        assert!(done, "all timer rounds fired");
+        assert_eq!(
+            rt.pending_cancels(),
+            0,
+            "cancels for already-fired timers must be dropped, not hoarded"
+        );
+        assert!(rt.pending_timers() <= 1);
+    }
+
+    /// A node that cancels its timer *before* it fires: suppression must
+    /// still work, and the marker must drain once the deadline passes.
+    struct EarlyCanceller {
+        suppressed_fired: bool,
+        cancelled_at_start: bool,
+    }
+
+    impl Node<Ping> for EarlyCanceller {
+        sbft_sim::impl_node_any!();
+
+        fn on_message(&mut self, _from: NodeId, _msg: Ping, _ctx: &mut Context<'_, Ping>) {}
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            let id = ctx.set_timer(SimDuration::from_millis(5), 7);
+            ctx.cancel_timer(id);
+            self.cancelled_at_start = true;
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, Ping>) {
+            if token == 7 {
+                self.suppressed_fired = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_before_fire_still_suppresses_and_drains() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let transport = TcpTransport::with_listener(TransportConfig::new(5, vec![]), l).unwrap();
+        let mut rt = NodeRuntime::new(
+            Box::new(EarlyCanceller {
+                suppressed_fired: false,
+                cancelled_at_start: false,
+            }),
+            transport,
+            0,
+        );
+        rt.poll(Duration::from_millis(1));
+        assert!(rt.node_as::<EarlyCanceller>().unwrap().cancelled_at_start);
+        assert_eq!(rt.pending_cancels(), 1, "pending cancel is remembered");
+        rt.poll(Duration::from_millis(20)); // deadline passes
+        assert!(
+            !rt.node_as::<EarlyCanceller>().unwrap().suppressed_fired,
+            "cancelled timer must not fire"
+        );
+        assert_eq!(rt.pending_cancels(), 0, "marker drains with the timer");
+        assert_eq!(rt.pending_timers(), 0);
     }
 
     #[test]

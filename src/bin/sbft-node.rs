@@ -19,12 +19,14 @@ use std::time::{Duration, Instant};
 use sbft::core::{ClientNode, ReplicaNode};
 use sbft::deploy::{client_runtime, replica_runtime, ClientWorkload};
 use sbft::sim::SampleStats;
-use sbft::transport::ClusterSpec;
+use sbft::transport::{ClusterSpec, TransportProfile};
 
 struct Args {
     config: String,
     role: Role,
     workload: ClientWorkload,
+    /// Overrides the config file's `profile` directive when set.
+    profile: Option<TransportProfile>,
 }
 
 enum Role {
@@ -33,13 +35,14 @@ enum Role {
 }
 
 const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
-                     [--requests N] [--ops N] [--value-len N]";
+                     [--profile lan|wan] [--requests N] [--ops N] [--value-len N]";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut config = None;
     let mut role = None;
     let mut workload = ClientWorkload::default();
+    let mut profile = None;
     let mut i = 0;
     while i < argv.len() {
         let arg = argv[i].clone();
@@ -72,6 +75,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --value-len")?
             }
+            "--profile" => {
+                profile = Some(match value("--profile")?.as_str() {
+                    "lan" => TransportProfile::Lan,
+                    "wan" => TransportProfile::Wan,
+                    other => return Err(format!("unknown profile `{other}` (lan | wan)")),
+                })
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -81,15 +91,17 @@ fn parse_args() -> Result<Args, String> {
         config: config.ok_or(USAGE)?,
         role: role.ok_or(USAGE)?,
         workload,
+        profile,
     })
 }
 
 fn run_replica(spec: &ClusterSpec, r: usize) -> Result<(), String> {
     let mut runtime = replica_runtime(spec, r, None).map_err(|e| e.to_string())?;
     eprintln!(
-        "replica {r}/{} listening on {} (view timers armed)",
+        "replica {r}/{} listening on {} ({:?} profile, view timers armed)",
         spec.n(),
-        runtime.transport().local_addr()
+        runtime.transport().local_addr(),
+        spec.profile,
     );
     let mut last_report = Instant::now();
     loop {
@@ -167,13 +179,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec = match ClusterSpec::load(&args.config) {
+    let mut spec = match ClusterSpec::load(&args.config) {
         Ok(spec) => spec,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(profile) = args.profile {
+        spec.profile = profile;
+    }
     let result = match args.role {
         Role::Replica(r) if r < spec.n() => run_replica(&spec, r),
         Role::Client(c) if c < spec.clients.len() => run_client(&spec, c, &args.workload),

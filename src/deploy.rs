@@ -17,12 +17,13 @@ use sbft_core::{
 use sbft_crypto::CryptoCostModel;
 use sbft_sim::SimDuration;
 use sbft_statedb::KvService;
-use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportConfig, VariantName};
+use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
 
-/// Maps a cluster spec onto protocol parameters, with timers tuned for
-/// LAN/loopback (the only place a config file can currently deploy to;
-/// WAN tuning would raise these as `bench::driver::wan_protocol_tuning`
-/// does for the simulator).
+/// Maps a cluster spec onto protocol parameters. The spec's `profile`
+/// picks the timer bundle: `lan` keeps the tight loopback/datacenter
+/// timers, `wan` stretches them to continental round-trip scale (the
+/// same shape `bench::driver::wan_protocol_tuning` applies to the
+/// simulator's Continent topology).
 pub fn protocol_for(spec: &ClusterSpec) -> ProtocolConfig {
     let flags = match spec.variant {
         VariantName::Sbft => VariantFlags::SBFT,
@@ -30,10 +31,27 @@ pub fn protocol_for(spec: &ClusterSpec) -> ProtocolConfig {
         VariantName::FastPath => VariantFlags::FAST_PATH,
     };
     let mut protocol = ProtocolConfig::new(spec.f, spec.c, flags);
-    protocol.fast_path_timeout = SimDuration::from_millis(40);
-    protocol.collector_stagger = SimDuration::from_millis(20);
-    protocol.view_timeout = SimDuration::from_millis(500);
-    protocol.batch_delay = SimDuration::from_millis(2);
+    match spec.profile {
+        TransportProfile::Lan => {
+            protocol.fast_path_timeout = SimDuration::from_millis(40);
+            protocol.collector_stagger = SimDuration::from_millis(20);
+            protocol.view_timeout = SimDuration::from_millis(500);
+            // Loopback RTT is ~0: per-round message overhead dominates,
+            // so group-commit — pool requests briefly and spend one
+            // consensus round on a whole batch instead of a round per
+            // request. The short batch delay caps the pooling wait.
+            protocol.batch_delay = SimDuration::from_micros(400);
+            protocol.max_in_flight = 4;
+            protocol.max_block_requests = 256;
+            protocol.min_batch = 16;
+        }
+        TransportProfile::Wan => {
+            protocol.fast_path_timeout = SimDuration::from_millis(250);
+            protocol.collector_stagger = SimDuration::from_millis(90);
+            protocol.view_timeout = SimDuration::from_secs(10);
+            protocol.batch_delay = SimDuration::from_millis(10);
+        }
+    }
     protocol
 }
 
@@ -67,7 +85,7 @@ fn transport_for(
     node: usize,
     listener: Option<TcpListener>,
 ) -> io::Result<TcpTransport> {
-    let config = TransportConfig::new(node, spec.peers_for(node));
+    let config = spec.transport_config(node);
     match listener {
         Some(listener) => TcpTransport::with_listener(config, listener),
         None => {

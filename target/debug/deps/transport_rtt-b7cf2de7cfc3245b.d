@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_rtt-b7cf2de7cfc3245b.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/debug/deps/transport_rtt-b7cf2de7cfc3245b: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

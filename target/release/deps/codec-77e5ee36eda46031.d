@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-77e5ee36eda46031.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-77e5ee36eda46031: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consensus_round-3393d72d451ea5ea.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/release/deps/consensus_round-3393d72d451ea5ea: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto_ops-6281c3cb76ea3563.d: crates/bench/benches/crypto_ops.rs
+
+/root/repo/target/release/deps/crypto_ops-6281c3cb76ea3563: crates/bench/benches/crypto_ops.rs
+
+crates/bench/benches/crypto_ops.rs:

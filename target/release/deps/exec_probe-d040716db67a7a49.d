@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec_probe-d040716db67a7a49.d: crates/statedb/tests/exec_probe.rs
+
+/root/repo/target/release/deps/exec_probe-d040716db67a7a49: crates/statedb/tests/exec_probe.rs
+
+crates/statedb/tests/exec_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/merkle-a5908bb2b4fb6784.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/release/deps/merkle-a5908bb2b4fb6784: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_rtt-87f1e76a3f1055be.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/release/deps/transport_rtt-87f1e76a3f1055be: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_rtt-8a0a9866f21b866f.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/release/deps/transport_rtt-8a0a9866f21b866f: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_exec-a02e3fb69d5e938f.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/release/deps/vm_exec-a02e3fb69d5e938f: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:
