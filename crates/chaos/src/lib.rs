@@ -1,0 +1,43 @@
+//! # Deterministic chaos harness for the SBFT reproduction
+//!
+//! Jepsen-style fault injection as a library: a [`FaultPlan`] composes
+//! timed fault events — crashes, restarts with empty state, symmetric
+//! and one-way partitions, message delay/drop/duplication, Byzantine
+//! behavior flips, clock skew — and the harness runs the *same plan*
+//! against two backends:
+//!
+//! - [`run_sim`]: the deterministic discrete-event simulator. Every run
+//!   is a pure function of `(plan, seed)`; a failing seed replays
+//!   bit-for-bit and [`shrink()`] reduces the plan to a minimal failing
+//!   schedule.
+//! - [`run_tcp`]: the real `sbft-transport` TCP stack, with every
+//!   connection routed through an in-process [`proxy::ChaosNet`] fault
+//!   proxy that can cut, delay, drop and duplicate frames
+//!   per ordered node pair.
+//!
+//! After the faults heal, every run is judged against the same
+//! cross-cutting invariants ([`report::judge`]): inter-replica
+//! agreement, gap-free commit logs, exactly-once execution, and
+//! client-visible liveness within a bound.
+//!
+//! The [`library`] holds ~15 canonical scenarios; [`swarm`] sweeps N
+//! seeds over all of them (`sbft-chaos --swarm N`) so CI gets
+//! adversarial-schedule coverage in seconds.
+
+pub mod library;
+pub mod plan;
+pub mod proxy;
+pub mod report;
+pub mod shrink;
+pub mod sim_backend;
+pub mod swarm;
+pub mod tcp_backend;
+
+pub use library::{canonical_plans, plan_by_name, random_crashes_plan};
+pub use plan::{timeline, Byz, Fault, FaultEvent, FaultPlan, Ms, Step};
+pub use proxy::{ChaosNet, LinkPolicy};
+pub use report::{judge, Backend, Outcome, RunReport};
+pub use shrink::shrink;
+pub use sim_backend::run_sim;
+pub use swarm::{run_swarm, SwarmConfig};
+pub use tcp_backend::run_tcp;

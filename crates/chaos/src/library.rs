@@ -1,0 +1,393 @@
+//! The canonical plan library: the adversarial schedules every PR runs.
+//!
+//! Each plan is a named, reproducible Jepsen-style scenario distilled
+//! from the paper's fault claims (§II adversary, §V-G dual-mode view
+//! change, §VIII state transfer) and from the failure modes that found
+//! real bugs in this repo (view-change livelocks, retry storms, sever
+//! races). Victim choices are fixed so a failing `(plan, seed)` pair
+//! reproduces exactly; the seed drives jitter, workload content, and
+//! drop/duplication rolls.
+//!
+//! Workloads are effectively unbounded (closed-loop clients that never
+//! run dry), so every fault lands on live traffic on both backends, and
+//! the liveness bar is **fresh progress after the horizon** — the
+//! cluster must demonstrably recover, not merely have been fast before
+//! the trouble started.
+
+use crate::plan::{Byz, Fault, FaultEvent, FaultPlan, Ms};
+
+/// "Never runs dry" on either backend within a run's grace period.
+const UNBOUNDED: usize = 1_000_000;
+
+fn base(name: &'static str, summary: &'static str) -> FaultPlan {
+    FaultPlan {
+        name,
+        summary,
+        f: 1,
+        c: 0,
+        clients: 2,
+        requests_per_client: UNBOUNDED,
+        window: None,
+        checkpoint_period: None,
+        max_in_flight: None,
+        events: Vec::new(),
+        horizon_ms: 2_000,
+        min_progress: 50,
+        expect_counters: Vec::new(),
+        max_final_lag: None,
+        min_fast_ratio: None,
+    }
+}
+
+fn at(at_ms: Ms, fault: Fault) -> FaultEvent {
+    FaultEvent { at_ms, fault }
+}
+
+/// The ~15 canonical scenarios swept by `sbft-chaos --swarm`.
+pub fn canonical_plans() -> Vec<FaultPlan> {
+    let mut plans = Vec::new();
+
+    // 1. The classic: kill the primary while batches are in flight.
+    let mut plan = base(
+        "primary-crash",
+        "primary dies mid-batch; view change must recover liveness",
+    );
+    plan.events = vec![at(200, Fault::Crash { replica: 0 })];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 2. Cascading view changes: view 1's primary dies before the first
+    // view change completes, so the election must escalate past it.
+    let mut plan = base(
+        "cascading-view-changes",
+        "primaries of views 0 and 1 both die; cluster must settle at view ≥ 2",
+    );
+    plan.f = 2; // n = 7: two crashes stay within budget
+    plan.horizon_ms = 3_000;
+    plan.events = vec![
+        at(100, Fault::Crash { replica: 0 }),
+        at(300, Fault::Crash { replica: 1 }),
+    ];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 3. Redundant servers: with c = 1, one crashed backup must not
+    // knock the cluster off the fast path.
+    let mut plan = base(
+        "backup-crash-fast-path",
+        "c=1 absorbs one crashed backup without leaving the fast path",
+    );
+    plan.c = 1; // n = 6
+    plan.events = vec![at(300, Fault::Crash { replica: 5 })];
+    // Dominance, not existence: pre-crash traffic alone would satisfy a
+    // `fast_commits >= 1` floor even if the crash permanently tipped
+    // the cluster onto the slow path.
+    plan.min_fast_ratio = Some(3.0);
+    plans.push(plan);
+
+    // 4. Partition and heal: one backup is cut off, traffic resumes
+    // after the heal, nobody diverges.
+    let mut plan = base(
+        "partition-heal",
+        "backup isolated for 1.5s; liveness returns after the heal",
+    );
+    plan.events = vec![at(
+        200,
+        Fault::Partition {
+            from: vec![3],
+            to: vec![0, 1, 2],
+            until_ms: 1_700,
+            one_way: false,
+        },
+    )];
+    plans.push(plan);
+
+    // 5. Flapping partition: the same backup is cut and healed three
+    // times — reconnect churn must not wedge anything.
+    let mut plan = base(
+        "flapping-partition",
+        "backup link flaps 3×; churn must not wedge liveness or safety",
+    );
+    plan.horizon_ms = 2_500;
+    plan.events = (0..3)
+        .map(|i| {
+            at(
+                200 + i * 700,
+                Fault::Partition {
+                    from: vec![2],
+                    to: vec![0, 1, 3],
+                    until_ms: 600 + i * 700,
+                    one_way: false,
+                },
+            )
+        })
+        .collect();
+    plans.push(plan);
+
+    // 6. One-way isolation of the primary: it hears the cluster but its
+    // proposals vanish — the asymmetric failure that stresses the
+    // view-change trigger (a mute-but-listening primary).
+    let mut plan = base(
+        "one-way-isolation",
+        "primary can hear but not send; backups must depose it",
+    );
+    plan.horizon_ms = 3_000;
+    plan.events = vec![at(
+        200,
+        Fault::Partition {
+            from: vec![0],
+            to: vec![1, 2, 3],
+            until_ms: 2_400,
+            one_way: true,
+        },
+    )];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 7. Lagging replica rejoin: a replica dies, the cluster commits
+    // past its log window, and it reboots **with an empty disk** — it
+    // must catch back up to the live frontier (block fills / state
+    // transfer) while traffic keeps flowing.
+    let mut plan = base(
+        "lagging-replica-rejoin",
+        "replica reboots with empty state behind the frontier and must catch up",
+    );
+    plan.window = Some(32);
+    plan.checkpoint_period = Some(16);
+    plan.horizon_ms = 2_500;
+    plan.events = vec![
+        at(200, Fault::Crash { replica: 3 }),
+        at(1_500, Fault::Restart { replica: 3 }),
+    ];
+    plan.max_final_lag = Some(64);
+    plans.push(plan);
+
+    // 8. Mute primary: Byzantine liveness failure mid-run, no crash
+    // signal — it committed happily, then goes silent.
+    let mut plan = base(
+        "byzantine-mute-primary",
+        "primary goes mute mid-run; timers alone must depose it",
+    );
+    plan.horizon_ms = 2_500;
+    plan.events = vec![at(
+        200,
+        Fault::Behavior {
+            replica: 0,
+            behavior: Byz::MutePrimary,
+        },
+    )];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 9. Stale view-change info from one replica while the primary dies
+    // (§V-G footnote-3 family): bad evidence must not block election.
+    let mut plan = base(
+        "byzantine-stale-viewchange",
+        "replica sends evidence-free view changes while the primary dies",
+    );
+    plan.horizon_ms = 3_000;
+    plan.events = vec![
+        at(
+            0,
+            Fault::Behavior {
+                replica: 2,
+                behavior: Byz::StaleViewChange,
+            },
+        ),
+        at(200, Fault::Crash { replica: 0 }),
+    ];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 10. Equivocating primary: conflicting proposals to two halves.
+    // Safety must hold outright; progress resumes in a later view, so
+    // the liveness bar is modest.
+    let mut plan = base(
+        "equivocating-primary",
+        "primary equivocates; safety holds, progress resumes in a new view",
+    );
+    plan.clients = 4;
+    plan.max_in_flight = Some(1); // multi-request blocks to split
+    plan.min_progress = 10;
+    plan.horizon_ms = 3_000;
+    plan.events = vec![at(
+        100,
+        Fault::Behavior {
+            replica: 0,
+            behavior: Byz::EquivocatingPrimary,
+        },
+    )];
+    plan.expect_counters = vec![("view_changes_completed", 1)];
+    plans.push(plan);
+
+    // 11. Delay storm + loss: laggy links and real message loss at
+    // once; retry and timeout machinery must grind through.
+    let mut plan = base(
+        "delay-storm",
+        "two laggy replicas plus 3% message loss; retries must grind through",
+    );
+    plan.min_progress = 30;
+    plan.horizon_ms = 3_000;
+    plan.events = vec![
+        at(
+            200,
+            Fault::Delay {
+                node: 1,
+                delay_ms: 120,
+                until_ms: 1_500,
+            },
+        ),
+        at(
+            200,
+            Fault::Delay {
+                node: 2,
+                delay_ms: 80,
+                until_ms: 1_500,
+            },
+        ),
+        at(
+            200,
+            Fault::Drop {
+                prob: 0.03,
+                until_ms: 1_500,
+            },
+        ),
+    ];
+    plans.push(plan);
+
+    // 12. Duplicate delivery: at-least-once networks must not become
+    // more-than-once execution.
+    let mut plan = base(
+        "duplicate-frames",
+        "30% of messages delivered twice; execution must stay exactly-once",
+    );
+    plan.events = vec![at(
+        0,
+        Fault::Duplicate {
+            prob: 0.3,
+            until_ms: 1_800,
+        },
+    )];
+    plans.push(plan);
+
+    // 13. Clock skew: one replica lives in the future, one in the past.
+    // Wall-clock readings must not leak into safety or liveness.
+    let mut plan = base(
+        "clock-skew",
+        "replicas skewed ±2s; protocol must not trust wall clocks",
+    );
+    plan.horizon_ms = 1_500;
+    plan.events = vec![
+        at(
+            0,
+            Fault::ClockSkew {
+                node: 1,
+                skew_ms: 2_000,
+            },
+        ),
+        at(
+            0,
+            Fault::ClockSkew {
+                node: 2,
+                skew_ms: -2_000,
+            },
+        ),
+    ];
+    plans.push(plan);
+
+    // 14. (sim-only) Deaf replica: an outage long enough that peer
+    // retransmissions expire — §VIII state transfer must resync it.
+    let mut plan = base(
+        "deaf-replica-state-transfer",
+        "replica loses 1.5s of traffic outright; must resync via state transfer",
+    );
+    plan.window = Some(32);
+    plan.checkpoint_period = Some(16);
+    plan.horizon_ms = 2_000;
+    plan.events = vec![at(
+        0,
+        Fault::Deaf {
+            node: 3,
+            until_ms: 1_500,
+        },
+    )];
+    plan.expect_counters = vec![("state_transfers_completed", 1)];
+    plan.max_final_lag = Some(64);
+    plans.push(plan);
+
+    // 15. (sim-only) Straggler with redundancy: c = 1 keeps the fast
+    // path resident despite a 50× slow replica.
+    let mut plan = base(
+        "straggler-redundancy",
+        "c=1 keeps the fast path resident despite a 50× straggler",
+    );
+    plan.c = 1; // n = 6
+    plan.horizon_ms = 1_500;
+    plan.events = vec![at(
+        0,
+        Fault::SlowCpu {
+            node: 5,
+            factor: 50.0,
+        },
+    )];
+    plan.min_fast_ratio = Some(3.0);
+    plans.push(plan);
+
+    plans
+}
+
+/// Looks a canonical plan up by name.
+pub fn plan_by_name(name: &str) -> Option<FaultPlan> {
+    canonical_plans().into_iter().find(|p| p.name == name)
+}
+
+/// Builds a seed-derived randomized crash schedule: `f` distinct
+/// backups crash at seed-chosen times. Used by the swarm on top of the
+/// canonical library so sweeps also explore schedules nobody wrote.
+pub fn random_crashes_plan(seed: u64) -> FaultPlan {
+    let mut rng = sbft_crypto::SplitMix64::new(seed ^ 0xc4a05);
+    let mut plan = base(
+        "random-crashes",
+        "seed-derived crash schedule of up to f backups",
+    );
+    plan.f = 2; // n = 9 with c = 1
+    plan.c = 1;
+    plan.clients = 3;
+    plan.min_progress = 30;
+    plan.horizon_ms = 3_000;
+    let n = plan.n();
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < plan.f {
+        let victim = 1 + (rng.next_u64() as usize % (n - 1));
+        if !victims.contains(&victim) {
+            victims.push(victim);
+        }
+    }
+    plan.events = victims
+        .into_iter()
+        .enumerate()
+        .map(|(k, victim)| {
+            at(
+                100 + rng.next_u64() % 800 + 200 * k as u64,
+                Fault::Crash { replica: victim },
+            )
+        })
+        .collect();
+    plan.events.sort_by_key(|e| e.at_ms);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_crashes_is_seed_deterministic_and_valid() {
+        let a = random_crashes_plan(7);
+        let b = random_crashes_plan(7);
+        assert_eq!(a.events, b.events);
+        a.validate();
+        let c = random_crashes_plan(8);
+        assert_ne!(a.events, c.events, "different seed, different schedule");
+    }
+}

@@ -1,0 +1,631 @@
+//! The fault-plan DSL: a scenario is a list of timed fault events plus
+//! the cluster shape, workload, and the bar the run must clear.
+//!
+//! One [`FaultPlan`] runs unchanged on both backends — the deterministic
+//! discrete-event simulator (`sbft_sim`) and the real TCP stack
+//! (`sbft_transport` behind the in-process fault proxy). Event times are
+//! **plan-relative milliseconds**: simulated milliseconds on the sim
+//! backend, wall-clock milliseconds on TCP. Plans are therefore written
+//! on the LAN timer scale (view timeout 500 ms) so the same schedule
+//! provokes the same protocol reactions on both.
+
+/// Plan-relative milliseconds.
+pub type Ms = u64;
+
+/// Byzantine behavior a fault event can flip a replica into — the
+/// replica implementation's own enum (`sbft_core::Behavior`), aliased
+/// so plans read as chaos vocabulary and new behaviors are available to
+/// the DSL the moment the replica grows them.
+pub use sbft_core::Behavior as Byz;
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Kill a replica (fail-stop). On TCP the node thread stops and its
+    /// sockets close; on the simulator the node processes nothing more.
+    Crash {
+        /// Victim replica.
+        replica: usize,
+    },
+    /// Boot a (typically crashed) replica **with empty state** — wiped
+    /// log, wiped service, view 0. It must rejoin through the protocol.
+    Restart {
+        /// Replica to reboot.
+        replica: usize,
+    },
+    /// Cut links between two groups until `until_ms`. `one_way` blocks
+    /// only `from → to`; otherwise both directions.
+    Partition {
+        /// One side.
+        from: Vec<usize>,
+        /// Other side.
+        to: Vec<usize>,
+        /// Heal time (plan-relative).
+        until_ms: Ms,
+        /// Asymmetric cut.
+        one_way: bool,
+    },
+    /// Add one-way latency to all links touching `node` until `until_ms`.
+    Delay {
+        /// Affected node.
+        node: usize,
+        /// Extra one-way delay in milliseconds.
+        delay_ms: u64,
+        /// When the link recovers.
+        until_ms: Ms,
+    },
+    /// Drop each in-flight message with probability `prob` until
+    /// `until_ms` (sim: per transmission attempt with bounded retries;
+    /// TCP: per frame at the fault proxy — real loss, client retries
+    /// own the recovery).
+    Drop {
+        /// Per-message drop probability.
+        prob: f64,
+        /// When lossiness ends.
+        until_ms: Ms,
+    },
+    /// Deliver each message twice with probability `prob` until
+    /// `until_ms` — probes at-most-once execution.
+    Duplicate {
+        /// Per-message duplication probability.
+        prob: f64,
+        /// When duplication ends.
+        until_ms: Ms,
+    },
+    /// Flip a replica's behavior (Byzantine fault injection).
+    Behavior {
+        /// Affected replica.
+        replica: usize,
+        /// New behavior.
+        behavior: Byz,
+    },
+    /// Skew the clock `node` observes (positive = node runs fast).
+    ClockSkew {
+        /// Affected node.
+        node: usize,
+        /// Skew in milliseconds.
+        skew_ms: i64,
+    },
+    /// Multiply a node's CPU cost (straggler). **Sim-only.**
+    SlowCpu {
+        /// Affected node.
+        node: usize,
+        /// CPU multiplier (≥ 1).
+        factor: f64,
+    },
+    /// Node loses all inbound traffic until `until_ms`, with *no replay
+    /// at heal* — retransmissions expire, forcing state transfer.
+    /// **Sim-only** (TCP never loses silently; use `Partition`).
+    Deaf {
+        /// Affected node.
+        node: usize,
+        /// When hearing returns.
+        until_ms: Ms,
+    },
+}
+
+impl Fault {
+    /// Whether the real-TCP backend can inject this fault.
+    pub fn tcp_supported(&self) -> bool {
+        !matches!(self, Fault::SlowCpu { .. } | Fault::Deaf { .. })
+    }
+}
+
+/// A fault scheduled at a plan-relative time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at_ms: Ms,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A complete chaos scenario: cluster shape, workload, fault schedule,
+/// and the invariant bar.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Plan name (`sbft-chaos --plan <name>`).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Fault threshold `f` (n = 3f + 2c + 1).
+    pub f: usize,
+    /// Redundant-server parameter `c`.
+    pub c: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues. Canonical plans make this
+    /// effectively unbounded so traffic always spans the fault horizon
+    /// on both backends (a fault that lands on an idle cluster tests
+    /// nothing) — the run ends on `min_progress`, not on workload
+    /// exhaustion.
+    pub requests_per_client: usize,
+    /// Log window override (None = protocol default).
+    pub window: Option<u64>,
+    /// Checkpoint period override.
+    pub checkpoint_period: Option<u64>,
+    /// Primary pipelining override (equivocation plans force 1 so the
+    /// primary has multi-request blocks to split).
+    pub max_in_flight: Option<usize>,
+    /// The fault schedule.
+    pub events: Vec<FaultEvent>,
+    /// All faults fire before this; liveness is then given a grace
+    /// period (the run's time cap) to clear the bar.
+    pub horizon_ms: Ms,
+    /// Client-visible liveness bar: at least this many requests must
+    /// complete **after the horizon** (i.e. after every fault has fired
+    /// and every timed fault healed) within the liveness grace period.
+    /// Progress made while faults were still active does not count —
+    /// the invariant is "the cluster *recovers*", not "it was fast
+    /// before the trouble started".
+    pub min_progress: u64,
+    /// Counters that must reach at least the given value by the end
+    /// (e.g. `("view_changes_completed", 1)`).
+    pub expect_counters: Vec<(&'static str, u64)>,
+    /// If set, every replica alive at the end must be within this many
+    /// sequence numbers of the frontier (rejoin/catch-up plans).
+    pub max_final_lag: Option<u64>,
+    /// If set, the fast path must *dominate* over the whole run:
+    /// `fast_commits > ratio × slow_commits`. Stronger than an
+    /// `expect_counters` floor — with the unbounded workload, a cluster
+    /// knocked onto the slow path after the fault accumulates slow
+    /// commits for the rest of the run and fails the ratio, even though
+    /// pre-fault traffic left some fast commits behind.
+    pub min_fast_ratio: Option<f64>,
+}
+
+impl FaultPlan {
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        3 * self.f + 2 * self.c + 1
+    }
+
+    /// Total workload size.
+    pub fn total_requests(&self) -> u64 {
+        (self.clients * self.requests_per_client) as u64
+    }
+
+    /// Whether every event is injectable on the real-TCP backend.
+    pub fn tcp_supported(&self) -> bool {
+        self.events.iter().all(|e| e.fault.tcp_supported())
+    }
+
+    /// Sanity-checks victim indices against the cluster shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node or a nonsensical schedule — plans
+    /// are code, and a bad plan is a bug at its construction site.
+    pub fn validate(&self) {
+        let n = self.n();
+        let total = n + self.clients;
+        let node_ok = |id: usize| assert!(id < total, "plan {}: node {id} out of range", self.name);
+        let replica_ok =
+            |id: usize| assert!(id < n, "plan {}: replica {id} out of range", self.name);
+        let window_ok = |at: Ms, until: Ms| {
+            assert!(
+                until > at,
+                "plan {}: fault window heals at {until}ms, before it starts at {at}ms",
+                self.name
+            );
+            assert!(
+                until <= self.horizon_ms,
+                "plan {}: fault window open until {until}ms, past horizon {}ms — \
+                 post-horizon liveness would be judged with the fault still active",
+                self.name,
+                self.horizon_ms
+            );
+        };
+        // Windowed faults share state per "channel" (Drop/Duplicate are
+        // global, Delay/Deaf per node, partitions per directed link),
+        // and a window's clear step resets that whole channel — so two
+        // overlapping windows on one channel would silently cancel each
+        // other partway through. Reject overlap outright.
+        let mut windows: Vec<(String, Ms, Ms)> = Vec::new();
+        let mut claim = |channel: String, at: Ms, until: Ms| {
+            for (other, from, to) in &windows {
+                if *other == channel && at < *to && *from < until {
+                    panic!(
+                        "plan {}: overlapping {channel} windows [{from},{to})ms and \
+                         [{at},{until})ms would cancel each other's clears",
+                        self.name
+                    );
+                }
+            }
+            windows.push((channel, at, until));
+        };
+        let mut crashed: Vec<(usize, Ms)> = Vec::new();
+        let mut events: Vec<&FaultEvent> = self.events.iter().collect();
+        events.sort_by_key(|e| e.at_ms);
+        for event in events {
+            assert!(
+                event.at_ms <= self.horizon_ms,
+                "plan {}: event at {}ms past horizon {}ms",
+                self.name,
+                event.at_ms,
+                self.horizon_ms
+            );
+            match &event.fault {
+                Fault::Crash { replica } => {
+                    replica_ok(*replica);
+                    crashed.push((*replica, event.at_ms));
+                }
+                Fault::Restart { replica } => {
+                    replica_ok(*replica);
+                    // Restart-of-a-live-replica would mean different
+                    // things per backend (the sim can hard-reboot, TCP
+                    // cannot atomically); plans must crash strictly
+                    // earlier — same-instant crash+restart is ambiguous.
+                    let pos = crashed
+                        .iter()
+                        .position(|(r, at)| r == replica && *at < event.at_ms);
+                    assert!(
+                        pos.is_some(),
+                        "plan {}: restart of replica {replica} without a strictly earlier crash",
+                        self.name
+                    );
+                    crashed.remove(pos.expect("checked above"));
+                }
+                Fault::Partition {
+                    from,
+                    to,
+                    until_ms,
+                    one_way,
+                } => {
+                    from.iter().chain(to).for_each(|id| node_ok(*id));
+                    window_ok(event.at_ms, *until_ms);
+                    for a in from {
+                        for b in to {
+                            claim(format!("link {a}→{b}"), event.at_ms, *until_ms);
+                            if !one_way {
+                                claim(format!("link {b}→{a}"), event.at_ms, *until_ms);
+                            }
+                        }
+                    }
+                }
+                Fault::Delay { node, until_ms, .. } => {
+                    node_ok(*node);
+                    window_ok(event.at_ms, *until_ms);
+                    claim(format!("delay node {node}"), event.at_ms, *until_ms);
+                }
+                Fault::Deaf { node, until_ms } => {
+                    node_ok(*node);
+                    window_ok(event.at_ms, *until_ms);
+                    claim(format!("deaf node {node}"), event.at_ms, *until_ms);
+                }
+                Fault::ClockSkew { node, .. } | Fault::SlowCpu { node, .. } => node_ok(*node),
+                Fault::Behavior { replica, .. } => replica_ok(*replica),
+                Fault::Drop { prob, until_ms } => {
+                    assert!((0.0..=1.0).contains(prob), "plan {}: bad prob", self.name);
+                    window_ok(event.at_ms, *until_ms);
+                    claim("drop".to_string(), event.at_ms, *until_ms);
+                }
+                Fault::Duplicate { prob, until_ms } => {
+                    assert!((0.0..=1.0).contains(prob), "plan {}: bad prob", self.name);
+                    window_ok(event.at_ms, *until_ms);
+                    claim("duplicate".to_string(), event.at_ms, *until_ms);
+                }
+            }
+        }
+    }
+
+    /// The workload every chaos run issues — shared by both backends so
+    /// they cannot drift apart.
+    pub fn workload(&self) -> sbft_core::Workload {
+        sbft_core::Workload::KvPut {
+            requests: self.requests_per_client,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        }
+    }
+}
+
+/// A backend-neutral "apply this now" step: [`timeline`] expands the
+/// `until_ms` windows of [`Fault`] events into explicit start/clear
+/// pairs, so both backends just walk a sorted list of instants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// See [`Fault::Crash`].
+    Crash(usize),
+    /// See [`Fault::Restart`].
+    Restart(usize),
+    /// Cut the links (the simulator encodes the heal time up front;
+    /// TCP heals on the matching [`Step::PartitionHeal`]).
+    PartitionStart {
+        /// One side.
+        from: Vec<usize>,
+        /// Other side.
+        to: Vec<usize>,
+        /// Heal time, for backends that encode windows at insertion.
+        until_ms: Ms,
+        /// Asymmetric cut.
+        one_way: bool,
+    },
+    /// Restore the links (TCP backend; the simulator ignores it).
+    PartitionHeal {
+        /// One side.
+        from: Vec<usize>,
+        /// Other side.
+        to: Vec<usize>,
+        /// Asymmetric cut being healed.
+        one_way: bool,
+    },
+    /// Add latency around a node.
+    DelayStart {
+        /// Affected node.
+        node: usize,
+        /// Extra one-way delay (ms).
+        delay_ms: u64,
+    },
+    /// Remove the added latency.
+    DelayClear {
+        /// Affected node.
+        node: usize,
+    },
+    /// Start dropping messages.
+    DropStart {
+        /// Drop probability.
+        prob: f64,
+    },
+    /// Stop dropping.
+    DropClear,
+    /// Start duplicating messages.
+    DuplicateStart {
+        /// Duplication probability.
+        prob: f64,
+    },
+    /// Stop duplicating.
+    DuplicateClear,
+    /// Flip behavior.
+    Behavior {
+        /// Affected replica.
+        replica: usize,
+        /// New behavior.
+        behavior: Byz,
+    },
+    /// Skew a clock.
+    ClockSkew {
+        /// Affected node.
+        node: usize,
+        /// Skew (ms).
+        skew_ms: i64,
+    },
+    /// Straggle a node's CPU (sim-only).
+    SlowCpu {
+        /// Affected node.
+        node: usize,
+        /// Multiplier.
+        factor: f64,
+    },
+    /// Deafen a node (sim-only).
+    Deaf {
+        /// Affected node.
+        node: usize,
+        /// Heal time.
+        until_ms: Ms,
+    },
+}
+
+/// Expands a plan into a time-sorted list of apply steps. At the same
+/// instant, clears/heals apply **before** starts, so back-to-back
+/// windows on one channel (`[a, t)` then `[t, b)`) hand over cleanly
+/// instead of the old window's clear cancelling the new one.
+pub fn timeline(plan: &FaultPlan) -> Vec<(Ms, Step)> {
+    let mut steps: Vec<(Ms, Step)> = Vec::new();
+    for event in &plan.events {
+        let at = event.at_ms;
+        match event.fault.clone() {
+            Fault::Crash { replica } => steps.push((at, Step::Crash(replica))),
+            Fault::Restart { replica } => steps.push((at, Step::Restart(replica))),
+            Fault::Partition {
+                from,
+                to,
+                until_ms,
+                one_way,
+            } => {
+                steps.push((
+                    at,
+                    Step::PartitionStart {
+                        from: from.clone(),
+                        to: to.clone(),
+                        until_ms,
+                        one_way,
+                    },
+                ));
+                steps.push((until_ms, Step::PartitionHeal { from, to, one_way }));
+            }
+            Fault::Delay {
+                node,
+                delay_ms,
+                until_ms,
+            } => {
+                steps.push((at, Step::DelayStart { node, delay_ms }));
+                steps.push((until_ms, Step::DelayClear { node }));
+            }
+            Fault::Drop { prob, until_ms } => {
+                steps.push((at, Step::DropStart { prob }));
+                steps.push((until_ms, Step::DropClear));
+            }
+            Fault::Duplicate { prob, until_ms } => {
+                steps.push((at, Step::DuplicateStart { prob }));
+                steps.push((until_ms, Step::DuplicateClear));
+            }
+            Fault::Behavior { replica, behavior } => {
+                steps.push((at, Step::Behavior { replica, behavior }))
+            }
+            Fault::ClockSkew { node, skew_ms } => {
+                steps.push((at, Step::ClockSkew { node, skew_ms }))
+            }
+            Fault::SlowCpu { node, factor } => steps.push((at, Step::SlowCpu { node, factor })),
+            Fault::Deaf { node, until_ms } => steps.push((at, Step::Deaf { node, until_ms })),
+        }
+    }
+    let is_clear = |step: &Step| {
+        matches!(
+            step,
+            Step::PartitionHeal { .. }
+                | Step::DelayClear { .. }
+                | Step::DropClear
+                | Step::DuplicateClear
+        )
+    };
+    steps.sort_by_key(|(at, step)| (*at, !is_clear(step)));
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::canonical_plans;
+
+    #[test]
+    fn canonical_plans_validate_and_have_unique_names() {
+        let plans = canonical_plans();
+        assert!(plans.len() >= 10, "need ~10 canonical plans");
+        let mut names = std::collections::HashSet::new();
+        for plan in &plans {
+            plan.validate();
+            assert!(names.insert(plan.name), "duplicate plan {}", plan.name);
+            assert!(plan.min_progress > 0, "{} needs a liveness bar", plan.name);
+        }
+        // Cross-backend coverage: most plans must run on TCP too.
+        let tcp = plans.iter().filter(|p| p.tcp_supported()).count();
+        assert!(tcp >= 8, "only {tcp} plans TCP-supported");
+    }
+
+    fn minimal_plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            name: "t",
+            summary: "",
+            f: 1,
+            c: 0,
+            clients: 1,
+            requests_per_client: 1,
+            window: None,
+            checkpoint_period: None,
+            max_in_flight: None,
+            events,
+            horizon_ms: 1000,
+            min_progress: 1,
+            expect_counters: vec![],
+            max_final_lag: None,
+            min_fast_ratio: None,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a strictly earlier crash")]
+    fn restart_without_crash_is_rejected() {
+        minimal_plan(vec![FaultEvent {
+            at_ms: 100,
+            fault: Fault::Restart { replica: 1 },
+        }])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_windows_on_one_channel_are_rejected() {
+        minimal_plan(vec![
+            FaultEvent {
+                at_ms: 0,
+                fault: Fault::Drop {
+                    prob: 0.1,
+                    until_ms: 500,
+                },
+            },
+            FaultEvent {
+                at_ms: 200,
+                fault: Fault::Drop {
+                    prob: 0.2,
+                    until_ms: 400,
+                },
+            },
+        ])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "past horizon")]
+    fn window_open_past_horizon_is_rejected() {
+        minimal_plan(vec![FaultEvent {
+            at_ms: 0,
+            fault: Fault::Partition {
+                from: vec![0],
+                to: vec![1],
+                until_ms: 5000,
+                one_way: false,
+            },
+        }])
+        .validate();
+    }
+
+    #[test]
+    fn same_instant_clears_apply_before_starts() {
+        // Back-to-back windows on one channel: the first window's clear
+        // must not cancel the second window that starts at that instant.
+        let plan = minimal_plan(vec![
+            FaultEvent {
+                at_ms: 0,
+                fault: Fault::Drop {
+                    prob: 0.1,
+                    until_ms: 300,
+                },
+            },
+            FaultEvent {
+                at_ms: 300,
+                fault: Fault::Drop {
+                    prob: 0.2,
+                    until_ms: 600,
+                },
+            },
+        ]);
+        plan.validate();
+        let steps = timeline(&plan);
+        assert!(matches!(steps[1].1, Step::DropClear), "{:?}", steps);
+        assert!(
+            matches!(steps[2].1, Step::DropStart { .. }),
+            "clear hands over to the next start: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn timeline_expands_windows_and_sorts() {
+        let plan = FaultPlan {
+            name: "t",
+            summary: "",
+            f: 1,
+            c: 0,
+            clients: 1,
+            requests_per_client: 1,
+            window: None,
+            checkpoint_period: None,
+            max_in_flight: None,
+            events: vec![
+                FaultEvent {
+                    at_ms: 500,
+                    fault: Fault::Crash { replica: 1 },
+                },
+                FaultEvent {
+                    at_ms: 100,
+                    fault: Fault::Partition {
+                        from: vec![0],
+                        to: vec![1],
+                        until_ms: 300,
+                        one_way: false,
+                    },
+                },
+            ],
+            horizon_ms: 1000,
+            min_progress: 1,
+            expect_counters: vec![],
+            max_final_lag: None,
+            min_fast_ratio: None,
+        };
+        let steps = timeline(&plan);
+        let times: Vec<Ms> = steps.iter().map(|(at, _)| *at).collect();
+        assert_eq!(times, vec![100, 300, 500]);
+        assert!(matches!(steps[1].1, Step::PartitionHeal { .. }));
+    }
+}

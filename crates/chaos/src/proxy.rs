@@ -1,0 +1,439 @@
+//! The in-process TCP fault proxy: every connection of a chaos cluster
+//! is routed through [`ChaosNet`], which forwards frames between real
+//! `sbft-transport` endpoints while injecting link faults.
+//!
+//! Topology trick: the transport's connection model is one *directed*
+//! socket per ordered node pair, self-identified by the first frame (the
+//! [`Handshake`]). So the proxy needs only **one listener per
+//! destination node**: every dialer of node `d` connects to
+//! `proxy_addr(d)`, the proxy reads the handshake to learn the source
+//! `s`, and from then on applies the `(s, d)` link policy to every
+//! forwarded frame — cut (connection killed, dialer reconnects into the
+//! wall), fixed delay, probabilistic drop and
+//! duplication. Frames, not bytes, are the fault unit, which is what
+//! lets "drop" lose exactly one protocol message the way a lossy
+//! datagram network would, while TCP below keeps each hop reliable.
+//!
+//! Faults are applied by the run driver at plan times via the atomics in
+//! [`LinkPolicy`]; killing live connections on a freshly-cut link is
+//! immediate (a kill registry mirrors `TransportControl::sever`).
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sbft_crypto::SplitMix64;
+use sbft_transport::{write_msg, FrameReader, Handshake, DEFAULT_MAX_FRAME};
+
+/// Fault state of one directed link, mutated by the run driver and read
+/// by the forwarding threads.
+#[derive(Default)]
+pub struct LinkPolicy {
+    /// Link is cut: live connections die, new ones are refused.
+    blocked: AtomicBool,
+    /// Added per-frame delay, microseconds (head-of-line, FIFO kept).
+    delay_us: AtomicU64,
+    /// Per-frame drop probability in 1/1000.
+    drop_per_mille: AtomicU64,
+    /// Per-frame duplication probability in 1/1000.
+    dup_per_mille: AtomicU64,
+}
+
+impl LinkPolicy {
+    fn is_blocked(&self) -> bool {
+        self.blocked.load(Ordering::Acquire)
+    }
+}
+
+struct Registered {
+    src: usize,
+    dst: usize,
+    inbound: TcpStream,
+    outbound: TcpStream,
+}
+
+struct NetShared {
+    shutdown: AtomicBool,
+    /// `policies[src][dst]`.
+    policies: Vec<Vec<Arc<LinkPolicy>>>,
+    /// Real listen address of each node (restarts rebind and update it).
+    forward: Vec<Mutex<Option<String>>>,
+    /// Live proxied connections, for immediate kills on link cut.
+    conns: Mutex<HashMap<u64, Registered>>,
+    next_conn: AtomicU64,
+    seed: u64,
+}
+
+impl NetShared {
+    fn kill_matching(&self, pred: impl Fn(usize, usize) -> bool) {
+        let conns = self.conns.lock().expect("conns lock");
+        for conn in conns.values() {
+            if pred(conn.src, conn.dst) {
+                let _ = conn.inbound.shutdown(Shutdown::Both);
+                let _ = conn.outbound.shutdown(Shutdown::Both);
+            }
+        }
+        // Entries are removed by their owning threads on exit.
+    }
+}
+
+/// The fault proxy for one chaos cluster of `total` nodes.
+pub struct ChaosNet {
+    total: usize,
+    shared: Arc<NetShared>,
+    proxy_addrs: Vec<SocketAddr>,
+}
+
+impl ChaosNet {
+    /// Binds one proxy listener per node (OS-picked loopback ports) and
+    /// starts the accept threads. `seed` drives the drop/duplication
+    /// rolls (per-connection streams, so runs are repeatable up to OS
+    /// scheduling).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a listener cannot be bound.
+    pub fn new(total: usize, seed: u64) -> io::Result<ChaosNet> {
+        let shared = Arc::new(NetShared {
+            shutdown: AtomicBool::new(false),
+            policies: (0..total)
+                .map(|_| {
+                    (0..total)
+                        .map(|_| Arc::new(LinkPolicy::default()))
+                        .collect()
+                })
+                .collect(),
+            forward: (0..total).map(|_| Mutex::new(None)).collect(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            seed,
+        });
+        let mut proxy_addrs = Vec::with_capacity(total);
+        for dst in 0..total {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            listener.set_nonblocking(true)?;
+            proxy_addrs.push(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("chaos-proxy-{dst}"))
+                .spawn(move || accept_loop(listener, dst, shared))
+                .expect("spawn proxy accept thread");
+        }
+        Ok(ChaosNet {
+            total,
+            shared,
+            proxy_addrs,
+        })
+    }
+
+    /// Number of nodes this proxy serves.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The address peers should dial to reach `dst`.
+    pub fn proxy_addr(&self, dst: usize) -> String {
+        self.proxy_addrs[dst].to_string()
+    }
+
+    /// Publishes (or updates, after a restart) `dst`'s real listen
+    /// address.
+    pub fn set_forward(&self, dst: usize, addr: String) {
+        *self.shared.forward[dst].lock().expect("forward lock") = Some(addr);
+    }
+
+    /// Withdraws `dst`'s forward address (crash): new connections to it
+    /// die at the proxy until a restart republishes one.
+    pub fn clear_forward(&self, dst: usize) {
+        *self.shared.forward[dst].lock().expect("forward lock") = None;
+    }
+
+    /// Cuts the directed link `src → dst`: live proxied connections are
+    /// killed now, new ones die at the proxy until [`Self::heal`].
+    pub fn block(&self, src: usize, dst: usize) {
+        self.shared.policies[src][dst]
+            .blocked
+            .store(true, Ordering::Release);
+        self.shared.kill_matching(|s, d| s == src && d == dst);
+    }
+
+    /// Restores the directed link `src → dst`.
+    pub fn heal(&self, src: usize, dst: usize) {
+        self.shared.policies[src][dst]
+            .blocked
+            .store(false, Ordering::Release);
+    }
+
+    /// Sets the per-frame forwarding delay on `src → dst`.
+    pub fn set_delay(&self, src: usize, dst: usize, delay: Duration) {
+        self.shared.policies[src][dst]
+            .delay_us
+            .store(delay.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Sets the drop probability on every link (0.0 clears).
+    pub fn set_drop_all(&self, prob: f64) {
+        let per_mille = (prob.clamp(0.0, 1.0) * 1000.0) as u64;
+        for row in &self.shared.policies {
+            for policy in row {
+                policy.drop_per_mille.store(per_mille, Ordering::Release);
+            }
+        }
+    }
+
+    /// Sets the duplication probability on every link (0.0 clears).
+    pub fn set_duplicate_all(&self, prob: f64) {
+        let per_mille = (prob.clamp(0.0, 1.0) * 1000.0) as u64;
+        for row in &self.shared.policies {
+            for policy in row {
+                policy.dup_per_mille.store(per_mille, Ordering::Release);
+            }
+        }
+    }
+
+    /// Stops the proxy: all threads exit, all proxied connections die.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.kill_matching(|_, _| true);
+    }
+}
+
+impl Drop for ChaosNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, dst: usize, shared: Arc<NetShared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("chaos-pipe-{dst}"))
+                    .spawn(move || pipe(conn, dst, shared))
+                    .expect("spawn proxy pipe thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Forwards one proxied connection `src → dst`, applying the link
+/// policy per frame. The handshake frame is never dropped or duplicated
+/// (losing it would wedge the connection rather than lose a message,
+/// which is a different fault than the plan asked for).
+fn pipe(inbound: TcpStream, dst: usize, shared: Arc<NetShared>) {
+    let _ = inbound.set_nodelay(true);
+    let _ = inbound.set_read_timeout(Some(Duration::from_secs(5)));
+    let inbound_clone = match inbound.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(inbound, 64 * 1024, DEFAULT_MAX_FRAME);
+    let Ok(handshake) = reader.read_msg::<Handshake>() else {
+        return;
+    };
+    let src = handshake.node_id as usize;
+    if src >= shared.policies.len() {
+        return;
+    }
+    let policy = Arc::clone(&shared.policies[src][dst]);
+    if policy.is_blocked() {
+        return; // dialer sees the close and reconnects with backoff
+    }
+    let _ = inbound_clone.set_read_timeout(None);
+
+    let forward = shared.forward[dst].lock().expect("forward lock").clone();
+    let Some(addr) = forward else {
+        return; // dst is down (crashed); nothing to forward to
+    };
+    let Ok(resolved) = addr.parse() else {
+        return;
+    };
+    let Ok(mut outbound) = TcpStream::connect_timeout(&resolved, Duration::from_secs(2)) else {
+        return;
+    };
+    let _ = outbound.set_nodelay(true);
+    if write_msg(&mut outbound, &handshake).is_err() {
+        return;
+    }
+
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let registered = Registered {
+        src,
+        dst,
+        inbound: inbound_clone,
+        outbound: match outbound.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        },
+    };
+    shared
+        .conns
+        .lock()
+        .expect("conns lock")
+        .insert(conn_id, registered);
+
+    // Delay is *pipelined*: the reader stamps each surviving frame with
+    // a delivery instant (read time + link delay) and a writer thread
+    // sleeps until each is due — added latency, full throughput, FIFO
+    // preserved. Sleeping inline in the reader would turn a latency
+    // fault into a bandwidth throttle, which the simulator's additive
+    // per-node delay does not model.
+    let (frame_tx, frame_rx) = mpsc::sync_channel::<(Instant, Vec<u8>)>(8192);
+    let writer_outbound = match outbound.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let writer = thread::Builder::new()
+        .name(format!("chaos-pipe-writer-{src}-{dst}"))
+        .spawn(move || {
+            let mut outbound = outbound;
+            while let Ok((due, payload)) = frame_rx.recv() {
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                if sbft_transport::write_frame(&mut outbound, &payload).is_err() {
+                    let _ = outbound.shutdown(Shutdown::Both);
+                    break;
+                }
+            }
+        })
+        .expect("spawn proxy writer thread");
+
+    let mut rng = SplitMix64::new(
+        shared.seed ^ (src as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((dst as u64) << 32),
+    );
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) || policy.is_blocked() {
+            break;
+        }
+        match reader.read_frame() {
+            Ok(Some(payload)) => {
+                let due =
+                    Instant::now() + Duration::from_micros(policy.delay_us.load(Ordering::Acquire));
+                // Independent rolls, both always drawn, so RNG
+                // consumption per frame is policy-independent.
+                let drop_roll = rng.next_u64() % 1000;
+                let dup_roll = rng.next_u64() % 1000;
+                if drop_roll < policy.drop_per_mille.load(Ordering::Acquire) {
+                    continue; // the frame is gone; client retries own recovery
+                }
+                let duplicate = dup_roll < policy.dup_per_mille.load(Ordering::Acquire);
+                if frame_tx.send((due, payload.clone())).is_err() {
+                    break; // writer died (write error); connection is done
+                }
+                if duplicate && frame_tx.send((due, payload)).is_err() {
+                    break;
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    drop(frame_tx); // writer drains in-flight frames, then exits
+    let _ = writer.join();
+    if let Ok(mut conns) = shared.conns.lock() {
+        if let Some(conn) = conns.remove(&conn_id) {
+            let _ = conn.inbound.shutdown(Shutdown::Both);
+            let _ = conn.outbound.shutdown(Shutdown::Both);
+        }
+    }
+    let _ = writer_outbound.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_transport::{TcpTransport, TransportConfig};
+
+    /// Two transports talking only through the proxy.
+    fn proxied_pair() -> (ChaosNet, TcpTransport, TcpTransport) {
+        let net = ChaosNet::new(2, 7).unwrap();
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        net.set_forward(0, l0.local_addr().unwrap().to_string());
+        net.set_forward(1, l1.local_addr().unwrap().to_string());
+        let t0 =
+            TcpTransport::with_listener(TransportConfig::new(0, vec![(1, net.proxy_addr(1))]), l0)
+                .unwrap();
+        let t1 =
+            TcpTransport::with_listener(TransportConfig::new(1, vec![(0, net.proxy_addr(0))]), l1)
+                .unwrap();
+        (net, t0, t1)
+    }
+
+    #[test]
+    fn forwards_frames_with_correct_attribution() {
+        let (_net, t0, t1) = proxied_pair();
+        t0.send(1, b"through the wall".to_vec());
+        let (from, payload) = t1.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(from, 0);
+        assert_eq!(payload, b"through the wall");
+    }
+
+    #[test]
+    fn block_cuts_and_heal_restores() {
+        let (net, t0, t1) = proxied_pair();
+        t0.send(1, b"before".to_vec());
+        assert!(t1.recv_timeout(Duration::from_secs(5)).is_some());
+
+        net.block(0, 1);
+        // The live connection died; everything sent while blocked is lost
+        // (backlogged frames die with the connection, later sends drop or
+        // queue into a socket that cannot reach the peer).
+        t0.send(1, b"into the void".to_vec());
+        assert!(
+            t1.recv_timeout(Duration::from_millis(400)).is_none(),
+            "nothing crosses a cut link"
+        );
+
+        net.heal(0, 1);
+        // Reconnect with backoff, then delivery resumes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline {
+            t0.send(1, b"after".to_vec());
+            if let Some((_, payload)) = t1.recv_timeout(Duration::from_millis(200)) {
+                if payload == b"after" {
+                    delivered = true;
+                    break;
+                }
+            }
+        }
+        assert!(delivered, "liveness must resume after heal");
+    }
+
+    #[test]
+    fn drop_all_loses_frames_duplicate_all_repeats_them() {
+        let (net, t0, t1) = proxied_pair();
+        // Warm the connection so the handshake is past.
+        t0.send(1, b"warm".to_vec());
+        assert!(t1.recv_timeout(Duration::from_secs(5)).is_some());
+
+        net.set_drop_all(1.0);
+        t0.send(1, b"lost".to_vec());
+        assert!(
+            t1.recv_timeout(Duration::from_millis(300)).is_none(),
+            "100% drop must lose the frame"
+        );
+        net.set_drop_all(0.0);
+
+        net.set_duplicate_all(1.0);
+        t0.send(1, b"twice".to_vec());
+        let a = t1.recv_timeout(Duration::from_secs(5)).expect("first copy");
+        let b = t1
+            .recv_timeout(Duration::from_secs(5))
+            .expect("second copy");
+        assert_eq!(a.1, b"twice");
+        assert_eq!(b.1, b"twice");
+    }
+}

@@ -1,0 +1,167 @@
+//! Run verdicts: the cross-cutting invariants every chaos run must
+//! clear after its faults heal, and the report the harness emits.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sbft_core::{invariant_violation, ReplicaSnapshot};
+
+use crate::plan::FaultPlan;
+
+/// Which backend executed a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Deterministic discrete-event simulator.
+    Sim,
+    /// Real TCP sockets behind the in-process fault proxy.
+    Tcp,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Tcp => "tcp",
+        })
+    }
+}
+
+/// The verdict of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All invariants held.
+    Pass,
+    /// An invariant broke; the string describes the first violation.
+    Fail(String),
+    /// The run did not execute (unsupported fault on this backend,
+    /// or the sweep's time cap expired first).
+    Skipped(String),
+}
+
+impl Outcome {
+    /// Whether this run failed.
+    pub fn failed(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+}
+
+/// Everything one chaos run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Plan name.
+    pub plan: String,
+    /// Backend that executed it.
+    pub backend: Backend,
+    /// Seed that drove it.
+    pub seed: u64,
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Completed client requests at the end.
+    pub completed: u64,
+    /// Determinism fingerprint: total handler events processed. Two sim
+    /// runs of the same `(plan, seed)` must produce identical
+    /// fingerprints *and* verdicts; meaningless (but recorded) on TCP.
+    pub fingerprint: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Final values of the tracked counters (summed across nodes on
+    /// TCP), for assertions stronger than the plan's own bar.
+    pub counters: HashMap<String, u64>,
+    /// Final safety snapshots of the live replicas.
+    pub snapshots: Vec<ReplicaSnapshot>,
+}
+
+impl RunReport {
+    /// A tracked counter's final value (0 if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+}
+
+impl RunReport {
+    /// One line for the sweep table.
+    pub fn line(&self) -> String {
+        let verdict = match &self.outcome {
+            Outcome::Pass => "PASS".to_string(),
+            Outcome::Fail(why) => format!("FAIL  {why}"),
+            Outcome::Skipped(why) => format!("skip  {why}"),
+        };
+        format!(
+            "{:<28} {:<4} seed=0x{:<10x} done={:<5} ev={:<8} {:>6}ms  {}",
+            self.plan,
+            self.backend,
+            self.seed,
+            self.completed,
+            self.fingerprint,
+            self.wall.as_millis(),
+            verdict
+        )
+    }
+}
+
+/// Judges a finished run against the plan's bar:
+///
+/// 1. the shared safety invariants over the replica snapshots
+///    (agreement, monotone commit, no duplicate execution),
+/// 2. client-visible liveness (`progress` = completions after the
+///    horizon, compared to `min_progress`),
+/// 3. the plan's expected counters,
+/// 4. the rejoin catch-up bound (`max_final_lag`), if any.
+pub fn judge(
+    plan: &FaultPlan,
+    snapshots: &[ReplicaSnapshot],
+    counters: &HashMap<String, u64>,
+    progress: u64,
+) -> Outcome {
+    if let Some(violation) = invariant_violation(snapshots) {
+        return Outcome::Fail(violation);
+    }
+    if progress < plan.min_progress {
+        return Outcome::Fail(format!(
+            "LIVENESS: only {progress}/{} requests completed after the horizon",
+            plan.min_progress
+        ));
+    }
+    for (key, min) in &plan.expect_counters {
+        let got = counters.get(*key).copied().unwrap_or(0);
+        if got < *min {
+            return Outcome::Fail(format!("COUNTER: {key} = {got}, expected ≥ {min}"));
+        }
+    }
+    if let Some(ratio) = plan.min_fast_ratio {
+        let fast = counters.get("fast_commits").copied().unwrap_or(0) as f64;
+        let slow = counters.get("slow_commits").copied().unwrap_or(0) as f64;
+        if fast <= slow * ratio {
+            return Outcome::Fail(format!(
+                "FAST-PATH: fast_commits {fast} does not dominate slow_commits {slow} \
+                 (required ratio {ratio})"
+            ));
+        }
+    }
+    if let Some(max_lag) = plan.max_final_lag {
+        let frontier = snapshots.iter().map(|s| s.last_executed).max().unwrap_or(0);
+        for snap in snapshots {
+            if frontier.saturating_sub(snap.last_executed) > max_lag {
+                return Outcome::Fail(format!(
+                    "REJOIN: replica {} stuck at seq {} while the frontier is {frontier} \
+                     (allowed lag {max_lag})",
+                    snap.replica, snap.last_executed
+                ));
+            }
+        }
+    }
+    Outcome::Pass
+}
+
+/// The counters both backends report (sim reads them off the global
+/// metrics; TCP sums each node's runtime metrics).
+pub const TRACKED_COUNTERS: &[&str] = &[
+    "fast_commits",
+    "slow_commits",
+    "view_changes_completed",
+    "state_transfers_requested",
+    "state_transfers_completed",
+    "checkpoints",
+    "client_retries",
+    "client_completed",
+];

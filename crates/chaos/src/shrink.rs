@@ -1,0 +1,173 @@
+//! Failure shrinking: reduce a failing `(plan, seed)` to a minimal
+//! failing schedule.
+//!
+//! Because the sim backend is a pure function of `(plan, seed)`, a
+//! failure can be replayed at will — so the harness greedily deletes
+//! fault events one at a time, keeping each deletion that still fails,
+//! until no single event can be removed. The result is the smallest
+//! reproduction a developer has to reason about ("the crash at 300 ms
+//! was irrelevant; the one-way partition alone kills it").
+
+use crate::plan::FaultPlan;
+use crate::report::Outcome;
+use crate::sim_backend::run_sim;
+
+/// Outcome of a shrink pass.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized plan (still fails under `seed`).
+    pub plan: FaultPlan,
+    /// The seed the failure reproduces under.
+    pub seed: u64,
+    /// The verdict of the minimized plan.
+    pub outcome: Outcome,
+    /// Sim runs the shrink spent.
+    pub runs: usize,
+    /// Events removed from the original plan.
+    pub removed: usize,
+}
+
+impl Shrunk {
+    /// Human-readable reproduction recipe.
+    pub fn recipe(&self) -> String {
+        let mut out = format!(
+            "minimal failing schedule for `{}` (seed 0x{:x}, {} of {} events removed, {} runs):\n",
+            self.plan.name,
+            self.seed,
+            self.removed,
+            self.removed + self.plan.events.len(),
+            self.runs
+        );
+        for event in &self.plan.events {
+            out.push_str(&format!("  t+{:>5}ms  {:?}\n", event.at_ms, event.fault));
+        }
+        if self.plan.events.is_empty() {
+            out.push_str("  (no fault events needed — the workload alone fails)\n");
+        }
+        match &self.outcome {
+            Outcome::Fail(why) => out.push_str(&format!("  verdict: {why}\n")),
+            other => out.push_str(&format!("  verdict: {other:?}\n")),
+        }
+        out.push_str(&format!(
+            "  reproduce: sbft-chaos --plan {} --seed 0x{:x} --backend sim\n",
+            self.plan.name, self.seed
+        ));
+        out
+    }
+}
+
+/// Every `Restart` still has an earlier `Crash` of the same replica to
+/// match (the validity a single event-removal can break).
+fn restarts_have_crashes(plan: &FaultPlan) -> bool {
+    use crate::plan::Fault;
+    let mut events: Vec<_> = plan.events.iter().collect();
+    events.sort_by_key(|e| e.at_ms);
+    let mut crashed: Vec<(usize, u64)> = Vec::new();
+    for event in events {
+        match &event.fault {
+            Fault::Crash { replica } => crashed.push((*replica, event.at_ms)),
+            Fault::Restart { replica } => {
+                let Some(pos) = crashed
+                    .iter()
+                    .position(|(r, at)| r == replica && *at < event.at_ms)
+                else {
+                    return false;
+                };
+                crashed.remove(pos);
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Greedily shrinks a failing plan on the sim backend. `max_runs` caps
+/// the total sim runs spent (each run is cheap, but swarm sweeps call
+/// this in a loop).
+///
+/// Returns `None` if the plan does not actually fail under `seed`
+/// (nothing to shrink — e.g. a TCP-only failure).
+pub fn shrink(plan: &FaultPlan, seed: u64, max_runs: usize) -> Option<Shrunk> {
+    let mut runs = 0usize;
+    let mut current = plan.clone();
+    let baseline = run_sim(&current, seed);
+    runs += 1;
+    let mut outcome = baseline.outcome;
+    if !outcome.failed() {
+        return None;
+    }
+    let mut removed = 0usize;
+    let mut made_progress = true;
+    while made_progress && runs < max_runs {
+        made_progress = false;
+        let mut i = 0;
+        while i < current.events.len() && runs < max_runs {
+            let mut candidate = current.clone();
+            candidate.events.remove(i);
+            // Deleting one event can orphan another — a Restart whose
+            // preceding Crash was removed is the one invalidity a
+            // single removal can create. Skip such candidates.
+            if !restarts_have_crashes(&candidate) {
+                i += 1;
+                continue;
+            }
+            let report = run_sim(&candidate, seed);
+            runs += 1;
+            if report.outcome.failed() {
+                current = candidate;
+                outcome = report.outcome;
+                removed += 1;
+                made_progress = true;
+                // Same index now names the next event; do not advance.
+            } else {
+                i += 1;
+            }
+        }
+    }
+    Some(Shrunk {
+        plan: current,
+        seed,
+        outcome,
+        runs,
+        removed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::plan_by_name;
+    use crate::plan::{Fault, FaultEvent};
+
+    #[test]
+    fn shrink_removes_irrelevant_events() {
+        // Take a passing plan and make it impossible: demand a counter
+        // that nothing increments. Every fault event is then irrelevant
+        // to the failure, and shrink must strip the schedule to nothing.
+        let mut plan = plan_by_name("primary-crash").expect("canonical plan");
+        plan.expect_counters = vec![("no_such_counter", 1)];
+        plan.events.push(FaultEvent {
+            at_ms: 500,
+            fault: Fault::Delay {
+                node: 1,
+                delay_ms: 10,
+                until_ms: 800,
+            },
+        });
+        let shrunk = shrink(&plan, 0x5EED, 50).expect("plan fails, so it shrinks");
+        assert!(shrunk.outcome.failed());
+        assert!(
+            shrunk.plan.events.is_empty(),
+            "all events were irrelevant: {:?}",
+            shrunk.plan.events
+        );
+        assert_eq!(shrunk.removed, 2);
+        assert!(shrunk.recipe().contains("sbft-chaos --plan"));
+    }
+
+    #[test]
+    fn shrink_of_a_passing_plan_is_none() {
+        let plan = plan_by_name("partition-heal").expect("canonical plan");
+        assert!(shrink(&plan, 0x5EED, 10).is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! The seed-sweeping swarm: N seeds × the canonical plan library, both
+//! backends, bounded by a wall-clock budget.
+//!
+//! Sweep order is chosen for CI: **pass 1** runs every plan once on the
+//! sim backend (with a built-in determinism double-run) and once on TCP,
+//! so even a tight time cap yields full cross-backend plan coverage;
+//! **pass 2** then burns the remaining budget sweeping more seeds on the
+//! (cheap, deterministic) sim backend, including fresh seed-derived
+//! random crash schedules nobody hand-wrote. The first sim failure is
+//! shrunk to a minimal reproduction automatically.
+
+use std::time::{Duration, Instant};
+
+use sbft_crypto::SplitMix64;
+
+use crate::library::random_crashes_plan;
+use crate::plan::FaultPlan;
+use crate::report::{Outcome, RunReport};
+use crate::shrink::{shrink, Shrunk};
+use crate::sim_backend::run_sim;
+use crate::tcp_backend::run_tcp;
+
+/// Which backends a sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSel {
+    /// Simulator only.
+    Sim,
+    /// Real TCP only.
+    Tcp,
+    /// Both (sim sweeps, TCP once per plan).
+    Both,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Seeds per plan on the sim backend.
+    pub seeds: u64,
+    /// Root seed; per-run seeds derive from it via SplitMix64.
+    pub base_seed: u64,
+    /// Backends to exercise.
+    pub backend: BackendSel,
+    /// Wall-clock budget for the whole sweep; runs that don't fit are
+    /// reported as skipped.
+    pub time_cap: Duration,
+    /// Re-run each plan's first sim seed and demand an identical
+    /// fingerprint + verdict (same seed ⇒ same run).
+    pub check_determinism: bool,
+    /// Shrink the first sim failure to a minimal schedule.
+    pub shrink_failures: bool,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            seeds: 8,
+            base_seed: 0xC0FFEE,
+            backend: BackendSel::Both,
+            time_cap: Duration::from_secs(300),
+            check_determinism: true,
+            shrink_failures: true,
+        }
+    }
+}
+
+/// Everything a sweep produced.
+#[derive(Debug, Clone)]
+pub struct SwarmResult {
+    /// Every run, in execution order.
+    pub reports: Vec<RunReport>,
+    /// Minimal reproductions of sim failures (at most one per plan).
+    pub shrunk: Vec<Shrunk>,
+    /// Runs that did not fit in the time cap.
+    pub skipped: u64,
+}
+
+impl SwarmResult {
+    /// Whether any executed run failed.
+    pub fn failed(&self) -> bool {
+        self.reports.iter().any(|r| r.outcome.failed())
+    }
+
+    /// Pass/fail/skip counts.
+    pub fn tally(&self) -> (u64, u64, u64) {
+        let mut pass = 0;
+        let mut fail = 0;
+        let mut skip = self.skipped;
+        for report in &self.reports {
+            match report.outcome {
+                Outcome::Pass => pass += 1,
+                Outcome::Fail(_) => fail += 1,
+                Outcome::Skipped(_) => skip += 1,
+            }
+        }
+        (pass, fail, skip)
+    }
+}
+
+/// Per-run seeds derived from the root seed (printed in every report
+/// line, so any run replays with `--plan <p> --seed <s>`).
+pub fn derive_seeds(base_seed: u64, count: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(base_seed);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+/// Runs the sweep over `plans` (plus per-seed random crash schedules).
+pub fn run_swarm(plans: &[FaultPlan], config: &SwarmConfig) -> SwarmResult {
+    let started = Instant::now();
+    let seeds = derive_seeds(config.base_seed, config.seeds.max(1));
+    let mut reports = Vec::new();
+    let mut shrunk: Vec<Shrunk> = Vec::new();
+    let mut skipped = 0u64;
+    let mut out_of_time = false;
+
+    let budget_left = |started: &Instant| -> bool { started.elapsed() < config.time_cap };
+
+    let note_sim_failure = |report: &RunReport, plan: &FaultPlan, shrunk: &mut Vec<Shrunk>| {
+        if config.shrink_failures
+            && report.outcome.failed()
+            && !shrunk.iter().any(|s| s.plan.name == plan.name)
+        {
+            if let Some(minimal) = shrink(plan, report.seed, 40) {
+                shrunk.push(minimal);
+            }
+        }
+    };
+
+    // Runs each backend contributes per plan in pass 1, for honest
+    // skip accounting when the time cap expires mid-pass.
+    let pass1_runs_per_plan: u64 = match config.backend {
+        BackendSel::Both => 2,
+        BackendSel::Sim | BackendSel::Tcp => 1,
+    };
+    // Pass 1: cross-backend coverage — every plan once per backend.
+    for (plan_idx, plan) in plans.iter().enumerate() {
+        if !budget_left(&started) {
+            out_of_time = true;
+            skipped += (plans.len() - plan_idx) as u64 * pass1_runs_per_plan;
+            break;
+        }
+        if config.backend != BackendSel::Tcp {
+            let report = run_sim(plan, seeds[0]);
+            let mut nondeterministic = false;
+            if config.check_determinism {
+                let again = run_sim(plan, seeds[0]);
+                nondeterministic = again.fingerprint != report.fingerprint
+                    || again.completed != report.completed
+                    || (again.outcome.failed() != report.outcome.failed());
+            }
+            if nondeterministic {
+                // Not shrinkable (replays diverge), but the plan still
+                // gets its TCP leg below — fall through.
+                reports.push(RunReport {
+                    outcome: Outcome::Fail(format!(
+                        "NONDETERMINISM: same seed, different run (fingerprint {})",
+                        report.fingerprint
+                    )),
+                    ..report
+                });
+            } else {
+                note_sim_failure(&report, plan, &mut shrunk);
+                reports.push(report);
+            }
+        }
+        if config.backend != BackendSel::Sim {
+            if !budget_left(&started) {
+                out_of_time = true;
+                // The current plan's sim leg (if any) already executed.
+                let already = if config.backend == BackendSel::Both {
+                    1
+                } else {
+                    0
+                };
+                skipped += (plans.len() - plan_idx) as u64 * pass1_runs_per_plan - already;
+                break;
+            }
+            let remaining = config.time_cap.saturating_sub(started.elapsed());
+            reports.push(run_tcp(plan, seeds[0], remaining));
+        }
+    }
+
+    // Pass 2: seed sweep on the sim backend.
+    let pass2_jobs = if config.backend != BackendSel::Tcp {
+        (seeds.len().saturating_sub(1) * (plans.len() + 1)) as u64 + 1
+    } else {
+        0
+    };
+    if config.backend != BackendSel::Tcp && !out_of_time {
+        let total_jobs = (seeds.len().saturating_sub(1) * (plans.len() + 1)) as u64;
+        let mut executed = 0u64;
+        'sweep: for seed in seeds.iter().skip(1) {
+            // Seed-derived random schedule first: it is the one only the
+            // sweep will ever explore.
+            let random = random_crashes_plan(*seed);
+            for plan in std::iter::once(&random).chain(plans) {
+                if !budget_left(&started) {
+                    skipped += total_jobs - executed;
+                    break 'sweep;
+                }
+                let report = run_sim(plan, *seed);
+                note_sim_failure(&report, plan, &mut shrunk);
+                reports.push(report);
+                executed += 1;
+            }
+        }
+        // Pass 1 covered seeds[0] for the canonical plans; cover its
+        // random schedule too.
+        if budget_left(&started) {
+            let random = random_crashes_plan(seeds[0]);
+            let report = run_sim(&random, seeds[0]);
+            note_sim_failure(&report, &random, &mut shrunk);
+            reports.push(report);
+        } else {
+            skipped += 1;
+        }
+    } else if out_of_time {
+        skipped += pass2_jobs;
+    }
+
+    SwarmResult {
+        reports,
+        shrunk,
+        skipped,
+    }
+}
+
+/// Runs one plan once on each requested backend (the non-swarm CLI
+/// path).
+pub fn run_once(
+    plan: &FaultPlan,
+    seed: u64,
+    backend: BackendSel,
+    time_cap: Duration,
+) -> Vec<RunReport> {
+    let mut reports = Vec::new();
+    if backend != BackendSel::Tcp {
+        reports.push(run_sim(plan, seed));
+    }
+    if backend != BackendSel::Sim {
+        reports.push(run_tcp(plan, seed, time_cap));
+    }
+    reports
+}

@@ -1,0 +1,538 @@
+//! Runs a [`FaultPlan`] on the real TCP stack: one OS thread per node
+//! (exactly how a single-machine deployment runs one process per node),
+//! every connection routed through the [`crate::proxy::ChaosNet`] fault
+//! proxy, plan events applied at wall-clock offsets.
+//!
+//! The same sans-IO `ReplicaNode`/`ClientNode` state machines run here
+//! as on the simulator — the point of the dual-backend harness is that
+//! one plan exercises one protocol through two runtimes. Wall-clock
+//! runs are not bit-deterministic (the OS schedules threads), but the
+//! judged invariants are identical.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sbft_core::{
+    make_client, make_replica, Behavior, ClientNode, KeyMaterial, ProtocolConfig, ReplicaNode,
+    ReplicaSnapshot, Workload,
+};
+use sbft_crypto::CryptoCostModel;
+use sbft_sim::SimDuration;
+use sbft_statedb::KvService;
+use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
+
+use crate::plan::{timeline, FaultPlan, Step};
+use crate::proxy::ChaosNet;
+use crate::report::{judge, Backend, Outcome, RunReport, TRACKED_COUNTERS};
+
+/// Wall-clock grace after the horizon for liveness to land.
+const LIVENESS_GRACE: Duration = Duration::from_secs(25);
+/// Minimum post-horizon grace worth running with; below this a run is
+/// skipped rather than judged against a bar it was never given time to
+/// clear.
+const MIN_GRACE: Duration = Duration::from_secs(5);
+/// Node thread poll slice.
+const POLL: Duration = Duration::from_millis(10);
+
+enum NodeCmd {
+    SetBehavior(Behavior),
+    SetSkew(i64),
+}
+
+struct NodeExit {
+    snapshot: Option<ReplicaSnapshot>,
+    counters: HashMap<String, u64>,
+    completed: u64,
+    events: u64,
+}
+
+struct NodeHandle {
+    stop: Arc<AtomicBool>,
+    cmds: mpsc::Sender<NodeCmd>,
+    progress: Arc<AtomicU64>,
+    thread: thread::JoinHandle<NodeExit>,
+}
+
+impl NodeHandle {
+    fn join(self) -> NodeExit {
+        self.stop.store(true, Ordering::Release);
+        self.thread.join().expect("node thread exits cleanly")
+    }
+}
+
+fn node_seed(seed: u64, node: usize) -> u64 {
+    seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+fn drive<M>(
+    stop: &AtomicBool,
+    cmds: &mpsc::Receiver<NodeCmd>,
+    progress: &AtomicU64,
+    runtime: &mut NodeRuntime<M>,
+    observe: impl Fn(&NodeRuntime<M>) -> u64,
+) where
+    M: sbft_sim::SimMessage + sbft_wire::Wire,
+{
+    while !stop.load(Ordering::Acquire) {
+        while let Ok(cmd) = cmds.try_recv() {
+            match cmd {
+                NodeCmd::SetBehavior(behavior) => {
+                    if let Some(replica) = runtime.node_as_mut::<ReplicaNode>() {
+                        replica.set_behavior(behavior);
+                    }
+                }
+                NodeCmd::SetSkew(skew_ns) => runtime.set_clock_skew(skew_ns),
+            }
+        }
+        runtime.poll(POLL);
+        progress.store(observe(runtime), Ordering::Release);
+    }
+}
+
+fn tracked_counters<M: sbft_sim::SimMessage + sbft_wire::Wire>(
+    runtime: &NodeRuntime<M>,
+) -> HashMap<String, u64> {
+    TRACKED_COUNTERS
+        .iter()
+        .map(|key| ((*key).to_string(), runtime.metrics().counter(key)))
+        .collect()
+}
+
+fn spawn_replica(
+    r: usize,
+    protocol: ProtocolConfig,
+    spec: ClusterSpec,
+    seed: u64,
+    listener: TcpListener,
+) -> NodeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let thread_stop = Arc::clone(&stop);
+    let thread_progress = Arc::clone(&progress);
+    let thread = thread::Builder::new()
+        .name(format!("chaos-replica-{r}"))
+        .spawn(move || {
+            let keys = KeyMaterial::generate(&protocol, spec.seed);
+            let replica = make_replica(
+                &protocol,
+                r,
+                &keys,
+                Box::new(KvService::new()),
+                CryptoCostModel::free(),
+            );
+            let transport = TcpTransport::with_listener(spec.transport_config(r), listener)
+                .expect("replica transport boots");
+            let control = transport.control();
+            let mut runtime = NodeRuntime::new(Box::new(replica), transport, node_seed(seed, r));
+            drive(
+                &thread_stop,
+                &cmd_rx,
+                &thread_progress,
+                &mut runtime,
+                |rt| {
+                    rt.node_as::<ReplicaNode>()
+                        .map(|n| n.last_executed().get())
+                        .unwrap_or(0)
+                },
+            );
+            let snapshot = runtime
+                .node_as::<ReplicaNode>()
+                .map(|node| ReplicaSnapshot::of(node, r));
+            let counters = tracked_counters(&runtime);
+            let events = runtime.events_processed();
+            control.shutdown();
+            NodeExit {
+                snapshot,
+                counters,
+                completed: 0,
+                events,
+            }
+        })
+        .expect("spawn replica thread");
+    NodeHandle {
+        stop,
+        cmds: cmd_tx,
+        progress,
+        thread,
+    }
+}
+
+fn spawn_client(
+    c: usize,
+    protocol: ProtocolConfig,
+    spec: ClusterSpec,
+    workload: Workload,
+    seed: u64,
+    listener: TcpListener,
+) -> NodeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let thread_stop = Arc::clone(&stop);
+    let thread_progress = Arc::clone(&progress);
+    let node = spec.client_node(c);
+    let thread = thread::Builder::new()
+        .name(format!("chaos-client-{c}"))
+        .spawn(move || {
+            let keys = KeyMaterial::generate(&protocol, spec.seed);
+            let source = workload.source_for(c, spec.seed);
+            let client = make_client(
+                &protocol,
+                c,
+                &keys,
+                source,
+                SimDuration::from_millis(400),
+                CryptoCostModel::free(),
+            );
+            let transport = TcpTransport::with_listener(spec.transport_config(node), listener)
+                .expect("client transport boots");
+            let control = transport.control();
+            let mut runtime = NodeRuntime::new(Box::new(client), transport, node_seed(seed, node));
+            drive(
+                &thread_stop,
+                &cmd_rx,
+                &thread_progress,
+                &mut runtime,
+                |rt| rt.node_as::<ClientNode>().map(|n| n.completed).unwrap_or(0),
+            );
+            let completed = runtime
+                .node_as::<ClientNode>()
+                .map(|n| n.completed)
+                .unwrap_or(0);
+            let counters = tracked_counters(&runtime);
+            let events = runtime.events_processed();
+            control.shutdown();
+            NodeExit {
+                snapshot: None,
+                counters,
+                completed,
+                events,
+            }
+        })
+        .expect("spawn client thread");
+    NodeHandle {
+        stop,
+        cmds: cmd_tx,
+        progress,
+        thread,
+    }
+}
+
+struct TcpRun {
+    net: ChaosNet,
+    protocol: ProtocolConfig,
+    spec: ClusterSpec,
+    seed: u64,
+    /// Replica handles (None while crashed).
+    replicas: Vec<Option<NodeHandle>>,
+    clients: Vec<NodeHandle>,
+    /// Exits of crashed incarnations (counters still count).
+    crashed_exits: Vec<NodeExit>,
+    /// Per-node extra one-way delay; link delay is the *sum* of its two
+    /// endpoints' values, mirroring the simulator's additive
+    /// `extra_node_delay` so overlapping Delay faults mean the same
+    /// thing on both backends.
+    node_delay_ms: Vec<u64>,
+}
+
+impl TcpRun {
+    fn boot(plan: &FaultPlan, seed: u64) -> std::io::Result<TcpRun> {
+        let n = plan.n();
+        let total = n + plan.clients;
+        let net = ChaosNet::new(total, seed)?;
+        // Every peer table points at the proxy; each node's own listener
+        // is bound to an OS-picked port and published as its forward
+        // address (restarts rebind and republish).
+        let spec = ClusterSpec {
+            f: plan.f,
+            c: plan.c,
+            seed,
+            variant: VariantName::Sbft,
+            profile: TransportProfile::Lan,
+            replicas: (0..n).map(|r| net.proxy_addr(r)).collect(),
+            clients: (n..total).map(|node| net.proxy_addr(node)).collect(),
+        };
+        let mut protocol = sbft::deploy::protocol_for(&spec);
+        if let Some(window) = plan.window {
+            protocol.window = window;
+        }
+        if let Some(period) = plan.checkpoint_period {
+            protocol.checkpoint_period = period;
+        }
+        if let Some(max_in_flight) = plan.max_in_flight {
+            protocol.max_in_flight = max_in_flight;
+        }
+        let bind = |node: usize| -> std::io::Result<TcpListener> {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            net.set_forward(node, listener.local_addr()?.to_string());
+            Ok(listener)
+        };
+        let workload = plan.workload();
+        let mut replicas = Vec::new();
+        for r in 0..n {
+            let listener = bind(r)?;
+            replicas.push(Some(spawn_replica(
+                r,
+                protocol.clone(),
+                spec.clone(),
+                seed,
+                listener,
+            )));
+        }
+        let mut clients = Vec::new();
+        for c in 0..plan.clients {
+            let listener = bind(n + c)?;
+            clients.push(spawn_client(
+                c,
+                protocol.clone(),
+                spec.clone(),
+                workload.clone(),
+                seed,
+                listener,
+            ));
+        }
+        let node_delay_ms = vec![0; total];
+        Ok(TcpRun {
+            net,
+            protocol,
+            spec,
+            seed,
+            replicas,
+            clients,
+            crashed_exits: Vec::new(),
+            node_delay_ms,
+        })
+    }
+
+    fn total(&self) -> usize {
+        self.spec.n() + self.spec.clients.len()
+    }
+
+    fn completed(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| c.progress.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Pushes the per-node delays onto every directed link as the sum
+    /// of its endpoints' delays (the simulator's additive model).
+    fn refresh_delays(&self) {
+        for a in 0..self.total() {
+            for b in 0..self.total() {
+                if a != b {
+                    let ms = self.node_delay_ms[a] + self.node_delay_ms[b];
+                    self.net.set_delay(a, b, Duration::from_millis(ms));
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, step: &Step) {
+        match step {
+            Step::Crash(r) => {
+                if let Some(handle) = self.replicas[*r].take() {
+                    self.net.clear_forward(*r);
+                    self.crashed_exits.push(handle.join());
+                }
+            }
+            Step::Restart(r) => {
+                if self.replicas[*r].is_some() {
+                    return; // restarting a live replica is a plan bug; ignore
+                }
+                let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
+                    return;
+                };
+                if let Ok(addr) = listener.local_addr() {
+                    self.net.set_forward(*r, addr.to_string());
+                }
+                self.replicas[*r] = Some(spawn_replica(
+                    *r,
+                    self.protocol.clone(),
+                    self.spec.clone(),
+                    self.seed,
+                    listener,
+                ));
+            }
+            Step::PartitionStart {
+                from, to, one_way, ..
+            } => {
+                for a in from {
+                    for b in to {
+                        self.net.block(*a, *b);
+                        if !*one_way {
+                            self.net.block(*b, *a);
+                        }
+                    }
+                }
+            }
+            Step::PartitionHeal { from, to, one_way } => {
+                for a in from {
+                    for b in to {
+                        self.net.heal(*a, *b);
+                        if !*one_way {
+                            self.net.heal(*b, *a);
+                        }
+                    }
+                }
+            }
+            Step::DelayStart { node, delay_ms } => {
+                self.node_delay_ms[*node] = *delay_ms;
+                self.refresh_delays();
+            }
+            Step::DelayClear { node } => {
+                self.node_delay_ms[*node] = 0;
+                self.refresh_delays();
+            }
+            Step::DropStart { prob } => self.net.set_drop_all(*prob),
+            Step::DropClear => self.net.set_drop_all(0.0),
+            Step::DuplicateStart { prob } => self.net.set_duplicate_all(*prob),
+            Step::DuplicateClear => self.net.set_duplicate_all(0.0),
+            Step::Behavior { replica, behavior } => {
+                if let Some(handle) = &self.replicas[*replica] {
+                    let _ = handle.cmds.send(NodeCmd::SetBehavior(*behavior));
+                }
+            }
+            Step::ClockSkew { node, skew_ms } => {
+                let skew_ns = skew_ms.saturating_mul(1_000_000);
+                let handle = if *node < self.replicas.len() {
+                    self.replicas[*node].as_ref()
+                } else {
+                    self.clients.get(*node - self.replicas.len())
+                };
+                if let Some(handle) = handle {
+                    let _ = handle.cmds.send(NodeCmd::SetSkew(skew_ns));
+                }
+            }
+            Step::SlowCpu { .. } | Step::Deaf { .. } => {
+                unreachable!("sim-only faults are rejected before boot")
+            }
+        }
+    }
+}
+
+/// Runs `plan` under `seed` on the real TCP backend. `time_cap` bounds
+/// the whole run's wall clock (the liveness grace shrinks to fit).
+pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
+    plan.validate();
+    let started = Instant::now();
+    let abort = |outcome: Outcome, started: &Instant| RunReport {
+        plan: plan.name.to_string(),
+        backend: Backend::Tcp,
+        seed,
+        outcome,
+        completed: 0,
+        fingerprint: 0,
+        wall: started.elapsed(),
+        counters: HashMap::new(),
+        snapshots: Vec::new(),
+    };
+    if !plan.tcp_supported() {
+        return abort(
+            Outcome::Skipped("plan uses sim-only faults".to_string()),
+            &started,
+        );
+    }
+    // A run squeezed by the sweep's time budget would read as a bogus
+    // liveness failure (no post-horizon grace left); report it as what
+    // it is: skipped for time.
+    let horizon = Duration::from_millis(plan.horizon_ms);
+    if time_cap < horizon + MIN_GRACE {
+        return abort(
+            Outcome::Skipped("time cap too small for this plan's horizon".to_string()),
+            &started,
+        );
+    }
+    let mut run = match TcpRun::boot(plan, seed) {
+        Ok(run) => run,
+        Err(e) => return abort(Outcome::Fail(format!("boot: {e}")), &started),
+    };
+
+    for (at_ms, step) in timeline(plan) {
+        let at = started.elapsed();
+        let target = Duration::from_millis(at_ms);
+        if target > at {
+            thread::sleep(target - at);
+        }
+        run.apply(&step);
+    }
+    if started.elapsed() < horizon {
+        thread::sleep(horizon - started.elapsed());
+    }
+    let completed_at_horizon = run.completed();
+
+    // Wait for the pollable parts of the bar: post-horizon progress and
+    // (for rejoin plans) the catch-up lag, read off the per-replica
+    // frontier atomics. Counters and safety are judged after teardown.
+    let deadline = (started + horizon + LIVENESS_GRACE).min(started + time_cap.max(horizon));
+    loop {
+        let progressed = run.completed() - completed_at_horizon >= plan.min_progress;
+        let caught_up = plan.max_final_lag.is_none_or(|max_lag| {
+            let frontiers: Vec<u64> = run
+                .replicas
+                .iter()
+                .flatten()
+                .map(|h| h.progress.load(Ordering::Acquire))
+                .collect();
+            let top = frontiers.iter().copied().max().unwrap_or(0);
+            frontiers.iter().all(|f| top.saturating_sub(*f) <= max_lag)
+        });
+        if (progressed && caught_up) || Instant::now() >= deadline {
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    let progress = run.completed() - completed_at_horizon;
+
+    // Tear down and collect: stop everything first (clients included,
+    // so no new requests race the snapshots), then join.
+    for client in &run.clients {
+        client.stop.store(true, Ordering::Release);
+    }
+    for replica in run.replicas.iter().flatten() {
+        replica.stop.store(true, Ordering::Release);
+    }
+    let client_exits: Vec<NodeExit> = run.clients.drain(..).map(NodeHandle::join).collect();
+    let replica_exits: Vec<NodeExit> = run
+        .replicas
+        .iter_mut()
+        .filter_map(|slot| slot.take())
+        .map(NodeHandle::join)
+        .collect();
+    run.net.shutdown();
+
+    let snapshots: Vec<ReplicaSnapshot> = replica_exits
+        .iter()
+        .filter_map(|exit| exit.snapshot.clone())
+        .collect();
+    let mut counters: HashMap<String, u64> = HashMap::new();
+    let mut fingerprint = 0u64;
+    for exit in replica_exits
+        .iter()
+        .chain(&client_exits)
+        .chain(&run.crashed_exits)
+    {
+        for (key, value) in &exit.counters {
+            *counters.entry(key.clone()).or_insert(0) += value;
+        }
+        fingerprint += exit.events;
+    }
+    let completed: u64 = client_exits.iter().map(|exit| exit.completed).sum();
+
+    RunReport {
+        plan: plan.name.to_string(),
+        backend: Backend::Tcp,
+        seed,
+        outcome: judge(plan, &snapshots, &counters, progress),
+        completed,
+        fingerprint,
+        wall: started.elapsed(),
+        counters,
+        snapshots,
+    }
+}

@@ -51,5 +51,8 @@ pub use keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DO
 pub use messages::{ClientRequest, CommitCert, SbftMsg};
 pub use pipelined::{chained_block_digest, select_chain_head, PipelinedChoice, PipelinedSummary};
 pub use replica::{Behavior, ReplicaNode};
-pub use testkit::{make_client, make_replica, Cluster, ClusterConfig, Workload};
+pub use testkit::{
+    invariant_violation, make_client, make_replica, Cluster, ClusterConfig, ReplicaSnapshot,
+    Workload,
+};
 pub use viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};

@@ -173,7 +173,9 @@ pub fn make_client(
     )
 }
 
-/// A built cluster: the simulation plus its shape.
+/// A built cluster: the simulation plus its shape, retaining enough of
+/// the configuration to rebuild a replica from scratch (restart with
+/// empty state — the chaos harness's crash/restart fault).
 pub struct Cluster {
     /// The underlying simulation.
     pub sim: Simulation<SbftMsg>,
@@ -181,6 +183,10 @@ pub struct Cluster {
     pub n: usize,
     /// Number of clients.
     pub clients: usize,
+    protocol: ProtocolConfig,
+    keys: KeyMaterial,
+    cost: CryptoCostModel,
+    service_factory: Box<dyn Fn() -> Box<dyn Service>>,
 }
 
 impl Cluster {
@@ -219,7 +225,28 @@ impl Cluster {
             sim,
             n,
             clients: config.clients,
+            protocol: config.protocol,
+            keys,
+            cost: config.cost,
+            service_factory: config.service_factory,
         }
+    }
+
+    /// Restarts replica `r` **with empty state** at the current simulated
+    /// time, as if its process was killed and rebooted with a wiped disk:
+    /// fresh service backend, zero log, view 0. Timers armed by the
+    /// previous incarnation never fire; the rejoining replica must catch
+    /// up through the protocol (block fills / state transfer).
+    pub fn restart_replica(&mut self, r: usize) {
+        assert!(r < self.n, "replica {r} out of range");
+        let fresh = make_replica(
+            &self.protocol,
+            r,
+            &self.keys,
+            (self.service_factory)(),
+            self.cost.clone(),
+        );
+        self.sim.restart_node(r, Box::new(fresh));
     }
 
     /// Node id of a replica.
@@ -278,53 +305,148 @@ impl Cluster {
         self.sim.metrics().counter("client_completed")
     }
 
+    /// Safety snapshots of every live (non-crashed) replica.
+    pub fn snapshots(&self) -> Vec<ReplicaSnapshot> {
+        (0..self.n)
+            .filter(|r| !self.sim.is_crashed(*r))
+            .map(|r| ReplicaSnapshot::of(self.replica(r), r))
+            .collect()
+    }
+
     /// Checks inter-replica safety: every pair of live replicas agrees on
-    /// every sequence number both have committed (Theorem VI.1), and
-    /// replicas that executed equally far have identical state digests.
+    /// every sequence number both have committed (Theorem VI.1), replicas
+    /// that executed equally far have identical state digests, commit
+    /// logs are gap-free up to the execution frontier, and no replica
+    /// executed the same client request twice.
     ///
     /// # Panics
     ///
     /// Panics with a description of the disagreement, if any.
     pub fn assert_agreement(&self) {
-        let mut blocks: std::collections::BTreeMap<u64, (usize, Digest)> =
-            std::collections::BTreeMap::new();
-        let mut states: std::collections::BTreeMap<u64, (usize, Digest)> =
-            std::collections::BTreeMap::new();
-        for r in 0..self.n {
-            if self.sim.is_crashed(r) {
+        if let Some(violation) = invariant_violation(&self.snapshots()) {
+            panic!("{violation}");
+        }
+    }
+}
+
+/// A point-in-time safety snapshot of one replica, comparable across
+/// backends — the simulator extracts it in-process, the TCP harness from
+/// each node thread before it exits. Everything the cross-cutting
+/// invariants need, nothing tied to either runtime.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    /// Replica index.
+    pub replica: usize,
+    /// Current view.
+    pub view: u64,
+    /// Latest stable checkpoint.
+    pub last_stable: u64,
+    /// Execution frontier.
+    pub last_executed: u64,
+    /// Digest of the executed state.
+    pub state_digest: Digest,
+    /// `(seq, block digest)` of every retained committed block.
+    pub blocks: Vec<(u64, Digest)>,
+    /// `(seq, client, timestamp)` of every request in those blocks.
+    pub requests: Vec<(u64, u32, u64)>,
+}
+
+impl ReplicaSnapshot {
+    /// Extracts the snapshot from a replica node.
+    pub fn of(replica: &ReplicaNode, r: usize) -> ReplicaSnapshot {
+        let mut blocks = Vec::new();
+        let mut requests = Vec::new();
+        let max_seq = replica.last_executed().get() + 512;
+        for seq in replica.last_stable().get()..=max_seq {
+            if seq == 0 {
                 continue;
             }
-            let replica = self.replica(r);
-            let max_seq = replica.last_executed().get() + 512;
-            for seq in 1..=max_seq {
-                let seq = SeqNum::new(seq);
-                if let Some(requests) = replica.committed_block(seq) {
-                    let digest =
-                        crate::messages::block_digest(seq, sbft_types::ViewNum::ZERO, requests);
-                    if let Some((other, existing)) = blocks.get(&seq.get()) {
-                        assert_eq!(
-                            *existing, digest,
-                            "SAFETY: replicas {other} and {r} committed different blocks at {seq}"
-                        );
-                    } else {
-                        blocks.insert(seq.get(), (r, digest));
-                    }
-                }
-            }
-            let executed = replica.last_executed().get();
-            if executed > 0 {
-                let digest = replica.state_digest();
-                if let Some((other, existing)) = states.get(&executed) {
-                    assert_eq!(
-                        *existing, digest,
-                        "SAFETY: replicas {other} and {r} diverge in state at seq {executed}"
-                    );
-                } else {
-                    states.insert(executed, (r, digest));
+            let seq = SeqNum::new(seq);
+            if let Some(reqs) = replica.committed_block(seq) {
+                blocks.push((
+                    seq.get(),
+                    crate::messages::block_digest(seq, sbft_types::ViewNum::ZERO, reqs),
+                ));
+                for req in reqs {
+                    requests.push((seq.get(), req.client.get(), req.timestamp));
                 }
             }
         }
+        ReplicaSnapshot {
+            replica: r,
+            view: replica.view().get(),
+            last_stable: replica.last_stable().get(),
+            last_executed: replica.last_executed().get(),
+            state_digest: replica.state_digest(),
+            blocks,
+            requests,
+        }
     }
+}
+
+/// Checks the cross-cutting safety invariants over a set of replica
+/// snapshots, returning a description of the first violation:
+///
+/// 1. **Agreement** — no two replicas committed different blocks at the
+///    same sequence number, and replicas with equal execution frontiers
+///    have identical state digests.
+/// 2. **Monotone commit** — each replica's retained commit log is
+///    gap-free from its stable checkpoint to its execution frontier (a
+///    replica never executes past a hole).
+/// 3. **No duplicate execution** — no `(client, timestamp)` pair appears
+///    in two committed blocks of one replica.
+pub fn invariant_violation(snapshots: &[ReplicaSnapshot]) -> Option<String> {
+    let mut blocks: std::collections::BTreeMap<u64, (usize, Digest)> =
+        std::collections::BTreeMap::new();
+    let mut states: std::collections::BTreeMap<u64, (usize, Digest)> =
+        std::collections::BTreeMap::new();
+    for snap in snapshots {
+        let r = snap.replica;
+        for (seq, digest) in &snap.blocks {
+            if let Some((other, existing)) = blocks.get(seq) {
+                if existing != digest {
+                    return Some(format!(
+                        "SAFETY: replicas {other} and {r} committed different blocks at seq {seq}"
+                    ));
+                }
+            } else {
+                blocks.insert(*seq, (r, *digest));
+            }
+        }
+        if snap.last_executed > 0 {
+            if let Some((other, existing)) = states.get(&snap.last_executed) {
+                if *existing != snap.state_digest {
+                    return Some(format!(
+                        "SAFETY: replicas {other} and {r} diverge in state at seq {}",
+                        snap.last_executed
+                    ));
+                }
+            } else {
+                states.insert(snap.last_executed, (r, snap.state_digest));
+            }
+        }
+        let retained: std::collections::BTreeSet<u64> =
+            snap.blocks.iter().map(|(seq, _)| *seq).collect();
+        for seq in (snap.last_stable + 1)..=snap.last_executed {
+            if !retained.contains(&seq) {
+                return Some(format!(
+                    "MONOTONE: replica {r} executed to {} but has no committed block at {seq} \
+                     (stable {})",
+                    snap.last_executed, snap.last_stable
+                ));
+            }
+        }
+        let mut seen: std::collections::HashMap<(u32, u64), u64> = std::collections::HashMap::new();
+        for (seq, client, timestamp) in &snap.requests {
+            if let Some(first) = seen.insert((*client, *timestamp), *seq) {
+                return Some(format!(
+                    "DUPLICATE: replica {r} committed request (client {client}, ts {timestamp}) \
+                     at both seq {first} and seq {seq}"
+                ));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

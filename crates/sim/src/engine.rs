@@ -38,8 +38,19 @@ impl Default for NodeRuntime {
 
 enum EventKind<M> {
     Start(NodeId),
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: u64, token: u64 },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+        token: u64,
+        /// Node incarnation that armed the timer: a restarted node must
+        /// never receive callbacks armed by its previous life.
+        epoch: u32,
+    },
     Crash(NodeId),
 }
 
@@ -76,6 +87,12 @@ struct NodeSlot<M: SimMessage> {
     crashed: bool,
     slow_factor: f64,
     started: bool,
+    /// Incarnation counter, bumped by [`Simulation::restart_node`].
+    epoch: u32,
+    /// Clock skew in nanoseconds added to the time this node observes
+    /// via `ctx.now()`. Timer *durations* are unaffected (monotonic
+    /// clocks don't skew with wall time).
+    clock_skew_ns: i64,
 }
 
 /// A deterministic discrete-event simulation over nodes exchanging `M`.
@@ -126,6 +143,8 @@ impl<M: SimMessage> Simulation<M> {
             crashed: false,
             slow_factor: 1.0,
             started: false,
+            epoch: 0,
+            clock_skew_ns: 0,
         });
         id
     }
@@ -175,9 +194,48 @@ impl<M: SimMessage> Simulation<M> {
         });
     }
 
+    /// Crashes a node *now*, synchronously — the fault-injection analog
+    /// of killing a process. Unlike [`Self::schedule_crash`], no event
+    /// is queued, so a subsequent [`Self::restart_node`] at the same
+    /// instant cannot be killed by a crash that was still in flight.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.nodes[node].crashed = true;
+    }
+
     /// Returns whether a node has crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.nodes[node].crashed
+    }
+
+    /// Restarts a node **with the supplied fresh state** at the current
+    /// simulated time: the replacement processes nothing armed by the
+    /// previous incarnation (timers are epoch-filtered) and receives
+    /// `on_start` like a freshly booted process. Messages already in
+    /// flight toward the node may still arrive after the restart — on a
+    /// real network a delayed packet can do the same, and a BFT node
+    /// must tolerate it.
+    ///
+    /// The node need not have crashed first; restarting a live node
+    /// models an abrupt kill-and-reboot.
+    pub fn restart_node(&mut self, node: NodeId, fresh: Box<dyn Node<M>>) {
+        let slot = &mut self.nodes[node];
+        slot.node = fresh;
+        slot.crashed = false;
+        slot.busy_until = self.now;
+        slot.epoch += 1;
+        slot.started = true;
+        let seq = self.bump_seq();
+        self.queue.push(QueuedEvent {
+            at: self.now,
+            seq,
+            kind: EventKind::Start(node),
+        });
+    }
+
+    /// Skews the clock a node observes through `ctx.now()` by `skew_ns`
+    /// nanoseconds (positive = the node believes it is in the future).
+    pub fn set_clock_skew(&mut self, node: NodeId, skew_ns: i64) {
+        self.nodes[node].clock_skew_ns = skew_ns;
     }
 
     /// Makes a node's CPU `factor`× slower (a "slow or faulty" replica in
@@ -240,7 +298,17 @@ impl<M: SimMessage> Simulation<M> {
                 }
                 self.dispatch(to, |n, ctx| n.on_message(from, msg, ctx));
             }
-            EventKind::Timer { node, id, token } => {
+            EventKind::Timer {
+                node,
+                id,
+                token,
+                epoch,
+            } => {
+                if self.nodes[node].epoch != epoch {
+                    // Armed by a previous incarnation; the restart wiped it.
+                    self.cancelled_timers.remove(&id);
+                    return true;
+                }
                 if self.cancelled_timers.remove(&id) || self.nodes[node].crashed {
                     return true;
                 }
@@ -250,7 +318,12 @@ impl<M: SimMessage> Simulation<M> {
                     self.queue.push(QueuedEvent {
                         at: busy,
                         seq,
-                        kind: EventKind::Timer { node, id, token },
+                        kind: EventKind::Timer {
+                            node,
+                            id,
+                            token,
+                            epoch,
+                        },
                     });
                     return true;
                 }
@@ -265,8 +338,10 @@ impl<M: SimMessage> Simulation<M> {
         F: FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
     {
         let slot = &mut self.nodes[node_id];
+        let epoch = slot.epoch;
         let mut ctx = Context {
             now: self.now,
+            skew_ns: slot.clock_skew_ns,
             node: node_id,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
@@ -292,6 +367,21 @@ impl<M: SimMessage> Simulation<M> {
                     else {
                         continue; // lost: receiver is in a deaf window
                     };
+                    // The duplicate (if rolled) clones; the primary
+                    // delivery moves — the common no-duplication path
+                    // stays clone-free.
+                    if let Some(extra) = self.network.roll_duplicate(&mut self.rng) {
+                        let seq = self.bump_seq();
+                        self.queue.push(QueuedEvent {
+                            at: arrival + extra,
+                            seq,
+                            kind: EventKind::Deliver {
+                                to,
+                                from: node_id,
+                                msg: msg.clone(),
+                            },
+                        });
+                    }
                     let seq = self.bump_seq();
                     self.queue.push(QueuedEvent {
                         at: arrival,
@@ -312,6 +402,7 @@ impl<M: SimMessage> Simulation<M> {
                             node: node_id,
                             id: id.0,
                             token,
+                            epoch,
                         },
                     });
                 }

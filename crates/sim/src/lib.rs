@@ -322,6 +322,125 @@ mod tests {
         }
     }
 
+    /// Counts its incarnations and what it hears; arms one long timer at
+    /// start so restarts can prove old-epoch timers never fire.
+    struct Phoenix {
+        incarnation: u32,
+        heard: u64,
+        stale_timer_fired: bool,
+        observed_now_ms: f64,
+    }
+
+    impl Node<Msg> for Phoenix {
+        crate::impl_node_any!();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.observed_now_ms = ctx.now().as_millis_f64();
+            if self.incarnation == 0 {
+                // Armed only by the first life; must die with it.
+                ctx.set_timer(SimDuration::from_millis(50), 77);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {
+            self.heard += 1;
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, Msg>) {
+            if token == 77 {
+                self.stale_timer_fired = true;
+            }
+        }
+    }
+
+    fn phoenix(incarnation: u32) -> Box<Phoenix> {
+        Box::new(Phoenix {
+            incarnation,
+            heard: 0,
+            stale_timer_fired: false,
+            observed_now_ms: -1.0,
+        })
+    }
+
+    #[test]
+    fn restart_replaces_state_and_drops_old_epoch_timers() {
+        let topology = Topology::lan();
+        let placement = Placement::round_robin(&topology, 2, 1);
+        let network = NetworkModel::new(topology, placement, NetworkConfig::default(), 2);
+        let mut sim = Simulation::new(network, 1, false);
+        sim.add_node(Box::new(Burst {
+            target: 1,
+            count: 3,
+        }));
+        sim.add_node(phoenix(0));
+        sim.start();
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.node_as::<Phoenix>(1).unwrap().heard, 3);
+
+        // Crash, then restart with empty state before the 50ms timer.
+        sim.schedule_crash(1, sim.now());
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.is_crashed(1));
+        sim.restart_node(1, phoenix(1));
+        assert!(!sim.is_crashed(1));
+        sim.run_for(SimDuration::from_secs(1));
+
+        let reborn = sim.node_as::<Phoenix>(1).unwrap();
+        assert_eq!(reborn.incarnation, 1, "fresh state installed");
+        assert_eq!(reborn.heard, 0, "fresh state heard nothing new");
+        assert!(
+            !reborn.stale_timer_fired,
+            "a timer armed by the previous incarnation must not fire"
+        );
+        assert!(
+            reborn.observed_now_ms >= 20.0,
+            "on_start ran at restart time, not at zero: {}",
+            reborn.observed_now_ms
+        );
+    }
+
+    #[test]
+    fn clock_skew_shifts_observed_time_only() {
+        let topology = Topology::lan();
+        let placement = Placement::round_robin(&topology, 1, 1);
+        let network = NetworkModel::new(topology, placement, NetworkConfig::default(), 1);
+        let mut sim = Simulation::new(network, 1, false);
+        sim.add_node(phoenix(0));
+        sim.set_clock_skew(0, 3_000_000_000); // +3s
+        sim.start();
+        sim.run_for(SimDuration::from_millis(100));
+        let node = sim.node_as::<Phoenix>(0).unwrap();
+        assert!(
+            (node.observed_now_ms - 3_000.0).abs() < 1.0,
+            "skewed now: {}",
+            node.observed_now_ms
+        );
+        // The 50ms timer still fires ~50ms of real sim time later — timer
+        // durations are monotonic and unaffected by wall-clock skew.
+        assert!(node.stale_timer_fired);
+    }
+
+    #[test]
+    fn duplicate_probability_delivers_twice() {
+        let topology = Topology::lan();
+        let placement = Placement::round_robin(&topology, 2, 1);
+        let network = NetworkModel::new(topology, placement, NetworkConfig::default(), 2);
+        let mut sim = Simulation::new(network, 1, false);
+        sim.add_node(Box::new(Burst {
+            target: 1,
+            count: 2,
+        }));
+        sim.add_node(phoenix(0));
+        sim.network_mut().set_duplicate_probability(1.0);
+        sim.start();
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.node_as::<Phoenix>(1).unwrap().heard,
+            4,
+            "every message delivered exactly twice"
+        );
+    }
+
     #[test]
     fn run_until_advances_clock_even_when_idle() {
         let mut sim = two_node_sim(1);

@@ -57,6 +57,10 @@ pub struct Partition {
     group_b: Vec<NodeId>,
     from: SimTime,
     until: SimTime,
+    /// One-way partitions block only `group_a → group_b` traffic —
+    /// the asymmetric link failures that make view-change liveness hard
+    /// (a primary that can send but not hear, or vice versa).
+    one_way: bool,
 }
 
 impl Partition {
@@ -68,6 +72,25 @@ impl Partition {
             group_b,
             from,
             until,
+            one_way: false,
+        }
+    }
+
+    /// Creates a one-way partition: traffic from `from_group` to
+    /// `to_group` is deferred during `[from, until)`, but the reverse
+    /// direction flows normally.
+    pub fn one_way(
+        from_group: Vec<NodeId>,
+        to_group: Vec<NodeId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        Partition {
+            group_a: from_group,
+            group_b: to_group,
+            from,
+            until,
+            one_way: true,
         }
     }
 
@@ -77,9 +100,15 @@ impl Partition {
         }
         let a_has_x = self.group_a.contains(&x);
         let b_has_y = self.group_b.contains(&y);
+        if a_has_x && b_has_y {
+            return Some(self.until);
+        }
+        if self.one_way {
+            return None;
+        }
         let a_has_y = self.group_a.contains(&y);
         let b_has_x = self.group_b.contains(&x);
-        if (a_has_x && b_has_y) || (a_has_y && b_has_x) {
+        if a_has_y && b_has_x {
             Some(self.until)
         } else {
             None
@@ -100,6 +129,10 @@ pub struct NetworkModel {
     /// Windows during which a node loses all inbound traffic (an outage
     /// whose retransmissions expire; used to force state transfer).
     deaf_windows: Vec<(NodeId, SimTime, SimTime)>,
+    /// Probability that a delivered message is delivered *twice* (the
+    /// duplicate arrives after an extra retransmission timeout) — models
+    /// an at-least-once retransmit layer duplicating under loss.
+    duplicate_probability: f64,
 }
 
 impl NetworkModel {
@@ -127,12 +160,35 @@ impl NetworkModel {
             partitions: Vec::new(),
             extra_node_delay: vec![SimDuration::ZERO; node_count],
             deaf_windows: Vec::new(),
+            duplicate_probability: 0.0,
         }
     }
 
     /// Adds a partition window.
     pub fn add_partition(&mut self, partition: Partition) {
         self.partitions.push(partition);
+    }
+
+    /// Sets the per-attempt drop probability at runtime (chaos schedules
+    /// flip lossiness on and off mid-run).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.config.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the message duplication probability at runtime.
+    pub fn set_duplicate_probability(&mut self, p: f64) {
+        self.duplicate_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Rolls whether the message just scheduled should also be delivered
+    /// a second time (see [`Self::set_duplicate_probability`]); the
+    /// engine asks once per send, keeping RNG consumption deterministic.
+    pub fn roll_duplicate(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.duplicate_probability > 0.0 && rng.chance(self.duplicate_probability) {
+            Some(self.config.retransmit_timeout)
+        } else {
+            None
+        }
     }
 
     /// Makes a node lose all inbound messages during `[from, until)`.
@@ -328,6 +384,34 @@ mod tests {
             .delivery_time(&mut rng, 0, 1, 100, SimTime::from_nanos(2_000_000_000))
             .unwrap();
         assert!(t3.as_secs_f64() < 2.1);
+    }
+
+    #[test]
+    fn one_way_partition_blocks_only_forward_direction() {
+        let mut m = model(no_jitter());
+        m.add_partition(Partition::one_way(
+            vec![0],
+            vec![1],
+            SimTime::ZERO,
+            SimTime::from_nanos(1_000_000_000),
+        ));
+        let mut rng = SimRng::new(1);
+        let t = m.delivery_time(&mut rng, 0, 1, 100, SimTime::ZERO).unwrap();
+        assert!(t.as_secs_f64() >= 1.0, "0→1 deferred to heal: {t}");
+        let back = m.delivery_time(&mut rng, 1, 0, 100, SimTime::ZERO).unwrap();
+        assert!(back.as_secs_f64() < 0.1, "1→0 unaffected: {back}");
+    }
+
+    #[test]
+    fn duplicate_probability_rolls_deterministically() {
+        let mut m = model(no_jitter());
+        let mut rng = SimRng::new(1);
+        assert_eq!(m.roll_duplicate(&mut rng), None, "defaults to off");
+        m.set_duplicate_probability(1.0);
+        let extra = m.roll_duplicate(&mut rng).expect("always duplicates");
+        assert_eq!(extra, NetworkConfig::default().retransmit_timeout);
+        m.set_duplicate_probability(0.0);
+        assert_eq!(m.roll_duplicate(&mut rng), None);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct Effects<M> {
 /// the handler charges. Handlers observe time through [`Context::now`].
 pub struct Context<'a, M> {
     pub(crate) now: SimTime,
+    /// Clock skew applied to [`Context::now`] readings only — timers are
+    /// monotonic-clock durations and do not shift with wall time.
+    pub(crate) skew_ns: i64,
     pub(crate) node: NodeId,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) metrics: &'a mut Metrics,
@@ -100,6 +103,7 @@ impl<'a, M> Context<'a, M> {
     ) -> Self {
         Context {
             now,
+            skew_ns: 0,
             node,
             rng,
             metrics,
@@ -107,6 +111,13 @@ impl<'a, M> Context<'a, M> {
             cpu_charged: SimDuration::ZERO,
             next_timer_id,
         }
+    }
+
+    /// Applies a clock skew to this context: subsequent [`Context::now`]
+    /// readings shift by `skew_ns` nanoseconds. External backends set
+    /// this per invocation (the engine sets it from the node slot).
+    pub fn set_clock_skew(&mut self, skew_ns: i64) {
+        self.skew_ns = skew_ns;
     }
 
     /// Consumes the context, returning the side effects the handler
@@ -128,9 +139,14 @@ impl<'a, M> Context<'a, M> {
         effects
     }
 
-    /// Current simulated time (start of this handler invocation).
+    /// Current simulated time (start of this handler invocation), as
+    /// observed by this node — a chaos schedule may have skewed it.
     pub fn now(&self) -> SimTime {
-        self.now
+        if self.skew_ns >= 0 {
+            self.now + SimDuration::from_nanos(self.skew_ns as u64)
+        } else {
+            SimTime::from_nanos(self.now.as_nanos().saturating_sub((-self.skew_ns) as u64))
+        }
     }
 
     /// The node's own id.

@@ -47,6 +47,10 @@ pub struct NodeRuntime<M: SimMessage + Wire> {
     started: bool,
     events: u64,
     decode_errors: u64,
+    /// Clock skew (ns) applied to the time the node observes via
+    /// `ctx.now()` — fault-injection harnesses skew replicas to probe
+    /// timestamp-sensitive paths. Timer deadlines stay monotonic.
+    clock_skew_ns: i64,
 }
 
 impl<M: SimMessage + Wire> NodeRuntime<M> {
@@ -68,7 +72,15 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             started: false,
             events: 0,
             decode_errors: 0,
+            clock_skew_ns: 0,
         }
+    }
+
+    /// Skews the clock the node observes through `ctx.now()` by
+    /// `skew_ns` nanoseconds (positive = the node believes it is in the
+    /// future). Mirrors `Simulation::set_clock_skew`.
+    pub fn set_clock_skew(&mut self, skew_ns: i64) {
+        self.clock_skew_ns = skew_ns;
     }
 
     /// Nanoseconds since the runtime was created, as the node's timebase.
@@ -141,6 +153,7 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             &mut self.metrics,
             &mut self.next_timer_id,
         );
+        ctx.set_clock_skew(self.clock_skew_ns);
         f(self.node.as_mut(), &mut ctx);
         let effects = ctx.into_effects();
         self.events += 1;

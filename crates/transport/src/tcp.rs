@@ -170,15 +170,25 @@ impl StreamRegistry {
         }
     }
 
+    /// Shuts down and **deregisters** every stream to/from `peer`. The
+    /// owning reader/writer threads notice the dead socket and release
+    /// their (now stale) tokens as a no-op; removing the entries here
+    /// keeps the window between shutdown and thread exit from letting a
+    /// second `sever` re-count the same dead socket clones as live
+    /// connections (phantom connections).
     fn sever(&mut self, peer: NodeId) -> usize {
-        let mut severed = 0;
-        for (p, stream) in self.streams.values() {
-            if *p == peer {
+        let severed: Vec<u64> = self
+            .streams
+            .iter()
+            .filter(|(_, (p, _))| *p == peer)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &severed {
+            if let Some((_, stream)) = self.streams.remove(id) {
                 let _ = stream.shutdown(Shutdown::Both);
-                severed += 1;
             }
         }
-        severed
+        severed.len()
     }
 
     fn close_all(&mut self) {
@@ -984,6 +994,33 @@ mod tests {
         peer.wake.notify_one();
         handle.join().expect("writer thread exits");
         assert_eq!(live(), 0, "shutdown exit must deregister");
+    }
+
+    #[test]
+    fn sever_deregisters_dead_sockets_no_phantom_connections() {
+        // Regression: `sever` used to shut streams down but leave their
+        // registry entries in place until the owning threads noticed and
+        // exited — so a second `sever` (or an overlapping one from a test
+        // harness) re-counted the same dead socket clones as live
+        // connections. Severing must deregister synchronously.
+        let (t0, t1) = pair();
+        // Traffic in both directions guarantees both of t0's registry
+        // entries exist: its writer's dialed socket and the reader socket
+        // accepted from t1 (registered after t1's handshake).
+        t0.send(1, b"out".to_vec());
+        t1.send(0, b"in".to_vec());
+        assert!(recv_until(&t1, Duration::from_secs(5)).is_some());
+        assert!(recv_until(&t0, Duration::from_secs(5)).is_some());
+
+        let first = t0.control().sever(1);
+        assert!(first >= 1, "something live must be severed, got {first}");
+        // Immediately again: the dead sockets are gone from the registry
+        // even though their threads may not have observed the close yet.
+        assert_eq!(
+            t0.control().sever(1),
+            0,
+            "second sever must not report phantom connections"
+        );
     }
 
     #[test]

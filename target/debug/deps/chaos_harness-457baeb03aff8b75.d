@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_harness-457baeb03aff8b75.d: tests/chaos_harness.rs
+
+/root/repo/target/debug/deps/chaos_harness-457baeb03aff8b75: tests/chaos_harness.rs
+
+tests/chaos_harness.rs:

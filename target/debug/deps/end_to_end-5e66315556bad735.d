@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5e66315556bad735.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5e66315556bad735: tests/end_to_end.rs
+
+tests/end_to_end.rs:

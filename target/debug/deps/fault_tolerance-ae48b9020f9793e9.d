@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ae48b9020f9793e9.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ae48b9020f9793e9: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-6841609d2785a9c7.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/protocol_invariants-6841609d2785a9c7: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

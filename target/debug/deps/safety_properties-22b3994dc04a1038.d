@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_properties-22b3994dc04a1038.d: tests/safety_properties.rs
+
+/root/repo/target/debug/deps/safety_properties-22b3994dc04a1038: tests/safety_properties.rs
+
+tests/safety_properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbft-3bf139851a02aa62.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/sbft-3bf139851a02aa62: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_chaos-29fc9a3186dacb68.d: crates/chaos/src/bin/sbft-chaos.rs
+
+/root/repo/target/debug/deps/sbft_chaos-29fc9a3186dacb68: crates/chaos/src/bin/sbft-chaos.rs
+
+crates/chaos/src/bin/sbft-chaos.rs:

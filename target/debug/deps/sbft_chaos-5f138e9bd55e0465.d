@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_chaos-5f138e9bd55e0465.d: crates/chaos/src/bin/sbft-chaos.rs
+
+/root/repo/target/debug/deps/libsbft_chaos-5f138e9bd55e0465.rmeta: crates/chaos/src/bin/sbft-chaos.rs
+
+crates/chaos/src/bin/sbft-chaos.rs:

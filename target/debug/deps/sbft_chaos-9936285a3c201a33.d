@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_chaos-9936285a3c201a33.d: crates/chaos/src/bin/sbft-chaos.rs
+
+/root/repo/target/debug/deps/libsbft_chaos-9936285a3c201a33.rmeta: crates/chaos/src/bin/sbft-chaos.rs
+
+crates/chaos/src/bin/sbft-chaos.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbft_chaos-b72b393d14a80d76.d: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+/root/repo/target/debug/deps/libsbft_chaos-b72b393d14a80d76.rmeta: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/library.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/proxy.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/shrink.rs:
+crates/chaos/src/sim_backend.rs:
+crates/chaos/src/swarm.rs:
+crates/chaos/src/tcp_backend.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbft_chaos-b9f25c5527fa024b.d: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+/root/repo/target/debug/deps/libsbft_chaos-b9f25c5527fa024b.rlib: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+/root/repo/target/debug/deps/libsbft_chaos-b9f25c5527fa024b.rmeta: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/library.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/proxy.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/shrink.rs:
+crates/chaos/src/sim_backend.rs:
+crates/chaos/src/swarm.rs:
+crates/chaos/src/tcp_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_chaos-d1f4203171ef78a8.d: crates/chaos/src/bin/sbft-chaos.rs
+
+/root/repo/target/debug/deps/sbft_chaos-d1f4203171ef78a8: crates/chaos/src/bin/sbft-chaos.rs
+
+crates/chaos/src/bin/sbft-chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-7ad73691b33f17f9.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/sbft_node-7ad73691b33f17f9: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_cluster-465197c706a0c290.d: tests/tcp_cluster.rs
+
+/root/repo/target/debug/deps/tcp_cluster-465197c706a0c290: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0ee6fc31220e6f2a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0ee6fc31220e6f2a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_contracts-ca4a5b8491f5d7b9.d: examples/smart_contracts.rs
+
+/root/repo/target/debug/examples/smart_contracts-ca4a5b8491f5d7b9: examples/smart_contracts.rs
+
+examples/smart_contracts.rs:

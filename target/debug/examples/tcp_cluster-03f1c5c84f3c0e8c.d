@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-03f1c5c84f3c0e8c.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/tcp_cluster-03f1c5c84f3c0e8c: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_change-db1994b7bb949990.d: examples/view_change.rs
+
+/root/repo/target/debug/examples/view_change-db1994b7bb949990: examples/view_change.rs
+
+examples/view_change.rs:

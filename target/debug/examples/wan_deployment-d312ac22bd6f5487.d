@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_deployment-d312ac22bd6f5487.d: examples/wan_deployment.rs
+
+/root/repo/target/debug/examples/wan_deployment-d312ac22bd6f5487: examples/wan_deployment.rs
+
+examples/wan_deployment.rs:

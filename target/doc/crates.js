@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["sbft_chaos"];
+//{"start":21,"fragment_lengths":[12]}

@@ -1,0 +1,2 @@
+createSrcSidebar('[["sbft_chaos",["",[],["lib.rs","library.rs","plan.rs","proxy.rs","report.rs","shrink.rs","sim_backend.rs","swarm.rs","tcp_backend.rs"]]]]');
+//{"start":19,"fragment_lengths":[136]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["sbft_chaos",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/default/trait.Default.html\" title=\"trait core::default::Default\">Default</a> for <a class=\"struct\" href=\"sbft_chaos/proxy/struct.LinkPolicy.html\" title=\"struct sbft_chaos::proxy::LinkPolicy\">LinkPolicy</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/default/trait.Default.html\" title=\"trait core::default::Default\">Default</a> for <a class=\"struct\" href=\"sbft_chaos/swarm/struct.SwarmConfig.html\" title=\"struct sbft_chaos::swarm::SwarmConfig\">SwarmConfig</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[599]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["sbft_chaos",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"sbft_chaos/report/enum.Backend.html\" title=\"enum sbft_chaos::report::Backend\">Backend</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[285]}

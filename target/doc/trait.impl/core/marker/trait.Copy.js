@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["sbft_chaos",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/marker/trait.Copy.html\" title=\"trait core::marker::Copy\">Copy</a> for <a class=\"enum\" href=\"sbft_chaos/plan/enum.Byz.html\" title=\"enum sbft_chaos::plan::Byz\">Byz</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/marker/trait.Copy.html\" title=\"trait core::marker::Copy\">Copy</a> for <a class=\"enum\" href=\"sbft_chaos/report/enum.Backend.html\" title=\"enum sbft_chaos::report::Backend\">Backend</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/marker/trait.Copy.html\" title=\"trait core::marker::Copy\">Copy</a> for <a class=\"enum\" href=\"sbft_chaos/swarm/enum.BackendSel.html\" title=\"enum sbft_chaos::swarm::BackendSel\">BackendSel</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[805]}

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sbft_chaos-1e382a2a0475b58a.d: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+/root/repo/target/release/deps/libsbft_chaos-1e382a2a0475b58a.rlib: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+/root/repo/target/release/deps/libsbft_chaos-1e382a2a0475b58a.rmeta: crates/chaos/src/lib.rs crates/chaos/src/library.rs crates/chaos/src/plan.rs crates/chaos/src/proxy.rs crates/chaos/src/report.rs crates/chaos/src/shrink.rs crates/chaos/src/sim_backend.rs crates/chaos/src/swarm.rs crates/chaos/src/tcp_backend.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/library.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/proxy.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/shrink.rs:
+crates/chaos/src/sim_backend.rs:
+crates/chaos/src/swarm.rs:
+crates/chaos/src/tcp_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sbft_chaos-1ea974bbec1ac197.d: crates/chaos/src/bin/sbft-chaos.rs
+
+/root/repo/target/release/deps/sbft_chaos-1ea974bbec1ac197: crates/chaos/src/bin/sbft-chaos.rs
+
+crates/chaos/src/bin/sbft-chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_cascade-014d5cffd12c2923.d: examples/probe_cascade.rs
+
+/root/repo/target/release/examples/probe_cascade-014d5cffd12c2923: examples/probe_cascade.rs
+
+examples/probe_cascade.rs:

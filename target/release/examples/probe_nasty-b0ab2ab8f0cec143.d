@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_nasty-b0ab2ab8f0cec143.d: crates/chaos/examples/probe_nasty.rs
+
+/root/repo/target/release/examples/probe_nasty-b0ab2ab8f0cec143: crates/chaos/examples/probe_nasty.rs
+
+crates/chaos/examples/probe_nasty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_quiescent-91b0a1feeb5d9842.d: crates/chaos/examples/probe_quiescent.rs
+
+/root/repo/target/release/examples/probe_quiescent-91b0a1feeb5d9842: crates/chaos/examples/probe_quiescent.rs
+
+crates/chaos/examples/probe_quiescent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_restart-82f7f4e1f09095d8.d: examples/probe_restart.rs
+
+/root/repo/target/release/examples/probe_restart-82f7f4e1f09095d8: examples/probe_restart.rs
+
+examples/probe_restart.rs:

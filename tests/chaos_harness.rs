@@ -1,0 +1,126 @@
+//! Chaos-harness acceptance tests: the same fault plans running on the
+//! deterministic simulator and on real TCP sockets through the
+//! in-process fault proxy.
+//!
+//! The sim side is swept much wider by CI (`sbft-chaos --swarm`); here
+//! we pin the cross-backend contract — same plan, same invariants, two
+//! runtimes — and document the one genuine protocol gap the initial
+//! sweeps surfaced (see `quiescent_rejoin_requires_proactive_sync`).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sbft_chaos::{plan_by_name, run_sim, run_tcp, Outcome};
+
+/// TCP runs spawn ~15 OS threads each and are timing-sensitive on small
+/// containers; serialize them.
+static TCP_LOCK: Mutex<()> = Mutex::new(());
+
+fn assert_tcp_pass(name: &str, seed: u64) {
+    let _serial = TCP_LOCK.lock().expect("tcp test lock");
+    let plan = plan_by_name(name).expect("canonical plan exists");
+    let report = run_tcp(&plan, seed, Duration::from_secs(60));
+    assert_eq!(
+        report.outcome,
+        Outcome::Pass,
+        "plan `{name}` on tcp: {:?} (reproduce: sbft-chaos --plan {name} --backend tcp)",
+        report.outcome
+    );
+}
+
+#[test]
+fn same_seed_same_verdict_on_sim() {
+    // The acceptance bar for reproducibility: a sim run is a pure
+    // function of (plan, seed) — identical event counts, identical
+    // completions, identical verdict.
+    let plan = plan_by_name("one-way-isolation").expect("canonical plan");
+    let a = run_sim(&plan, 0xC0FFEE);
+    let b = run_sim(&plan, 0xC0FFEE);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed ⇒ same run");
+    assert_eq!(a.completed, b.completed);
+}
+
+#[test]
+fn tcp_primary_crash_recovers_via_view_change() {
+    // The flagship cross-backend scenario: kill the primary mid-batch
+    // over real sockets; the view change must restore liveness and the
+    // judged invariants must hold on the surviving replicas.
+    assert_tcp_pass("primary-crash", 0xDEAD);
+}
+
+#[test]
+fn tcp_partition_heals_through_the_fault_proxy() {
+    // The fault proxy cuts every link of one backup (live connections
+    // killed, reconnects refused), then heals it; reconnect-with-backoff
+    // must restore full-cluster liveness.
+    assert_tcp_pass("partition-heal", 0xDEAD);
+}
+
+#[test]
+fn tcp_lagging_replica_rejoins_after_empty_state_restart() {
+    // ROADMAP called "state-transfer for lagging replicas over TCP"
+    // unvalidated; this validates it: the replica reboots with a wiped
+    // disk on a fresh port behind the commit frontier, and must catch
+    // back up over real sockets while traffic keeps flowing (the plan's
+    // max_final_lag bound).
+    assert_tcp_pass("lagging-replica-rejoin", 0xDEAD);
+}
+
+/// RED TEST — documents a real protocol gap found by the chaos sweep
+/// (and the reason it stays `#[ignore]`d rather than fixed here):
+///
+/// A replica that reboots **with empty state into a quiescent cluster**
+/// never recovers. State transfer is only triggered by observing
+/// traffic beyond the log window, so with no client load the rejoiner
+/// sits at seq 0 indefinitely — the cluster silently runs with its
+/// fault budget consumed until the next request happens to flow.
+/// The fix is a proactive recovery handshake on startup (ask peers for
+/// their stable checkpoint), tracked in ROADMAP's open items.
+///
+/// Run it with `cargo test -- --ignored quiescent_rejoin` to watch it
+/// fail.
+#[test]
+#[ignore = "documents ROADMAP gap: no proactive state sync on restart into an idle cluster"]
+fn quiescent_rejoin_requires_proactive_sync() {
+    use sbft::core::{Cluster, ClusterConfig, VariantFlags, Workload};
+    use sbft::sim::{SimDuration, SimTime};
+
+    let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+    config.clients = 2;
+    config.protocol.window = 32;
+    config.protocol.checkpoint_period = 16;
+    // Bounded workload: it finishes, then the cluster goes quiet.
+    config.workload = Workload::KvPut {
+        requests: 60,
+        ops_per_request: 1,
+        key_space: 64,
+        value_len: 16,
+    };
+    let mut cluster = Cluster::build(config);
+    cluster.sim.start();
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_millis(200));
+    let now = cluster.sim.now();
+    cluster.sim.schedule_crash(3, now);
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(20));
+    assert_eq!(cluster.total_completed(), 120, "workload finished");
+    let frontier = cluster.replica(0).last_executed().get();
+    assert!(frontier >= 60, "cluster committed past the window");
+
+    // Reboot replica 3 with empty state into the idle cluster; nothing
+    // nudges it, so (today) it never catches up.
+    cluster.restart_replica(3);
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(80));
+    let caught_up = cluster.replica(3).last_executed().get();
+    assert!(
+        caught_up + 32 >= frontier,
+        "restarted replica must proactively sync to the frontier even without \
+         live traffic (stuck at {caught_up}, frontier {frontier})"
+    );
+}
