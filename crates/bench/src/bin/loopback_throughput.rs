@@ -4,17 +4,27 @@
 //! — what `cargo run --release --bin loopback_throughput` on one machine
 //! can actually sustain.
 //!
-//! Flags: `--quick` (short window), `--clients a,b,c` (sweep points).
+//! Flags: `--quick` (short window), `--clients a,b,c` (sweep points),
+//! `--verify-threads N` (verification pipeline workers per replica;
+//! 0 = auto from core count, 1 = bypass), `--json PATH` (machine-readable
+//! result file, default `BENCH_loopback.json`), `--no-json`.
+//!
+//! Every run emits the perf-trajectory record `BENCH_loopback.json`
+//! (req/s, latency percentiles, process-CPU µs per request, thread
+//! count, git revision) so successive PRs can be compared; CI uploads it
+//! as an artifact.
 
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use sbft::core::{ClientNode, ReplicaNode};
 use sbft::deploy::{client_runtime, loopback_config, replica_runtime, ClientWorkload};
+use sbft::sim::SampleStats;
 use sbft::transport::ClusterSpec;
+use sbft_bench::trajectory::Trajectory;
 
 struct Args {
     window: Duration,
@@ -22,6 +32,9 @@ struct Args {
     clients: Vec<usize>,
     verbose: bool,
     smoke_floor: Option<f64>,
+    /// 0 = auto (core count), 1 = pipeline bypassed.
+    verify_threads: usize,
+    json_path: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +45,8 @@ fn parse_args() -> Args {
         clients: vec![1, 2, 4, 8],
         verbose: false,
         smoke_floor: None,
+        verify_threads: 0,
+        json_path: Some("BENCH_loopback.json".to_string()),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -59,6 +74,19 @@ fn parse_args() -> Args {
                         .expect("floor req/s"),
                 );
             }
+            "--verify-threads" => {
+                i += 1;
+                args.verify_threads = argv
+                    .get(i)
+                    .expect("--verify-threads needs a count")
+                    .parse()
+                    .expect("thread count");
+            }
+            "--json" => {
+                i += 1;
+                args.json_path = Some(argv.get(i).expect("--json needs a path").clone());
+            }
+            "--no-json" => args.json_path = None,
             "--verbose" => args.verbose = true,
             "--clients" => {
                 i += 1;
@@ -87,18 +115,52 @@ fn bind(count: usize) -> (Vec<TcpListener>, Vec<String>) {
     (listeners, addrs)
 }
 
-/// One sweep point: boots a fresh cluster, returns (req/s, mean ms).
-fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) -> (f64, f64) {
+/// Process CPU time in clock ticks (utime + stime from /proc/self/stat),
+/// `None` off Linux. Covers every thread of the process — replicas,
+/// clients, transport and verification workers — which is exactly the
+/// "protocol CPU per request" the trajectory tracks.
+fn process_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields after the parenthesized comm (which may contain spaces).
+    let rest = stat.rsplit(')').next()?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // utime and stime are fields 14 and 15 of the full line; after the
+    // comm we have consumed 2 fields, so they are at offsets 11 and 12.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Microseconds per clock tick (Linux's USER_HZ is 100 everywhere that
+/// matters; a wrong constant skews the absolute number, not the trend).
+const US_PER_TICK: f64 = 10_000.0;
+
+/// One sweep point's measurements.
+struct Point {
+    clients: usize,
+    req_per_s: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cpu_us_per_request: f64,
+    verify_threads_used: usize,
+}
+
+/// One sweep point: boots a fresh cluster, measures a window.
+fn measure(clients: usize, args: &Args) -> Point {
     let (replica_listeners, replica_addrs) = bind(4);
     let (client_listeners, client_addrs) = bind(clients);
-    let spec = ClusterSpec::parse(&loopback_config(
-        1,
-        0,
-        0x5bf7,
-        &replica_addrs,
-        &client_addrs,
-    ))
-    .expect("config parses");
+    let config_text = format!(
+        "verify_threads {}\n{}",
+        args.verify_threads,
+        loopback_config(1, 0, 0x5bf7, &replica_addrs, &client_addrs),
+    );
+    let spec = ClusterSpec::parse(&config_text).expect("config parses");
+    let verify_threads_used = if spec.resolved_verify_threads() > 1 {
+        spec.resolved_verify_threads()
+    } else {
+        0
+    };
 
     let done = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -120,6 +182,7 @@ fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) ->
                         labels.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));
                         eprintln!("  replica {r} sends by label: {labels:?}");
                     }
+                    let pool = runtime.verify_pool_stats();
                     let node = runtime.node_as::<ReplicaNode>().expect("replica node");
                     (
                         r,
@@ -128,21 +191,20 @@ fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) ->
                         runtime.metrics().counter("fast_commits"),
                         runtime.metrics().counter("slow_commits"),
                         stats,
+                        pool,
                     )
                 })
                 .expect("spawn replica"),
         );
     }
 
-    // Clients publish progress through shared counters; the main thread
-    // reads them at the warmup and window edges.
-    let completed = Arc::new(AtomicU64::new(0));
-    let latency_us_total = Arc::new(AtomicU64::new(0));
+    // Clients publish every completed request's latency; the main thread
+    // snapshots the vector at the warmup and window edges.
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
     for (c, listener) in client_listeners.into_iter().enumerate() {
         let spec = spec.clone();
         let done = Arc::clone(&done);
-        let completed = Arc::clone(&completed);
-        let latency_us_total = Arc::clone(&latency_us_total);
+        let latencies = Arc::clone(&latencies);
         threads.push(
             thread::Builder::new()
                 .name(format!("client-{c}"))
@@ -159,12 +221,10 @@ fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) ->
                         let node = runtime.node_as::<ClientNode>().expect("client");
                         let new = node.latencies_ms.len();
                         if new > reported {
-                            let us: f64 = node.latencies_ms[reported..]
-                                .iter()
-                                .map(|ms| ms * 1_000.0)
-                                .sum();
-                            completed.fetch_add((new - reported) as u64, Ordering::Relaxed);
-                            latency_us_total.fetch_add(us as u64, Ordering::Relaxed);
+                            latencies
+                                .lock()
+                                .expect("latency lock")
+                                .extend_from_slice(&node.latencies_ms[reported..]);
                             reported = new;
                         }
                     }
@@ -173,21 +233,24 @@ fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) ->
         );
     }
 
-    thread::sleep(warmup);
-    let committed_at_start = completed.load(Ordering::Relaxed);
-    let latency_at_start = latency_us_total.load(Ordering::Relaxed);
+    thread::sleep(args.warmup);
+    let committed_at_start = latencies.lock().expect("latency lock").len();
+    let cpu_at_start = process_cpu_ticks();
     let started = Instant::now();
-    thread::sleep(window);
+    thread::sleep(args.window);
     let elapsed = started.elapsed().as_secs_f64();
-    let committed = completed.load(Ordering::Relaxed) - committed_at_start;
-    let latency_us = latency_us_total.load(Ordering::Relaxed) - latency_at_start;
+    let cpu_at_end = process_cpu_ticks();
+    let window_latencies: Vec<f64> = {
+        let all = latencies.lock().expect("latency lock");
+        all[committed_at_start.min(all.len())..].to_vec()
+    };
     done.store(true, Ordering::Release);
     for t in threads {
         t.join().expect("node thread");
     }
     for t in replica_threads {
-        let (r, view, executed, fast, slow, stats) = t.join().expect("replica thread");
-        if verbose {
+        let (r, view, executed, fast, slow, stats, pool) = t.join().expect("replica thread");
+        if args.verbose {
             eprintln!(
                 "  replica {r}: view {view} executed {executed} fast {fast} slow {slow} | \
                  tx {} frames/{} B rx {} frames/{} B, {} connects, {} dropped, {} hs-rejects",
@@ -199,25 +262,87 @@ fn measure(clients: usize, warmup: Duration, window: Duration, verbose: bool) ->
                 stats.dropped,
                 stats.handshake_rejects,
             );
+            if let Some(pool) = pool {
+                eprintln!(
+                    "  replica {r} verify-pool: {} in / {} released, {} decode errs, \
+                     {} rejects, {} batches ({:.1} frames/batch)",
+                    pool.frames_in,
+                    pool.released,
+                    pool.decode_errors,
+                    pool.verify_rejects,
+                    pool.batches,
+                    pool.frames_in as f64 / pool.batches.max(1) as f64,
+                );
+            }
         }
     }
-    let mean_ms = if committed > 0 {
-        latency_us as f64 / committed as f64 / 1_000.0
-    } else {
-        0.0
+    let committed = window_latencies.len() as u64;
+    // The simulator's stats helper keeps the percentile definition
+    // identical across the sim and wire trajectories.
+    let stats = SampleStats::from_samples(&window_latencies);
+    let cpu_us_per_request = match (cpu_at_start, cpu_at_end) {
+        (Some(start), Some(end)) if committed > 0 => {
+            (end.saturating_sub(start)) as f64 * US_PER_TICK / committed as f64
+        }
+        _ => 0.0,
     };
-    (committed as f64 / elapsed, mean_ms)
+    Point {
+        clients,
+        req_per_s: committed as f64 / elapsed,
+        mean_ms: stats.as_ref().map(|s| s.mean).unwrap_or(0.0),
+        p50_ms: stats.as_ref().map(|s| s.median).unwrap_or(0.0),
+        p99_ms: stats.as_ref().map(|s| s.p99).unwrap_or(0.0),
+        cpu_us_per_request,
+        verify_threads_used,
+    }
+}
+
+fn write_json(path: &str, points: &[Point], best: f64) {
+    let mut record = Trajectory::new("loopback_throughput");
+    record.field_u64(
+        "verify_threads",
+        points.first().map(|p| p.verify_threads_used).unwrap_or(0) as u64,
+    );
+    record.field_f64("best_req_per_s", best);
+    for p in points {
+        record.point(format!(
+            "{{\"clients\": {}, \"req_per_s\": {:.1}, \"mean_ms\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cpu_us_per_request\": {:.1}}}",
+            p.clients, p.req_per_s, p.mean_ms, p.p50_ms, p.p99_ms, p.cpu_us_per_request,
+        ));
+    }
+    record.write(path);
 }
 
 fn main() {
     let args = parse_args();
     println!("loopback TCP throughput, n=4 (f=1, c=0), closed-loop clients");
-    println!("{:>8} {:>12} {:>12}", "clients", "req/s", "mean ms");
+    println!(
+        "verify-threads: {} (0 = auto; resolves per host at boot)",
+        args.verify_threads
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "clients", "req/s", "mean ms", "p50 ms", "p99 ms", "cpu µs/req"
+    );
     let mut best = 0.0f64;
+    let mut points = Vec::new();
     for &clients in &args.clients {
-        let (rps, mean_ms) = measure(clients, args.warmup, args.window, args.verbose);
-        println!("{clients:>8} {rps:>12.1} {mean_ms:>12.2}");
-        best = best.max(rps);
+        let point = measure(clients, &args);
+        println!(
+            "{:>8} {:>12.1} {:>10.2} {:>10.2} {:>10.2} {:>12.1}",
+            point.clients,
+            point.req_per_s,
+            point.mean_ms,
+            point.p50_ms,
+            point.p99_ms,
+            point.cpu_us_per_request,
+        );
+        best = best.max(point.req_per_s);
+        points.push(point);
+    }
+    if let Some(path) = &args.json_path {
+        write_json(path, &points, best);
     }
     if let Some(floor) = args.smoke_floor {
         assert!(

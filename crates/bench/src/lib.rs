@@ -8,6 +8,7 @@
 pub mod driver;
 pub mod micro;
 pub mod table;
+pub mod trajectory;
 
 pub use driver::{
     eth_workload, run_experiment, ExperimentResult, ExperimentSpec, Scale, ServiceKind,

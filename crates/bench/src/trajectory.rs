@@ -1,0 +1,142 @@
+//! The machine-readable perf-trajectory record (`BENCH_*.json`).
+//!
+//! Every wire-path bench writes one of these per run — req/s, latency
+//! percentiles, CPU per request, git revision — so successive PRs have a
+//! baseline to diff against (CI validates and uploads them as the
+//! `bench-trajectory` artifact). The workspace is dependency-free, so
+//! the JSON is assembled by hand here; both emitting bins share this one
+//! writer so the record shape cannot silently diverge between them.
+
+use std::fmt::Write as _;
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string escaping for the few free-text fields.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One trajectory record under construction. Scalars via the `field_*`
+/// methods, one pre-rendered JSON object per sweep point via
+/// [`Trajectory::point`], then [`Trajectory::write`].
+pub struct Trajectory {
+    fields: Vec<(String, String)>,
+    points: Vec<String>,
+}
+
+impl Trajectory {
+    /// Starts a record for `bench`, stamping the shared provenance
+    /// fields every record carries: `git_rev`, `timestamp_unix`,
+    /// `host_cores`.
+    pub fn new(bench: &str) -> Trajectory {
+        let now_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0);
+        let mut t = Trajectory {
+            fields: Vec::new(),
+            points: Vec::new(),
+        };
+        t.field_str("bench", bench);
+        t.field_str("git_rev", &git_rev());
+        t.field_u64("timestamp_unix", now_unix);
+        t.field_u64("host_cores", cores as u64);
+        t
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Adds a one-decimal float field.
+    pub fn field_f64(&mut self, key: &str, value: f64) {
+        self.fields.push((key.to_string(), format!("{value:.1}")));
+    }
+
+    /// Appends one sweep point, already rendered as a JSON object (the
+    /// per-bench schema lives with the bench).
+    pub fn point(&mut self, rendered: String) {
+        self.points.push(rendered);
+    }
+
+    /// Writes the record to `path` and announces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench that silently
+    /// loses its trajectory record defeats the point.
+    pub fn write(&self, path: &str) {
+        let mut json = String::from("{\n");
+        for (key, value) in &self.fields {
+            let _ = writeln!(json, "  \"{key}\": {value},");
+        }
+        json.push_str("  \"points\": [\n");
+        for (i, point) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = writeln!(json, "    {point}{comma}");
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, &json).expect("write bench trajectory json");
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_shape_is_stable() {
+        let mut t = Trajectory::new("unit_test");
+        t.field_f64("best", 123.45);
+        t.point("{\"x\": 1}".to_string());
+        t.point("{\"x\": 2}".to_string());
+        let path = std::env::temp_dir().join("sbft_trajectory_unit_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        t.write(path);
+        let written = std::fs::read_to_string(path).expect("written");
+        assert!(written.contains("\"bench\": \"unit_test\""));
+        assert!(written.contains("\"git_rev\": \""));
+        assert!(written.contains("\"best\": 123.5"));
+        assert!(written.contains("{\"x\": 1},"));
+        assert!(written.contains("{\"x\": 2}\n"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -128,7 +128,13 @@ fn spawn_replica(
             let transport = TcpTransport::with_listener(spec.transport_config(r), listener)
                 .expect("replica transport boots");
             let control = transport.control();
-            let mut runtime = NodeRuntime::new(Box::new(replica), transport, node_seed(seed, r));
+            let mut runtime = sbft::deploy::replica_runtime_with_pipeline(
+                replica,
+                transport,
+                node_seed(seed, r),
+                keys.public.clone(),
+                spec.verify_threads,
+            );
             drive(
                 &thread_stop,
                 &cmd_rx,
@@ -254,6 +260,11 @@ impl TcpRun {
             seed,
             variant: VariantName::Sbft,
             profile: TransportProfile::Lan,
+            // Always exercise the parallel verification pipeline under
+            // chaos: 2 workers per replica forces the reorder/release
+            // machinery into every fault schedule even on a 1-core host
+            // (where the deploy default would bypass it).
+            verify_threads: 2,
             replicas: (0..n).map(|r| net.proxy_addr(r)).collect(),
             clients: (n..total).map(|node| net.proxy_addr(node)).collect(),
         };

@@ -37,7 +37,7 @@ pub struct ClientNode {
     config: ProtocolConfig,
     id: ClientId,
     keys: KeyPair,
-    public: std::rc::Rc<PublicKeys>,
+    public: std::sync::Arc<PublicKeys>,
     cost: CryptoCostModel,
     source: RequestSource,
     next: u64,
@@ -66,7 +66,7 @@ impl ClientNode {
     pub fn new(
         config: ProtocolConfig,
         id: ClientId,
-        public: std::rc::Rc<PublicKeys>,
+        public: std::sync::Arc<PublicKeys>,
         source: RequestSource,
         retry_timeout: SimDuration,
         cost: CryptoCostModel,
@@ -161,7 +161,10 @@ impl ClientNode {
         if outstanding.timestamp != timestamp {
             return;
         }
-        // One signature verification + one Merkle check (§V-A).
+        // One signature verification + one Merkle check (§V-A). Clients
+        // always verify for themselves: they run on the direct path (the
+        // verification pipeline is a replica-side stage — a closed-loop
+        // client gains nothing from offloading its one in-flight check).
         ctx.charge_cpu_ns(self.cost.verify_signature());
         if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
             return;

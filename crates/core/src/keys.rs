@@ -1,7 +1,12 @@
 //! Cluster key material: the three threshold schemes σ/τ/π (§V) plus
 //! simulated PKI keys for clients and replicas.
+//!
+//! Public material is `Send + Sync` and shared behind an [`Arc`]: the
+//! sans-IO nodes stay single-threaded, but the transport's verification
+//! pipeline hands the same keys to a pool of worker threads.
 
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 use sbft_types::ClientId;
 
@@ -16,8 +21,13 @@ pub const DOMAIN_TAU: &[u8] = b"sbft-tau";
 /// Domain tag for π (execution/checkpoint) signatures.
 pub const DOMAIN_PI: &[u8] = b"sbft-pi";
 
+/// Bound on the memoized client-key map; a rollover clears it (real
+/// deployments cycle through a stable working set of clients, so the
+/// cache effectively never rolls).
+const CLIENT_KEY_CACHE_CAP: usize = 65_536;
+
 /// Public key material every replica and client holds.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PublicKeys {
     /// σ scheme: threshold `3f + c + 1`.
     pub sigma: ThresholdPublicKey,
@@ -28,13 +38,49 @@ pub struct PublicKeys {
     /// Master seed for deriving client PKI keys (simulated PKI — see
     /// `sbft_crypto::KeyPair`).
     pki_seed: u64,
+    /// Memoized client key derivations: the derivation (an HMAC chain) is
+    /// pure, and replicas look the same client up on every request in the
+    /// hot path — derive once per client, not once per message.
+    client_key_cache: RwLock<HashMap<u32, KeyPair>>,
+}
+
+impl Clone for PublicKeys {
+    fn clone(&self) -> Self {
+        PublicKeys {
+            sigma: self.sigma.clone(),
+            tau: self.tau.clone(),
+            pi: self.pi.clone(),
+            pki_seed: self.pki_seed,
+            // A fresh cache: cloning key material is setup-path only.
+            client_key_cache: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl PublicKeys {
     /// Derives the PKI key pair of a client (replicas use this to verify
     /// request signatures; the simulation's stand-in for a real PKI).
+    /// Memoized per client id — the derivation is deterministic and this
+    /// sits on the request-verification hot path.
     pub fn client_keys(&self, client: ClientId) -> KeyPair {
-        KeyPair::derive(self.pki_seed, b"client", client.get())
+        if let Some(keys) = self
+            .client_key_cache
+            .read()
+            .expect("client key cache lock")
+            .get(&client.get())
+        {
+            return keys.clone();
+        }
+        let keys = KeyPair::derive(self.pki_seed, b"client", client.get());
+        let mut cache = self
+            .client_key_cache
+            .write()
+            .expect("client key cache lock");
+        if cache.len() >= CLIENT_KEY_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(client.get(), keys.clone());
+        keys
     }
 }
 
@@ -52,8 +98,9 @@ pub struct ReplicaKeys {
 /// Full cluster key material as dealt at setup.
 #[derive(Debug, Clone)]
 pub struct KeyMaterial {
-    /// Shared public material.
-    pub public: Rc<PublicKeys>,
+    /// Shared public material (`Arc`: the verification pipeline's worker
+    /// threads hold it alongside the node).
+    pub public: Arc<PublicKeys>,
     /// Per-replica secret shares, indexed by replica.
     pub replicas: Vec<ReplicaKeys>,
 }
@@ -75,11 +122,12 @@ impl KeyMaterial {
             .map(|((sigma, tau), pi)| ReplicaKeys { sigma, tau, pi })
             .collect();
         KeyMaterial {
-            public: Rc::new(PublicKeys {
+            public: Arc::new(PublicKeys {
                 sigma: sigma_pub,
                 tau: tau_pub,
                 pi: pi_pub,
                 pki_seed: seed,
+                client_key_cache: RwLock::new(HashMap::new()),
             }),
             replicas,
         }
@@ -131,6 +179,23 @@ mod tests {
         assert!(alice.verify(b"request", &sig));
         let bob = keys.public.client_keys(ClientId::new(2));
         assert!(!bob.verify(b"request", &sig));
+    }
+
+    #[test]
+    fn public_keys_are_send_sync_and_cache_is_consistent() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The verification pipeline shares `Arc<PublicKeys>` across worker
+        // threads; this must never silently regress to `!Send`.
+        assert_send_sync::<PublicKeys>();
+
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 7);
+        let fresh = keys.public.client_keys(ClientId::new(3));
+        let cached = keys.public.client_keys(ClientId::new(3));
+        assert_eq!(fresh.sign(b"m"), cached.sign(b"m"));
+        // The cache must match a from-scratch derivation exactly.
+        let derived = sbft_crypto::KeyPair::derive(7, b"client", 3);
+        assert_eq!(fresh.sign(b"m"), derived.sign(b"m"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod messages;
 pub mod pipelined;
 pub mod replica;
 pub mod testkit;
+pub mod verify;
 pub mod viewchange;
 
 pub use client::ClientNode;
@@ -55,4 +56,5 @@ pub use testkit::{
     invariant_violation, make_client, make_replica, Cluster, ClusterConfig, ReplicaSnapshot,
     Workload,
 };
+pub use verify::SbftPreVerifier;
 pub use viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};

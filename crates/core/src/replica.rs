@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum};
 
-use sbft_crypto::{CryptoCostModel, Signature, SignatureShare};
+use sbft_crypto::{CryptoCostModel, PkiSignature, Signature, SignatureShare};
 use sbft_sim::{Context, Node, NodeId, TimerId};
 use sbft_statedb::{
     combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, StateChunk,
@@ -110,11 +110,19 @@ struct Slot {
 pub struct ReplicaNode {
     config: ProtocolConfig,
     id: ReplicaId,
-    public: std::rc::Rc<PublicKeys>,
+    public: std::sync::Arc<PublicKeys>,
     my_keys: ReplicaKeys,
     service: Box<dyn Service>,
     cost: CryptoCostModel,
     behavior: Behavior,
+    /// Inbound messages were already decoded **and verified** by the
+    /// transport's parallel verification pipeline (see
+    /// `crate::verify::SbftPreVerifier`): handlers skip the stateless
+    /// checks the pipeline covers — client request signatures, π
+    /// shares/proofs over carried digests, view-change evidence — along
+    /// with their CPU charges. Checks that depend on replica state (block
+    /// digests only the log knows) always run here.
+    inbound_preverified: bool,
 
     view: ViewNum,
     in_view_change: bool,
@@ -139,6 +147,18 @@ pub struct ReplicaNode {
     last_block_len: usize,
     /// Highest proposed timestamp per client (primary-side dedup).
     proposed_table: HashMap<u32, u64>,
+    /// Requests whose client signature this replica already verified,
+    /// keyed by `(client, timestamp)` with the verified signature **and
+    /// the op digest** as the value: a forwarded request verified in
+    /// `handle_request` is not re-verified (or re-charged) when the same
+    /// request arrives inside a pre-prepare — the cost model charges
+    /// once per unique verification, mirroring the digest-deduped real
+    /// code path. Both stored fields must match for a hit: comparing the
+    /// signature alone would let a Byzantine primary splice a *copied*
+    /// valid signature onto a different op and ride the memo past
+    /// verification. Entries drain on execution, with a size guard for
+    /// requests that never commit.
+    verified_requests: HashMap<(u32, u64), (PkiSignature, Digest)>,
 
     // Execution bookkeeping.
     /// Highest executed timestamp per client.
@@ -183,6 +203,7 @@ impl ReplicaNode {
             service,
             cost,
             behavior: Behavior::Honest,
+            inbound_preverified: false,
             view: ViewNum::ZERO,
             in_view_change: false,
             slots: BTreeMap::new(),
@@ -196,6 +217,7 @@ impl ReplicaNode {
             batch_timer_set: false,
             last_block_len: 0,
             proposed_table: HashMap::new(),
+            verified_requests: HashMap::new(),
             client_table: HashMap::new(),
             executed_requests: HashMap::new(),
             forwarded: HashMap::new(),
@@ -214,6 +236,14 @@ impl ReplicaNode {
     /// Sets a fault-injection behaviour (defaults to honest).
     pub fn set_behavior(&mut self, behavior: Behavior) {
         self.behavior = behavior;
+    }
+
+    /// Declares that inbound messages arrive through a verification
+    /// pipeline that already performed every stateless check (defaults to
+    /// off: the simulator and single-threaded runtimes deliver raw
+    /// messages). Self-sent (loopback) messages are trusted either way.
+    pub fn set_inbound_preverified(&mut self, preverified: bool) {
+        self.inbound_preverified = preverified;
     }
 
     /// Current view.
@@ -339,9 +369,49 @@ impl ReplicaNode {
 
     // ---------- client requests & batching (primary) ----------
 
+    /// Bound on the verified-request memo (requests that never execute
+    /// would otherwise pin entries forever; clearing only costs a
+    /// re-verification).
+    const VERIFIED_REQUESTS_CAP: usize = 65_536;
+
+    /// Verifies a client request's signature exactly **once** per unique
+    /// `(client, timestamp, signature, op)`. Re-arrivals of an
+    /// already-verified request — the same request forwarded to the
+    /// primary and then read back out of its pre-prepare — skip both the
+    /// check and the CPU charge (the cost model used to double-charge
+    /// this). Pipeline-verified inbound skips the check but still records
+    /// the request as verified. A memo hit requires the signature *and*
+    /// the op digest to match byte-for-byte: a same-timestamp forgery,
+    /// including a copied valid signature spliced onto a different op,
+    /// never rides a cache hit. (One op hash on a hit is still far
+    /// cheaper than the full HMAC verification it replaces.)
+    fn check_request_signature(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        request: &ClientRequest,
+    ) -> bool {
+        let key = (request.client.get(), request.timestamp);
+        if let Some((sig, op_digest)) = self.verified_requests.get(&key) {
+            if *sig == request.signature.0 && *op_digest == sbft_crypto::sha256(&request.op) {
+                return true;
+            }
+        }
+        if !self.inbound_preverified {
+            ctx.charge_cpu_ns(self.cost.verify_request());
+            if !request.verify(&self.public.client_keys(request.client)) {
+                return false;
+            }
+        }
+        if self.verified_requests.len() >= Self::VERIFIED_REQUESTS_CAP {
+            self.verified_requests.clear();
+        }
+        self.verified_requests
+            .insert(key, (request.signature.0, sbft_crypto::sha256(&request.op)));
+        true
+    }
+
     fn handle_request(&mut self, ctx: &mut Context<'_, SbftMsg>, request: ClientRequest) {
-        ctx.charge_cpu_ns(self.cost.verify_request());
-        if !request.verify(&self.public.client_keys(request.client)) {
+        if !self.check_request_signature(ctx, &request) {
             return;
         }
         let key = (request.client.get(), request.timestamp);
@@ -532,10 +602,11 @@ impl ReplicaNode {
                 }
             }
         }
-        // Validate client request signatures.
-        ctx.charge_cpu_ns(self.cost.verify_request() * requests.len() as u64);
+        // Validate client request signatures — each charged and checked
+        // once per unique request, not once per message it rides in (a
+        // forwarded request verified in `handle_request` is free here).
         for r in &requests {
-            if !r.verify(&self.public.client_keys(r.client)) {
+            if !self.check_request_signature(ctx, r) {
                 return;
             }
         }
@@ -926,6 +997,9 @@ impl ReplicaNode {
                 let key = (request.client.get(), request.timestamp);
                 self.executed_requests.insert(key, (next, l as u32));
                 self.forwarded.remove(&key);
+                // Executed requests are deduped by the client table from
+                // here on; their verification memo entry has done its job.
+                self.verified_requests.remove(&key);
                 let entry = self.client_table.entry(request.client.get()).or_insert(0);
                 *entry = (*entry).max(request.timestamp);
             }
@@ -1023,9 +1097,17 @@ impl ReplicaNode {
         };
         let shares: Vec<SignatureShare> = shares_map.values().copied().collect();
         slot.exec_proof_sent = true;
-        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        // π shares carry their digest on the wire, so the verification
+        // pipeline checked them at ingress; combining can skip the
+        // redundant per-share pairing checks.
         ctx.charge_cpu_ns(self.cost.combine_threshold(pi_threshold));
-        let Ok(pi) = self.public.pi.combine(DOMAIN_PI, &digest, &shares) else {
+        let combined = if self.inbound_preverified {
+            self.public.pi.combine_preverified(&shares)
+        } else {
+            ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+            self.public.pi.combine(DOMAIN_PI, &digest, &shares)
+        };
+        let Ok(pi) = combined else {
             return;
         };
         self.broadcast(ctx, &SbftMsg::FullExecuteProof { seq, digest, pi });
@@ -1087,9 +1169,13 @@ impl ReplicaNode {
         if seq.get() <= self.last_stable.get() {
             return;
         }
-        ctx.charge_cpu_ns(self.cost.verify_signature());
-        if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
-            return;
+        // The execute proof binds only data it carries (digest + π), so
+        // the pipeline verified it off-thread when enabled.
+        if !self.inbound_preverified {
+            ctx.charge_cpu_ns(self.cost.verify_signature());
+            if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
+                return;
+            }
         }
         // Far ahead of us: we are lagging badly — fetch state (§VIII).
         if seq.get() > self.last_executed.get() + self.config.window {
@@ -1237,9 +1323,15 @@ impl ReplicaNode {
         if vc.new_view <= self.view && !(self.in_view_change && vc.new_view == self.view) {
             return;
         }
-        ctx.charge_cpu_ns(self.cost.verify_signature() * (1 + vc.entries.len() as u64));
-        if !validate_view_change(&self.public, &vc) {
-            return;
+        // View-change evidence is self-contained (certificates over
+        // blocks the message itself carries); pipeline-verified when
+        // enabled. New-view quorums are always re-validated below — the
+        // per-message filter there decides liveness, not just validity.
+        if !self.inbound_preverified {
+            ctx.charge_cpu_ns(self.cost.verify_signature() * (1 + vc.entries.len() as u64));
+            if !validate_view_change(&self.public, &vc) {
+                return;
+            }
         }
         let entry = self.vc_messages.entry(vc.new_view.get()).or_default();
         entry.insert(vc.from.get(), vc.clone());
@@ -1490,9 +1582,11 @@ impl ReplicaNode {
             return;
         }
         let digest = combine_state_digest(chunk.seq, &state_root, &results_root);
-        ctx.charge_cpu_ns(self.cost.verify_signature());
-        if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
-            return;
+        if !self.inbound_preverified {
+            ctx.charge_cpu_ns(self.cost.verify_signature());
+            if !self.public.pi.verify_either(DOMAIN_PI, &digest, &pi) {
+                return;
+            }
         }
         self.assembler.add(chunk);
         self.chunk_cert = Some((state_root, results_root, pi));
@@ -1538,16 +1632,21 @@ impl ReplicaNode {
             return;
         }
         let h = block_digest(seq, view, &requests);
-        ctx.charge_cpu_ns(self.cost.verify_signature());
-        let valid = match &cert {
-            CommitCert::Fast(sigma) => self.public.sigma.verify_either(DOMAIN_SIGMA, &h, sigma),
-            CommitCert::Slow(tau2) => {
-                let d2 = commit2_digest(seq, view, &h);
-                self.public.tau.verify_either(DOMAIN_TAU, &d2, tau2)
+        // A block fill is self-contained (block + certificate), so the
+        // pipeline verified the certificate against the recomputed block
+        // digest off-thread when enabled.
+        if !self.inbound_preverified {
+            ctx.charge_cpu_ns(self.cost.verify_signature());
+            let valid = match &cert {
+                CommitCert::Fast(sigma) => self.public.sigma.verify_either(DOMAIN_SIGMA, &h, sigma),
+                CommitCert::Slow(tau2) => {
+                    let d2 = commit2_digest(seq, view, &h);
+                    self.public.tau.verify_either(DOMAIN_TAU, &d2, tau2)
+                }
+            };
+            if !valid {
+                return;
             }
-        };
-        if !valid {
-            return;
         }
         {
             let slot = self.slot(seq);
@@ -1726,6 +1825,70 @@ mod tests {
     use sbft_crypto::CryptoCostModel;
     use sbft_sim::{Metrics, SimRng, SimTime};
     use sbft_statedb::KvService;
+
+    /// Regression: the verified-request memo must not let a Byzantine
+    /// primary splice a *copied* valid signature onto a different op. The
+    /// backup verifies a genuine request on the forward path (memoizing
+    /// it), then receives a pre-prepare carrying the same
+    /// `(client, timestamp, signature)` with a tampered op — the memo
+    /// binds the op digest, so the forgery goes through full
+    /// verification and is rejected.
+    #[test]
+    fn copied_signature_on_different_op_never_rides_the_memo() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        let client = ClientId::new(0);
+        let genuine = ClientRequest::signed(
+            client,
+            1,
+            b"put k v".to_vec(),
+            &keys.public.client_keys(client),
+        );
+        let mut forged = genuine.clone();
+        forged.op = b"put k EVIL".to_vec();
+
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let mut drive = |node: &mut ReplicaNode, from: NodeId, msg: SbftMsg| {
+            let mut ctx =
+                Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+            node.on_message(from, msg, &mut ctx);
+            ctx.into_effects()
+        };
+        // Genuine request arrives from the client: verified + memoized.
+        drive(&mut node, config.n(), SbftMsg::Request(genuine));
+        assert_eq!(node.verified_requests.len(), 1);
+        // The primary's pre-prepare carries the forged variant: it must
+        // be rejected (no sign-share produced, block not accepted).
+        let effects = drive(
+            &mut node,
+            0,
+            SbftMsg::PrePrepare {
+                seq: SeqNum::new(1),
+                view: ViewNum::ZERO,
+                requests: vec![forged],
+            },
+        );
+        assert!(
+            effects.sends.is_empty(),
+            "forged pre-prepare must not trigger a sign-share"
+        );
+        assert!(
+            node.slots
+                .get(&1)
+                .map(|s| s.requests.is_none())
+                .unwrap_or(true),
+            "forged block must not be accepted into the slot"
+        );
+    }
 
     /// Regression: a replica that is the primary of its *own* (view-change
     /// in progress) view used to forward incoming requests "to the

@@ -121,6 +121,124 @@ pub fn pairing_check(
     a1.dlog.mul(&a2.dlog) == b1.dlog.mul(&b2.dlog)
 }
 
+/// The BLS verification equation `e(sig, G) == e(hm, pk)` with the
+/// generator side short-circuited: `e(x, G) = x` in the simulated group
+/// (`G`'s discrete log is 1), so the generator-side pairing needs no
+/// multiplication at all. Real BLS achieves the analogous saving with
+/// precomputed Miller-loop lines for the fixed `G2` generator; this is
+/// the hot check of every share and signature verification.
+pub fn pairing_check_with_generator(
+    sig: &GroupElement,
+    hm: &GroupElement,
+    pk: &GroupElement,
+) -> bool {
+    sig.dlog == hm.dlog.mul(&pk.dlog)
+}
+
+/// An accumulated product of pairings `Π e(aᵢ, bᵢ)` — the multi-pairing
+/// real batch BLS verification computes with one Miller loop per pair and
+/// a single shared final exponentiation. A `GT` element in the simulated
+/// group is the product of the two discrete logs, and the `GT` group
+/// operation adds exponents, so the accumulator is `Σ aᵢ·bᵢ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairingAccumulator {
+    acc: Scalar,
+}
+
+impl Default for PairingAccumulator {
+    fn default() -> Self {
+        PairingAccumulator::new()
+    }
+}
+
+impl PairingAccumulator {
+    /// An empty product (the `GT` identity).
+    pub fn new() -> Self {
+        PairingAccumulator { acc: Scalar::ZERO }
+    }
+
+    /// Multiplies `e(p, q)` into the accumulated product.
+    pub fn accumulate(&mut self, p: &GroupElement, q: &GroupElement) {
+        self.acc = self.acc.add(&p.dlog.mul(&q.dlog));
+    }
+
+    /// Compares two accumulated products (the batched verification
+    /// equation `Π e(σᵢ·γᵢ, G) == Π e(H(mᵢ)·γᵢ, pkᵢ)`).
+    pub fn equals(&self, other: &PairingAccumulator) -> bool {
+        self.acc == other.acc
+    }
+}
+
+/// Precomputed fixed-base multiplication table for one [`GroupElement`],
+/// as BLS implementations build for bases that are multiplied by many
+/// different scalars (the generator, long-lived public keys; §VIII
+/// "parallelized exponentiations"). The table stores `base · d · 16ʷ` for
+/// every 4-bit window `w` and digit `d`, so a 256-bit scalar
+/// multiplication becomes 64 data-independent table lookups and group
+/// additions — no per-scalar doubling chain.
+///
+/// In this reproduction's discrete-log-backed group a variable-base
+/// multiplication is already a single field multiplication, so the table
+/// buys structure (and constant-time-style data-independence), not big
+/// constants; it exists so the code matches what the real crypto layer
+/// does and so cost attribution stays honest.
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    base: GroupElement,
+    /// `windows[w][d-1] = base · (d << 4w)`, `d ∈ 1..=15`, 64 windows.
+    windows: Vec<[GroupElement; 15]>,
+}
+
+impl FixedBaseTable {
+    const WINDOW_BITS: usize = 4;
+    const WINDOWS: usize = 256 / Self::WINDOW_BITS;
+
+    /// Precomputes the table for `base` (64 windows × 15 entries, built
+    /// with group additions only).
+    pub fn new(base: &GroupElement) -> FixedBaseTable {
+        let mut windows = Vec::with_capacity(Self::WINDOWS);
+        let mut window_base = *base; // base · 16^w
+        for _ in 0..Self::WINDOWS {
+            let mut entries = [GroupElement::IDENTITY; 15];
+            let mut acc = GroupElement::IDENTITY;
+            for entry in entries.iter_mut() {
+                acc = acc.add(&window_base);
+                *entry = acc;
+            }
+            // 16·window_base = entries[14] + window_base.
+            window_base = entries[14].add(&window_base);
+            windows.push(entries);
+        }
+        FixedBaseTable {
+            base: *base,
+            windows,
+        }
+    }
+
+    /// The base element the table was built for.
+    pub fn base(&self) -> &GroupElement {
+        &self.base
+    }
+
+    /// Computes `base · s` by windowed table lookups.
+    #[must_use]
+    pub fn mul(&self, s: &Scalar) -> GroupElement {
+        let bytes = s.to_bytes(); // big-endian canonical form
+        let mut acc = GroupElement::IDENTITY;
+        for (i, byte) in bytes.iter().rev().enumerate() {
+            let lo = (byte & 0x0f) as usize;
+            let hi = (byte >> 4) as usize;
+            if lo != 0 {
+                acc = acc.add(&self.windows[2 * i][lo - 1]);
+            }
+            if hi != 0 {
+                acc = acc.add(&self.windows[2 * i + 1][hi - 1]);
+            }
+        }
+        acc
+    }
+}
+
 /// Hashes a digest into the group with a domain-separation tag
 /// (the `H(m)` of BLS signing).
 pub fn hash_to_group(domain: &[u8], digest: &Digest) -> GroupElement {
@@ -185,6 +303,39 @@ mod tests {
         let mut bad = bytes;
         bad[0] = 0x09;
         assert_eq!(GroupElement::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn fixed_base_table_matches_plain_mul() {
+        let base = GroupElement::generator().mul(&Scalar::from_u64(0xdead_beef));
+        let table = FixedBaseTable::new(&base);
+        assert_eq!(table.base(), &base);
+        for v in [0u64, 1, 2, 15, 16, 255, 0x1234_5678_9abc_def0] {
+            let s = Scalar::from_u64(v);
+            assert_eq!(table.mul(&s), base.mul(&s), "scalar {v}");
+        }
+        // Full-width scalars (every window populated).
+        let wide = Scalar::from_digest(&sha256(b"wide scalar"));
+        assert_eq!(table.mul(&wide), base.mul(&wide));
+    }
+
+    #[test]
+    fn pairing_accumulator_matches_pairwise_products() {
+        // Π e(aᵢG, bᵢG) == e(Σ aᵢbᵢ · G, G).
+        let g = GroupElement::generator();
+        let pairs = [(3u64, 5u64), (7, 11), (13, 17)];
+        let mut acc = PairingAccumulator::new();
+        let mut sum = Scalar::ZERO;
+        for (a, b) in pairs {
+            acc.accumulate(&g.mul(&Scalar::from_u64(a)), &g.mul(&Scalar::from_u64(b)));
+            sum = sum.add(&Scalar::from_u64(a).mul(&Scalar::from_u64(b)));
+        }
+        let mut expect = PairingAccumulator::new();
+        expect.accumulate(&g.mul(&sum), &g);
+        assert!(acc.equals(&expect));
+        let mut wrong = PairingAccumulator::new();
+        wrong.accumulate(&g, &g);
+        assert!(!acc.equals(&wrong));
     }
 
     #[test]

@@ -45,13 +45,16 @@ mod threshold;
 
 pub use cost::CryptoCostModel;
 pub use field::{batch_invert, modulus, Scalar, MODULUS_LIMBS};
-pub use group::{hash_to_group, pairing_check, GroupElement, GROUP_ELEMENT_WIRE_BYTES};
+pub use group::{
+    hash_to_group, pairing_check, pairing_check_with_generator, FixedBaseTable, GroupElement,
+    PairingAccumulator, GROUP_ELEMENT_WIRE_BYTES,
+};
 pub use keys::{KeyPair, PkiSignature, PKI_SIGNATURE_WIRE_BYTES};
 pub use merkle::{leaf_hash, node_hash, MerkleProof, MerkleTree, ProofStep};
 pub use poly::{interpolate_at_zero, lagrange_coefficients_at_zero, Polynomial};
 pub use rng::SplitMix64;
 pub use sha256::{hmac_sha256, sha256, sha256_concat, Sha256};
 pub use threshold::{
-    generate_threshold_keys, CombineError, SecretKeyShare, Signature, SignatureShare,
-    ThresholdPublicKey,
+    batch_verify_share_items, generate_threshold_keys, CombineError, SecretKeyShare,
+    ShareVerifyItem, Signature, SignatureShare, ThresholdPublicKey,
 };

@@ -22,7 +22,7 @@ use std::fmt;
 use sbft_types::Digest;
 
 use crate::field::Scalar;
-use crate::group::{hash_to_group, pairing_check, GroupElement};
+use crate::group::{hash_to_group, pairing_check_with_generator, GroupElement, PairingAccumulator};
 use crate::poly::{lagrange_coefficients_at_zero, Polynomial};
 use crate::rng::SplitMix64;
 
@@ -174,17 +174,18 @@ impl ThresholdPublicKey {
 
     /// Verifies one signature share against its signer's public key share.
     pub fn verify_share(&self, domain: &[u8], digest: &Digest, share: &SignatureShare) -> bool {
+        self.verify_share_with_hm(&hash_to_group(domain, digest), share)
+    }
+
+    /// Share verification with the message's group hash already computed —
+    /// collectors verifying `k` shares on one digest hash the message
+    /// once, not `k` times.
+    fn verify_share_with_hm(&self, hm: &GroupElement, share: &SignatureShare) -> bool {
         if share.index == 0 || share.index as usize > self.n {
             return false;
         }
-        let hm = hash_to_group(domain, digest);
         // e(σ_i, G) == e(H(m), pk_i)
-        pairing_check(
-            &share.value,
-            &GroupElement::generator(),
-            &hm,
-            self.share_key(share.index),
-        )
+        pairing_check_with_generator(&share.value, hm, self.share_key(share.index))
     }
 
     /// Verifies a batch of shares with one random linear combination, as
@@ -218,7 +219,7 @@ impl ThresholdPublicKey {
             lhs = lhs.add(&share.value.mul(&gamma));
             rhs_key = rhs_key.add(&self.share_key(share.index).mul(&gamma));
         }
-        pairing_check(&lhs, &GroupElement::generator(), &hm, &rhs_key)
+        pairing_check_with_generator(&lhs, &hm, &rhs_key)
     }
 
     /// Combines `k`-of-`n` shares into a signature via Lagrange
@@ -234,6 +235,7 @@ impl ThresholdPublicKey {
         digest: &Digest,
         shares: &[SignatureShare],
     ) -> Result<Signature, CombineError> {
+        let hm = hash_to_group(domain, digest);
         let mut seen = vec![false; self.n + 1];
         let mut valid: Vec<&SignatureShare> = Vec::with_capacity(self.threshold);
         for share in shares {
@@ -244,15 +246,57 @@ impl ThresholdPublicKey {
             if idx == 0 || idx > self.n || seen[idx] {
                 continue;
             }
-            if self.verify_share(domain, digest, share) {
+            if self.verify_share_with_hm(&hm, share) {
                 seen[idx] = true;
                 valid.push(share);
             }
         }
-        if valid.len() < self.threshold {
+        Self::interpolate(valid, self.threshold)
+    }
+
+    /// Combines `k`-of-`n` shares that were **already verified** upstream
+    /// (e.g. by the transport's parallel verification pipeline, which
+    /// checks every share against the digest the message carries before
+    /// the node sees it). Skips the per-share pairing checks of
+    /// [`Self::combine`]; duplicates and out-of-range indices are still
+    /// filtered. An unverifiable share slipping through produces a
+    /// combined signature that fails downstream verification — safety is
+    /// unaffected, only the redundant re-check is elided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombineError::NotEnoughValidShares`] when fewer than `k`
+    /// distinct in-range shares are present.
+    pub fn combine_preverified(
+        &self,
+        shares: &[SignatureShare],
+    ) -> Result<Signature, CombineError> {
+        let mut seen = vec![false; self.n + 1];
+        let mut valid: Vec<&SignatureShare> = Vec::with_capacity(self.threshold);
+        for share in shares {
+            if valid.len() == self.threshold {
+                break;
+            }
+            let idx = share.index as usize;
+            if idx == 0 || idx > self.n || seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            valid.push(share);
+        }
+        Self::interpolate(valid, self.threshold)
+    }
+
+    /// Lagrange interpolation in the exponent over `threshold` distinct,
+    /// validated shares.
+    fn interpolate(
+        valid: Vec<&SignatureShare>,
+        threshold: usize,
+    ) -> Result<Signature, CombineError> {
+        if valid.len() < threshold {
             return Err(CombineError::NotEnoughValidShares {
                 valid: valid.len(),
-                needed: self.threshold,
+                needed: threshold,
             });
         }
         let indices: Vec<u64> = valid.iter().map(|s| s.index as u64).collect();
@@ -278,6 +322,7 @@ impl ThresholdPublicKey {
         digest: &Digest,
         shares: &[SignatureShare],
     ) -> Result<Signature, CombineError> {
+        let hm = hash_to_group(domain, digest);
         let mut seen = vec![false; self.n + 1];
         let mut acc = GroupElement::IDENTITY;
         let mut count = 0usize;
@@ -286,7 +331,7 @@ impl ThresholdPublicKey {
             if idx == 0 || idx > self.n || seen[idx] {
                 continue;
             }
-            if self.verify_share(domain, digest, share) {
+            if self.verify_share_with_hm(&hm, share) {
                 seen[idx] = true;
                 acc = acc.add(&share.value);
                 count += 1;
@@ -304,31 +349,87 @@ impl ThresholdPublicKey {
     /// Verifies a `k`-of-`n` combined signature against the group key.
     pub fn verify(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
         let hm = hash_to_group(domain, digest);
-        pairing_check(
-            &signature.value,
-            &GroupElement::generator(),
-            &hm,
-            &self.public_key,
-        )
+        pairing_check_with_generator(&signature.value, &hm, &self.public_key)
     }
 
     /// Verifies an `n`-of-`n` multisig aggregate against the aggregate key.
     pub fn verify_multisig(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
         let hm = hash_to_group(domain, digest);
-        pairing_check(
-            &signature.value,
-            &GroupElement::generator(),
-            &hm,
-            &self.aggregate_key,
-        )
+        pairing_check_with_generator(&signature.value, &hm, &self.aggregate_key)
     }
 
     /// Verifies a signature accepting either combination mode, as receivers
     /// do in SBFT (the collector may have used the group-signature fast
-    /// mode or threshold interpolation).
+    /// mode or threshold interpolation). The message is hashed to the
+    /// group once for both checks.
     pub fn verify_either(&self, domain: &[u8], digest: &Digest, signature: &Signature) -> bool {
-        self.verify(domain, digest, signature) || self.verify_multisig(domain, digest, signature)
+        let hm = hash_to_group(domain, digest);
+        pairing_check_with_generator(&signature.value, &hm, &self.public_key)
+            || pairing_check_with_generator(&signature.value, &hm, &self.aggregate_key)
     }
+}
+
+/// One entry of a *mixed* share-verification batch: shares under
+/// different digests, domains, and even different threshold schemes,
+/// checked together (see [`batch_verify_share_items`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShareVerifyItem<'a> {
+    /// The scheme the share belongs to (σ/τ/π have distinct keys).
+    pub key: &'a ThresholdPublicKey,
+    /// Domain-separation tag the share was signed under.
+    pub domain: &'a [u8],
+    /// The signed digest.
+    pub digest: Digest,
+    /// The share to verify.
+    pub share: SignatureShare,
+}
+
+/// Verifies a heterogeneous batch of signature shares with **one**
+/// random-linear-combination multi-pairing check:
+/// `e(Σ γᵢσᵢ, G) == Π e(H(mᵢ)·γᵢ, pkᵢ)`. This widens
+/// [`ThresholdPublicKey::batch_verify_shares`] (one digest, one scheme)
+/// to what the transport's verification pipeline drains in practice — a
+/// batch of messages carrying shares over many digests and schemes. The
+/// message hash `H(mᵢ)` is computed once per distinct `(domain, digest)`
+/// in the batch, not once per share.
+///
+/// Returns `true` iff every share in the batch is valid (all-or-nothing;
+/// on `false` the caller falls back to per-item verification to identify
+/// the bad ones). `seed` supplies the verifier's randomness.
+pub fn batch_verify_share_items(items: &[ShareVerifyItem<'_>], seed: u64) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut lhs = GroupElement::IDENTITY;
+    let mut rhs = PairingAccumulator::new();
+    // Tiny linear memo: batches are dominated by a handful of distinct
+    // digests (many replicas' shares on the same block), so a scan beats
+    // a hash map at these sizes.
+    let mut hm_cache: Vec<(&[u8], Digest, GroupElement)> = Vec::new();
+    for item in items {
+        let idx = item.share.index();
+        if idx == 0 || idx as usize > item.key.total() {
+            return false;
+        }
+        let hm = match hm_cache
+            .iter()
+            .find(|(domain, digest, _)| *domain == item.domain && *digest == item.digest)
+        {
+            Some((_, _, hm)) => *hm,
+            None => {
+                let hm = hash_to_group(item.domain, &item.digest);
+                hm_cache.push((item.domain, item.digest, hm));
+                hm
+            }
+        };
+        let gamma = Scalar::from_u64(rng.next_u64() | 1);
+        lhs = lhs.add(&item.share.value().mul(&gamma));
+        rhs.accumulate(&hm.mul(&gamma), item.key.share_key(idx));
+    }
+    let mut lhs_acc = PairingAccumulator::new();
+    lhs_acc.accumulate(&lhs, &GroupElement::generator());
+    lhs_acc.equals(&rhs)
 }
 
 /// Dealer key generation: produces the public material and the `n` secret
@@ -495,6 +596,70 @@ mod tests {
                 needed: 5
             })
         );
+    }
+
+    #[test]
+    fn combine_preverified_matches_checked_combine() {
+        let (pk, sks, d) = setup(7, 5);
+        let shares: Vec<SignatureShare> = sks.iter().map(|s| s.sign(DOMAIN, &d)).collect();
+        let checked = pk.combine(DOMAIN, &d, &shares[..5]).unwrap();
+        let trusted = pk.combine_preverified(&shares[..5]).unwrap();
+        assert_eq!(checked, trusted);
+        // Duplicates are still filtered; too few distinct shares fail.
+        let dup = vec![shares[0]; 10];
+        assert_eq!(
+            pk.combine_preverified(&dup),
+            Err(CombineError::NotEnoughValidShares {
+                valid: 1,
+                needed: 5
+            })
+        );
+        // A corrupt share slipping past the (absent) checks yields a
+        // signature that fails verification — safety holds downstream.
+        let mut bad = shares[..5].to_vec();
+        bad[2] = SignatureShare::from_parts(3, GroupElement::generator());
+        let sig = pk.combine_preverified(&bad).unwrap();
+        assert!(!pk.verify(DOMAIN, &d, &sig));
+    }
+
+    #[test]
+    fn mixed_batch_verifies_across_digests_and_schemes() {
+        let (pk_a, sks_a) = generate_threshold_keys(5, 3, 11);
+        let (pk_b, sks_b) = generate_threshold_keys(7, 4, 22);
+        let d1 = sha256(b"block-1");
+        let d2 = sha256(b"block-2");
+        let mut items = Vec::new();
+        let shares_a: Vec<SignatureShare> = sks_a.iter().map(|s| s.sign(b"sigma", &d1)).collect();
+        let shares_b: Vec<SignatureShare> = sks_b.iter().map(|s| s.sign(b"pi", &d2)).collect();
+        for share in &shares_a {
+            items.push(ShareVerifyItem {
+                key: &pk_a,
+                domain: b"sigma",
+                digest: d1,
+                share: *share,
+            });
+        }
+        for share in &shares_b {
+            items.push(ShareVerifyItem {
+                key: &pk_b,
+                domain: b"pi",
+                digest: d2,
+                share: *share,
+            });
+        }
+        assert!(batch_verify_share_items(&items, 7));
+        assert!(batch_verify_share_items(&[], 7));
+        // One corrupt share anywhere fails the whole batch.
+        items[3].share = SignatureShare::from_parts(4, GroupElement::generator());
+        assert!(!batch_verify_share_items(&items, 7));
+        // Wrong domain for an otherwise-valid share also fails.
+        items[3].share = shares_a[3];
+        items[3].domain = b"tau";
+        assert!(!batch_verify_share_items(&items, 7));
+        // Out-of-range index is rejected outright.
+        items[3].domain = b"sigma";
+        items[3].share = SignatureShare::from_parts(99, *shares_a[3].value());
+        assert!(!batch_verify_share_items(&items, 7));
     }
 
     #[test]

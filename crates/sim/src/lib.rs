@@ -65,7 +65,7 @@ mod topology;
 pub use engine::{NodeRuntime, Simulation};
 pub use metrics::{Metrics, SampleStats, TraceEvent};
 pub use network::{NetworkConfig, NetworkModel, Partition};
-pub use node::{Context, Effects, Node, NodeId, SimMessage, TimerId};
+pub use node::{Context, Effects, InboundVerifier, Node, NodeId, SimMessage, TimerId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Placement, Topology};

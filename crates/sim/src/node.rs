@@ -201,6 +201,35 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// Decodes and pre-verifies inbound wire payloads on behalf of a node,
+/// off the node's thread.
+///
+/// This is the seam between the transport's parallel verification
+/// pipeline and the protocol crates: the pipeline hands workers raw
+/// `(from, payload)` frames, the verifier decodes them and performs every
+/// *stateless* check (client PKI signatures, threshold shares or combined
+/// signatures over digests the message itself carries, self-contained
+/// view-change evidence). Checks that need node state (e.g. a signature
+/// over a block digest only the replica's log knows) stay in the node's
+/// handlers.
+///
+/// Implementations must be thread-safe: one verifier instance is shared
+/// by every worker in a pool.
+pub trait InboundVerifier<M>: Send + Sync + 'static {
+    /// Decodes one frame payload; `None` drops it (malformed).
+    fn decode(&self, payload: &[u8]) -> Option<M>;
+
+    /// Verifies a batch of decoded messages; `out[i]` says whether
+    /// `batch[i]` passed (failures are dropped before the node sees
+    /// them). Batching exists so implementations can amortize crypto —
+    /// e.g. one random-linear-combination pairing check over every
+    /// signature share in the batch. The default accepts everything
+    /// (transport-only deployments with no protocol checks).
+    fn verify_batch(&self, batch: &[(NodeId, M)]) -> Vec<bool> {
+        vec![true; batch.len()]
+    }
+}
+
 /// A simulated node: replica, client, or any other actor.
 ///
 /// Implementations must be deterministic: all randomness comes from

@@ -1,11 +1,11 @@
 //! The authenticated key-value service used by the micro-benchmarks
 //! (§IX "Key-Value store benchmark").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sbft_types::{Digest, SeqNum};
 
-use sbft_crypto::MerkleTree;
+use sbft_crypto::{sha256, MerkleTree};
 use sbft_wire::{DecodeError, Decoder, Encoder, Wire};
 
 use crate::service::{
@@ -179,7 +179,15 @@ pub struct KvService {
     last_digest: Digest,
     executed: BTreeMap<u64, ExecutedBlock>,
     cost: KvCostModel,
+    /// Memoized `SHA-256(key)` for trie addressing: benchmark and real
+    /// workloads revisit a working set of keys, and each op used to
+    /// re-hash its key before touching the trie. Bounded; clearing only
+    /// costs re-hashing.
+    key_hash_memo: HashMap<Vec<u8>, [u8; 32]>,
 }
+
+/// Bound on [`KvService::key_hash_memo`].
+const KEY_HASH_MEMO_CAP: usize = 65_536;
 
 impl KvService {
     /// Creates an empty service with default costs.
@@ -244,15 +252,40 @@ impl KvService {
         }
     }
 
+    /// `SHA-256(key)`, memoized across operations and blocks.
+    fn key_hash(&mut self, key: &[u8]) -> [u8; 32] {
+        if let Some(hash) = self.key_hash_memo.get(key) {
+            return *hash;
+        }
+        let hash = *sha256(key).as_bytes();
+        if self.key_hash_memo.len() >= KEY_HASH_MEMO_CAP {
+            self.key_hash_memo.clear();
+        }
+        self.key_hash_memo.insert(key.to_vec(), hash);
+        hash
+    }
+
     fn apply_op(&mut self, op: KvOp) -> (Vec<u8>, u64) {
         let mut cost = self.cost.per_op_ns;
         let result = match op {
             KvOp::Put { key, value } => {
                 cost += self.cost.write_per_byte_ns * (key.len() + value.len()) as u64;
-                self.state.insert(key, value).unwrap_or_default()
+                let hash = self.key_hash(&key);
+                self.state
+                    .insert_hashed(hash, key, value)
+                    .unwrap_or_default()
             }
-            KvOp::Get { key } => self.state.get(&key).map(<[u8]>::to_vec).unwrap_or_default(),
-            KvOp::Delete { key } => self.state.remove(&key).unwrap_or_default(),
+            KvOp::Get { key } => {
+                let hash = self.key_hash(&key);
+                self.state
+                    .get_hashed(&hash, &key)
+                    .map(<[u8]>::to_vec)
+                    .unwrap_or_default()
+            }
+            KvOp::Delete { key } => {
+                let hash = self.key_hash(&key);
+                self.state.remove_hashed(&hash, &key).unwrap_or_default()
+            }
             KvOp::Noop => Vec::new(),
             KvOp::Batch(ops) => {
                 let mut last = Vec::new();

@@ -10,7 +10,15 @@
 //! differ. Nodes are reference-counted and copy-on-write, so snapshots of
 //! the whole store are O(1) and share structure — this is what makes
 //! per-sequence-number state snapshots (§IV `D_s`) affordable.
+//!
+//! Node digests are **lazy**: mutations build structure only, and hashes
+//! are computed on the first [`AuthKv::root`] / [`AuthKv::prove`] after a
+//! batch of writes (then cached in the node, so shared subtrees never
+//! re-hash). A block that touches a hot path through the trie many times
+//! pays for one digest recomputation of that path per block, not one per
+//! operation — the execute loop's root caching the replica relies on.
 
+use std::cell::OnceCell;
 use std::rc::Rc;
 
 use sbft_types::Digest;
@@ -58,40 +66,49 @@ enum Node {
         key_hash: [u8; 32],
         key: Vec<u8>,
         value: Vec<u8>,
-        digest: Digest,
+        digest: OnceCell<Digest>,
     },
     Branch {
         crit_bit: u16,
         left: Rc<Node>,
         right: Rc<Node>,
-        digest: Digest,
+        digest: OnceCell<Digest>,
     },
 }
 
 impl Node {
+    /// The node's Merkle digest, computed on first use and cached in the
+    /// node. Shared (copy-on-write) subtrees keep their filled cells, so
+    /// after a batch of writes only the freshly-built spine re-hashes.
     fn digest(&self) -> Digest {
         match self {
-            Node::Leaf { digest, .. } | Node::Branch { digest, .. } => *digest,
+            Node::Leaf {
+                key, value, digest, ..
+            } => *digest.get_or_init(|| leaf_digest(key, value)),
+            Node::Branch {
+                crit_bit,
+                left,
+                right,
+                digest,
+            } => *digest.get_or_init(|| branch_digest(*crit_bit, &left.digest(), &right.digest())),
         }
     }
 
     fn leaf(key_hash: [u8; 32], key: Vec<u8>, value: Vec<u8>) -> Rc<Node> {
-        let digest = leaf_digest(&key, &value);
         Rc::new(Node::Leaf {
             key_hash,
             key,
             value,
-            digest,
+            digest: OnceCell::new(),
         })
     }
 
     fn branch(crit_bit: u16, left: Rc<Node>, right: Rc<Node>) -> Rc<Node> {
-        let digest = branch_digest(crit_bit, &left.digest(), &right.digest());
         Rc::new(Node::Branch {
             crit_bit,
             left,
             right,
-            digest,
+            digest: OnceCell::new(),
         })
     }
 
@@ -211,7 +228,14 @@ impl AuthKv {
 
     /// Looks up a key.
     pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
-        let key_hash = *sha256(key).as_bytes();
+        self.get_hashed(&*sha256(key).as_bytes(), key)
+    }
+
+    /// [`AuthKv::get`] with the key's SHA-256 already computed — callers
+    /// that touch the same keys repeatedly (a block's execute loop)
+    /// memoize the hash instead of re-hashing per operation.
+    pub fn get_hashed(&self, key_hash: &[u8; 32], key: &[u8]) -> Option<&[u8]> {
+        let key_hash = *key_hash;
         let mut node = self.root.as_deref()?;
         loop {
             match node {
@@ -245,6 +269,16 @@ impl AuthKv {
     /// Inserts or updates a key, returning the previous value if any.
     pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
         let key_hash = *sha256(&key).as_bytes();
+        self.insert_hashed(key_hash, key, value)
+    }
+
+    /// [`AuthKv::insert`] with the key's SHA-256 already computed.
+    pub fn insert_hashed(
+        &mut self,
+        key_hash: [u8; 32],
+        key: Vec<u8>,
+        value: Vec<u8>,
+    ) -> Option<Vec<u8>> {
         match self.root.take() {
             None => {
                 self.root = Some(Node::leaf(key_hash, key, value));
@@ -322,7 +356,12 @@ impl AuthKv {
 
     /// Removes a key, returning its value if present.
     pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
-        let key_hash = *sha256(key).as_bytes();
+        self.remove_hashed(&*sha256(key).as_bytes(), key)
+    }
+
+    /// [`AuthKv::remove`] with the key's SHA-256 already computed.
+    pub fn remove_hashed(&mut self, key_hash: &[u8; 32], key: &[u8]) -> Option<Vec<u8>> {
+        let key_hash = *key_hash;
         let root = self.root.take()?;
         match Self::remove_rec(root, &key_hash, key) {
             RemoveOutcome::NotFound(root) => {
@@ -620,6 +659,51 @@ mod tests {
             .collect();
         assert_eq!(collected.len(), 3);
         assert_eq!(collected[&b"b"[..].to_vec()], b"2".to_vec());
+    }
+
+    #[test]
+    fn hashed_entry_points_match_plain_ones() {
+        let mut plain = AuthKv::new();
+        let mut hashed = AuthKv::new();
+        for i in 0..64u32 {
+            let key = i.to_string().into_bytes();
+            let value = vec![i as u8; 4];
+            plain.insert(key.clone(), value.clone());
+            let h = *sha256(&key).as_bytes();
+            hashed.insert_hashed(h, key.clone(), value);
+            assert_eq!(hashed.get_hashed(&h, &key), plain.get(&key));
+        }
+        assert_eq!(plain.root(), hashed.root());
+        for i in (0..64u32).step_by(3) {
+            let key = i.to_string().into_bytes();
+            let h = *sha256(&key).as_bytes();
+            assert_eq!(hashed.remove_hashed(&h, &key), plain.remove(&key));
+        }
+        assert_eq!(plain.root(), hashed.root());
+    }
+
+    #[test]
+    fn lazy_digests_survive_snapshot_interleaving() {
+        // Snapshots taken before digests are ever forced must still hash
+        // to the same root as an eagerly-observed copy, and mutations
+        // after forcing must invalidate exactly the rebuilt spine.
+        let mut store = AuthKv::new();
+        for i in 0..32u32 {
+            store.insert(i.to_string().into_bytes(), b"v1".to_vec());
+        }
+        let snap_unforced = store.clone(); // no digest computed yet
+        let root_before = store.root(); // forces digests (shared with snap)
+        store.insert(b"7".to_vec(), b"v2".to_vec());
+        let root_after = store.root();
+        assert_ne!(root_before, root_after);
+        assert_eq!(snap_unforced.root(), root_before);
+        // An independently-built store with the same final content agrees.
+        let mut rebuilt = AuthKv::new();
+        for i in 0..32u32 {
+            let v: &[u8] = if i == 7 { b"v2" } else { b"v1" };
+            rebuilt.insert(i.to_string().into_bytes(), v.to_vec());
+        }
+        assert_eq!(rebuilt.root(), root_after);
     }
 
     #[test]

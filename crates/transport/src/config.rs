@@ -78,6 +78,10 @@ pub struct ClusterSpec {
     pub variant: VariantName,
     /// Deployment tuning profile (`profile lan` / `profile wan`).
     pub profile: TransportProfile,
+    /// Verification-pipeline worker threads per replica
+    /// (`verify_threads N`). `0` (the default) resolves from the host's
+    /// core count at boot; `1` bypasses the pipeline entirely.
+    pub verify_threads: usize,
     /// Replica listen addresses, indexed by replica id (`0..n`).
     pub replicas: Vec<String>,
     /// Client listen addresses, indexed by client id.
@@ -124,6 +128,7 @@ impl ClusterSpec {
         let mut f = None;
         let mut c = None;
         let mut seed = 0u64;
+        let mut verify_threads = 0usize;
         let mut variant = VariantName::default();
         let mut profile = TransportProfile::default();
         let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
@@ -139,7 +144,7 @@ impl ClusterSpec {
             let directive = parts.next().expect("non-empty line");
             let args: Vec<&str> = parts.collect();
             match directive {
-                "f" | "c" | "seed" => {
+                "f" | "c" | "seed" | "verify_threads" => {
                     let [value] = args[..] else {
                         return Err(err(lineno, format!("`{directive}` takes one value")));
                     };
@@ -149,6 +154,7 @@ impl ClusterSpec {
                     match directive {
                         "f" => f = Some(parsed as usize),
                         "c" => c = Some(parsed as usize),
+                        "verify_threads" => verify_threads = parsed as usize,
                         _ => seed = parsed,
                     }
                 }
@@ -240,9 +246,25 @@ impl ClusterSpec {
             seed,
             variant,
             profile,
+            verify_threads,
             replicas: replicas.into_values().collect(),
             clients: clients.into_values().collect(),
         })
+    }
+
+    /// Resolves `verify_threads` for this host: an explicit value is
+    /// used as-is; `0` (auto) takes the cores left over after the node
+    /// thread, capped at 4 (per-replica verification saturates well
+    /// before that in a 4-replica cluster). A 1-core host resolves to 1,
+    /// which bypasses the pipeline — the zero-handoff single-threaded
+    /// path stays the fast path there.
+    pub fn resolved_verify_threads(&self) -> usize {
+        if self.verify_threads > 0 {
+            return self.verify_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|cores| cores.get().saturating_sub(1).clamp(1, 4))
+            .unwrap_or(1)
     }
 
     /// Loads and parses a config file.
@@ -363,6 +385,25 @@ mod tests {
         assert!(wan.coalesce_budget > lan.coalesce_budget);
         let e = ClusterSpec::parse("profile metro\nf 0\nreplica 0 a:1\n").unwrap_err();
         assert!(e.message.contains("unknown profile"), "{e}");
+    }
+
+    #[test]
+    fn verify_threads_directive_parses_and_resolves() {
+        let spec = ClusterSpec::parse(GOOD).unwrap();
+        assert_eq!(spec.verify_threads, 0, "auto is the default");
+        assert!(
+            spec.resolved_verify_threads() >= 1,
+            "auto resolves to at least one worker"
+        );
+        let text = format!("verify_threads 3\n{GOOD}");
+        let spec = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(spec.verify_threads, 3);
+        assert_eq!(spec.resolved_verify_threads(), 3, "explicit wins");
+        let bad = format!("verify_threads lots\n{GOOD}");
+        assert!(ClusterSpec::parse(&bad)
+            .unwrap_err()
+            .message
+            .contains("not a number"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod config;
 pub mod frame;
 pub mod runtime;
 pub mod tcp;
+pub mod verify;
 
 pub use config::{ClusterSpec, ConfigError, TransportProfile, VariantName};
 pub use frame::{
@@ -53,3 +54,4 @@ pub use frame::{
 };
 pub use runtime::NodeRuntime;
 pub use tcp::{TcpTransport, TransportConfig, TransportControl, TransportStats};
+pub use verify::{VerifyPool, VerifyPoolStats};

@@ -17,17 +17,31 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sbft_sim::{Context, Metrics, Node, NodeId, SimMessage, SimRng, SimTime};
+use sbft_sim::{Context, InboundVerifier, Metrics, Node, NodeId, SimMessage, SimRng, SimTime};
 use sbft_wire::Wire;
 
 use crate::tcp::TcpTransport;
+use crate::verify::{VerifyPool, VerifyPoolStats};
+
+/// Where the runtime's inbound messages come from.
+enum Inbound<M> {
+    /// Straight off the transport channel; frames decode on the node
+    /// thread (the PR-2 behaviour, still the right call on one core).
+    Direct,
+    /// Through a [`VerifyPool`]: frames decode and pre-verify on worker
+    /// threads, the node consumes verified envelopes in per-peer FIFO
+    /// order.
+    Pipeline(VerifyPool<M>),
+}
 
 /// Wall-clock runtime for one node.
 pub struct NodeRuntime<M: SimMessage + Wire> {
     node: Box<dyn Node<M>>,
     transport: TcpTransport,
+    inbound: Inbound<M>,
     rng: SimRng,
     metrics: Metrics,
     next_timer_id: u64,
@@ -61,6 +75,7 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
         NodeRuntime {
             node,
             transport,
+            inbound: Inbound::Direct,
             rng: SimRng::new(seed),
             metrics: Metrics::new(false),
             next_timer_id: 0,
@@ -76,11 +91,70 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
         }
     }
 
+    /// Wraps a node with a parallel verification pipeline: `threads`
+    /// workers decode and pre-verify inbound frames (via `verifier`)
+    /// before the node sees them, releasing messages in strict per-peer
+    /// FIFO order.
+    ///
+    /// The node must be configured to skip the checks the verifier
+    /// performs (e.g. `ReplicaNode::set_inbound_preverified`); this
+    /// constructor only moves the work, the node decides not to repeat
+    /// it. Because a pre-verified-configured node behind **no** pipeline
+    /// would accept forged messages, this constructor never degrades
+    /// silently: callers that want the single-threaded bypass (the right
+    /// call on one core) must use [`NodeRuntime::new`] and leave the
+    /// node's checks on — see `sbft::deploy::replica_runtime_with_pipeline`
+    /// for the canonical branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2` — a one-worker "pipeline" is strictly
+    /// worse than the direct path and bypassing here would desynchronize
+    /// the caller's `set_inbound_preverified` decision from reality.
+    pub fn with_verify_pool(
+        node: Box<dyn Node<M>>,
+        mut transport: TcpTransport,
+        seed: u64,
+        verifier: Arc<dyn InboundVerifier<M>>,
+        threads: usize,
+        batch: usize,
+        queue: usize,
+    ) -> Self
+    where
+        M: Send,
+    {
+        assert!(
+            threads >= 2,
+            "with_verify_pool needs >= 2 workers; use NodeRuntime::new (and keep the node's \
+             own checks enabled) for the single-threaded path"
+        );
+        let pool = VerifyPool::start(transport.take_inbound(), verifier, threads, batch, queue);
+        let mut runtime = NodeRuntime::new(node, transport, seed);
+        runtime.inbound = Inbound::Pipeline(pool);
+        runtime
+    }
+
     /// Skews the clock the node observes through `ctx.now()` by
     /// `skew_ns` nanoseconds (positive = the node believes it is in the
     /// future). Mirrors `Simulation::set_clock_skew`.
     pub fn set_clock_skew(&mut self, skew_ns: i64) {
         self.clock_skew_ns = skew_ns;
+    }
+
+    /// Verification-pipeline counters, when the pipeline is enabled.
+    pub fn verify_pool_stats(&self) -> Option<VerifyPoolStats> {
+        match &self.inbound {
+            Inbound::Direct => None,
+            Inbound::Pipeline(pool) => Some(pool.stats()),
+        }
+    }
+
+    /// Verification worker threads in use (0 = pipeline bypassed).
+    pub fn verify_threads(&self) -> usize {
+        match &self.inbound {
+            Inbound::Direct => 0,
+            Inbound::Pipeline(pool) => pool.threads(),
+        }
     }
 
     /// Nanoseconds since the runtime was created, as the node's timebase.
@@ -103,9 +177,14 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
         self.events
     }
 
-    /// Frames that failed to decode as `M` (malformed or hostile peers).
+    /// Frames that failed to decode as `M` (malformed or hostile peers),
+    /// wherever the decoding happened — node thread or pipeline workers.
     pub fn decode_errors(&self) -> u64 {
-        self.decode_errors
+        let pipeline = match &self.inbound {
+            Inbound::Direct => 0,
+            Inbound::Pipeline(pool) => pool.stats().decode_errors,
+        };
+        self.decode_errors + pipeline
     }
 
     /// Timers currently pending in the heap (diagnostics).
@@ -217,10 +296,14 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
         }
     }
 
-    fn handle_frame(&mut self, from: NodeId, payload: Vec<u8>) {
+    /// Decodes a raw frame (direct mode); `None` counts a decode error.
+    fn decode_frame(&mut self, from: NodeId, payload: Vec<u8>) -> Option<(NodeId, M)> {
         match M::from_wire_bytes(&payload) {
-            Ok(msg) => self.dispatch(|node, ctx| node.on_message(from, msg, ctx)),
-            Err(_) => self.decode_errors += 1,
+            Ok(msg) => Some((from, msg)),
+            Err(_) => {
+                self.decode_errors += 1;
+                None
+            }
         }
     }
 
@@ -268,30 +351,56 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
                 let until_timer = Duration::from_nanos(at_ns.saturating_sub(self.now().as_nanos()));
                 wait = wait.min(until_timer);
             }
-            // Zero-duration waits still poll the channel once.
-            match self
-                .transport
-                .recv_timeout(wait.max(Duration::from_micros(100)))
-            {
-                Some((from, payload)) => {
-                    self.handle_frame(from, payload);
-                    // Batch-drain whatever else is already queued before
-                    // going back around to timers.
-                    let mut drained = 1;
-                    while drained < Self::DRAIN_BATCH {
+            // Zero-duration waits still poll the channel once. In
+            // pipeline mode messages arrive decoded and pre-verified
+            // from the worker pool; the drain shape is identical.
+            let wait = wait.max(Duration::from_micros(100));
+            let pipelined = matches!(self.inbound, Inbound::Pipeline(_));
+            let first = if pipelined {
+                self.pool_recv(Some(wait))
+            } else {
+                match self.transport.recv_timeout(wait) {
+                    Some((from, payload)) => self.decode_frame(from, payload),
+                    None => None,
+                }
+            };
+            if let Some((from, msg)) = first {
+                self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
+                // Batch-drain whatever else is already ready before
+                // going back around to timers.
+                let mut drained = 1;
+                while drained < Self::DRAIN_BATCH {
+                    let next = if pipelined {
+                        self.pool_recv(None)
+                    } else {
                         match self.transport.try_recv() {
-                            Some((from, payload)) => {
-                                self.handle_frame(from, payload);
-                                drained += 1;
-                            }
-                            None => break,
+                            Some((from, payload)) => self.decode_frame(from, payload),
+                            None => None,
                         }
+                    };
+                    match next {
+                        Some((from, msg)) => {
+                            self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
+                            drained += 1;
+                        }
+                        None => break,
                     }
                 }
-                None => {}
             }
         }
         self.events - before
+    }
+
+    /// Receives from the verify pool (blocking up to `wait`, or
+    /// non-blocking with `None`).
+    fn pool_recv(&self, wait: Option<Duration>) -> Option<(NodeId, M)> {
+        let Inbound::Pipeline(pool) = &self.inbound else {
+            return None;
+        };
+        match wait {
+            Some(wait) => pool.recv_timeout(wait),
+            None => pool.try_recv(),
+        }
     }
 
     /// Polls until `stop` returns true or `timeout` elapses; returns

@@ -473,6 +473,11 @@ pub struct TcpTransport {
     inbound: Receiver<(NodeId, Vec<u8>)>,
     inbound_tx: SyncSender<(NodeId, Vec<u8>)>,
     outbound: HashMap<NodeId, Arc<Peer>>,
+    /// Keeps the placeholder channel alive after [`Self::take_inbound`]
+    /// moved the real receiver out (a dead placeholder would make
+    /// `recv_timeout` return instantly forever — a spin loop for any
+    /// caller that still polls the transport directly).
+    _parked_inbound_tx: Option<SyncSender<(NodeId, Vec<u8>)>>,
 }
 
 impl TcpTransport {
@@ -558,7 +563,19 @@ impl TcpTransport {
             inbound,
             inbound_tx,
             outbound,
+            _parked_inbound_tx: None,
         })
+    }
+
+    /// Moves the inbound frame channel out of the transport, for a
+    /// verification pipeline that drains raw frames on its own worker
+    /// threads. Reader threads (and self-sends) keep feeding the moved
+    /// channel; subsequent [`Self::recv_timeout`] / [`Self::try_recv`]
+    /// calls on the transport itself see nothing.
+    pub fn take_inbound(&mut self) -> Receiver<(NodeId, Vec<u8>)> {
+        let (parked_tx, parked_rx) = mpsc::sync_channel(1);
+        self._parked_inbound_tx = Some(parked_tx);
+        std::mem::replace(&mut self.inbound, parked_rx)
     }
 
     /// This node's id.

@@ -27,6 +27,9 @@ struct Args {
     workload: ClientWorkload,
     /// Overrides the config file's `profile` directive when set.
     profile: Option<TransportProfile>,
+    /// Overrides the config file's `verify_threads` directive when set
+    /// (0 = auto from core count, 1 = pipeline bypassed).
+    verify_threads: Option<usize>,
 }
 
 enum Role {
@@ -35,7 +38,8 @@ enum Role {
 }
 
 const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
-                     [--profile lan|wan] [--requests N] [--ops N] [--value-len N]";
+                     [--profile lan|wan] [--verify-threads N] [--requests N] [--ops N] \
+                     [--value-len N]";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut role = None;
     let mut workload = ClientWorkload::default();
     let mut profile = None;
+    let mut verify_threads = None;
     let mut i = 0;
     while i < argv.len() {
         let arg = argv[i].clone();
@@ -82,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown profile `{other}` (lan | wan)")),
                 })
             }
+            "--verify-threads" => {
+                verify_threads = Some(
+                    value("--verify-threads")?
+                        .parse()
+                        .map_err(|_| "bad --verify-threads")?,
+                )
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -92,16 +104,18 @@ fn parse_args() -> Result<Args, String> {
         role: role.ok_or(USAGE)?,
         workload,
         profile,
+        verify_threads,
     })
 }
 
 fn run_replica(spec: &ClusterSpec, r: usize) -> Result<(), String> {
     let mut runtime = replica_runtime(spec, r, None).map_err(|e| e.to_string())?;
     eprintln!(
-        "replica {r}/{} listening on {} ({:?} profile, view timers armed)",
+        "replica {r}/{} listening on {} ({:?} profile, {} verify workers, view timers armed)",
         spec.n(),
         runtime.transport().local_addr(),
         spec.profile,
+        runtime.verify_threads(),
     );
     let mut last_report = Instant::now();
     loop {
@@ -188,6 +202,9 @@ fn main() -> ExitCode {
     };
     if let Some(profile) = args.profile {
         spec.profile = profile;
+    }
+    if let Some(threads) = args.verify_threads {
+        spec.verify_threads = threads;
     }
     let result = match args.role {
         Role::Replica(r) if r < spec.n() => run_replica(&spec, r),

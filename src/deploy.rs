@@ -10,14 +10,51 @@
 
 use std::io;
 use std::net::TcpListener;
+use std::sync::Arc;
 
 use sbft_core::{
-    make_client, make_replica, KeyMaterial, ProtocolConfig, SbftMsg, VariantFlags, Workload,
+    make_client, make_replica, KeyMaterial, ProtocolConfig, PublicKeys, ReplicaNode, SbftMsg,
+    SbftPreVerifier, VariantFlags, Workload,
 };
 use sbft_crypto::CryptoCostModel;
 use sbft_sim::SimDuration;
 use sbft_statedb::KvService;
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
+
+/// Frames one verification worker claims per pass — the amortization
+/// unit for the batched (random-linear-combination) share checks.
+pub const VERIFY_BATCH: usize = 32;
+/// Bound on the pipeline's verified-output queue.
+pub const VERIFY_QUEUE: usize = 16_384;
+
+/// Wraps a replica in its runtime, attaching the parallel verification
+/// pipeline when `verify_threads > 1` (and telling the replica to skip
+/// the checks the pipeline now owns). With `verify_threads <= 1` this is
+/// the plain single-threaded runtime — the PR-2 hot path, still optimal
+/// on one core. Shared by [`replica_runtime`], the chaos harness, and
+/// the benches so every backend builds pipelines the same way.
+pub fn replica_runtime_with_pipeline(
+    mut replica: ReplicaNode,
+    transport: TcpTransport,
+    seed: u64,
+    public: Arc<PublicKeys>,
+    verify_threads: usize,
+) -> NodeRuntime<SbftMsg> {
+    if verify_threads > 1 {
+        replica.set_inbound_preverified(true);
+        NodeRuntime::with_verify_pool(
+            Box::new(replica),
+            transport,
+            seed,
+            Arc::new(SbftPreVerifier::new(public)),
+            verify_threads,
+            VERIFY_BATCH,
+            VERIFY_QUEUE,
+        )
+    } else {
+        NodeRuntime::new(Box::new(replica), transport, seed)
+    }
+}
 
 /// Maps a cluster spec onto protocol parameters. The spec's `profile`
 /// picks the timer bundle: `lan` keeps the tight loopback/datacenter
@@ -122,10 +159,12 @@ pub fn replica_runtime(
         CryptoCostModel::free(),
     );
     let transport = transport_for(spec, spec.replica_node(r), listener)?;
-    Ok(NodeRuntime::new(
-        Box::new(replica),
+    Ok(replica_runtime_with_pipeline(
+        replica,
         transport,
         spec.seed ^ (r as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        keys.public.clone(),
+        spec.resolved_verify_threads(),
     ))
 }
 
@@ -171,11 +210,13 @@ pub fn client_runtime(
     );
     let node = spec.client_node(c);
     let transport = transport_for(spec, node, listener)?;
-    Ok(NodeRuntime::new(
-        Box::new(client),
-        transport,
-        spec.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15),
-    ))
+    let seed = spec.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    // Clients stay on the zero-handoff direct path and do their own
+    // verification: a closed-loop client blocks on its one in-flight
+    // reply, so offloading its single π check per ack to a worker pool
+    // would add a cross-thread handoff per reply and win nothing.
+    // `verify_threads` is a replica knob.
+    Ok(NodeRuntime::new(Box::new(client), transport, seed))
 }
 
 /// Renders a loopback [`ClusterSpec`] config for `n` replicas and

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_harness-107b46735f9b82c8.d: tests/chaos_harness.rs
+
+/root/repo/target/debug/deps/libchaos_harness-107b46735f9b82c8.rmeta: tests/chaos_harness.rs
+
+tests/chaos_harness.rs:

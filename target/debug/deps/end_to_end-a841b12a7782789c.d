@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a841b12a7782789c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-a841b12a7782789c.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e936b06fd0e13e92.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-e936b06fd0e13e92.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

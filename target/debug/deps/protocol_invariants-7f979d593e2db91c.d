@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-7f979d593e2db91c.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/libprotocol_invariants-7f979d593e2db91c.rmeta: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

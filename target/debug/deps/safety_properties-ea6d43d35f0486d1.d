@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_properties-ea6d43d35f0486d1.d: tests/safety_properties.rs
+
+/root/repo/target/debug/deps/libsafety_properties-ea6d43d35f0486d1.rmeta: tests/safety_properties.rs
+
+tests/safety_properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbft-b3b2c5dd14845950.d: src/lib.rs src/deploy.rs
+
+/root/repo/target/debug/deps/libsbft-b3b2c5dd14845950.rmeta: src/lib.rs src/deploy.rs
+
+src/lib.rs:
+src/deploy.rs:

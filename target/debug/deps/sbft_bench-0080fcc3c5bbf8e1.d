@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/sbft_bench-0080fcc3c5bbf8e1.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/sbft_bench-0080fcc3c5bbf8e1.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/debug/deps/sbft_bench-0080fcc3c5bbf8e1: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/sbft_bench-0080fcc3c5bbf8e1: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/driver.rs:
 crates/bench/src/micro.rs:
 crates/bench/src/table.rs:
+crates/bench/src/trajectory.rs:

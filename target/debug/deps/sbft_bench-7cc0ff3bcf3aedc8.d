@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/sbft_bench-7cc0ff3bcf3aedc8.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/sbft_bench-7cc0ff3bcf3aedc8.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/debug/deps/libsbft_bench-7cc0ff3bcf3aedc8.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libsbft_bench-7cc0ff3bcf3aedc8.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/debug/deps/libsbft_bench-7cc0ff3bcf3aedc8.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libsbft_bench-7cc0ff3bcf3aedc8.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/driver.rs:
 crates/bench/src/micro.rs:
 crates/bench/src/table.rs:
+crates/bench/src/trajectory.rs:

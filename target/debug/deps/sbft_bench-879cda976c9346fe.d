@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/sbft_bench-879cda976c9346fe.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/sbft_bench-879cda976c9346fe.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/debug/deps/libsbft_bench-879cda976c9346fe.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libsbft_bench-879cda976c9346fe.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/driver.rs:
 crates/bench/src/micro.rs:
 crates/bench/src/table.rs:
+crates/bench/src/trajectory.rs:

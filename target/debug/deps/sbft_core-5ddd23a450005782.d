@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/sbft_core-5ddd23a450005782.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/sbft_core-5ddd23a450005782.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/debug/deps/sbft_core-5ddd23a450005782: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/sbft_core-5ddd23a450005782: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -10,4 +10,5 @@ crates/core/src/messages.rs:
 crates/core/src/pipelined.rs:
 crates/core/src/replica.rs:
 crates/core/src/testkit.rs:
+crates/core/src/verify.rs:
 crates/core/src/viewchange.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/sbft_core-77db617bd5cba033.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/sbft_core-77db617bd5cba033.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/debug/deps/libsbft_core-77db617bd5cba033.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/libsbft_core-77db617bd5cba033.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -10,4 +10,5 @@ crates/core/src/messages.rs:
 crates/core/src/pipelined.rs:
 crates/core/src/replica.rs:
 crates/core/src/testkit.rs:
+crates/core/src/verify.rs:
 crates/core/src/viewchange.rs:

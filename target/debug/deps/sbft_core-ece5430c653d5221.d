@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/sbft_core-ece5430c653d5221.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/sbft_core-ece5430c653d5221.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/debug/deps/libsbft_core-ece5430c653d5221.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/libsbft_core-ece5430c653d5221.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/debug/deps/libsbft_core-ece5430c653d5221.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/debug/deps/libsbft_core-ece5430c653d5221.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -12,4 +12,5 @@ crates/core/src/messages.rs:
 crates/core/src/pipelined.rs:
 crates/core/src/replica.rs:
 crates/core/src/testkit.rs:
+crates/core/src/verify.rs:
 crates/core/src/viewchange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbft_node-04885758c33dc065.d: src/bin/sbft-node.rs
+
+/root/repo/target/debug/deps/libsbft_node-04885758c33dc065.rmeta: src/bin/sbft-node.rs
+
+src/bin/sbft-node.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/sbft_transport-1d0b253862394c27.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/sbft_transport-1d0b253862394c27.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/debug/deps/libsbft_transport-1d0b253862394c27.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/libsbft_transport-1d0b253862394c27.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
 crates/transport/src/lib.rs:
 crates/transport/src/config.rs:
 crates/transport/src/frame.rs:
 crates/transport/src/runtime.rs:
 crates/transport/src/tcp.rs:
+crates/transport/src/verify.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/sbft_transport-47f0de4c4b58bc60.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/sbft_transport-47f0de4c4b58bc60.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/debug/deps/sbft_transport-47f0de4c4b58bc60: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/sbft_transport-47f0de4c4b58bc60: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
 crates/transport/src/lib.rs:
 crates/transport/src/config.rs:
 crates/transport/src/frame.rs:
 crates/transport/src/runtime.rs:
 crates/transport/src/tcp.rs:
+crates/transport/src/verify.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/sbft_transport-98639274ebc87ecc.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/sbft_transport-98639274ebc87ecc.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/debug/deps/libsbft_transport-98639274ebc87ecc.rlib: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/libsbft_transport-98639274ebc87ecc.rlib: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/debug/deps/libsbft_transport-98639274ebc87ecc.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/debug/deps/libsbft_transport-98639274ebc87ecc.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
 crates/transport/src/lib.rs:
 crates/transport/src/config.rs:
 crates/transport/src/frame.rs:
 crates/transport/src/runtime.rs:
 crates/transport/src/tcp.rs:
+crates/transport/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_cluster-51fc19dafafba151.d: tests/tcp_cluster.rs
+
+/root/repo/target/debug/deps/libtcp_cluster-51fc19dafafba151.rmeta: tests/tcp_cluster.rs
+
+tests/tcp_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_rtt-1157c27de716faa4.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/debug/deps/transport_rtt-1157c27de716faa4: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

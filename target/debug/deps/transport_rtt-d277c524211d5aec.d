@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_rtt-d277c524211d5aec.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/debug/deps/libtransport_rtt-d277c524211d5aec.rmeta: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

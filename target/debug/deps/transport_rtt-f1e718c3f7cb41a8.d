@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_rtt-f1e718c3f7cb41a8.d: crates/bench/src/bin/transport_rtt.rs
+
+/root/repo/target/debug/deps/libtransport_rtt-f1e718c3f7cb41a8.rmeta: crates/bench/src/bin/transport_rtt.rs
+
+crates/bench/src/bin/transport_rtt.rs:

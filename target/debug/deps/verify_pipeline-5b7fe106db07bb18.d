@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_pipeline-5b7fe106db07bb18.d: crates/bench/src/bin/verify_pipeline.rs
+
+/root/repo/target/debug/deps/verify_pipeline-5b7fe106db07bb18: crates/bench/src/bin/verify_pipeline.rs
+
+crates/bench/src/bin/verify_pipeline.rs:

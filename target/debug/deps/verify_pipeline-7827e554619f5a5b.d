@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_pipeline-7827e554619f5a5b.d: crates/bench/src/bin/verify_pipeline.rs
+
+/root/repo/target/debug/deps/libverify_pipeline-7827e554619f5a5b.rmeta: crates/bench/src/bin/verify_pipeline.rs
+
+crates/bench/src/bin/verify_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_pipeline-f707fe4974b16340.d: crates/bench/src/bin/verify_pipeline.rs
+
+/root/repo/target/debug/deps/libverify_pipeline-f707fe4974b16340.rmeta: crates/bench/src/bin/verify_pipeline.rs
+
+crates/bench/src/bin/verify_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5254bed137777553.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-5254bed137777553.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_contracts-dfe21e348ab59f3f.d: examples/smart_contracts.rs
+
+/root/repo/target/debug/examples/libsmart_contracts-dfe21e348ab59f3f.rmeta: examples/smart_contracts.rs
+
+examples/smart_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-2fc836e45ba0962c.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/libtcp_cluster-2fc836e45ba0962c.rmeta: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

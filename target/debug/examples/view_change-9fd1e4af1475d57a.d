@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_change-9fd1e4af1475d57a.d: examples/view_change.rs
+
+/root/repo/target/debug/examples/libview_change-9fd1e4af1475d57a.rmeta: examples/view_change.rs
+
+examples/view_change.rs:

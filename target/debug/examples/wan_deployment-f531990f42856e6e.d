@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_deployment-f531990f42856e6e.d: examples/wan_deployment.rs
+
+/root/repo/target/debug/examples/libwan_deployment-f531990f42856e6e.rmeta: examples/wan_deployment.rs
+
+examples/wan_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-ea1619ed6ccca6ae.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-ea1619ed6ccca6ae: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

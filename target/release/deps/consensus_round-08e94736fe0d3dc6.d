@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consensus_round-08e94736fe0d3dc6.d: crates/bench/benches/consensus_round.rs
+
+/root/repo/target/release/deps/consensus_round-08e94736fe0d3dc6: crates/bench/benches/consensus_round.rs
+
+crates/bench/benches/consensus_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto_ops-727e050f51c632ea.d: crates/bench/benches/crypto_ops.rs
+
+/root/repo/target/release/deps/crypto_ops-727e050f51c632ea: crates/bench/benches/crypto_ops.rs
+
+crates/bench/benches/crypto_ops.rs:

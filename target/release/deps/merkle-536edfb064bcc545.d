@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/merkle-536edfb064bcc545.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/release/deps/merkle-536edfb064bcc545: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

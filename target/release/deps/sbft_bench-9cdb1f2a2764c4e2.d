@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/sbft_bench-9cdb1f2a2764c4e2.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/sbft_bench-9cdb1f2a2764c4e2.d: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/release/deps/libsbft_bench-9cdb1f2a2764c4e2.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libsbft_bench-9cdb1f2a2764c4e2.rlib: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
-/root/repo/target/release/deps/libsbft_bench-9cdb1f2a2764c4e2.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libsbft_bench-9cdb1f2a2764c4e2.rmeta: crates/bench/src/lib.rs crates/bench/src/driver.rs crates/bench/src/micro.rs crates/bench/src/table.rs crates/bench/src/trajectory.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/driver.rs:
 crates/bench/src/micro.rs:
 crates/bench/src/table.rs:
+crates/bench/src/trajectory.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/sbft_core-d41f7e424f62a722.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/release/deps/sbft_core-d41f7e424f62a722.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/release/deps/libsbft_core-d41f7e424f62a722.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/release/deps/libsbft_core-d41f7e424f62a722.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
-/root/repo/target/release/deps/libsbft_core-d41f7e424f62a722.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/viewchange.rs
+/root/repo/target/release/deps/libsbft_core-d41f7e424f62a722.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/keys.rs crates/core/src/messages.rs crates/core/src/pipelined.rs crates/core/src/replica.rs crates/core/src/testkit.rs crates/core/src/verify.rs crates/core/src/viewchange.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -12,4 +12,5 @@ crates/core/src/messages.rs:
 crates/core/src/pipelined.rs:
 crates/core/src/replica.rs:
 crates/core/src/testkit.rs:
+crates/core/src/verify.rs:
 crates/core/src/viewchange.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/sbft_transport-2019a508cb05eccc.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/release/deps/sbft_transport-2019a508cb05eccc.d: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/release/deps/libsbft_transport-2019a508cb05eccc.rlib: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/release/deps/libsbft_transport-2019a508cb05eccc.rlib: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
-/root/repo/target/release/deps/libsbft_transport-2019a508cb05eccc.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs
+/root/repo/target/release/deps/libsbft_transport-2019a508cb05eccc.rmeta: crates/transport/src/lib.rs crates/transport/src/config.rs crates/transport/src/frame.rs crates/transport/src/runtime.rs crates/transport/src/tcp.rs crates/transport/src/verify.rs
 
 crates/transport/src/lib.rs:
 crates/transport/src/config.rs:
 crates/transport/src/frame.rs:
 crates/transport/src/runtime.rs:
 crates/transport/src/tcp.rs:
+crates/transport/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_pipeline-33c916fe195be52e.d: crates/bench/src/bin/verify_pipeline.rs
+
+/root/repo/target/release/deps/verify_pipeline-33c916fe195be52e: crates/bench/src/bin/verify_pipeline.rs
+
+crates/bench/src/bin/verify_pipeline.rs:

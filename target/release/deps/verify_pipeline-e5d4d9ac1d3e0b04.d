@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_pipeline-e5d4d9ac1d3e0b04.d: crates/bench/src/bin/verify_pipeline.rs
+
+/root/repo/target/release/deps/verify_pipeline-e5d4d9ac1d3e0b04: crates/bench/src/bin/verify_pipeline.rs
+
+crates/bench/src/bin/verify_pipeline.rs:

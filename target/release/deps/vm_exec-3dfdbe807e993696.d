@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_exec-3dfdbe807e993696.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/release/deps/vm_exec-3dfdbe807e993696: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:

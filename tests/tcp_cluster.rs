@@ -39,6 +39,21 @@ impl TcpCluster {
     /// ports, plus listeners for `clients` clients (returned for the
     /// caller to drive).
     fn boot(f: usize, c: usize, clients: usize, seed: u64) -> (TcpCluster, Vec<TcpListener>) {
+        // `verify_threads 1` bypasses the verification pipeline: these
+        // tests cover the zero-handoff direct path; the pipelined path
+        // has its own test below.
+        TcpCluster::boot_with_verify_threads(f, c, clients, seed, 1)
+    }
+
+    /// [`TcpCluster::boot`] with an explicit verification-pipeline width
+    /// (`>1` enables the worker pool inside every replica runtime).
+    fn boot_with_verify_threads(
+        f: usize,
+        c: usize,
+        clients: usize,
+        seed: u64,
+        verify_threads: usize,
+    ) -> (TcpCluster, Vec<TcpListener>) {
         let n = 3 * f + 2 * c + 1;
         let bind = |count: usize| -> (Vec<TcpListener>, Vec<String>) {
             let listeners: Vec<TcpListener> = (0..count)
@@ -52,8 +67,11 @@ impl TcpCluster {
         };
         let (replica_listeners, replica_addrs) = bind(n);
         let (client_listeners, client_addrs) = bind(clients);
-        let spec = ClusterSpec::parse(&loopback_config(f, c, seed, &replica_addrs, &client_addrs))
-            .expect("generated config parses");
+        let config_text = format!(
+            "verify_threads {verify_threads}\n{}",
+            loopback_config(f, c, seed, &replica_addrs, &client_addrs)
+        );
+        let spec = ClusterSpec::parse(&config_text).expect("generated config parses");
 
         let done = Arc::new(AtomicBool::new(false));
         let (control_tx, control_rx) = mpsc::channel();
@@ -169,6 +187,43 @@ fn four_replica_tcp_cluster_commits_fast_path() {
     assert!(
         reports.iter().all(|r| r.last_executed >= 1),
         "every replica must have executed something"
+    );
+}
+
+/// Acceptance: the same cluster with the parallel verification pipeline
+/// enabled (3 workers per replica) commits the full workload — decode
+/// and stateless crypto run on the pool, the replicas consume
+/// pre-verified envelopes in per-peer FIFO order, and agreement holds.
+#[test]
+fn four_replica_cluster_commits_with_verify_pipeline() {
+    const REQUESTS: usize = 30;
+    let (cluster, mut client_listeners) = TcpCluster::boot_with_verify_threads(1, 0, 1, 0x91e3, 3);
+    let workload = ClientWorkload {
+        requests: REQUESTS,
+        ..ClientWorkload::default()
+    };
+    let mut client = client_runtime(
+        &cluster.spec,
+        0,
+        &workload,
+        Some(client_listeners.remove(0)),
+    )
+    .expect("client boots");
+    let finished = client.run_until(Duration::from_secs(60), Duration::from_millis(20), |rt| {
+        rt.node_as::<ClientNode>().expect("client node").completed >= REQUESTS as u64
+    });
+    let completed = client
+        .node_as::<ClientNode>()
+        .expect("client node")
+        .completed;
+    assert!(finished, "only {completed}/{REQUESTS} requests committed");
+    assert_eq!(client.decode_errors(), 0);
+
+    let reports = cluster.stop();
+    assert_agreement(&reports);
+    assert!(
+        reports.iter().all(|r| r.last_executed >= 1),
+        "every replica must have executed through the pipeline"
     );
 }
 
