@@ -7,7 +7,9 @@
 //! Flags: `--quick` (short window), `--clients a,b,c` (sweep points),
 //! `--verify-threads N` (verification pipeline workers per replica;
 //! 0 = auto from core count, 1 = bypass), `--json PATH` (machine-readable
-//! result file, default `BENCH_loopback.json`), `--no-json`.
+//! result file, default `BENCH_loopback.json`), `--no-json`, `--no-trace`
+//! (disable per-request phase tracing — the A/B switch for measuring the
+//! telemetry layer's overhead).
 //!
 //! Every run emits the perf-trajectory record `BENCH_loopback.json`
 //! (req/s, latency percentiles, process-CPU µs per request, thread
@@ -23,6 +25,7 @@ use std::time::{Duration, Instant};
 use sbft::core::{ClientNode, ReplicaNode};
 use sbft::deploy::{client_runtime, loopback_config, replica_runtime, ClientWorkload};
 use sbft::sim::SampleStats;
+use sbft::telemetry::HistogramSnapshot;
 use sbft::transport::ClusterSpec;
 use sbft_bench::trajectory::Trajectory;
 
@@ -35,6 +38,9 @@ struct Args {
     /// 0 = auto (core count), 1 = pipeline bypassed.
     verify_threads: usize,
     json_path: Option<String>,
+    /// Per-request phase tracing on the replicas (`--no-trace` turns it
+    /// off; comparing the two runs measures the tracer's overhead).
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +53,7 @@ fn parse_args() -> Args {
         smoke_floor: None,
         verify_threads: 0,
         json_path: Some("BENCH_loopback.json".to_string()),
+        trace: true,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -87,6 +94,7 @@ fn parse_args() -> Args {
                 args.json_path = Some(argv.get(i).expect("--json needs a path").clone());
             }
             "--no-json" => args.json_path = None,
+            "--no-trace" => args.trace = false,
             "--verbose" => args.verbose = true,
             "--clients" => {
                 i += 1;
@@ -144,6 +152,47 @@ struct Point {
     p99_ms: f64,
     cpu_us_per_request: f64,
     verify_threads_used: usize,
+    /// `(component, mean µs, worst replica p99 µs)` per latency phase,
+    /// aggregated across the 4 replicas' tracers (whole run including
+    /// warmup — phase shares, not absolute window numbers). Empty when
+    /// tracing is off.
+    phase_us: Vec<(&'static str, f64, f64)>,
+}
+
+/// Folds the per-replica tracer snapshots into one `(component, mean µs,
+/// worst p99 µs)` row per phase. The mean merge is exact (sums and
+/// counts add); p99 across replicas is reported as the worst replica's,
+/// which is the number an operator chasing tail latency wants anyway.
+fn fold_phases(
+    per_replica: Vec<Vec<(&'static str, HistogramSnapshot)>>,
+) -> Vec<(&'static str, f64, f64)> {
+    let mut rows: Vec<(&'static str, u64, f64, f64)> = Vec::new();
+    for components in per_replica {
+        for (name, snap) in components {
+            let row = match rows.iter_mut().find(|(n, _, _, _)| *n == name) {
+                Some(row) => row,
+                None => {
+                    rows.push((name, 0, 0.0, 0.0));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            if snap.count() > 0 {
+                row.1 += snap.count();
+                row.2 += snap.mean() * snap.count() as f64;
+                row.3 = row.3.max(snap.quantile(0.99) as f64);
+            }
+        }
+    }
+    rows.into_iter()
+        .map(|(name, count, sum_ns, p99_ns)| {
+            let mean_ns = if count > 0 {
+                sum_ns / count as f64
+            } else {
+                0.0
+            };
+            (name, mean_ns / 1_000.0, p99_ns / 1_000.0)
+        })
+        .collect()
 }
 
 /// One sweep point: boots a fresh cluster, measures a window.
@@ -168,11 +217,13 @@ fn measure(clients: usize, args: &Args) -> Point {
     for (r, listener) in replica_listeners.into_iter().enumerate() {
         let spec = spec.clone();
         let done = Arc::clone(&done);
+        let trace = args.trace;
         replica_threads.push(
             thread::Builder::new()
                 .name(format!("replica-{r}"))
                 .spawn(move || {
                     let mut runtime = replica_runtime(&spec, r, Some(listener)).expect("replica");
+                    runtime.registry().tracer().set_enabled(trace);
                     while !done.load(Ordering::Acquire) {
                         runtime.poll(Duration::from_millis(10));
                     }
@@ -183,6 +234,7 @@ fn measure(clients: usize, args: &Args) -> Point {
                         eprintln!("  replica {r} sends by label: {labels:?}");
                     }
                     let pool = runtime.verify_pool_stats();
+                    let components = runtime.registry().tracer().component_snapshots();
                     let node = runtime.node_as::<ReplicaNode>().expect("replica node");
                     (
                         r,
@@ -192,6 +244,7 @@ fn measure(clients: usize, args: &Args) -> Point {
                         runtime.metrics().counter("slow_commits"),
                         stats,
                         pool,
+                        components,
                     )
                 })
                 .expect("spawn replica"),
@@ -248,8 +301,11 @@ fn measure(clients: usize, args: &Args) -> Point {
     for t in threads {
         t.join().expect("node thread");
     }
+    let mut per_replica_phases = Vec::new();
     for t in replica_threads {
-        let (r, view, executed, fast, slow, stats, pool) = t.join().expect("replica thread");
+        let (r, view, executed, fast, slow, stats, pool, components) =
+            t.join().expect("replica thread");
+        per_replica_phases.push(components);
         if args.verbose {
             eprintln!(
                 "  replica {r}: view {view} executed {executed} fast {fast} slow {slow} | \
@@ -294,6 +350,11 @@ fn measure(clients: usize, args: &Args) -> Point {
         p99_ms: stats.as_ref().map(|s| s.p99).unwrap_or(0.0),
         cpu_us_per_request,
         verify_threads_used,
+        phase_us: if args.trace {
+            fold_phases(per_replica_phases)
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -305,9 +366,19 @@ fn write_json(path: &str, points: &[Point], best: f64) {
     );
     record.field_f64("best_req_per_s", best);
     for p in points {
+        let mut phases = String::new();
+        for (name, mean_us, p99_us) in &p.phase_us {
+            if !phases.is_empty() {
+                phases.push_str(", ");
+            }
+            phases.push_str(&format!(
+                "\"{name}\": {{\"mean_us\": {mean_us:.1}, \"p99_us\": {p99_us:.1}}}"
+            ));
+        }
         record.point(format!(
             "{{\"clients\": {}, \"req_per_s\": {:.1}, \"mean_ms\": {:.3}, \
-             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cpu_us_per_request\": {:.1}}}",
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cpu_us_per_request\": {:.1}, \
+             \"phase_us\": {{{phases}}}}}",
             p.clients, p.req_per_s, p.mean_ms, p.p50_ms, p.p99_ms, p.cpu_us_per_request,
         ));
     }
@@ -338,6 +409,14 @@ fn main() {
             point.p99_ms,
             point.cpu_us_per_request,
         );
+        if !point.phase_us.is_empty() {
+            let parts: Vec<String> = point
+                .phase_us
+                .iter()
+                .map(|(name, mean_us, p99_us)| format!("{name} {mean_us:.0}µs (p99 {p99_us:.0})"))
+                .collect();
+            println!("         phases: {}", parts.join(", "));
+        }
         best = best.max(point.req_per_s);
         points.push(point);
     }

@@ -161,6 +161,7 @@ fn measure(frames: &[(usize, Vec<u8>)], threads: usize, verifier: Arc<SbftPreVer
         threads,
         sbft::deploy::VERIFY_BATCH,
         sbft::deploy::VERIFY_QUEUE,
+        &sbft::telemetry::Registry::new(),
     );
     let started = Instant::now();
     let feeder_frames: Vec<(usize, Vec<u8>)> = frames.to_vec();

@@ -336,13 +336,17 @@ fn run_sbft(spec: &ExperimentSpec) -> ExperimentResult {
     cluster.sim.start();
     cluster.sim.run_for(spec.warmup);
     let warm_completed = cluster.total_completed();
-    let warm_samples = cluster.sim.metrics().samples("latency_ms").len();
+    let warm_samples = cluster.sim.metrics().sample_snapshot("latency_ms");
     let warm_msgs = cluster.sim.metrics().messages_sent();
     let warm_bytes = cluster.sim.metrics().bytes_sent();
     cluster.sim.run_for(spec.measure);
     let completed = cluster.total_completed() - warm_completed;
     let seconds = spec.measure.as_secs_f64();
-    let samples = &cluster.sim.metrics().samples("latency_ms")[warm_samples..];
+    let samples = cluster
+        .sim
+        .metrics()
+        .sample_snapshot("latency_ms")
+        .since(&warm_samples);
     let fast = cluster.sim.metrics().counter("fast_commits") as f64;
     let slow = cluster.sim.metrics().counter("slow_commits") as f64;
     cluster.assert_agreement();
@@ -353,7 +357,7 @@ fn run_sbft(spec: &ExperimentSpec) -> ExperimentResult {
         completed_requests: completed,
         throughput_ops: completed as f64 * ops_per_request / seconds,
         throughput_requests: completed as f64 / seconds,
-        latency: SampleStats::from_samples(samples),
+        latency: SampleStats::from_sample_snapshot(&samples),
         msgs_per_request: delta_per(cluster.sim.metrics().messages_sent() - warm_msgs, completed),
         bytes_per_request: delta_per(cluster.sim.metrics().bytes_sent() - warm_bytes, completed),
         fast_path_fraction: if fast + slow > 0.0 {
@@ -431,13 +435,17 @@ fn run_pbft(spec: &ExperimentSpec) -> ExperimentResult {
     cluster.sim.start();
     cluster.sim.run_for(spec.warmup);
     let warm_completed = cluster.total_completed();
-    let warm_samples = cluster.sim.metrics().samples("latency_ms").len();
+    let warm_samples = cluster.sim.metrics().sample_snapshot("latency_ms");
     let warm_msgs = cluster.sim.metrics().messages_sent();
     let warm_bytes = cluster.sim.metrics().bytes_sent();
     cluster.sim.run_for(spec.measure);
     let completed = cluster.total_completed() - warm_completed;
     let seconds = spec.measure.as_secs_f64();
-    let samples = &cluster.sim.metrics().samples("latency_ms")[warm_samples..];
+    let samples = cluster
+        .sim
+        .metrics()
+        .sample_snapshot("latency_ms")
+        .since(&warm_samples);
     cluster.assert_agreement();
     ExperimentResult {
         variant: spec.variant.name(),
@@ -446,7 +454,7 @@ fn run_pbft(spec: &ExperimentSpec) -> ExperimentResult {
         completed_requests: completed,
         throughput_ops: completed as f64 * ops_per_request / seconds,
         throughput_requests: completed as f64 / seconds,
-        latency: SampleStats::from_samples(samples),
+        latency: SampleStats::from_sample_snapshot(&samples),
         msgs_per_request: delta_per(cluster.sim.metrics().messages_sent() - warm_msgs, completed),
         bytes_per_request: delta_per(cluster.sim.metrics().bytes_sent() - warm_bytes, completed),
         fast_path_fraction: 0.0,

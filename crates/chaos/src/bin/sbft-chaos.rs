@@ -135,9 +135,12 @@ fn main() -> ExitCode {
         for report in &reports {
             println!("{}", report.line());
             failed |= report.outcome.failed();
-            if report.outcome.failed() && !args.no_shrink {
-                if let Some(minimal) = shrink(&plan, report.seed, 40) {
-                    println!("{}", minimal.recipe());
+            if report.outcome.failed() {
+                print!("{}", report.registry_dump());
+                if !args.no_shrink {
+                    if let Some(minimal) = shrink(&plan, report.seed, 40) {
+                        println!("{}", minimal.recipe());
+                    }
                 }
             }
         }
@@ -168,6 +171,9 @@ fn main() -> ExitCode {
     let result = run_swarm(&plans, &config);
     for report in &result.reports {
         println!("{}", report.line());
+        if report.outcome.failed() {
+            print!("{}", report.registry_dump());
+        }
     }
     for minimal in &result.shrunk {
         println!("{}", minimal.recipe());

@@ -69,12 +69,47 @@ pub struct RunReport {
     pub counters: HashMap<String, u64>,
     /// Final safety snapshots of the live replicas.
     pub snapshots: Vec<ReplicaSnapshot>,
+    /// Per-node telemetry registry counters at teardown, labeled by node
+    /// (`"replica 0"`, `"client 1"`, crashed incarnations suffixed).
+    /// Every node's registry starts at zero when its process boots, so
+    /// these final values are the run's deltas. TCP backend only — the
+    /// simulator's nodes share one in-process metrics object, so there is
+    /// no per-node registry to dump there (the field stays empty).
+    pub registries: Vec<(String, Vec<(String, u64)>)>,
 }
 
 impl RunReport {
     /// A tracked counter's final value (0 if absent).
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// One node's final registry counter (0 if absent) — `node` is the
+    /// label used in [`RunReport::registries`].
+    pub fn registry_counter(&self, node: &str, key: &str) -> u64 {
+        self.registries
+            .iter()
+            .find(|(label, _)| label == node)
+            .and_then(|(_, counters)| counters.iter().find(|(name, _)| name == key))
+            .map(|(_, value)| *value)
+            .unwrap_or(0)
+    }
+
+    /// The per-node registry deltas as indented diagnostic lines —
+    /// printed under failing seeds so the post-mortem starts with each
+    /// node's traffic, verification, and protocol counters in hand.
+    /// Zero-valued counters are elided.
+    pub fn registry_dump(&self) -> String {
+        let mut out = String::new();
+        for (label, counters) in &self.registries {
+            let nonzero: Vec<String> = counters
+                .iter()
+                .filter(|(_, value)| *value > 0)
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect();
+            out.push_str(&format!("    {label}: {}\n", nonzero.join(" ")));
+        }
+        out
     }
 }
 

@@ -147,6 +147,9 @@ pub fn run_sim(plan: &FaultPlan, seed: u64) -> RunReport {
         wall: started.elapsed(),
         counters,
         snapshots,
+        // The simulator's nodes share one metrics object; per-node
+        // registry deltas exist only on the TCP backend.
+        registries: Vec::new(),
     }
 }
 

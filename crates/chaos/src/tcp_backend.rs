@@ -46,6 +46,9 @@ enum NodeCmd {
 struct NodeExit {
     snapshot: Option<ReplicaSnapshot>,
     counters: HashMap<String, u64>,
+    /// This incarnation's full telemetry registry (counters only) at
+    /// teardown — zero at boot, so final values are run deltas.
+    registry: Vec<(String, u64)>,
     completed: u64,
     events: u64,
 }
@@ -150,11 +153,13 @@ fn spawn_replica(
                 .node_as::<ReplicaNode>()
                 .map(|node| ReplicaSnapshot::of(node, r));
             let counters = tracked_counters(&runtime);
+            let registry = runtime.registry().counter_values();
             let events = runtime.events_processed();
             control.shutdown();
             NodeExit {
                 snapshot,
                 counters,
+                registry,
                 completed: 0,
                 events,
             }
@@ -211,11 +216,13 @@ fn spawn_client(
                 .map(|n| n.completed)
                 .unwrap_or(0);
             let counters = tracked_counters(&runtime);
+            let registry = runtime.registry().counter_values();
             let events = runtime.events_processed();
             control.shutdown();
             NodeExit {
                 snapshot: None,
                 counters,
+                registry,
                 completed,
                 events,
             }
@@ -237,8 +244,9 @@ struct TcpRun {
     /// Replica handles (None while crashed).
     replicas: Vec<Option<NodeHandle>>,
     clients: Vec<NodeHandle>,
-    /// Exits of crashed incarnations (counters still count).
-    crashed_exits: Vec<NodeExit>,
+    /// Exits of crashed incarnations, tagged with the replica id
+    /// (counters still count).
+    crashed_exits: Vec<(usize, NodeExit)>,
     /// Per-node extra one-way delay; link delay is the *sum* of its two
     /// endpoints' values, mirroring the simulator's additive
     /// `extra_node_delay` so overlapping Delay faults mean the same
@@ -349,7 +357,7 @@ impl TcpRun {
             Step::Crash(r) => {
                 if let Some(handle) = self.replicas[*r].take() {
                     self.net.clear_forward(*r);
-                    self.crashed_exits.push(handle.join());
+                    self.crashed_exits.push((*r, handle.join()));
                 }
             }
             Step::Restart(r) => {
@@ -442,6 +450,7 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         wall: started.elapsed(),
         counters: HashMap::new(),
         snapshots: Vec::new(),
+        registries: Vec::new(),
     };
     if !plan.tcp_supported() {
         return abort(
@@ -509,24 +518,25 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         replica.stop.store(true, Ordering::Release);
     }
     let client_exits: Vec<NodeExit> = run.clients.drain(..).map(NodeHandle::join).collect();
-    let replica_exits: Vec<NodeExit> = run
+    let replica_exits: Vec<(usize, NodeExit)> = run
         .replicas
         .iter_mut()
-        .filter_map(|slot| slot.take())
-        .map(NodeHandle::join)
+        .enumerate()
+        .filter_map(|(r, slot)| slot.take().map(|handle| (r, handle.join())))
         .collect();
     run.net.shutdown();
 
     let snapshots: Vec<ReplicaSnapshot> = replica_exits
         .iter()
-        .filter_map(|exit| exit.snapshot.clone())
+        .filter_map(|(_, exit)| exit.snapshot.clone())
         .collect();
     let mut counters: HashMap<String, u64> = HashMap::new();
     let mut fingerprint = 0u64;
     for exit in replica_exits
         .iter()
+        .map(|(_, exit)| exit)
         .chain(&client_exits)
-        .chain(&run.crashed_exits)
+        .chain(run.crashed_exits.iter().map(|(_, exit)| exit))
     {
         for (key, value) in &exit.counters {
             *counters.entry(key.clone()).or_insert(0) += value;
@@ -534,6 +544,18 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         fingerprint += exit.events;
     }
     let completed: u64 = client_exits.iter().map(|exit| exit.completed).sum();
+    // Per-node registry deltas, crashed incarnations first so a
+    // restarted replica's two lives both show up in the dump.
+    let mut registries: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+    for (r, exit) in &run.crashed_exits {
+        registries.push((format!("replica {r} (crashed)"), exit.registry.clone()));
+    }
+    for (r, exit) in &replica_exits {
+        registries.push((format!("replica {r}"), exit.registry.clone()));
+    }
+    for (c, exit) in client_exits.iter().enumerate() {
+        registries.push((format!("client {c}"), exit.registry.clone()));
+    }
 
     RunReport {
         plan: plan.name.to_string(),
@@ -545,5 +567,6 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         wall: started.elapsed(),
         counters,
         snapshots,
+        registries,
     }
 }

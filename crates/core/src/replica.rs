@@ -25,6 +25,7 @@ use sbft_sim::{Context, Node, NodeId, TimerId};
 use sbft_statedb::{
     combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, StateChunk,
 };
+use sbft_telemetry::{Phase, PhaseTracer};
 use sbft_wire::{ClientSignature, Wire};
 
 use crate::config::ProtocolConfig;
@@ -184,6 +185,11 @@ pub struct ReplicaNode {
     assembler: ChunkAssembler,
     chunk_cert: Option<(Digest, Digest, Signature)>,
     state_request_outstanding: bool,
+
+    /// Optional per-request phase tracer (see [`Self::set_tracer`]):
+    /// stamps each request's lifecycle so end-to-end latency decomposes
+    /// into queue / verify / consensus / execute / reply components.
+    tracer: Option<PhaseTracer>,
 }
 
 impl ReplicaNode {
@@ -230,6 +236,7 @@ impl ReplicaNode {
             assembler: ChunkAssembler::new(),
             chunk_cert: None,
             state_request_outstanding: false,
+            tracer: None,
         }
     }
 
@@ -244,6 +251,23 @@ impl ReplicaNode {
     /// messages). Self-sent (loopback) messages are trusted either way.
     pub fn set_inbound_preverified(&mut self, preverified: bool) {
         self.inbound_preverified = preverified;
+    }
+
+    /// Attaches a phase tracer: every request this replica handles is
+    /// stamped at received / pre-prepared / share-signed / committed /
+    /// executed / replied, keyed by `(client, timestamp)`. Phases a
+    /// replica never observes stay unstamped (partial spans). Defaults
+    /// to none — stamping costs nothing unless attached.
+    pub fn set_tracer(&mut self, tracer: PhaseTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Stamps one lifecycle phase for a request (no-op without an
+    /// attached tracer).
+    fn trace_phase(&self, ctx: &Context<'_, SbftMsg>, client: u32, timestamp: u64, phase: Phase) {
+        if let Some(tracer) = &self.tracer {
+            tracer.stamp(client, timestamp, phase, ctx.now().as_nanos());
+        }
     }
 
     /// Current view.
@@ -429,6 +453,7 @@ impl ReplicaNode {
                 return;
             }
         }
+        self.trace_phase(ctx, key.0, key.1, Phase::Received);
         if self.is_primary() && !self.in_view_change {
             let proposed = self
                 .proposed_table
@@ -605,6 +630,10 @@ impl ReplicaNode {
         // Validate client request signatures — each charged and checked
         // once per unique request, not once per message it rides in (a
         // forwarded request verified in `handle_request` is free here).
+        // Stamped first, so the verify component covers these checks.
+        for r in &requests {
+            self.trace_phase(ctx, r.client.get(), r.timestamp, Phase::PrePrepared);
+        }
         for r in &requests {
             if !self.check_request_signature(ctx, r) {
                 return;
@@ -642,6 +671,13 @@ impl ReplicaNode {
         };
         for collector in self.config.c_collectors(seq, view) {
             self.send_to(ctx, collector, msg.clone());
+        }
+        if self.tracer.is_some() {
+            if let Some(reqs) = self.slots.get(&seq.get()).and_then(|s| s.requests.as_ref()) {
+                for r in reqs {
+                    self.trace_phase(ctx, r.client.get(), r.timestamp, Phase::ShareSigned);
+                }
+            }
         }
         // A commit proof may have arrived before the pre-prepare.
         self.try_commit_with_stored_cert(ctx, seq);
@@ -965,6 +1001,9 @@ impl ReplicaNode {
         }
         ctx.incr("committed_blocks", 1);
         ctx.incr("committed_requests", requests.len() as u64);
+        for r in &requests {
+            self.trace_phase(ctx, r.client.get(), r.timestamp, Phase::Committed);
+        }
         self.ledger.commit(Block {
             seq,
             view: view.get(),
@@ -995,6 +1034,7 @@ impl ReplicaNode {
             self.last_executed = next;
             for (l, request) in requests.iter().enumerate() {
                 let key = (request.client.get(), request.timestamp);
+                self.trace_phase(ctx, key.0, key.1, Phase::Executed);
                 self.executed_requests.insert(key, (next, l as u32));
                 self.forwarded.remove(&key);
                 // Executed requests are deduped by the client table from
@@ -1025,12 +1065,31 @@ impl ReplicaNode {
                 for (l, request) in requests.iter().enumerate() {
                     let result = exec.results[l].clone();
                     let reply = self.make_reply(next, request, result);
+                    self.trace_phase(ctx, request.client.get(), request.timestamp, Phase::Replied);
                     ctx.send(self.client_node(request.client), reply);
                 }
             }
             // If this replica is an E-collector and the proof was already
             // combined (we executed late), acks may now be sendable.
             self.maybe_send_acks(ctx, next);
+            if let Some(tracer) = &self.tracer {
+                // Execution ends this replica's part in the request —
+                // close the spans here, except on an E-collector that
+                // still owes an execute-ack: it keeps them open so the
+                // late ack can stamp `replied` (closed there instead).
+                let awaiting_ack = self.config.flags.single_client_ack
+                    && self.my_e_collector_index(next).is_some()
+                    && !self
+                        .slots
+                        .get(&next.get())
+                        .map(|s| s.acks_sent)
+                        .unwrap_or(true);
+                if !awaiting_ack {
+                    for request in &requests {
+                        tracer.close(request.client.get(), request.timestamp);
+                    }
+                }
+            }
             self.vc_attempts = 0;
         }
     }
@@ -1154,7 +1213,15 @@ impl ReplicaNode {
                 pi,
                 proof,
             };
+            self.trace_phase(ctx, request.client.get(), request.timestamp, Phase::Replied);
             ctx.send(self.client_node(request.client), ack);
+        }
+        if let Some(tracer) = &self.tracer {
+            // Acks are this E-collector's last word on the block; spans
+            // left open by `try_execute` for the ack close here.
+            for request in &requests {
+                tracer.close(request.client.get(), request.timestamp);
+            }
         }
     }
 

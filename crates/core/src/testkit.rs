@@ -578,8 +578,8 @@ mod tests {
         let b = run_small(VariantFlags::SBFT, 1, 0);
         assert_eq!(a.sim.events_processed(), b.sim.events_processed());
         assert_eq!(
-            a.sim.metrics().samples("latency_ms"),
-            b.sim.metrics().samples("latency_ms")
+            a.sim.metrics().sample_snapshot("latency_ms"),
+            b.sim.metrics().sample_snapshot("latency_ms")
         );
     }
 

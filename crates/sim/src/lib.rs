@@ -157,7 +157,7 @@ mod tests {
         sim.run_for(SimDuration::from_secs(2));
         let metrics_pings = sim.metrics().label_count("ping");
         let metrics_pongs = sim.metrics().label_count("pong");
-        let samples = sim.metrics().samples("rtt_ms").len();
+        let samples = sim.metrics().sample_count("rtt_ms");
         let initiator = sim.node_as::<PingPong>(0).unwrap();
         assert_eq!(initiator.completed, 5);
         // Region 0 → region 1 one-way is 8ms, so RTT ≥ 16ms.

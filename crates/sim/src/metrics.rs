@@ -1,9 +1,22 @@
 //! Run metrics: counters, samples and optional message traces.
+//!
+//! Samples land in the shared [`sbft_telemetry::Histogram`] type
+//! (bounded fixed-bucket storage) instead of an unbounded `Vec<f64>`,
+//! so week-long swarm runs cannot grow memory with every request.
+//! Sample values are scaled ×1000 on the way in (millisecond samples
+//! are stored with microsecond resolution); [`Metrics::sample_stats`]
+//! undoes the scaling.
 
 use std::collections::BTreeMap;
 
+use sbft_telemetry::{Histogram, HistogramSnapshot};
+
 use crate::node::NodeId;
 use crate::time::SimTime;
+
+/// Fixed-point scale applied to `f64` samples before they enter the
+/// histogram (ms → µs for latency samples).
+const SAMPLE_SCALE: f64 = 1000.0;
 
 /// One traced message send (used for Figure-1-style flow diagrams).
 #[derive(Debug, Clone)]
@@ -24,7 +37,7 @@ pub struct TraceEvent {
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
-    samples: BTreeMap<&'static str, Vec<f64>>,
+    samples: BTreeMap<&'static str, Histogram>,
     messages_sent: u64,
     bytes_sent: u64,
     per_label_count: BTreeMap<&'static str, u64>,
@@ -47,9 +60,13 @@ impl Metrics {
         *self.counters.entry(key).or_insert(0) += by;
     }
 
-    /// Records a sample under a key.
+    /// Records a sample under a key (stored ×[`SAMPLE_SCALE`] in a
+    /// bounded histogram; negative values clamp to zero).
     pub fn record(&mut self, key: &'static str, value: f64) {
-        self.samples.entry(key).or_default().push(value);
+        self.samples
+            .entry(key)
+            .or_default()
+            .record((value * SAMPLE_SCALE).max(0.0).round() as u64);
     }
 
     /// Reads a counter (0 if never incremented).
@@ -57,9 +74,37 @@ impl Metrics {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
-    /// Reads the samples recorded under a key.
-    pub fn samples(&self, key: &str) -> &[f64] {
-        self.samples.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// Number of samples recorded under a key.
+    pub fn sample_count(&self, key: &str) -> u64 {
+        self.samples.get(key).map(Histogram::count).unwrap_or(0)
+    }
+
+    /// A point-in-time copy of one sample histogram (empty snapshot if
+    /// the key was never recorded). Identical runs produce identical
+    /// snapshots, so these double as determinism fingerprints; benches
+    /// use [`HistogramSnapshot::since`] to carve out warm-up windows.
+    pub fn sample_snapshot(&self, key: &str) -> HistogramSnapshot {
+        self.samples
+            .get(key)
+            .map(Histogram::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Summary stats for a sample key, in the units `record` was given.
+    pub fn sample_stats(&self, key: &str) -> Option<SampleStats> {
+        SampleStats::from_sample_snapshot(&self.sample_snapshot(key))
+    }
+
+    /// The sample histogram handle for a key, creating it if absent —
+    /// lets an external registry adopt (share) the buckets.
+    pub fn sample_histogram(&mut self, key: &'static str) -> Histogram {
+        self.samples.entry(key).or_default().clone()
+    }
+
+    /// Every sample histogram handle, sorted by key (the handles share
+    /// buckets with this `Metrics` — adopting one is zero-copy).
+    pub fn sample_histograms(&self) -> impl Iterator<Item = (&'static str, Histogram)> + '_ {
+        self.samples.iter().map(|(k, h)| (*k, h.clone()))
     }
 
     /// All counters, sorted by key.
@@ -167,6 +212,25 @@ impl SampleStats {
             max: sorted[count - 1],
         })
     }
+
+    /// Computes stats from a [`Metrics`] sample snapshot (undoing the
+    /// fixed-point scaling); `None` when empty. The mean is exact;
+    /// quantiles and extrema carry the histogram's ≤ 6.25 % bucket
+    /// error.
+    pub fn from_sample_snapshot(snapshot: &HistogramSnapshot) -> Option<SampleStats> {
+        if snapshot.count() == 0 {
+            return None;
+        }
+        let unscale = |v: u64| v as f64 / SAMPLE_SCALE;
+        Some(SampleStats {
+            count: snapshot.count() as usize,
+            mean: snapshot.mean() / SAMPLE_SCALE,
+            median: unscale(snapshot.quantile(0.5)),
+            p99: unscale(snapshot.quantile(0.99)),
+            min: unscale(snapshot.min()),
+            max: unscale(snapshot.max()),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +246,37 @@ mod tests {
         assert_eq!(m.counter("missing"), 0);
         m.record("lat", 1.0);
         m.record("lat", 2.0);
-        assert_eq!(m.samples("lat"), &[1.0, 2.0]);
+        assert_eq!(m.sample_count("lat"), 2);
+        assert_eq!(m.sample_count("missing"), 0);
+        let stats = m.sample_stats("lat").unwrap();
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean - 1.5).abs() < 1e-9, "mean is exact");
+        // min/max are bucket upper bounds: at most 6.25 % above the
+        // true extremes, never below them.
+        assert!(stats.min >= 1.0 && stats.min <= 1.07, "min {}", stats.min);
+        assert!(stats.max >= 2.0 && stats.max <= 2.14, "max {}", stats.max);
+        assert!(m.sample_stats("missing").is_none());
+    }
+
+    #[test]
+    fn sample_snapshots_fingerprint_runs_and_window() {
+        let mut a = Metrics::new(false);
+        let mut b = Metrics::new(false);
+        for v in [0.6, 0.7, 1.4] {
+            a.record("lat", v);
+            b.record("lat", v);
+        }
+        assert_eq!(
+            a.sample_snapshot("lat"),
+            b.sample_snapshot("lat"),
+            "identical runs, identical snapshots"
+        );
+        let warm = a.sample_snapshot("lat");
+        a.record("lat", 10.0);
+        let window = a.sample_snapshot("lat").since(&warm);
+        let stats = SampleStats::from_sample_snapshot(&window).unwrap();
+        assert_eq!(stats.count, 1);
+        assert!(stats.min > 9.0, "warm-up samples excluded from window");
     }
 
     #[test]

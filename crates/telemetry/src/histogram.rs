@@ -1,0 +1,327 @@
+//! Fixed-bucket lock-free histogram.
+//!
+//! Values 0..16 get exact buckets; above that, each power-of-two range
+//! splits into 16 linear sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most 1/16 of its magnitude (≤ 6.25 %
+//! relative quantile error). 976 buckets cover all of `u64` in ~8 KiB —
+//! bounded memory no matter how long the run, which is the point: this
+//! type replaces the simulator's unbounded `Vec<f64>` sample store and
+//! is safe to hammer from any thread (relaxed atomics, no locks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exact buckets below this value.
+const LINEAR_CUTOFF: u64 = 16;
+/// Linear sub-buckets per power-of-two range.
+const SUB_BUCKETS: usize = 16;
+/// Total bucket count: 16 exact + (63 − 3) ranges × 16 sub-buckets.
+const BUCKETS: usize = LINEAR_CUTOFF as usize + (63 - 3) * SUB_BUCKETS;
+
+/// Bucket index for a value (monotone in the value).
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // ≥ 4
+        (exp - 3) * SUB_BUCKETS + ((v >> (exp - 4)) & 0xF) as usize
+    }
+}
+
+/// Largest value stored in bucket `i` (the Prometheus `le` bound).
+fn bucket_upper(i: usize) -> u64 {
+    if i < LINEAR_CUTOFF as usize {
+        i as u64
+    } else {
+        let exp = i / SUB_BUCKETS + 3;
+        let sub = (i % SUB_BUCKETS) as u64;
+        // The very top bucket's bound is 2^64 - 1, which only fits via
+        // wrapping: 2^63 + 16·2^59 - 1 ≡ u64::MAX.
+        (1u64 << exp)
+            .wrapping_add((sub + 1) << (exp - 4))
+            .wrapping_sub(1)
+    }
+}
+
+struct Core {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+/// A cloneable handle to one histogram. All updates are lock-free;
+/// clones share the same buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.core.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            core: Arc::new(Core {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.core.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state: sparse
+/// `(bucket_index, count)` pairs plus the running sum. Two identical
+/// runs produce byte-identical snapshots, so these double as
+/// determinism fingerprints.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty). Exact — the sum is tracked
+    /// separately from the buckets.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// bucket holding that rank (≤ 6.25 % high). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i as usize);
+            }
+        }
+        self.max()
+    }
+
+    /// Upper bound of the lowest occupied bucket (≈ min). 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.buckets
+            .first()
+            .map(|&(i, _)| bucket_upper(i as usize))
+            .unwrap_or(0)
+    }
+
+    /// Upper bound of the highest occupied bucket (≈ max). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .last()
+            .map(|&(i, _)| bucket_upper(i as usize))
+            .unwrap_or(0)
+    }
+
+    /// The observations recorded since `earlier` was taken (bucket-wise
+    /// subtraction) — the warm-window primitive benches use to exclude
+    /// warm-up samples.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        let mut e = earlier.buckets.iter().peekable();
+        for &(i, n) in &self.buckets {
+            let mut n = n;
+            while let Some(&&(ei, en)) = e.peek() {
+                match ei.cmp(&i) {
+                    std::cmp::Ordering::Less => {
+                        e.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        n = n.saturating_sub(en);
+                        e.next();
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            if n > 0 {
+                buckets.push((i, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Cumulative `(le_bound, count)` pairs over the occupied buckets —
+    /// the Prometheus exposition shape.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0u64;
+        for &(i, n) in &self.buckets {
+            acc += n;
+            out.push((bucket_upper(i as usize), acc));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose upper bound is >= the
+        // value, and indices never decrease as values grow.
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(
+                bucket_upper(i) >= v,
+                "v={v} i={i} upper={}",
+                bucket_upper(i)
+            );
+            assert!(i >= last, "index must be monotone at v={v}");
+            if i > 0 && i != last {
+                assert_eq!(i, last + 1, "no gaps at v={v}");
+                assert_eq!(bucket_upper(i - 1), v - 1, "tight lower edge at v={v}");
+            }
+            last = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_upper(bucket_index(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn exact_below_cutoff_and_bounded_error_above() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_upper(bucket_index(v)), v, "exact below cutoff");
+        }
+        for v in [17u64, 1000, 123_456, 999_999_999, 1 << 40] {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v);
+            assert!(
+                (upper - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "v={v} upper={upper}: error above 1/16"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        assert!((s.mean() - 500.5).abs() < 1e-9, "mean is exact");
+        let p50 = s.quantile(0.5);
+        assert!((470..=540).contains(&p50), "p50 {p50} within bucket error");
+        let p99 = s.quantile(0.99);
+        assert!((980..=1055).contains(&p99), "p99 {p99} within bucket error");
+        assert!(s.min() <= 2 && s.max() >= 1000);
+    }
+
+    #[test]
+    fn since_subtracts_a_warmup_window() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(5);
+        }
+        let warm = h.snapshot();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        let delta = h.snapshot().since(&warm);
+        assert_eq!(delta.count(), 10);
+        assert_eq!(delta.sum(), 1000);
+        assert!(delta.min() >= 96, "warm-up 5s subtracted away");
+        assert_eq!(
+            h.snapshot().since(&h.snapshot()),
+            HistogramSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + (i % 7));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

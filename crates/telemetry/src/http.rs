@@ -1,0 +1,163 @@
+//! The std-only introspection endpoint.
+//!
+//! One listener thread serving HTTP/1.0 responses, connection-per
+//! -request — this is an operator peeking at a node (or CI curling it),
+//! not a serving stack, so simplicity wins:
+//!
+//! - `GET /metrics` — Prometheus text exposition of the registry.
+//! - `GET /trace`   — recent phase-trace spans as JSON.
+//! - `GET /json`    — the whole registry snapshot as JSON.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Binds `addr` (e.g. `127.0.0.1:9600`, port 0 for OS-assigned) and
+/// serves the registry from a background thread for the life of the
+/// process. Returns the bound address.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or the thread cannot spawn.
+pub fn serve(addr: &str, registry: Registry) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("telemetry-http".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let _ = handle(&mut stream, &registry);
+            }
+        })?;
+    Ok(local)
+}
+
+/// Reads one request line and answers it. Any parse problem just drops
+/// the connection — a hostile scraper cannot wedge the node.
+fn handle(stream: &mut TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or 4 KiB, whichever
+    // comes first) — we only need the request line.
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/metrics" => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &registry.render_prometheus(),
+        ),
+        "/trace" => respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &registry.tracer().render_json(256),
+        ),
+        "/json" => respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &registry.snapshot().render_json(),
+        ),
+        "/" => respond(
+            stream,
+            "200 OK",
+            "text/plain",
+            "sbft telemetry: /metrics (prometheus) /trace (phase spans) /json (snapshot)\n",
+        ),
+        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Phase;
+
+    /// Plain-socket GET against the endpoint, returning (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect endpoint");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn exposition_round_trips_over_http() {
+        let registry = Registry::new();
+        registry.counter("sbft_requests_total").add(12);
+        registry.gauge("sbft_view").set(3);
+        registry.histogram("sbft_lat_ns").record(500);
+        let tracer = registry.tracer();
+        tracer.stamp(1, 7, Phase::Received, 10);
+        tracer.stamp(1, 7, Phase::Executed, 800);
+        tracer.close(1, 7);
+
+        let addr = serve("127.0.0.1:0", registry.clone()).expect("bind endpoint");
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert!(body.contains("sbft_requests_total 12"));
+        assert!(body.contains("sbft_view 3"));
+        assert!(body.contains("sbft_lat_ns_count 1"));
+        assert!(body.contains("sbft_trace_spans_completed 1"));
+
+        let (status, body) = get(addr, "/trace");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert!(body.contains("\"received_ns\": 10"));
+        assert!(body.contains("\"completed\": 1"));
+
+        let (status, body) = get(addr, "/json");
+        assert_eq!(status, "HTTP/1.0 200 OK");
+        assert!(body.contains("\"sbft_requests_total\": 12"));
+
+        // Live updates show on the next scrape — same registry handles.
+        registry.counter("sbft_requests_total").add(8);
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("sbft_requests_total 20"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.0 404 Not Found");
+    }
+}

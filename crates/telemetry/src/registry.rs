@@ -1,0 +1,438 @@
+//! The cross-thread metrics registry.
+//!
+//! One registry per process-node. Registration (name → handle) takes
+//! the mutex; the returned handles are `Arc`-wrapped atomics that hot
+//! paths update without any locking, from any thread. Names follow
+//! Prometheus conventions and may carry a `{label="value"}` suffix;
+//! the exposition groups families by the name up to the `{`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::trace::PhaseTracer;
+
+/// A monotone counter handle (lock-free, cloneable).
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for mirroring an externally-owned monotone
+    /// count (e.g. the node thread's single-writer protocol counters).
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level handle (queue depths, view numbers).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    tracer: OnceLock<PhaseTracer>,
+}
+
+/// A cheaply-cloneable handle to one process-node's metrics. Every
+/// layer (transport, verify pool, node runtime, node binary) clones the
+/// same registry and registers its own families into it.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("`{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("`{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("`{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Adopts an existing histogram handle under `name` (shares the
+    /// buckets — no copying, no syncing). Used by `sbft_sim::Metrics` to
+    /// export its sample store through the node's registry.
+    pub fn adopt_histogram(&self, name: &str, histogram: Histogram) {
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(histogram));
+    }
+
+    /// The process-node's phase tracer, created on first use with its
+    /// component histograms registered here.
+    pub fn tracer(&self) -> PhaseTracer {
+        self.inner
+            .tracer
+            .get_or_init(|| PhaseTracer::new(self))
+            .clone()
+    }
+
+    /// Current value of every counter, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let metrics = self.inner.metrics.lock().expect("registry poisoned");
+        metrics
+            .iter()
+            .filter_map(|(name, m)| match m {
+                Metric::Counter(c) => Some((name.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A point-in-time copy of everything registered.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Prometheus text exposition of every registered metric.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Family name: the metric name up to any `{label}` suffix.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl RegistrySnapshot {
+    /// One counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// One histogram's snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Per-counter difference against an earlier snapshot of the same
+    /// registry — what happened *since* (chaos reports attach these).
+    pub fn counters_since(&self, earlier: &RegistrySnapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(name, v)| {
+                let base = earlier.counter(name);
+                (name.clone(), v.saturating_sub(base))
+            })
+            .filter(|(_, v)| *v > 0)
+            .collect()
+    }
+
+    /// Prometheus text exposition (`# TYPE` per family, histograms as
+    /// cumulative `_bucket{le=...}` series over occupied buckets).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let fam = family(name);
+            if typed.as_deref() != Some(fam) {
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+                typed = Some(fam.to_string());
+            }
+        };
+        for (name, value) in &self.counters {
+            type_line(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            type_line(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let fam = family(name);
+            let labels = &name[fam.len()..];
+            let inner = labels
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or("");
+            let with = |extra: &str| -> String {
+                if inner.is_empty() {
+                    format!("{{{extra}}}")
+                } else {
+                    format!("{{{inner},{extra}}}")
+                }
+            };
+            type_line(&mut out, name, "histogram");
+            for (le, cumulative) in hist.cumulative() {
+                let _ = writeln!(
+                    out,
+                    "{fam}_bucket{} {cumulative}",
+                    with(&format!("le=\"{le}\""))
+                );
+            }
+            let _ = writeln!(out, "{fam}_bucket{} {}", with("le=\"+Inf\""), hist.count());
+            let _ = writeln!(out, "{fam}_sum{labels} {}", hist.sum());
+            let _ = writeln!(out, "{fam}_count{labels} {}", hist.count());
+        }
+        out
+    }
+
+    /// The snapshot as a JSON object (hand-assembled; the workspace is
+    /// dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {value}{comma}", escape(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {value}{comma}", escape(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \
+                 \"max\": {}}}{comma}",
+                escape(name),
+                hist.count(),
+                hist.mean(),
+                hist.quantile(0.5),
+                hist.quantile(0.99),
+                hist.max(),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_clones_and_threads() {
+        let registry = Registry::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    // Every thread grabs the same counter by name, plus
+                    // its own gauge, and hammers a shared histogram.
+                    let c = registry.counter("shared_total");
+                    let g = registry.gauge(&format!("per_thread_level{{t=\"{t}\"}}"));
+                    let h = registry.histogram("latency_ns");
+                    for i in 0..25_000u64 {
+                        c.inc();
+                        g.set(i as i64);
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.counter("shared_total").get(), 100_000);
+        assert_eq!(registry.histogram("latency_ns").count(), 100_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("shared_total"), 100_000);
+        assert_eq!(snap.gauges.len(), 4);
+        for (_, level) in &snap.gauges {
+            assert_eq!(*level, 24_999);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_is_a_programming_error() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn exposition_covers_all_kinds() {
+        let registry = Registry::new();
+        registry.counter("sbft_frames_total").add(3);
+        registry.gauge("sbft_backlog{peer=\"2\"}").set(-4);
+        registry.histogram("sbft_lat_ns").record(100);
+        registry.histogram("sbft_lat_ns").record(200);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE sbft_frames_total counter"));
+        assert!(text.contains("sbft_frames_total 3"));
+        assert!(text.contains("# TYPE sbft_backlog gauge"));
+        assert!(text.contains("sbft_backlog{peer=\"2\"} -4"));
+        assert!(text.contains("# TYPE sbft_lat_ns histogram"));
+        assert!(text.contains("sbft_lat_ns_count 2"));
+        assert!(text.contains("sbft_lat_ns_sum 300"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        // Cumulative buckets: the le=207 bucket (200 lands in
+        // [200, 207]) must count both observations' predecessors.
+        assert!(text.contains("sbft_lat_ns_bucket{le=\"103\"} 1"));
+    }
+
+    #[test]
+    fn counters_since_reports_only_movement() {
+        let registry = Registry::new();
+        let a = registry.counter("a");
+        let b = registry.counter("b");
+        a.add(5);
+        let before = registry.snapshot();
+        a.add(2);
+        b.add(0);
+        let delta = registry.snapshot().counters_since(&before);
+        assert_eq!(delta, vec![("a".to_string(), 2)]);
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable_shape() {
+        let registry = Registry::new();
+        registry.counter("c").inc();
+        registry.histogram("h").record(7);
+        let json = registry.snapshot().render_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"c\": 1"));
+        assert!(json.contains("\"count\": 1"));
+    }
+}

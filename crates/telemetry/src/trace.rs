@@ -1,0 +1,417 @@
+//! Per-request phase tracing.
+//!
+//! A replica stamps each client request — keyed `(client, timestamp)`,
+//! the protocol's own request identity — as it crosses the lifecycle
+//! phases. When the request's span closes, the adjacent-phase durations
+//! are recorded into per-component latency histograms, decomposing
+//! end-to-end latency into queue / verify / consensus / execute / reply,
+//! and the finished [`Span`] lands in a bounded ring buffer the
+//! introspection endpoint serves as JSON.
+//!
+//! Stamping takes one short mutex on the node thread only (readers are
+//! the occasional endpoint scrape), and both tables are bounded: the
+//! open-span table evicts its oldest entry when full, the ring drops
+//! its oldest span — memory never grows with uptime.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::registry::{escape, Counter, Registry};
+
+/// Lifecycle phases of one client request, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Request arrived at this replica.
+    Received,
+    /// Carried by an accepted pre-prepare.
+    PrePrepared,
+    /// This replica sent its σ/τ signature shares.
+    ShareSigned,
+    /// The block committed (fast or slow path).
+    Committed,
+    /// The request executed against the service.
+    Executed,
+    /// A reply or execute-ack left for the client.
+    Replied,
+}
+
+impl Phase {
+    /// All phases, in order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Received,
+        Phase::PrePrepared,
+        Phase::ShareSigned,
+        Phase::Committed,
+        Phase::Executed,
+        Phase::Replied,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Received => "received",
+            Phase::PrePrepared => "pre_prepared",
+            Phase::ShareSigned => "share_signed",
+            Phase::Committed => "committed",
+            Phase::Executed => "executed",
+            Phase::Replied => "replied",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The latency components a span decomposes into: each is the duration
+/// between two adjacent phases.
+pub const PHASE_COMPONENTS: [(&str, Phase, Phase); 5] = [
+    ("queue", Phase::Received, Phase::PrePrepared),
+    ("verify", Phase::PrePrepared, Phase::ShareSigned),
+    ("consensus", Phase::ShareSigned, Phase::Committed),
+    ("execute", Phase::Committed, Phase::Executed),
+    ("reply", Phase::Executed, Phase::Replied),
+];
+
+/// One request's recorded lifecycle. Phases a replica never saw (e.g.
+/// `received` on a replica the client did not contact, `replied` on a
+/// non-collector) stay `None`.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Client id.
+    pub client: u32,
+    /// Client-assigned request timestamp (the request identity).
+    pub timestamp: u64,
+    /// Per-phase stamp in nanoseconds of node time, indexed by
+    /// [`Phase::ALL`] order.
+    pub phases: [Option<u64>; 6],
+}
+
+impl Span {
+    /// Duration of one component, when both endpoints were stamped.
+    pub fn component_ns(&self, from: Phase, to: Phase) -> Option<u64> {
+        let a = self.phases[from.index()]?;
+        let b = self.phases[to.index()]?;
+        Some(b.saturating_sub(a))
+    }
+}
+
+struct State {
+    open: HashMap<(u32, u64), [Option<u64>; 6]>,
+    /// Insertion order of `open` keys, for oldest-first eviction.
+    order: VecDeque<(u32, u64)>,
+    ring: VecDeque<Span>,
+}
+
+struct Shared {
+    enabled: AtomicBool,
+    state: Mutex<State>,
+    ring_capacity: usize,
+    open_capacity: usize,
+    /// Component histograms, in [`PHASE_COMPONENTS`] order.
+    components: [Histogram; 5],
+    completed: Counter,
+    evicted: Counter,
+    wrapped: Counter,
+}
+
+/// Cloneable handle to one node's phase tracer.
+#[derive(Clone)]
+pub struct PhaseTracer {
+    shared: Arc<Shared>,
+}
+
+impl PhaseTracer {
+    /// Completed spans kept for the introspection endpoint.
+    pub const RING_CAPACITY: usize = 1024;
+    /// In-flight spans tracked before oldest-first eviction.
+    pub const OPEN_CAPACITY: usize = 16 * 1024;
+
+    /// A tracer whose component histograms and bookkeeping counters
+    /// register into `registry` (`sbft_phase_<component>_ns`,
+    /// `sbft_trace_*`). Usually obtained via `Registry::tracer()`.
+    pub fn new(registry: &Registry) -> PhaseTracer {
+        let components = PHASE_COMPONENTS
+            .map(|(name, _, _)| registry.histogram(&format!("sbft_phase_{name}_ns")));
+        PhaseTracer {
+            shared: Arc::new(Shared {
+                enabled: AtomicBool::new(true),
+                state: Mutex::new(State {
+                    open: HashMap::new(),
+                    order: VecDeque::new(),
+                    ring: VecDeque::new(),
+                }),
+                ring_capacity: Self::RING_CAPACITY,
+                open_capacity: Self::OPEN_CAPACITY,
+                components,
+                completed: registry.counter("sbft_trace_spans_completed"),
+                evicted: registry.counter("sbft_trace_spans_evicted"),
+                wrapped: registry.counter("sbft_trace_ring_wrapped"),
+            }),
+        }
+    }
+
+    /// Turns stamping on or off (off = every stamp is a no-op after one
+    /// atomic load; the A/B switch for overhead measurements).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.shared.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether stamping is live.
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Stamps `phase` for request `(client, timestamp)` at `now_ns`.
+    /// First stamp wins if a phase is stamped twice (retransmits).
+    pub fn stamp(&self, client: u32, timestamp: u64, phase: Phase, now_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut state = self.shared.state.lock().expect("tracer poisoned");
+        let key = (client, timestamp);
+        if !state.open.contains_key(&key) {
+            if state.open.len() >= self.shared.open_capacity {
+                // Evict the oldest in-flight span (skipping keys already
+                // closed) rather than growing without bound.
+                while let Some(old) = state.order.pop_front() {
+                    if let Some(phases) = state.open.remove(&old) {
+                        self.shared.evicted.inc();
+                        Self::finish(&self.shared, &mut state, old, phases);
+                        break;
+                    }
+                }
+            }
+            state.order.push_back(key);
+        }
+        let slot = &mut state.open.entry(key).or_default()[phase.index()];
+        if slot.is_none() {
+            *slot = Some(now_ns);
+        }
+    }
+
+    /// Closes the span for `(client, timestamp)`: records its component
+    /// durations and moves it into the ring. No-op for unknown keys.
+    pub fn close(&self, client: u32, timestamp: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut state = self.shared.state.lock().expect("tracer poisoned");
+        let key = (client, timestamp);
+        if let Some(phases) = state.open.remove(&key) {
+            self.shared.completed.inc();
+            Self::finish(&self.shared, &mut state, key, phases);
+        }
+    }
+
+    fn finish(shared: &Shared, state: &mut State, key: (u32, u64), phases: [Option<u64>; 6]) {
+        let span = Span {
+            client: key.0,
+            timestamp: key.1,
+            phases,
+        };
+        for (i, (_, from, to)) in PHASE_COMPONENTS.iter().enumerate() {
+            if let Some(ns) = span.component_ns(*from, *to) {
+                shared.components[i].record(ns);
+            }
+        }
+        if state.ring.len() >= shared.ring_capacity {
+            state.ring.pop_front();
+            shared.wrapped.inc();
+        }
+        state.ring.push_back(span);
+    }
+
+    /// The most recent completed spans, oldest first (up to `limit`).
+    pub fn recent(&self, limit: usize) -> Vec<Span> {
+        let state = self.shared.state.lock().expect("tracer poisoned");
+        let skip = state.ring.len().saturating_sub(limit);
+        state.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Spans completed (closed) so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.get()
+    }
+
+    /// Spans force-closed by open-table eviction.
+    pub fn evicted(&self) -> u64 {
+        self.shared.evicted.get()
+    }
+
+    /// Spans dropped off the ring to make room.
+    pub fn wrapped(&self) -> u64 {
+        self.shared.wrapped.get()
+    }
+
+    /// In-flight (stamped but not closed) spans.
+    pub fn open(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("tracer poisoned")
+            .open
+            .len()
+    }
+
+    /// `(component, histogram snapshot)` for each latency component, in
+    /// [`PHASE_COMPONENTS`] order.
+    pub fn component_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        PHASE_COMPONENTS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _, _))| (*name, self.shared.components[i].snapshot()))
+            .collect()
+    }
+
+    /// The recent spans plus bookkeeping, as a JSON document (the
+    /// `/trace` endpoint body).
+    pub fn render_json(&self, limit: usize) -> String {
+        let spans = self.recent(limit);
+        let mut out = String::from("{\n  \"spans\": [");
+        for (i, span) in spans.iter().enumerate() {
+            let comma = if i + 1 < spans.len() { "," } else { "" };
+            let mut fields = format!(
+                "\"client\": {}, \"timestamp\": {}",
+                span.client, span.timestamp
+            );
+            for phase in Phase::ALL {
+                if let Some(ns) = span.phases[phase.index()] {
+                    let _ = write!(fields, ", \"{}_ns\": {ns}", escape(phase.name()));
+                }
+            }
+            let _ = write!(out, "\n    {{{fields}}}{comma}");
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"completed\": {},\n  \"evicted\": {},\n  \"ring_wrapped\": {},\n  \
+             \"open\": {}\n}}\n",
+            self.completed(),
+            self.evicted(),
+            self.wrapped(),
+            self.open(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> (Registry, PhaseTracer) {
+        let registry = Registry::new();
+        let tracer = registry.tracer();
+        (registry, tracer)
+    }
+
+    #[test]
+    fn a_full_lifecycle_decomposes_into_components() {
+        let (registry, tracer) = tracer();
+        let stamps = [100, 250, 400, 1000, 1600, 1700];
+        for (phase, at) in Phase::ALL.into_iter().zip(stamps) {
+            tracer.stamp(7, 42, phase, at);
+        }
+        tracer.close(7, 42);
+        assert_eq!(tracer.completed(), 1);
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].client, spans[0].timestamp), (7, 42));
+        let expect = [150, 150, 600, 600, 100];
+        for ((name, snap), want) in tracer.component_snapshots().into_iter().zip(expect) {
+            assert_eq!(snap.count(), 1, "{name}");
+            assert_eq!(snap.sum(), want, "{name}");
+        }
+        // The component histograms live in the registry too.
+        assert!(registry
+            .snapshot()
+            .histogram("sbft_phase_consensus_ns")
+            .is_some());
+    }
+
+    #[test]
+    fn partial_spans_record_only_observed_components() {
+        let (_registry, tracer) = tracer();
+        // A non-primary replica: never saw the raw request or replied.
+        tracer.stamp(1, 1, Phase::PrePrepared, 10);
+        tracer.stamp(1, 1, Phase::ShareSigned, 30);
+        tracer.stamp(1, 1, Phase::Committed, 90);
+        tracer.stamp(1, 1, Phase::Executed, 100);
+        tracer.close(1, 1);
+        let counts: Vec<u64> = tracer
+            .component_snapshots()
+            .iter()
+            .map(|(_, s)| s.count())
+            .collect();
+        assert_eq!(counts, vec![0, 1, 1, 1, 0], "queue and reply unobserved");
+    }
+
+    #[test]
+    fn duplicate_stamps_keep_the_first() {
+        let (_registry, tracer) = tracer();
+        tracer.stamp(2, 9, Phase::Received, 50);
+        tracer.stamp(2, 9, Phase::Received, 5000); // retransmit
+        tracer.stamp(2, 9, Phase::PrePrepared, 150);
+        tracer.close(2, 9);
+        let (_, queue) = &tracer.component_snapshots()[0];
+        assert_eq!(queue.sum(), 100);
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest() {
+        let (_registry, tracer) = tracer();
+        let n = PhaseTracer::RING_CAPACITY + 10;
+        for i in 0..n as u64 {
+            tracer.stamp(0, i, Phase::Committed, i);
+            tracer.close(0, i);
+        }
+        assert_eq!(tracer.completed(), n as u64);
+        assert_eq!(tracer.wrapped(), 10);
+        let spans = tracer.recent(usize::MAX);
+        assert_eq!(spans.len(), PhaseTracer::RING_CAPACITY);
+        assert_eq!(spans.first().unwrap().timestamp, 10, "oldest 10 dropped");
+        assert_eq!(spans.last().unwrap().timestamp, n as u64 - 1);
+        assert_eq!(tracer.recent(3).len(), 3);
+    }
+
+    #[test]
+    fn open_table_evicts_oldest_when_full() {
+        let (_registry, tracer) = tracer();
+        for i in 0..(PhaseTracer::OPEN_CAPACITY + 5) as u64 {
+            tracer.stamp(0, i, Phase::Received, i);
+        }
+        assert_eq!(tracer.open(), PhaseTracer::OPEN_CAPACITY);
+        assert_eq!(tracer.evicted(), 5);
+        // The evicted spans still landed in the ring (partial).
+        assert!(tracer.recent(10).iter().all(|s| s.timestamp < 5));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let (_registry, tracer) = tracer();
+        tracer.set_enabled(false);
+        tracer.stamp(1, 1, Phase::Received, 1);
+        tracer.close(1, 1);
+        assert_eq!(tracer.open(), 0);
+        assert_eq!(tracer.completed(), 0);
+        tracer.set_enabled(true);
+        assert!(tracer.enabled());
+    }
+
+    #[test]
+    fn json_names_every_stamped_phase() {
+        let (_registry, tracer) = tracer();
+        tracer.stamp(3, 11, Phase::Received, 100);
+        tracer.stamp(3, 11, Phase::Executed, 900);
+        tracer.close(3, 11);
+        let json = tracer.render_json(16);
+        assert!(json.contains("\"client\": 3"));
+        assert!(json.contains("\"received_ns\": 100"));
+        assert!(json.contains("\"executed_ns\": 900"));
+        assert!(!json.contains("committed_ns"), "unstamped phases omitted");
+        assert!(json.contains("\"completed\": 1"));
+    }
+}

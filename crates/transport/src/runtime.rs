@@ -16,11 +16,12 @@
 //! would.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sbft_sim::{Context, InboundVerifier, Metrics, Node, NodeId, SimMessage, SimRng, SimTime};
+use sbft_telemetry::{Counter, Registry};
 use sbft_wire::Wire;
 
 use crate::tcp::TcpTransport;
@@ -65,6 +66,15 @@ pub struct NodeRuntime<M: SimMessage + Wire> {
     /// `ctx.now()` — fault-injection harnesses skew replicas to probe
     /// timestamp-sensitive paths. Timer deadlines stay monotonic.
     clock_skew_ns: i64,
+    /// The node's shared telemetry registry (rooted in the transport).
+    registry: Registry,
+    /// Cached `sbft_node_<key>` counter handles: the node's single-writer
+    /// [`Metrics`] counters are mirrored into the registry after each
+    /// poll so other threads (the introspection endpoint) can read them.
+    mirrored: HashMap<&'static str, Counter>,
+    /// Sample keys whose histograms the registry has already adopted
+    /// (adoption shares buckets, so it only needs to happen once).
+    adopted_samples: HashSet<&'static str>,
 }
 
 impl<M: SimMessage + Wire> NodeRuntime<M> {
@@ -72,6 +82,7 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
     /// handlers see via `ctx.rng()` (determinism of the *node logic*; the
     /// network is of course not deterministic here).
     pub fn new(node: Box<dyn Node<M>>, transport: TcpTransport, seed: u64) -> Self {
+        let registry = transport.registry();
         NodeRuntime {
             node,
             transport,
@@ -88,6 +99,9 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             events: 0,
             decode_errors: 0,
             clock_skew_ns: 0,
+            registry,
+            mirrored: HashMap::new(),
+            adopted_samples: HashSet::new(),
         }
     }
 
@@ -128,7 +142,15 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             "with_verify_pool needs >= 2 workers; use NodeRuntime::new (and keep the node's \
              own checks enabled) for the single-threaded path"
         );
-        let pool = VerifyPool::start(transport.take_inbound(), verifier, threads, batch, queue);
+        let registry = transport.registry();
+        let pool = VerifyPool::start(
+            transport.take_inbound(),
+            verifier,
+            threads,
+            batch,
+            queue,
+            &registry,
+        );
         let mut runtime = NodeRuntime::new(node, transport, seed);
         runtime.inbound = Inbound::Pipeline(pool);
         runtime
@@ -170,6 +192,39 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
     /// Per-label metrics, mirroring the simulator's accounting.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The node's shared telemetry registry — the same one the
+    /// transport and verify pool write into, so a single endpoint
+    /// exposes the whole process-node.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mirrors the node thread's single-writer [`Metrics`] into the
+    /// shared registry as `sbft_node_<key>` counters (handles cached —
+    /// one relaxed store per counter) and adopts its sample histograms
+    /// zero-copy. Runs after every `poll` so the introspection endpoint
+    /// sees protocol counters at most one poll stale.
+    fn mirror_metrics(&mut self) {
+        let registry = &self.registry;
+        let mirrored = &mut self.mirrored;
+        let mut set = |key: &'static str, value: u64| {
+            mirrored
+                .entry(key)
+                .or_insert_with(|| registry.counter(&format!("sbft_node_{key}")))
+                .set(value);
+        };
+        for (key, value) in self.metrics.counters() {
+            set(key, value);
+        }
+        set("events_processed", self.events);
+        set("decode_errors", self.decode_errors);
+        for (key, histogram) in self.metrics.sample_histograms() {
+            if self.adopted_samples.insert(key) {
+                registry.adopt_histogram(&format!("sbft_node_{key}"), histogram);
+            }
+        }
     }
 
     /// Handler invocations so far (messages + timers + start).
@@ -388,6 +443,7 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
                 }
             }
         }
+        self.mirror_metrics();
         self.events - before
     }
 

@@ -24,13 +24,14 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
 use sbft_sim::NodeId;
+use sbft_telemetry::{Counter, Gauge, Histogram, Registry};
 use sbft_wire::Wire;
 
 use crate::frame::{self, FrameReader, Handshake, DEFAULT_MAX_FRAME};
@@ -136,15 +137,39 @@ pub struct TransportStats {
     pub handshake_rejects: u64,
 }
 
-#[derive(Default)]
+/// The transport's hot-path telemetry handles. They live in the node's
+/// shared [`Registry`] (so the introspection endpoint sees them) and
+/// [`TransportStats`] snapshots read the same atomics — the exposition
+/// and the stats API can never disagree.
 struct Counters {
-    frames_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_received: AtomicU64,
-    connects: AtomicU64,
-    dropped: AtomicU64,
-    handshake_rejects: AtomicU64,
+    frames_sent: Counter,
+    bytes_sent: Counter,
+    frames_received: Counter,
+    bytes_received: Counter,
+    connects: Counter,
+    dropped: Counter,
+    handshake_rejects: Counter,
+    /// Framed size of every frame accepted for transmission (frames
+    /// dropped at the backlog cap are not recorded).
+    frame_bytes_sent: Histogram,
+    /// Framed size of every frame read off a socket.
+    frame_bytes_received: Histogram,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Counters {
+        Counters {
+            frames_sent: registry.counter("sbft_transport_frames_sent"),
+            bytes_sent: registry.counter("sbft_transport_bytes_sent"),
+            frames_received: registry.counter("sbft_transport_frames_received"),
+            bytes_received: registry.counter("sbft_transport_bytes_received"),
+            connects: registry.counter("sbft_transport_connects"),
+            dropped: registry.counter("sbft_transport_dropped"),
+            handshake_rejects: registry.counter("sbft_transport_handshake_rejects"),
+            frame_bytes_sent: registry.histogram("sbft_transport_frame_bytes_sent"),
+            frame_bytes_received: registry.histogram("sbft_transport_frame_bytes_received"),
+        }
+    }
 }
 
 /// Registry of live sockets so [`TransportControl::sever`] and shutdown
@@ -202,6 +227,10 @@ impl StreamRegistry {
 struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
+    /// The node's metrics registry; every layer above (verify pool, node
+    /// runtime, node binary) clones this same registry so one endpoint
+    /// exposes the whole process.
+    telemetry: Registry,
     registry: Mutex<StreamRegistry>,
     /// Node ids allowed to appear in an inbound [`Handshake`]: exactly
     /// the configured peer set. The acceptor's own id and ids outside
@@ -265,10 +294,12 @@ struct Out {
     flushed: u64,
     /// Reused encode buffer for the inline path.
     scratch: Vec<u8>,
+    /// Live backlog depth in frames, exported per peer.
+    backlog: Gauge,
 }
 
 impl Out {
-    fn new(write_buffer: usize) -> Out {
+    fn new(write_buffer: usize, backlog: Gauge) -> Out {
         Out {
             stream: None,
             buf: Vec::with_capacity(write_buffer),
@@ -277,6 +308,7 @@ impl Out {
             enqueued: 0,
             flushed: 0,
             scratch: Vec::with_capacity(1024),
+            backlog,
         }
     }
 
@@ -301,15 +333,16 @@ impl Out {
     fn note_flushed(&mut self, n: usize, counters: &Counters) {
         self.pos += n;
         self.flushed += n as u64;
-        counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+        counters.bytes_sent.add(n as u64);
         while self
             .frame_ends
             .front()
             .is_some_and(|end| *end <= self.flushed)
         {
             self.frame_ends.pop_front();
-            counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+            counters.frames_sent.inc();
         }
+        self.backlog.set(self.frame_ends.len() as i64);
         if self.pos == self.buf.len() {
             self.buf.clear();
             self.pos = 0;
@@ -322,14 +355,13 @@ impl Out {
         if let Some(stream) = self.stream.take() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        counters
-            .dropped
-            .fetch_add(self.frame_ends.len() as u64, Ordering::Relaxed);
+        counters.dropped.add(self.frame_ends.len() as u64);
         self.buf.clear();
         self.pos = 0;
         self.frame_ends.clear();
         self.enqueued = 0;
         self.flushed = 0;
+        self.backlog.set(0);
     }
 }
 
@@ -348,9 +380,13 @@ impl Peer {
     /// or for an unencodable payload.
     fn enqueue_or_drop(&self, out: &mut Out, payload: &[u8], counters: &Counters) {
         if out.backlog_frames() >= self.cap || !out.enqueue(payload) {
-            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            counters.dropped.inc();
             return;
         }
+        counters
+            .frame_bytes_sent
+            .record(frame::framed_len(payload) as u64);
+        out.backlog.set(out.backlog_frames() as i64);
         self.wake.notify_one();
     }
 
@@ -370,10 +406,11 @@ impl Peer {
         let total = match frame::encode_frame_into(&mut out.scratch, payload) {
             Ok(n) => n,
             Err(_) => {
-                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                counters.dropped.inc();
                 return;
             }
         };
+        counters.frame_bytes_sent.record(total as u64);
         let mut written = 0;
         while written < total {
             let Out {
@@ -386,13 +423,13 @@ impl Peer {
             {
                 Ok(0) => {
                     out.mark_dead(counters);
-                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    counters.dropped.inc();
                     self.wake.notify_one();
                     return;
                 }
                 Ok(n) => {
                     written += n;
-                    counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    counters.bytes_sent.add(n as u64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -403,18 +440,19 @@ impl Peer {
                     out.enqueued += rest.len() as u64;
                     let end = out.enqueued;
                     out.frame_ends.push_back(end);
+                    out.backlog.set(out.frame_ends.len() as i64);
                     self.wake.notify_one();
                     return;
                 }
                 Err(_) => {
                     out.mark_dead(counters);
-                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    counters.dropped.inc();
                     self.wake.notify_one();
                     return;
                 }
             }
         }
-        counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        counters.frames_sent.inc();
     }
 }
 
@@ -443,14 +481,19 @@ impl TransportControl {
     pub fn stats(&self) -> TransportStats {
         let c = &self.shared.counters;
         TransportStats {
-            frames_sent: c.frames_sent.load(Ordering::Relaxed),
-            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
-            frames_received: c.frames_received.load(Ordering::Relaxed),
-            bytes_received: c.bytes_received.load(Ordering::Relaxed),
-            connects: c.connects.load(Ordering::Relaxed),
-            dropped: c.dropped.load(Ordering::Relaxed),
-            handshake_rejects: c.handshake_rejects.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.get(),
+            bytes_sent: c.bytes_sent.get(),
+            frames_received: c.frames_received.get(),
+            bytes_received: c.bytes_received.get(),
+            connects: c.connects.get(),
+            dropped: c.dropped.get(),
+            handshake_rejects: c.handshake_rejects.get(),
         }
+    }
+
+    /// The node's metrics registry (shared with the owning transport).
+    pub fn registry(&self) -> Registry {
+        self.shared.telemetry.clone()
     }
 
     /// Stops all transport threads and closes all sockets.
@@ -509,9 +552,11 @@ impl TcpTransport {
             .map(|(peer, _)| *peer)
             .filter(|peer| *peer != config.node_id)
             .collect();
+        let telemetry = Registry::new();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::register(&telemetry),
+            telemetry: telemetry.clone(),
             registry: Mutex::new(StreamRegistry::default()),
             allowed_peers,
         });
@@ -533,8 +578,10 @@ impl TcpTransport {
             if *peer == config.node_id || outbound.contains_key(peer) {
                 continue;
             }
+            let backlog =
+                telemetry.gauge(&format!("sbft_transport_peer_backlog{{peer=\"{peer}\"}}"));
             let handle = Arc::new(Peer {
-                out: Mutex::new(Out::new(config.write_buffer)),
+                out: Mutex::new(Out::new(config.write_buffer, backlog)),
                 wake: Condvar::new(),
                 cap: config.outbound_queue,
             });
@@ -595,6 +642,14 @@ impl TcpTransport {
         }
     }
 
+    /// The node's metrics registry. The transport roots it (it is the
+    /// first thing a process-node constructs); the verify pool, the
+    /// node runtime and the introspection endpoint all clone this same
+    /// registry so one exposition covers the whole node.
+    pub fn registry(&self) -> Registry {
+        self.shared.telemetry.clone()
+    }
+
     /// Enqueues a payload for `to`. Self-sends loop straight back into
     /// the inbound channel. Never blocks: if the peer's queue is full or
     /// the peer is unknown, the message is dropped and counted — the
@@ -604,12 +659,12 @@ impl TcpTransport {
             // try_send, not send: the caller is also the queue's drainer,
             // so blocking on a full inbound queue would deadlock.
             if self.inbound_tx.try_send((self.node_id, payload)).is_err() {
-                self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.dropped.inc();
             }
             return;
         }
         let Some(peer) = self.outbound.get(&to) else {
-            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.counters.dropped.inc();
             return;
         };
         peer.send(&payload, &self.shared.counters);
@@ -687,10 +742,7 @@ fn reader_loop(
     let peer = match reader.read_msg::<Handshake>() {
         Ok(hs) => hs.node_id as NodeId,
         Err(_) => {
-            shared
-                .counters
-                .handshake_rejects
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.handshake_rejects.inc();
             return;
         }
     };
@@ -698,10 +750,7 @@ fn reader_loop(
     // the acceptor's own id would silently mis-label every frame on
     // this connection, so such dialers are rejected outright.
     if !shared.allowed_peers.contains(&peer) {
-        shared
-            .counters
-            .handshake_rejects
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.handshake_rejects.inc();
         let _ = registry_stream.shutdown(Shutdown::Both);
         return;
     }
@@ -710,14 +759,10 @@ fn reader_loop(
     loop {
         match reader.read_frame() {
             Ok(Some(payload)) => {
-                shared
-                    .counters
-                    .frames_received
-                    .fetch_add(1, Ordering::Relaxed);
-                shared
-                    .counters
-                    .bytes_received
-                    .fetch_add(frame::framed_len(&payload) as u64, Ordering::Relaxed);
+                let framed = frame::framed_len(&payload) as u64;
+                shared.counters.frames_received.inc();
+                shared.counters.bytes_received.add(framed);
+                shared.counters.frame_bytes_received.record(framed);
                 if inbound_tx.send((peer, payload)).is_err() {
                     break; // transport dropped; nobody is listening
                 }
@@ -789,11 +834,8 @@ fn writer_loop(config: WriterConfig, peer: Arc<Peer>, shared: Arc<Shared>) {
                     continue;
                 }
             };
-            shared.counters.connects.fetch_add(1, Ordering::Relaxed);
-            shared
-                .counters
-                .bytes_sent
-                .fetch_add(written as u64, Ordering::Relaxed);
+            shared.counters.connects.inc();
+            shared.counters.bytes_sent.add(written as u64);
             backoff = config.reconnect_base;
             guard = Some(RegistryGuard::register(&shared, config.peer, &stream));
             let mut out = peer.out.lock().expect("peer lock");
@@ -868,6 +910,17 @@ mod tests {
         assert_eq!(stats.frames_sent, 1);
         // Exact accounting: handshake (4+14) + ping (4+4).
         assert_eq!(stats.bytes_sent, 18 + 8);
+        // The same counters surface through the telemetry registry, and
+        // the frame-size histogram saw exactly the one framed ping.
+        let exposition = t0.registry().render_prometheus();
+        assert!(exposition.contains("sbft_transport_frames_sent 1"));
+        assert!(exposition.contains("sbft_transport_bytes_sent 26"));
+        assert!(exposition.contains("sbft_transport_peer_backlog{peer=\"1\"} 0"));
+        let snap = t0.registry().snapshot();
+        let sizes = snap
+            .histogram("sbft_transport_frame_bytes_sent")
+            .expect("send size histogram registered");
+        assert_eq!((sizes.count(), sizes.sum()), (1, 8));
     }
 
     #[test]
@@ -979,14 +1032,16 @@ mod tests {
         // reconnects. The RAII guard must release it on every exit path.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
+        let telemetry = Registry::new();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::register(&telemetry),
+            telemetry,
             registry: Mutex::new(StreamRegistry::default()),
             allowed_peers: HashSet::new(),
         });
         let peer = Arc::new(Peer {
-            out: Mutex::new(Out::new(1024)),
+            out: Mutex::new(Out::new(1024, Gauge::default())),
             wake: Condvar::new(),
             cap: 16,
         });

@@ -21,13 +21,14 @@
 //! are ever taken on the node itself.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
 use sbft_sim::{InboundVerifier, NodeId};
+use sbft_telemetry::{Counter, Registry};
 
 /// How long a worker blocks on the intake channel before re-checking the
 /// shutdown flag (bounds pool teardown latency).
@@ -48,13 +49,27 @@ pub struct VerifyPoolStats {
     pub batches: u64,
 }
 
-#[derive(Default)]
+/// Telemetry handles for the pool, registered into the node's shared
+/// [`Registry`] so the introspection endpoint sees them; the
+/// [`VerifyPoolStats`] API reads the same atomics.
 struct Counters {
-    frames_in: AtomicU64,
-    decode_errors: AtomicU64,
-    verify_rejects: AtomicU64,
-    released: AtomicU64,
-    batches: AtomicU64,
+    frames_in: Counter,
+    decode_errors: Counter,
+    verify_rejects: Counter,
+    released: Counter,
+    batches: Counter,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Counters {
+        Counters {
+            frames_in: registry.counter("sbft_verify_frames_in"),
+            decode_errors: registry.counter("sbft_verify_decode_errors"),
+            verify_rejects: registry.counter("sbft_verify_rejects"),
+            released: registry.counter("sbft_verify_released"),
+            batches: registry.counter("sbft_verify_batches"),
+        }
+    }
 }
 
 /// Intake side: the raw frame channel plus per-peer order counters.
@@ -109,19 +124,22 @@ impl<M: Send + 'static> VerifyPool<M> {
     /// caps how many ready frames one worker claims per pass — the
     /// amortization unit for batched verification. `queue` bounds the
     /// verified-output channel (backpressure onto the workers, and from
-    /// there onto the kernel's TCP buffers).
+    /// there onto the kernel's TCP buffers). Counters register into
+    /// `registry` — pass the transport's, so one exposition covers the
+    /// whole node.
     pub fn start(
         inbound: Receiver<(NodeId, Vec<u8>)>,
         verifier: Arc<dyn InboundVerifier<M>>,
         threads: usize,
         batch: usize,
         queue: usize,
+        registry: &Registry,
     ) -> VerifyPool<M> {
         assert!(threads >= 1, "a pool needs at least one worker");
         assert!(batch >= 1, "batch must be at least 1");
         let (out_tx, out_rx) = mpsc::sync_channel(queue.max(1));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters::register(registry));
         let intake = Arc::new(Mutex::new(Intake {
             rx: inbound,
             next_token: HashMap::new(),
@@ -179,11 +197,11 @@ impl<M> VerifyPool<M> {
     /// Counter snapshot.
     pub fn stats(&self) -> VerifyPoolStats {
         VerifyPoolStats {
-            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
-            decode_errors: self.counters.decode_errors.load(Ordering::Relaxed),
-            verify_rejects: self.counters.verify_rejects.load(Ordering::Relaxed),
-            released: self.counters.released.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.get(),
+            decode_errors: self.counters.decode_errors.get(),
+            verify_rejects: self.counters.verify_rejects.get(),
+            released: self.counters.released.get(),
+            batches: self.counters.batches.get(),
         }
     }
 }
@@ -242,10 +260,8 @@ fn worker_loop<M: Send + 'static>(
             }
             jobs
         };
-        counters
-            .frames_in
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.frames_in.add(jobs.len() as u64);
+        counters.batches.inc();
 
         // Decode off the lock (pure parsing, counted exactly), then
         // verify the whole claimed batch with one call — the verifier
@@ -259,7 +275,7 @@ fn worker_loop<M: Send + 'static>(
                     pairs.push((job.peer, msg));
                 }
                 None => {
-                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    counters.decode_errors.inc();
                 }
             }
         }
@@ -286,7 +302,7 @@ fn worker_loop<M: Send + 'static>(
                 if ok {
                     outcomes[*i] = Some(msg);
                 } else {
-                    counters.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    counters.verify_rejects.inc();
                 }
             }
             outcomes
@@ -294,9 +310,7 @@ fn worker_loop<M: Send + 'static>(
         let (outcomes, poisoned) = match verify {
             Ok(outcomes) => (outcomes, None),
             Err(panic) => {
-                counters
-                    .verify_rejects
-                    .fetch_add(decoded as u64, Ordering::Relaxed);
+                counters.verify_rejects.add(decoded as u64);
                 ((0..jobs.len()).map(|_| None).collect(), Some(panic))
             }
         };
@@ -319,7 +333,7 @@ fn worker_loop<M: Send + 'static>(
             while let Some(msg) = peer.parked.remove(&peer.next_release) {
                 peer.next_release += 1;
                 if let Some(msg) = msg {
-                    counters.released.fetch_add(1, Ordering::Relaxed);
+                    counters.released.inc();
                     if out_tx.send((job.peer, msg)).is_err() {
                         return; // pool dropped; nobody is listening
                     }
@@ -396,7 +410,8 @@ mod tests {
         const TOTAL: usize = 10_000;
         let mut rng = SimRng::new(0x51f0_57e5);
         let (tx, rx) = sync_channel(256);
-        let pool: VerifyPool<Seq> = VerifyPool::start(rx, Arc::new(JitterVerifier), 4, 16, 128);
+        let pool: VerifyPool<Seq> =
+            VerifyPool::start(rx, Arc::new(JitterVerifier), 4, 16, 128, &Registry::new());
 
         let feeder = std::thread::spawn(move || {
             let mut next_seq = [0u64; PEERS];
@@ -463,7 +478,8 @@ mod tests {
     #[test]
     fn malformed_frames_are_counted_and_do_not_stall_the_stream() {
         let (tx, rx) = sync_channel(64);
-        let pool: VerifyPool<Seq> = VerifyPool::start(rx, Arc::new(JitterVerifier), 2, 4, 64);
+        let pool: VerifyPool<Seq> =
+            VerifyPool::start(rx, Arc::new(JitterVerifier), 2, 4, 64, &Registry::new());
         // Interleave garbage with valid frames from one peer: the valid
         // ones must still come out, in order, despite dropped tokens.
         for seq in 0..20u64 {
@@ -488,7 +504,8 @@ mod tests {
     #[test]
     fn drop_shuts_workers_down() {
         let (tx, rx) = sync_channel::<(NodeId, Vec<u8>)>(4);
-        let pool: VerifyPool<Seq> = VerifyPool::start(rx, Arc::new(JitterVerifier), 3, 4, 4);
+        let pool: VerifyPool<Seq> =
+            VerifyPool::start(rx, Arc::new(JitterVerifier), 3, 4, 4, &Registry::new());
         tx.send((0, frame(0, 0))).unwrap();
         let _ = pool.recv_timeout(Duration::from_secs(5)).expect("released");
         drop(pool); // must join all workers without hanging

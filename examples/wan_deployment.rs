@@ -44,7 +44,7 @@ fn main() {
 
     let completed = cluster.total_completed();
     let sim_seconds = cluster.sim.now().as_secs_f64();
-    let stats = SampleStats::from_samples(cluster.sim.metrics().samples("latency_ms"));
+    let stats = cluster.sim.metrics().sample_stats("latency_ms");
     cluster.assert_agreement();
 
     println!(

@@ -30,6 +30,9 @@ struct Args {
     /// Overrides the config file's `verify_threads` directive when set
     /// (0 = auto from core count, 1 = pipeline bypassed).
     verify_threads: Option<usize>,
+    /// Serves the node's metrics registry over HTTP when set
+    /// (`/metrics` Prometheus text, `/trace` JSON phase spans).
+    metrics_addr: Option<String>,
 }
 
 enum Role {
@@ -38,8 +41,8 @@ enum Role {
 }
 
 const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
-                     [--profile lan|wan] [--verify-threads N] [--requests N] [--ops N] \
-                     [--value-len N]";
+                     [--profile lan|wan] [--verify-threads N] [--metrics-addr host:port] \
+                     [--requests N] [--ops N] [--value-len N]";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workload = ClientWorkload::default();
     let mut profile = None;
     let mut verify_threads = None;
+    let mut metrics_addr = None;
     let mut i = 0;
     while i < argv.len() {
         let arg = argv[i].clone();
@@ -94,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --verify-threads")?,
                 )
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -105,11 +110,23 @@ fn parse_args() -> Result<Args, String> {
         workload,
         profile,
         verify_threads,
+        metrics_addr,
     })
 }
 
-fn run_replica(spec: &ClusterSpec, r: usize) -> Result<(), String> {
+fn run_replica(spec: &ClusterSpec, r: usize, metrics_addr: Option<&str>) -> Result<(), String> {
     let mut runtime = replica_runtime(spec, r, None).map_err(|e| e.to_string())?;
+    if let Some(addr) = metrics_addr {
+        let served = sbft::telemetry::serve(addr, runtime.registry().clone())
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        eprintln!("replica {r}: metrics on http://{served}/metrics, traces on /trace");
+    }
+    // Protocol-position gauges: the registry's counters cover traffic and
+    // verification, but view and watermark live inside the replica state
+    // machine — mirror them so the endpoint shows consensus progress.
+    let view_gauge = runtime.registry().gauge("sbft_node_view");
+    let executed_gauge = runtime.registry().gauge("sbft_node_last_executed");
+    let stable_gauge = runtime.registry().gauge("sbft_node_last_stable");
     eprintln!(
         "replica {r}/{} listening on {} ({:?} profile, {} verify workers, view timers armed)",
         spec.n(),
@@ -120,6 +137,12 @@ fn run_replica(spec: &ClusterSpec, r: usize) -> Result<(), String> {
     let mut last_report = Instant::now();
     loop {
         runtime.poll(Duration::from_millis(500));
+        {
+            let node = runtime.node_as::<ReplicaNode>().expect("replica node");
+            view_gauge.set(node.view().get() as i64);
+            executed_gauge.set(node.last_executed().get() as i64);
+            stable_gauge.set(node.last_stable().get() as i64);
+        }
         if last_report.elapsed() >= Duration::from_secs(5) {
             last_report = Instant::now();
             let node = runtime.node_as::<ReplicaNode>().expect("replica node");
@@ -207,7 +230,7 @@ fn main() -> ExitCode {
         spec.verify_threads = threads;
     }
     let result = match args.role {
-        Role::Replica(r) if r < spec.n() => run_replica(&spec, r),
+        Role::Replica(r) if r < spec.n() => run_replica(&spec, r, args.metrics_addr.as_deref()),
         Role::Client(c) if c < spec.clients.len() => run_client(&spec, c, &args.workload),
         Role::Replica(r) => Err(format!("replica {r} out of range (n = {})", spec.n())),
         Role::Client(c) => Err(format!(

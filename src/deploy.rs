@@ -40,6 +40,9 @@ pub fn replica_runtime_with_pipeline(
     public: Arc<PublicKeys>,
     verify_threads: usize,
 ) -> NodeRuntime<SbftMsg> {
+    // Phase tracing rides the transport's shared registry: the replica
+    // stamps request lifecycles, the introspection endpoint reads them.
+    replica.set_tracer(transport.registry().tracer());
     if verify_threads > 1 {
         replica.set_inbound_preverified(true);
         NodeRuntime::with_verify_pool(

@@ -13,6 +13,7 @@
 //! - [`pbft`] — the scale-optimized PBFT baseline.
 //! - [`core`] — the SBFT replication protocol itself.
 //! - [`transport`] — real TCP transport and wall-clock node runtime.
+//! - [`telemetry`] — metrics registry, phase tracer, introspection endpoint.
 //! - [`deploy`] — glue building deployable nodes from a cluster config.
 //!
 //! # Quickstart
@@ -31,6 +32,7 @@ pub use sbft_evm as evm;
 pub use sbft_pbft as pbft;
 pub use sbft_sim as sim;
 pub use sbft_statedb as statedb;
+pub use sbft_telemetry as telemetry;
 pub use sbft_transport as transport;
 pub use sbft_types as types;
 pub use sbft_wire as wire;

@@ -199,8 +199,7 @@ fn world_scale_small_instance() {
     cluster.assert_agreement();
     // WAN latencies are hundreds of ms: check client-observed latency is
     // in a sane band (> one RTT, < retry storms).
-    let stats =
-        sbft::sim::SampleStats::from_samples(cluster.sim.metrics().samples("latency_ms")).unwrap();
+    let stats = cluster.sim.metrics().sample_stats("latency_ms").unwrap();
     assert!(stats.median > 100.0, "median {}", stats.median);
     assert!(stats.median < 4_000.0, "median {}", stats.median);
 }
