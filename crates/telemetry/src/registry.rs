@@ -62,6 +62,7 @@ impl Gauge {
     }
 }
 
+#[derive(Clone)]
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
@@ -79,8 +80,18 @@ impl Metric {
 }
 
 #[derive(Default)]
+struct Tables {
+    metrics: BTreeMap<String, Metric>,
+    /// Family (name up to any `{label}` suffix) → kind. A family must
+    /// keep one kind across all its label sets, or the exposition would
+    /// emit conflicting `# TYPE` lines and Prometheus would reject the
+    /// whole scrape.
+    families: BTreeMap<String, &'static str>,
+}
+
+#[derive(Default)]
 struct Inner {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: Mutex<Tables>,
     tracer: OnceLock<PhaseTracer>,
 }
 
@@ -98,18 +109,36 @@ impl Registry {
         Registry::default()
     }
 
+    /// Gets or registers `name` as `kind`, enforcing one kind per family
+    /// (all label sets of `x` share `x`'s `# TYPE` line).
+    fn entry(&self, name: &str, kind: &'static str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut tables = self.inner.metrics.lock().expect("registry poisoned");
+        let fam = family(name);
+        match tables.families.get(fam) {
+            Some(existing) if *existing != kind => {
+                panic!("metric family `{fam}` is a {existing}, not a {kind}")
+            }
+            Some(_) => {}
+            None => {
+                tables.families.insert(fam.to_string(), kind);
+            }
+        }
+        tables
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .clone()
+    }
+
     /// Gets or registers the counter `name`.
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different kind.
+    /// Panics if `name`'s family is already registered as a different
+    /// kind (under any label set).
     pub fn counter(&self, name: &str) -> Counter {
-        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
-        match metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Counter::default()))
-        {
-            Metric::Counter(c) => c.clone(),
+        match self.entry(name, "counter", || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
             other => panic!("`{name}` is a {}, not a counter", other.kind()),
         }
     }
@@ -118,14 +147,11 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different kind.
+    /// Panics if `name`'s family is already registered as a different
+    /// kind (under any label set).
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
-        match metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Gauge::default()))
-        {
-            Metric::Gauge(g) => g.clone(),
+        match self.entry(name, "gauge", || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
             other => panic!("`{name}` is a {}, not a gauge", other.kind()),
         }
     }
@@ -134,14 +160,11 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different kind.
+    /// Panics if `name`'s family is already registered as a different
+    /// kind (under any label set).
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
-        match metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Histogram::new()))
-        {
-            Metric::Histogram(h) => h.clone(),
+        match self.entry(name, "histogram", || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
             other => panic!("`{name}` is a {}, not a histogram", other.kind()),
         }
     }
@@ -149,11 +172,13 @@ impl Registry {
     /// Adopts an existing histogram handle under `name` (shares the
     /// buckets — no copying, no syncing). Used by `sbft_sim::Metrics` to
     /// export its sample store through the node's registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name`'s family is already registered as a different
+    /// kind (under any label set).
     pub fn adopt_histogram(&self, name: &str, histogram: Histogram) {
-        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
-        metrics
-            .entry(name.to_string())
-            .or_insert(Metric::Histogram(histogram));
+        self.entry(name, "histogram", || Metric::Histogram(histogram));
     }
 
     /// The process-node's phase tracer, created on first use with its
@@ -167,8 +192,9 @@ impl Registry {
 
     /// Current value of every counter, sorted by name.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
-        let metrics = self.inner.metrics.lock().expect("registry poisoned");
-        metrics
+        let tables = self.inner.metrics.lock().expect("registry poisoned");
+        tables
+            .metrics
             .iter()
             .filter_map(|(name, m)| match m {
                 Metric::Counter(c) => Some((name.clone(), c.get())),
@@ -179,9 +205,9 @@ impl Registry {
 
     /// A point-in-time copy of everything registered.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let tables = self.inner.metrics.lock().expect("registry poisoned");
         let mut snap = RegistrySnapshot::default();
-        for (name, metric) in metrics.iter() {
+        for (name, metric) in tables.metrics.iter() {
             match metric {
                 Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
                 Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
@@ -246,6 +272,13 @@ impl RegistrySnapshot {
 
     /// Prometheus text exposition (`# TYPE` per family, histograms as
     /// cumulative `_bucket{le=...}` series over occupied buckets).
+    ///
+    /// Emitting only occupied buckets keeps the body small, but it means
+    /// the set of `le` labels can gain entries between scrapes as new
+    /// buckets are first hit; a scraper sees those as new series, which
+    /// blurs `histogram_quantile`/`rate` right at the transition. Fine
+    /// for this introspection endpoint; a long-lived production scrape
+    /// would want a fixed bucket layout instead.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut typed: Option<String> = None;
@@ -389,6 +422,26 @@ mod tests {
         let registry = Registry::new();
         registry.counter("x");
         registry.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "metric family `x` is a counter, not a gauge")]
+    fn cross_kind_family_reuse_is_rejected_at_registration() {
+        // Same family, different label sets: one exposition would carry
+        // `# TYPE x counter` and `# TYPE x gauge`, failing the scrape.
+        let registry = Registry::new();
+        registry.counter("x{a=\"1\"}");
+        registry.gauge("x{b=\"2\"}");
+    }
+
+    #[test]
+    fn same_kind_family_reuse_across_label_sets_is_fine() {
+        let registry = Registry::new();
+        registry.counter("x{a=\"1\"}").inc();
+        registry.counter("x{b=\"2\"}").add(2);
+        registry.counter("x").add(4);
+        let text = registry.render_prometheus();
+        assert_eq!(text.matches("# TYPE x counter").count(), 1);
     }
 
     #[test]

@@ -102,8 +102,24 @@ impl Span {
 struct State {
     open: HashMap<(u32, u64), [Option<u64>; 6]>,
     /// Insertion order of `open` keys, for oldest-first eviction.
+    /// Keys of spans that already closed linger here until
+    /// [`State::compact_order`] sweeps them.
     order: VecDeque<(u32, u64)>,
     ring: VecDeque<Span>,
+}
+
+impl State {
+    /// Drops `order` entries whose spans have closed. Closing removes a
+    /// span from `open` but leaves its key queued; without this sweep
+    /// `order` would grow by one entry per request forever. Triggering
+    /// only once stale keys outnumber live ones keeps the O(n) sweep
+    /// amortized O(1) per close.
+    fn compact_order(&mut self) {
+        if self.order.len() > 64 && self.order.len() > 2 * self.open.len() {
+            let open = &self.open;
+            self.order.retain(|key| open.contains_key(key));
+        }
+    }
 }
 
 struct Shared {
@@ -205,6 +221,7 @@ impl PhaseTracer {
             self.shared.completed.inc();
             Self::finish(&self.shared, &mut state, key, phases);
         }
+        state.compact_order();
     }
 
     fn finish(shared: &Shared, state: &mut State, key: (u32, u64), phases: [Option<u64>; 6]) {
@@ -254,6 +271,16 @@ impl PhaseTracer {
             .lock()
             .expect("tracer poisoned")
             .open
+            .len()
+    }
+
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("tracer poisoned")
+            .order
             .len()
     }
 
@@ -387,6 +414,34 @@ mod tests {
         assert_eq!(tracer.evicted(), 5);
         // The evicted spans still landed in the ring (partial).
         assert!(tracer.recent(10).iter().all(|s| s.timestamp < 5));
+    }
+
+    #[test]
+    fn closed_spans_leave_no_residue_in_eviction_order() {
+        let (_registry, tracer) = tracer();
+        // A long-running replica: spans open and close promptly, the
+        // open table never nears capacity, so the eviction path never
+        // runs — the order queue must still stay bounded.
+        for i in 0..100_000u64 {
+            tracer.stamp(0, i, Phase::Received, i);
+            tracer.close(0, i);
+        }
+        assert_eq!(tracer.open(), 0);
+        assert!(
+            tracer.order_len() <= 64,
+            "order queue grew to {} entries despite every span closing",
+            tracer.order_len()
+        );
+        // Live (unclosed) spans survive compaction and still evict.
+        for i in 0..64u64 {
+            tracer.stamp(1, i, Phase::Received, i);
+        }
+        for i in 0..100_000u64 {
+            tracer.stamp(2, i, Phase::Received, i);
+            tracer.close(2, i);
+        }
+        assert_eq!(tracer.open(), 64);
+        assert!(tracer.order_len() <= 64 + 128);
     }
 
     #[test]
