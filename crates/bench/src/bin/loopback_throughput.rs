@@ -6,7 +6,9 @@
 //!
 //! Flags: `--quick` (short window), `--clients a,b,c` (sweep points),
 //! `--verify-threads N` (verification pipeline workers per replica;
-//! 0 = auto from core count, 1 = bypass), `--json PATH` (machine-readable
+//! 0 = auto from core count, 1 = bypass), `--exec-threads N` (execution
+//! pipeline: 0 = auto, 1 = inline on the node thread, ≥2 = offloaded
+//! with that many wave workers), `--json PATH` (machine-readable
 //! result file, default `BENCH_loopback.json`), `--no-json`, `--no-trace`
 //! (disable per-request phase tracing — the A/B switch for measuring the
 //! telemetry layer's overhead).
@@ -37,6 +39,8 @@ struct Args {
     smoke_floor: Option<f64>,
     /// 0 = auto (core count), 1 = pipeline bypassed.
     verify_threads: usize,
+    /// 0 = auto, 1 = inline execution, >= 2 = offloaded wave workers.
+    exec_threads: usize,
     json_path: Option<String>,
     /// Per-request phase tracing on the replicas (`--no-trace` turns it
     /// off; comparing the two runs measures the tracer's overhead).
@@ -52,6 +56,7 @@ fn parse_args() -> Args {
         verbose: false,
         smoke_floor: None,
         verify_threads: 0,
+        exec_threads: 0,
         json_path: Some("BENCH_loopback.json".to_string()),
         trace: true,
     };
@@ -86,6 +91,14 @@ fn parse_args() -> Args {
                 args.verify_threads = argv
                     .get(i)
                     .expect("--verify-threads needs a count")
+                    .parse()
+                    .expect("thread count");
+            }
+            "--exec-threads" => {
+                i += 1;
+                args.exec_threads = argv
+                    .get(i)
+                    .expect("--exec-threads needs a count")
                     .parse()
                     .expect("thread count");
             }
@@ -143,6 +156,30 @@ fn process_cpu_ticks() -> Option<u64> {
 /// matters; a wrong constant skews the absolute number, not the trend).
 const US_PER_TICK: f64 = 10_000.0;
 
+/// Summed CPU ticks of the threads whose name starts with `prefix`
+/// (per-thread utime + stime from /proc/self/task/*/stat), `None` off
+/// Linux. With `"replica-"` this isolates the four node threads from
+/// the transport, verification, and execution workers — the protocol's
+/// critical-path serial cost, which the pipelines exist to shrink.
+fn thread_cpu_ticks(prefix: &str) -> Option<u64> {
+    let mut total = 0u64;
+    for entry in std::fs::read_dir("/proc/self/task").ok()? {
+        let Ok(stat) = std::fs::read_to_string(entry.ok()?.path().join("stat")) else {
+            continue; // thread exited mid-scan
+        };
+        let name_start = stat.find('(')? + 1;
+        let name_end = stat.rfind(')')?;
+        if !stat[name_start..name_end].starts_with(prefix) {
+            continue;
+        }
+        let fields: Vec<&str> = stat[name_end + 1..].split_whitespace().collect();
+        let utime: u64 = fields.get(11)?.parse().ok()?;
+        let stime: u64 = fields.get(12)?.parse().ok()?;
+        total += utime + stime;
+    }
+    Some(total)
+}
+
 /// One sweep point's measurements.
 struct Point {
     clients: usize,
@@ -151,7 +188,12 @@ struct Point {
     p50_ms: f64,
     p99_ms: f64,
     cpu_us_per_request: f64,
+    /// CPU burned by the four `replica-*` node threads alone — the
+    /// serial critical path the verify/exec pipelines offload.
+    node_cpu_us_per_request: f64,
     verify_threads_used: usize,
+    /// Execution-pipeline width actually in effect (0 = inline).
+    exec_threads_used: usize,
     /// `(component, mean µs, worst replica p99 µs)` per latency phase,
     /// aggregated across the 4 replicas' tracers (whole run including
     /// warmup — phase shares, not absolute window numbers). Empty when
@@ -200,13 +242,19 @@ fn measure(clients: usize, args: &Args) -> Point {
     let (replica_listeners, replica_addrs) = bind(4);
     let (client_listeners, client_addrs) = bind(clients);
     let config_text = format!(
-        "verify_threads {}\n{}",
+        "verify_threads {}\nexec_threads {}\n{}",
         args.verify_threads,
+        args.exec_threads,
         loopback_config(1, 0, 0x5bf7, &replica_addrs, &client_addrs),
     );
     let spec = ClusterSpec::parse(&config_text).expect("config parses");
     let verify_threads_used = if spec.resolved_verify_threads() > 1 {
         spec.resolved_verify_threads()
+    } else {
+        0
+    };
+    let exec_threads_used = if spec.resolved_exec_threads() > 1 {
+        spec.resolved_exec_threads()
     } else {
         0
     };
@@ -289,10 +337,12 @@ fn measure(clients: usize, args: &Args) -> Point {
     thread::sleep(args.warmup);
     let committed_at_start = latencies.lock().expect("latency lock").len();
     let cpu_at_start = process_cpu_ticks();
+    let node_cpu_at_start = thread_cpu_ticks("replica-");
     let started = Instant::now();
     thread::sleep(args.window);
     let elapsed = started.elapsed().as_secs_f64();
     let cpu_at_end = process_cpu_ticks();
+    let node_cpu_at_end = thread_cpu_ticks("replica-");
     let window_latencies: Vec<f64> = {
         let all = latencies.lock().expect("latency lock");
         all[committed_at_start.min(all.len())..].to_vec()
@@ -342,6 +392,12 @@ fn measure(clients: usize, args: &Args) -> Point {
         }
         _ => 0.0,
     };
+    let node_cpu_us_per_request = match (node_cpu_at_start, node_cpu_at_end) {
+        (Some(start), Some(end)) if committed > 0 => {
+            (end.saturating_sub(start)) as f64 * US_PER_TICK / committed as f64
+        }
+        _ => 0.0,
+    };
     Point {
         clients,
         req_per_s: committed as f64 / elapsed,
@@ -349,7 +405,9 @@ fn measure(clients: usize, args: &Args) -> Point {
         p50_ms: stats.as_ref().map(|s| s.median).unwrap_or(0.0),
         p99_ms: stats.as_ref().map(|s| s.p99).unwrap_or(0.0),
         cpu_us_per_request,
+        node_cpu_us_per_request,
         verify_threads_used,
+        exec_threads_used,
         phase_us: if args.trace {
             fold_phases(per_replica_phases)
         } else {
@@ -364,6 +422,10 @@ fn write_json(path: &str, points: &[Point], best: f64) {
         "verify_threads",
         points.first().map(|p| p.verify_threads_used).unwrap_or(0) as u64,
     );
+    record.field_u64(
+        "exec_threads",
+        points.first().map(|p| p.exec_threads_used).unwrap_or(0) as u64,
+    );
     record.field_f64("best_req_per_s", best);
     for p in points {
         let mut phases = String::new();
@@ -371,15 +433,23 @@ fn write_json(path: &str, points: &[Point], best: f64) {
             if !phases.is_empty() {
                 phases.push_str(", ");
             }
+            // 3 decimals: sub-µs phases (a fast in-handler verify) must
+            // still serialize nonzero — the perf-smoke gate reads these.
             phases.push_str(&format!(
-                "\"{name}\": {{\"mean_us\": {mean_us:.1}, \"p99_us\": {p99_us:.1}}}"
+                "\"{name}\": {{\"mean_us\": {mean_us:.3}, \"p99_us\": {p99_us:.3}}}"
             ));
         }
         record.point(format!(
             "{{\"clients\": {}, \"req_per_s\": {:.1}, \"mean_ms\": {:.3}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cpu_us_per_request\": {:.1}, \
-             \"phase_us\": {{{phases}}}}}",
-            p.clients, p.req_per_s, p.mean_ms, p.p50_ms, p.p99_ms, p.cpu_us_per_request,
+             \"node_cpu_us_per_request\": {:.1}, \"phase_us\": {{{phases}}}}}",
+            p.clients,
+            p.req_per_s,
+            p.mean_ms,
+            p.p50_ms,
+            p.p99_ms,
+            p.cpu_us_per_request,
+            p.node_cpu_us_per_request,
         ));
     }
     record.write(path);
@@ -393,21 +463,22 @@ fn main() {
         args.verify_threads
     );
     println!(
-        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
-        "clients", "req/s", "mean ms", "p50 ms", "p99 ms", "cpu µs/req"
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12} {:>13}",
+        "clients", "req/s", "mean ms", "p50 ms", "p99 ms", "cpu µs/req", "node µs/req"
     );
     let mut best = 0.0f64;
     let mut points = Vec::new();
     for &clients in &args.clients {
         let point = measure(clients, &args);
         println!(
-            "{:>8} {:>12.1} {:>10.2} {:>10.2} {:>10.2} {:>12.1}",
+            "{:>8} {:>12.1} {:>10.2} {:>10.2} {:>10.2} {:>12.1} {:>13.1}",
             point.clients,
             point.req_per_s,
             point.mean_ms,
             point.p50_ms,
             point.p99_ms,
             point.cpu_us_per_request,
+            point.node_cpu_us_per_request,
         );
         if !point.phase_us.is_empty() {
             let parts: Vec<String> = point
@@ -430,5 +501,25 @@ fn main() {
              {floor:.1} req/s"
         );
         println!("smoke floor ok: {best:.1} req/s >= {floor:.1} req/s");
+        if args.trace {
+            // The tracer's `verify` and `execute` components must be
+            // real measurements now that handlers stamp wall-clock
+            // in-handler time (and execution may complete on the
+            // executor thread): a zero mean means the seam regressed to
+            // the old "~0 on the direct path" behaviour.
+            for component in ["verify", "execute"] {
+                let observed = points.iter().any(|p| {
+                    p.phase_us
+                        .iter()
+                        .any(|(name, mean_us, _)| *name == component && *mean_us > 0.0)
+                });
+                assert!(
+                    observed,
+                    "phase tracing regression: `{component}` phase mean is zero in every \
+                     sweep point — in-handler durations are no longer observed"
+                );
+            }
+            println!("smoke phases ok: verify and execute components are nonzero");
+        }
     }
 }

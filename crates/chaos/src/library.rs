@@ -333,6 +333,31 @@ pub fn canonical_plans() -> Vec<FaultPlan> {
     plan.min_fast_ratio = Some(3.0);
     plans.push(plan);
 
+    // 16. Crash inside the commit→execute-ack window: a replica dies
+    // with blocks its peers have committed (and will execute and ack)
+    // that it never executed itself, then reboots with an empty disk —
+    // twice, to sample the window at different log positions. The
+    // snapshot invariants prove re-execution after catch-up stayed
+    // exactly-once (no double-applied block can produce the agreed
+    // state digest), and with the TCP backend's execution pipeline on,
+    // the crash also lands between the node thread's commit and the
+    // executor thread's completion.
+    let mut plan = base(
+        "commit-execute-crash",
+        "replica dies between commit and execute-ack; re-execution must stay exactly-once",
+    );
+    plan.window = Some(32);
+    plan.checkpoint_period = Some(16);
+    plan.horizon_ms = 2_500;
+    plan.events = vec![
+        at(250, Fault::Crash { replica: 2 }),
+        at(700, Fault::Restart { replica: 2 }),
+        at(1_200, Fault::Crash { replica: 2 }),
+        at(1_650, Fault::Restart { replica: 2 }),
+    ];
+    plan.max_final_lag = Some(64);
+    plans.push(plan);
+
     plans
 }
 

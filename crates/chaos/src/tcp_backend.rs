@@ -137,6 +137,8 @@ fn spawn_replica(
                 node_seed(seed, r),
                 keys.public.clone(),
                 spec.verify_threads,
+                spec.exec_threads,
+                || Box::new(KvService::new()),
             );
             drive(
                 &thread_stop,
@@ -273,6 +275,10 @@ impl TcpRun {
             // machinery into every fault schedule even on a 1-core host
             // (where the deploy default would bypass it).
             verify_threads: 2,
+            // Likewise for the execution pipeline: the executor-thread
+            // handoff, completion wake, and crash-between-commit-and-ack
+            // window are live in every TCP fault schedule.
+            exec_threads: 2,
             replicas: (0..n).map(|r| net.proxy_addr(r)).collect(),
             clients: (n..total).map(|node| net.proxy_addr(node)).collect(),
         };

@@ -1,0 +1,505 @@
+//! Execution offload: committed blocks leave the `!Send` node thread.
+//!
+//! The replica's commit→execute→reply tail used to run the service — trie
+//! updates, result merkleization, root recomputation — inline in the
+//! message handler, serializing every block behind consensus on one
+//! thread. [`ExecPool`] moves that work to a dedicated executor thread
+//! that owns the service and an intra-block [`WavePool`]
+//! (`sbft_statedb::exec`); the node submits committed blocks in sequence
+//! order and drains [`ExecOutcome`]s when the executor wakes it through
+//! its own inbound path (the `ExecuteReady` self-message). The same
+//! handoff/FIFO discipline as the transport's verify pool: commands are a
+//! FIFO channel, completions come back in submission order because one
+//! executor thread processes them serially.
+//!
+//! [`ExecEngine`] is the seam the replica actually drives: `Inline` keeps
+//! the old synchronous path byte-identical (submit executes immediately;
+//! the completion is drained in the same handler invocation, preserving
+//! effect order), while `Offloaded` proxies to an [`ExecPool`] and
+//! answers the node's synchronous queries — state digest, per-op results
+//! and proofs, checkpoint snapshots — from a mirror updated as
+//! completions drain. State transfer bumps an epoch so completions from
+//! an abandoned execution prefix are dropped instead of corrupting the
+//! mirror.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::thread::{Builder, JoinHandle};
+
+use sbft_crypto::MerkleTree;
+use sbft_statedb::{
+    results_tree, AuthKv, BlockExecution, ExecutionProof, RawOp, Service, WavePool,
+};
+use sbft_types::{Digest, SeqNum};
+
+/// Commands the node thread sends to the executor thread.
+enum ExecCmd {
+    /// Execute the committed block at `seq`. Tagged with the epoch it was
+    /// submitted under so work outlived by a state transfer is skipped.
+    Execute {
+        epoch: u64,
+        seq: SeqNum,
+        ops: Vec<RawOp>,
+    },
+    /// Replace the service state wholesale (state transfer) and enter a
+    /// new epoch.
+    Install {
+        epoch: u64,
+        state: AuthKv,
+        seq: SeqNum,
+        digest: Digest,
+    },
+    /// Drop execution artifacts at or below `stable`.
+    Gc { stable: SeqNum },
+}
+
+/// One completed block, shipped back to the node thread.
+pub struct ExecOutcome {
+    /// Epoch the block was submitted under; stale epochs are dropped.
+    pub epoch: u64,
+    /// The service's execution output (results, roots, signed digest).
+    pub execution: BlockExecution,
+    /// Merkle tree over the block's results, for serving
+    /// [`ExecutionProof`]s without re-hashing on the node thread.
+    pub results_tree: MerkleTree,
+    /// O(1) snapshot of the post-block state, for checkpoints.
+    pub snapshot: AuthKv,
+}
+
+/// Executor-thread handle: owns the service, runs blocks through the
+/// intra-block wave scheduler, ships outcomes back, and calls `wake`
+/// after each one so the node's poll loop notices.
+pub struct ExecPool {
+    cmd_tx: Option<Sender<ExecCmd>>,
+    done_rx: Receiver<ExecOutcome>,
+    executor: Option<JoinHandle<()>>,
+    initial_digest: Digest,
+    initial_executed: SeqNum,
+    initial_snapshot: AuthKv,
+}
+
+impl ExecPool {
+    /// Spawns the executor thread around `service`. `exec_threads` sizes
+    /// the intra-block wave pool (1 = serial plan/apply on the executor
+    /// thread); `wake` is invoked after every completed block — deploy
+    /// wires it to inject an `ExecuteReady` frame into the node's inbound
+    /// queue.
+    pub fn new(
+        service: Box<dyn Service + Send>,
+        exec_threads: usize,
+        wake: Box<dyn Fn() + Send + Sync>,
+    ) -> Self {
+        let (cmd_tx, cmd_rx) = channel::<ExecCmd>();
+        let (done_tx, done_rx) = channel::<ExecOutcome>();
+        let initial_digest = service.state_digest();
+        let initial_executed = service.last_executed();
+        let initial_snapshot = service.snapshot();
+        let executor = Builder::new()
+            .name("sbft-exec".into())
+            .spawn(move || {
+                let wave_pool = WavePool::new(exec_threads);
+                let mut service = service;
+                let mut epoch = 0u64;
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        ExecCmd::Execute {
+                            epoch: submitted,
+                            seq,
+                            ops,
+                        } => {
+                            if submitted != epoch {
+                                continue; // abandoned by a state transfer
+                            }
+                            if seq != service.last_executed().next() {
+                                continue; // defensive: out-of-order submit
+                            }
+                            let execution = service.execute_block_parallel(seq, &ops, &wave_pool);
+                            let outcome = ExecOutcome {
+                                epoch,
+                                results_tree: results_tree(&ops, &execution.results),
+                                snapshot: service.snapshot(),
+                                execution,
+                            };
+                            if done_tx.send(outcome).is_err() {
+                                break; // node side gone
+                            }
+                            wake();
+                        }
+                        ExecCmd::Install {
+                            epoch: new_epoch,
+                            state,
+                            seq,
+                            digest,
+                        } => {
+                            epoch = new_epoch;
+                            service.install(state, seq, digest);
+                        }
+                        ExecCmd::Gc { stable } => service.garbage_collect(stable),
+                    }
+                }
+            })
+            .expect("spawn execution thread");
+        ExecPool {
+            cmd_tx: Some(cmd_tx),
+            done_rx,
+            executor: Some(executor),
+            initial_digest,
+            initial_executed,
+            initial_snapshot,
+        }
+    }
+
+    fn send(&self, cmd: ExecCmd) {
+        self.cmd_tx
+            .as_ref()
+            .expect("executor alive")
+            .send(cmd)
+            .expect("execution thread exited");
+    }
+
+    fn try_recv(&self) -> Option<ExecOutcome> {
+        match self.done_rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("execution thread exited"),
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.cmd_tx.take();
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+    }
+}
+
+/// The node-thread mirror of the offloaded service: everything the
+/// replica queries synchronously between completions.
+struct Mirror {
+    /// Last block whose completion has been drained.
+    last_executed: SeqNum,
+    /// State digest after `last_executed`.
+    digest: Digest,
+    /// Post-`last_executed` snapshot (checkpoints, state transfer).
+    snapshot: AuthKv,
+    /// Retained artifacts per drained block: state root, results tree,
+    /// results — the node serves replies, acks and proofs from these.
+    artifacts: BTreeMap<u64, (Digest, MerkleTree, Vec<Vec<u8>>)>,
+    /// Current epoch; completions tagged with an older one are dropped.
+    epoch: u64,
+    /// Next sequence number to hand to the executor (runs ahead of
+    /// `last_executed` while blocks are in flight).
+    next_submit: SeqNum,
+}
+
+/// How a replica executes committed blocks: inline on the node thread
+/// (simulator, tests, `--exec-threads 1` semantics preserved exactly) or
+/// offloaded to an [`ExecPool`].
+pub struct ExecEngine(Engine);
+
+enum Engine {
+    /// The pre-refactor path: execute synchronously during submit, queue
+    /// the completion for the drain that follows in the same handler.
+    Inline {
+        service: Box<dyn Service>,
+        completions: VecDeque<BlockExecution>,
+    },
+    /// Execution runs on the pool's executor thread; the node answers
+    /// queries from the mirror.
+    Offloaded { pool: ExecPool, mirror: Mirror },
+}
+
+impl ExecEngine {
+    /// Wraps a service in the synchronous engine.
+    pub fn inline(service: Box<dyn Service>) -> Self {
+        ExecEngine(Engine::Inline {
+            service,
+            completions: VecDeque::new(),
+        })
+    }
+
+    /// Wraps an executor-thread handle; the mirror starts from the state
+    /// the pool's service was constructed with.
+    pub fn offloaded(pool: ExecPool) -> Self {
+        let mirror = Mirror {
+            last_executed: pool.initial_executed,
+            digest: pool.initial_digest,
+            snapshot: pool.initial_snapshot.clone(),
+            artifacts: BTreeMap::new(),
+            epoch: 0,
+            next_submit: pool.initial_executed.next(),
+        };
+        ExecEngine(Engine::Offloaded { pool, mirror })
+    }
+
+    /// `true` when execution happens away from the node thread.
+    pub fn is_offloaded(&self) -> bool {
+        matches!(self.0, Engine::Offloaded { .. })
+    }
+
+    /// Next block to submit, in sequence order.
+    pub fn next_submit(&self) -> SeqNum {
+        match &self.0 {
+            Engine::Inline { service, .. } => service.last_executed().next(),
+            Engine::Offloaded { mirror, .. } => mirror.next_submit,
+        }
+    }
+
+    /// Hands the committed block at `seq` to the execution pipeline.
+    /// Inline engines execute immediately; offloaded engines return once
+    /// the block is queued.
+    pub fn submit(&mut self, seq: SeqNum, ops: Vec<RawOp>) {
+        match &mut self.0 {
+            Engine::Inline {
+                service,
+                completions,
+            } => {
+                let execution = service.execute_block(seq, &ops);
+                completions.push_back(execution);
+            }
+            Engine::Offloaded { pool, mirror } => {
+                debug_assert_eq!(seq, mirror.next_submit, "blocks submit in sequence order");
+                mirror.next_submit = seq.next();
+                pool.send(ExecCmd::Execute {
+                    epoch: mirror.epoch,
+                    seq,
+                    ops,
+                });
+            }
+        }
+    }
+
+    /// Pops one finished block, if any, updating the mirror first so the
+    /// caller's queries during reply/ack emission see the post-block
+    /// state. Completions arrive in submission order.
+    pub fn try_completion(&mut self) -> Option<BlockExecution> {
+        match &mut self.0 {
+            Engine::Inline { completions, .. } => completions.pop_front(),
+            Engine::Offloaded { pool, mirror } => loop {
+                let outcome = pool.try_recv()?;
+                if outcome.epoch != mirror.epoch {
+                    continue; // pre-install leftovers
+                }
+                let execution = outcome.execution;
+                mirror.last_executed = execution.seq;
+                mirror.digest = execution.state_digest;
+                mirror.snapshot = outcome.snapshot;
+                mirror.artifacts.insert(
+                    execution.seq.get(),
+                    (
+                        execution.state_root,
+                        outcome.results_tree,
+                        execution.results.clone(),
+                    ),
+                );
+                return Some(execution);
+            },
+        }
+    }
+
+    /// The digest of the state after the last drained block.
+    pub fn state_digest(&self) -> Digest {
+        match &self.0 {
+            Engine::Inline { service, .. } => service.state_digest(),
+            Engine::Offloaded { mirror, .. } => mirror.digest,
+        }
+    }
+
+    /// Builds the execution proof for operation `l` of block `seq`.
+    pub fn proof_of(&self, seq: SeqNum, l: usize) -> Option<ExecutionProof> {
+        match &self.0 {
+            Engine::Inline { service, .. } => service.proof_of(seq, l),
+            Engine::Offloaded { mirror, .. } => {
+                let (state_root, tree, _) = mirror.artifacts.get(&seq.get())?;
+                Some(ExecutionProof {
+                    state_root: *state_root,
+                    result_path: tree.proof(l)?,
+                })
+            }
+        }
+    }
+
+    /// The stored output of operation `l` of block `seq` (owned: the
+    /// offloaded mirror and the inline service store it differently).
+    pub fn result_of(&self, seq: SeqNum, l: usize) -> Option<Vec<u8>> {
+        match &self.0 {
+            Engine::Inline { service, .. } => service.result_of(seq, l).map(<[u8]>::to_vec),
+            Engine::Offloaded { mirror, .. } => mirror
+                .artifacts
+                .get(&seq.get())
+                .and_then(|(_, _, results)| results.get(l).cloned()),
+        }
+    }
+
+    /// Snapshot of the state after the last drained block.
+    pub fn snapshot(&self) -> AuthKv {
+        match &self.0 {
+            Engine::Inline { service, .. } => service.snapshot(),
+            Engine::Offloaded { mirror, .. } => mirror.snapshot.clone(),
+        }
+    }
+
+    /// Replaces the state wholesale (state transfer): enters a new epoch
+    /// so in-flight completions from the old prefix are dropped.
+    pub fn install(&mut self, state: AuthKv, seq: SeqNum, digest: Digest) {
+        match &mut self.0 {
+            Engine::Inline {
+                service,
+                completions,
+            } => {
+                completions.clear();
+                service.install(state, seq, digest);
+            }
+            Engine::Offloaded { pool, mirror } => {
+                mirror.epoch += 1;
+                mirror.last_executed = seq;
+                mirror.digest = digest;
+                mirror.snapshot = state.clone();
+                mirror.artifacts.clear();
+                mirror.next_submit = seq.next();
+                pool.send(ExecCmd::Install {
+                    epoch: mirror.epoch,
+                    state,
+                    seq,
+                    digest,
+                });
+            }
+        }
+    }
+
+    /// Drops execution artifacts for blocks `<= stable`.
+    pub fn garbage_collect(&mut self, stable: SeqNum) {
+        match &mut self.0 {
+            Engine::Inline { service, .. } => service.garbage_collect(stable),
+            Engine::Offloaded { pool, mirror } => {
+                mirror.artifacts = mirror.artifacts.split_off(&(stable.get() + 1));
+                pool.send(ExecCmd::Gc { stable });
+            }
+        }
+    }
+
+    /// Direct access to the inline service (tests, sim harnesses).
+    /// `None` when execution is offloaded — the service lives on the
+    /// executor thread.
+    pub fn service(&self) -> Option<&dyn Service> {
+        match &self.0 {
+            Engine::Inline { service, .. } => Some(service.as_ref()),
+            Engine::Offloaded { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_statedb::{KvOp, KvService};
+    use sbft_wire::Wire;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn put(key: &str, value: &str) -> RawOp {
+        KvOp::Put {
+            key: key.as_bytes().to_vec(),
+            value: value.as_bytes().to_vec(),
+        }
+        .to_wire_bytes()
+    }
+
+    fn drain_blocking(engine: &mut ExecEngine) -> BlockExecution {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(execution) = engine.try_completion() {
+                return execution;
+            }
+            assert!(Instant::now() < deadline, "executor never completed");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn offloaded_engine_matches_inline_results() {
+        let wakes = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&wakes);
+        let pool = ExecPool::new(
+            Box::new(KvService::new()),
+            2,
+            Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let mut offloaded = ExecEngine::offloaded(pool);
+        let mut inline = ExecEngine::inline(Box::new(KvService::new()));
+
+        for (seq, ops) in [
+            (1u64, vec![put("a", "1"), put("b", "2")]),
+            (2, vec![put("a", "3"), put("c", "4")]),
+        ] {
+            let seq = SeqNum::new(seq);
+            assert_eq!(offloaded.next_submit(), seq);
+            offloaded.submit(seq, ops.clone());
+            inline.submit(seq, ops);
+            let got = drain_blocking(&mut offloaded);
+            let want = inline.try_completion().expect("inline is synchronous");
+            assert_eq!(got, want);
+            assert_eq!(offloaded.state_digest(), inline.state_digest());
+            assert_eq!(
+                offloaded.result_of(seq, 0),
+                inline.result_of(seq, 0),
+                "mirror serves results"
+            );
+            assert_eq!(
+                offloaded.proof_of(seq, 1).map(|p| p.state_root),
+                inline.proof_of(seq, 1).map(|p| p.state_root),
+            );
+            assert_eq!(
+                offloaded.snapshot().root(),
+                inline.snapshot().root(),
+                "checkpoint snapshots agree"
+            );
+        }
+        assert_eq!(wakes.load(Ordering::SeqCst), 2, "one wake per block");
+    }
+
+    #[test]
+    fn install_drops_stale_completions() {
+        let pool = ExecPool::new(Box::new(KvService::new()), 1, Box::new(|| {}));
+        let mut engine = ExecEngine::offloaded(pool);
+        engine.submit(SeqNum::new(1), vec![put("old", "x")]);
+
+        // A state transfer lands before the completion is drained:
+        // execute blocks 1..=5 on a donor so the snapshot is real.
+        let mut donor = KvService::new();
+        let mut last = None;
+        for s in 1..=5u64 {
+            last = Some(donor.execute_block(SeqNum::new(s), &[put("k", &s.to_string())]));
+        }
+        let digest = last.expect("executed").state_digest;
+        engine.install(donor.snapshot(), SeqNum::new(5), digest);
+
+        assert_eq!(engine.state_digest(), digest);
+        assert_eq!(engine.next_submit(), SeqNum::new(6));
+        // The pre-install completion (epoch 0) must be swallowed, and
+        // post-install blocks execute on the transferred state.
+        engine.submit(SeqNum::new(6), vec![put("k", "6")]);
+        let exec = drain_blocking(&mut engine);
+        assert_eq!(exec.seq, SeqNum::new(6));
+        assert_eq!(exec.results[0], b"5".to_vec(), "sees transferred state");
+        assert_eq!(engine.state_digest(), exec.state_digest);
+    }
+
+    #[test]
+    fn garbage_collect_prunes_the_mirror() {
+        let pool = ExecPool::new(Box::new(KvService::new()), 1, Box::new(|| {}));
+        let mut engine = ExecEngine::offloaded(pool);
+        for s in 1..=4u64 {
+            engine.submit(SeqNum::new(s), vec![put("k", &s.to_string())]);
+            drain_blocking(&mut engine);
+        }
+        engine.garbage_collect(SeqNum::new(2));
+        assert!(engine.result_of(SeqNum::new(2), 0).is_none());
+        assert!(engine.result_of(SeqNum::new(3), 0).is_some());
+    }
+}

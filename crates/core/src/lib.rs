@@ -38,6 +38,7 @@
 
 pub mod client;
 pub mod config;
+pub mod exec;
 pub mod keys;
 pub mod messages;
 pub mod pipelined;
@@ -48,6 +49,7 @@ pub mod viewchange;
 
 pub use client::ClientNode;
 pub use config::{ProtocolConfig, VariantFlags};
+pub use exec::{ExecEngine, ExecOutcome, ExecPool};
 pub use keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
 pub use messages::{ClientRequest, CommitCert, SbftMsg};
 pub use pipelined::{chained_block_digest, select_chain_head, PipelinedChoice, PipelinedSummary};
@@ -56,5 +58,5 @@ pub use testkit::{
     invariant_violation, make_client, make_replica, Cluster, ClusterConfig, ReplicaSnapshot,
     Workload,
 };
-pub use verify::SbftPreVerifier;
+pub use verify::{SbftPreVerifier, ShareKind, ShareVerifyMap};
 pub use viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};

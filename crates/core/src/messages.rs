@@ -550,6 +550,11 @@ pub enum SbftMsg {
         /// Its commit certificate.
         cert: CommitCert,
     },
+    /// Replica → itself: the execution pipeline finished a block and the
+    /// node should drain completions. Carried over the loopback seam so
+    /// a node parked in its event loop wakes without polling; replicas
+    /// ignore it from anyone but themselves.
+    ExecuteReady,
 }
 
 impl Wire for SbftMsg {
@@ -697,6 +702,9 @@ impl Wire for SbftMsg {
                 encode_requests(enc, requests);
                 cert.encode(enc);
             }
+            SbftMsg::ExecuteReady => {
+                enc.put_u8(16);
+            }
         }
     }
 
@@ -805,6 +813,7 @@ impl Wire for SbftMsg {
                 requests: decode_requests(dec)?,
                 cert: CommitCert::decode(dec)?,
             }),
+            16 => Ok(SbftMsg::ExecuteReady),
             _ => Err(DecodeError::InvalidValue {
                 what: "SbftMsg tag",
             }),
@@ -835,6 +844,7 @@ impl SimMessage for SbftMsg {
             SbftMsg::StateRequest { .. } => "state-request",
             SbftMsg::StateChunkMsg { .. } => "state-chunk",
             SbftMsg::BlockFill { .. } => "block-fill",
+            SbftMsg::ExecuteReady => "execute-ready",
         }
     }
 }
@@ -994,6 +1004,7 @@ mod tests {
                 requests: vec![req],
                 cert: CommitCert::Fast(sig),
             },
+            SbftMsg::ExecuteReady,
         ];
         for msg in &msgs {
             round_trip(msg);

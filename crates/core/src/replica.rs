@@ -29,11 +29,13 @@ use sbft_telemetry::{Phase, PhaseTracer};
 use sbft_wire::{ClientSignature, Wire};
 
 use crate::config::ProtocolConfig;
+use crate::exec::{ExecEngine, ExecPool};
 use crate::keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
 use crate::messages::{
     block_digest, commit2_digest, ClientRequest, CommitCert, FastEvidence, NewViewMsg, SbftMsg,
     SlowEvidence, VcEntry, ViewChangeMsg,
 };
+use crate::verify::{ShareKind, ShareVerifyMap};
 use crate::viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};
 
 /// Timer token kinds (token = kind | payload << 8).
@@ -113,7 +115,15 @@ pub struct ReplicaNode {
     id: ReplicaId,
     public: std::sync::Arc<PublicKeys>,
     my_keys: ReplicaKeys,
-    service: Box<dyn Service>,
+    /// Commit→execute→reply pipeline: inline (the pre-offload path, used
+    /// by the simulator and `--exec-threads 1` runtimes) or handed to a
+    /// dedicated executor thread (see [`Self::offload_execution`]).
+    engine: ExecEngine,
+    /// Slot-digest map shared with the verification pipeline: the node
+    /// publishes each slot's block digest so workers can pre-verify σ/τ
+    /// shares; combine sites skip the batch pairing when every share they
+    /// hold was marked (see [`crate::verify::ShareVerifyMap`]).
+    shares: Option<std::sync::Arc<ShareVerifyMap>>,
     cost: CryptoCostModel,
     behavior: Behavior,
     /// Inbound messages were already decoded **and verified** by the
@@ -160,6 +170,11 @@ pub struct ReplicaNode {
     /// verification. Entries drain on execution, with a size guard for
     /// requests that never commit.
     verified_requests: HashMap<(u32, u64), (PkiSignature, Digest)>,
+    /// Insertion order of `verified_requests` keys, for FIFO eviction at
+    /// the cap (oldest entries re-verify; newest — the ones still likely
+    /// to ride a pre-prepare — stay memoized). Compacted periodically to
+    /// shed keys already drained by execution.
+    verified_order: VecDeque<(u32, u64)>,
 
     // Execution bookkeeping.
     /// Highest executed timestamp per client.
@@ -206,7 +221,8 @@ impl ReplicaNode {
             public: keys.public.clone(),
             config,
             id,
-            service,
+            engine: ExecEngine::inline(service),
+            shares: None,
             cost,
             behavior: Behavior::Honest,
             inbound_preverified: false,
@@ -224,6 +240,7 @@ impl ReplicaNode {
             last_block_len: 0,
             proposed_table: HashMap::new(),
             verified_requests: HashMap::new(),
+            verified_order: VecDeque::new(),
             client_table: HashMap::new(),
             executed_requests: HashMap::new(),
             forwarded: HashMap::new(),
@@ -253,6 +270,31 @@ impl ReplicaNode {
         self.inbound_preverified = preverified;
     }
 
+    /// Moves block execution off this node's thread: committed blocks are
+    /// handed to `pool`'s executor thread and their effects (replies,
+    /// π shares, acks) are emitted as completions drain — triggered by the
+    /// pool's wake callback injecting [`SbftMsg::ExecuteReady`]. The
+    /// pool's service must start from the same state as the one this
+    /// replica was constructed with (both fresh, or both installed from
+    /// the same snapshot). Call before the node processes any message.
+    pub fn offload_execution(&mut self, pool: ExecPool) {
+        assert_eq!(
+            self.last_executed,
+            SeqNum::ZERO,
+            "offload_execution must be called before any block executes"
+        );
+        self.engine = ExecEngine::offloaded(pool);
+    }
+
+    /// Attaches the slot-digest map shared with the verification
+    /// pipeline (pair with
+    /// [`crate::verify::SbftPreVerifier::with_shares`]): enables σ/τ
+    /// share pre-verification on the pipeline's workers and the
+    /// combine-time fast path here.
+    pub fn set_share_map(&mut self, shares: std::sync::Arc<ShareVerifyMap>) {
+        self.shares = Some(shares);
+    }
+
     /// Attaches a phase tracer: every request this replica handles is
     /// stamped at received / pre-prepared / share-signed / committed /
     /// executed / replied, keyed by `(client, timestamp)`. Phases a
@@ -263,10 +305,19 @@ impl ReplicaNode {
     }
 
     /// Stamps one lifecycle phase for a request (no-op without an
-    /// attached tracer).
+    /// attached tracer). Wall-clock runtimes enable
+    /// `Context::real_elapsed_ns`, so stamps inside one handler
+    /// invocation (commit → execute → reply) resolve to distinct times
+    /// and the verify/execute phase components come out nonzero; in the
+    /// simulator the offset is always 0 and stamps stay deterministic.
     fn trace_phase(&self, ctx: &Context<'_, SbftMsg>, client: u32, timestamp: u64, phase: Phase) {
         if let Some(tracer) = &self.tracer {
-            tracer.stamp(client, timestamp, phase, ctx.now().as_nanos());
+            tracer.stamp(
+                client,
+                timestamp,
+                phase,
+                ctx.now().as_nanos() + ctx.real_elapsed_ns(),
+            );
         }
     }
 
@@ -291,14 +342,19 @@ impl ReplicaNode {
     }
 
     /// The service's current state digest (for cross-replica agreement
-    /// checks in tests).
+    /// checks in tests). Offloaded engines answer from the mirror: the
+    /// state after the last *drained* block.
     pub fn state_digest(&self) -> Digest {
-        self.service.state_digest()
+        self.engine.state_digest()
     }
 
-    /// Read-only access to the service.
+    /// Read-only access to the service. Panics when execution is
+    /// offloaded — the service lives on the executor thread; use the
+    /// engine-level queries instead.
     pub fn service(&self) -> &dyn Service {
-        self.service.as_ref()
+        self.engine
+            .service()
+            .expect("service is on the executor thread (execution offloaded)")
     }
 
     /// The committed block at `seq`, if retained.
@@ -409,6 +465,8 @@ impl ReplicaNode {
     /// including a copied valid signature spliced onto a different op,
     /// never rides a cache hit. (One op hash on a hit is still far
     /// cheaper than the full HMAC verification it replaces.)
+    /// Eviction is FIFO by insertion order — a view change that abandons
+    /// slots no longer strands their entries until a wholesale clear.
     fn check_request_signature(
         &mut self,
         ctx: &mut Context<'_, SbftMsg>,
@@ -426,11 +484,26 @@ impl ReplicaNode {
                 return false;
             }
         }
-        if self.verified_requests.len() >= Self::VERIFIED_REQUESTS_CAP {
-            self.verified_requests.clear();
+        while self.verified_requests.len() >= Self::VERIFIED_REQUESTS_CAP {
+            let Some(oldest) = self.verified_order.pop_front() else {
+                self.verified_requests.clear();
+                break;
+            };
+            self.verified_requests.remove(&oldest);
         }
-        self.verified_requests
-            .insert(key, (request.signature.0, sbft_crypto::sha256(&request.op)));
+        if self
+            .verified_requests
+            .insert(key, (request.signature.0, sbft_crypto::sha256(&request.op)))
+            .is_none()
+        {
+            self.verified_order.push_back(key);
+        }
+        // Executed requests leave the map but linger in the order queue;
+        // compact once the queue outgrows the map enough to matter.
+        if self.verified_order.len() >= self.verified_requests.len().saturating_mul(2) + 1024 {
+            let live = &self.verified_requests;
+            self.verified_order.retain(|k| live.contains_key(k));
+        }
         true
     }
 
@@ -441,8 +514,7 @@ impl ReplicaNode {
         let key = (request.client.get(), request.timestamp);
         // Already executed: answer directly (client retry path, §V-A).
         if let Some(&(seq, index)) = self.executed_requests.get(&key) {
-            if let Some(result) = self.service.result_of(seq, index as usize) {
-                let result = result.to_vec();
+            if let Some(result) = self.engine.result_of(seq, index as usize) {
                 let reply = self.make_reply(seq, &request, result);
                 ctx.send(self.client_node(request.client), reply);
                 return;
@@ -663,6 +735,11 @@ impl ReplicaNode {
             slot.sign_share_sent = true;
             slot.my_sigma_share = sigma;
         }
+        // The slot's digest is now known: publish it so verify-pool
+        // workers can pre-check σ/τ shares that arrive from here on.
+        if let Some(map) = &self.shares {
+            map.publish_digest(seq, view, h);
+        }
         let msg = SbftMsg::SignShare {
             seq,
             view,
@@ -710,6 +787,17 @@ impl ReplicaNode {
         let share_index = (from + 1) as u16;
         if tau.index() != share_index || sigma.map(|s| s.index() != share_index).unwrap_or(false) {
             return;
+        }
+        // Our own shares skip the verify pipeline (loopback): mark them
+        // directly so a slot where every peer share was pre-verified can
+        // still take the combine fast path.
+        if from == self.id.as_usize() {
+            if let Some(map) = &self.shares {
+                map.record(seq, view, tau.index(), ShareKind::Tau);
+                if let Some(sigma) = sigma {
+                    map.record(seq, view, sigma.index(), ShareKind::Sigma);
+                }
+            }
         }
         ctx.charge_cpu_ns(self.cost.hash(70));
         let fast_enabled = self.fast_path_active(seq);
@@ -782,7 +870,17 @@ impl ReplicaNode {
             return; // someone else's proof arrived meanwhile
         }
         let shares: Vec<SignatureShare> = slot.sigma_shares.values().copied().collect();
-        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        // Shares the verify pipeline already pairing-checked against the
+        // published slot digest (plus our own) skip the combine-time
+        // batch verification.
+        let preverified = self
+            .shares
+            .as_ref()
+            .map(|m| m.all_preverified(seq, view, ShareKind::Sigma, slot.sigma_shares.keys()))
+            .unwrap_or(false);
+        if !preverified {
+            ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        }
         // §VIII: use the n-of-n group signature when every replica signed;
         // fall back to threshold interpolation otherwise.
         let sigma = if shares.len() == n {
@@ -792,7 +890,11 @@ impl ReplicaNode {
                 .combine_multisig(DOMAIN_SIGMA, &h, &shares)
         } else {
             ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.sigma_threshold()));
-            self.public.sigma.combine(DOMAIN_SIGMA, &h, &shares)
+            if preverified {
+                self.public.sigma.combine_preverified(&shares)
+            } else {
+                self.public.sigma.combine(DOMAIN_SIGMA, &h, &shares)
+            }
         };
         let Ok(sigma) = sigma else {
             return; // not enough valid shares after filtering
@@ -810,9 +912,19 @@ impl ReplicaNode {
             return;
         }
         let shares: Vec<SignatureShare> = slot.tau_shares.values().copied().collect();
-        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        let preverified = self
+            .shares
+            .as_ref()
+            .map(|m| m.all_preverified(seq, view, ShareKind::Tau, slot.tau_shares.keys()))
+            .unwrap_or(false);
         ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.tau_threshold()));
-        let Ok(tau) = self.public.tau.combine(DOMAIN_TAU, &h, &shares) else {
+        let combined = if preverified {
+            self.public.tau.combine_preverified(&shares)
+        } else {
+            ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+            self.public.tau.combine(DOMAIN_TAU, &h, &shares)
+        };
+        let Ok(tau) = combined else {
             return;
         };
         ctx.incr("slow_path_entries", 1);
@@ -877,6 +989,11 @@ impl ReplicaNode {
         if share.index() != (from + 1) as u16 {
             return;
         }
+        if from == self.id.as_usize() {
+            if let Some(map) = &self.shares {
+                map.record(seq, view, share.index(), ShareKind::Commit2);
+            }
+        }
         ctx.charge_cpu_ns(self.cost.hash(70));
         let tau_threshold = self.config.tau_threshold();
         let stagger = self.config.collector_stagger;
@@ -908,9 +1025,19 @@ impl ReplicaNode {
         }
         let d2 = commit2_digest(seq, view, &h);
         let shares: Vec<SignatureShare> = slot.commit2_shares.values().copied().collect();
-        ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+        let preverified = self
+            .shares
+            .as_ref()
+            .map(|m| m.all_preverified(seq, view, ShareKind::Commit2, slot.commit2_shares.keys()))
+            .unwrap_or(false);
         ctx.charge_cpu_ns(self.cost.combine_threshold(self.config.tau_threshold()));
-        let Ok(tau2) = self.public.tau.combine(DOMAIN_TAU, &d2, &shares) else {
+        let combined = if preverified {
+            self.public.tau.combine_preverified(&shares)
+        } else {
+            ctx.charge_cpu_ns(self.cost.batch_verify_shares(shares.len()));
+            self.public.tau.combine(DOMAIN_TAU, &d2, &shares)
+        };
+        let Ok(tau2) = combined else {
             return;
         };
         ctx.incr("slow_commits", 1);
@@ -1019,17 +1146,49 @@ impl ReplicaNode {
 
     fn try_execute(&mut self, ctx: &mut Context<'_, SbftMsg>) {
         loop {
-            let next = self.last_executed.next();
+            let next = self.engine.next_submit();
             let Some(slot) = self.slots.get(&next.get()) else {
-                return;
+                break;
             };
             if !slot.committed {
-                return;
+                break;
             }
-            let requests = slot.requests.clone().expect("committed slot has requests");
-            let ops: Vec<Vec<u8>> = requests.iter().map(|r| r.op.clone()).collect();
-            let exec = self.service.execute_block(next, &ops);
-            ctx.charge_cpu_ns(exec.cpu_cost_ns / self.config.execution_parallelism.max(1));
+            let ops: Vec<Vec<u8>> = slot
+                .requests
+                .as_ref()
+                .expect("committed slot has requests")
+                .iter()
+                .map(|r| r.op.clone())
+                .collect();
+            // Inline: executes now, completion drained below in the same
+            // handler (old effect order preserved exactly). Offloaded:
+            // queued to the executor thread — the loop keeps submitting
+            // consecutive committed blocks, pipelining execution behind
+            // consensus.
+            self.engine.submit(next, ops);
+            self.drain_exec_completions(ctx);
+        }
+        self.drain_exec_completions(ctx);
+    }
+
+    /// Emits the post-execution effects — π share, replies/acks, tracer
+    /// stamps — for every block the engine has finished. Inline engines
+    /// complete during `submit`; offloaded engines complete when the
+    /// executor's wake ([`SbftMsg::ExecuteReady`]) lands.
+    fn drain_exec_completions(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        while let Some(exec) = self.engine.try_completion() {
+            let next = exec.seq;
+            let requests = self
+                .slots
+                .get(&next.get())
+                .and_then(|s| s.requests.clone())
+                .expect("completed block's slot is retained until checkpoint");
+            if !self.engine.is_offloaded() {
+                // Offloaded execution spends real worker-thread time; the
+                // modeled charge applies only when the node thread itself
+                // did the work.
+                ctx.charge_cpu_ns(exec.cpu_cost_ns / self.config.execution_parallelism.max(1));
+            }
             ctx.incr("executed_blocks", 1);
             self.last_executed = next;
             for (l, request) in requests.iter().enumerate() {
@@ -1196,10 +1355,9 @@ impl ReplicaNode {
         let requests = slot.requests.clone().expect("executed slot has requests");
         self.slot(seq).acks_sent = true;
         for (l, request) in requests.iter().enumerate() {
-            let (Some(result), Some(proof)) = (
-                self.service.result_of(seq, l).map(<[u8]>::to_vec),
-                self.service.proof_of(seq, l),
-            ) else {
+            let (Some(result), Some(proof)) =
+                (self.engine.result_of(seq, l), self.engine.proof_of(seq, l))
+            else {
                 continue;
             };
             ctx.charge_cpu_ns(self.cost.hash(result.len() + 64));
@@ -1287,7 +1445,7 @@ impl ReplicaNode {
         self.ledger.install_checkpoint(Checkpoint {
             seq,
             state_digest: digest,
-            state: self.service.snapshot(),
+            state: self.engine.snapshot(),
         });
         self.last_stable = seq;
         self.stable_cert = Some((digest, pi));
@@ -1295,8 +1453,13 @@ impl ReplicaNode {
         // Garbage-collect protocol state and old execution artifacts,
         // keeping half a window of artifacts for late client retries.
         let keep_from = seq.get().saturating_sub(self.config.window / 2);
-        self.service.garbage_collect(SeqNum::new(keep_from));
+        self.engine.garbage_collect(SeqNum::new(keep_from));
         self.slots = self.slots.split_off(&(seq.get() + 1));
+        // Slots at or below the checkpoint can no longer combine: drop
+        // their published digests and pre-verified share marks too.
+        if let Some(map) = &self.shares {
+            map.gc_below(seq);
+        }
         let stable = self.last_stable;
         self.executed_requests
             .retain(|_, (s, _)| *s > stable || s.get() + 64 > stable.get());
@@ -1481,6 +1644,23 @@ impl ReplicaNode {
         self.in_view_change = false;
         self.vc_attempts = 0;
         self.vc_messages = self.vc_messages.split_off(&(plan.view.get()));
+        // Shares signed in abandoned views can never combine: drop both
+        // the pre-verifier map's entries and the per-slot collector share
+        // accumulations (a slot the plan leaves out would otherwise pin
+        // old-view shares until checkpoint GC).
+        if let Some(map) = &self.shares {
+            map.retain_views_from(plan.view);
+        }
+        for slot in self.slots.values_mut() {
+            if slot.committed {
+                continue;
+            }
+            if slot.view != Some(plan.view) {
+                slot.sigma_shares.clear();
+                slot.tau_shares.clear();
+                slot.commit2_shares.clear();
+            }
+        }
         let is_primary = self.is_primary();
         let mut max_seq = self.last_stable;
         for (seq, decision) in plan.decisions {
@@ -1504,6 +1684,9 @@ impl ReplicaNode {
                     slot.view = Some(view);
                     slot.requests = Some(requests);
                     slot.h = Some(h);
+                    if let Some(map) = &self.shares {
+                        map.publish_digest(seq, view, h);
+                    }
                     self.commit(ctx, seq, view, cert);
                 }
                 SlotDecision::Propose { requests } => {
@@ -1534,6 +1717,9 @@ impl ReplicaNode {
                             results_root: slot.results_root,
                             ..Slot::default()
                         };
+                    }
+                    if let Some(map) = &self.shares {
+                        map.publish_digest(seq, view, h);
                     }
                     let msg = SbftMsg::SignShare {
                         seq,
@@ -1665,7 +1851,7 @@ impl ReplicaNode {
         }
         ctx.incr("state_transfers_completed", 1);
         ctx.charge_cpu_ns(self.cost.hash(64 * state.len()));
-        self.service.install(state.clone(), seq, digest);
+        self.engine.install(state.clone(), seq, digest);
         self.last_executed = seq;
         self.last_stable = seq;
         self.stable_cert = Some((digest, pi));
@@ -1796,6 +1982,14 @@ impl Node<SbftMsg> for ReplicaNode {
                 requests,
                 cert,
             } => self.handle_block_fill(ctx, seq, view, requests, cert),
+            SbftMsg::ExecuteReady => {
+                // The executor thread's wake-up, injected through our own
+                // inbound path. Only meaningful (and only trusted) from
+                // ourselves.
+                if from == self.id.as_usize() {
+                    self.drain_exec_completions(ctx);
+                }
+            }
         }
     }
 
@@ -1955,6 +2149,107 @@ mod tests {
                 .unwrap_or(true),
             "forged block must not be accepted into the slot"
         );
+    }
+
+    /// Regression: collector share accumulations and the pre-verifier's
+    /// slot-digest map used to drain only when a slot executed — a view
+    /// change that abandoned the slot left both growing until checkpoint
+    /// GC. Installing a new view must drop share state from older views.
+    #[test]
+    fn view_install_drops_share_state_of_abandoned_slots() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        let map = std::sync::Arc::new(ShareVerifyMap::new());
+        node.set_share_map(map.clone());
+
+        // An uncommitted view-0 slot with accumulated collector shares
+        // and a published digest + pre-verified marks.
+        let seq = SeqNum::new(1);
+        let h = sbft_crypto::sha256(b"abandoned block");
+        {
+            let slot = node.slot(seq);
+            slot.view = Some(ViewNum::ZERO);
+            slot.h = Some(h);
+            for r in 0..3u16 {
+                let share = keys.replicas[r as usize].tau.sign(DOMAIN_TAU, &h);
+                slot.tau_shares.insert(share.index(), share);
+                slot.sigma_shares.insert(
+                    share.index(),
+                    keys.replicas[r as usize].sigma.sign(DOMAIN_SIGMA, &h),
+                );
+            }
+        }
+        map.publish_digest(seq, ViewNum::ZERO, h);
+        map.record(seq, ViewNum::ZERO, 1, ShareKind::Tau);
+        assert_ne!(map.len(), (0, 0));
+
+        // Install view 1 with no decisions for the slot (abandoned).
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let mut ctx =
+            Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+        node.apply_plan(
+            &mut ctx,
+            NewViewPlan {
+                view: ViewNum::new(1),
+                stable: SeqNum::ZERO,
+                stable_checkpoint: None,
+                decisions: Vec::new(),
+            },
+        );
+        drop(ctx.into_effects());
+
+        assert!(map.is_empty(), "view-0 share map entries must be dropped");
+        let slot = node.slots.get(&seq.get()).expect("slot still tracked");
+        assert!(slot.sigma_shares.is_empty(), "σ shares dropped");
+        assert!(slot.tau_shares.is_empty(), "τ shares dropped");
+    }
+
+    /// Regression: the verified-request memo used to clear wholesale at
+    /// the cap; it now evicts FIFO so the newest entries (the ones still
+    /// likely to ride a pre-prepare) survive, and the order queue itself
+    /// stays bounded as executed requests drain out of the map.
+    #[test]
+    fn verified_request_memo_evicts_fifo_and_bounds_its_order_queue() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        // Preverified inbound: inserts memoize without real verification,
+        // so filling past the cap is cheap.
+        node.set_inbound_preverified(true);
+        let client = ClientId::new(0);
+        let client_keys = keys.public.client_keys(client);
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let total = ReplicaNode::VERIFIED_REQUESTS_CAP + 100;
+        for ts in 1..=total as u64 {
+            let request = ClientRequest::signed(client, ts, b"op".to_vec(), &client_keys);
+            let mut ctx =
+                Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+            node.check_request_signature(&mut ctx, &request);
+            drop(ctx.into_effects());
+        }
+        assert!(node.verified_requests.len() <= ReplicaNode::VERIFIED_REQUESTS_CAP);
+        // FIFO: the first 100 timestamps were evicted, the newest stay.
+        assert!(!node.verified_requests.contains_key(&(0, 1)));
+        assert!(node.verified_requests.contains_key(&(0, total as u64)));
+        // The order queue never grows far past the map it indexes.
+        assert!(node.verified_order.len() <= node.verified_requests.len() * 2 + 1024);
     }
 
     /// Regression: a replica that is the primary of its *own* (view-change

@@ -19,17 +19,132 @@
 //! verifier falls back to per-item checks so one bad share from a
 //! Byzantine peer cannot veto its honest neighbours.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use sbft_crypto::{batch_verify_share_items, ShareVerifyItem};
 use sbft_sim::{InboundVerifier, NodeId};
 use sbft_statedb::combine_state_digest;
+use sbft_types::{Digest, SeqNum, ViewNum};
 use sbft_wire::Wire;
 
 use crate::keys::{PublicKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
 use crate::messages::{block_digest, commit2_digest, ClientRequest, CommitCert, SbftMsg};
 use crate::viewchange::validate_view_change;
+
+/// Which threshold scheme a recorded share belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShareKind {
+    /// Fast-path σ share over the block digest `h`.
+    Sigma,
+    /// Linear-path τ share over `h`.
+    Tau,
+    /// Second-round τ share over the commit2 digest `d2`.
+    Commit2,
+}
+
+type ShareKey = (u64, u64, u16, ShareKind);
+
+#[derive(Default)]
+struct ShareMapInner {
+    /// `(seq, view)` → block digest `h`, published by the node when a
+    /// slot accepts a pre-prepare (or adopts a new-view plan).
+    digests: HashMap<(u64, u64), Digest>,
+    /// Shares a worker (or the node itself, for its own shares) has
+    /// already pairing-checked against the published digest.
+    preverified: HashSet<ShareKey>,
+}
+
+/// The slot-digest map published through the pre-verifier seam (§III's
+/// "verify shares in parallel" applied to σ/τ): the node records each
+/// slot's block digest once it is known, verify-pool workers check
+/// incoming σ/τ/commit2 shares against it and mark the valid ones, and
+/// the node skips the combine-time batch pairing when every share it is
+/// about to combine was pre-verified. Shares arriving before the digest
+/// is known simply pass through unrecorded — the node's combine falls
+/// back to the full check, so the map is only ever an optimization.
+#[derive(Default)]
+pub struct ShareVerifyMap {
+    inner: Mutex<ShareMapInner>,
+}
+
+impl ShareVerifyMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ShareVerifyMap::default()
+    }
+
+    /// Publishes the block digest of slot `(seq, view)`. Called by the
+    /// node; idempotent (pre-prepare retransmissions).
+    pub fn publish_digest(&self, seq: SeqNum, view: ViewNum, h: Digest) {
+        let mut inner = self.inner.lock().expect("share map poisoned");
+        inner.digests.insert((seq.get(), view.get()), h);
+    }
+
+    /// The published digest of slot `(seq, view)`, if the node has
+    /// learned it.
+    pub fn digest(&self, seq: SeqNum, view: ViewNum) -> Option<Digest> {
+        let inner = self.inner.lock().expect("share map poisoned");
+        inner.digests.get(&(seq.get(), view.get())).copied()
+    }
+
+    /// Records that `share_index`'s share of `kind` for slot `(seq,
+    /// view)` passed verification.
+    pub fn record(&self, seq: SeqNum, view: ViewNum, share_index: u16, kind: ShareKind) {
+        let mut inner = self.inner.lock().expect("share map poisoned");
+        inner
+            .preverified
+            .insert((seq.get(), view.get(), share_index, kind));
+    }
+
+    /// `true` iff every `(share_index, kind)` pair in `shares` has been
+    /// recorded for slot `(seq, view)`.
+    pub fn all_preverified<'a>(
+        &self,
+        seq: SeqNum,
+        view: ViewNum,
+        kind: ShareKind,
+        shares: impl IntoIterator<Item = &'a u16>,
+    ) -> bool {
+        let inner = self.inner.lock().expect("share map poisoned");
+        shares.into_iter().all(|&index| {
+            inner
+                .preverified
+                .contains(&(seq.get(), view.get(), index, kind))
+        })
+    }
+
+    /// Drops every entry for sequence numbers `<= stable` (checkpoint
+    /// garbage collection — those slots can no longer combine).
+    pub fn gc_below(&self, stable: SeqNum) {
+        let mut inner = self.inner.lock().expect("share map poisoned");
+        inner.digests.retain(|&(seq, _), _| seq > stable.get());
+        inner
+            .preverified
+            .retain(|&(seq, _, _, _)| seq > stable.get());
+    }
+
+    /// Drops every entry for views `< view` (view install — old-view
+    /// shares can no longer combine; slots re-signed in the new view get
+    /// fresh digests published).
+    pub fn retain_views_from(&self, view: ViewNum) {
+        let mut inner = self.inner.lock().expect("share map poisoned");
+        inner.digests.retain(|&(_, v), _| v >= view.get());
+        inner.preverified.retain(|&(_, v, _, _)| v >= view.get());
+    }
+
+    /// Entry counts (digests, preverified) — growth-bound tests.
+    pub fn len(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("share map poisoned");
+        (inner.digests.len(), inner.preverified.len())
+    }
+
+    /// `true` when the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+}
 
 /// Decoder + stateless verifier for [`SbftMsg`], shared by every worker
 /// of a `sbft_transport::VerifyPool`.
@@ -38,6 +153,10 @@ pub struct SbftPreVerifier {
     /// Monotone batch counter mixed into the RLC seed derivation (keeps
     /// two identical batches from reusing one combination).
     rlc_counter: AtomicU64,
+    /// When present, σ/τ/commit2 shares whose slot digest is already
+    /// published are verified here on the worker and marked, so the node
+    /// can combine without re-checking.
+    shares: Option<Arc<ShareVerifyMap>>,
 }
 
 impl SbftPreVerifier {
@@ -46,7 +165,15 @@ impl SbftPreVerifier {
         SbftPreVerifier {
             public,
             rlc_counter: AtomicU64::new(1),
+            shares: None,
         }
+    }
+
+    /// Attaches the slot-digest map shared with the node, enabling σ/τ
+    /// share pre-verification on the workers.
+    pub fn with_shares(mut self, shares: Arc<ShareVerifyMap>) -> Self {
+        self.shares = Some(shares);
+        self
     }
 
     /// Fiat–Shamir seed for one batch's random linear combination: a
@@ -143,9 +270,13 @@ impl SbftPreVerifier {
                 }
             }
             SbftMsg::ViewChange(vc) => validate_view_change(public, vc),
-            // σ/τ material over block digests only the replica's log
-            // knows, new-view quorums (filtered per entry by the node),
-            // and unauthenticated plumbing: the node's job.
+            // σ/τ material is passed through to the node — but when the
+            // slot's digest is already published in the share map, the
+            // worker also pairing-checks it via `collect_recordable`, so
+            // the node's combine can skip re-verification.
+            // New-view quorums (filtered per entry by the node) and
+            // unauthenticated plumbing stay the node's job. ExecuteReady
+            // is a local wake-up the node accepts only from itself.
             SbftMsg::SignShare { .. }
             | SbftMsg::CommitShare { .. }
             | SbftMsg::Prepare { .. }
@@ -153,10 +284,74 @@ impl SbftPreVerifier {
             | SbftMsg::FullCommitProofSlow { .. }
             | SbftMsg::NewView(_)
             | SbftMsg::Reply { .. }
-            | SbftMsg::StateRequest { .. } => true,
+            | SbftMsg::StateRequest { .. }
+            | SbftMsg::ExecuteReady => true,
+        }
+    }
+
+    /// Collects σ/τ/commit2 shares whose slot digest is already published
+    /// for worker-side verification. Outcomes feed the share map only,
+    /// never message acceptance: shares with unknown digests pass through
+    /// unrecorded and the node's combine falls back to the full check.
+    fn collect_recordable<'a>(
+        &'a self,
+        msg: &'a SbftMsg,
+        map: &ShareVerifyMap,
+        items: &mut Vec<(ShareVerifyItem<'a>, ShareRecord)>,
+    ) {
+        match msg {
+            SbftMsg::SignShare {
+                seq,
+                view,
+                sigma,
+                tau,
+            } => {
+                let Some(h) = map.digest(*seq, *view) else {
+                    return;
+                };
+                items.push((
+                    ShareVerifyItem {
+                        key: &self.public.tau,
+                        domain: DOMAIN_TAU,
+                        digest: h,
+                        share: *tau,
+                    },
+                    (*seq, *view, tau.index(), ShareKind::Tau),
+                ));
+                if let Some(sigma) = sigma {
+                    items.push((
+                        ShareVerifyItem {
+                            key: &self.public.sigma,
+                            domain: DOMAIN_SIGMA,
+                            digest: h,
+                            share: *sigma,
+                        },
+                        (*seq, *view, sigma.index(), ShareKind::Sigma),
+                    ));
+                }
+            }
+            SbftMsg::CommitShare { seq, view, share } => {
+                let Some(h) = map.digest(*seq, *view) else {
+                    return;
+                };
+                let d2 = commit2_digest(*seq, *view, &h);
+                items.push((
+                    ShareVerifyItem {
+                        key: &self.public.tau,
+                        domain: DOMAIN_TAU,
+                        digest: d2,
+                        share: *share,
+                    },
+                    (*seq, *view, share.index(), ShareKind::Commit2),
+                ));
+            }
+            _ => {}
         }
     }
 }
+
+/// Slot coordinates of one recordable share.
+type ShareRecord = (SeqNum, ViewNum, u16, ShareKind);
 
 impl InboundVerifier<SbftMsg> for SbftPreVerifier {
     fn decode(&self, payload: &[u8]) -> Option<SbftMsg> {
@@ -169,23 +364,56 @@ impl InboundVerifier<SbftMsg> for SbftPreVerifier {
         for (i, (_, msg)) in batch.iter().enumerate() {
             out.push(self.verify_one(msg, Some(&mut deferred), i));
         }
-        if deferred.is_empty() {
-            return out;
+        if !deferred.is_empty() {
+            // One RLC multi-pairing over every deferred share in the
+            // batch (§III: batch verification "at nearly the same cost
+            // of validating only one"), with content-derived
+            // coefficients.
+            let seed = self.rlc_seed(&deferred);
+            let items: Vec<ShareVerifyItem<'_>> = deferred.iter().map(|(_, item)| *item).collect();
+            if !batch_verify_share_items(&items, seed) {
+                // A bad share somewhere: fall back to per-item
+                // verification so a Byzantine peer cannot veto honest
+                // shares sharing its batch.
+                for (i, item) in &deferred {
+                    out[*i] = item
+                        .key
+                        .verify_share(item.domain, &item.digest, &item.share);
+                }
+            }
         }
-        // One RLC multi-pairing over every deferred share in the batch
-        // (§III: batch verification "at nearly the same cost of
-        // validating only one"), with content-derived coefficients.
-        let seed = self.rlc_seed(&deferred);
-        let items: Vec<ShareVerifyItem<'_>> = deferred.iter().map(|(_, item)| *item).collect();
-        if batch_verify_share_items(&items, seed) {
-            return out;
-        }
-        // A bad share somewhere: fall back to per-item verification so a
-        // Byzantine peer cannot veto honest shares sharing its batch.
-        for (i, item) in &deferred {
-            out[*i] = item
-                .key
-                .verify_share(item.domain, &item.digest, &item.share);
+        // σ/τ/commit2 pre-verification against published slot digests: a
+        // second RLC batch whose outcome only marks shares in the map —
+        // `out` is untouched, so this path can never reject a message.
+        if let Some(map) = &self.shares {
+            let mut recordable: Vec<(ShareVerifyItem<'_>, ShareRecord)> = Vec::new();
+            for (_, msg) in batch {
+                self.collect_recordable(msg, map, &mut recordable);
+            }
+            if !recordable.is_empty() {
+                let indexed: Vec<(usize, ShareVerifyItem<'_>)> = recordable
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (item, _))| (i, *item))
+                    .collect();
+                let seed = self.rlc_seed(&indexed);
+                let items: Vec<ShareVerifyItem<'_>> =
+                    recordable.iter().map(|(item, _)| *item).collect();
+                if batch_verify_share_items(&items, seed) {
+                    for (_, (seq, view, index, kind)) in &recordable {
+                        map.record(*seq, *view, *index, *kind);
+                    }
+                } else {
+                    for (item, (seq, view, index, kind)) in &recordable {
+                        if item
+                            .key
+                            .verify_share(item.domain, &item.digest, &item.share)
+                        {
+                            map.record(*seq, *view, *index, *kind);
+                        }
+                    }
+                }
+            }
         }
         out
     }
@@ -329,6 +557,100 @@ mod tests {
             verifier.verify_batch(&[(1, good), (1, bad)]),
             vec![true, false]
         );
+    }
+
+    #[test]
+    fn shares_are_recorded_once_the_digest_is_published() {
+        let (_, keys, _) = setup();
+        let map = Arc::new(ShareVerifyMap::new());
+        let verifier = SbftPreVerifier::new(keys.public.clone()).with_shares(map.clone());
+        let seq = SeqNum::new(3);
+        let view = ViewNum::ZERO;
+        let h = sha256(b"block");
+        let tau = keys.replicas[0].tau.sign(DOMAIN_TAU, &h);
+        let sigma = keys.replicas[0].sigma.sign(DOMAIN_SIGMA, &h);
+        let sign_share = SbftMsg::SignShare {
+            seq,
+            view,
+            sigma: Some(sigma),
+            tau,
+        };
+        let d2 = commit2_digest(seq, view, &h);
+        let commit = keys.replicas[1].tau.sign(DOMAIN_TAU, &d2);
+        let commit_share = SbftMsg::CommitShare {
+            seq,
+            view,
+            share: commit,
+        };
+        // Digest unknown: shares pass through unrecorded.
+        assert_eq!(
+            verifier.verify_batch(&[(0, sign_share.clone()), (1, commit_share.clone())]),
+            vec![true, true]
+        );
+        assert!(map.is_empty());
+        map.publish_digest(seq, view, h);
+        assert_eq!(
+            verifier.verify_batch(&[(0, sign_share), (1, commit_share)]),
+            vec![true, true]
+        );
+        assert!(map.all_preverified(seq, view, ShareKind::Tau, [&tau.index()]));
+        assert!(map.all_preverified(seq, view, ShareKind::Sigma, [&sigma.index()]));
+        assert!(map.all_preverified(seq, view, ShareKind::Commit2, [&commit.index()]));
+        // GC below the slot clears everything.
+        map.gc_below(seq);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn forged_shares_pass_through_but_are_never_recorded() {
+        let (_, keys, _) = setup();
+        let map = Arc::new(ShareVerifyMap::new());
+        let verifier = SbftPreVerifier::new(keys.public.clone()).with_shares(map.clone());
+        let seq = SeqNum::new(7);
+        let view = ViewNum::ZERO;
+        let h = sha256(b"block-7");
+        map.publish_digest(seq, view, h);
+        let good = keys.replicas[0].tau.sign(DOMAIN_TAU, &h);
+        let forged = SignatureShare::from_parts(2, GroupElement::generator());
+        let batch = vec![
+            (
+                0usize,
+                SbftMsg::SignShare {
+                    seq,
+                    view,
+                    sigma: None,
+                    tau: good,
+                },
+            ),
+            (
+                2,
+                SbftMsg::SignShare {
+                    seq,
+                    view,
+                    sigma: None,
+                    tau: forged,
+                },
+            ),
+        ];
+        // Both pass through (the map never gates acceptance)...
+        assert_eq!(verifier.verify_batch(&batch), vec![true, true]);
+        // ...but the RLC fallback records only the honest share.
+        assert!(map.all_preverified(seq, view, ShareKind::Tau, [&good.index()]));
+        assert!(!map.all_preverified(seq, view, ShareKind::Tau, [&forged.index()]));
+    }
+
+    #[test]
+    fn share_map_view_retention_drops_stale_views() {
+        let map = ShareVerifyMap::new();
+        let h = sha256(b"h");
+        map.publish_digest(SeqNum::new(1), ViewNum::ZERO, h);
+        map.record(SeqNum::new(1), ViewNum::ZERO, 0, ShareKind::Tau);
+        map.publish_digest(SeqNum::new(1), ViewNum::new(2), h);
+        map.record(SeqNum::new(1), ViewNum::new(2), 0, ShareKind::Tau);
+        map.retain_views_from(ViewNum::new(2));
+        assert_eq!(map.len(), (1, 1));
+        assert!(map.digest(SeqNum::new(1), ViewNum::ZERO).is_none());
+        assert!(map.digest(SeqNum::new(1), ViewNum::new(2)).is_some());
     }
 
     #[test]

@@ -348,6 +348,7 @@ impl<M: SimMessage> Simulation<M> {
             actions: Vec::new(),
             cpu_charged: SimDuration::ZERO,
             next_timer_id: &mut self.next_timer_id,
+            wall_start: None,
         };
         f(slot.node.as_mut(), &mut ctx);
         let cpu = (ctx.cpu_charged + self.runtime.per_message_overhead)

@@ -84,6 +84,10 @@ pub struct Context<'a, M> {
     pub(crate) actions: Vec<Action<M>>,
     pub(crate) cpu_charged: SimDuration,
     pub(crate) next_timer_id: &'a mut u64,
+    /// When set, [`Context::real_elapsed_ns`] reports wall-clock time
+    /// since this handler invocation began. `None` in the simulator (and
+    /// by default) so handlers stay deterministic.
+    pub(crate) wall_start: Option<std::time::Instant>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -110,7 +114,25 @@ impl<'a, M> Context<'a, M> {
             actions: Vec::new(),
             cpu_charged: SimDuration::ZERO,
             next_timer_id,
+            wall_start: None,
         }
+    }
+
+    /// Arms [`Context::real_elapsed_ns`]: wall-clock runtimes call this
+    /// right after building the context so in-handler durations (block
+    /// execution, share combination) become observable to tracers. The
+    /// simulator never enables it — handlers stay deterministic there.
+    pub fn enable_wall_clock(&mut self) {
+        self.wall_start = Some(std::time::Instant::now());
+    }
+
+    /// Nanoseconds of real time since this handler invocation started,
+    /// or 0 when wall-clock observation is disabled (the default, and
+    /// always in the simulator).
+    pub fn real_elapsed_ns(&self) -> u64 {
+        self.wall_start
+            .map(|start| start.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
     }
 
     /// Applies a clock skew to this context: subsequent [`Context::now`]

@@ -8,6 +8,8 @@ use sbft_types::{Digest, SeqNum};
 use sbft_crypto::{sha256, MerkleTree};
 use sbft_wire::{DecodeError, Decoder, Encoder, Wire};
 
+use crate::exec::{execute_ops_parallel, OpExecutor, PlannedOp, WavePool, WriteCmd};
+use crate::rwset::ReadWriteSet;
 use crate::service::{
     combine_state_digest, results_tree, BlockExecution, ExecutionProof, RawOp, Service,
 };
@@ -301,6 +303,111 @@ impl KvService {
     }
 }
 
+/// The stateless planning half of [`KvService`] for the parallel
+/// execution pipeline (see [`crate::exec`]): key-value footprints are
+/// statically derivable from the op encoding — the conflict token of a
+/// key is the key itself.
+#[derive(Debug, Clone, Default)]
+pub struct KvPlanner {
+    cost: KvCostModel,
+}
+
+impl KvPlanner {
+    /// Creates a planner mirroring `cost`'s charging rules.
+    pub fn with_cost(cost: KvCostModel) -> Self {
+        KvPlanner { cost }
+    }
+
+    fn declare(op: &KvOp, set: &mut ReadWriteSet) {
+        match op {
+            KvOp::Put { key, .. } | KvOp::Delete { key } => {
+                set.writes.insert(key.clone());
+            }
+            KvOp::Get { key } => {
+                set.reads.insert(key.clone());
+            }
+            KvOp::Noop => {}
+            KvOp::Batch(ops) => {
+                for op in ops {
+                    KvPlanner::declare(op, set);
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`KvService::apply_op`] byte-for-byte, playing writes into a
+    /// private snapshot clone (so batch sub-ops observe each other) while
+    /// recording them for the serial apply phase.
+    fn plan(
+        cost_model: &KvCostModel,
+        state: &mut AuthKv,
+        op: KvOp,
+        out: &mut PlannedOp,
+    ) -> Vec<u8> {
+        out.cost_ns += cost_model.per_op_ns;
+        match op {
+            KvOp::Put { key, value } => {
+                out.cost_ns += cost_model.write_per_byte_ns * (key.len() + value.len()) as u64;
+                let key_hash = *sha256(&key).as_bytes();
+                out.writes.push(WriteCmd::Put {
+                    key_hash,
+                    key: key.clone(),
+                    value: value.clone(),
+                });
+                state
+                    .insert_hashed(key_hash, key, value)
+                    .unwrap_or_default()
+            }
+            KvOp::Get { key } => {
+                let key_hash = *sha256(&key).as_bytes();
+                state
+                    .get_hashed(&key_hash, &key)
+                    .map(<[u8]>::to_vec)
+                    .unwrap_or_default()
+            }
+            KvOp::Delete { key } => {
+                let key_hash = *sha256(&key).as_bytes();
+                out.writes.push(WriteCmd::Delete {
+                    key_hash,
+                    key: key.clone(),
+                });
+                state.remove_hashed(&key_hash, &key).unwrap_or_default()
+            }
+            KvOp::Noop => Vec::new(),
+            KvOp::Batch(ops) => {
+                let mut last = Vec::new();
+                for op in ops {
+                    last = KvPlanner::plan(cost_model, state, op, out);
+                }
+                last
+            }
+        }
+    }
+}
+
+impl OpExecutor for KvPlanner {
+    fn rw_set(&self, op: &[u8]) -> ReadWriteSet {
+        let mut set = ReadWriteSet::empty();
+        if let Ok(op) = KvOp::from_wire_bytes(op) {
+            KvPlanner::declare(&op, &mut set);
+        }
+        set
+    }
+
+    fn plan_op(&self, state: &AuthKv, op: &[u8]) -> PlannedOp {
+        let mut out = PlannedOp::default();
+        match KvOp::from_wire_bytes(op) {
+            Ok(op) => {
+                let mut scratch = state.clone();
+                out.result = KvPlanner::plan(&self.cost, &mut scratch, op, &mut out);
+            }
+            // Same deterministic no-op as the serial path.
+            Err(_) => out.cost_ns = self.cost.per_op_ns,
+        }
+        out
+    }
+}
+
 impl Service for KvService {
     fn execute_block(&mut self, seq: SeqNum, ops: &[RawOp]) -> BlockExecution {
         assert_eq!(
@@ -315,6 +422,49 @@ impl Service for KvService {
             results.push(result);
             cpu += cost;
         }
+        let tree = results_tree(ops, &results);
+        let results_root = tree.root();
+        let state_root = self.state.root();
+        let digest = combine_state_digest(seq, &state_root, &results_root);
+        self.executed.insert(
+            seq.get(),
+            ExecutedBlock {
+                state_root,
+                results_tree: tree,
+                results: results.clone(),
+            },
+        );
+        self.last_executed = seq;
+        self.last_digest = digest;
+        BlockExecution {
+            seq,
+            state_digest: digest,
+            state_root,
+            results_root,
+            results,
+            cpu_cost_ns: cpu,
+        }
+    }
+
+    fn execute_block_parallel(
+        &mut self,
+        seq: SeqNum,
+        ops: &[RawOp],
+        pool: &WavePool,
+    ) -> BlockExecution {
+        if pool.threads() <= 1 {
+            return self.execute_block(seq, ops);
+        }
+        assert_eq!(
+            seq,
+            self.last_executed.next(),
+            "blocks execute in sequence order"
+        );
+        let planner: std::sync::Arc<dyn OpExecutor> =
+            std::sync::Arc::new(KvPlanner::with_cost(self.cost.clone()));
+        let block = execute_ops_parallel(&mut self.state, ops, &planner, pool);
+        let results = block.results;
+        let cpu = self.cost.commit_ns + block.cost_ns;
         let tree = results_tree(ops, &results);
         let results_root = tree.root();
         let state_root = self.state.root();
@@ -520,6 +670,88 @@ mod tests {
         let big_value = "x".repeat(10_000);
         let big = svc.execute_block(SeqNum::new(2), &[put("k", &big_value)]);
         assert!(big.cpu_cost_ns > small.cpu_cost_ns);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use sbft_crypto::SplitMix64;
+
+    /// Random op over a deliberately small key space so blocks mix
+    /// conflicting and independent ops (and some malformed bytes).
+    fn random_op(rng: &mut SplitMix64, depth: usize) -> Vec<u8> {
+        fn key(rng: &mut SplitMix64) -> Vec<u8> {
+            format!("key-{}", rng.next_u64() % 13).into_bytes()
+        }
+        fn value(rng: &mut SplitMix64) -> Vec<u8> {
+            let len = (rng.next_u64() % 24) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        }
+        let op = match rng.next_u64() % if depth == 0 { 7 } else { 6 } {
+            0 | 1 => KvOp::Put {
+                key: key(rng),
+                value: value(rng),
+            },
+            2 | 3 => KvOp::Get { key: key(rng) },
+            4 => KvOp::Delete { key: key(rng) },
+            5 => KvOp::Noop,
+            _ => {
+                let len = 1 + (rng.next_u64() % 5) as usize;
+                return if rng.next_u64() % 4 == 0 {
+                    // Malformed bytes: must stay a deterministic no-op.
+                    vec![0xfe; len]
+                } else {
+                    KvOp::Batch(
+                        (0..len)
+                            .map(|_| {
+                                let sub = random_op(rng, depth + 1);
+                                KvOp::from_wire_bytes(&sub).unwrap_or(KvOp::Noop)
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                    .to_wire_bytes()
+                };
+            }
+        };
+        op.to_wire_bytes()
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let mut rng = SplitMix64::new(0x5bf7_0001);
+        let mut serial = KvService::new();
+        let pools: Vec<WavePool> = vec![WavePool::new(2), WavePool::new(4)];
+        let mut parallel: Vec<KvService> = pools.iter().map(|_| KvService::new()).collect();
+        for block in 1..=24u64 {
+            let op_count = 1 + (rng.next_u64() % 40) as usize;
+            let ops: Vec<RawOp> = (0..op_count).map(|_| random_op(&mut rng, 0)).collect();
+            let seq = SeqNum::new(block);
+            let expected = serial.execute_block(seq, &ops);
+            for (svc, pool) in parallel.iter_mut().zip(&pools) {
+                let got = svc.execute_block_parallel(seq, &ops, pool);
+                assert_eq!(got, expected, "block {block} diverged from serial");
+                assert_eq!(svc.state().root(), serial.state().root());
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_takes_the_serial_path() {
+        let pool = WavePool::new(1);
+        let mut a = KvService::new();
+        let mut b = KvService::new();
+        let ops = vec![
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .to_wire_bytes(),
+            KvOp::Get { key: b"k".to_vec() }.to_wire_bytes(),
+        ];
+        let ea = a.execute_block(SeqNum::new(1), &ops);
+        let eb = b.execute_block_parallel(SeqNum::new(1), &ops, &pool);
+        assert_eq!(ea, eb);
     }
 }
 

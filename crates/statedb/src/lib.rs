@@ -16,13 +16,21 @@
 //!   ([`StateChunk`], [`ChunkAssembler`]) for replicas that fall behind
 //!   (§VIII).
 
+mod exec;
 mod kv;
 mod ledger;
+mod rwset;
 mod service;
 mod trie;
 
-pub use kv::{verify_authenticated_read, AuthenticatedRead, KvCostModel, KvOp, KvService};
+pub use exec::{
+    execute_ops_parallel, plan_waves, OpExecutor, ParallelBlock, PlannedOp, WavePool, WriteCmd,
+};
+pub use kv::{
+    verify_authenticated_read, AuthenticatedRead, KvCostModel, KvOp, KvPlanner, KvService,
+};
 pub use ledger::{Block, Checkpoint, ChunkAssembler, Ledger, StateChunk};
+pub use rwset::ReadWriteSet;
 pub use service::{
     block_hash, combine_state_digest, op_digest, results_tree, verify_execution, BlockArtifacts,
     BlockExecution, ExecutionProof, RawOp, Service,

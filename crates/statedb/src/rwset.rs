@@ -1,0 +1,124 @@
+//! Read/write-set declarations for block operations.
+//!
+//! The execution pipeline runs ops of one committed block in parallel
+//! when their declared footprints cannot overlap. Each op declares the
+//! *conflict tokens* it may read and write — for the key-value service a
+//! token is the key itself; the EVM service declares per-account tokens
+//! (one per touched address) with a conservative whole-state fallback
+//! for ops whose footprint is state-dependent (contract creation).
+//!
+//! Soundness rule: a declaration must cover everything the op could
+//! possibly touch. Over-declaring only costs parallelism; under-declaring
+//! would break the serial-equivalence guarantee the scheduler provides.
+
+use std::collections::BTreeSet;
+
+/// The declared footprint of one operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadWriteSet {
+    /// Tokens the op may read.
+    pub reads: BTreeSet<Vec<u8>>,
+    /// Tokens the op may write.
+    pub writes: BTreeSet<Vec<u8>>,
+    /// Conservative fallback: the op may touch anything. A whole-state op
+    /// conflicts with every other op, so it executes alone in its wave.
+    pub whole_state: bool,
+}
+
+impl ReadWriteSet {
+    /// An empty footprint (no-ops, malformed ops executed as no-ops).
+    pub fn empty() -> Self {
+        ReadWriteSet::default()
+    }
+
+    /// The conservative whole-state footprint.
+    pub fn whole_state() -> Self {
+        ReadWriteSet {
+            whole_state: true,
+            ..ReadWriteSet::default()
+        }
+    }
+
+    /// A footprint reading one token.
+    pub fn read(token: impl Into<Vec<u8>>) -> Self {
+        let mut set = ReadWriteSet::default();
+        set.reads.insert(token.into());
+        set
+    }
+
+    /// A footprint writing one token.
+    pub fn write(token: impl Into<Vec<u8>>) -> Self {
+        let mut set = ReadWriteSet::default();
+        set.writes.insert(token.into());
+        set
+    }
+
+    /// Merges another footprint into this one (client-side batches).
+    pub fn union(&mut self, other: &ReadWriteSet) {
+        self.whole_state |= other.whole_state;
+        if self.whole_state {
+            // Token sets are irrelevant once the fallback triggers; drop
+            // them so a batch of many ops cannot balloon the declaration.
+            self.reads.clear();
+            self.writes.clear();
+            return;
+        }
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+    }
+
+    /// Two ops conflict when either may write a token the other touches.
+    /// Conflicting ops must execute in block order; non-conflicting ops
+    /// commute and may share a wave.
+    pub fn conflicts_with(&self, other: &ReadWriteSet) -> bool {
+        if self.whole_state || other.whole_state {
+            return true;
+        }
+        fn intersects(a: &BTreeSet<Vec<u8>>, b: &BTreeSet<Vec<u8>>) -> bool {
+            // Iterate the smaller set; lookups in the larger are O(log n).
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            small.iter().any(|t| large.contains(t))
+        }
+        intersects(&self.writes, &other.writes)
+            || intersects(&self.writes, &other.reads)
+            || intersects(&self.reads, &other.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_commute_writes_do_not() {
+        let ra = ReadWriteSet::read(b"k".to_vec());
+        let rb = ReadWriteSet::read(b"k".to_vec());
+        let w = ReadWriteSet::write(b"k".to_vec());
+        let w_other = ReadWriteSet::write(b"x".to_vec());
+        assert!(!ra.conflicts_with(&rb), "read-read commutes");
+        assert!(ra.conflicts_with(&w), "read-write conflicts");
+        assert!(w.conflicts_with(&ra), "write-read conflicts");
+        assert!(w.conflicts_with(&w), "write-write conflicts");
+        assert!(!w.conflicts_with(&w_other), "disjoint writes commute");
+        assert!(!ReadWriteSet::empty().conflicts_with(&w), "no-op commutes");
+    }
+
+    #[test]
+    fn whole_state_conflicts_with_everything() {
+        let any = ReadWriteSet::whole_state();
+        assert!(any.conflicts_with(&ReadWriteSet::empty()));
+        assert!(ReadWriteSet::empty().conflicts_with(&any));
+        assert!(any.conflicts_with(&any));
+    }
+
+    #[test]
+    fn union_accumulates_and_saturates() {
+        let mut set = ReadWriteSet::read(b"a".to_vec());
+        set.union(&ReadWriteSet::write(b"b".to_vec()));
+        assert_eq!(set.reads.len(), 1);
+        assert_eq!(set.writes.len(), 1);
+        set.union(&ReadWriteSet::whole_state());
+        assert!(set.whole_state);
+        assert!(set.reads.is_empty() && set.writes.is_empty());
+    }
+}

@@ -173,6 +173,21 @@ pub trait Service {
     /// to `D_s`, and returns outputs + the signed state digest.
     fn execute_block(&mut self, seq: SeqNum, ops: &[RawOp]) -> BlockExecution;
 
+    /// Like [`Service::execute_block`], but services that support
+    /// intra-block parallelism may run non-conflicting ops concurrently on
+    /// `pool` (see [`crate::exec`]). The outputs must be byte-identical to
+    /// the serial path regardless of the pool's thread count; the default
+    /// simply ignores the pool.
+    fn execute_block_parallel(
+        &mut self,
+        seq: SeqNum,
+        ops: &[RawOp],
+        pool: &crate::exec::WavePool,
+    ) -> BlockExecution {
+        let _ = pool;
+        self.execute_block(seq, ops)
+    }
+
     /// The digest of the current state (after the last executed block).
     fn state_digest(&self) -> Digest;
 

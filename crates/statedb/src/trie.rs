@@ -17,9 +17,14 @@
 //! re-hash). A block that touches a hot path through the trie many times
 //! pays for one digest recomputation of that path per block, not one per
 //! operation — the execute loop's root caching the replica relies on.
+//!
+//! Nodes are `Arc`-counted with `OnceLock` digest cells, so [`AuthKv`] is
+//! `Send + Sync`: the execution pipeline ships O(1) snapshots across
+//! threads and wave workers read one snapshot concurrently (see
+//! [`crate::exec`]). Mutation still requires `&mut AuthKv` — concurrency
+//! is over immutable snapshots, never shared writes.
 
-use std::cell::OnceCell;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 use sbft_types::Digest;
 
@@ -66,13 +71,13 @@ enum Node {
         key_hash: [u8; 32],
         key: Vec<u8>,
         value: Vec<u8>,
-        digest: OnceCell<Digest>,
+        digest: OnceLock<Digest>,
     },
     Branch {
         crit_bit: u16,
-        left: Rc<Node>,
-        right: Rc<Node>,
-        digest: OnceCell<Digest>,
+        left: Arc<Node>,
+        right: Arc<Node>,
+        digest: OnceLock<Digest>,
     },
 }
 
@@ -94,21 +99,21 @@ impl Node {
         }
     }
 
-    fn leaf(key_hash: [u8; 32], key: Vec<u8>, value: Vec<u8>) -> Rc<Node> {
-        Rc::new(Node::Leaf {
+    fn leaf(key_hash: [u8; 32], key: Vec<u8>, value: Vec<u8>) -> Arc<Node> {
+        Arc::new(Node::Leaf {
             key_hash,
             key,
             value,
-            digest: OnceCell::new(),
+            digest: OnceLock::new(),
         })
     }
 
-    fn branch(crit_bit: u16, left: Rc<Node>, right: Rc<Node>) -> Rc<Node> {
-        Rc::new(Node::Branch {
+    fn branch(crit_bit: u16, left: Arc<Node>, right: Arc<Node>) -> Arc<Node> {
+        Arc::new(Node::Branch {
             crit_bit,
             left,
             right,
-            digest: OnceCell::new(),
+            digest: OnceLock::new(),
         })
     }
 
@@ -198,7 +203,7 @@ impl TrieProof {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AuthKv {
-    root: Option<Rc<Node>>,
+    root: Option<Arc<Node>>,
     len: usize,
 }
 
@@ -297,11 +302,11 @@ impl AuthKv {
     }
 
     fn insert_rec(
-        node: Rc<Node>,
+        node: Arc<Node>,
         key_hash: &[u8; 32],
         key: Vec<u8>,
         value: Vec<u8>,
-    ) -> (Rc<Node>, Option<Vec<u8>>) {
+    ) -> (Arc<Node>, Option<Vec<u8>>) {
         // Where does the new key's hash first diverge from this subtree?
         // (The sample leaf shares the subtree's prefix up to its crit bit.)
         let diff = first_diff_bit(node.sample_hash(), key_hash);
@@ -376,7 +381,7 @@ impl AuthKv {
         }
     }
 
-    fn remove_rec(node: Rc<Node>, key_hash: &[u8; 32], key: &[u8]) -> RemoveOutcome {
+    fn remove_rec(node: Arc<Node>, key_hash: &[u8; 32], key: &[u8]) -> RemoveOutcome {
         match &*node {
             Node::Leaf {
                 key: leaf_key,
@@ -475,8 +480,8 @@ impl AuthKv {
 }
 
 enum RemoveOutcome {
-    NotFound(Rc<Node>),
-    Removed(Option<Rc<Node>>, Vec<u8>),
+    NotFound(Arc<Node>),
+    Removed(Option<Arc<Node>>, Vec<u8>),
 }
 
 /// Iterator over the trie's entries.

@@ -82,6 +82,13 @@ pub struct ClusterSpec {
     /// (`verify_threads N`). `0` (the default) resolves from the host's
     /// core count at boot; `1` bypasses the pipeline entirely.
     pub verify_threads: usize,
+    /// Execution-pipeline worker threads per replica (`exec_threads N`).
+    /// `0` (the default) resolves from the host's core count at boot;
+    /// `1` keeps block execution inline on the node thread (the
+    /// pre-pipeline path, byte-identical); `>= 2` moves whole-block
+    /// execution onto a dedicated executor thread whose wave pool runs
+    /// that many intra-block workers.
+    pub exec_threads: usize,
     /// Replica listen addresses, indexed by replica id (`0..n`).
     pub replicas: Vec<String>,
     /// Client listen addresses, indexed by client id.
@@ -129,6 +136,7 @@ impl ClusterSpec {
         let mut c = None;
         let mut seed = 0u64;
         let mut verify_threads = 0usize;
+        let mut exec_threads = 0usize;
         let mut variant = VariantName::default();
         let mut profile = TransportProfile::default();
         let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
@@ -144,7 +152,7 @@ impl ClusterSpec {
             let directive = parts.next().expect("non-empty line");
             let args: Vec<&str> = parts.collect();
             match directive {
-                "f" | "c" | "seed" | "verify_threads" => {
+                "f" | "c" | "seed" | "verify_threads" | "exec_threads" => {
                     let [value] = args[..] else {
                         return Err(err(lineno, format!("`{directive}` takes one value")));
                     };
@@ -155,6 +163,7 @@ impl ClusterSpec {
                         "f" => f = Some(parsed as usize),
                         "c" => c = Some(parsed as usize),
                         "verify_threads" => verify_threads = parsed as usize,
+                        "exec_threads" => exec_threads = parsed as usize,
                         _ => seed = parsed,
                     }
                 }
@@ -247,6 +256,7 @@ impl ClusterSpec {
             variant,
             profile,
             verify_threads,
+            exec_threads,
             replicas: replicas.into_values().collect(),
             clients: clients.into_values().collect(),
         })
@@ -264,6 +274,29 @@ impl ClusterSpec {
         }
         std::thread::available_parallelism()
             .map(|cores| cores.get().saturating_sub(1).clamp(1, 4))
+            .unwrap_or(1)
+    }
+
+    /// Resolves `exec_threads` for this host: an explicit value is used
+    /// as-is; `0` (auto) enables the execution pipeline only when the
+    /// host has cores to spare beyond the node thread and the verify
+    /// pool — at least 4, leaving 2 for the executor's wave pool, capped
+    /// at 4 (block-level conflict waves rarely widen past that). Hosts
+    /// with fewer cores resolve to 1, keeping execution inline on the
+    /// node thread — the zero-handoff path is still optimal there.
+    pub fn resolved_exec_threads(&self) -> usize {
+        if self.exec_threads > 0 {
+            return self.exec_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|cores| {
+                let cores = cores.get();
+                if cores >= 4 {
+                    (cores / 2).clamp(2, 4)
+                } else {
+                    1
+                }
+            })
             .unwrap_or(1)
     }
 
@@ -404,6 +437,26 @@ mod tests {
             .unwrap_err()
             .message
             .contains("not a number"));
+    }
+
+    #[test]
+    fn exec_threads_directive_parses_and_resolves() {
+        let spec = ClusterSpec::parse(GOOD).unwrap();
+        assert_eq!(spec.exec_threads, 0, "auto is the default");
+        assert!(
+            spec.resolved_exec_threads() >= 1,
+            "auto resolves to at least the inline path"
+        );
+        let text = format!("exec_threads 4\n{GOOD}");
+        let spec = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(spec.exec_threads, 4);
+        assert_eq!(spec.resolved_exec_threads(), 4, "explicit wins");
+        let inline = format!("exec_threads 1\n{GOOD}");
+        assert_eq!(
+            ClusterSpec::parse(&inline).unwrap().resolved_exec_threads(),
+            1,
+            "1 pins execution inline on the node thread"
+        );
     }
 
     #[test]

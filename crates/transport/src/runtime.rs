@@ -288,6 +288,9 @@ impl<M: SimMessage + Wire> NodeRuntime<M> {
             &mut self.next_timer_id,
         );
         ctx.set_clock_skew(self.clock_skew_ns);
+        // Real sockets → real time: let tracers observe in-handler
+        // durations (the simulator leaves this off for determinism).
+        ctx.enable_wall_clock();
         f(self.node.as_mut(), &mut ctx);
         let effects = ctx.into_effects();
         self.events += 1;

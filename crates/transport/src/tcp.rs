@@ -650,6 +650,19 @@ impl TcpTransport {
         self.shared.telemetry.clone()
     }
 
+    /// A `Send + Sync` handle that feeds self-addressed frames into this
+    /// node's inbound channel from other threads. Off-thread components
+    /// (the execution pool's completion wake) use it to rouse a node
+    /// blocked in [`Self::recv_timeout`]; injected frames flow through
+    /// the same path as network traffic, so they also work when a
+    /// verification pipeline has taken the inbound channel over.
+    pub fn self_injector(&self) -> InboundInjector {
+        InboundInjector {
+            node_id: self.node_id,
+            tx: self.inbound_tx.clone(),
+        }
+    }
+
     /// Enqueues a payload for `to`. Self-sends loop straight back into
     /// the inbound channel. Never blocks: if the peer's queue is full or
     /// the peer is unknown, the message is dropped and counted — the
@@ -690,6 +703,25 @@ impl TcpTransport {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<(NodeId, Vec<u8>)> {
         self.inbound.try_recv().ok()
+    }
+}
+
+/// Cross-thread handle that injects frames into a node's inbound channel
+/// as if the node had sent them to itself (see
+/// [`TcpTransport::self_injector`]). Drops the frame (returning `false`)
+/// if the inbound queue is full — wake-ups are best-effort, and the node
+/// will drain completions on its next poll anyway.
+#[derive(Clone)]
+pub struct InboundInjector {
+    node_id: NodeId,
+    tx: SyncSender<(NodeId, Vec<u8>)>,
+}
+
+impl InboundInjector {
+    /// Pushes a self-addressed payload; `false` if the queue was full or
+    /// the transport has shut down.
+    pub fn inject(&self, payload: Vec<u8>) -> bool {
+        self.tx.try_send((self.node_id, payload)).is_ok()
     }
 }
 

@@ -30,6 +30,10 @@ struct Args {
     /// Overrides the config file's `verify_threads` directive when set
     /// (0 = auto from core count, 1 = pipeline bypassed).
     verify_threads: Option<usize>,
+    /// Overrides the config file's `exec_threads` directive when set
+    /// (0 = auto from core count, 1 = inline execution on the node
+    /// thread, >= 2 = offloaded with that many wave workers).
+    exec_threads: Option<usize>,
     /// Serves the node's metrics registry over HTTP when set
     /// (`/metrics` Prometheus text, `/trace` JSON phase spans).
     metrics_addr: Option<String>,
@@ -41,8 +45,8 @@ enum Role {
 }
 
 const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
-                     [--profile lan|wan] [--verify-threads N] [--metrics-addr host:port] \
-                     [--requests N] [--ops N] [--value-len N]";
+                     [--profile lan|wan] [--verify-threads N] [--exec-threads N] \
+                     [--metrics-addr host:port] [--requests N] [--ops N] [--value-len N]";
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workload = ClientWorkload::default();
     let mut profile = None;
     let mut verify_threads = None;
+    let mut exec_threads = None;
     let mut metrics_addr = None;
     let mut i = 0;
     while i < argv.len() {
@@ -98,6 +103,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --verify-threads")?,
                 )
             }
+            "--exec-threads" => {
+                exec_threads = Some(
+                    value("--exec-threads")?
+                        .parse()
+                        .map_err(|_| "bad --exec-threads")?,
+                )
+            }
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -110,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         workload,
         profile,
         verify_threads,
+        exec_threads,
         metrics_addr,
     })
 }
@@ -128,11 +141,13 @@ fn run_replica(spec: &ClusterSpec, r: usize, metrics_addr: Option<&str>) -> Resu
     let executed_gauge = runtime.registry().gauge("sbft_node_last_executed");
     let stable_gauge = runtime.registry().gauge("sbft_node_last_stable");
     eprintln!(
-        "replica {r}/{} listening on {} ({:?} profile, {} verify workers, view timers armed)",
+        "replica {r}/{} listening on {} ({:?} profile, {} verify workers, {} exec workers, \
+         view timers armed)",
         spec.n(),
         runtime.transport().local_addr(),
         spec.profile,
         runtime.verify_threads(),
+        spec.resolved_exec_threads(),
     );
     let mut last_report = Instant::now();
     loop {
@@ -228,6 +243,9 @@ fn main() -> ExitCode {
     }
     if let Some(threads) = args.verify_threads {
         spec.verify_threads = threads;
+    }
+    if let Some(threads) = args.exec_threads {
+        spec.exec_threads = threads;
     }
     let result = match args.role {
         Role::Replica(r) if r < spec.n() => run_replica(&spec, r, args.metrics_addr.as_deref()),

@@ -13,13 +13,14 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use sbft_core::{
-    make_client, make_replica, KeyMaterial, ProtocolConfig, PublicKeys, ReplicaNode, SbftMsg,
-    SbftPreVerifier, VariantFlags, Workload,
+    make_client, make_replica, ExecPool, KeyMaterial, ProtocolConfig, PublicKeys, ReplicaNode,
+    SbftMsg, SbftPreVerifier, ShareVerifyMap, VariantFlags, Workload,
 };
 use sbft_crypto::CryptoCostModel;
 use sbft_sim::SimDuration;
-use sbft_statedb::KvService;
+use sbft_statedb::{KvService, Service};
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
+use sbft_wire::Wire;
 
 /// Frames one verification worker claims per pass — the amortization
 /// unit for the batched (random-linear-combination) share checks.
@@ -29,27 +30,59 @@ pub const VERIFY_QUEUE: usize = 16_384;
 
 /// Wraps a replica in its runtime, attaching the parallel verification
 /// pipeline when `verify_threads > 1` (and telling the replica to skip
-/// the checks the pipeline now owns). With `verify_threads <= 1` this is
-/// the plain single-threaded runtime — the PR-2 hot path, still optimal
-/// on one core. Shared by [`replica_runtime`], the chaos harness, and
-/// the benches so every backend builds pipelines the same way.
+/// the checks the pipeline now owns) and the execution pipeline when
+/// `exec_threads > 1`. With both knobs at `<= 1` this is the plain
+/// single-threaded runtime — the PR-2 hot path, still optimal on one
+/// core, byte-identical to the pre-pipeline replica. Shared by
+/// [`replica_runtime`], the chaos harness, and the benches so every
+/// backend builds pipelines the same way.
+///
+/// `exec_service` is the executor-side copy of the state machine: the
+/// pool thread owns it outright (the node keeps only digests and reply
+/// artifacts), so it must start from the same genesis state the replica
+/// was built with. It is only consumed when `exec_threads > 1`.
 pub fn replica_runtime_with_pipeline(
     mut replica: ReplicaNode,
     transport: TcpTransport,
     seed: u64,
     public: Arc<PublicKeys>,
     verify_threads: usize,
+    exec_threads: usize,
+    exec_service: impl FnOnce() -> Box<dyn Service + Send>,
 ) -> NodeRuntime<SbftMsg> {
     // Phase tracing rides the transport's shared registry: the replica
     // stamps request lifecycles, the introspection endpoint reads them.
     replica.set_tracer(transport.registry().tracer());
+    if exec_threads > 1 {
+        // Completion wake: the executor injects a self-addressed
+        // `ExecuteReady` frame into the node's inbound channel, rousing
+        // a node thread parked in `recv_timeout`. The frame flows
+        // through the verify pipeline like any other message (the
+        // pre-verifier passes it; the replica only honours it from
+        // itself).
+        let injector = transport.self_injector();
+        let payload = SbftMsg::ExecuteReady.to_wire_bytes();
+        let pool = ExecPool::new(
+            exec_service(),
+            exec_threads,
+            Box::new(move || {
+                injector.inject(payload.clone());
+            }),
+        );
+        replica.offload_execution(pool);
+    }
     if verify_threads > 1 {
         replica.set_inbound_preverified(true);
+        // Slot-digest map shared between the replica (publishes digests
+        // at pre-prepare, consumes pre-verified shares at combine time)
+        // and the pipeline workers (record σ/τ shares they checked).
+        let shares = Arc::new(ShareVerifyMap::default());
+        replica.set_share_map(Arc::clone(&shares));
         NodeRuntime::with_verify_pool(
             Box::new(replica),
             transport,
             seed,
-            Arc::new(SbftPreVerifier::new(public)),
+            Arc::new(SbftPreVerifier::new(public).with_shares(shares)),
             verify_threads,
             VERIFY_BATCH,
             VERIFY_QUEUE,
@@ -168,6 +201,8 @@ pub fn replica_runtime(
         spec.seed ^ (r as u64).wrapping_mul(0x9e3779b97f4a7c15),
         keys.public.clone(),
         spec.resolved_verify_threads(),
+        spec.resolved_exec_threads(),
+        || Box::new(KvService::new()),
     ))
 }
 

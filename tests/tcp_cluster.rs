@@ -39,20 +39,22 @@ impl TcpCluster {
     /// ports, plus listeners for `clients` clients (returned for the
     /// caller to drive).
     fn boot(f: usize, c: usize, clients: usize, seed: u64) -> (TcpCluster, Vec<TcpListener>) {
-        // `verify_threads 1` bypasses the verification pipeline: these
-        // tests cover the zero-handoff direct path; the pipelined path
-        // has its own test below.
-        TcpCluster::boot_with_verify_threads(f, c, clients, seed, 1)
+        // `verify_threads 1` / `exec_threads 1` bypass both pipelines:
+        // these tests cover the zero-handoff direct path; the pipelined
+        // paths have their own tests below.
+        TcpCluster::boot_with_pipelines(f, c, clients, seed, 1, 1)
     }
 
-    /// [`TcpCluster::boot`] with an explicit verification-pipeline width
-    /// (`>1` enables the worker pool inside every replica runtime).
-    fn boot_with_verify_threads(
+    /// [`TcpCluster::boot`] with explicit verification- and
+    /// execution-pipeline widths (`>1` enables the respective worker
+    /// pool inside every replica runtime).
+    fn boot_with_pipelines(
         f: usize,
         c: usize,
         clients: usize,
         seed: u64,
         verify_threads: usize,
+        exec_threads: usize,
     ) -> (TcpCluster, Vec<TcpListener>) {
         let n = 3 * f + 2 * c + 1;
         let bind = |count: usize| -> (Vec<TcpListener>, Vec<String>) {
@@ -68,7 +70,7 @@ impl TcpCluster {
         let (replica_listeners, replica_addrs) = bind(n);
         let (client_listeners, client_addrs) = bind(clients);
         let config_text = format!(
-            "verify_threads {verify_threads}\n{}",
+            "verify_threads {verify_threads}\nexec_threads {exec_threads}\n{}",
             loopback_config(f, c, seed, &replica_addrs, &client_addrs)
         );
         let spec = ClusterSpec::parse(&config_text).expect("generated config parses");
@@ -197,7 +199,7 @@ fn four_replica_tcp_cluster_commits_fast_path() {
 #[test]
 fn four_replica_cluster_commits_with_verify_pipeline() {
     const REQUESTS: usize = 30;
-    let (cluster, mut client_listeners) = TcpCluster::boot_with_verify_threads(1, 0, 1, 0x91e3, 3);
+    let (cluster, mut client_listeners) = TcpCluster::boot_with_pipelines(1, 0, 1, 0x91e3, 3, 1);
     let workload = ClientWorkload {
         requests: REQUESTS,
         ..ClientWorkload::default()
@@ -224,6 +226,84 @@ fn four_replica_cluster_commits_with_verify_pipeline() {
     assert!(
         reports.iter().all(|r| r.last_executed >= 1),
         "every replica must have executed through the pipeline"
+    );
+}
+
+/// Acceptance: the cluster with block execution offloaded to a dedicated
+/// executor thread (2 wave workers) commits the full workload on the
+/// direct inbound path — the node thread hands committed blocks to the
+/// pool, parks in `recv_timeout`, and is woken by the executor's
+/// self-addressed `ExecuteReady` frame; replies still go out in order
+/// and agreement holds.
+#[test]
+fn four_replica_cluster_commits_with_execution_offload() {
+    const REQUESTS: usize = 30;
+    let (cluster, mut client_listeners) = TcpCluster::boot_with_pipelines(1, 0, 1, 0x5ec0, 1, 2);
+    let workload = ClientWorkload {
+        requests: REQUESTS,
+        ops_per_request: 4,
+        ..ClientWorkload::default()
+    };
+    let mut client = client_runtime(
+        &cluster.spec,
+        0,
+        &workload,
+        Some(client_listeners.remove(0)),
+    )
+    .expect("client boots");
+    let finished = client.run_until(Duration::from_secs(60), Duration::from_millis(20), |rt| {
+        rt.node_as::<ClientNode>().expect("client node").completed >= REQUESTS as u64
+    });
+    let completed = client
+        .node_as::<ClientNode>()
+        .expect("client node")
+        .completed;
+    assert!(finished, "only {completed}/{REQUESTS} requests committed");
+    assert_eq!(client.decode_errors(), 0);
+
+    let reports = cluster.stop();
+    assert_agreement(&reports);
+    assert!(
+        reports.iter().all(|r| r.last_executed >= 1),
+        "every replica must have executed through the exec pool"
+    );
+}
+
+/// Acceptance: both pipelines at once — inbound frames decode and
+/// pre-verify on the verify pool (σ/τ shares recorded against published
+/// slot digests), committed blocks execute on the exec pool, and the
+/// `ExecuteReady` wake flows through the verification pipeline like any
+/// other frame. The node thread is left doing only protocol bookkeeping.
+#[test]
+fn four_replica_cluster_commits_with_both_pipelines() {
+    const REQUESTS: usize = 30;
+    let (cluster, mut client_listeners) = TcpCluster::boot_with_pipelines(1, 0, 1, 0xb07f, 2, 2);
+    let workload = ClientWorkload {
+        requests: REQUESTS,
+        ..ClientWorkload::default()
+    };
+    let mut client = client_runtime(
+        &cluster.spec,
+        0,
+        &workload,
+        Some(client_listeners.remove(0)),
+    )
+    .expect("client boots");
+    let finished = client.run_until(Duration::from_secs(60), Duration::from_millis(20), |rt| {
+        rt.node_as::<ClientNode>().expect("client node").completed >= REQUESTS as u64
+    });
+    let completed = client
+        .node_as::<ClientNode>()
+        .expect("client node")
+        .completed;
+    assert!(finished, "only {completed}/{REQUESTS} requests committed");
+    assert_eq!(client.decode_errors(), 0);
+
+    let reports = cluster.stop();
+    assert_agreement(&reports);
+    assert!(
+        reports.iter().all(|r| r.last_executed >= 1),
+        "every replica must have executed with both pipelines active"
     );
 }
 
