@@ -11,7 +11,9 @@
 //! with that many wave workers), `--json PATH` (machine-readable
 //! result file, default `BENCH_loopback.json`), `--no-json`, `--no-trace`
 //! (disable per-request phase tracing — the A/B switch for measuring the
-//! telemetry layer's overhead).
+//! telemetry layer's overhead), `--data-dir <dir>` (durable WAL +
+//! checkpoint snapshots at the default `batch:8` fsync — the A/B switch
+//! for measuring the durability layer's overhead).
 //!
 //! Every run emits the perf-trajectory record `BENCH_loopback.json`
 //! (req/s, latency percentiles, process-CPU µs per request, thread
@@ -45,6 +47,15 @@ struct Args {
     /// Per-request phase tracing on the replicas (`--no-trace` turns it
     /// off; comparing the two runs measures the tracer's overhead).
     trace: bool,
+    /// Base directory for durable replica state (WAL + snapshots at the
+    /// deploy default `fsync batch:8`). Each sweep point gets its own
+    /// subdirectory (fresh clusters must not recover each other's
+    /// state). Unset = in-memory, the pre-durability baseline.
+    data_dir: Option<String>,
+    /// Fsync policy for `--data-dir` runs (`always` | `never` |
+    /// `batch[:N]`); unset keeps the deploy default. A/B against
+    /// `never` isolates the fsync stalls from the logging cost itself.
+    fsync: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +70,8 @@ fn parse_args() -> Args {
         exec_threads: 0,
         json_path: Some("BENCH_loopback.json".to_string()),
         trace: true,
+        data_dir: None,
+        fsync: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -107,6 +120,14 @@ fn parse_args() -> Args {
                 args.json_path = Some(argv.get(i).expect("--json needs a path").clone());
             }
             "--no-json" => args.json_path = None,
+            "--data-dir" => {
+                i += 1;
+                args.data_dir = Some(argv.get(i).expect("--data-dir needs a path").clone());
+            }
+            "--fsync" => {
+                i += 1;
+                args.fsync = Some(argv.get(i).expect("--fsync needs a policy").clone());
+            }
             "--no-trace" => args.trace = false,
             "--verbose" => args.verbose = true,
             "--clients" => {
@@ -241,8 +262,15 @@ fn fold_phases(
 fn measure(clients: usize, args: &Args) -> Point {
     let (replica_listeners, replica_addrs) = bind(4);
     let (client_listeners, client_addrs) = bind(clients);
+    let durability = match &args.data_dir {
+        Some(base) => match &args.fsync {
+            Some(policy) => format!("data_dir {base}/c{clients}\nfsync {policy}\n"),
+            None => format!("data_dir {base}/c{clients}\n"),
+        },
+        None => String::new(),
+    };
     let config_text = format!(
-        "verify_threads {}\nexec_threads {}\n{}",
+        "verify_threads {}\nexec_threads {}\n{durability}{}",
         args.verify_threads,
         args.exec_threads,
         loopback_config(1, 0, 0x5bf7, &replica_addrs, &client_addrs),

@@ -297,12 +297,17 @@ pub fn canonical_plans() -> Vec<FaultPlan> {
 
     // 14. (sim-only) Deaf replica: an outage long enough that peer
     // retransmissions expire — §VIII state transfer must resync it.
+    // The checkpoint period must elapse *before* the heal: peers then
+    // hold a GC'd checkpoint past the deaf replica's frontier, so block
+    // fills alone cannot close the gap and the serve is forced onto the
+    // chunked-transfer path. (With a longer period the startup recovery
+    // handshake would legitimately heal the lag with fills only.)
     let mut plan = base(
         "deaf-replica-state-transfer",
         "replica loses 1.5s of traffic outright; must resync via state transfer",
     );
     plan.window = Some(32);
-    plan.checkpoint_period = Some(16);
+    plan.checkpoint_period = Some(8);
     plan.horizon_ms = 2_000;
     plan.events = vec![at(
         0,
@@ -355,6 +360,49 @@ pub fn canonical_plans() -> Vec<FaultPlan> {
         at(1_200, Fault::Crash { replica: 2 }),
         at(1_650, Fault::Restart { replica: 2 }),
     ];
+    plan.max_final_lag = Some(64);
+    plans.push(plan);
+
+    // 17. Crash with an intact disk: the replica reboots with its WAL
+    // and checkpoint snapshot surviving, recovers locally from them
+    // (the `durable_recoveries` floor proves the disk was actually
+    // read, wherever in the log the crash landed), and the startup
+    // handshake covers whatever committed while it was down.
+    let mut plan = base(
+        "restart-intact-disk",
+        "replica reboots with intact WAL+snapshot; local replay then handshake catch-up",
+    );
+    plan.window = Some(32);
+    plan.checkpoint_period = Some(16);
+    plan.horizon_ms = 2_500;
+    plan.events = vec![
+        at(250, Fault::Crash { replica: 3 }),
+        at(1_500, Fault::RestartIntact { replica: 3 }),
+    ];
+    plan.expect_counters = vec![("durable_recoveries", 1)];
+    plan.max_final_lag = Some(64);
+    plans.push(plan);
+
+    // 18. Torn write: while the replica is down, the tail of its commit
+    // WAL is torn mid-record (power-loss semantics). Recovery must
+    // truncate-and-continue — never panic, never diverge — and the
+    // handshake re-fetches whatever the tear lost. (The truncation
+    // counter itself is pinned deterministically in unit tests; a
+    // swarm seed whose crash landed on an empty WAL tail has nothing
+    // to tear, so the plan's bar is surviving + catching up.)
+    let mut plan = base(
+        "torn-write",
+        "crashed replica's WAL tail is torn mid-record; recovery truncates and catches up",
+    );
+    plan.window = Some(32);
+    plan.checkpoint_period = Some(16);
+    plan.horizon_ms = 2_500;
+    plan.events = vec![
+        at(250, Fault::Crash { replica: 3 }),
+        at(800, Fault::TornWal { replica: 3, cut: 7 }),
+        at(1_500, Fault::RestartIntact { replica: 3 }),
+    ];
+    plan.expect_counters = vec![("durable_recoveries", 1)];
     plan.max_final_lag = Some(64);
     plans.push(plan);
 

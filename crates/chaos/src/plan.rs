@@ -33,6 +33,24 @@ pub enum Fault {
         /// Replica to reboot.
         replica: usize,
     },
+    /// Boot a crashed replica **with its disk intact**: the durable
+    /// image (commit WAL + checkpoint snapshot) captured at crash time
+    /// survives into the fresh incarnation, which must recover from it
+    /// locally before the startup handshake covers the rest.
+    RestartIntact {
+        /// Replica to reboot.
+        replica: usize,
+    },
+    /// Tear the last `cut` bytes off a **crashed** replica's commit WAL
+    /// — the torn final write of a power loss. The damage surfaces at
+    /// the victim's next [`Fault::RestartIntact`]: recovery must
+    /// truncate the tail and re-fetch what it lost, never panic.
+    TornWal {
+        /// Victim replica (must currently be crashed).
+        replica: usize,
+        /// Bytes torn off the WAL tail.
+        cut: usize,
+    },
     /// Cut links between two groups until `until_ms`. `one_way` blocks
     /// only `from → to`; otherwise both directions.
     Partition {
@@ -266,6 +284,34 @@ impl FaultPlan {
                     );
                     crashed.remove(pos.expect("checked above"));
                 }
+                Fault::RestartIntact { replica } => {
+                    replica_ok(*replica);
+                    // Same strictly-earlier-crash rule as `Restart`.
+                    let pos = crashed
+                        .iter()
+                        .position(|(r, at)| r == replica && *at < event.at_ms);
+                    assert!(
+                        pos.is_some(),
+                        "plan {}: intact restart of replica {replica} without a strictly \
+                         earlier crash",
+                        self.name
+                    );
+                    crashed.remove(pos.expect("checked above"));
+                }
+                Fault::TornWal { replica, .. } => {
+                    replica_ok(*replica);
+                    // Tearing a live replica's WAL under it races its own
+                    // appends; the fault models post-mortem disk damage,
+                    // so the victim must be down when it fires. The crash
+                    // stays claimed — a following restart still needs it.
+                    assert!(
+                        crashed
+                            .iter()
+                            .any(|(r, at)| r == replica && *at < event.at_ms),
+                        "plan {}: torn WAL on replica {replica} while it is not crashed",
+                        self.name
+                    );
+                }
                 Fault::Partition {
                     from,
                     to,
@@ -330,6 +376,15 @@ pub enum Step {
     Crash(usize),
     /// See [`Fault::Restart`].
     Restart(usize),
+    /// See [`Fault::RestartIntact`].
+    RestartIntact(usize),
+    /// See [`Fault::TornWal`].
+    TornWal {
+        /// Victim replica.
+        replica: usize,
+        /// Bytes torn off the WAL tail.
+        cut: usize,
+    },
     /// Cut the links (the simulator encodes the heal time up front;
     /// TCP heals on the matching [`Step::PartitionHeal`]).
     PartitionStart {
@@ -418,6 +473,8 @@ pub fn timeline(plan: &FaultPlan) -> Vec<(Ms, Step)> {
         match event.fault.clone() {
             Fault::Crash { replica } => steps.push((at, Step::Crash(replica))),
             Fault::Restart { replica } => steps.push((at, Step::Restart(replica))),
+            Fault::RestartIntact { replica } => steps.push((at, Step::RestartIntact(replica))),
+            Fault::TornWal { replica, cut } => steps.push((at, Step::TornWal { replica, cut })),
             Fault::Partition {
                 from,
                 to,
@@ -521,6 +578,35 @@ mod tests {
             at_ms: 100,
             fault: Fault::Restart { replica: 1 },
         }])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "while it is not crashed")]
+    fn torn_wal_on_live_replica_is_rejected() {
+        minimal_plan(vec![FaultEvent {
+            at_ms: 100,
+            fault: Fault::TornWal { replica: 1, cut: 8 },
+        }])
+        .validate();
+    }
+
+    #[test]
+    fn torn_wal_between_crash_and_intact_restart_validates() {
+        minimal_plan(vec![
+            FaultEvent {
+                at_ms: 100,
+                fault: Fault::Crash { replica: 1 },
+            },
+            FaultEvent {
+                at_ms: 200,
+                fault: Fault::TornWal { replica: 1, cut: 8 },
+            },
+            FaultEvent {
+                at_ms: 300,
+                fault: Fault::RestartIntact { replica: 1 },
+            },
+        ])
         .validate();
     }
 

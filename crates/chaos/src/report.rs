@@ -199,4 +199,10 @@ pub const TRACKED_COUNTERS: &[&str] = &[
     "checkpoints",
     "client_retries",
     "client_completed",
+    "recovery_probes",
+    "recovery_completed",
+    "durable_recoveries",
+    "recovered_from_snapshot",
+    "wal_replayed_blocks",
+    "wal_tail_truncations",
 ];

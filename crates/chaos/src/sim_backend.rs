@@ -55,6 +55,13 @@ fn apply(cluster: &mut Cluster, step: &Step) {
         // at the same instant must not be killed by an in-flight event.
         Step::Crash(r) => cluster.sim.crash_node(*r),
         Step::Restart(r) => cluster.restart_replica(*r),
+        Step::RestartIntact(r) => cluster.restart_replica_intact(*r, |_| {}),
+        // The victim is crashed (validated), so its store is quiescent;
+        // the tear surfaces at the next intact restart.
+        Step::TornWal { replica, cut } => {
+            let cut = *cut;
+            cluster.damage_durability(*replica, |image| image.tear_wal_tail(cut));
+        }
         Step::PartitionStart {
             from,
             to,

@@ -11,21 +11,22 @@
 
 use std::collections::HashMap;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use sbft_core::{
-    make_client, make_replica, Behavior, ClientNode, KeyMaterial, ProtocolConfig, ReplicaNode,
-    ReplicaSnapshot, Workload,
+    make_client, make_replica, Behavior, ClientNode, KeyMaterial, ProtocolConfig,
+    ReplicaDurability, ReplicaNode, ReplicaSnapshot, Workload,
 };
 use sbft_crypto::CryptoCostModel;
 use sbft_sim::SimDuration;
-use sbft_statedb::KvService;
+use sbft_statedb::{FsyncPolicy, KvService};
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
 
-use crate::plan::{timeline, FaultPlan, Step};
+use crate::plan::{timeline, Fault, FaultPlan, Step};
 use crate::proxy::ChaosNet;
 use crate::report::{judge, Backend, Outcome, RunReport, TRACKED_COUNTERS};
 
@@ -111,6 +112,7 @@ fn spawn_replica(
     spec: ClusterSpec,
     seed: u64,
     listener: TcpListener,
+    data_dir: Option<PathBuf>,
 ) -> NodeHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let progress = Arc::new(AtomicU64::new(0));
@@ -121,13 +123,22 @@ fn spawn_replica(
         .name(format!("chaos-replica-{r}"))
         .spawn(move || {
             let keys = KeyMaterial::generate(&protocol, spec.seed);
-            let replica = make_replica(
+            let mut replica = make_replica(
                 &protocol,
                 r,
                 &keys,
                 Box::new(KvService::new()),
                 CryptoCostModel::free(),
             );
+            // Disk-fault plans give every replica a real data dir: the
+            // WAL + snapshot live in files, crashes leave them behind,
+            // and intact restarts recover from them like a real reboot.
+            if let Some(dir) = &data_dir {
+                let (durability, recovered) =
+                    ReplicaDurability::on_disk(dir, FsyncPolicy::default())
+                        .expect("chaos data dir opens");
+                replica.set_durability(durability, recovered);
+            }
             let transport = TcpTransport::with_listener(spec.transport_config(r), listener)
                 .expect("replica transport boots");
             let control = transport.control();
@@ -254,6 +265,11 @@ struct TcpRun {
     /// `extra_node_delay` so overlapping Delay faults mean the same
     /// thing on both backends.
     node_delay_ms: Vec<u64>,
+    /// Per-replica on-disk data dirs under a run-private tempdir root —
+    /// only allocated when the plan injects disk faults
+    /// (`RestartIntact` / `TornWal`); `None` keeps every other plan on
+    /// the in-memory store. `(root, per-replica dirs)`.
+    data_dirs: Option<(PathBuf, Vec<PathBuf>)>,
 }
 
 impl TcpRun {
@@ -279,6 +295,10 @@ impl TcpRun {
             // handoff, completion wake, and crash-between-commit-and-ack
             // window are live in every TCP fault schedule.
             exec_threads: 2,
+            // The harness wires durability itself (per-run tempdirs,
+            // only for disk-fault plans), not through the spec.
+            data_dir: None,
+            fsync: None,
             replicas: (0..n).map(|r| net.proxy_addr(r)).collect(),
             clients: (n..total).map(|node| net.proxy_addr(node)).collect(),
         };
@@ -297,6 +317,23 @@ impl TcpRun {
             net.set_forward(node, listener.local_addr()?.to_string());
             Ok(listener)
         };
+        let uses_disk = plan
+            .events
+            .iter()
+            .any(|e| matches!(e.fault, Fault::RestartIntact { .. } | Fault::TornWal { .. }));
+        let data_dirs = if uses_disk {
+            static RUN_ID: AtomicU64 = AtomicU64::new(0);
+            let root = std::env::temp_dir().join(format!(
+                "sbft-chaos-{}-{}",
+                std::process::id(),
+                RUN_ID.fetch_add(1, Ordering::Relaxed)
+            ));
+            let dirs: Vec<PathBuf> = (0..n).map(|r| root.join(format!("replica-{r}"))).collect();
+            Some((root, dirs))
+        } else {
+            None
+        };
+        let replica_dir = |r: usize| data_dirs.as_ref().map(|(_, dirs)| dirs[r].clone());
         let workload = plan.workload();
         let mut replicas = Vec::new();
         for r in 0..n {
@@ -307,6 +344,7 @@ impl TcpRun {
                 spec.clone(),
                 seed,
                 listener,
+                replica_dir(r),
             )));
         }
         let mut clients = Vec::new();
@@ -331,7 +369,12 @@ impl TcpRun {
             clients,
             crashed_exits: Vec::new(),
             node_delay_ms,
+            data_dirs,
         })
+    }
+
+    fn replica_dir(&self, r: usize) -> Option<PathBuf> {
+        self.data_dirs.as_ref().map(|(_, dirs)| dirs[r].clone())
     }
 
     fn total(&self) -> usize {
@@ -358,6 +401,28 @@ impl TcpRun {
         }
     }
 
+    /// Boots a fresh incarnation of a crashed replica on a new port,
+    /// leaving whatever is in its data dir (if any) for recovery.
+    fn respawn(&mut self, r: usize) {
+        if self.replicas[r].is_some() {
+            return; // restarting a live replica is a plan bug; ignore
+        }
+        let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
+            return;
+        };
+        if let Ok(addr) = listener.local_addr() {
+            self.net.set_forward(r, addr.to_string());
+        }
+        self.replicas[r] = Some(spawn_replica(
+            r,
+            self.protocol.clone(),
+            self.spec.clone(),
+            self.seed,
+            listener,
+            self.replica_dir(r),
+        ));
+    }
+
     fn apply(&mut self, step: &Step) {
         match step {
             Step::Crash(r) => {
@@ -367,22 +432,27 @@ impl TcpRun {
                 }
             }
             Step::Restart(r) => {
-                if self.replicas[*r].is_some() {
-                    return; // restarting a live replica is a plan bug; ignore
+                // Empty-state semantics: a plain restart loses the disk
+                // too, so wipe the data dir before the fresh incarnation
+                // opens it.
+                if let Some(dir) = self.replica_dir(*r) {
+                    let _ = std::fs::remove_dir_all(&dir);
                 }
-                let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
-                    return;
-                };
-                if let Ok(addr) = listener.local_addr() {
-                    self.net.set_forward(*r, addr.to_string());
+                self.respawn(*r);
+            }
+            Step::RestartIntact(r) => self.respawn(*r),
+            Step::TornWal { replica, cut } => {
+                // The victim is crashed (validated), so its incarnation
+                // joined and the WAL file handle is closed: tear the
+                // tail off the file directly, like a power loss would.
+                if let Some(dir) = self.replica_dir(*replica) {
+                    let path = sbft_core::persist::wal_path(&dir);
+                    if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+                        if let Ok(meta) = file.metadata() {
+                            let _ = file.set_len(meta.len().saturating_sub(*cut as u64));
+                        }
+                    }
                 }
-                self.replicas[*r] = Some(spawn_replica(
-                    *r,
-                    self.protocol.clone(),
-                    self.spec.clone(),
-                    self.seed,
-                    listener,
-                ));
             }
             Step::PartitionStart {
                 from, to, one_way, ..
@@ -531,6 +601,9 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         .filter_map(|(r, slot)| slot.take().map(|handle| (r, handle.join())))
         .collect();
     run.net.shutdown();
+    if let Some((root, _)) = &run.data_dirs {
+        let _ = std::fs::remove_dir_all(root);
+    }
 
     let snapshots: Vec<ReplicaSnapshot> = replica_exits
         .iter()

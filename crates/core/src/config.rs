@@ -81,6 +81,10 @@ pub struct ProtocolConfig {
     pub checkpoint_period: u64,
     /// Entries per state-transfer chunk.
     pub state_chunk_entries: usize,
+    /// Retry interval for the startup recovery handshake: a rebooted
+    /// replica re-broadcasts its recovery probe (and clears a stuck
+    /// outstanding state request) until f+1 peers confirm its frontier.
+    pub recovery_retry: SimDuration,
     /// Execution-pipeline parallelism: block execution runs on the
     /// machine's spare cores (the paper's replicas have 32 VCPUs and a
     /// separate execution stage, §VIII/§IX), so only `1/parallelism` of
@@ -106,6 +110,7 @@ impl ProtocolConfig {
             view_timeout: SimDuration::from_secs(2),
             checkpoint_period: 128,
             state_chunk_entries: 4096,
+            recovery_retry: SimDuration::from_millis(500),
             execution_parallelism: 16,
         }
     }

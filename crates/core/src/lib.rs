@@ -41,6 +41,7 @@ pub mod config;
 pub mod exec;
 pub mod keys;
 pub mod messages;
+pub mod persist;
 pub mod pipelined;
 pub mod replica;
 pub mod testkit;
@@ -52,6 +53,7 @@ pub use config::{ProtocolConfig, VariantFlags};
 pub use exec::{ExecEngine, ExecOutcome, ExecPool};
 pub use keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
 pub use messages::{ClientRequest, CommitCert, SbftMsg};
+pub use persist::{DurabilityImage, RecoveredState, ReplicaDurability};
 pub use pipelined::{chained_block_digest, select_chain_head, PipelinedChoice, PipelinedSummary};
 pub use replica::{Behavior, ReplicaNode};
 pub use testkit::{

@@ -555,6 +555,25 @@ pub enum SbftMsg {
     /// a node parked in its event loop wakes without polling; replicas
     /// ignore it from anyone but themselves.
     ExecuteReady,
+    /// Rebooting replica → all peers: proactive startup recovery probe.
+    /// Carries the sender's post-reboot execution frontier (after local
+    /// WAL/snapshot recovery); peers answer with [`SbftMsg::RecoveryOffer`]
+    /// and serve state so a replica rejoining a *quiescent* cluster syncs
+    /// without waiting to observe traffic.
+    RecoveryRequest {
+        /// The rebooting replica's execution frontier after local replay.
+        last_executed: SeqNum,
+    },
+    /// Peer → rebooting replica: answer to a [`SbftMsg::RecoveryRequest`]
+    /// stating the peer's own frontier. f+1 offers at or below our own
+    /// frontier prove we are caught up; any offer ahead names a peer to
+    /// pull state from.
+    RecoveryOffer {
+        /// The peer's execution frontier.
+        last_executed: SeqNum,
+        /// The peer's stable-checkpoint sequence.
+        last_stable: SeqNum,
+    },
 }
 
 impl Wire for SbftMsg {
@@ -705,6 +724,18 @@ impl Wire for SbftMsg {
             SbftMsg::ExecuteReady => {
                 enc.put_u8(16);
             }
+            SbftMsg::RecoveryRequest { last_executed } => {
+                enc.put_u8(17);
+                last_executed.encode(enc);
+            }
+            SbftMsg::RecoveryOffer {
+                last_executed,
+                last_stable,
+            } => {
+                enc.put_u8(18);
+                last_executed.encode(enc);
+                last_stable.encode(enc);
+            }
         }
     }
 
@@ -814,6 +845,13 @@ impl Wire for SbftMsg {
                 cert: CommitCert::decode(dec)?,
             }),
             16 => Ok(SbftMsg::ExecuteReady),
+            17 => Ok(SbftMsg::RecoveryRequest {
+                last_executed: SeqNum::decode(dec)?,
+            }),
+            18 => Ok(SbftMsg::RecoveryOffer {
+                last_executed: SeqNum::decode(dec)?,
+                last_stable: SeqNum::decode(dec)?,
+            }),
             _ => Err(DecodeError::InvalidValue {
                 what: "SbftMsg tag",
             }),
@@ -845,6 +883,8 @@ impl SimMessage for SbftMsg {
             SbftMsg::StateChunkMsg { .. } => "state-chunk",
             SbftMsg::BlockFill { .. } => "block-fill",
             SbftMsg::ExecuteReady => "execute-ready",
+            SbftMsg::RecoveryRequest { .. } => "recovery-request",
+            SbftMsg::RecoveryOffer { .. } => "recovery-offer",
         }
     }
 }
@@ -1005,13 +1045,20 @@ mod tests {
                 cert: CommitCert::Fast(sig),
             },
             SbftMsg::ExecuteReady,
+            SbftMsg::RecoveryRequest {
+                last_executed: SeqNum::new(7),
+            },
+            SbftMsg::RecoveryOffer {
+                last_executed: SeqNum::new(8),
+                last_stable: SeqNum::new(6),
+            },
         ];
         for msg in &msgs {
             round_trip(msg);
         }
         // All labels distinct enough for metrics.
         let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
-        assert!(labels.len() >= 15);
+        assert!(labels.len() >= 17);
     }
 
     #[test]

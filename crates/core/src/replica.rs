@@ -23,7 +23,7 @@ use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum};
 use sbft_crypto::{CryptoCostModel, PkiSignature, Signature, SignatureShare};
 use sbft_sim::{Context, Node, NodeId, TimerId};
 use sbft_statedb::{
-    combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, StateChunk,
+    combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, Snapshot, StateChunk,
 };
 use sbft_telemetry::{Phase, PhaseTracer};
 use sbft_wire::{ClientSignature, Wire};
@@ -35,6 +35,7 @@ use crate::messages::{
     block_digest, commit2_digest, ClientRequest, CommitCert, FastEvidence, NewViewMsg, SbftMsg,
     SlowEvidence, VcEntry, ViewChangeMsg,
 };
+use crate::persist::{DurabilityImage, RecoveredState, ReplicaDurability};
 use crate::verify::{ShareKind, ShareVerifyMap};
 use crate::viewchange::{compute_plan, validate_view_change, NewViewPlan, SlotDecision};
 
@@ -48,6 +49,7 @@ mod timer {
     pub const STAGGER_EXEC: u64 = 6;
     pub const WATCHDOG: u64 = 7;
     pub const VC_RETRY: u64 = 8;
+    pub const RECOVERY: u64 = 9;
 
     pub fn token(kind: u64, payload: u64) -> u64 {
         kind | (payload << 8)
@@ -201,6 +203,19 @@ pub struct ReplicaNode {
     chunk_cert: Option<(Digest, Digest, Signature)>,
     state_request_outstanding: bool,
 
+    // Durability & startup recovery.
+    /// Durable backing store (commit WAL + checkpoint snapshots). `None`
+    /// keeps the replica memory-only (the pre-durability behaviour).
+    durability: Option<ReplicaDurability>,
+    /// State recovered from durable media, applied in `on_start` (the
+    /// install/replay needs a context to emit effects).
+    pending_recovery: Option<RecoveredState>,
+    /// Startup recovery handshake: peer → its offered execution
+    /// frontier. f+1 offers at or below our own frontier end recovery.
+    recovery_offers: BTreeMap<usize, u64>,
+    /// True from boot until the handshake confirms we are caught up.
+    recovery_active: bool,
+
     /// Optional per-request phase tracer (see [`Self::set_tracer`]):
     /// stamps each request's lifecycle so end-to-end latency decomposes
     /// into queue / verify / consensus / execute / reply components.
@@ -253,6 +268,10 @@ impl ReplicaNode {
             assembler: ChunkAssembler::new(),
             chunk_cert: None,
             state_request_outstanding: false,
+            durability: None,
+            pending_recovery: None,
+            recovery_offers: BTreeMap::new(),
+            recovery_active: false,
             tracer: None,
         }
     }
@@ -302,6 +321,39 @@ impl ReplicaNode {
     /// to none — stamping costs nothing unless attached.
     pub fn set_tracer(&mut self, tracer: PhaseTracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches the durable backing store plus whatever it recovered at
+    /// open time. Call before the node starts: the snapshot install and
+    /// WAL replay are deferred to `on_start` (they need a context), and
+    /// every commit/checkpoint from then on is logged through the store.
+    pub fn set_durability(&mut self, durability: ReplicaDurability, recovered: RecoveredState) {
+        self.durability = Some(durability);
+        self.pending_recovery = Some(recovered);
+    }
+
+    /// Whether the startup recovery handshake is still in progress.
+    pub fn recovery_active(&self) -> bool {
+        self.recovery_active
+    }
+
+    /// Captures the durable state image (WAL + snapshot bytes), if a
+    /// store is attached — the simulator's "intact disk" across a
+    /// restart.
+    pub fn durability_image(&mut self) -> Option<DurabilityImage> {
+        self.durability.as_mut().map(|d| d.image())
+    }
+
+    /// Mutates the durable bytes in place **without** running recovery —
+    /// chaos fault injection (torn writes, bit flips) against a crashed
+    /// replica's store. Damage surfaces at the next reboot. No-op when
+    /// no store is attached.
+    pub fn damage_durability(&mut self, mutate: impl FnOnce(&mut DurabilityImage)) {
+        if let Some(dur) = &mut self.durability {
+            let mut image = dur.image();
+            mutate(&mut image);
+            dur.overwrite_image(image);
+        }
     }
 
     /// Stamps one lifecycle phase for a request (no-op without an
@@ -1118,6 +1170,7 @@ impl ReplicaNode {
         };
         slot.committed = true;
         let fast_commit = matches!(cert, CommitCert::Fast(_));
+        let cert_logged = cert.clone();
         slot.commit_cert = Some(cert);
         slot.commit_view = Some(view);
         if let Some(t) = slot.fast_timer.take() {
@@ -1136,6 +1189,20 @@ impl ReplicaNode {
             view: view.get(),
             ops: requests.iter().map(|r| r.to_wire_bytes()).collect(),
         });
+        if let Some(dur) = &mut self.durability {
+            // Log the decision as a self-contained block fill (block +
+            // certificate): the exact bytes recovery replays through the
+            // commit path. The certificate was verified before reaching
+            // here, so replay can trust its own log. Fsync batching is
+            // the store's policy; commits already arrive group-batched.
+            let record = SbftMsg::BlockFill {
+                seq,
+                view,
+                requests: requests.clone(),
+                cert: cert_logged,
+            };
+            dur.log_commit(seq.get(), &record.to_wire_bytes());
+        }
         self.try_execute(ctx);
         if self.is_primary() {
             self.maybe_propose(ctx);
@@ -1442,10 +1509,21 @@ impl ReplicaNode {
             return;
         };
         ctx.incr("checkpoints", 1);
+        let state = self.engine.snapshot();
+        if let Some(dur) = &mut self.durability {
+            dur.store_checkpoint(&Snapshot::of_checkpoint(
+                seq,
+                digest,
+                state_root,
+                results_root,
+                Some(pi.to_wire_bytes()),
+                &state,
+            ));
+        }
         self.ledger.install_checkpoint(Checkpoint {
             seq,
             state_digest: digest,
-            state: self.engine.snapshot(),
+            state,
         });
         self.last_stable = seq;
         self.stable_cert = Some((digest, pi));
@@ -1850,12 +1928,27 @@ impl ReplicaNode {
             return; // corrupt transfer; wait for a fresh one
         }
         ctx.incr("state_transfers_completed", 1);
+        // A server sitting exactly at its checkpoint sends no trailing
+        // block fills, so the install itself must release the latch.
+        self.state_request_outstanding = false;
         ctx.charge_cpu_ns(self.cost.hash(64 * state.len()));
         self.engine.install(state.clone(), seq, digest);
         self.last_executed = seq;
         self.last_stable = seq;
         self.stable_cert = Some((digest, pi));
         self.stable_roots = Some((state_root, results_root));
+        if let Some(dur) = &mut self.durability {
+            // A transferred checkpoint is durable too: a crash right
+            // after catching up must not repeat the whole transfer.
+            dur.store_checkpoint(&Snapshot::of_checkpoint(
+                seq,
+                digest,
+                state_root,
+                results_root,
+                Some(pi.to_wire_bytes()),
+                &state,
+            ));
+        }
         self.ledger.install_checkpoint(Checkpoint {
             seq,
             state_digest: digest,
@@ -1871,6 +1964,7 @@ impl ReplicaNode {
             }
         }
         self.try_execute(ctx);
+        self.check_recovery_done(ctx);
     }
 
     fn handle_block_fill(
@@ -1881,6 +1975,12 @@ impl ReplicaNode {
         requests: Vec<ClientRequest>,
         cert: CommitCert,
     ) {
+        // Any fill means a serve round-trip finished: drop the
+        // outstanding-request latch even when this block is stale (we
+        // may have caught up through the normal path while the serve
+        // was in flight) — a latch that only clears on a *useful* fill
+        // can stick forever and swallow every later transfer request.
+        self.state_request_outstanding = false;
         if seq.get() <= self.last_executed.get() {
             return;
         }
@@ -1911,7 +2011,172 @@ impl ReplicaNode {
             slot.h = Some(h);
         }
         self.commit(ctx, seq, view, cert);
-        self.state_request_outstanding = false;
+        self.check_recovery_done(ctx);
+    }
+
+    // ---------- durability & startup recovery ----------
+
+    /// Applies state recovered from durable media: installs the
+    /// snapshot checkpoint, then replays the WAL tail through the
+    /// commit path. Replay is trusted — every logged certificate was
+    /// verified before it reached the WAL, and the CRC layer already
+    /// rejected damaged records — so it skips re-verification by
+    /// entering at [`Self::commit`] directly.
+    fn apply_recovery(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        let Some(recovered) = self.pending_recovery.take() else {
+            return;
+        };
+        if recovered.wal_damage.is_some() {
+            ctx.incr("wal_tail_truncations", 1);
+        }
+        if !recovered.is_empty() {
+            // Aggregate signal for chaos plans: *something* durable was
+            // applied at boot. The per-mechanism counters below can each
+            // legitimately be zero (a crash landing exactly on a
+            // checkpoint boundary leaves an empty WAL tail; a crash
+            // before the first checkpoint leaves no snapshot).
+            ctx.incr("durable_recoveries", 1);
+        }
+        if let Some(snap) = recovered.snapshot {
+            if snap.seq > self.last_executed {
+                let state = snap.rebuild_state();
+                let digest = snap.state_digest;
+                self.engine.install(state.clone(), snap.seq, digest);
+                self.last_executed = snap.seq;
+                self.last_stable = snap.seq;
+                self.stable_roots = Some((snap.state_root, snap.results_root));
+                if let Some(pi) = snap
+                    .cert
+                    .as_deref()
+                    .and_then(|b| Signature::from_wire_bytes(b).ok())
+                {
+                    self.stable_cert = Some((digest, pi));
+                }
+                self.ledger.install_checkpoint(Checkpoint {
+                    seq: snap.seq,
+                    state_digest: digest,
+                    state,
+                });
+                self.next_proposal = self.next_proposal.max(snap.seq.next());
+                ctx.incr("recovered_from_snapshot", 1);
+            }
+        }
+        let mut replayed = 0u64;
+        for (seq, bytes) in recovered.wal_records {
+            if seq <= self.last_executed.get() {
+                continue;
+            }
+            let Ok(SbftMsg::BlockFill {
+                seq,
+                view,
+                requests,
+                cert,
+            }) = SbftMsg::from_wire_bytes(&bytes)
+            else {
+                continue; // CRC-valid but not a block record: skip.
+            };
+            let h = block_digest(seq, view, &requests);
+            {
+                let slot = self.slot(seq);
+                if slot.committed {
+                    continue;
+                }
+                slot.view = Some(view);
+                slot.requests = Some(requests);
+                slot.h = Some(h);
+            }
+            self.commit(ctx, seq, view, cert);
+            replayed += 1;
+        }
+        if replayed > 0 {
+            ctx.incr("wal_replayed_blocks", replayed);
+        }
+    }
+
+    /// Starts the proactive startup recovery handshake: broadcast our
+    /// post-replay frontier and keep probing until f+1 peers confirm
+    /// it. This is the traffic-independent state-transfer trigger — a
+    /// replica rebooting into a *quiescent* cluster hears about the
+    /// cluster's frontier from the offers instead of having to observe
+    /// a certificate beyond its log window.
+    fn begin_recovery_handshake(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if self.n() <= 1 {
+            return;
+        }
+        self.recovery_active = true;
+        self.recovery_offers.clear();
+        ctx.incr("recovery_probes", 1);
+        self.broadcast(
+            ctx,
+            &SbftMsg::RecoveryRequest {
+                last_executed: self.last_executed,
+            },
+        );
+        ctx.set_timer(self.config.recovery_retry, timer::token(timer::RECOVERY, 0));
+    }
+
+    fn handle_recovery_request(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        last_executed: SeqNum,
+    ) {
+        if from >= self.n() || from == self.id.as_usize() {
+            return;
+        }
+        ctx.send(
+            from,
+            SbftMsg::RecoveryOffer {
+                last_executed: self.last_executed,
+                last_stable: self.last_stable,
+            },
+        );
+        if self.last_executed > last_executed {
+            // The prober is behind us: serve state exactly as for an
+            // explicit request (§VIII) — chunks if our stable
+            // checkpoint is past its frontier, block fills for the tail.
+            self.handle_state_request(ctx, from, last_executed);
+        }
+    }
+
+    fn handle_recovery_offer(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        last_executed: SeqNum,
+        last_stable: SeqNum,
+    ) {
+        let _ = last_stable;
+        if !self.recovery_active || from >= self.n() || from == self.id.as_usize() {
+            return;
+        }
+        self.recovery_offers.insert(from, last_executed.get());
+        if last_executed > self.last_executed {
+            // A peer is ahead: pull state now, without waiting to
+            // observe traffic. The offer names a peer known to have the
+            // state, so use it as the transfer target.
+            self.request_state_transfer(ctx, from);
+        }
+        self.check_recovery_done(ctx);
+    }
+
+    /// Ends the startup handshake once f+1 peers' offered frontiers are
+    /// at or below our own — with at most f faulty replicas, at least
+    /// one honest peer then vouches that we are caught up.
+    fn check_recovery_done(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if !self.recovery_active {
+            return;
+        }
+        let confirmed = self
+            .recovery_offers
+            .values()
+            .filter(|&&frontier| frontier <= self.last_executed.get())
+            .count();
+        if confirmed >= self.config.f + 1 {
+            self.recovery_active = false;
+            self.recovery_offers.clear();
+            ctx.incr("recovery_completed", 1);
+        }
     }
 }
 
@@ -1919,10 +2184,11 @@ impl Node<SbftMsg> for ReplicaNode {
     sbft_sim::impl_node_any!();
 
     fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        self.apply_recovery(ctx);
         if self.behavior == Behavior::MutePrimary && self.is_primary() {
             return;
         }
-        let _ = ctx;
+        self.begin_recovery_handshake(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
@@ -1990,6 +2256,13 @@ impl Node<SbftMsg> for ReplicaNode {
                     self.drain_exec_completions(ctx);
                 }
             }
+            SbftMsg::RecoveryRequest { last_executed } => {
+                self.handle_recovery_request(ctx, from, last_executed)
+            }
+            SbftMsg::RecoveryOffer {
+                last_executed,
+                last_stable,
+            } => self.handle_recovery_offer(ctx, from, last_executed, last_stable),
         }
     }
 
@@ -2067,6 +2340,23 @@ impl Node<SbftMsg> for ReplicaNode {
                 }
             }
             timer::WATCHDOG => self.on_watchdog(ctx),
+            timer::RECOVERY => {
+                self.check_recovery_done(ctx);
+                if self.recovery_active {
+                    // Still unconfirmed: the previous probe (or the
+                    // state request it triggered) may be stuck on a
+                    // dead peer. Drop the outstanding-request latch and
+                    // probe everyone again.
+                    self.state_request_outstanding = false;
+                    self.broadcast(
+                        ctx,
+                        &SbftMsg::RecoveryRequest {
+                            last_executed: self.last_executed,
+                        },
+                    );
+                    ctx.set_timer(self.config.recovery_retry, timer::token(timer::RECOVERY, 0));
+                }
+            }
             timer::VC_RETRY => {
                 let target = ViewNum::new(payload);
                 if self.in_view_change && self.view == target {
@@ -2250,6 +2540,104 @@ mod tests {
         assert!(node.verified_requests.contains_key(&(0, total as u64)));
         // The order queue never grows far past the map it indexes.
         assert!(node.verified_order.len() <= node.verified_requests.len() * 2 + 1024);
+    }
+
+    /// Regression for the quiescent-rejoin gap: state transfer used to
+    /// trigger only off *observed traffic* (a certificate more than a
+    /// window past our frontier), so a replica rebooting into an idle
+    /// cluster never synced. The startup handshake is the
+    /// traffic-independent entry point: with zero client traffic and
+    /// zero certificates in flight, a recovery offer ahead of our
+    /// frontier must trigger a state request, and f+1 offers at our
+    /// frontier must end recovery.
+    #[test]
+    fn recovery_offer_ahead_triggers_state_transfer_without_traffic() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(3),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        node.set_durability(
+            crate::persist::ReplicaDurability::in_memory(),
+            crate::persist::RecoveredState::empty(),
+        );
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let me: NodeId = 3;
+
+        // Boot: the handshake probes every peer proactively.
+        let mut ctx = Context::external(
+            SimTime::ZERO,
+            me,
+            &mut rng,
+            &mut metrics,
+            &mut next_timer_id,
+        );
+        node.on_start(&mut ctx);
+        let effects = ctx.into_effects();
+        assert!(node.recovery_active(), "handshake starts at boot");
+        let probes = effects
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, SbftMsg::RecoveryRequest { .. }))
+            .count();
+        assert!(probes >= config.n() - 1, "probe reaches every peer");
+
+        // A peer's offer ahead of our empty frontier arrives. No
+        // traffic, no proofs — the state request must go out anyway.
+        let mut ctx = Context::external(
+            SimTime::ZERO,
+            me,
+            &mut rng,
+            &mut metrics,
+            &mut next_timer_id,
+        );
+        node.on_message(
+            1,
+            SbftMsg::RecoveryOffer {
+                last_executed: SeqNum::new(64),
+                last_stable: SeqNum::new(32),
+            },
+            &mut ctx,
+        );
+        let effects = ctx.into_effects();
+        assert!(
+            effects
+                .sends
+                .iter()
+                .any(|(to, m)| *to == 1 && matches!(m, SbftMsg::StateRequest { .. })),
+            "offer ahead of our frontier must trigger a state request at once"
+        );
+        assert!(
+            node.recovery_active(),
+            "one offer ahead does not confirm us"
+        );
+
+        // f+1 = 2 peers at our frontier vouch that we are caught up.
+        for peer in [0usize, 2usize] {
+            let mut ctx = Context::external(
+                SimTime::ZERO,
+                me,
+                &mut rng,
+                &mut metrics,
+                &mut next_timer_id,
+            );
+            node.on_message(
+                peer,
+                SbftMsg::RecoveryOffer {
+                    last_executed: SeqNum::ZERO,
+                    last_stable: SeqNum::ZERO,
+                },
+                &mut ctx,
+            );
+            drop(ctx.into_effects());
+        }
+        assert!(!node.recovery_active(), "f+1 confirmations end recovery");
     }
 
     /// Regression: a replica that is the primary of its *own* (view-change

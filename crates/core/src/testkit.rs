@@ -14,6 +14,7 @@ use crate::client::ClientNode;
 use crate::config::ProtocolConfig;
 use crate::keys::KeyMaterial;
 use crate::messages::SbftMsg;
+use crate::persist::{DurabilityImage, RecoveredState, ReplicaDurability};
 use crate::replica::{Behavior, ReplicaNode};
 
 /// Workload issued by each client.
@@ -144,13 +145,19 @@ pub fn make_replica(
     service: Box<dyn sbft_statedb::Service>,
     cost: CryptoCostModel,
 ) -> ReplicaNode {
-    ReplicaNode::new(
+    let mut replica = ReplicaNode::new(
         protocol.clone(),
         ReplicaId::new(r as u32),
         keys,
         service,
         cost,
-    )
+    );
+    // Every simulated replica carries an in-memory durable store: the
+    // WAL/snapshot code paths run in all tests (same bytes as the disk
+    // backend, minus the syscalls), and the harness can capture the
+    // image for restart-with-intact-disk faults.
+    replica.set_durability(ReplicaDurability::in_memory(), RecoveredState::empty());
+    replica
 }
 
 /// Builds one client node (see [`make_replica`]); `source` yields the
@@ -246,6 +253,49 @@ impl Cluster {
             (self.service_factory)(),
             self.cost.clone(),
         );
+        self.sim.restart_node(r, Box::new(fresh));
+    }
+
+    /// Captures replica `r`'s durable state image (its "disk"). Panics
+    /// if the node is not a replica; returns an empty image if the
+    /// replica has no durable store attached.
+    pub fn durability_image(&mut self, r: usize) -> DurabilityImage {
+        self.sim
+            .node_as_mut::<ReplicaNode>(r)
+            .expect("node is a replica")
+            .durability_image()
+            .unwrap_or_default()
+    }
+
+    /// Damages replica `r`'s durable store in place — chaos fault
+    /// injection against a crashed node, without running recovery. The
+    /// damage surfaces at the victim's next intact restart.
+    pub fn damage_durability(&mut self, r: usize, mutate: impl FnOnce(&mut DurabilityImage)) {
+        self.sim
+            .node_as_mut::<ReplicaNode>(r)
+            .expect("node is a replica")
+            .damage_durability(mutate);
+    }
+
+    /// Restarts replica `r` **with an intact disk**: the process dies,
+    /// but the durable image (WAL + snapshot bytes) survives and the
+    /// fresh incarnation recovers from it at start, then runs the
+    /// startup recovery handshake for whatever the disk didn't cover.
+    /// `mutate` can damage the image in between (torn writes, bit
+    /// flips) — recovery must truncate-and-continue, never panic.
+    pub fn restart_replica_intact(&mut self, r: usize, mutate: impl FnOnce(&mut DurabilityImage)) {
+        assert!(r < self.n, "replica {r} out of range");
+        let mut image = self.durability_image(r);
+        mutate(&mut image);
+        let mut fresh = make_replica(
+            &self.protocol,
+            r,
+            &self.keys,
+            (self.service_factory)(),
+            self.cost.clone(),
+        );
+        let (durability, recovered) = ReplicaDurability::from_image(image);
+        fresh.set_durability(durability, recovered);
         self.sim.restart_node(r, Box::new(fresh));
     }
 
@@ -604,6 +654,70 @@ mod tests {
                 "replica {r} never advanced its stable point"
             );
         }
+    }
+
+    #[test]
+    fn intact_restart_recovers_from_local_wal() {
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.protocol.checkpoint_period = 16;
+        config.workload = Workload::KvPut {
+            requests: 30,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.run_for(SimDuration::from_secs(20));
+        assert_eq!(cluster.total_completed(), 60);
+        let frontier = cluster.replica(3).last_executed().get();
+        assert!(frontier > 0);
+        // Reboot with the disk intact: the fresh incarnation replays its
+        // snapshot + WAL locally and the handshake confirms it without a
+        // fresh state transfer.
+        cluster.restart_replica_intact(3, |_| {});
+        cluster.run_for(SimDuration::from_secs(5));
+        assert!(
+            cluster.replica(3).last_executed().get() >= frontier,
+            "intact restart recovers at least the pre-crash frontier"
+        );
+        assert!(
+            !cluster.replica(3).recovery_active(),
+            "handshake confirms the recovered frontier"
+        );
+        assert!(
+            cluster.sim.metrics().counter("wal_replayed_blocks") > 0,
+            "recovery came from the local log"
+        );
+        cluster.assert_agreement();
+    }
+
+    #[test]
+    fn intact_restart_survives_torn_wal_tail() {
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.workload = Workload::KvPut {
+            requests: 30,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.run_for(SimDuration::from_secs(20));
+        assert_eq!(cluster.total_completed(), 60);
+        let frontier = cluster.replica(3).last_executed().get();
+        // Tear the final WAL record mid-write: replay must truncate and
+        // continue, and the handshake fetches whatever the tear lost.
+        cluster.restart_replica_intact(3, |image| image.tear_wal_tail(5));
+        cluster.run_for(SimDuration::from_secs(10));
+        assert_eq!(
+            cluster.sim.metrics().counter("wal_tail_truncations"),
+            1,
+            "the torn tail was detected and truncated"
+        );
+        assert!(
+            cluster.replica(3).last_executed().get() >= frontier,
+            "replica recovers past the torn tail via the handshake"
+        );
+        cluster.assert_agreement();
     }
 
     #[test]

@@ -285,6 +285,8 @@ impl SbftPreVerifier {
             | SbftMsg::NewView(_)
             | SbftMsg::Reply { .. }
             | SbftMsg::StateRequest { .. }
+            | SbftMsg::RecoveryRequest { .. }
+            | SbftMsg::RecoveryOffer { .. }
             | SbftMsg::ExecuteReady => true,
         }
     }

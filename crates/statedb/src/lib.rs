@@ -15,13 +15,19 @@
 //!   garbage collection (§V-F), and chunked state transfer
 //!   ([`StateChunk`], [`ChunkAssembler`]) for replicas that fall behind
 //!   (§VIII).
+//! - Durability: an append-only commit [`Wal`] (CRC-guarded records,
+//!   torn-tail truncation on replay, fsync batching via [`FsyncPolicy`])
+//!   and versioned stable-checkpoint [`Snapshot`] files with an explicit
+//!   v1 → v2 [`migrate`] step.
 
 mod exec;
 mod kv;
 mod ledger;
 mod rwset;
 mod service;
+mod snapshot;
 mod trie;
+mod wal;
 
 pub use exec::{
     execute_ops_parallel, plan_waves, OpExecutor, ParallelBlock, PlannedOp, WavePool, WriteCmd,
@@ -35,4 +41,8 @@ pub use service::{
     block_hash, combine_state_digest, op_digest, results_tree, verify_execution, BlockArtifacts,
     BlockExecution, ExecutionProof, RawOp, Service,
 };
+pub use snapshot::{
+    migrate, Snapshot, SnapshotError, SnapshotV1, SNAPSHOT_MAGIC, SNAPSHOT_V1, SNAPSHOT_V2,
+};
 pub use trie::{AuthKv, TrieProof, TrieProofStep};
+pub use wal::{append_record, crc32, replay, FsyncPolicy, Wal, WalRecord, WalReplay};

@@ -16,6 +16,8 @@
 //! replica 2 127.0.0.1:9402
 //! replica 3 127.0.0.1:9403
 //! client 0 127.0.0.1:9500
+//! data_dir /var/lib/sbft   # optional: durable WAL + snapshots per replica
+//! fsync batch:8            # optional: always | never | batch[:N]
 //! ```
 //!
 //! `profile` selects a named tuning bundle for the whole cluster:
@@ -89,6 +91,16 @@ pub struct ClusterSpec {
     /// execution onto a dedicated executor thread whose wave pool runs
     /// that many intra-block workers.
     pub exec_threads: usize,
+    /// Base directory for durable replica state (`data_dir <path>`).
+    /// Each replica persists its commit WAL and checkpoint snapshot
+    /// under `<path>/replica-<id>`; unset runs fully in memory (state
+    /// rebuilt from peers after any restart).
+    pub data_dir: Option<String>,
+    /// WAL fsync policy spelling (`fsync always|never|batch|batch:N`),
+    /// parsed by the durability layer at boot. `None` = the layer's
+    /// default (`batch:8`). Kept as a string so the transport crate
+    /// stays independent of the storage crate.
+    pub fsync: Option<String>,
     /// Replica listen addresses, indexed by replica id (`0..n`).
     pub replicas: Vec<String>,
     /// Client listen addresses, indexed by client id.
@@ -139,6 +151,8 @@ impl ClusterSpec {
         let mut exec_threads = 0usize;
         let mut variant = VariantName::default();
         let mut profile = TransportProfile::default();
+        let mut data_dir = None;
+        let mut fsync = None;
         let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
         let mut clients: BTreeMap<usize, String> = BTreeMap::new();
 
@@ -200,6 +214,30 @@ impl ClusterSpec {
                         }
                     };
                 }
+                "data_dir" => {
+                    let [value] = args[..] else {
+                        return Err(err(lineno, "`data_dir` takes one path"));
+                    };
+                    data_dir = Some(value.to_string());
+                }
+                "fsync" => {
+                    let [value] = args[..] else {
+                        return Err(err(lineno, "`fsync` takes one value"));
+                    };
+                    // Mirror the durability layer's grammar so a typo
+                    // fails at config load, not at replica boot.
+                    let ok = matches!(value, "always" | "never" | "batch")
+                        || value
+                            .strip_prefix("batch:")
+                            .is_some_and(|n| n.parse::<u32>().is_ok());
+                    if !ok {
+                        return Err(err(
+                            lineno,
+                            format!("unknown fsync policy `{value}` (always | never | batch[:N])"),
+                        ));
+                    }
+                    fsync = Some(value.to_string());
+                }
                 "replica" | "client" => {
                     let [id, addr] = args[..] else {
                         return Err(err(lineno, format!("`{directive}` takes <id> <host:port>")));
@@ -257,6 +295,8 @@ impl ClusterSpec {
             profile,
             verify_threads,
             exec_threads,
+            data_dir,
+            fsync,
             replicas: replicas.into_values().collect(),
             clients: clients.into_values().collect(),
         })
@@ -457,6 +497,24 @@ mod tests {
             1,
             "1 pins execution inline on the node thread"
         );
+    }
+
+    #[test]
+    fn data_dir_and_fsync_directives_parse() {
+        let spec = ClusterSpec::parse(GOOD).unwrap();
+        assert_eq!(spec.data_dir, None, "in-memory is the default");
+        assert_eq!(spec.fsync, None);
+        let text = format!("data_dir /var/lib/sbft\nfsync batch:16\n{GOOD}");
+        let spec = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(spec.data_dir.as_deref(), Some("/var/lib/sbft"));
+        assert_eq!(spec.fsync.as_deref(), Some("batch:16"));
+        for good in ["always", "never", "batch", "batch:1"] {
+            let text = format!("fsync {good}\n{GOOD}");
+            assert!(ClusterSpec::parse(&text).is_ok(), "fsync {good}");
+        }
+        let bad = format!("fsync sometimes\n{GOOD}");
+        let e = ClusterSpec::parse(&bad).unwrap_err();
+        assert!(e.message.contains("unknown fsync policy"), "{e}");
     }
 
     #[test]

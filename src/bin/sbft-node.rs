@@ -37,6 +37,13 @@ struct Args {
     /// Serves the node's metrics registry over HTTP when set
     /// (`/metrics` Prometheus text, `/trace` JSON phase spans).
     metrics_addr: Option<String>,
+    /// Overrides the config file's `data_dir` directive when set:
+    /// durable WAL + checkpoint snapshots under
+    /// `<dir>/replica-<id>`, recovered at boot.
+    data_dir: Option<String>,
+    /// Overrides the config file's `fsync` directive when set
+    /// (always | never | batch[:N]; default batch:8).
+    fsync: Option<String>,
 }
 
 enum Role {
@@ -46,6 +53,7 @@ enum Role {
 
 const USAGE: &str = "usage: sbft-node --config <file> (--replica <id> | --client <id>) \
                      [--profile lan|wan] [--verify-threads N] [--exec-threads N] \
+                     [--data-dir <dir>] [--fsync always|never|batch[:N]] \
                      [--metrics-addr host:port] [--requests N] [--ops N] [--value-len N]";
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
     let mut verify_threads = None;
     let mut exec_threads = None;
     let mut metrics_addr = None;
+    let mut data_dir = None;
+    let mut fsync = None;
     let mut i = 0;
     while i < argv.len() {
         let arg = argv[i].clone();
@@ -111,6 +121,8 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--fsync" => fsync = Some(value("--fsync")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -124,6 +136,8 @@ fn parse_args() -> Result<Args, String> {
         verify_threads,
         exec_threads,
         metrics_addr,
+        data_dir,
+        fsync,
     })
 }
 
@@ -246,6 +260,12 @@ fn main() -> ExitCode {
     }
     if let Some(threads) = args.exec_threads {
         spec.exec_threads = threads;
+    }
+    if let Some(dir) = args.data_dir {
+        spec.data_dir = Some(dir);
+    }
+    if let Some(policy) = args.fsync {
+        spec.fsync = Some(policy);
     }
     let result = match args.role {
         Role::Replica(r) if r < spec.n() => run_replica(&spec, r, args.metrics_addr.as_deref()),

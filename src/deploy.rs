@@ -13,12 +13,13 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use sbft_core::{
-    make_client, make_replica, ExecPool, KeyMaterial, ProtocolConfig, PublicKeys, ReplicaNode,
-    SbftMsg, SbftPreVerifier, ShareVerifyMap, VariantFlags, Workload,
+    make_client, make_replica, ExecPool, KeyMaterial, ProtocolConfig, PublicKeys,
+    ReplicaDurability, ReplicaNode, SbftMsg, SbftPreVerifier, ShareVerifyMap, VariantFlags,
+    Workload,
 };
 use sbft_crypto::CryptoCostModel;
 use sbft_sim::SimDuration;
-use sbft_statedb::{KvService, Service};
+use sbft_statedb::{FsyncPolicy, KvService, Service};
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
 use sbft_wire::Wire;
 
@@ -187,13 +188,26 @@ pub fn replica_runtime(
 ) -> io::Result<NodeRuntime<SbftMsg>> {
     let protocol = protocol_for(spec);
     let keys = KeyMaterial::generate(&protocol, spec.seed);
-    let replica = make_replica(
+    let mut replica = make_replica(
         &protocol,
         r,
         &keys,
         Box::new(KvService::new()),
         CryptoCostModel::free(),
     );
+    // `data_dir` makes the replica durable: commit WAL + checkpoint
+    // snapshots under `<data_dir>/replica-<r>`, recovered at boot
+    // before the startup handshake covers whatever the disk missed.
+    if let Some(base) = &spec.data_dir {
+        let policy = spec
+            .fsync
+            .as_deref()
+            .and_then(FsyncPolicy::parse)
+            .unwrap_or_default();
+        let dir = std::path::Path::new(base).join(format!("replica-{r}"));
+        let (durability, recovered) = ReplicaDurability::on_disk(&dir, policy)?;
+        replica.set_durability(durability, recovered);
+    }
     let transport = transport_for(spec, spec.replica_node(r), listener)?;
     Ok(replica_runtime_with_pipeline(
         replica,

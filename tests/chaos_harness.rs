@@ -10,7 +10,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use sbft_chaos::{plan_by_name, run_sim, run_tcp, Outcome};
+use sbft_chaos::{plan_by_name, run_sim, run_tcp, Fault, FaultEvent, FaultPlan, Outcome};
 
 /// TCP runs spawn ~15 OS threads each and are timing-sensitive on small
 /// containers; serialize them.
@@ -67,21 +67,20 @@ fn tcp_lagging_replica_rejoins_after_empty_state_restart() {
     assert_tcp_pass("lagging-replica-rejoin", 0xDEAD);
 }
 
-/// RED TEST — documents a real protocol gap found by the chaos sweep
-/// (and the reason it stays `#[ignore]`d rather than fixed here):
+/// REGRESSION — a real protocol gap found by the chaos sweep, fixed by
+/// the startup recovery handshake:
 ///
 /// A replica that reboots **with empty state into a quiescent cluster**
-/// never recovers. State transfer is only triggered by observing
-/// traffic beyond the log window, so with no client load the rejoiner
-/// sits at seq 0 indefinitely — the cluster silently runs with its
-/// fault budget consumed until the next request happens to flow.
-/// The fix is a proactive recovery handshake on startup (ask peers for
-/// their stable checkpoint), tracked in ROADMAP's open items.
-///
-/// Run it with `cargo test -- --ignored quiescent_rejoin` to watch it
-/// fail.
+/// used to never recover. State transfer was only triggered by
+/// observing traffic beyond the log window, so with no client load the
+/// rejoiner sat at seq 0 indefinitely — the cluster silently ran with
+/// its fault budget consumed until the next request happened to flow.
+/// Now `on_start` broadcasts a `RecoveryRequest` probe; peers answer
+/// with their frontier and serve chunks/block fills, so the rejoiner
+/// syncs to the cluster's stable checkpoint with zero traffic flowing.
+/// This test pins that behaviour (sim backend; the TCP side is pinned
+/// by `tcp_quiescent_rejoin_syncs_on_idle_cluster` below).
 #[test]
-#[ignore = "documents ROADMAP gap: no proactive state sync on restart into an idle cluster"]
 fn quiescent_rejoin_requires_proactive_sync() {
     use sbft::core::{Cluster, ClusterConfig, VariantFlags, Workload};
     use sbft::sim::{SimDuration, SimTime};
@@ -111,8 +110,8 @@ fn quiescent_rejoin_requires_proactive_sync() {
     let frontier = cluster.replica(0).last_executed().get();
     assert!(frontier >= 60, "cluster committed past the window");
 
-    // Reboot replica 3 with empty state into the idle cluster; nothing
-    // nudges it, so (today) it never catches up.
+    // Reboot replica 3 with empty state into the idle cluster: the
+    // startup handshake must pull it to the frontier unprompted.
     cluster.restart_replica(3);
     cluster
         .sim
@@ -122,5 +121,53 @@ fn quiescent_rejoin_requires_proactive_sync() {
         caught_up + 32 >= frontier,
         "restarted replica must proactively sync to the frontier even without \
          live traffic (stuck at {caught_up}, frontier {frontier})"
+    );
+}
+
+/// The TCP half of the quiescent-rejoin regression above: a **bounded**
+/// workload runs dry, then a crashed replica reboots with empty state
+/// into the idle cluster over real sockets. The plan's liveness bar is
+/// therefore not post-horizon progress (there is none by design —
+/// `min_progress: 0`) but the catch-up lag: with zero traffic flowing,
+/// only the startup recovery handshake can pull the rejoiner back to
+/// the frontier.
+#[test]
+fn tcp_quiescent_rejoin_syncs_on_idle_cluster() {
+    let _serial = TCP_LOCK.lock().expect("tcp test lock");
+    let plan = FaultPlan {
+        name: "quiescent-rejoin",
+        summary: "replica reboots empty into an idle cluster; handshake must sync it",
+        f: 1,
+        c: 0,
+        clients: 2,
+        // Bounded: the workload finishes well before the restart fires,
+        // so the rejoiner sees a genuinely quiescent cluster.
+        requests_per_client: 30,
+        window: Some(32),
+        checkpoint_period: Some(16),
+        max_in_flight: None,
+        events: vec![
+            FaultEvent {
+                at_ms: 300,
+                fault: Fault::Crash { replica: 3 },
+            },
+            FaultEvent {
+                at_ms: 2_000,
+                fault: Fault::Restart { replica: 3 },
+            },
+        ],
+        horizon_ms: 2_500,
+        min_progress: 0,
+        expect_counters: vec![("recovery_probes", 1)],
+        max_final_lag: Some(32),
+        min_fast_ratio: None,
+    };
+    plan.validate();
+    let report = run_tcp(&plan, 0xDEAD, Duration::from_secs(60));
+    assert_eq!(
+        report.outcome,
+        Outcome::Pass,
+        "quiescent rejoin on tcp: {:?}",
+        report.outcome
     );
 }
