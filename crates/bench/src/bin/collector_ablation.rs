@@ -30,6 +30,7 @@ fn run_point(f: usize, c: usize, stragglers: usize) -> (f64, f64) {
         client_retry: SimDuration::from_secs(10),
         seed: 7,
         trace: false,
+        gateway: false,
         service_factory: Box::new(|| Box::new(sbft_statedb::KvService::new())),
     };
     let mut cluster = Cluster::build(config);

@@ -315,6 +315,7 @@ fn run_sbft(spec: &ExperimentSpec) -> ExperimentResult {
         },
         seed: spec.seed,
         trace: false,
+        gateway: false,
         service_factory: if is_eth {
             Box::new(|| Box::new(EvmService::new()))
         } else {

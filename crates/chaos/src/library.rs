@@ -30,6 +30,8 @@ fn base(name: &'static str, summary: &'static str) -> FaultPlan {
         window: None,
         checkpoint_period: None,
         max_in_flight: None,
+        gateway: false,
+        gateway_slots: None,
         events: Vec::new(),
         horizon_ms: 2_000,
         min_progress: 50,
@@ -43,7 +45,7 @@ fn at(at_ms: Ms, fault: Fault) -> FaultEvent {
     FaultEvent { at_ms, fault }
 }
 
-/// The ~15 canonical scenarios swept by `sbft-chaos --swarm`.
+/// The ~20 canonical scenarios swept by `sbft-chaos --swarm`.
 pub fn canonical_plans() -> Vec<FaultPlan> {
     let mut plans = Vec::new();
 
@@ -404,6 +406,70 @@ pub fn canonical_plans() -> Vec<FaultPlan> {
     ];
     plan.expect_counters = vec![("durable_recoveries", 1)];
     plan.max_final_lag = Some(64);
+    plans.push(plan);
+
+    // 19. Gateway burst: ten clients slam a front door with a 4-slot
+    // admission budget. The gateway must shed the excess explicitly
+    // (`Busy`, honored by the clients — no retry broadcast storm) while
+    // the budget recycles fast enough that admitted traffic keeps
+    // committing; the snapshot invariants prove every admitted request
+    // executed exactly once.
+    let mut plan = base(
+        "gateway-burst",
+        "arrival burst overwhelms a tiny admission budget; shed explicitly, commit exactly-once",
+    );
+    plan.gateway = true;
+    plan.gateway_slots = Some(4);
+    plan.clients = 10;
+    plan.min_progress = 30;
+    plan.expect_counters = vec![
+        ("gateway_admitted", 1),
+        ("gateway_shed", 1),
+        ("client_busy", 1),
+    ];
+    plans.push(plan);
+
+    // 20. Gateway crash/restart mid-flight: clients lose their only
+    // route into the cluster, retry against a dead front door with
+    // backoff, and resume when a fresh gateway boots. The fresh
+    // incarnation's admission table is empty, so retries of requests the
+    // dead gateway admitted re-enter as new admissions — exactly-once
+    // then rests on the replicas' (client, timestamp) dedupe, which the
+    // snapshot invariants check.
+    let mut plan = base(
+        "gateway-crash-restart",
+        "front door dies mid-flight and reboots empty; exactly-once survives the re-admissions",
+    );
+    plan.gateway = true;
+    plan.horizon_ms = 2_500;
+    plan.events = vec![
+        at(600, Fault::GatewayCrash),
+        at(1_400, Fault::GatewayRestart),
+    ];
+    plan.expect_counters = vec![("gateway_admitted", 1)];
+    plans.push(plan);
+
+    // 21. Gateway partitioned from the primary: fresh admissions are
+    // forwarded to a primary the gateway cannot reach, clients time out,
+    // and the gateway's rebroadcast path (admitted retry → all replicas,
+    // backups forward to the primary) must carry traffic around the cut
+    // until it heals.
+    let mut plan = base(
+        "gateway-partition-primary",
+        "gateway loses its link to the primary; admitted retries route around the cut",
+    );
+    plan.gateway = true;
+    plan.horizon_ms = 2_500;
+    plan.events = vec![at(
+        300,
+        Fault::Partition {
+            from: vec![6], // gateway node: n + clients = 4 + 2
+            to: vec![0],
+            until_ms: 1_800,
+            one_way: false,
+        },
+    )];
+    plan.expect_counters = vec![("gateway_admitted", 1), ("gateway_rebroadcast", 1)];
     plans.push(plan);
 
     plans

@@ -120,6 +120,16 @@ pub enum Fault {
         /// When hearing returns.
         until_ms: Ms,
     },
+    /// Kill the gateway front door (requires [`FaultPlan::gateway`]).
+    /// Clients lose their only route into the cluster until a
+    /// [`Fault::GatewayRestart`] brings it back.
+    GatewayCrash,
+    /// Boot a fresh gateway after a [`Fault::GatewayCrash`]. The new
+    /// incarnation starts with an **empty admission table** — duplicate
+    /// suppression is lost, so client retries of requests admitted by
+    /// the dead gateway re-enter as fresh admissions and exactly-once
+    /// rests entirely on the replicas' own `(client, timestamp)` dedupe.
+    GatewayRestart,
 }
 
 impl Fault {
@@ -165,6 +175,15 @@ pub struct FaultPlan {
     /// Primary pipelining override (equivocation plans force 1 so the
     /// primary has multi-request blocks to split).
     pub max_in_flight: Option<usize>,
+    /// Run the plan behind a gateway front door: clients route every
+    /// request (and retry) through a gateway node at id `n + clients`
+    /// instead of talking to replicas directly. Gateway faults and
+    /// partitions targeting the gateway id require this.
+    pub gateway: bool,
+    /// Admission budget override for the gateway (overload plans use a
+    /// deliberately tiny budget to force shedding). `None` = the
+    /// gateway's default policy, which never sheds at chaos scale.
+    pub gateway_slots: Option<usize>,
     /// The fault schedule.
     pub events: Vec<FaultEvent>,
     /// All faults fire before this; liveness is then given a grace
@@ -208,6 +227,12 @@ impl FaultPlan {
         self.events.iter().all(|e| e.fault.tcp_supported())
     }
 
+    /// The gateway's node id (only meaningful when [`Self::gateway`] is
+    /// set): it numbers directly after the clients.
+    pub fn gateway_node(&self) -> usize {
+        self.n() + self.clients
+    }
+
     /// Sanity-checks victim indices against the cluster shape.
     ///
     /// # Panics
@@ -216,7 +241,7 @@ impl FaultPlan {
     /// are code, and a bad plan is a bug at its construction site.
     pub fn validate(&self) {
         let n = self.n();
-        let total = n + self.clients;
+        let total = n + self.clients + usize::from(self.gateway);
         let node_ok = |id: usize| assert!(id < total, "plan {}: node {id} out of range", self.name);
         let replica_ok =
             |id: usize| assert!(id < n, "plan {}: replica {id} out of range", self.name);
@@ -253,6 +278,7 @@ impl FaultPlan {
             windows.push((channel, at, until));
         };
         let mut crashed: Vec<(usize, Ms)> = Vec::new();
+        let mut gateway_crashed: Option<Ms> = None;
         let mut events: Vec<&FaultEvent> = self.events.iter().collect();
         events.sort_by_key(|e| e.at_ms);
         for event in events {
@@ -350,6 +376,33 @@ impl FaultPlan {
                     assert!((0.0..=1.0).contains(prob), "plan {}: bad prob", self.name);
                     window_ok(event.at_ms, *until_ms);
                     claim("duplicate".to_string(), event.at_ms, *until_ms);
+                }
+                Fault::GatewayCrash => {
+                    assert!(
+                        self.gateway,
+                        "plan {}: gateway crash without `gateway: true`",
+                        self.name
+                    );
+                    assert!(
+                        gateway_crashed.is_none(),
+                        "plan {}: gateway crashed while already down",
+                        self.name
+                    );
+                    gateway_crashed = Some(event.at_ms);
+                }
+                Fault::GatewayRestart => {
+                    assert!(
+                        self.gateway,
+                        "plan {}: gateway restart without `gateway: true`",
+                        self.name
+                    );
+                    // Same strictly-earlier-crash rule as replica restarts.
+                    assert!(
+                        gateway_crashed.is_some_and(|at| at < event.at_ms),
+                        "plan {}: gateway restart without a strictly earlier crash",
+                        self.name
+                    );
+                    gateway_crashed = None;
                 }
             }
         }
@@ -460,6 +513,10 @@ pub enum Step {
         /// Heal time.
         until_ms: Ms,
     },
+    /// See [`Fault::GatewayCrash`].
+    GatewayCrash,
+    /// See [`Fault::GatewayRestart`].
+    GatewayRestart,
 }
 
 /// Expands a plan into a time-sorted list of apply steps. At the same
@@ -516,6 +573,8 @@ pub fn timeline(plan: &FaultPlan) -> Vec<(Ms, Step)> {
             }
             Fault::SlowCpu { node, factor } => steps.push((at, Step::SlowCpu { node, factor })),
             Fault::Deaf { node, until_ms } => steps.push((at, Step::Deaf { node, until_ms })),
+            Fault::GatewayCrash => steps.push((at, Step::GatewayCrash)),
+            Fault::GatewayRestart => steps.push((at, Step::GatewayRestart)),
         }
     }
     let is_clear = |step: &Step| {
@@ -562,6 +621,8 @@ mod tests {
             window: None,
             checkpoint_period: None,
             max_in_flight: None,
+            gateway: false,
+            gateway_slots: None,
             events,
             horizon_ms: 1000,
             min_progress: 1,
@@ -579,6 +640,55 @@ mod tests {
             fault: Fault::Restart { replica: 1 },
         }])
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "without `gateway: true`")]
+    fn gateway_fault_without_gateway_is_rejected() {
+        minimal_plan(vec![FaultEvent {
+            at_ms: 100,
+            fault: Fault::GatewayCrash,
+        }])
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gateway restart without a strictly earlier crash")]
+    fn gateway_restart_without_crash_is_rejected() {
+        let mut plan = minimal_plan(vec![FaultEvent {
+            at_ms: 100,
+            fault: Fault::GatewayRestart,
+        }]);
+        plan.gateway = true;
+        plan.validate();
+    }
+
+    #[test]
+    fn gateway_crash_restart_validates_and_extends_node_range() {
+        let mut plan = minimal_plan(vec![
+            FaultEvent {
+                at_ms: 100,
+                fault: Fault::GatewayCrash,
+            },
+            FaultEvent {
+                at_ms: 400,
+                fault: Fault::GatewayRestart,
+            },
+            // The gateway id itself (n + clients = 5) is partitionable.
+            FaultEvent {
+                at_ms: 500,
+                fault: Fault::Partition {
+                    from: vec![5],
+                    to: vec![0],
+                    until_ms: 800,
+                    one_way: false,
+                },
+            },
+        ]);
+        plan.gateway = true;
+        plan.validate();
+        assert_eq!(plan.gateway_node(), 5);
+        assert!(plan.tcp_supported(), "gateway faults run on TCP too");
     }
 
     #[test]
@@ -688,6 +798,8 @@ mod tests {
             window: None,
             checkpoint_period: None,
             max_in_flight: None,
+            gateway: false,
+            gateway_slots: None,
             events: vec![
                 FaultEvent {
                     at_ms: 500,

@@ -205,4 +205,9 @@ pub const TRACKED_COUNTERS: &[&str] = &[
     "recovered_from_snapshot",
     "wal_replayed_blocks",
     "wal_tail_truncations",
+    "client_busy",
+    "gateway_admitted",
+    "gateway_rebroadcast",
+    "gateway_shed",
+    "gateway_expired",
 ];

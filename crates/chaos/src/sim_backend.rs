@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use sbft_core::{Cluster, ClusterConfig, ReplicaSnapshot, VariantFlags};
+use sbft_gateway::{AdmissionConfig, GatewayCore, GatewayNode};
 use sbft_sim::{Partition, SimDuration, SimTime};
 
 use crate::plan::{timeline, FaultPlan, Ms, Step};
@@ -25,9 +26,26 @@ fn sim_time(ms: Ms) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(ms)
 }
 
+/// The admission policy a gateway plan runs with. A `gateway_slots`
+/// override means "force shedding": a tiny budget with a fast-recycling
+/// TTL (in the simulator, replicas answer clients directly, so slots
+/// free only by TTL — it is the budget's time constant).
+fn admission(plan: &FaultPlan) -> AdmissionConfig {
+    match plan.gateway_slots {
+        Some(slots) => AdmissionConfig {
+            max_in_flight: slots,
+            resume_at: (slots / 2).max(1),
+            retry_after_ms: 20,
+            slot_ttl_ns: 100_000_000,
+        },
+        None => AdmissionConfig::default(),
+    }
+}
+
 fn build_cluster(plan: &FaultPlan, seed: u64) -> Cluster {
     let mut config = ClusterConfig::small(plan.f, plan.c, VariantFlags::SBFT);
     config.clients = plan.clients;
+    config.gateway = plan.gateway;
     config.seed = seed;
     // The paper's CPU cost model, not the testkit's free one: with free
     // crypto the simulated cluster commits thousands of requests per
@@ -45,10 +63,21 @@ fn build_cluster(plan: &FaultPlan, seed: u64) -> Cluster {
     if let Some(max_in_flight) = plan.max_in_flight {
         config.protocol.max_in_flight = max_in_flight;
     }
-    Cluster::build(config)
+    let mut cluster = Cluster::build(config);
+    if plan.gateway {
+        // The gateway node takes id n + clients by insertion order —
+        // exactly where the testkit reserved it and where
+        // `plan.gateway_node()` points fault targets.
+        let n = cluster.n;
+        cluster.sim.add_node(Box::new(GatewayNode::new(
+            GatewayCore::new(admission(plan)),
+            n,
+        )));
+    }
+    cluster
 }
 
-fn apply(cluster: &mut Cluster, step: &Step) {
+fn apply(cluster: &mut Cluster, plan: &FaultPlan, step: &Step) {
     let now = cluster.sim.now();
     match step {
         // Synchronous, like killing a process — a Restart applied later
@@ -101,6 +130,17 @@ fn apply(cluster: &mut Cluster, step: &Step) {
                 .network_mut()
                 .set_node_deaf(*node, now, sim_time(*until_ms))
         }
+        Step::GatewayCrash => cluster.sim.crash_node(cluster.gateway_node()),
+        // A fresh incarnation with an empty admission table: duplicate
+        // suppression is gone, so in-flight retries re-enter as new
+        // admissions and exactly-once rests on the replicas' dedupe.
+        Step::GatewayRestart => {
+            let n = cluster.n;
+            cluster.sim.restart_node(
+                cluster.gateway_node(),
+                Box::new(GatewayNode::new(GatewayCore::new(admission(plan)), n)),
+            );
+        }
     }
 }
 
@@ -113,7 +153,7 @@ pub fn run_sim(plan: &FaultPlan, seed: u64) -> RunReport {
 
     for (at_ms, step) in timeline(plan) {
         cluster.sim.run_until(sim_time(at_ms));
-        apply(&mut cluster, &step);
+        apply(&mut cluster, plan, &step);
     }
     cluster.sim.run_until(sim_time(plan.horizon_ms));
     let completed_at_horizon = cluster.total_completed();
@@ -179,5 +219,21 @@ mod tests {
             a.fingerprint, c.fingerprint,
             "different seed ⇒ different schedule"
         );
+    }
+
+    #[test]
+    fn gateway_burst_sheds_and_still_commits() {
+        let plan = plan_by_name("gateway-burst").expect("canonical plan");
+        let report = run_sim(&plan, 0x9A7E);
+        assert_eq!(report.outcome, Outcome::Pass, "{:?}", report.outcome);
+        assert!(report.counter("gateway_shed") > 0, "budget must trip");
+        assert!(report.counter("client_busy") > 0, "clients must honor Busy");
+    }
+
+    #[test]
+    fn gateway_crash_restart_recovers_exactly_once() {
+        let plan = plan_by_name("gateway-crash-restart").expect("canonical plan");
+        let report = run_sim(&plan, 0x6A7E);
+        assert_eq!(report.outcome, Outcome::Pass, "{:?}", report.outcome);
     }
 }

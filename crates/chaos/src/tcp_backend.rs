@@ -22,6 +22,7 @@ use sbft_core::{
     ReplicaDurability, ReplicaNode, ReplicaSnapshot, Workload,
 };
 use sbft_crypto::CryptoCostModel;
+use sbft_gateway::{AdmissionConfig, GatewayCore, GatewayNode};
 use sbft_sim::SimDuration;
 use sbft_statedb::{FsyncPolicy, KvService};
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
@@ -193,6 +194,7 @@ fn spawn_client(
     workload: Workload,
     seed: u64,
     listener: TcpListener,
+    gateway: Option<usize>,
 ) -> NodeHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let progress = Arc::new(AtomicU64::new(0));
@@ -205,7 +207,7 @@ fn spawn_client(
         .spawn(move || {
             let keys = KeyMaterial::generate(&protocol, spec.seed);
             let source = workload.source_for(c, spec.seed);
-            let client = make_client(
+            let mut client = make_client(
                 &protocol,
                 c,
                 &keys,
@@ -213,6 +215,9 @@ fn spawn_client(
                 SimDuration::from_millis(400),
                 CryptoCostModel::free(),
             );
+            if let Some(gateway) = gateway {
+                client.set_gateway(gateway);
+            }
             let transport = TcpTransport::with_listener(spec.transport_config(node), listener)
                 .expect("client transport boots");
             let control = transport.control();
@@ -249,6 +254,55 @@ fn spawn_client(
     }
 }
 
+fn spawn_gateway(
+    spec: ClusterSpec,
+    admission: AdmissionConfig,
+    seed: u64,
+    listener: TcpListener,
+) -> NodeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let thread_stop = Arc::clone(&stop);
+    let thread_progress = Arc::clone(&progress);
+    let node = spec.gateway_node(0);
+    let n = spec.n();
+    let thread = thread::Builder::new()
+        .name("chaos-gateway".to_string())
+        .spawn(move || {
+            let gateway = GatewayNode::new(GatewayCore::new(admission), n);
+            let transport = TcpTransport::with_listener(spec.transport_config(node), listener)
+                .expect("gateway transport boots");
+            let control = transport.control();
+            let mut runtime = NodeRuntime::new(Box::new(gateway), transport, node_seed(seed, node));
+            drive(
+                &thread_stop,
+                &cmd_rx,
+                &thread_progress,
+                &mut runtime,
+                |rt| rt.metrics().counter("gateway_admitted"),
+            );
+            let counters = tracked_counters(&runtime);
+            let registry = runtime.registry().counter_values();
+            let events = runtime.events_processed();
+            control.shutdown();
+            NodeExit {
+                snapshot: None,
+                counters,
+                registry,
+                completed: 0,
+                events,
+            }
+        })
+        .expect("spawn gateway thread");
+    NodeHandle {
+        stop,
+        cmds: cmd_tx,
+        progress,
+        thread,
+    }
+}
+
 struct TcpRun {
     net: ChaosNet,
     protocol: ProtocolConfig,
@@ -257,6 +311,13 @@ struct TcpRun {
     /// Replica handles (None while crashed).
     replicas: Vec<Option<NodeHandle>>,
     clients: Vec<NodeHandle>,
+    /// The gateway front door, when the plan runs one (None while
+    /// crashed or for gateway-less plans).
+    gateway: Option<NodeHandle>,
+    /// Admission policy for (re)booting the gateway; None = no gateway.
+    gateway_admission: Option<AdmissionConfig>,
+    /// Exits of crashed gateway incarnations.
+    gateway_exits: Vec<NodeExit>,
     /// Exits of crashed incarnations, tagged with the replica id
     /// (counters still count).
     crashed_exits: Vec<(usize, NodeExit)>,
@@ -275,7 +336,7 @@ struct TcpRun {
 impl TcpRun {
     fn boot(plan: &FaultPlan, seed: u64) -> std::io::Result<TcpRun> {
         let n = plan.n();
-        let total = n + plan.clients;
+        let total = n + plan.clients + usize::from(plan.gateway);
         let net = ChaosNet::new(total, seed)?;
         // Every peer table points at the proxy; each node's own listener
         // is bound to an OS-picked port and published as its forward
@@ -300,7 +361,18 @@ impl TcpRun {
             data_dir: None,
             fsync: None,
             replicas: (0..n).map(|r| net.proxy_addr(r)).collect(),
-            clients: (n..total).map(|node| net.proxy_addr(node)).collect(),
+            clients: (n..n + plan.clients)
+                .map(|node| net.proxy_addr(node))
+                .collect(),
+            gateways: if plan.gateway {
+                vec![net.proxy_addr(plan.gateway_node())]
+            } else {
+                Vec::new()
+            },
+            // Chaos clients are real nodes with their own connections —
+            // the gateway multiplexes no sessions here (the session-mux
+            // path is the open-loop bench's and binary's job).
+            gateway_sessions: 0,
         };
         let mut protocol = sbft::deploy::protocol_for(&spec);
         if let Some(window) = plan.window {
@@ -347,6 +419,7 @@ impl TcpRun {
                 replica_dir(r),
             )));
         }
+        let gateway_route = plan.gateway.then(|| plan.gateway_node());
         let mut clients = Vec::new();
         for c in 0..plan.clients {
             let listener = bind(n + c)?;
@@ -357,8 +430,25 @@ impl TcpRun {
                 workload.clone(),
                 seed,
                 listener,
+                gateway_route,
             ));
         }
+        let gateway_admission = plan.gateway.then(|| match plan.gateway_slots {
+            Some(slots) => AdmissionConfig {
+                max_in_flight: slots,
+                resume_at: (slots / 2).max(1),
+                retry_after_ms: 20,
+                slot_ttl_ns: 100_000_000,
+            },
+            None => AdmissionConfig::default(),
+        });
+        let gateway = match gateway_admission {
+            Some(admission) => {
+                let listener = bind(plan.gateway_node())?;
+                Some(spawn_gateway(spec.clone(), admission, seed, listener))
+            }
+            None => None,
+        };
         let node_delay_ms = vec![0; total];
         Ok(TcpRun {
             net,
@@ -367,6 +457,9 @@ impl TcpRun {
             seed,
             replicas,
             clients,
+            gateway,
+            gateway_admission,
+            gateway_exits: Vec::new(),
             crashed_exits: Vec::new(),
             node_delay_ms,
             data_dirs,
@@ -378,7 +471,7 @@ impl TcpRun {
     }
 
     fn total(&self) -> usize {
-        self.spec.n() + self.spec.clients.len()
+        self.spec.n() + self.spec.clients.len() + self.spec.gateways.len()
     }
 
     fn completed(&self) -> u64 {
@@ -504,6 +597,34 @@ impl TcpRun {
                     let _ = handle.cmds.send(NodeCmd::SetSkew(skew_ns));
                 }
             }
+            Step::GatewayCrash => {
+                if let Some(handle) = self.gateway.take() {
+                    let node = self.spec.gateway_node(0);
+                    self.net.clear_forward(node);
+                    self.gateway_exits.push(handle.join());
+                }
+            }
+            Step::GatewayRestart => {
+                if self.gateway.is_some() {
+                    return; // restarting a live gateway is a plan bug; ignore
+                }
+                let Some(admission) = self.gateway_admission else {
+                    return;
+                };
+                let node = self.spec.gateway_node(0);
+                let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
+                    return;
+                };
+                if let Ok(addr) = listener.local_addr() {
+                    self.net.set_forward(node, addr.to_string());
+                }
+                self.gateway = Some(spawn_gateway(
+                    self.spec.clone(),
+                    admission,
+                    self.seed,
+                    listener,
+                ));
+            }
             Step::SlowCpu { .. } | Step::Deaf { .. } => {
                 unreachable!("sim-only faults are rejected before boot")
             }
@@ -590,10 +711,16 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
     for client in &run.clients {
         client.stop.store(true, Ordering::Release);
     }
+    if let Some(gateway) = &run.gateway {
+        gateway.stop.store(true, Ordering::Release);
+    }
     for replica in run.replicas.iter().flatten() {
         replica.stop.store(true, Ordering::Release);
     }
     let client_exits: Vec<NodeExit> = run.clients.drain(..).map(NodeHandle::join).collect();
+    if let Some(gateway) = run.gateway.take() {
+        run.gateway_exits.push(gateway.join());
+    }
     let replica_exits: Vec<(usize, NodeExit)> = run
         .replicas
         .iter_mut()
@@ -615,6 +742,7 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
         .iter()
         .map(|(_, exit)| exit)
         .chain(&client_exits)
+        .chain(&run.gateway_exits)
         .chain(run.crashed_exits.iter().map(|(_, exit)| exit))
     {
         for (key, value) in &exit.counters {
@@ -634,6 +762,9 @@ pub fn run_tcp(plan: &FaultPlan, seed: u64, time_cap: Duration) -> RunReport {
     }
     for (c, exit) in client_exits.iter().enumerate() {
         registries.push((format!("client {c}"), exit.registry.clone()));
+    }
+    for (g, exit) in run.gateway_exits.iter().enumerate() {
+        registries.push((format!("gateway (incarnation {g})"), exit.registry.clone()));
     }
 
     RunReport {

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use sbft_types::{ClientId, Digest, ReplicaId, SeqNum};
 
-use sbft_crypto::{sha256, CryptoCostModel, KeyPair, Signature};
+use sbft_crypto::{sha256, CryptoCostModel, KeyPair, Signature, SplitMix64};
 use sbft_sim::{Context, Node, NodeId, SimDuration, SimTime};
 use sbft_statedb::{verify_execution, ExecutionProof, RawOp};
 
@@ -52,6 +52,17 @@ pub struct ClientNode {
     retry_timer: Option<sbft_sim::TimerId>,
     primary_guess: usize,
     retry_timeout: SimDuration,
+    /// Consecutive retries of the outstanding request; resets on
+    /// completion. Drives the exponential backoff.
+    attempts: u32,
+    /// Per-client jitter stream (seeded from the client id): desynchronizes
+    /// the retry timers of clients that timed out together, so an overload
+    /// blip cannot re-fire the whole population in lockstep.
+    jitter: SplitMix64,
+    /// When set, all requests go through this front-door node instead of
+    /// straight to replicas, and retries re-ask the gateway rather than
+    /// broadcasting to the cluster (the gateway owns fan-out policy).
+    gateway: Option<NodeId>,
     /// Completed request count.
     pub completed: u64,
     /// Latencies of completed requests, in milliseconds.
@@ -85,6 +96,9 @@ impl ClientNode {
             retry_timer: None,
             primary_guess: 0,
             retry_timeout,
+            attempts: 0,
+            jitter: SplitMix64::new(0x6a77 ^ u64::from(id.get()).wrapping_mul(0x9e3779b97f4a7c15)),
+            gateway: None,
             completed: 0,
             latencies_ms: Vec::new(),
             last_result: Vec::new(),
@@ -103,8 +117,32 @@ impl ClientNode {
         self.timestamp = self.timestamp.max(base);
     }
 
+    /// Routes every request through the gateway node `node` instead of
+    /// sending to replicas directly (see `crates/gateway`).
+    pub fn set_gateway(&mut self, node: NodeId) {
+        self.gateway = Some(node);
+    }
+
     fn n(&self) -> usize {
         self.config.n()
+    }
+
+    /// The retry delay for the current attempt count: exponential from
+    /// `retry_timeout`, capped at 32× base, plus up to +50% uniform
+    /// jitter. Without the jitter, N clients whose requests died in the
+    /// same overload blip time out together, re-fire together, overload
+    /// the cluster again, and synchronize forever — the PR 2 storm.
+    fn backoff_delay(&mut self) -> SimDuration {
+        let base = self.retry_timeout.as_nanos().max(1);
+        let exp = base.saturating_mul(1u64 << self.attempts.min(5));
+        let jitter = self.jitter.next_u64() % (exp / 2 + 1);
+        SimDuration::from_nanos(exp + jitter)
+    }
+
+    /// Where new requests go: the gateway if configured, else our guess
+    /// at the current primary.
+    fn front_door(&self) -> NodeId {
+        self.gateway.unwrap_or(self.primary_guess)
     }
 
     fn send_next(&mut self, ctx: &mut Context<'_, SbftMsg>) {
@@ -121,8 +159,9 @@ impl ClientNode {
             sent_at: ctx.now(),
             reply_digests: HashMap::new(),
         });
-        ctx.send(self.primary_guess, SbftMsg::Request(request));
-        self.retry_timer = Some(ctx.set_timer(self.retry_timeout, RETRY_TOKEN));
+        ctx.send(self.front_door(), SbftMsg::Request(request));
+        let delay = self.backoff_delay();
+        self.retry_timer = Some(ctx.set_timer(delay, RETRY_TOKEN));
     }
 
     fn complete(&mut self, ctx: &mut Context<'_, SbftMsg>, result: Vec<u8>) {
@@ -137,6 +176,7 @@ impl ClientNode {
         }
         let latency = (ctx.now() - outstanding.sent_at).as_millis_f64();
         self.latencies_ms.push(latency);
+        self.attempts = 0;
         self.completed += 1;
         self.last_result = result;
         ctx.record("latency_ms", latency);
@@ -209,6 +249,28 @@ impl ClientNode {
             self.complete(ctx, result);
         }
     }
+
+    /// The front door shed our outstanding request. Honor the advertised
+    /// interval: hold the request and re-ask after `retry_after_ms` (plus
+    /// jitter) instead of letting the normal timeout broadcast a retry to
+    /// every replica — shed load must leave the cluster *quieter*, not
+    /// amplify into the PR 2 storm.
+    fn handle_busy(&mut self, ctx: &mut Context<'_, SbftMsg>, timestamp: u64, retry_after_ms: u64) {
+        let Some(outstanding) = &self.outstanding else {
+            return;
+        };
+        if outstanding.timestamp != timestamp {
+            return;
+        }
+        ctx.incr("client_busy", 1);
+        if let Some(id) = self.retry_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.attempts = self.attempts.saturating_add(1);
+        let base = SimDuration::from_millis(retry_after_ms).as_nanos();
+        let jitter = self.jitter.next_u64() % (base / 2 + 1);
+        self.retry_timer = Some(ctx.set_timer(SimDuration::from_nanos(base + jitter), RETRY_TOKEN));
+    }
 }
 
 impl Node<SbftMsg> for ClientNode {
@@ -239,6 +301,11 @@ impl Node<SbftMsg> for ClientNode {
                 result,
                 ..
             } if client == self.id => self.handle_reply(ctx, replica, timestamp, result),
+            SbftMsg::Busy {
+                client,
+                timestamp,
+                retry_after_ms,
+            } if client == self.id => self.handle_busy(ctx, timestamp, retry_after_ms),
             _ => {}
         }
     }
@@ -253,7 +320,11 @@ impl Node<SbftMsg> for ClientNode {
             return;
         };
         // Timeout: broadcast to all replicas and ask for the f+1 path
-        // (§V-A: "the client resends the request to all replicas").
+        // (§V-A: "the client resends the request to all replicas") —
+        // unless a gateway fronts us, in which case fan-out policy is
+        // its job and we just re-ask it. Successive timeouts back off
+        // exponentially with per-client jitter so a whole population
+        // timing out together cannot re-fire in lockstep.
         ctx.incr("client_retries", 1);
         ctx.charge_cpu_ns(self.cost.sign_request());
         let request = ClientRequest::signed(
@@ -262,10 +333,83 @@ impl Node<SbftMsg> for ClientNode {
             outstanding.op.clone(),
             &self.keys,
         );
-        self.primary_guess = (self.primary_guess + 1) % self.n();
-        for r in 0..self.n() {
-            ctx.send(r, SbftMsg::Request(request.clone()));
+        self.attempts = self.attempts.saturating_add(1);
+        match self.gateway {
+            Some(gateway) => ctx.send(gateway, SbftMsg::Request(request)),
+            None => {
+                self.primary_guess = (self.primary_guess + 1) % self.n();
+                for r in 0..self.n() {
+                    ctx.send(r, SbftMsg::Request(request.clone()));
+                }
+            }
         }
-        self.retry_timer = Some(ctx.set_timer(self.retry_timeout, RETRY_TOKEN));
+        let delay = self.backoff_delay();
+        self.retry_timer = Some(ctx.set_timer(delay, RETRY_TOKEN));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VariantFlags;
+    use crate::keys::KeyMaterial;
+
+    fn test_client(keys: &KeyMaterial, c: u32) -> ClientNode {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        ClientNode::new(
+            config,
+            ClientId::new(c),
+            keys.public.clone(),
+            Box::new(|_| None),
+            SimDuration::from_millis(100),
+            CryptoCostModel::free(),
+        )
+    }
+
+    fn material() -> KeyMaterial {
+        KeyMaterial::generate(&ProtocolConfig::new(1, 0, VariantFlags::SBFT), 1)
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let keys = material();
+        let mut client = test_client(&keys, 0);
+        let base = SimDuration::from_millis(100).as_nanos();
+        for attempts in 0..=5u32 {
+            client.attempts = attempts;
+            let exp = base << attempts;
+            let d = client.backoff_delay().as_nanos();
+            assert!(
+                d >= exp && d <= exp + exp / 2,
+                "attempt {attempts}: {d} outside [{exp}, 1.5·{exp}]"
+            );
+        }
+        // Past the cap the exponent freezes at 32× base — overloaded
+        // clients must stay responsive, not back off into next week.
+        client.attempts = 40;
+        let d = client.backoff_delay().as_nanos();
+        assert!(d >= base * 32 && d <= base * 48, "cap violated: {d}");
+    }
+
+    /// The PR 2 storm regression: a population of clients that all timed
+    /// out at the same instant must NOT re-arm identical timers. Jitter
+    /// is per-client (seeded from the id), so their next deadlines
+    /// scatter across the [exp, 1.5·exp] window.
+    #[test]
+    fn timed_out_clients_do_not_refire_in_lockstep() {
+        let keys = material();
+        let delays: Vec<u64> = (0..64u32)
+            .map(|c| {
+                let mut client = test_client(&keys, c);
+                client.attempts = 1; // everyone on their first retry
+                client.backoff_delay().as_nanos()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<&u64> = delays.iter().collect();
+        assert!(
+            distinct.len() >= 48,
+            "expected scattered retry deadlines, got {} distinct of 64",
+            distinct.len()
+        );
     }
 }

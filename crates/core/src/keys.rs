@@ -23,8 +23,10 @@ pub const DOMAIN_PI: &[u8] = b"sbft-pi";
 
 /// Bound on the memoized client-key map; a rollover clears it (real
 /// deployments cycle through a stable working set of clients, so the
-/// cache effectively never rolls).
-const CLIENT_KEY_CACHE_CAP: usize = 65_536;
+/// cache effectively never rolls). Sized past the gateway's 100k+
+/// logical-session ceiling so a full front-door population verifies
+/// against warm keys instead of thrashing the cache every block.
+const CLIENT_KEY_CACHE_CAP: usize = 262_144;
 
 /// Public key material every replica and client holds.
 #[derive(Debug)]

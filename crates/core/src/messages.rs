@@ -574,6 +574,20 @@ pub enum SbftMsg {
         /// The peer's stable-checkpoint sequence.
         last_stable: SeqNum,
     },
+    /// Gateway → client: explicit admission rejection. The front door is
+    /// over its high-water mark and shed this request *before* it cost
+    /// the replicas anything; the client should hold the request and
+    /// retry after the advertised interval — not broadcast to every
+    /// replica (the PR 2 storm amplifier). Cheap on purpose: no
+    /// signature, fixed size, sheddable load must cost almost nothing.
+    Busy {
+        /// The rejected request's client.
+        client: ClientId,
+        /// The rejected request's timestamp.
+        timestamp: u64,
+        /// How long the client should wait before retrying, in ms.
+        retry_after_ms: u64,
+    },
 }
 
 impl Wire for SbftMsg {
@@ -736,6 +750,16 @@ impl Wire for SbftMsg {
                 last_executed.encode(enc);
                 last_stable.encode(enc);
             }
+            SbftMsg::Busy {
+                client,
+                timestamp,
+                retry_after_ms,
+            } => {
+                enc.put_u8(19);
+                client.encode(enc);
+                enc.put_u64(*timestamp);
+                enc.put_varint(*retry_after_ms);
+            }
         }
     }
 
@@ -852,6 +876,11 @@ impl Wire for SbftMsg {
                 last_executed: SeqNum::decode(dec)?,
                 last_stable: SeqNum::decode(dec)?,
             }),
+            19 => Ok(SbftMsg::Busy {
+                client: ClientId::decode(dec)?,
+                timestamp: dec.get_u64()?,
+                retry_after_ms: dec.get_varint()?,
+            }),
             _ => Err(DecodeError::InvalidValue {
                 what: "SbftMsg tag",
             }),
@@ -885,6 +914,7 @@ impl SimMessage for SbftMsg {
             SbftMsg::ExecuteReady => "execute-ready",
             SbftMsg::RecoveryRequest { .. } => "recovery-request",
             SbftMsg::RecoveryOffer { .. } => "recovery-offer",
+            SbftMsg::Busy { .. } => "busy",
         }
     }
 }
@@ -1052,13 +1082,18 @@ mod tests {
                 last_executed: SeqNum::new(8),
                 last_stable: SeqNum::new(6),
             },
+            SbftMsg::Busy {
+                client: ClientId::new(7),
+                timestamp: 42,
+                retry_after_ms: 125,
+            },
         ];
         for msg in &msgs {
             round_trip(msg);
         }
         // All labels distinct enough for metrics.
         let labels: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.label()).collect();
-        assert!(labels.len() >= 17);
+        assert!(labels.len() >= 18);
     }
 
     #[test]

@@ -2263,6 +2263,9 @@ impl Node<SbftMsg> for ReplicaNode {
                 last_executed,
                 last_stable,
             } => self.handle_recovery_offer(ctx, from, last_executed, last_stable),
+            // Gateway → client admission rejections; nothing for a
+            // replica to do with one.
+            SbftMsg::Busy { .. } => {}
         }
     }
 

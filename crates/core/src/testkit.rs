@@ -100,6 +100,13 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Record a full message trace (Figure 1).
     pub trace: bool,
+    /// Reserve a front-door gateway node after the clients and route
+    /// every client's requests through it. The gateway node itself is
+    /// NOT built here (that would invert the crate dependency — the
+    /// gateway lives in `sbft-gateway`): the caller must `add_node` it
+    /// immediately after [`Cluster::build`], where it receives node id
+    /// [`Cluster::gateway_node`] by insertion order.
+    pub gateway: bool,
     /// Factory for each replica's service backend.
     pub service_factory: Box<dyn Fn() -> Box<dyn Service>>,
 }
@@ -130,6 +137,7 @@ impl ClusterConfig {
             client_retry: SimDuration::from_millis(400),
             seed: 42,
             trace: false,
+            gateway: false,
             service_factory: Box::new(|| Box::new(KvService::new())),
         }
     }
@@ -190,6 +198,9 @@ pub struct Cluster {
     pub n: usize,
     /// Number of clients.
     pub clients: usize,
+    /// Whether a gateway node slot follows the clients (see
+    /// [`ClusterConfig::gateway`]).
+    pub gateway: bool,
     protocol: ProtocolConfig,
     keys: KeyMaterial,
     cost: CryptoCostModel,
@@ -200,9 +211,10 @@ impl Cluster {
     /// Builds a cluster from a configuration.
     pub fn build(config: ClusterConfig) -> Cluster {
         let n = config.protocol.n();
-        let total = n + config.clients;
+        let extras = config.clients + usize::from(config.gateway);
+        let total = n + extras;
         let mut placement = Placement::round_robin(&config.topology, n, config.machines_per_region);
-        placement.extend(&config.topology, config.clients, config.machines_per_region);
+        placement.extend(&config.topology, extras, config.machines_per_region);
         let network = NetworkModel::new(config.topology, placement, config.network, total);
         let mut sim = Simulation::new(network, config.seed, config.trace);
         let keys = KeyMaterial::generate(&config.protocol, config.seed);
@@ -218,7 +230,7 @@ impl Cluster {
         }
         for c in 0..config.clients {
             let source = config.workload.source_for(c, config.seed);
-            let client = make_client(
+            let mut client = make_client(
                 &config.protocol,
                 c,
                 &keys,
@@ -226,12 +238,16 @@ impl Cluster {
                 config.client_retry,
                 config.cost.clone(),
             );
+            if config.gateway {
+                client.set_gateway(n + config.clients);
+            }
             sim.add_node(Box::new(client));
         }
         Cluster {
             sim,
             n,
             clients: config.clients,
+            gateway: config.gateway,
             protocol: config.protocol,
             keys,
             cost: config.cost,
@@ -307,6 +323,12 @@ impl Cluster {
     /// Node id of a client.
     pub fn client_node(&self, c: usize) -> NodeId {
         self.n + c
+    }
+
+    /// Node id of the gateway slot (valid when built with
+    /// [`ClusterConfig::gateway`]; the caller added the node there).
+    pub fn gateway_node(&self) -> NodeId {
+        self.n + self.clients
     }
 
     /// Starts all nodes and runs for a simulated duration.

@@ -287,6 +287,7 @@ impl SbftPreVerifier {
             | SbftMsg::StateRequest { .. }
             | SbftMsg::RecoveryRequest { .. }
             | SbftMsg::RecoveryOffer { .. }
+            | SbftMsg::Busy { .. }
             | SbftMsg::ExecuteReady => true,
         }
     }

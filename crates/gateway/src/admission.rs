@@ -1,0 +1,342 @@
+//! Bounded admission with watermark hysteresis.
+//!
+//! The gateway's job under overload is to say *no* cheaply. Admission is
+//! a fixed budget of in-flight slots; crossing the high-water mark stops
+//! new admissions until the level drains to the low-water mark, so the
+//! gate doesn't flap open/closed on every completion (each flap is a
+//! burst of admissions that immediately re-trips the gate — classic
+//! thundering herd, just relocated). Shed requests get an explicit
+//! `Busy{retry_after}` instead of silence: the client holds off for the
+//! advertised interval instead of timing out and broadcasting.
+
+use std::collections::{HashMap, VecDeque};
+
+/// High/low-water hysteresis over an observed level.
+///
+/// Engages (refuses admissions) when the level reaches `high`; releases
+/// only when it drains to `low`. Levels in between keep the previous
+/// decision, whichever it was.
+#[derive(Debug, Clone)]
+pub struct Watermark {
+    high: usize,
+    low: usize,
+    engaged: bool,
+}
+
+impl Watermark {
+    /// A gate that trips at `high` and re-opens at `low` (`low < high`).
+    ///
+    /// # Panics
+    ///
+    /// If `low >= high` (that would flap by construction).
+    pub fn new(high: usize, low: usize) -> Watermark {
+        assert!(
+            low < high,
+            "low water {low} must be below high water {high}"
+        );
+        Watermark {
+            high,
+            low,
+            engaged: false,
+        }
+    }
+
+    /// Feeds the current level; returns whether the gate is engaged
+    /// (true = refuse admissions).
+    pub fn observe(&mut self, level: usize) -> bool {
+        if level >= self.high {
+            self.engaged = true;
+        } else if level <= self.low {
+            self.engaged = false;
+        }
+        self.engaged
+    }
+
+    /// The last decision, without feeding a new level.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+}
+
+/// Admission policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// In-flight slots: the high-water mark. At this many admitted,
+    /// un-completed requests the gate trips.
+    pub max_in_flight: usize,
+    /// Low-water mark: the gate re-opens once in-flight (plus external
+    /// pressure) drains to this level.
+    pub resume_at: usize,
+    /// The interval advertised in `Busy{retry_after}` when shedding.
+    pub retry_after_ms: u64,
+    /// How long an admitted slot is held without a completion before it
+    /// expires. Bounds slot leakage when the gateway cannot observe a
+    /// completion (crashed client, lost reply); also the admission
+    /// budget's time constant in the simulator, where replicas answer
+    /// clients directly and the gateway never sees the reply.
+    pub slot_ttl_ns: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 4096,
+            resume_at: 3072,
+            retry_after_ms: 50,
+            slot_ttl_ns: 2_000_000_000,
+        }
+    }
+}
+
+/// The verdict for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Forward to the cluster. `rebroadcast` is set when this
+    /// `(client, timestamp)` already holds a slot — a client retry of an
+    /// admitted request, which must reach *all* replicas (the retry
+    /// exists because the primary may have failed) without consuming a
+    /// second slot.
+    Admit {
+        /// Send to every replica instead of just the primary.
+        rebroadcast: bool,
+    },
+    /// Refused; tell the client when to come back.
+    Shed {
+        /// Advertised back-off interval.
+        retry_after_ms: u64,
+    },
+}
+
+/// Cumulative admission counters (monotone; exported to telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    /// Requests granted a fresh slot.
+    pub admitted: u64,
+    /// Admitted-request retries forwarded to all replicas.
+    pub rebroadcast: u64,
+    /// Requests refused with `Busy`.
+    pub shed: u64,
+    /// Slots freed by an observed completion.
+    pub completed: u64,
+    /// Slots freed by TTL expiry.
+    pub expired: u64,
+}
+
+/// The sans-IO admission engine: one per gateway, shared by the
+/// simulator node and the real-socket front door.
+#[derive(Debug)]
+pub struct GatewayCore {
+    config: AdmissionConfig,
+    /// `(client, timestamp) → slot expiry (ns)`. Doubles as the
+    /// duplicate-detection table: a retry of an admitted request is
+    /// recognized here and rebroadcast instead of double-admitted.
+    in_flight: HashMap<(u32, u64), u64>,
+    /// FIFO of `(key, expiry)` in admission order — slots expire in
+    /// order, so the sweep pops from the front only. An entry is stale
+    /// (skip, don't evict) when the map holds a different expiry for its
+    /// key: the slot completed and the key was re-admitted later.
+    expiry_order: VecDeque<((u32, u64), u64)>,
+    gate: Watermark,
+    /// Pressure from outside the admission table — the transport's
+    /// per-peer backlog and the node-thread inbound queue, fed by the
+    /// host (`set_external_pressure`). Backpressure propagation: when
+    /// replicas stop draining, this rises, the same gate trips, and the
+    /// gateway stops admitting before anything downstream drowns.
+    external_pressure: usize,
+    counters: AdmissionCounters,
+}
+
+impl GatewayCore {
+    /// A fresh engine with the given policy.
+    pub fn new(config: AdmissionConfig) -> GatewayCore {
+        let gate = Watermark::new(config.max_in_flight, config.resume_at);
+        GatewayCore {
+            config,
+            in_flight: HashMap::new(),
+            expiry_order: VecDeque::new(),
+            gate,
+            external_pressure: 0,
+            counters: AdmissionCounters::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Currently held slots.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> AdmissionCounters {
+        self.counters
+    }
+
+    /// Updates the externally observed pressure (queue depths outside
+    /// this table). Added to the in-flight level at every gate decision.
+    pub fn set_external_pressure(&mut self, level: usize) {
+        self.external_pressure = level;
+    }
+
+    /// Decides one arriving request.
+    pub fn admit(&mut self, client: u32, timestamp: u64, now_ns: u64) -> Admission {
+        self.sweep(now_ns);
+        let key = (client, timestamp);
+        if self.in_flight.contains_key(&key) {
+            self.counters.rebroadcast += 1;
+            return Admission::Admit { rebroadcast: true };
+        }
+        let level = self.in_flight.len() + self.external_pressure;
+        if self.gate.observe(level) {
+            self.counters.shed += 1;
+            return Admission::Shed {
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        }
+        let expiry = now_ns.saturating_add(self.config.slot_ttl_ns);
+        self.in_flight.insert(key, expiry);
+        self.expiry_order.push_back((key, expiry));
+        self.counters.admitted += 1;
+        Admission::Admit { rebroadcast: false }
+    }
+
+    /// Frees the slot for an observed completion. Returns whether a slot
+    /// was actually held (false = unknown or already expired).
+    pub fn complete(&mut self, client: u32, timestamp: u64) -> bool {
+        let freed = self.in_flight.remove(&(client, timestamp)).is_some();
+        if freed {
+            self.counters.completed += 1;
+        }
+        freed
+    }
+
+    /// Expires overdue slots; returns how many were freed. Cheap to call
+    /// often (front-of-queue check), and `admit` calls it itself.
+    pub fn sweep(&mut self, now_ns: u64) -> u64 {
+        let mut freed = 0;
+        while let Some(&(key, expiry)) = self.expiry_order.front() {
+            if expiry > now_ns {
+                break;
+            }
+            self.expiry_order.pop_front();
+            // Only evict the slot this entry actually admitted: if the
+            // map holds a different expiry, the key completed and was
+            // re-admitted since.
+            if self.in_flight.get(&key) == Some(&expiry) {
+                self.in_flight.remove(&key);
+                self.counters.expired += 1;
+                freed += 1;
+            }
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_does_not_flap_between_the_marks() {
+        let mut gate = Watermark::new(10, 4);
+        assert!(!gate.observe(9), "below high: open");
+        assert!(gate.observe(10), "at high: trips");
+        // Draining through the band must NOT re-open until low water —
+        // this is the flap the hysteresis exists to prevent.
+        for level in (5..10).rev() {
+            assert!(gate.observe(level), "still engaged at {level}");
+        }
+        assert!(!gate.observe(4), "at low: releases");
+        // And climbing back through the band must not re-trip early.
+        for level in 5..10 {
+            assert!(!gate.observe(level), "still open at {level}");
+        }
+        assert!(gate.observe(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "below high water")]
+    fn watermark_rejects_inverted_marks() {
+        let _ = Watermark::new(4, 10);
+    }
+
+    fn small_core() -> GatewayCore {
+        GatewayCore::new(AdmissionConfig {
+            max_in_flight: 4,
+            resume_at: 1,
+            retry_after_ms: 25,
+            slot_ttl_ns: 1_000,
+        })
+    }
+
+    #[test]
+    fn admits_until_high_water_then_sheds_until_low() {
+        let mut core = small_core();
+        for ts in 0..4 {
+            assert_eq!(
+                core.admit(0, ts, 0),
+                Admission::Admit { rebroadcast: false }
+            );
+        }
+        assert_eq!(core.admit(0, 4, 0), Admission::Shed { retry_after_ms: 25 });
+        // Completing down to 2 slots is still above low water: shed.
+        assert!(core.complete(0, 0));
+        assert!(core.complete(0, 1));
+        assert_eq!(core.admit(0, 5, 0), Admission::Shed { retry_after_ms: 25 });
+        // Draining to low water re-opens the gate.
+        assert!(core.complete(0, 2));
+        assert_eq!(core.admit(0, 6, 0), Admission::Admit { rebroadcast: false });
+        let c = core.counters();
+        assert_eq!((c.admitted, c.shed, c.completed), (5, 2, 3));
+    }
+
+    #[test]
+    fn retry_of_an_admitted_request_rebroadcasts_without_a_new_slot() {
+        let mut core = small_core();
+        assert_eq!(core.admit(7, 1, 0), Admission::Admit { rebroadcast: false });
+        assert_eq!(core.admit(7, 1, 0), Admission::Admit { rebroadcast: true });
+        assert_eq!(core.in_flight(), 1, "retry holds no second slot");
+        assert_eq!(core.counters().rebroadcast, 1);
+    }
+
+    #[test]
+    fn slots_expire_by_ttl_and_reopen_the_gate() {
+        let mut core = small_core();
+        for ts in 0..4 {
+            core.admit(0, ts, 0);
+        }
+        assert!(matches!(core.admit(0, 9, 500), Admission::Shed { .. }));
+        // Past the TTL the whole table expires; the gate re-opens.
+        assert_eq!(
+            core.admit(0, 10, 2_000),
+            Admission::Admit { rebroadcast: false }
+        );
+        assert_eq!(core.counters().expired, 4);
+        assert_eq!(core.in_flight(), 1);
+    }
+
+    #[test]
+    fn stale_expiry_entries_do_not_evict_readmitted_slots() {
+        let mut core = small_core();
+        core.admit(3, 1, 0); // expires at 1_000
+        assert!(core.complete(3, 1));
+        core.admit(3, 1, 900); // same key, new slot, expires at 1_900
+        assert_eq!(core.sweep(1_000), 0, "stale entry must not evict");
+        assert_eq!(core.in_flight(), 1);
+        assert_eq!(core.sweep(1_900), 1);
+    }
+
+    #[test]
+    fn external_pressure_trips_the_same_gate() {
+        let mut core = small_core();
+        core.set_external_pressure(4);
+        assert!(matches!(core.admit(0, 1, 0), Admission::Shed { .. }));
+        assert_eq!(core.in_flight(), 0);
+        // Pressure released below low water: admissions resume.
+        core.set_external_pressure(0);
+        assert_eq!(core.admit(0, 2, 0), Admission::Admit { rebroadcast: false });
+    }
+}

@@ -1,0 +1,104 @@
+//! The gateway as a simulator node: a forwarding front door.
+//!
+//! Clients configured with [`sbft_core::client::ClientNode::set_gateway`]
+//! send every request here instead of to replicas. The gateway runs the
+//! request through [`GatewayCore`] admission and either forwards it into
+//! the cluster (primary first; all replicas on an admitted retry, since
+//! a retry exists because the primary may be gone) or answers
+//! `Busy{retry_after}` straight back. Replicas still reply to clients
+//! directly — the simulator's network can address any node — so the
+//! gateway's slot budget is a *rate window*: slots expire by TTL rather
+//! than by observed completion. The real-socket deployment (see
+//! `session.rs`) does observe completions, because session replies are
+//! alias-routed back through the gateway's own connection.
+
+use sbft_core::messages::SbftMsg;
+use sbft_sim::{Context, Node, NodeId, SimDuration};
+
+use crate::admission::{Admission, GatewayCore};
+
+const SWEEP_TOKEN: u64 = 1;
+/// Expiry-sweep cadence: fine enough that a drained cluster re-opens the
+/// gate promptly even with no arrivals to piggyback the sweep on.
+const SWEEP_EVERY: SimDuration = SimDuration::from_millis(25);
+
+/// A simulated gateway node fronting `n` replicas.
+pub struct GatewayNode {
+    core: GatewayCore,
+    n: usize,
+    /// Where fresh admissions go. The guess never has to be right —
+    /// backups forward requests to the real primary — it just keeps the
+    /// common case at one message.
+    primary_guess: usize,
+}
+
+impl GatewayNode {
+    /// A gateway in front of an `n`-replica cluster.
+    pub fn new(core: GatewayCore, n: usize) -> GatewayNode {
+        GatewayNode {
+            core,
+            n,
+            primary_guess: 0,
+        }
+    }
+
+    /// The admission engine (counters, in-flight level).
+    pub fn core(&self) -> &GatewayCore {
+        &self.core
+    }
+}
+
+impl Node<SbftMsg> for GatewayNode {
+    sbft_sim::impl_node_any!();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        ctx.set_timer(SWEEP_EVERY, SWEEP_TOKEN);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
+        let SbftMsg::Request(request) = msg else {
+            return;
+        };
+        let now = ctx.now().as_nanos();
+        match self
+            .core
+            .admit(request.client.get(), request.timestamp, now)
+        {
+            Admission::Admit { rebroadcast: false } => {
+                ctx.incr("gateway_admitted", 1);
+                ctx.send(self.primary_guess, SbftMsg::Request(request));
+            }
+            Admission::Admit { rebroadcast: true } => {
+                // An admitted request came back: the client timed out on
+                // it. Fan out like the client's own §V-A fallback would.
+                ctx.incr("gateway_rebroadcast", 1);
+                self.primary_guess = (self.primary_guess + 1) % self.n;
+                for r in 0..self.n {
+                    ctx.send(r, SbftMsg::Request(request.clone()));
+                }
+            }
+            Admission::Shed { retry_after_ms } => {
+                ctx.incr("gateway_shed", 1);
+                ctx.send(
+                    from,
+                    SbftMsg::Busy {
+                        client: request.client,
+                        timestamp: request.timestamp,
+                        retry_after_ms,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, SbftMsg>) {
+        if token != SWEEP_TOKEN {
+            return;
+        }
+        let freed = self.core.sweep(ctx.now().as_nanos());
+        if freed > 0 {
+            ctx.incr("gateway_expired", freed);
+        }
+        ctx.set_timer(SWEEP_EVERY, SWEEP_TOKEN);
+    }
+}

@@ -1,0 +1,256 @@
+//! Session multiplexing for the real-socket front door.
+//!
+//! A *session* is one logical SBFT client living inside the gateway
+//! process: its client id, its signing key (derived once at
+//! registration through the memoized `PublicKeys::client_keys` cache —
+//! no per-request PKI work), and its one outstanding request. Thousands
+//! of sessions share the gateway's single physical connection per
+//! replica; replicas answer them over that same connection via the
+//! transport's alias ranges (`ClusterSpec::session_node_range`), and the
+//! mux demultiplexes replies by the client id every ack and reply
+//! carries.
+//!
+//! The mux is sans-IO: `submit` hands back a signed [`ClientRequest`]
+//! for the caller to put on the wire, `on_message` consumes decoded
+//! inbound traffic and reports completions. Admission is the caller's
+//! job ([`crate::GatewayCore`]) — the mux only tracks per-session
+//! protocol state, including full client-side verification: an
+//! execute-ack is checked exactly as a standalone client would (π
+//! signature + Merkle execution proof, §V-A), and the slow path needs
+//! `f + 1` matching replies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sbft_core::config::ProtocolConfig;
+use sbft_core::keys::{PublicKeys, DOMAIN_PI};
+use sbft_core::messages::{ClientRequest, SbftMsg};
+use sbft_crypto::{sha256, KeyPair};
+use sbft_statedb::{verify_execution, RawOp};
+use sbft_types::{ClientId, Digest, ReplicaId};
+
+struct Outstanding {
+    request: ClientRequest,
+    sent_at_ns: u64,
+    reply_digests: HashMap<ReplicaId, Digest>,
+}
+
+struct Session {
+    client: ClientId,
+    keys: KeyPair,
+    next_timestamp: u64,
+    outstanding: Option<Outstanding>,
+}
+
+/// A completed request, as reported by [`SessionMux::on_message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Index of the completing session (dense, `0..count`).
+    pub session: usize,
+    /// The request's timestamp.
+    pub timestamp: u64,
+    /// Submit-to-completion latency.
+    pub latency_ns: u64,
+}
+
+/// The gateway's table of logical client sessions.
+pub struct SessionMux {
+    public: Arc<PublicKeys>,
+    pi_threshold: usize,
+    sessions: Vec<Session>,
+    /// client id → dense session index, for reply demultiplexing.
+    by_client: HashMap<u32, usize>,
+    /// Completed requests across all sessions.
+    pub completed: u64,
+}
+
+impl SessionMux {
+    /// Registers `count` sessions with client ids `base..base + count`.
+    ///
+    /// Registration is where the per-session key derivation happens —
+    /// once, through the memoized cache — so `submit` only ever signs.
+    /// `timestamp_base` plays the same role as
+    /// `ClientNode::set_timestamp_base`: a restarted gateway must start
+    /// all session timestamps past everything previously sent, or
+    /// replicas will silently deduplicate the new requests.
+    pub fn register(
+        config: &ProtocolConfig,
+        public: Arc<PublicKeys>,
+        base: usize,
+        count: usize,
+        timestamp_base: u64,
+    ) -> SessionMux {
+        let mut sessions = Vec::with_capacity(count);
+        let mut by_client = HashMap::with_capacity(count);
+        for s in 0..count {
+            let client = ClientId::new((base + s) as u32);
+            by_client.insert(client.get(), s);
+            sessions.push(Session {
+                client,
+                keys: public.client_keys(client),
+                next_timestamp: timestamp_base,
+                outstanding: None,
+            });
+        }
+        SessionMux {
+            public,
+            pi_threshold: config.pi_threshold(),
+            sessions,
+            by_client,
+            completed: 0,
+        }
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The client id of session `s` (what admission and replicas key on).
+    pub fn client_of(&self, s: usize) -> ClientId {
+        self.sessions[s].client
+    }
+
+    /// Whether session `s` has a request in flight.
+    pub fn busy(&self, s: usize) -> bool {
+        self.sessions[s].outstanding.is_some()
+    }
+
+    /// Signs and tracks a fresh request on session `s`. Returns `None`
+    /// if the session already has one outstanding (one in flight per
+    /// session — the mux is not a pipeline).
+    pub fn submit(&mut self, s: usize, op: RawOp, now_ns: u64) -> Option<ClientRequest> {
+        let session = &mut self.sessions[s];
+        if session.outstanding.is_some() {
+            return None;
+        }
+        session.next_timestamp += 1;
+        let request =
+            ClientRequest::signed(session.client, session.next_timestamp, op, &session.keys);
+        session.outstanding = Some(Outstanding {
+            request: request.clone(),
+            sent_at_ns: now_ns,
+            reply_digests: HashMap::new(),
+        });
+        Some(request)
+    }
+
+    /// The outstanding request of session `s`, for a retry resend (no
+    /// re-signing: the timestamp must not change or replicas would treat
+    /// the retry as a new request).
+    pub fn resend(&self, s: usize) -> Option<ClientRequest> {
+        self.sessions[s]
+            .outstanding
+            .as_ref()
+            .map(|o| o.request.clone())
+    }
+
+    /// Abandons session `s`'s outstanding request (the open-loop driver
+    /// gave up on it). The slot in the admission table is left to TTL
+    /// expiry — the request may still commit, and its timestamp stays
+    /// burned either way.
+    pub fn abandon(&mut self, s: usize) {
+        self.sessions[s].outstanding = None;
+    }
+
+    /// Abandons every outstanding request submitted before `cutoff_ns`
+    /// and returns the freed session indexes — the open-loop driver's
+    /// give-up sweep. Timestamps stay burned; a late commit of an
+    /// abandoned request is deduplicated by the replicas, never
+    /// double-executed.
+    pub fn abandon_older_than(&mut self, cutoff_ns: u64) -> Vec<usize> {
+        let mut freed = Vec::new();
+        for (s, session) in self.sessions.iter_mut().enumerate() {
+            if session
+                .outstanding
+                .as_ref()
+                .is_some_and(|o| o.sent_at_ns < cutoff_ns)
+            {
+                session.outstanding = None;
+                freed.push(s);
+            }
+        }
+        freed
+    }
+
+    /// Feeds one decoded inbound message; returns the completion it
+    /// produced, if any. Non-reply traffic and replies for unknown or
+    /// idle sessions are ignored.
+    pub fn on_message(&mut self, msg: &SbftMsg, now_ns: u64) -> Option<Completion> {
+        match msg {
+            SbftMsg::ExecuteAck {
+                seq,
+                index,
+                client,
+                timestamp,
+                result,
+                digest,
+                pi,
+                proof,
+            } => {
+                let s = *self.by_client.get(&client.get())?;
+                let outstanding = self.sessions[s].outstanding.as_ref()?;
+                if outstanding.request.timestamp != *timestamp {
+                    return None;
+                }
+                if !self.public.pi.verify_either(DOMAIN_PI, digest, pi) {
+                    return None;
+                }
+                if !verify_execution(
+                    digest,
+                    &outstanding.request.op,
+                    result,
+                    *seq,
+                    *index as usize,
+                    proof,
+                ) {
+                    return None;
+                }
+                Some(self.complete(s, now_ns))
+            }
+            SbftMsg::Reply {
+                replica,
+                client,
+                timestamp,
+                result,
+                ..
+            } => {
+                let s = *self.by_client.get(&client.get())?;
+                let outstanding = self.sessions[s].outstanding.as_mut()?;
+                if outstanding.request.timestamp != *timestamp {
+                    return None;
+                }
+                let digest = sha256(result);
+                outstanding.reply_digests.insert(*replica, digest);
+                let matching = outstanding
+                    .reply_digests
+                    .values()
+                    .filter(|d| **d == digest)
+                    .count();
+                if matching < self.pi_threshold {
+                    return None;
+                }
+                Some(self.complete(s, now_ns))
+            }
+            _ => None,
+        }
+    }
+
+    fn complete(&mut self, s: usize, now_ns: u64) -> Completion {
+        let outstanding = self.sessions[s]
+            .outstanding
+            .take()
+            .expect("completing an active session");
+        self.completed += 1;
+        Completion {
+            session: s,
+            timestamp: outstanding.request.timestamp,
+            latency_ns: now_ns.saturating_sub(outstanding.sent_at_ns),
+        }
+    }
+}

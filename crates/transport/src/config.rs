@@ -28,9 +28,17 @@
 //! continental round-trip scale.
 //!
 //! Node ids follow the simulator's numbering: replicas are `0..n`,
-//! clients are `n..n+m`. Key material is derived deterministically from
-//! `seed` by every process (this is a reproduction: a real deployment
-//! would run distributed key generation instead).
+//! clients are `n..n+m`, gateways (if any) are `n+m..n+m+g`. Key
+//! material is derived deterministically from `seed` by every process
+//! (this is a reproduction: a real deployment would run distributed key
+//! generation instead).
+//!
+//! A front-door deployment adds `gateway <id> <host:port>` lines plus a
+//! `gateway_sessions N` budget — each gateway multiplexes up to `N`
+//! logical client sessions over its one physical connection per replica
+//! (see `crates/gateway`). Session reply traffic is routed back through
+//! the owning gateway's connection via transport alias ranges, so
+//! replicas never hold per-session sockets.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,7 +46,7 @@ use std::path::Path;
 
 use sbft_sim::NodeId;
 
-use crate::tcp::TransportConfig;
+use crate::tcp::{AliasRoute, TransportConfig};
 
 /// Protocol variant named in the config (mapped onto
 /// `sbft_core::VariantFlags` by the node binary; kept as a plain enum
@@ -105,6 +113,16 @@ pub struct ClusterSpec {
     pub replicas: Vec<String>,
     /// Client listen addresses, indexed by client id.
     pub clients: Vec<String>,
+    /// Gateway listen addresses, indexed by gateway id
+    /// (`gateway <id> <host:port>`). Usually zero or one; each entry is
+    /// a front door multiplexing `gateway_sessions` logical clients.
+    pub gateways: Vec<String>,
+    /// Logical client sessions each gateway may carry
+    /// (`gateway_sessions N`). Required (> 0) when any `gateway` line is
+    /// present: it sizes the session id block reserved per gateway, and
+    /// the alias ranges replicas use to route replies back through the
+    /// gateway connection.
+    pub gateway_sessions: usize,
 }
 
 /// Error from parsing a cluster config.
@@ -153,8 +171,10 @@ impl ClusterSpec {
         let mut profile = TransportProfile::default();
         let mut data_dir = None;
         let mut fsync = None;
+        let mut gateway_sessions = 0usize;
         let mut replicas: BTreeMap<usize, String> = BTreeMap::new();
         let mut clients: BTreeMap<usize, String> = BTreeMap::new();
+        let mut gateways: BTreeMap<usize, String> = BTreeMap::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -166,7 +186,7 @@ impl ClusterSpec {
             let directive = parts.next().expect("non-empty line");
             let args: Vec<&str> = parts.collect();
             match directive {
-                "f" | "c" | "seed" | "verify_threads" | "exec_threads" => {
+                "f" | "c" | "seed" | "verify_threads" | "exec_threads" | "gateway_sessions" => {
                     let [value] = args[..] else {
                         return Err(err(lineno, format!("`{directive}` takes one value")));
                     };
@@ -178,6 +198,7 @@ impl ClusterSpec {
                         "c" => c = Some(parsed as usize),
                         "verify_threads" => verify_threads = parsed as usize,
                         "exec_threads" => exec_threads = parsed as usize,
+                        "gateway_sessions" => gateway_sessions = parsed as usize,
                         _ => seed = parsed,
                     }
                 }
@@ -238,7 +259,7 @@ impl ClusterSpec {
                     }
                     fsync = Some(value.to_string());
                 }
-                "replica" | "client" => {
+                "replica" | "client" | "gateway" => {
                     let [id, addr] = args[..] else {
                         return Err(err(lineno, format!("`{directive}` takes <id> <host:port>")));
                     };
@@ -248,10 +269,10 @@ impl ClusterSpec {
                     if !addr.contains(':') {
                         return Err(err(lineno, format!("`{addr}` is not host:port")));
                     }
-                    let table = if directive == "replica" {
-                        &mut replicas
-                    } else {
-                        &mut clients
+                    let table = match directive {
+                        "replica" => &mut replicas,
+                        "client" => &mut clients,
+                        _ => &mut gateways,
                     };
                     if table.insert(id, addr.to_string()).is_some() {
                         return Err(err(lineno, format!("duplicate {directive} id {id}")));
@@ -286,6 +307,13 @@ impl ClusterSpec {
         };
         contiguous(&replicas, "replica")?;
         contiguous(&clients, "client")?;
+        contiguous(&gateways, "gateway")?;
+        if !gateways.is_empty() && gateway_sessions == 0 {
+            return Err(err(
+                0,
+                "`gateway` declared without `gateway_sessions N` (N > 0)",
+            ));
+        }
 
         Ok(ClusterSpec {
             f,
@@ -299,6 +327,8 @@ impl ClusterSpec {
             fsync,
             replicas: replicas.into_values().collect(),
             clients: clients.into_values().collect(),
+            gateways: gateways.into_values().collect(),
+            gateway_sessions,
         })
     }
 
@@ -366,12 +396,37 @@ impl ClusterSpec {
         self.n() + c
     }
 
+    /// Node id of a gateway (gateways number after clients).
+    pub fn gateway_node(&self, g: usize) -> NodeId {
+        self.n() + self.clients.len() + g
+    }
+
+    /// First *client id* of gateway `g`'s session block. Sessions get
+    /// client ids above every standalone client and every gateway's
+    /// reply slot, so their reply node ids (`n + client_id`) collide
+    /// with nothing that has a socket of its own.
+    pub fn session_client_base(&self, g: usize) -> usize {
+        self.clients.len() + self.gateways.len() + g * self.gateway_sessions
+    }
+
+    /// The *node id* range (`lo..hi`) replicas reply into for gateway
+    /// `g`'s sessions — the transport alias range routed via the
+    /// gateway's connection.
+    pub fn session_node_range(&self, g: usize) -> (NodeId, NodeId) {
+        let lo = self.n() + self.session_client_base(g);
+        (lo, lo + self.gateway_sessions)
+    }
+
     /// Listen address of a node id.
     pub fn addr_of(&self, node: NodeId) -> Option<&str> {
         if node < self.n() {
             self.replicas.get(node).map(String::as_str)
-        } else {
+        } else if node < self.n() + self.clients.len() {
             self.clients.get(node - self.n()).map(String::as_str)
+        } else {
+            self.gateways
+                .get(node - self.n() - self.clients.len())
+                .map(String::as_str)
         }
     }
 
@@ -380,23 +435,42 @@ impl ClusterSpec {
     /// coalescing budgets) from [`Self::profile`].
     pub fn transport_config(&self, me: NodeId) -> TransportConfig {
         let peers = self.peers_for(me);
-        match self.profile {
+        let mut config = match self.profile {
             TransportProfile::Lan => TransportConfig::new(me, peers),
             TransportProfile::Wan => TransportConfig::wan(me, peers),
+        };
+        // Replicas answer gateway sessions over the owning gateway's
+        // connection: sessions have no sockets, only alias ranges.
+        if me < self.n() {
+            for g in 0..self.gateways.len() {
+                let (lo, hi) = self.session_node_range(g);
+                config.alias_routes.push(AliasRoute {
+                    lo,
+                    hi,
+                    via: self.gateway_node(g),
+                });
+            }
         }
+        config
     }
 
     /// `(node_id, addr)` pairs `me` actually talks to — the transport's
-    /// peer table. Replicas dial everyone; clients dial only replicas
-    /// (no protocol message ever flows client-to-client, and clients
-    /// come and go, so those connections would just churn forever).
+    /// peer table. Replicas dial everyone; clients dial replicas and
+    /// gateways (no protocol message ever flows client-to-client, and
+    /// clients come and go, so those connections would just churn
+    /// forever); gateways dial replicas and clients.
     pub fn peers_for(&self, me: NodeId) -> Vec<(NodeId, String)> {
-        let total = if me < self.n() {
-            self.n() + self.clients.len()
+        let n = self.n();
+        let everyone = n + self.clients.len() + self.gateways.len();
+        let nodes: Vec<NodeId> = if me < n {
+            (0..everyone).collect()
+        } else if me < n + self.clients.len() {
+            (0..n).chain(self.gateway_node(0)..everyone).collect()
         } else {
-            self.n()
+            (0..n + self.clients.len()).collect()
         };
-        (0..total)
+        nodes
+            .into_iter()
             .filter(|node| *node != me)
             .filter_map(|node| Some((node, self.addr_of(node)?.to_string())))
             .collect()
@@ -515,6 +589,52 @@ mod tests {
         let bad = format!("fsync sometimes\n{GOOD}");
         let e = ClusterSpec::parse(&bad).unwrap_err();
         assert!(e.message.contains("unknown fsync policy"), "{e}");
+    }
+
+    #[test]
+    fn gateway_directives_parse_and_number_after_clients() {
+        let spec = ClusterSpec::parse(GOOD).unwrap();
+        assert!(spec.gateways.is_empty(), "no gateway by default");
+        assert_eq!(spec.gateway_sessions, 0);
+
+        let text = format!("gateway 0 127.0.0.1:9600\ngateway_sessions 1000\n{GOOD}");
+        let spec = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(spec.gateways.len(), 1);
+        assert_eq!(spec.gateway_sessions, 1000);
+        // replicas 0..4, client 4, gateway 5, sessions reply to 6..1006.
+        assert_eq!(spec.gateway_node(0), 5);
+        assert_eq!(spec.addr_of(5), Some("127.0.0.1:9600"));
+        assert_eq!(spec.session_client_base(0), 2);
+        assert_eq!(spec.session_node_range(0), (6, 1006));
+
+        // Replicas dial the gateway; the gateway dials replicas and
+        // clients but not itself; clients now also dial the gateway.
+        assert!(spec.peers_for(0).iter().any(|(id, _)| *id == 5));
+        let gw_peers = spec.peers_for(5);
+        assert_eq!(gw_peers.len(), 5);
+        assert!(gw_peers.iter().all(|(id, _)| *id < 5));
+        assert!(spec.peers_for(4).iter().any(|(id, _)| *id == 5));
+
+        // Replicas get the session alias range via the gateway; the
+        // gateway and clients do not.
+        let replica = spec.transport_config(0);
+        assert_eq!(
+            replica.alias_routes,
+            vec![AliasRoute {
+                lo: 6,
+                hi: 1006,
+                via: 5
+            }]
+        );
+        assert!(spec.transport_config(5).alias_routes.is_empty());
+        assert!(spec.transport_config(4).alias_routes.is_empty());
+    }
+
+    #[test]
+    fn gateway_requires_a_session_budget() {
+        let text = format!("gateway 0 127.0.0.1:9600\n{GOOD}");
+        let e = ClusterSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("gateway_sessions"), "{e}");
     }
 
     #[test]

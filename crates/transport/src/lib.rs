@@ -53,5 +53,7 @@ pub use frame::{
     FrameReader, Handshake, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES,
 };
 pub use runtime::NodeRuntime;
-pub use tcp::{InboundInjector, TcpTransport, TransportConfig, TransportControl, TransportStats};
+pub use tcp::{
+    AliasRoute, InboundInjector, TcpTransport, TransportConfig, TransportControl, TransportStats,
+};
 pub use verify::{VerifyPool, VerifyPoolStats};

@@ -75,6 +75,27 @@ pub struct TransportConfig {
     /// Initial capacity of the per-peer backlog buffer (it grows on
     /// demand up to `outbound_queue` frames).
     pub write_buffer: usize,
+    /// Range routes for node ids with no connection of their own: a send
+    /// to an id in `[lo, hi)` is delivered over the connection to `via`
+    /// instead of being dropped. This is how replicas answer gateway
+    /// sessions — thousands of logical clients multiplexed over one
+    /// physical gateway connection (`ClusterSpec::gateway_sessions`).
+    /// Frames carry no destination, so the via-node must demultiplex
+    /// from the payload itself (acks and replies name their client).
+    /// Checked only after the direct peer table misses.
+    pub alias_routes: Vec<AliasRoute>,
+}
+
+/// One entry of [`TransportConfig::alias_routes`]: node ids in
+/// `[lo, hi)` are reachable via the connection to `via`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AliasRoute {
+    /// First aliased node id (inclusive).
+    pub lo: NodeId,
+    /// End of the aliased range (exclusive).
+    pub hi: NodeId,
+    /// Peer whose connection carries the aliased traffic.
+    pub via: NodeId,
 }
 
 impl TransportConfig {
@@ -92,6 +113,7 @@ impl TransportConfig {
             coalesce_budget: 256 * 1024,
             read_buffer: 256 * 1024,
             write_buffer: 64 * 1024,
+            alias_routes: Vec::new(),
         }
     }
 
@@ -516,6 +538,7 @@ pub struct TcpTransport {
     inbound: Receiver<(NodeId, Vec<u8>)>,
     inbound_tx: SyncSender<(NodeId, Vec<u8>)>,
     outbound: HashMap<NodeId, Arc<Peer>>,
+    alias_routes: Vec<AliasRoute>,
     /// Keeps the placeholder channel alive after [`Self::take_inbound`]
     /// moved the real receiver out (a dead placeholder would make
     /// `recv_timeout` return instantly forever — a spin loop for any
@@ -610,6 +633,7 @@ impl TcpTransport {
             inbound,
             inbound_tx,
             outbound,
+            alias_routes: config.alias_routes,
             _parked_inbound_tx: None,
         })
     }
@@ -676,7 +700,15 @@ impl TcpTransport {
             }
             return;
         }
-        let Some(peer) = self.outbound.get(&to) else {
+        let direct = self.outbound.get(&to).or_else(|| {
+            // No connection of its own: an aliased id (gateway session)
+            // rides the via-node's connection instead.
+            self.alias_routes
+                .iter()
+                .find(|route| route.lo <= to && to < route.hi)
+                .and_then(|route| self.outbound.get(&route.via))
+        });
+        let Some(peer) = direct else {
             self.shared.counters.dropped.inc();
             return;
         };
@@ -971,6 +1003,36 @@ mod tests {
         let t = TcpTransport::with_listener(TransportConfig::new(0, vec![]), l).unwrap();
         t.send(3, b"x".to_vec());
         assert_eq!(t.control().stats().dropped, 1);
+    }
+
+    #[test]
+    fn alias_route_forwards_over_the_via_connection() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = l0.local_addr().unwrap().to_string();
+        let a1 = l1.local_addr().unwrap().to_string();
+        // Node 0 is a "replica" whose sends to ids 100..200 (gateway
+        // sessions) must ride node 1's connection.
+        let mut c0 = TransportConfig::new(0, vec![(1, a1)]);
+        c0.alias_routes.push(AliasRoute {
+            lo: 100,
+            hi: 200,
+            via: 1,
+        });
+        let t0 = TcpTransport::with_listener(c0, l0).unwrap();
+        let t1 = TcpTransport::with_listener(TransportConfig::new(1, vec![(0, a0)]), l1).unwrap();
+        t0.send(150, b"for-a-session".to_vec());
+        let (from, payload) = t1
+            .recv_timeout(Duration::from_secs(5))
+            .expect("aliased frame");
+        // The frame arrives attributed to the sending *node*; the
+        // via-node demultiplexes sessions from the payload itself.
+        assert_eq!(from, 0);
+        assert_eq!(payload, b"for-a-session");
+        assert_eq!(t0.control().stats().dropped, 0);
+        // Outside the range the old contract holds: count and drop.
+        t0.send(200, b"x".to_vec());
+        assert_eq!(t0.control().stats().dropped, 1);
     }
 
     /// Spins until `check` passes or the deadline expires (counters are

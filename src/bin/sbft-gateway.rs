@@ -1,0 +1,242 @@
+//! `sbft-gateway` — runs the client front door of a real SBFT cluster.
+//!
+//! Usage:
+//!
+//! ```text
+//! sbft-gateway --config cluster.conf [--gateway 0] [--rate N] [--duration S]
+//!              [--slots N] [--resume N] [--retry-after-ms N] [--give-up-ms N]
+//!              [--value-len N] [--key-space N] [--metrics-addr host:port]
+//! ```
+//!
+//! The config must carry `gateway <id> <host:port>` and
+//! `gateway_sessions N` directives (see `sbft_transport::ClusterSpec`).
+//! The process registers all `N` logical client sessions at boot — one
+//! pass through the memoized key cache — then offers an open-loop
+//! `--rate` arrivals/second through bounded admission. Between polls it
+//! feeds the transport's per-replica backlog back into the admission
+//! gate, so a cluster that stops draining trips the front door shut.
+//! With `--duration 0` (the default) it runs until killed, reporting
+//! progress every few seconds; with a positive duration it exits after
+//! printing a goodput/latency summary.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use sbft::deploy::{gateway_runtime, replica_backlog};
+use sbft::gateway::{AdmissionConfig, OpenLoopConfig, OpenLoopDriver};
+use sbft::sim::SampleStats;
+use sbft::transport::ClusterSpec;
+
+struct Args {
+    config: String,
+    gateway: usize,
+    /// Seconds to run; 0 = until killed.
+    duration: u64,
+    admission: AdmissionConfig,
+    workload: OpenLoopConfig,
+    metrics_addr: Option<String>,
+}
+
+const USAGE: &str = "usage: sbft-gateway --config <file> [--gateway <id>] [--rate N] \
+                     [--duration S] [--slots N] [--resume N] [--retry-after-ms N] \
+                     [--give-up-ms N] [--value-len N] [--key-space N] \
+                     [--metrics-addr host:port]";
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = None;
+    let mut gateway = 0usize;
+    let mut duration = 0u64;
+    let mut admission = AdmissionConfig::default();
+    let mut workload = OpenLoopConfig::default();
+    let mut metrics_addr = None;
+    let mut resume = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--gateway" => gateway = value("--gateway")?.parse().map_err(|_| "bad --gateway")?,
+            "--rate" => {
+                workload.arrivals_per_sec = value("--rate")?.parse().map_err(|_| "bad --rate")?
+            }
+            "--duration" => {
+                duration = value("--duration")?.parse().map_err(|_| "bad --duration")?
+            }
+            "--slots" => {
+                admission.max_in_flight = value("--slots")?.parse().map_err(|_| "bad --slots")?
+            }
+            "--resume" => {
+                resume = Some(value("--resume")?.parse().map_err(|_| "bad --resume")?);
+            }
+            "--retry-after-ms" => {
+                admission.retry_after_ms = value("--retry-after-ms")?
+                    .parse()
+                    .map_err(|_| "bad --retry-after-ms")?
+            }
+            "--give-up-ms" => {
+                let ms: u64 = value("--give-up-ms")?
+                    .parse()
+                    .map_err(|_| "bad --give-up-ms")?;
+                workload.give_up_after_ns = ms.saturating_mul(1_000_000);
+            }
+            "--value-len" => {
+                workload.value_len = value("--value-len")?
+                    .parse()
+                    .map_err(|_| "bad --value-len")?
+            }
+            "--key-space" => {
+                workload.key_space = value("--key-space")?
+                    .parse()
+                    .map_err(|_| "bad --key-space")?
+            }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    // Keep the hysteresis band valid under a --slots override: default
+    // low water is 3/4 of the budget, as in AdmissionConfig::default().
+    admission.resume_at = resume.unwrap_or_else(|| (admission.max_in_flight * 3 / 4).max(1));
+    if admission.resume_at >= admission.max_in_flight {
+        return Err(format!(
+            "--resume {} must be below --slots {}",
+            admission.resume_at, admission.max_in_flight
+        ));
+    }
+    Ok(Args {
+        config: config.ok_or(USAGE)?,
+        gateway,
+        duration,
+        admission,
+        workload,
+        metrics_addr,
+    })
+}
+
+fn run(args: &Args, spec: &ClusterSpec) -> Result<(), String> {
+    let g = args.gateway;
+    let n = spec.n();
+    let mut runtime =
+        gateway_runtime(spec, g, args.admission, args.workload, None).map_err(|e| e.to_string())?;
+    if let Some(addr) = &args.metrics_addr {
+        let served = sbft::telemetry::serve(addr, runtime.registry().clone())
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        eprintln!("gateway {g}: metrics on http://{served}/metrics, traces on /trace");
+    }
+    let in_flight_gauge = runtime.registry().gauge("sbft_gateway_in_flight");
+    let pressure_gauge = runtime.registry().gauge("sbft_gateway_external_pressure");
+    eprintln!(
+        "gateway {g} listening on {} fronting {n} replicas; {} sessions, {} slots \
+         (resume at {}), offering {}/s",
+        runtime.transport().local_addr(),
+        spec.gateway_sessions,
+        args.admission.max_in_flight,
+        args.admission.resume_at,
+        args.workload.arrivals_per_sec,
+    );
+    let started = Instant::now();
+    let mut last_report = Instant::now();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    loop {
+        runtime.poll(Duration::from_millis(100));
+        // Backpressure propagation: replicas that stop draining their
+        // sockets show up as per-peer backlog, which trips the same
+        // admission gate as the in-flight table.
+        let pressure = replica_backlog(&runtime, n);
+        {
+            let driver = runtime
+                .node_as_mut::<OpenLoopDriver>()
+                .expect("gateway driver");
+            driver.set_external_pressure(pressure);
+            latencies_ns.extend(driver.take_latencies());
+            in_flight_gauge.set(driver.core().in_flight() as i64);
+            pressure_gauge.set(pressure as i64);
+        }
+        if args.duration > 0 && started.elapsed() >= Duration::from_secs(args.duration) {
+            break;
+        }
+        if last_report.elapsed() >= Duration::from_secs(5) {
+            last_report = Instant::now();
+            let driver = runtime.node_as::<OpenLoopDriver>().expect("gateway driver");
+            let s = driver.stats();
+            eprintln!(
+                "gateway {g}: offered {} admitted {} shed {} completed {} timed-out {} | \
+                 {} in flight, pressure {pressure}",
+                s.offered,
+                driver.core().counters().admitted,
+                s.shed,
+                s.completed,
+                s.timed_out,
+                driver.core().in_flight(),
+            );
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let driver = runtime.node_as::<OpenLoopDriver>().expect("gateway driver");
+    let s = driver.stats();
+    let a = driver.core().counters();
+    println!(
+        "gateway {g}: offered {} ({:.1}/s) admitted {} shed {} completed {} ({:.1}/s goodput) \
+         timed-out {} expired {} in {elapsed:.2}s",
+        s.offered,
+        s.offered as f64 / elapsed,
+        a.admitted,
+        s.shed,
+        s.completed,
+        s.completed as f64 / elapsed,
+        s.timed_out,
+        a.expired,
+    );
+    let latencies_ms: Vec<f64> = latencies_ns
+        .iter()
+        .map(|ns| *ns as f64 / 1_000_000.0)
+        .collect();
+    if let Some(stats) = SampleStats::from_samples(&latencies_ms) {
+        println!(
+            "latency ms: mean {:.2} median {:.2} p99 {:.2} max {:.2}",
+            stats.mean, stats.median, stats.p99, stats.max
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ClusterSpec::load(&args.config) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.gateway >= spec.gateways.len() {
+        eprintln!(
+            "gateway {} out of range ({} gateway lines in config; the config needs \
+             `gateway <id> <host:port>` plus `gateway_sessions N`)",
+            args.gateway,
+            spec.gateways.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    match run(&args, &spec) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

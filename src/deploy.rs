@@ -18,6 +18,7 @@ use sbft_core::{
     Workload,
 };
 use sbft_crypto::CryptoCostModel;
+use sbft_gateway::{AdmissionConfig, GatewayCore, OpenLoopConfig, OpenLoopDriver, SessionMux};
 use sbft_sim::SimDuration;
 use sbft_statedb::{FsyncPolicy, KvService, Service};
 use sbft_transport::{ClusterSpec, NodeRuntime, TcpTransport, TransportProfile, VariantName};
@@ -271,6 +272,67 @@ pub fn client_runtime(
     Ok(NodeRuntime::new(Box::new(client), transport, seed))
 }
 
+/// Builds the runtime for gateway `g`: the open-loop front door from
+/// `crates/gateway`, with all `spec.gateway_sessions` session tickets
+/// registered up front (one pass through the memoized client-key cache —
+/// no per-request PKI work afterwards).
+///
+/// Session timestamps anchor to wall-clock microseconds for the same
+/// reason client timestamps do: a restarted gateway reboots with an
+/// empty session table, and replicas silently dedupe any timestamp its
+/// client ids already committed under.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn gateway_runtime(
+    spec: &ClusterSpec,
+    g: usize,
+    admission: AdmissionConfig,
+    workload: OpenLoopConfig,
+    listener: Option<TcpListener>,
+) -> io::Result<NodeRuntime<SbftMsg>> {
+    let protocol = protocol_for(spec);
+    let keys = KeyMaterial::generate(&protocol, spec.seed);
+    let timestamp_base = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mux = SessionMux::register(
+        &protocol,
+        keys.public.clone(),
+        spec.session_client_base(g),
+        spec.gateway_sessions,
+        timestamp_base,
+    );
+    let node = spec.gateway_node(g);
+    let seed = spec.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    let driver = OpenLoopDriver::new(GatewayCore::new(admission), mux, workload, spec.n(), seed);
+    let transport = transport_for(spec, node, listener)?;
+    // Like clients, the gateway stays on the direct inbound path: its
+    // per-message work (one π check or reply-digest count) is far below
+    // a replica's, and the node thread must stay responsive to the
+    // arrival timer.
+    Ok(NodeRuntime::new(Box::new(driver), transport, seed))
+}
+
+/// Sums the transport's per-peer backlog gauges toward the replicas —
+/// the external-pressure signal a gateway host feeds back into
+/// [`OpenLoopDriver::set_external_pressure`] between polls. When
+/// replicas stop draining their sockets, this rises and the admission
+/// gate trips before anything downstream drowns.
+pub fn replica_backlog(runtime: &NodeRuntime<SbftMsg>, n: usize) -> usize {
+    let registry = runtime.registry();
+    (0..n)
+        .map(|peer| {
+            registry
+                .gauge(&format!("sbft_transport_peer_backlog{{peer=\"{peer}\"}}"))
+                .get()
+                .max(0) as usize
+        })
+        .sum()
+}
+
 /// Renders a loopback [`ClusterSpec`] config for `n` replicas and
 /// `clients` clients on the given pre-bound listeners — the text a user
 /// would write by hand, generated for tests and examples.
@@ -289,5 +351,24 @@ pub fn loopback_config(
     for (i, addr) in client_addrs.iter().enumerate() {
         writeln!(text, "client {i} {addr}").expect("write to string");
     }
+    text
+}
+
+/// [`loopback_config`] plus a front door: one gateway carrying
+/// `sessions` logical clients (the `gateway` / `gateway_sessions`
+/// directives a deployment would write by hand).
+pub fn loopback_config_with_gateway(
+    f: usize,
+    c: usize,
+    seed: u64,
+    replica_addrs: &[String],
+    client_addrs: &[String],
+    gateway_addr: &str,
+    sessions: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut text = loopback_config(f, c, seed, replica_addrs, client_addrs);
+    writeln!(text, "gateway 0 {gateway_addr}").expect("write to string");
+    writeln!(text, "gateway_sessions {sessions}").expect("write to string");
     text
 }

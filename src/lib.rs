@@ -29,6 +29,7 @@ pub mod deploy;
 pub use sbft_core as core;
 pub use sbft_crypto as crypto;
 pub use sbft_evm as evm;
+pub use sbft_gateway as gateway;
 pub use sbft_pbft as pbft;
 pub use sbft_sim as sim;
 pub use sbft_statedb as statedb;
