@@ -220,6 +220,14 @@ struct Point {
     /// warmup — phase shares, not absolute window numbers). Empty when
     /// tracing is off.
     phase_us: Vec<(&'static str, f64, f64)>,
+    /// View changes started, summed across the 4 replicas. A healthy
+    /// loopback run must show zero — any flapping here means the
+    /// adaptive timers got twitchy under clean conditions.
+    view_changes: u64,
+    /// Replica 0's adaptive σ-path timeout at teardown (ms).
+    adaptive_fast_timeout_ms: f64,
+    /// Replica 0's adaptive view timeout at teardown (ms).
+    adaptive_view_timeout_ms: f64,
 }
 
 /// Folds the per-replica tracer snapshots into one `(component, mean µs,
@@ -311,7 +319,12 @@ fn measure(clients: usize, args: &Args) -> Point {
                     }
                     let pool = runtime.verify_pool_stats();
                     let components = runtime.registry().tracer().component_snapshots();
+                    let vc_started = runtime.metrics().counter("view_changes_started");
                     let node = runtime.node_as::<ReplicaNode>().expect("replica node");
+                    let adaptive = (
+                        node.adaptive_fast_timeout().as_millis_f64(),
+                        node.adaptive_view_timeout().as_millis_f64(),
+                    );
                     (
                         r,
                         node.view(),
@@ -321,6 +334,8 @@ fn measure(clients: usize, args: &Args) -> Point {
                         stats,
                         pool,
                         components,
+                        vc_started,
+                        adaptive,
                     )
                 })
                 .expect("spawn replica"),
@@ -380,10 +395,16 @@ fn measure(clients: usize, args: &Args) -> Point {
         t.join().expect("node thread");
     }
     let mut per_replica_phases = Vec::new();
+    let mut view_changes = 0u64;
+    let mut adaptive_timers = (0.0, 0.0);
     for t in replica_threads {
-        let (r, view, executed, fast, slow, stats, pool, components) =
+        let (r, view, executed, fast, slow, stats, pool, components, vc_started, adaptive) =
             t.join().expect("replica thread");
         per_replica_phases.push(components);
+        view_changes += vc_started;
+        if r == 0 {
+            adaptive_timers = adaptive;
+        }
         if args.verbose {
             eprintln!(
                 "  replica {r}: view {view} executed {executed} fast {fast} slow {slow} | \
@@ -441,6 +462,9 @@ fn measure(clients: usize, args: &Args) -> Point {
         } else {
             Vec::new()
         },
+        view_changes,
+        adaptive_fast_timeout_ms: adaptive_timers.0,
+        adaptive_view_timeout_ms: adaptive_timers.1,
     }
 }
 
@@ -470,7 +494,9 @@ fn write_json(path: &str, points: &[Point], best: f64) {
         record.point(format!(
             "{{\"clients\": {}, \"req_per_s\": {:.1}, \"mean_ms\": {:.3}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cpu_us_per_request\": {:.1}, \
-             \"node_cpu_us_per_request\": {:.1}, \"phase_us\": {{{phases}}}}}",
+             \"node_cpu_us_per_request\": {:.1}, \"view_changes\": {}, \
+             \"adaptive_fast_timeout_ms\": {:.3}, \"adaptive_view_timeout_ms\": {:.3}, \
+             \"phase_us\": {{{phases}}}}}",
             p.clients,
             p.req_per_s,
             p.mean_ms,
@@ -478,6 +504,9 @@ fn write_json(path: &str, points: &[Point], best: f64) {
             p.p99_ms,
             p.cpu_us_per_request,
             p.node_cpu_us_per_request,
+            p.view_changes,
+            p.adaptive_fast_timeout_ms,
+            p.adaptive_view_timeout_ms,
         ));
     }
     record.write(path);
@@ -508,6 +537,12 @@ fn main() {
             point.cpu_us_per_request,
             point.node_cpu_us_per_request,
         );
+        if point.view_changes > 0 {
+            println!(
+                "         WARNING: {} view changes started during a clean loopback run",
+                point.view_changes
+            );
+        }
         if !point.phase_us.is_empty() {
             let parts: Vec<String> = point
                 .phase_us
@@ -529,6 +564,13 @@ fn main() {
              {floor:.1} req/s"
         );
         println!("smoke floor ok: {best:.1} req/s >= {floor:.1} req/s");
+        let view_changes: u64 = points.iter().map(|p| p.view_changes).sum();
+        assert_eq!(
+            view_changes, 0,
+            "liveness regression: {view_changes} view changes started during a clean \
+             loopback run — the adaptive timers are flapping under healthy conditions"
+        );
+        println!("smoke view changes ok: zero across the sweep");
         if args.trace {
             // The tracer's `verify` and `execute` components must be
             // real measurements now that handlers stamp wall-clock

@@ -120,6 +120,46 @@ pub enum Fault {
         /// When hearing returns.
         until_ms: Ms,
     },
+    /// Gray failure: the replica stays up and answers *everything*, just
+    /// late — a flat extra processing delay per handled message until
+    /// `until_ms` (GC stalls, a saturated disk). Unlike [`Fault::Crash`]
+    /// nothing ever times out at the transport layer, so only latency-
+    /// sensitive detection (adaptive timers, φ-accrual suspicion) can
+    /// tell this replica is hurting the cluster.
+    SlowReplica {
+        /// Affected replica.
+        replica: usize,
+        /// Extra processing delay per handled message (ms).
+        delay_ms: u64,
+        /// When the stall clears.
+        until_ms: Ms,
+    },
+    /// Gray failure: all traffic touching `node` gains fixed latency
+    /// plus exponential jitter until `until_ms` — a degraded but
+    /// unbroken link. **No drops**: every message arrives, erratically.
+    DegradedLink {
+        /// Affected node.
+        node: usize,
+        /// Fixed extra one-way latency (ms).
+        latency_ms: u64,
+        /// Mean of the exponential extra jitter (ms).
+        jitter_ms: u64,
+        /// When the link recovers.
+        until_ms: Ms,
+    },
+    /// Gray failure: the links between `replica` and the rest of the
+    /// cluster flap — alternating dead and healthy sub-windows of
+    /// `period_ms` each (starting dead) until `until_ms`. Expanded by
+    /// [`timeline`] into plain partition windows, so both backends
+    /// support it with no new machinery.
+    FlappingLink {
+        /// Affected replica.
+        replica: usize,
+        /// Length of each dead / healthy half-cycle (ms).
+        period_ms: u64,
+        /// When the link stabilises.
+        until_ms: Ms,
+    },
     /// Kill the gateway front door (requires [`FaultPlan::gateway`]).
     /// Clients lose their only route into the cluster until a
     /// [`Fault::GatewayRestart`] brings it back.
@@ -209,6 +249,12 @@ pub struct FaultPlan {
     /// commits for the rest of the run and fails the ratio, even though
     /// pre-fault traffic left some fast commits behind.
     pub min_fast_ratio: Option<f64>,
+    /// If set, a ceiling on `view_changes_started` over the whole run:
+    /// gray-failure plans must provoke *bounded* reaction, not a view-
+    /// change storm or livelock. Note the counter is summed across
+    /// replicas (each participant counts its own start), so budgets are
+    /// roughly `n ×` the number of distinct view transitions expected.
+    pub max_view_changes: Option<u64>,
 }
 
 impl FaultPlan {
@@ -366,6 +412,43 @@ impl FaultPlan {
                     claim(format!("deaf node {node}"), event.at_ms, *until_ms);
                 }
                 Fault::ClockSkew { node, .. } | Fault::SlowCpu { node, .. } => node_ok(*node),
+                Fault::SlowReplica {
+                    replica, until_ms, ..
+                } => {
+                    replica_ok(*replica);
+                    window_ok(event.at_ms, *until_ms);
+                    claim(format!("slow replica {replica}"), event.at_ms, *until_ms);
+                }
+                Fault::DegradedLink { node, until_ms, .. } => {
+                    node_ok(*node);
+                    window_ok(event.at_ms, *until_ms);
+                    // Shares the per-node delay channel with `Delay`:
+                    // both program the same link knobs.
+                    claim(format!("delay node {node}"), event.at_ms, *until_ms);
+                }
+                Fault::FlappingLink {
+                    replica,
+                    period_ms,
+                    until_ms,
+                } => {
+                    replica_ok(*replica);
+                    assert!(
+                        *period_ms > 0,
+                        "plan {}: flapping link needs a nonzero period",
+                        self.name
+                    );
+                    window_ok(event.at_ms, *until_ms);
+                    // The expansion partitions `replica` against every
+                    // other replica; claim those links for the whole
+                    // flap window so an overlapping explicit partition
+                    // is rejected.
+                    for other in 0..n {
+                        if other != *replica {
+                            claim(format!("link {replica}→{other}"), event.at_ms, *until_ms);
+                            claim(format!("link {other}→{replica}"), event.at_ms, *until_ms);
+                        }
+                    }
+                }
                 Fault::Behavior { replica, .. } => replica_ok(*replica),
                 Fault::Drop { prob, until_ms } => {
                     assert!((0.0..=1.0).contains(prob), "plan {}: bad prob", self.name);
@@ -513,6 +596,33 @@ pub enum Step {
         /// Heal time.
         until_ms: Ms,
     },
+    /// Start a gray processing stall on a replica.
+    SlowReplicaStart {
+        /// Affected replica.
+        replica: usize,
+        /// Extra per-message processing delay (ms).
+        delay_ms: u64,
+    },
+    /// End the processing stall.
+    SlowReplicaClear {
+        /// Affected replica.
+        replica: usize,
+    },
+    /// Start degrading all links touching a node (latency + jitter,
+    /// no drops).
+    DegradedLinkStart {
+        /// Affected node.
+        node: usize,
+        /// Fixed extra one-way latency (ms).
+        latency_ms: u64,
+        /// Mean exponential extra jitter (ms).
+        jitter_ms: u64,
+    },
+    /// Restore the degraded links.
+    DegradedLinkClear {
+        /// Affected node.
+        node: usize,
+    },
     /// See [`Fault::GatewayCrash`].
     GatewayCrash,
     /// See [`Fault::GatewayRestart`].
@@ -573,6 +683,63 @@ pub fn timeline(plan: &FaultPlan) -> Vec<(Ms, Step)> {
             }
             Fault::SlowCpu { node, factor } => steps.push((at, Step::SlowCpu { node, factor })),
             Fault::Deaf { node, until_ms } => steps.push((at, Step::Deaf { node, until_ms })),
+            Fault::SlowReplica {
+                replica,
+                delay_ms,
+                until_ms,
+            } => {
+                steps.push((at, Step::SlowReplicaStart { replica, delay_ms }));
+                steps.push((until_ms, Step::SlowReplicaClear { replica }));
+            }
+            Fault::DegradedLink {
+                node,
+                latency_ms,
+                jitter_ms,
+                until_ms,
+            } => {
+                steps.push((
+                    at,
+                    Step::DegradedLinkStart {
+                        node,
+                        latency_ms,
+                        jitter_ms,
+                    },
+                ));
+                steps.push((until_ms, Step::DegradedLinkClear { node }));
+            }
+            Fault::FlappingLink {
+                replica,
+                period_ms,
+                until_ms,
+            } => {
+                // Expand into alternating dead/healthy partition windows
+                // (starting dead) — both backends already speak
+                // partitions, so flapping needs no backend support.
+                let others: Vec<usize> = (0..plan.n()).filter(|r| *r != replica).collect();
+                let mut t = at;
+                while t < until_ms {
+                    let down_until = (t + period_ms).min(until_ms);
+                    steps.push((
+                        t,
+                        Step::PartitionStart {
+                            from: vec![replica],
+                            to: others.clone(),
+                            until_ms: down_until,
+                            one_way: false,
+                        },
+                    ));
+                    steps.push((
+                        down_until,
+                        Step::PartitionHeal {
+                            from: vec![replica],
+                            to: others.clone(),
+                            one_way: false,
+                        },
+                    ));
+                    // Skip the healthy half-cycle.
+                    t = down_until + period_ms;
+                }
+            }
             Fault::GatewayCrash => steps.push((at, Step::GatewayCrash)),
             Fault::GatewayRestart => steps.push((at, Step::GatewayRestart)),
         }
@@ -584,6 +751,8 @@ pub fn timeline(plan: &FaultPlan) -> Vec<(Ms, Step)> {
                 | Step::DelayClear { .. }
                 | Step::DropClear
                 | Step::DuplicateClear
+                | Step::SlowReplicaClear { .. }
+                | Step::DegradedLinkClear { .. }
         )
     };
     steps.sort_by_key(|(at, step)| (*at, !is_clear(step)));
@@ -629,6 +798,7 @@ mod tests {
             expect_counters: vec![],
             max_final_lag: None,
             min_fast_ratio: None,
+            max_view_changes: None,
         }
     }
 
@@ -820,6 +990,7 @@ mod tests {
             expect_counters: vec![],
             max_final_lag: None,
             min_fast_ratio: None,
+            max_view_changes: None,
         };
         let steps = timeline(&plan);
         let times: Vec<Ms> = steps.iter().map(|(at, _)| *at).collect();

@@ -37,6 +37,11 @@ pub struct LinkPolicy {
     blocked: AtomicBool,
     /// Added per-frame delay, microseconds (head-of-line, FIFO kept).
     delay_us: AtomicU64,
+    /// Mean of added exponential per-frame jitter, microseconds. FIFO is
+    /// still kept (the writer is head-of-line), so jitter here means
+    /// *variable* extra latency, not reordering — which is what a real
+    /// congested TCP link gives anyway.
+    jitter_us: AtomicU64,
     /// Per-frame drop probability in 1/1000.
     drop_per_mille: AtomicU64,
     /// Per-frame duplication probability in 1/1000.
@@ -173,6 +178,14 @@ impl ChaosNet {
         self.shared.policies[src][dst]
             .delay_us
             .store(delay.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Sets the mean of the exponential per-frame jitter on `src → dst`
+    /// (zero clears).
+    pub fn set_jitter(&self, src: usize, dst: usize, mean: Duration) {
+        self.shared.policies[src][dst]
+            .jitter_us
+            .store(mean.as_micros() as u64, Ordering::Release);
     }
 
     /// Sets the drop probability on every link (0.0 clears).
@@ -319,12 +332,19 @@ fn pipe(inbound: TcpStream, dst: usize, shared: Arc<NetShared>) {
         }
         match reader.read_frame() {
             Ok(Some(payload)) => {
-                let due =
-                    Instant::now() + Duration::from_micros(policy.delay_us.load(Ordering::Acquire));
-                // Independent rolls, both always drawn, so RNG
+                // Independent rolls, all always drawn, so RNG
                 // consumption per frame is policy-independent.
                 let drop_roll = rng.next_u64() % 1000;
                 let dup_roll = rng.next_u64() % 1000;
+                let jitter_roll = rng.next_u64();
+                let mut extra_us = policy.delay_us.load(Ordering::Acquire);
+                let jitter_mean = policy.jitter_us.load(Ordering::Acquire);
+                if jitter_mean > 0 {
+                    // Exponential draw from the uniform roll (inverse CDF).
+                    let u = ((jitter_roll >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                    extra_us = extra_us.saturating_add((-u.ln() * jitter_mean as f64) as u64);
+                }
+                let due = Instant::now() + Duration::from_micros(extra_us);
                 if drop_roll < policy.drop_per_mille.load(Ordering::Acquire) {
                     continue; // the frame is gone; client retries own recovery
                 }

@@ -173,6 +173,14 @@ pub fn judge(
             ));
         }
     }
+    if let Some(max_vc) = plan.max_view_changes {
+        let started = counters.get("view_changes_started").copied().unwrap_or(0);
+        if started > max_vc {
+            return Outcome::Fail(format!(
+                "VIEW-STORM: {started} view changes started, allowed ≤ {max_vc}"
+            ));
+        }
+    }
     if let Some(max_lag) = plan.max_final_lag {
         let frontier = snapshots.iter().map(|s| s.last_executed).max().unwrap_or(0);
         for snap in snapshots {
@@ -193,7 +201,10 @@ pub fn judge(
 pub const TRACKED_COUNTERS: &[&str] = &[
     "fast_commits",
     "slow_commits",
+    "view_changes_started",
     "view_changes_completed",
+    "proactive_view_changes",
+    "heartbeats_sent",
     "state_transfers_requested",
     "state_transfers_completed",
     "checkpoints",

@@ -130,6 +130,26 @@ fn apply(cluster: &mut Cluster, plan: &FaultPlan, step: &Step) {
                 .network_mut()
                 .set_node_deaf(*node, now, sim_time(*until_ms))
         }
+        Step::SlowReplicaStart { replica, delay_ms } => cluster
+            .sim
+            .set_processing_delay(*replica, SimDuration::from_millis(*delay_ms)),
+        Step::SlowReplicaClear { replica } => cluster
+            .sim
+            .set_processing_delay(*replica, SimDuration::ZERO),
+        Step::DegradedLinkStart {
+            node,
+            latency_ms,
+            jitter_ms,
+        } => {
+            let network = cluster.sim.network_mut();
+            network.set_node_extra_delay(*node, SimDuration::from_millis(*latency_ms));
+            network.set_node_extra_jitter(*node, SimDuration::from_millis(*jitter_ms));
+        }
+        Step::DegradedLinkClear { node } => {
+            let network = cluster.sim.network_mut();
+            network.set_node_extra_delay(*node, SimDuration::ZERO);
+            network.set_node_extra_jitter(*node, SimDuration::ZERO);
+        }
         Step::GatewayCrash => cluster.sim.crash_node(cluster.gateway_node()),
         // A fresh incarnation with an empty admission table: duplicate
         // suppression is gone, so in-flight retries re-enter as new

@@ -43,6 +43,10 @@ const POLL: Duration = Duration::from_millis(10);
 enum NodeCmd {
     SetBehavior(Behavior),
     SetSkew(i64),
+    /// Gray-slow the node: stall its event loop this long every poll
+    /// slice (zero clears). The process stays up and answers everything
+    /// — late, which is exactly what a gray-failed replica looks like.
+    SetProcessingDelay(Duration),
 }
 
 struct NodeExit {
@@ -82,6 +86,7 @@ fn drive<M>(
 ) where
     M: sbft_sim::SimMessage + sbft_wire::Wire,
 {
+    let mut process_delay = Duration::ZERO;
     while !stop.load(Ordering::Acquire) {
         while let Ok(cmd) = cmds.try_recv() {
             match cmd {
@@ -91,9 +96,20 @@ fn drive<M>(
                     }
                 }
                 NodeCmd::SetSkew(skew_ns) => runtime.set_clock_skew(skew_ns),
+                NodeCmd::SetProcessingDelay(delay) => process_delay = delay,
             }
         }
+        let before = runtime.events_processed();
         runtime.poll(POLL);
+        if !process_delay.is_zero() {
+            // Charge the stall per event handled, like the simulator's
+            // per-message cost model — a batch of work stalls the loop
+            // proportionally (capped so stop/cmds stay responsive).
+            let processed = (runtime.events_processed() - before).min(10) as u32;
+            if processed > 0 {
+                thread::sleep(process_delay * processed);
+            }
+        }
         progress.store(observe(runtime), Ordering::Release);
     }
 }
@@ -326,6 +342,9 @@ struct TcpRun {
     /// `extra_node_delay` so overlapping Delay faults mean the same
     /// thing on both backends.
     node_delay_ms: Vec<u64>,
+    /// Per-node mean of the extra exponential link jitter; like delays,
+    /// a link's jitter mean is the sum of its endpoints' values.
+    node_jitter_ms: Vec<u64>,
     /// Per-replica on-disk data dirs under a run-private tempdir root —
     /// only allocated when the plan injects disk faults
     /// (`RestartIntact` / `TornWal`); `None` keeps every other plan on
@@ -450,6 +469,7 @@ impl TcpRun {
             None => None,
         };
         let node_delay_ms = vec![0; total];
+        let node_jitter_ms = vec![0; total];
         Ok(TcpRun {
             net,
             protocol,
@@ -462,6 +482,7 @@ impl TcpRun {
             gateway_exits: Vec::new(),
             crashed_exits: Vec::new(),
             node_delay_ms,
+            node_jitter_ms,
             data_dirs,
         })
     }
@@ -481,14 +502,17 @@ impl TcpRun {
             .sum()
     }
 
-    /// Pushes the per-node delays onto every directed link as the sum
-    /// of its endpoints' delays (the simulator's additive model).
+    /// Pushes the per-node delays and jitter means onto every directed
+    /// link as the sum of its endpoints' values (the simulator's
+    /// additive model).
     fn refresh_delays(&self) {
         for a in 0..self.total() {
             for b in 0..self.total() {
                 if a != b {
                     let ms = self.node_delay_ms[a] + self.node_delay_ms[b];
                     self.net.set_delay(a, b, Duration::from_millis(ms));
+                    let jitter = self.node_jitter_ms[a] + self.node_jitter_ms[b];
+                    self.net.set_jitter(a, b, Duration::from_millis(jitter));
                 }
             }
         }
@@ -624,6 +648,36 @@ impl TcpRun {
                     self.seed,
                     listener,
                 ));
+            }
+            Step::SlowReplicaStart { replica, delay_ms } => {
+                if let Some(handle) = &self.replicas[*replica] {
+                    let _ = handle
+                        .cmds
+                        .send(NodeCmd::SetProcessingDelay(Duration::from_millis(
+                            *delay_ms,
+                        )));
+                }
+            }
+            Step::SlowReplicaClear { replica } => {
+                if let Some(handle) = &self.replicas[*replica] {
+                    let _ = handle
+                        .cmds
+                        .send(NodeCmd::SetProcessingDelay(Duration::ZERO));
+                }
+            }
+            Step::DegradedLinkStart {
+                node,
+                latency_ms,
+                jitter_ms,
+            } => {
+                self.node_delay_ms[*node] = *latency_ms;
+                self.node_jitter_ms[*node] = *jitter_ms;
+                self.refresh_delays();
+            }
+            Step::DegradedLinkClear { node } => {
+                self.node_delay_ms[*node] = 0;
+                self.node_jitter_ms[*node] = 0;
+                self.refresh_delays();
             }
             Step::SlowCpu { .. } | Step::Deaf { .. } => {
                 unreachable!("sim-only faults are rejected before boot")

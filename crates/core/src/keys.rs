@@ -20,6 +20,9 @@ pub const DOMAIN_SIGMA: &[u8] = b"sbft-sigma";
 pub const DOMAIN_TAU: &[u8] = b"sbft-tau";
 /// Domain tag for π (execution/checkpoint) signatures.
 pub const DOMAIN_PI: &[u8] = b"sbft-pi";
+/// Domain tag for liveness heartbeats (signed with the τ share — every
+/// replica holds one and any single share is checkable on its own).
+pub const DOMAIN_HEARTBEAT: &[u8] = b"sbft-heartbeat";
 
 /// Bound on the memoized client-key map; a rollover clears it (real
 /// deployments cycle through a stable working set of clients, so the

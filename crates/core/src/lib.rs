@@ -40,6 +40,7 @@ pub mod client;
 pub mod config;
 pub mod exec;
 pub mod keys;
+pub mod liveness;
 pub mod messages;
 pub mod persist;
 pub mod pipelined;
@@ -51,7 +52,10 @@ pub mod viewchange;
 pub use client::ClientNode;
 pub use config::{ProtocolConfig, VariantFlags};
 pub use exec::{ExecEngine, ExecOutcome, ExecPool};
-pub use keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
+pub use keys::{
+    KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_HEARTBEAT, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU,
+};
+pub use liveness::{EwmaEstimator, FailureDetector, FastPathHysteresis, TimeoutController};
 pub use messages::{ClientRequest, CommitCert, SbftMsg};
 pub use persist::{DurabilityImage, RecoveredState, ReplicaDurability};
 pub use pipelined::{chained_block_digest, select_chain_head, PipelinedChoice, PipelinedSummary};

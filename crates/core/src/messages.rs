@@ -93,6 +93,18 @@ pub fn commit2_digest(seq: SeqNum, view: ViewNum, h: &Digest) -> Digest {
     ])
 }
 
+/// The digest a liveness heartbeat (or its echo) is signed over: binds
+/// the sender, its send instant and its execution frontier so a
+/// replayed or forged heartbeat cannot keep a dead peer looking alive.
+pub fn heartbeat_digest(from: ReplicaId, sent_at_ns: u64, last_executed: SeqNum) -> Digest {
+    sha256_concat(&[
+        b"sbft-heartbeat|",
+        &(from.as_usize() as u64).to_le_bytes(),
+        &sent_at_ns.to_le_bytes(),
+        &last_executed.get().to_le_bytes(),
+    ])
+}
+
 /// A commit certificate: proof that a block committed (either path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitCert {
@@ -588,6 +600,32 @@ pub enum SbftMsg {
         /// How long the client should wait before retrying, in ms.
         retry_after_ms: u64,
     },
+    /// Replica → replica: signed liveness heartbeat, sent on a timer and
+    /// suppressed toward peers that recently received real traffic. Feeds
+    /// the φ-accrual failure detector; the receiver answers with
+    /// [`SbftMsg::HeartbeatEcho`] so the sender learns a live RTT.
+    Heartbeat {
+        /// The heartbeating replica.
+        from: ReplicaId,
+        /// Sender's local clock at send time (echoed back for RTT).
+        sent_at_ns: u64,
+        /// Sender's execution frontier (cheap lag signal).
+        last_executed: SeqNum,
+        /// τ share over [`heartbeat_digest`].
+        share: SignatureShare,
+    },
+    /// Replica → replica: answer to a [`SbftMsg::Heartbeat`].
+    HeartbeatEcho {
+        /// The echoing replica.
+        from: ReplicaId,
+        /// Echo of the heartbeat's send instant (the origin computes
+        /// RTT against its own clock; no cross-node clock comparison).
+        origin_sent_at_ns: u64,
+        /// The echoing replica's execution frontier.
+        last_executed: SeqNum,
+        /// τ share over [`heartbeat_digest`] of the echo's own fields.
+        share: SignatureShare,
+    },
 }
 
 impl Wire for SbftMsg {
@@ -760,6 +798,30 @@ impl Wire for SbftMsg {
                 enc.put_u64(*timestamp);
                 enc.put_varint(*retry_after_ms);
             }
+            SbftMsg::Heartbeat {
+                from,
+                sent_at_ns,
+                last_executed,
+                share,
+            } => {
+                enc.put_u8(20);
+                from.encode(enc);
+                enc.put_u64(*sent_at_ns);
+                last_executed.encode(enc);
+                share.encode(enc);
+            }
+            SbftMsg::HeartbeatEcho {
+                from,
+                origin_sent_at_ns,
+                last_executed,
+                share,
+            } => {
+                enc.put_u8(21);
+                from.encode(enc);
+                enc.put_u64(*origin_sent_at_ns);
+                last_executed.encode(enc);
+                share.encode(enc);
+            }
         }
     }
 
@@ -881,6 +943,18 @@ impl Wire for SbftMsg {
                 timestamp: dec.get_u64()?,
                 retry_after_ms: dec.get_varint()?,
             }),
+            20 => Ok(SbftMsg::Heartbeat {
+                from: ReplicaId::decode(dec)?,
+                sent_at_ns: dec.get_u64()?,
+                last_executed: SeqNum::decode(dec)?,
+                share: SignatureShare::decode(dec)?,
+            }),
+            21 => Ok(SbftMsg::HeartbeatEcho {
+                from: ReplicaId::decode(dec)?,
+                origin_sent_at_ns: dec.get_u64()?,
+                last_executed: SeqNum::decode(dec)?,
+                share: SignatureShare::decode(dec)?,
+            }),
             _ => Err(DecodeError::InvalidValue {
                 what: "SbftMsg tag",
             }),
@@ -915,6 +989,8 @@ impl SimMessage for SbftMsg {
             SbftMsg::RecoveryRequest { .. } => "recovery-request",
             SbftMsg::RecoveryOffer { .. } => "recovery-offer",
             SbftMsg::Busy { .. } => "busy",
+            SbftMsg::Heartbeat { .. } => "heartbeat",
+            SbftMsg::HeartbeatEcho { .. } => "heartbeat-echo",
         }
     }
 }
@@ -1086,6 +1162,18 @@ mod tests {
                 client: ClientId::new(7),
                 timestamp: 42,
                 retry_after_ms: 125,
+            },
+            SbftMsg::Heartbeat {
+                from: ReplicaId::new(2),
+                sent_at_ns: 1_000_000,
+                last_executed: SeqNum::new(9),
+                share,
+            },
+            SbftMsg::HeartbeatEcho {
+                from: ReplicaId::new(1),
+                origin_sent_at_ns: 1_000_000,
+                last_executed: SeqNum::new(8),
+                share,
             },
         ];
         for msg in &msgs {

@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use sbft_types::{ClientId, Digest, ReplicaId, SeqNum, ViewNum};
 
 use sbft_crypto::{CryptoCostModel, PkiSignature, Signature, SignatureShare};
-use sbft_sim::{Context, Node, NodeId, TimerId};
+use sbft_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
 use sbft_statedb::{
     combine_state_digest, Block, Checkpoint, ChunkAssembler, Ledger, Service, Snapshot, StateChunk,
 };
@@ -30,10 +30,13 @@ use sbft_wire::{ClientSignature, Wire};
 
 use crate::config::ProtocolConfig;
 use crate::exec::{ExecEngine, ExecPool};
-use crate::keys::{KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
+use crate::keys::{
+    KeyMaterial, PublicKeys, ReplicaKeys, DOMAIN_HEARTBEAT, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU,
+};
+use crate::liveness::{FailureDetector, FastPathHysteresis, TimeoutController};
 use crate::messages::{
-    block_digest, commit2_digest, ClientRequest, CommitCert, FastEvidence, NewViewMsg, SbftMsg,
-    SlowEvidence, VcEntry, ViewChangeMsg,
+    block_digest, commit2_digest, heartbeat_digest, ClientRequest, CommitCert, FastEvidence,
+    NewViewMsg, SbftMsg, SlowEvidence, VcEntry, ViewChangeMsg,
 };
 use crate::persist::{DurabilityImage, RecoveredState, ReplicaDurability};
 use crate::verify::{ShareKind, ShareVerifyMap};
@@ -50,6 +53,7 @@ mod timer {
     pub const WATCHDOG: u64 = 7;
     pub const VC_RETRY: u64 = 8;
     pub const RECOVERY: u64 = 9;
+    pub const HEARTBEAT: u64 = 10;
 
     pub fn token(kind: u64, payload: u64) -> u64 {
         kind | (payload << 8)
@@ -79,6 +83,10 @@ pub enum Behavior {
 struct Slot {
     /// View of the currently accepted pre-prepare.
     view: Option<ViewNum>,
+    /// When this replica first accepted a pre-prepare for the slot —
+    /// the anchor for the adaptive timers' σ-gap and commit-latency
+    /// samples (absent on slots filled by WAL replay or view change).
+    first_seen: Option<SimTime>,
     requests: Option<Vec<ClientRequest>>,
     h: Option<Digest>,
     sign_share_sent: bool,
@@ -198,6 +206,27 @@ pub struct ReplicaNode {
     /// linear path, probing the fast path again periodically).
     consecutive_fallbacks: u32,
 
+    // Adaptive liveness.
+    /// Jacobson/Karels estimators over observed σ-gap and commit latency;
+    /// derives the fast-path timeout, collector stagger, and base
+    /// view-change timeout (clamped by the `ProtocolConfig` floors and
+    /// the static values as ceilings).
+    timers: TimeoutController,
+    /// Fast-path engage/release hysteresis on the σ-completion rate —
+    /// the principled replacement for the raw fallback-streak probe.
+    hysteresis: FastPathHysteresis,
+    /// φ-accrual failure detector fed by heartbeats and ordinary
+    /// protocol traffic; drives proactive view changes and collector
+    /// stagger reordering.
+    detector: FailureDetector,
+    /// Consecutive heartbeat ticks on which the current primary looked
+    /// suspect (two in a row before a proactive view change — one noisy
+    /// φ spike is not evidence of a gray failure).
+    primary_suspect_ticks: u32,
+    /// Max φ (in milli-units) over peers at the last heartbeat tick,
+    /// cached so transports can export it as a gauge without a clock.
+    suspicion_gauge_milli: u64,
+
     // State transfer.
     assembler: ChunkAssembler,
     chunk_cert: Option<(Digest, Digest, Signature)>,
@@ -231,6 +260,11 @@ impl ReplicaNode {
         service: Box<dyn Service>,
         cost: CryptoCostModel,
     ) -> Self {
+        let detector = FailureDetector::new(
+            config.n(),
+            config.heartbeat_interval,
+            config.suspicion_threshold,
+        );
         ReplicaNode {
             my_keys: keys.replicas[id.as_usize()].clone(),
             public: keys.public.clone(),
@@ -265,6 +299,11 @@ impl ReplicaNode {
             watchdog_set: false,
             pending_new_view: None,
             consecutive_fallbacks: 0,
+            timers: TimeoutController::new(),
+            hysteresis: FastPathHysteresis::default(),
+            detector,
+            primary_suspect_ticks: 0,
+            suspicion_gauge_milli: 0,
             assembler: ChunkAssembler::new(),
             chunk_cert: None,
             state_request_outstanding: false,
@@ -409,6 +448,43 @@ impl ReplicaNode {
             .expect("service is on the executor thread (execution offloaded)")
     }
 
+    /// Current adaptive fast-path timeout (equals the static
+    /// `ProtocolConfig::fast_path_timeout` until the estimator warms up
+    /// or when `adaptive_timers` is off).
+    pub fn adaptive_fast_timeout(&self) -> SimDuration {
+        self.timers.fast_path_timeout(&self.config)
+    }
+
+    /// Current adaptive collector stagger.
+    pub fn adaptive_collector_stagger(&self) -> SimDuration {
+        self.timers.collector_stagger(&self.config)
+    }
+
+    /// Current adaptive base view-change timeout (before backoff
+    /// doubling).
+    pub fn adaptive_view_timeout(&self) -> SimDuration {
+        self.timers.view_timeout(&self.config)
+    }
+
+    /// Whether the fast-path hysteresis currently has the σ path engaged
+    /// (disengaged replicas only probe it every `fast_probe_period`
+    /// sequence numbers).
+    pub fn fast_path_engaged(&self) -> bool {
+        self.hysteresis.engaged()
+    }
+
+    /// Max φ-accrual suspicion (milli-units) over all peers, as of the
+    /// last heartbeat tick — a clock-free snapshot for telemetry gauges.
+    pub fn max_suspicion_milli(&self) -> u64 {
+        self.suspicion_gauge_milli
+    }
+
+    /// Last heartbeat round-trip time measured to `peer` (zero until the
+    /// first echo arrives).
+    pub fn peer_rtt(&self, peer: usize) -> SimDuration {
+        self.detector.rtt(peer)
+    }
+
     /// The committed block at `seq`, if retained.
     pub fn committed_block(&self, seq: SeqNum) -> Option<&Vec<ClientRequest>> {
         self.slots
@@ -431,13 +507,23 @@ impl ReplicaNode {
         self.n() + client.as_usize()
     }
 
-    fn broadcast(&self, ctx: &mut Context<'_, SbftMsg>, msg: &SbftMsg) {
+    fn broadcast(&mut self, ctx: &mut Context<'_, SbftMsg>, msg: &SbftMsg) {
+        let now = ctx.now();
         for r in 0..self.n() {
+            if r != self.id.as_usize() {
+                // Real protocol traffic doubles as a heartbeat: record
+                // the send so the next heartbeat tick suppresses the
+                // redundant explicit beat to this peer.
+                self.detector.note_sent(r, now);
+            }
             ctx.send(r, msg.clone());
         }
     }
 
-    fn send_to(&self, ctx: &mut Context<'_, SbftMsg>, to: ReplicaId, msg: SbftMsg) {
+    fn send_to(&mut self, ctx: &mut Context<'_, SbftMsg>, to: ReplicaId, msg: SbftMsg) {
+        if to != self.id {
+            self.detector.note_sent(to.as_usize(), ctx.now());
+        }
         ctx.send(to.as_usize(), msg);
     }
 
@@ -477,8 +563,8 @@ impl ReplicaNode {
         self.watchdog_set = true;
         self.watchdog_mark = (self.last_executed, self.view);
         let backoff = self
-            .config
-            .view_timeout
+            .timers
+            .view_timeout(&self.config)
             .saturating_mul(1u64 << self.vc_attempts.min(6));
         ctx.set_timer(backoff, timer::token(timer::WATCHDOG, 0));
     }
@@ -780,8 +866,10 @@ impl ReplicaNode {
         let tau = self.my_keys.tau.sign(DOMAIN_TAU, &h);
 
         {
+            let now = ctx.now();
             let slot = self.slot(seq);
             slot.view = Some(view);
+            slot.first_seen = Some(now);
             slot.requests = Some(requests);
             slot.h = Some(h);
             slot.sign_share_sent = true;
@@ -814,11 +902,12 @@ impl ReplicaNode {
     }
 
     /// The §VIII adaptive switch: keep waiting for the fast path only
-    /// while it has been succeeding recently; after repeated fallbacks go
-    /// straight to the linear path, probing the fast path again every 32
-    /// sequence numbers to detect recovery.
+    /// while it has been succeeding recently; once the σ-completion-rate
+    /// hysteresis releases, go straight to the linear path, probing the
+    /// fast path again every `fast_probe_period` sequence numbers to
+    /// detect recovery.
     fn fast_path_active(&self, seq: SeqNum) -> bool {
-        self.config.flags.fast_path && (self.consecutive_fallbacks < 4 || seq.get() % 32 == 0)
+        self.config.flags.fast_path && self.hysteresis.attempt_fast(seq.get(), &self.config)
     }
 
     fn handle_sign_share(
@@ -852,11 +941,15 @@ impl ReplicaNode {
             }
         }
         ctx.charge_cpu_ns(self.cost.hash(70));
+        let now = ctx.now();
         let fast_enabled = self.fast_path_active(seq);
         let sigma_threshold = self.config.sigma_threshold();
         let tau_threshold = self.config.tau_threshold();
-        let stagger = self.config.collector_stagger;
-        let fast_timeout = self.config.fast_path_timeout;
+        let stagger = self.timers.collector_stagger(&self.config);
+        let fast_timeout = self.timers.fast_path_timeout(&self.config);
+        // Suspected collectors ranked ahead of us will not act: discount
+        // them so the next live collector fires in their stagger slot.
+        let eff_index = self.effective_stagger_index(seq, view, my_index, now);
 
         let slot = self.slot(seq);
         if let Some(sigma) = sigma {
@@ -874,11 +967,17 @@ impl ReplicaNode {
             if let Some(t) = slot.fast_timer.take() {
                 ctx.cancel_timer(t);
             }
-            if my_index == 0 {
+            let gap = slot.first_seen.map(|t| now.since(t));
+            if let Some(gap) = gap {
+                // Pre-prepare → σ-threshold gap: the sample behind the
+                // adaptive fast-path timeout and collector stagger.
+                self.timers.observe_sigma_gap(gap);
+            }
+            if eff_index == 0 {
                 self.emit_fast_proof(ctx, seq, view);
             } else {
                 ctx.set_timer(
-                    stagger.saturating_mul(my_index as u64),
+                    stagger.saturating_mul(eff_index as u64),
                     timer::token(timer::STAGGER_FAST, seq.get()),
                 );
             }
@@ -894,22 +993,46 @@ impl ReplicaNode {
         {
             if !fast_enabled {
                 slot.prepare_sent = true;
-                if my_index == 0 {
+                if eff_index == 0 {
                     self.emit_prepare(ctx, seq, view);
                 } else {
                     ctx.set_timer(
-                        stagger.saturating_mul(my_index as u64),
+                        stagger.saturating_mul(eff_index as u64),
                         timer::token(timer::STAGGER_PREPARE, seq.get()),
                     );
                 }
             } else if slot.fast_timer.is_none() {
                 let t = ctx.set_timer(
-                    fast_timeout + stagger.saturating_mul(my_index as u64),
+                    fast_timeout + stagger.saturating_mul(eff_index as u64),
                     timer::token(timer::FAST_TIMEOUT, seq.get()),
                 );
                 slot.fast_timer = Some(t);
             }
         }
+    }
+
+    /// Collector stagger slot for this replica, discounted by suspected
+    /// collectors ranked ahead of it: when the first collector looks
+    /// dead to the failure detector, the second acts in its slot
+    /// immediately instead of waiting out the full stagger ladder.
+    fn effective_stagger_index(
+        &self,
+        seq: SeqNum,
+        view: ViewNum,
+        my_index: usize,
+        now: SimTime,
+    ) -> usize {
+        if my_index == 0 {
+            return 0;
+        }
+        let suspected_ahead = self
+            .config
+            .c_collectors(seq, view)
+            .iter()
+            .take(my_index)
+            .filter(|r| **r != self.id && self.detector.suspected(r.as_usize(), now))
+            .count();
+        my_index.saturating_sub(suspected_ahead)
     }
 
     fn emit_fast_proof(&mut self, ctx: &mut Context<'_, SbftMsg>, seq: SeqNum, view: ViewNum) {
@@ -1048,7 +1171,8 @@ impl ReplicaNode {
         }
         ctx.charge_cpu_ns(self.cost.hash(70));
         let tau_threshold = self.config.tau_threshold();
-        let stagger = self.config.collector_stagger;
+        let stagger = self.timers.collector_stagger(&self.config);
+        let eff_index = self.effective_stagger_index(seq, view, my_index, ctx.now());
         let slot = self.slot(seq);
         slot.commit2_shares.insert(share.index(), share);
         if slot.commit2_shares.len() >= tau_threshold
@@ -1056,11 +1180,11 @@ impl ReplicaNode {
             && slot.commit_cert.is_none()
         {
             slot.slow_proof_sent = true;
-            if my_index == 0 {
+            if eff_index == 0 {
                 self.emit_slow_proof(ctx, seq, view);
             } else {
                 ctx.set_timer(
-                    stagger.saturating_mul(my_index as u64),
+                    stagger.saturating_mul(eff_index as u64),
                     timer::token(timer::STAGGER_SLOW, seq.get()),
                 );
             }
@@ -1159,6 +1283,7 @@ impl ReplicaNode {
         view: ViewNum,
         cert: CommitCert,
     ) {
+        let now = ctx.now();
         let slot = self.slot(seq);
         if slot.committed {
             return;
@@ -1169,6 +1294,7 @@ impl ReplicaNode {
             return;
         };
         slot.committed = true;
+        let first_seen = slot.first_seen;
         let fast_commit = matches!(cert, CommitCert::Fast(_));
         let cert_logged = cert.clone();
         slot.commit_cert = Some(cert);
@@ -1178,6 +1304,22 @@ impl ReplicaNode {
         }
         if fast_commit {
             self.consecutive_fallbacks = 0;
+        }
+        // Committed progress in this view: reset the view-change backoff
+        // so the next stall starts the doubling ladder from the adaptive
+        // base again instead of wherever the last storm left it.
+        self.vc_attempts = 0;
+        // Only slots where σ was actually attempted are evidence about
+        // the fast path: a released replica goes straight to the linear
+        // path on non-probe slots, and counting those as "σ failed"
+        // would keep the hysteresis pinned open forever.
+        if fast_commit || self.fast_path_active(seq) {
+            self.hysteresis.observe(fast_commit);
+        }
+        if let Some(first_seen) = first_seen {
+            // Pre-prepare → commit latency feeds the adaptive view
+            // timeout (absent on WAL-replayed or view-change slots).
+            self.timers.observe_commit(now.since(first_seen));
         }
         ctx.incr("committed_blocks", 1);
         ctx.incr("committed_requests", requests.len() as u64);
@@ -1353,7 +1495,7 @@ impl ReplicaNode {
         }
         ctx.charge_cpu_ns(self.cost.hash(70));
         let pi_threshold = self.config.pi_threshold();
-        let stagger = self.config.collector_stagger;
+        let stagger = self.timers.collector_stagger(&self.config);
         let my_index = self.my_e_collector_index(seq).expect("checked above");
         let slot = self.slot(seq);
         let shares = slot.pi_shares.entry(digest).or_default();
@@ -1562,8 +1704,8 @@ impl ReplicaNode {
         self.broadcast(ctx, &SbftMsg::ViewChange(vc));
         // Retry with exponential backoff if this view does not form.
         let backoff = self
-            .config
-            .view_timeout
+            .timers
+            .view_timeout(&self.config)
             .saturating_mul(1u64 << self.vc_attempts.min(6));
         ctx.set_timer(backoff, timer::token(timer::VC_RETRY, target.get()));
     }
@@ -2178,6 +2320,153 @@ impl ReplicaNode {
             ctx.incr("recovery_completed", 1);
         }
     }
+
+    // ---------- heartbeats & failure detection ----------
+
+    fn heartbeats_enabled(&self) -> bool {
+        self.n() > 1 && self.config.heartbeat_interval > SimDuration::ZERO
+    }
+
+    fn arm_heartbeat(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        if self.heartbeats_enabled() {
+            ctx.set_timer(
+                self.config.heartbeat_interval,
+                timer::token(timer::HEARTBEAT, 0),
+            );
+        }
+    }
+
+    /// Heartbeat tick: beat to every peer that saw no real traffic from
+    /// us within the interval (protocol sends piggyback as implicit
+    /// heartbeats), refresh the suspicion gauge, and escalate sustained
+    /// primary suspicion into a proactive view change.
+    fn on_heartbeat_tick(&mut self, ctx: &mut Context<'_, SbftMsg>) {
+        let now = ctx.now();
+        let mut signed: Option<(u64, SignatureShare)> = None;
+        for r in 0..self.n() {
+            if r == self.id.as_usize() {
+                continue;
+            }
+            if self.detector.heartbeat_suppressed(r, now) {
+                ctx.incr("heartbeats_suppressed", 1);
+                continue;
+            }
+            // One signature covers the tick: the digest binds our id,
+            // the send time, and the execution frontier — none of which
+            // vary per peer.
+            let (sent_at_ns, share) = *signed.get_or_insert_with(|| {
+                let sent_at_ns = now.as_nanos();
+                let digest = heartbeat_digest(self.id, sent_at_ns, self.last_executed);
+                (sent_at_ns, self.my_keys.tau.sign(DOMAIN_HEARTBEAT, &digest))
+            });
+            ctx.incr("heartbeats_sent", 1);
+            ctx.send(
+                r,
+                SbftMsg::Heartbeat {
+                    from: self.id,
+                    sent_at_ns,
+                    last_executed: self.last_executed,
+                    share,
+                },
+            );
+        }
+        if signed.is_some() {
+            ctx.charge_cpu_ns(self.cost.sign_share());
+        }
+        self.suspicion_gauge_milli = self.detector.max_phi_milli(self.id.as_usize(), now);
+        self.check_primary_suspicion(ctx, now);
+        self.arm_heartbeat(ctx);
+    }
+
+    /// Sustained φ-accrual suspicion of the current primary — two
+    /// consecutive suspect ticks with work outstanding — triggers a
+    /// proactive view change without waiting for the full watchdog
+    /// timeout: the gray-failure escape hatch.
+    fn check_primary_suspicion(&mut self, ctx: &mut Context<'_, SbftMsg>, now: SimTime) {
+        let primary = self.config.primary(self.view);
+        let suspect = primary != self.id
+            && !self.in_view_change
+            && !self.recovery_active
+            && self.has_outstanding_work()
+            && self.detector.suspected(primary.as_usize(), now);
+        if !suspect {
+            self.primary_suspect_ticks = 0;
+            return;
+        }
+        self.primary_suspect_ticks += 1;
+        if self.primary_suspect_ticks >= 2 {
+            self.primary_suspect_ticks = 0;
+            ctx.incr("proactive_view_changes", 1);
+            self.start_view_change(ctx, self.view.next());
+        }
+    }
+
+    fn handle_heartbeat(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        claimed: ReplicaId,
+        sent_at_ns: u64,
+        last_executed: SeqNum,
+        share: SignatureShare,
+    ) {
+        if from >= self.n() || claimed.as_usize() != from || share.index() != (from + 1) as u16 {
+            return;
+        }
+        // Heartbeats are off the hot path and not covered by the
+        // transport's pre-verifier: always check the τ share here.
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        let digest = heartbeat_digest(claimed, sent_at_ns, last_executed);
+        if !self
+            .public
+            .tau
+            .verify_share(DOMAIN_HEARTBEAT, &digest, &share)
+        {
+            return;
+        }
+        // Liveness was already noted at dispatch; answer so the sender
+        // gets an RTT sample off its own clock.
+        ctx.charge_cpu_ns(self.cost.sign_share());
+        let echo_digest = heartbeat_digest(self.id, sent_at_ns, self.last_executed);
+        let echo_share = self.my_keys.tau.sign(DOMAIN_HEARTBEAT, &echo_digest);
+        ctx.send(
+            from,
+            SbftMsg::HeartbeatEcho {
+                from: self.id,
+                origin_sent_at_ns: sent_at_ns,
+                last_executed: self.last_executed,
+                share: echo_share,
+            },
+        );
+    }
+
+    fn handle_heartbeat_echo(
+        &mut self,
+        ctx: &mut Context<'_, SbftMsg>,
+        from: NodeId,
+        claimed: ReplicaId,
+        origin_sent_at_ns: u64,
+        last_executed: SeqNum,
+        share: SignatureShare,
+    ) {
+        if from >= self.n() || claimed.as_usize() != from || share.index() != (from + 1) as u16 {
+            return;
+        }
+        ctx.charge_cpu_ns(self.cost.verify_signature());
+        let digest = heartbeat_digest(claimed, origin_sent_at_ns, last_executed);
+        if !self
+            .public
+            .tau
+            .verify_share(DOMAIN_HEARTBEAT, &digest, &share)
+        {
+            return;
+        }
+        // `origin_sent_at_ns` is our own clock at send time, so the
+        // difference is a round-trip sample (a replayed stale echo can
+        // only inflate it — RTT feeds telemetry, not safety).
+        let rtt = ctx.now().since(SimTime::from_nanos(origin_sent_at_ns));
+        self.detector.note_rtt(from, rtt);
+    }
 }
 
 impl Node<SbftMsg> for ReplicaNode {
@@ -2186,12 +2475,21 @@ impl Node<SbftMsg> for ReplicaNode {
     fn on_start(&mut self, ctx: &mut Context<'_, SbftMsg>) {
         self.apply_recovery(ctx);
         if self.behavior == Behavior::MutePrimary && self.is_primary() {
+            // Mute primaries do not even heartbeat: to the cluster they
+            // are indistinguishable from a gray-failed leader, which is
+            // exactly what the failure detector should see.
             return;
         }
         self.begin_recovery_handshake(ctx);
+        self.arm_heartbeat(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: SbftMsg, ctx: &mut Context<'_, SbftMsg>) {
+        // Any authenticated-channel traffic from a peer replica counts as
+        // evidence of life for the failure detector.
+        if from < self.n() && from != self.id.as_usize() {
+            self.detector.note_seen(from, ctx.now());
+        }
         if self.behavior == Behavior::MutePrimary && self.is_primary() {
             // A mute primary still participates as a backup, but never
             // proposes; simplest faithful model: drop client requests.
@@ -2266,6 +2564,25 @@ impl Node<SbftMsg> for ReplicaNode {
             // Gateway → client admission rejections; nothing for a
             // replica to do with one.
             SbftMsg::Busy { .. } => {}
+            SbftMsg::Heartbeat {
+                from: claimed,
+                sent_at_ns,
+                last_executed,
+                share,
+            } => self.handle_heartbeat(ctx, from, claimed, sent_at_ns, last_executed, share),
+            SbftMsg::HeartbeatEcho {
+                from: claimed,
+                origin_sent_at_ns,
+                last_executed,
+                share,
+            } => self.handle_heartbeat_echo(
+                ctx,
+                from,
+                claimed,
+                origin_sent_at_ns,
+                last_executed,
+                share,
+            ),
         }
     }
 
@@ -2306,6 +2623,13 @@ impl Node<SbftMsg> for ReplicaNode {
                 if should_prepare && !self.in_view_change {
                     ctx.incr("fast_path_fallbacks", 1);
                     self.consecutive_fallbacks = self.consecutive_fallbacks.saturating_add(1);
+                    if self.consecutive_fallbacks >= self.config.fast_probe_fallbacks {
+                        // A sustained fallback streak is stronger
+                        // evidence than the EWMA alone: force the
+                        // hysteresis open so subsequent slots skip the
+                        // fast wait immediately.
+                        self.hysteresis.release();
+                    }
                     self.emit_prepare(ctx, seq, view);
                 }
             }
@@ -2367,6 +2691,7 @@ impl Node<SbftMsg> for ReplicaNode {
                     self.start_view_change(ctx, target.next());
                 }
             }
+            timer::HEARTBEAT => self.on_heartbeat_tick(ctx),
             _ => {}
         }
     }
@@ -2692,5 +3017,227 @@ mod tests {
             "request must not be forwarded back to ourselves"
         );
         assert_eq!(node.pending.len(), 1, "request parks for the new view");
+    }
+
+    /// Regression (liveness): the view-change backoff used to double
+    /// forever — `vc_attempts` only reset when the *watchdog* later
+    /// observed progress, so a commit landing right after a view-change
+    /// storm left the next stall starting from a multi-second timeout.
+    /// Committing a block must reset the ladder immediately.
+    #[test]
+    fn commit_resets_view_change_backoff() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        // Simulate surviving a storm: several failed attempts, then the
+        // cluster stabilises and a block commits in the current view.
+        node.vc_attempts = 5;
+        let seq = SeqNum::new(1);
+        let h = block_digest(seq, ViewNum::ZERO, &[]);
+        {
+            let slot = node.slot(seq);
+            slot.view = Some(ViewNum::ZERO);
+            slot.requests = Some(Vec::new());
+            slot.h = Some(h);
+        }
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let mut ctx =
+            Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+        let d2 = commit2_digest(seq, ViewNum::ZERO, &h);
+        let shares: Vec<_> = keys
+            .replicas
+            .iter()
+            .take(config.tau_threshold())
+            .map(|r| r.tau.sign(DOMAIN_TAU, &d2))
+            .collect();
+        let tau2 = keys.public.tau.combine(DOMAIN_TAU, &d2, &shares).unwrap();
+        node.commit(&mut ctx, seq, ViewNum::ZERO, CommitCert::Slow(tau2));
+        drop(ctx.into_effects());
+
+        assert!(node.slots[&seq.get()].committed, "block committed");
+        assert_eq!(
+            node.vc_attempts, 0,
+            "committed progress must reset the view-change backoff ladder"
+        );
+    }
+
+    /// A gray-failed (silent but not crashed) primary must be detected by
+    /// the φ-accrual heartbeat detector and proactively voted out, well
+    /// before the watchdog's full view timeout — and peers that keep
+    /// talking must never accrue suspicion.
+    #[test]
+    fn sustained_primary_silence_triggers_proactive_view_change() {
+        let config = ProtocolConfig::new(1, 0, VariantFlags::SBFT);
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            ReplicaId::new(1),
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        let mut rng = SimRng::new(0);
+        let mut metrics = Metrics::new(false);
+        let mut next_timer_id = 0u64;
+        let interval = config.heartbeat_interval;
+
+        // Boot: the heartbeat timer arms.
+        let mut ctx =
+            Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+        node.on_start(&mut ctx);
+        let effects = ctx.into_effects();
+        assert!(
+            effects
+                .timers
+                .iter()
+                .any(|(_, _, token)| timer::split(*token).0 == timer::HEARTBEAT),
+            "on_start must arm the heartbeat timer"
+        );
+
+        // Complete the startup recovery handshake (f+1 peers vouch we
+        // are caught up) — proactive view changes are gated on it.
+        for peer in [0usize, 2usize] {
+            let mut ctx =
+                Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+            node.on_message(
+                peer,
+                SbftMsg::RecoveryOffer {
+                    last_executed: SeqNum::ZERO,
+                    last_stable: SeqNum::ZERO,
+                },
+                &mut ctx,
+            );
+            drop(ctx.into_effects());
+        }
+        assert!(!node.recovery_active());
+
+        // The primary (replica 0) shows signs of life once, at t=0, via a
+        // signed heartbeat...
+        let sent_at_ns = 0u64;
+        let digest = heartbeat_digest(ReplicaId::new(0), sent_at_ns, SeqNum::ZERO);
+        let share = keys.replicas[0].tau.sign(DOMAIN_HEARTBEAT, &digest);
+        let mut ctx =
+            Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+        node.on_message(
+            0,
+            SbftMsg::Heartbeat {
+                from: ReplicaId::new(0),
+                sent_at_ns,
+                last_executed: SeqNum::ZERO,
+                share,
+            },
+            &mut ctx,
+        );
+        let effects = ctx.into_effects();
+        assert!(
+            effects
+                .sends
+                .iter()
+                .any(|(to, m)| *to == 0 && matches!(m, SbftMsg::HeartbeatEcho { .. })),
+            "a valid heartbeat must be echoed for RTT measurement"
+        );
+
+        // ...and a client request is outstanding (liveness matters).
+        let client = ClientId::new(0);
+        let request = ClientRequest::signed(
+            client,
+            1,
+            b"put k v".to_vec(),
+            &keys.public.client_keys(client),
+        );
+        let mut ctx =
+            Context::external(SimTime::ZERO, 1, &mut rng, &mut metrics, &mut next_timer_id);
+        node.on_message(config.n(), SbftMsg::Request(request), &mut ctx);
+        drop(ctx.into_effects());
+
+        // Heartbeat ticks while the primary stays silent. Early ticks
+        // (short silence, low φ) must not depose it; two consecutive
+        // suspect ticks after a long silence must.
+        let tick = |node: &mut ReplicaNode,
+                    rng: &mut SimRng,
+                    metrics: &mut Metrics,
+                    ids: &mut u64,
+                    at: SimTime| {
+            let mut ctx = Context::external(at, 1, rng, metrics, ids);
+            node.on_timer(timer::token(timer::HEARTBEAT, 0), &mut ctx);
+            ctx.into_effects()
+        };
+        let effects = tick(
+            &mut node,
+            &mut rng,
+            &mut metrics,
+            &mut next_timer_id,
+            SimTime::ZERO + interval,
+        );
+        assert!(
+            effects
+                .sends
+                .iter()
+                .any(|(_, m)| matches!(m, SbftMsg::Heartbeat { .. })),
+            "silent peers get explicit heartbeats"
+        );
+        assert!(!node.in_view_change(), "one interval of silence is normal");
+
+        // ~8 intervals of silence: φ = silence/(interval·ln10) ≈ 3.5 > 2.
+        let late = SimTime::ZERO + interval.saturating_mul(8);
+        tick(&mut node, &mut rng, &mut metrics, &mut next_timer_id, late);
+        assert!(!node.in_view_change(), "first suspect tick only marks");
+        tick(
+            &mut node,
+            &mut rng,
+            &mut metrics,
+            &mut next_timer_id,
+            late + interval,
+        );
+        assert!(
+            node.in_view_change() && node.view() == ViewNum::new(1),
+            "two consecutive suspect ticks must depose the gray primary"
+        );
+        assert_eq!(metrics.counter("proactive_view_changes"), 1);
+    }
+
+    /// Collector stagger reorder: when the first-ranked collector is
+    /// suspected dead, the second-ranked one takes over slot 0 of the
+    /// stagger ladder instead of always waiting out its own slot.
+    #[test]
+    fn suspected_collector_ahead_shrinks_stagger_index() {
+        let config = ProtocolConfig::new(1, 1, VariantFlags::SBFT); // n=6, c+1=2 collectors
+        let keys = KeyMaterial::generate(&config, 0x5eed);
+        // Find a (seq, view) whose collector list has distinct first and
+        // second entries, and run as the second-ranked collector.
+        let seq = SeqNum::new(1);
+        let view = ViewNum::ZERO;
+        let collectors = config.c_collectors(seq, view);
+        assert!(collectors.len() >= 2);
+        let first = collectors[0];
+        let me = collectors[1];
+        let mut node = ReplicaNode::new(
+            config.clone(),
+            me,
+            &keys,
+            Box::new(KvService::new()),
+            CryptoCostModel::free(),
+        );
+        let now = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(
+            node.effective_stagger_index(seq, view, 1, now),
+            1,
+            "an unknown (never-seen) peer carries no suspicion"
+        );
+        // The first collector was alive at t=0 and silent ever since.
+        node.detector.note_seen(first.as_usize(), SimTime::ZERO);
+        assert_eq!(
+            node.effective_stagger_index(seq, view, 1, now),
+            0,
+            "a suspected collector ahead of us yields its stagger slot"
+        );
     }
 }

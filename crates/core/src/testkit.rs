@@ -743,6 +743,65 @@ mod tests {
     }
 
     #[test]
+    fn healthy_run_commits_500_with_zero_view_changes() {
+        // The adaptive timers must never be twitchier than the static
+        // ones on a healthy cluster: 500 commits on an undisturbed
+        // 4-replica LAN, and not a single view change attempt.
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.workload = Workload::KvPut {
+            requests: 250,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.run_for(SimDuration::from_secs(120));
+        assert_eq!(cluster.total_completed(), 500);
+        cluster.assert_agreement();
+        assert_eq!(
+            cluster.sim.metrics().counter("view_changes_started"),
+            0,
+            "a healthy run must not attempt a single view change"
+        );
+        assert!(cluster.sim.metrics().counter("fast_commits") > 0);
+    }
+
+    #[test]
+    fn gray_slow_primary_is_replaced_and_cluster_recovers() {
+        // Gray failure: the primary stays up and answers everything —
+        // just 150ms late per message. No crash, no partition, nothing a
+        // socket error would reveal; only the liveness layer (adaptive
+        // watchdogs + heartbeat suspicion) can notice and depose it.
+        let mut config = ClusterConfig::small(1, 0, VariantFlags::SBFT);
+        config.workload = Workload::KvPut {
+            requests: 30,
+            ops_per_request: 1,
+            key_space: 64,
+            value_len: 16,
+        };
+        let mut cluster = Cluster::build(config);
+        cluster.sim.start();
+        cluster.sim.run_for(SimDuration::from_millis(20));
+        cluster
+            .sim
+            .set_processing_delay(0, SimDuration::from_millis(150));
+        cluster.sim.run_for(SimDuration::from_secs(60));
+        cluster.assert_agreement();
+        assert!(
+            cluster.sim.metrics().counter("view_changes_completed") > 0,
+            "the gray primary must be replaced"
+        );
+        assert_eq!(
+            cluster.total_completed(),
+            60,
+            "liveness resumes under the replacement primary"
+        );
+        for r in 1..4 {
+            assert!(cluster.replica(r).view() > sbft_types::ViewNum::ZERO);
+        }
+    }
+
+    #[test]
     fn larger_cluster_commits() {
         // f=3, c=1 → n=12: a mid-size cluster exercising rotation.
         let mut config = ClusterConfig::small(3, 1, VariantFlags::SBFT);

@@ -29,8 +29,10 @@ use sbft_statedb::combine_state_digest;
 use sbft_types::{Digest, SeqNum, ViewNum};
 use sbft_wire::Wire;
 
-use crate::keys::{PublicKeys, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
-use crate::messages::{block_digest, commit2_digest, ClientRequest, CommitCert, SbftMsg};
+use crate::keys::{PublicKeys, DOMAIN_HEARTBEAT, DOMAIN_PI, DOMAIN_SIGMA, DOMAIN_TAU};
+use crate::messages::{
+    block_digest, commit2_digest, heartbeat_digest, ClientRequest, CommitCert, SbftMsg,
+};
 use crate::viewchange::validate_view_change;
 
 /// Which threshold scheme a recorded share belongs to.
@@ -270,6 +272,28 @@ impl SbftPreVerifier {
                 }
             }
             SbftMsg::ViewChange(vc) => validate_view_change(public, vc),
+            // Heartbeats are fully stateless: drop forged ones at the
+            // transport edge. (The node re-checks — the simulator path
+            // has no pre-verifier — but heartbeats are rare enough that
+            // the duplicate check costs nothing that matters.)
+            SbftMsg::Heartbeat {
+                from,
+                sent_at_ns,
+                last_executed,
+                share,
+            } => {
+                let digest = heartbeat_digest(*from, *sent_at_ns, *last_executed);
+                public.tau.verify_share(DOMAIN_HEARTBEAT, &digest, share)
+            }
+            SbftMsg::HeartbeatEcho {
+                from,
+                origin_sent_at_ns,
+                last_executed,
+                share,
+            } => {
+                let digest = heartbeat_digest(*from, *origin_sent_at_ns, *last_executed);
+                public.tau.verify_share(DOMAIN_HEARTBEAT, &digest, share)
+            }
             // σ/τ material is passed through to the node — but when the
             // slot's digest is already published in the share map, the
             // worker also pairing-checks it via `collect_recordable`, so

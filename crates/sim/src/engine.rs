@@ -93,6 +93,11 @@ struct NodeSlot<M: SimMessage> {
     /// via `ctx.now()`. Timer *durations* are unaffected (monotonic
     /// clocks don't skew with wall time).
     clock_skew_ns: i64,
+    /// Flat extra busy time added after every handler invocation — a
+    /// gray-failed replica that still answers everything, just late
+    /// (GC stalls, a saturated disk), as opposed to `slow_factor`
+    /// which scales with the handler's own CPU charge.
+    extra_process_delay: SimDuration,
 }
 
 /// A deterministic discrete-event simulation over nodes exchanging `M`.
@@ -145,6 +150,7 @@ impl<M: SimMessage> Simulation<M> {
             started: false,
             epoch: 0,
             clock_skew_ns: 0,
+            extra_process_delay: SimDuration::ZERO,
         });
         id
     }
@@ -243,6 +249,14 @@ impl<M: SimMessage> Simulation<M> {
     pub fn set_slow_factor(&mut self, node: NodeId, factor: f64) {
         assert!(factor >= 1.0, "slow factor must be >= 1");
         self.nodes[node].slow_factor = factor;
+    }
+
+    /// Adds a flat processing delay after every handler invocation on
+    /// `node` (zero clears it). Models a gray failure: the node stays
+    /// up and responds to everything, only late — stalls a slow-CPU
+    /// factor alone cannot express at low load.
+    pub fn set_processing_delay(&mut self, node: NodeId, delay: SimDuration) {
+        self.nodes[node].extra_process_delay = delay;
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -352,7 +366,8 @@ impl<M: SimMessage> Simulation<M> {
         };
         f(slot.node.as_mut(), &mut ctx);
         let cpu = (ctx.cpu_charged + self.runtime.per_message_overhead)
-            .mul_f64(slot.slow_factor.max(1.0));
+            .mul_f64(slot.slow_factor.max(1.0))
+            + slot.extra_process_delay;
         let actions = ctx.actions;
         slot.busy_until = self.now + cpu;
         let depart = slot.busy_until;

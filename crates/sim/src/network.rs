@@ -126,6 +126,9 @@ pub struct NetworkModel {
     partitions: Vec<Partition>,
     /// Per-link extra one-way delay (straggler links), indexed by node.
     extra_node_delay: Vec<SimDuration>,
+    /// Per-node extra jitter (mean of an exponential draw added to every
+    /// message touching the node) — a degraded link: up, but erratic.
+    extra_node_jitter: Vec<SimDuration>,
     /// Windows during which a node loses all inbound traffic (an outage
     /// whose retransmissions expire; used to force state transfer).
     deaf_windows: Vec<(NodeId, SimTime, SimTime)>,
@@ -159,6 +162,7 @@ impl NetworkModel {
             egress_free_at: vec![SimTime::ZERO; node_count],
             partitions: Vec::new(),
             extra_node_delay: vec![SimDuration::ZERO; node_count],
+            extra_node_jitter: vec![SimDuration::ZERO; node_count],
             deaf_windows: Vec::new(),
             duplicate_probability: 0.0,
         }
@@ -211,6 +215,13 @@ impl NetworkModel {
         self.extra_node_delay[node] = delay;
     }
 
+    /// Adds exponential extra jitter (with the given mean) to all traffic
+    /// touching one node — a degraded but unbroken link: nothing drops,
+    /// delivery order just gets erratic. Zero clears it.
+    pub fn set_node_extra_jitter(&mut self, node: NodeId, mean: SimDuration) {
+        self.extra_node_jitter[node] = mean;
+    }
+
     /// The configured topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -252,10 +263,18 @@ impl NetworkModel {
         } else {
             0
         };
+        let extra_jitter_mean =
+            self.extra_node_jitter[from].as_nanos() + self.extra_node_jitter[to].as_nanos();
+        let extra_jitter_ns = if extra_jitter_mean > 0 {
+            rng.exponential(extra_jitter_mean as f64) as u64
+        } else {
+            0
+        };
         let mut arrival = start
             + tx
             + base
             + SimDuration::from_nanos(jitter_ns)
+            + SimDuration::from_nanos(extra_jitter_ns)
             + self.extra_node_delay[from]
             + self.extra_node_delay[to];
 

@@ -154,6 +154,25 @@ fn run_replica(spec: &ClusterSpec, r: usize, metrics_addr: Option<&str>) -> Resu
     let view_gauge = runtime.registry().gauge("sbft_node_view");
     let executed_gauge = runtime.registry().gauge("sbft_node_last_executed");
     let stable_gauge = runtime.registry().gauge("sbft_node_last_stable");
+    // Liveness-layer gauges: the self-tuned timers, fast-path hysteresis
+    // state, and heartbeat suspicion level — what an operator watches to
+    // tell a gray-degraded cluster from a healthy one.
+    let fast_timeout_gauge = runtime.registry().gauge("sbft_liveness_fast_timeout_us");
+    let stagger_gauge = runtime
+        .registry()
+        .gauge("sbft_liveness_collector_stagger_us");
+    let view_timeout_gauge = runtime.registry().gauge("sbft_liveness_view_timeout_us");
+    let engaged_gauge = runtime.registry().gauge("sbft_liveness_fast_path_engaged");
+    let suspicion_gauge = runtime
+        .registry()
+        .gauge("sbft_liveness_max_suspicion_milli");
+    let rtt_gauges: Vec<_> = (0..spec.n())
+        .map(|p| {
+            runtime
+                .registry()
+                .gauge(&format!("sbft_liveness_peer_rtt_us_{p}"))
+        })
+        .collect();
     eprintln!(
         "replica {r}/{} listening on {} ({:?} profile, {} verify workers, {} exec workers, \
          view timers armed)",
@@ -171,6 +190,14 @@ fn run_replica(spec: &ClusterSpec, r: usize, metrics_addr: Option<&str>) -> Resu
             view_gauge.set(node.view().get() as i64);
             executed_gauge.set(node.last_executed().get() as i64);
             stable_gauge.set(node.last_stable().get() as i64);
+            fast_timeout_gauge.set((node.adaptive_fast_timeout().as_nanos() / 1_000) as i64);
+            stagger_gauge.set((node.adaptive_collector_stagger().as_nanos() / 1_000) as i64);
+            view_timeout_gauge.set((node.adaptive_view_timeout().as_nanos() / 1_000) as i64);
+            engaged_gauge.set(i64::from(node.fast_path_engaged()));
+            suspicion_gauge.set(node.max_suspicion_milli() as i64);
+            for (p, gauge) in rtt_gauges.iter().enumerate() {
+                gauge.set((node.peer_rtt(p).as_nanos() / 1_000) as i64);
+            }
         }
         if last_report.elapsed() >= Duration::from_secs(5) {
             last_report = Instant::now();

@@ -181,6 +181,7 @@ fn tcp_quiescent_rejoin_syncs_on_idle_cluster() {
         expect_counters: vec![("recovery_probes", 1)],
         max_final_lag: Some(32),
         min_fast_ratio: None,
+        max_view_changes: None,
         gateway: false,
         gateway_slots: None,
     };
